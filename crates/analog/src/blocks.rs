@@ -1,0 +1,1264 @@
+//! Sampled-data circuit blocks: everything in the paper's Figure 4 (static
+//! readout chain) and Figure 5 (resonant feedback loop).
+//!
+//! Each block implements [`Block`]: a single-rate `process(sample) → sample`
+//! with internal state, noise and nonlinearity. The blocks are behavioural —
+//! gain, bandwidth, saturation, offset and noise, not transistor netlists —
+//! which is the right abstraction level for the architectural claims the
+//! paper makes (chopping kills offset/1-f noise, the limiter stabilizes the
+//! oscillation amplitude, the VGA absorbs liquid damping changes).
+//!
+//! All sample rates are in Hz and are fixed at construction.
+
+use canti_units::Volts;
+
+use crate::error::{ensure_below_nyquist, ensure_positive};
+use crate::noise::CompositeNoise;
+use crate::AnalogError;
+
+/// A single-input single-output sampled-data block.
+pub trait Block: std::fmt::Debug {
+    /// Processes one input sample, producing one output sample.
+    fn process(&mut self, input: f64) -> f64;
+
+    /// Resets all internal state (filters, phases, envelopes) to power-on.
+    fn reset(&mut self);
+
+    /// Short display label for probes and debugging.
+    fn label(&self) -> &str;
+}
+
+// ---------------------------------------------------------------------------
+// Gain stages
+// ---------------------------------------------------------------------------
+
+/// An ideal(ish) gain stage with optional output saturation.
+#[derive(Debug, Clone)]
+pub struct GainStage {
+    gain: f64,
+    saturation: Option<f64>,
+    label: String,
+}
+
+impl GainStage {
+    /// Creates a gain stage; `saturation` is the symmetric output clamp (V),
+    /// `None` for unbounded.
+    #[must_use]
+    pub fn new(gain: f64, saturation: Option<f64>) -> Self {
+        Self {
+            gain,
+            saturation,
+            label: format!("gain x{gain}"),
+        }
+    }
+
+    /// The voltage gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+impl Block for GainStage {
+    fn process(&mut self, input: f64) -> f64 {
+        let y = self.gain * input;
+        match self.saturation {
+            Some(s) => y.clamp(-s, s),
+            None => y,
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The chopper-stabilized low-noise amplifier — the first stage of the
+/// paper's static readout chain.
+///
+/// Chopping modulates the signal to `f_chop` *before* the amplifier's
+/// offset and 1/f noise are added, then demodulates after: the signal
+/// returns to baseband while offset and flicker end up *at* the chop
+/// frequency, where the following low-pass filter removes them. Disable
+/// chopping ([`ChopperAmplifier::set_chopping`]) to measure what the chain
+/// would do without it — the paper's implicit comparison.
+#[derive(Debug)]
+pub struct ChopperAmplifier {
+    gain: f64,
+    sample_rate: f64,
+    /// Samples per chopper half-period.
+    half_period: u64,
+    counter: u64,
+    /// Input-referred DC offset, V.
+    input_offset: f64,
+    /// Input-referred amplifier noise.
+    noise: CompositeNoise,
+    /// Output-referred residual offset after chopping (charge-injection
+    /// spikes that do not average out), V.
+    residual_offset: f64,
+    chopping: bool,
+    label: String,
+}
+
+impl ChopperAmplifier {
+    /// Creates a chopper amplifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] unless gain and chop frequency are strictly
+    /// positive and `chop_frequency` is below Nyquist/2 (so the square wave
+    /// is representable).
+    pub fn new(
+        gain: f64,
+        chop_frequency: f64,
+        sample_rate: f64,
+        input_offset: Volts,
+        noise: CompositeNoise,
+        residual_offset: Volts,
+    ) -> Result<Self, AnalogError> {
+        ensure_positive("chopper gain", gain)?;
+        ensure_positive("chop frequency", chop_frequency)?;
+        ensure_positive("sample rate", sample_rate)?;
+        ensure_below_nyquist(chop_frequency * 2.0, sample_rate)?;
+        let half_period = (sample_rate / (2.0 * chop_frequency)).round().max(1.0) as u64;
+        Ok(Self {
+            gain,
+            sample_rate,
+            half_period,
+            counter: 0,
+            input_offset: input_offset.value(),
+            noise,
+            residual_offset: residual_offset.value(),
+            chopping: true,
+            label: "chopper amp".to_owned(),
+        })
+    }
+
+    /// Enables/disables the chopping clock (for on/off comparisons).
+    pub fn set_chopping(&mut self, on: bool) {
+        self.chopping = on;
+    }
+
+    /// Whether chopping is active.
+    #[must_use]
+    pub fn chopping(&self) -> bool {
+        self.chopping
+    }
+
+    /// The realized chop frequency (quantized to the sample grid).
+    #[must_use]
+    pub fn chop_frequency(&self) -> f64 {
+        self.sample_rate / (2.0 * self.half_period as f64)
+    }
+
+    /// The amplifier gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+impl Block for ChopperAmplifier {
+    fn process(&mut self, input: f64) -> f64 {
+        let phase = if self.chopping {
+            if (self.counter / self.half_period).is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            }
+        } else {
+            1.0
+        };
+        self.counter = self.counter.wrapping_add(1);
+
+        // modulate -> amplify (adding offset + low-frequency noise) -> demodulate
+        let modulated = input * phase;
+        let amplified = self.gain * (modulated + self.input_offset + self.noise.sample());
+        amplified * phase + if self.chopping { self.residual_offset } else { 0.0 }
+    }
+
+    fn reset(&mut self) {
+        self.counter = 0;
+        self.noise.reset(0xC0FFEE);
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filters
+// ---------------------------------------------------------------------------
+
+/// First-order low-pass filter (bilinear-mapped RC).
+#[derive(Debug, Clone)]
+pub struct LowPassFilter {
+    alpha: f64,
+    state: f64,
+    label: String,
+}
+
+impl LowPassFilter {
+    /// Creates a first-order low-pass with corner `fc` at sample rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] for a non-positive corner or one at/above
+    /// Nyquist.
+    pub fn new(fc: f64, fs: f64) -> Result<Self, AnalogError> {
+        ensure_positive("corner frequency", fc)?;
+        ensure_positive("sample rate", fs)?;
+        ensure_below_nyquist(fc, fs)?;
+        Ok(Self {
+            alpha: 1.0 - (-2.0 * std::f64::consts::PI * fc / fs).exp(),
+            state: 0.0,
+            label: format!("LPF {fc} Hz"),
+        })
+    }
+}
+
+impl Block for LowPassFilter {
+    fn process(&mut self, input: f64) -> f64 {
+        self.state += self.alpha * (input - self.state);
+        self.state
+    }
+
+    fn reset(&mut self) {
+        self.state = 0.0;
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// First-order high-pass filter — the feedback loop's flicker-noise killer.
+#[derive(Debug, Clone)]
+pub struct HighPassFilter {
+    a: f64,
+    prev_in: f64,
+    prev_out: f64,
+    label: String,
+}
+
+impl HighPassFilter {
+    /// Creates a first-order high-pass with corner `fc` at sample rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] for a non-positive corner or one at/above
+    /// Nyquist.
+    pub fn new(fc: f64, fs: f64) -> Result<Self, AnalogError> {
+        ensure_positive("corner frequency", fc)?;
+        ensure_positive("sample rate", fs)?;
+        ensure_below_nyquist(fc, fs)?;
+        Ok(Self {
+            a: (-2.0 * std::f64::consts::PI * fc / fs).exp(),
+            prev_in: 0.0,
+            prev_out: 0.0,
+            label: format!("HPF {fc} Hz"),
+        })
+    }
+}
+
+impl Block for HighPassFilter {
+    fn process(&mut self, input: f64) -> f64 {
+        let y = self.a * (self.prev_out + input - self.prev_in);
+        self.prev_in = input;
+        self.prev_out = y;
+        y
+    }
+
+    fn reset(&mut self) {
+        self.prev_in = 0.0;
+        self.prev_out = 0.0;
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Second-order Butterworth low-pass (RBJ biquad, Q = 1/√2).
+#[derive(Debug, Clone)]
+pub struct ButterworthLowPass {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    x1: f64,
+    x2: f64,
+    y1: f64,
+    y2: f64,
+    label: String,
+}
+
+impl ButterworthLowPass {
+    /// Creates a 2nd-order Butterworth low-pass with corner `fc` at `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] for a non-positive corner or one at/above
+    /// Nyquist.
+    pub fn new(fc: f64, fs: f64) -> Result<Self, AnalogError> {
+        ensure_positive("corner frequency", fc)?;
+        ensure_positive("sample rate", fs)?;
+        ensure_below_nyquist(fc, fs)?;
+        let w0 = 2.0 * std::f64::consts::PI * fc / fs;
+        let q = std::f64::consts::FRAC_1_SQRT_2;
+        let alpha = w0.sin() / (2.0 * q);
+        let cosw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(Self {
+            b0: (1.0 - cosw) / 2.0 / a0,
+            b1: (1.0 - cosw) / a0,
+            b2: (1.0 - cosw) / 2.0 / a0,
+            a1: -2.0 * cosw / a0,
+            a2: (1.0 - alpha) / a0,
+            x1: 0.0,
+            x2: 0.0,
+            y1: 0.0,
+            y2: 0.0,
+            label: format!("Butterworth LPF {fc} Hz"),
+        })
+    }
+}
+
+impl Block for ButterworthLowPass {
+    fn process(&mut self, input: f64) -> f64 {
+        let y = self.b0 * input + self.b1 * self.x1 + self.b2 * self.x2
+            - self.a1 * self.y1
+            - self.a2 * self.y2;
+        self.x2 = self.x1;
+        self.x1 = input;
+        self.y2 = self.y1;
+        self.y1 = y;
+        y
+    }
+
+    fn reset(&mut self) {
+        self.x1 = 0.0;
+        self.x2 = 0.0;
+        self.y1 = 0.0;
+        self.y2 = 0.0;
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Programmable stages
+// ---------------------------------------------------------------------------
+
+/// A programmable-gain amplifier with a discrete gain ladder.
+#[derive(Debug, Clone)]
+pub struct ProgrammableGainAmplifier {
+    gains: Vec<f64>,
+    index: usize,
+    label: String,
+}
+
+impl ProgrammableGainAmplifier {
+    /// Creates a PGA from a gain ladder; starts at setting 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] if the ladder is empty.
+    pub fn new(gains: Vec<f64>) -> Result<Self, AnalogError> {
+        if gains.is_empty() {
+            return Err(AnalogError::IndexOutOfRange {
+                what: "PGA gain ladder",
+                index: 0,
+                len: 0,
+            });
+        }
+        Ok(Self {
+            gains,
+            index: 0,
+            label: "PGA".to_owned(),
+        })
+    }
+
+    /// Selects a ladder entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::IndexOutOfRange`] for a bad index.
+    pub fn select(&mut self, index: usize) -> Result<(), AnalogError> {
+        if index >= self.gains.len() {
+            return Err(AnalogError::IndexOutOfRange {
+                what: "PGA setting",
+                index,
+                len: self.gains.len(),
+            });
+        }
+        self.index = index;
+        Ok(())
+    }
+
+    /// The active gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gains[self.index]
+    }
+
+    /// The active setting index.
+    #[must_use]
+    pub fn setting(&self) -> usize {
+        self.index
+    }
+}
+
+impl Block for ProgrammableGainAmplifier {
+    fn process(&mut self, input: f64) -> f64 {
+        self.gains[self.index] * input
+    }
+
+    fn reset(&mut self) {
+        self.index = 0;
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The programmable offset-compensation stage: a DAC subtracting a stored
+/// estimate of the (amplified) bridge offset so the later gain stages do
+/// not saturate.
+#[derive(Debug, Clone)]
+pub struct OffsetCompensation {
+    /// Full-scale range of the compensation DAC, V.
+    range: f64,
+    bits: u32,
+    code: i64,
+    label: String,
+}
+
+impl OffsetCompensation {
+    /// Creates an offset-compensation DAC with symmetric `range` (±range)
+    /// and `bits` of resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] on non-positive range or zero bits.
+    pub fn new(range: Volts, bits: u32) -> Result<Self, AnalogError> {
+        ensure_positive("offset DAC range", range.value())?;
+        if bits == 0 || bits > 24 {
+            return Err(AnalogError::IndexOutOfRange {
+                what: "offset DAC bits",
+                index: bits as usize,
+                len: 24,
+            });
+        }
+        Ok(Self {
+            range: range.value(),
+            bits,
+            code: 0,
+            label: "offset comp".to_owned(),
+        })
+    }
+
+    /// One DAC LSB in volts.
+    #[must_use]
+    pub fn lsb(&self) -> f64 {
+        self.range / f64::from(1u32 << (self.bits - 1))
+    }
+
+    /// The correction currently applied (subtracted from the signal).
+    #[must_use]
+    pub fn correction(&self) -> Volts {
+        Volts::new(self.code as f64 * self.lsb())
+    }
+
+    /// Programs the DAC to cancel `measured_offset` as well as its
+    /// resolution allows; returns the residual after compensation.
+    pub fn calibrate(&mut self, measured_offset: Volts) -> Volts {
+        let max_code = i64::from(1u32 << (self.bits - 1)) - 1;
+        let code = (measured_offset.value() / self.lsb()).round() as i64;
+        self.code = code.clamp(-max_code - 1, max_code);
+        Volts::new(measured_offset.value() - self.correction().value())
+    }
+}
+
+impl Block for OffsetCompensation {
+    fn process(&mut self, input: f64) -> f64 {
+        input - self.code as f64 * self.lsb()
+    }
+
+    fn reset(&mut self) {
+        self.code = 0;
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resonant-loop stages
+// ---------------------------------------------------------------------------
+
+/// Variable-gain amplifier with a built-in automatic gain control loop.
+///
+/// The paper: "a variable gain amplifier allows to adjust to different
+/// mechanical damping of the cantilever, due to different liquids presented
+/// to the biosensor". The AGC tracks the signal envelope with a leaky peak
+/// detector and servos the gain toward `target / envelope` within
+/// `[min_gain, max_gain]`.
+#[derive(Debug, Clone)]
+pub struct AgcVga {
+    gain: f64,
+    min_gain: f64,
+    max_gain: f64,
+    target_amplitude: f64,
+    /// Envelope-follower decay per sample.
+    decay: f64,
+    /// Gain-servo rate per sample.
+    rate: f64,
+    envelope: f64,
+    label: String,
+}
+
+impl AgcVga {
+    /// Creates an AGC'd VGA.
+    ///
+    /// `time_constant_samples` sets both the envelope decay and the gain
+    /// servo speed (the servo runs 10× slower than the envelope).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] on non-positive bounds/target or an empty
+    /// gain range.
+    pub fn new(
+        min_gain: f64,
+        max_gain: f64,
+        target_amplitude: f64,
+        time_constant_samples: f64,
+    ) -> Result<Self, AnalogError> {
+        ensure_positive("min gain", min_gain)?;
+        ensure_positive("max gain", max_gain - min_gain)?;
+        ensure_positive("target amplitude", target_amplitude)?;
+        ensure_positive("AGC time constant", time_constant_samples)?;
+        Ok(Self {
+            gain: (min_gain * max_gain).sqrt(),
+            min_gain,
+            max_gain,
+            target_amplitude,
+            decay: 1.0 - 1.0 / time_constant_samples,
+            rate: 0.1 / time_constant_samples,
+            envelope: 0.0,
+            label: "VGA+AGC".to_owned(),
+        })
+    }
+
+    /// The instantaneous gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The tracked signal envelope.
+    #[must_use]
+    pub fn envelope(&self) -> f64 {
+        self.envelope
+    }
+
+    /// Manually pins the gain (AGC keeps adjusting from there).
+    pub fn set_gain(&mut self, gain: f64) {
+        self.gain = gain.clamp(self.min_gain, self.max_gain);
+    }
+}
+
+impl Block for AgcVga {
+    fn process(&mut self, input: f64) -> f64 {
+        // leaky peak detector on the input
+        let mag = input.abs();
+        self.envelope = if mag > self.envelope {
+            mag
+        } else {
+            self.envelope * self.decay
+        };
+        // servo gain so that gain * envelope -> target
+        if self.envelope > 0.0 {
+            let err = self.target_amplitude - self.gain * self.envelope;
+            self.gain =
+                (self.gain + self.rate * err / self.target_amplitude * self.gain)
+                    .clamp(self.min_gain, self.max_gain);
+        }
+        self.gain * input
+    }
+
+    fn reset(&mut self) {
+        self.envelope = 0.0;
+        self.gain = (self.min_gain * self.max_gain).sqrt();
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The non-linear amplitude-limiting amplifier: a saturating tanh stage
+/// that caps the loop amplitude "for stable operation".
+#[derive(Debug, Clone)]
+pub struct NonlinearLimiter {
+    limit: f64,
+    small_signal_gain: f64,
+    label: String,
+}
+
+impl NonlinearLimiter {
+    /// Creates a limiter with output bound `limit` (V) and the given
+    /// small-signal gain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] on non-positive limit or gain.
+    pub fn new(limit: Volts, small_signal_gain: f64) -> Result<Self, AnalogError> {
+        ensure_positive("limiter bound", limit.value())?;
+        ensure_positive("limiter gain", small_signal_gain)?;
+        Ok(Self {
+            limit: limit.value(),
+            small_signal_gain,
+            label: "limiter".to_owned(),
+        })
+    }
+
+    /// The saturation bound in volts.
+    #[must_use]
+    pub fn limit(&self) -> f64 {
+        self.limit
+    }
+}
+
+impl Block for NonlinearLimiter {
+    fn process(&mut self, input: f64) -> f64 {
+        self.limit * (self.small_signal_gain * input / self.limit).tanh()
+    }
+
+    fn reset(&mut self) {}
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Class-AB output buffer driving the low-resistance actuation coil:
+/// unity-gain, but current-limited into its load and slew-rate limited.
+#[derive(Debug, Clone)]
+pub struct ClassAbBuffer {
+    /// Max output voltage = I_max · R_load, V.
+    v_max: f64,
+    /// Max output change per sample, V.
+    dv_max: f64,
+    prev: f64,
+    label: String,
+}
+
+impl ClassAbBuffer {
+    /// Creates a buffer with output-current limit `i_max` into
+    /// `load_resistance`, and `slew_rate` (V/s) at sample rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] on non-positive limits.
+    pub fn new(
+        i_max: canti_units::Amperes,
+        load_resistance: canti_units::Ohms,
+        slew_rate: f64,
+        fs: f64,
+    ) -> Result<Self, AnalogError> {
+        ensure_positive("output current limit", i_max.value())?;
+        ensure_positive("load resistance", load_resistance.value())?;
+        ensure_positive("slew rate", slew_rate)?;
+        ensure_positive("sample rate", fs)?;
+        Ok(Self {
+            v_max: i_max.value() * load_resistance.value(),
+            dv_max: slew_rate / fs,
+            prev: 0.0,
+            label: "class-AB buffer".to_owned(),
+        })
+    }
+
+    /// The output-voltage compliance limit.
+    #[must_use]
+    pub fn v_max(&self) -> f64 {
+        self.v_max
+    }
+}
+
+impl Block for ClassAbBuffer {
+    fn process(&mut self, input: f64) -> f64 {
+        let clamped = input.clamp(-self.v_max, self.v_max);
+        let slewed = clamped.clamp(self.prev - self.dv_max, self.prev + self.dv_max);
+        self.prev = slewed;
+        slewed
+    }
+
+    fn reset(&mut self) {
+        self.prev = 0.0;
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The fully differential difference amplifier (DDA) instrumentation
+/// stage — the resonant loop's first amplifier.
+///
+/// Behaviourally: differential gain with finite CMRR, input-referred
+/// noise, and a first-order bandwidth limit.
+#[derive(Debug)]
+pub struct DdaInstrumentationAmplifier {
+    gain: f64,
+    /// Common-mode gain = gain / CMRR.
+    cm_gain: f64,
+    noise: CompositeNoise,
+    bandwidth: LowPassFilter,
+    common_mode: f64,
+    label: String,
+}
+
+impl DdaInstrumentationAmplifier {
+    /// Creates a DDA with differential `gain`, `cmrr` (linear ratio, e.g.
+    /// 10⁵ for 100 dB), input noise, and a first-order `bandwidth` at `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] on non-positive gain/CMRR/bandwidth.
+    pub fn new(
+        gain: f64,
+        cmrr: f64,
+        noise: CompositeNoise,
+        bandwidth: f64,
+        fs: f64,
+    ) -> Result<Self, AnalogError> {
+        ensure_positive("DDA gain", gain)?;
+        ensure_positive("CMRR", cmrr)?;
+        Ok(Self {
+            gain,
+            cm_gain: gain / cmrr,
+            noise,
+            bandwidth: LowPassFilter::new(bandwidth, fs)?,
+            common_mode: 0.0,
+            label: "DDA in-amp".to_owned(),
+        })
+    }
+
+    /// Sets the common-mode voltage present at both inputs (e.g. supply
+    /// ripple or interference pickup); it leaks through at gain/CMRR.
+    pub fn set_common_mode(&mut self, vcm: f64) {
+        self.common_mode = vcm;
+    }
+
+    /// The differential gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+impl Block for DdaInstrumentationAmplifier {
+    fn process(&mut self, input: f64) -> f64 {
+        let raw =
+            self.gain * (input + self.noise.sample()) + self.cm_gain * self.common_mode;
+        self.bandwidth.process(raw)
+    }
+
+    fn reset(&mut self) {
+        self.bandwidth.reset();
+        self.common_mode = 0.0;
+        self.noise.reset(0xD0DA);
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The 4:1 analog input multiplexer of the static system, with
+/// charge-injection glitch and exponential settling after each channel
+/// switch.
+#[derive(Debug, Clone)]
+pub struct AnalogMux {
+    channels: usize,
+    selected: usize,
+    glitch_amplitude: f64,
+    /// Residual glitch, decays exponentially.
+    glitch: f64,
+    /// Per-sample glitch decay factor.
+    decay: f64,
+    label: String,
+}
+
+impl AnalogMux {
+    /// Creates a mux with `channels` inputs; switching injects a glitch of
+    /// `glitch_amplitude` volts that decays with `settle_samples` time
+    /// constant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] on zero channels or non-positive settling.
+    pub fn new(
+        channels: usize,
+        glitch_amplitude: Volts,
+        settle_samples: f64,
+    ) -> Result<Self, AnalogError> {
+        if channels == 0 {
+            return Err(AnalogError::IndexOutOfRange {
+                what: "mux channels",
+                index: 0,
+                len: 0,
+            });
+        }
+        ensure_positive("mux settling", settle_samples)?;
+        Ok(Self {
+            channels,
+            selected: 0,
+            glitch_amplitude: glitch_amplitude.value(),
+            glitch: 0.0,
+            decay: (-1.0 / settle_samples).exp(),
+            label: format!("{channels}:1 mux"),
+        })
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The selected channel.
+    #[must_use]
+    pub fn selected(&self) -> usize {
+        self.selected
+    }
+
+    /// Switches to `channel`, injecting the switching glitch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::IndexOutOfRange`] for a bad channel.
+    pub fn select(&mut self, channel: usize) -> Result<(), AnalogError> {
+        if channel >= self.channels {
+            return Err(AnalogError::IndexOutOfRange {
+                what: "mux channel",
+                index: channel,
+                len: self.channels,
+            });
+        }
+        if channel != self.selected {
+            self.glitch += self.glitch_amplitude;
+        }
+        self.selected = channel;
+        Ok(())
+    }
+}
+
+impl Block for AnalogMux {
+    fn process(&mut self, input: f64) -> f64 {
+        let y = input + self.glitch;
+        self.glitch *= self.decay;
+        y
+    }
+
+    fn reset(&mut self) {
+        self.selected = 0;
+        self.glitch = 0.0;
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A one-sample delay — the explicit loop-closure element of feedback
+/// simulations.
+#[derive(Debug, Clone, Default)]
+pub struct UnitDelay {
+    state: f64,
+}
+
+impl UnitDelay {
+    /// Creates a delay initialized to zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Block for UnitDelay {
+    fn process(&mut self, input: f64) -> f64 {
+        let y = self.state;
+        self.state = input;
+        y
+    }
+
+    fn reset(&mut self) {
+        self.state = 0.0;
+    }
+
+    fn label(&self) -> &str {
+        "z^-1"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{CompositeNoise, FlickerNoise, WhiteNoise};
+    use crate::spectrum::{goertzel_amplitude, rms, welch_psd};
+
+    const FS: f64 = 1e6;
+
+    fn silent() -> CompositeNoise {
+        CompositeNoise::silent(FS)
+    }
+
+    fn tone(n: usize, f: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * f * i as f64 / FS).sin())
+            .collect()
+    }
+
+    #[test]
+    fn gain_stage_with_saturation() {
+        let mut g = GainStage::new(10.0, Some(1.0));
+        assert_eq!(g.process(0.05), 0.5);
+        assert_eq!(g.process(0.5), 1.0, "clamped");
+        assert_eq!(g.process(-0.5), -1.0);
+        assert_eq!(g.gain(), 10.0);
+    }
+
+    #[test]
+    fn chopper_removes_offset() {
+        let mut amp = ChopperAmplifier::new(
+            100.0,
+            10e3,
+            FS,
+            Volts::from_millivolts(5.0),
+            silent(),
+            Volts::zero(),
+        )
+        .unwrap();
+        // with chopping, a following LPF at 1 kHz kills the modulated offset
+        let mut lpf = ButterworthLowPass::new(1e3, FS).unwrap();
+        let out: Vec<f64> = (0..200_000)
+            .map(|_| lpf.process(amp.process(0.0)))
+            .collect();
+        let settled = &out[100_000..];
+        let residual = settled.iter().sum::<f64>() / settled.len() as f64;
+        // un-chopped, the offset would appear as 100 x 5 mV = 0.5 V
+        assert!(
+            residual.abs() < 0.5e-3,
+            "chopped+filtered offset {residual} should be < 0.5 mV"
+        );
+
+        // with chopping off the full amplified offset appears
+        amp.set_chopping(false);
+        lpf.reset();
+        let out: Vec<f64> = (0..200_000)
+            .map(|_| lpf.process(amp.process(0.0)))
+            .collect();
+        let residual = out[199_999];
+        assert!(
+            (residual - 0.5).abs() < 1e-3,
+            "unchopped offset {residual} should be ~0.5 V"
+        );
+    }
+
+    #[test]
+    fn chopper_passes_baseband_signal() {
+        let mut amp = ChopperAmplifier::new(
+            100.0,
+            10e3,
+            FS,
+            Volts::from_millivolts(5.0),
+            silent(),
+            Volts::zero(),
+        )
+        .unwrap();
+        let mut lpf = ButterworthLowPass::new(2e3, FS).unwrap();
+        let input = tone(1 << 17, 200.0, 1e-5);
+        let out: Vec<f64> = input
+            .iter()
+            .map(|&x| lpf.process(amp.process(x)))
+            .collect();
+        let amp_out = goertzel_amplitude(&out[40_000..], FS, 200.0).unwrap();
+        assert!(
+            (amp_out - 1e-3).abs() / 1e-3 < 0.03,
+            "200 Hz signal through chopper: {amp_out} (want ~1e-3)"
+        );
+    }
+
+    #[test]
+    fn chopper_shifts_flicker_noise_away_from_baseband() {
+        // input-referred 1/f noise: with chopping the baseband PSD drops
+        let fs = 250e3;
+        let make = |chop: bool, seed: u64| {
+            let noise = CompositeNoise::new(
+                WhiteNoise::silent(fs),
+                FlickerNoise::new(2e-5, 0.5, 50e3, fs, seed).unwrap(),
+            );
+            let mut amp = ChopperAmplifier::new(
+                100.0,
+                25e3,
+                fs,
+                Volts::zero(),
+                noise,
+                Volts::zero(),
+            )
+            .unwrap();
+            amp.set_chopping(chop);
+            let data: Vec<f64> = (0..1 << 18).map(|_| amp.process(0.0)).collect();
+            welch_psd(&data, fs, 8192).unwrap()
+        };
+        let psd_on = make(true, 5);
+        let psd_off = make(false, 5);
+        // at 100 Hz (baseband), chopping wins by >100x in PSD
+        let on = psd_on.density_at(100.0).unwrap();
+        let off = psd_off.density_at(100.0).unwrap();
+        assert!(
+            off / on > 100.0,
+            "baseband flicker suppression only {}x",
+            off / on
+        );
+        // the noise reappears around the chop frequency
+        let at_chop = psd_on.density_at(25e3).unwrap();
+        assert!(at_chop > on * 10.0, "noise must pile up at f_chop");
+    }
+
+    #[test]
+    fn lpf_attenuates_above_corner() {
+        let mut f = LowPassFilter::new(1e3, FS).unwrap();
+        let input = tone(1 << 16, 20e3, 1.0);
+        let out: Vec<f64> = input.iter().map(|&x| f.process(x)).collect();
+        let a = goertzel_amplitude(&out[20_000..], FS, 20e3).unwrap();
+        // 20x above corner: ~ 1/20 for first order
+        assert!((a - 0.05).abs() < 0.02, "attenuation {a}");
+        // passes DC
+        f.reset();
+        let mut y = 0.0;
+        for _ in 0..100_000 {
+            y = f.process(1.0);
+        }
+        assert!((y - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hpf_blocks_dc_passes_band() {
+        let mut f = HighPassFilter::new(100.0, FS).unwrap();
+        let mut y = 1.0;
+        for _ in 0..2_000_000 {
+            y = f.process(1.0);
+        }
+        assert!(y.abs() < 1e-3, "DC must die: {y}");
+        f.reset();
+        let input = tone(1 << 16, 50e3, 1.0);
+        let out: Vec<f64> = input.iter().map(|&x| f.process(x)).collect();
+        let a = goertzel_amplitude(&out[20_000..], FS, 50e3).unwrap();
+        assert!((a - 1.0).abs() < 0.01, "passband gain {a}");
+    }
+
+    #[test]
+    fn butterworth_minus_3db_at_corner() {
+        let fc = 10e3;
+        let mut f = ButterworthLowPass::new(fc, FS).unwrap();
+        let input = tone(1 << 17, fc, 1.0);
+        let out: Vec<f64> = input.iter().map(|&x| f.process(x)).collect();
+        let a = goertzel_amplitude(&out[40_000..], FS, fc).unwrap();
+        assert!(
+            (a - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01,
+            "corner gain {a}"
+        );
+        // -40 dB/decade: at 10x corner, ~ -40 dB
+        f.reset();
+        let input = tone(1 << 17, 10.0 * fc, 1.0);
+        let out: Vec<f64> = input.iter().map(|&x| f.process(x)).collect();
+        let a = goertzel_amplitude(&out[40_000..], FS, 10.0 * fc).unwrap();
+        assert!(a < 0.012, "decade attenuation {a}");
+    }
+
+    #[test]
+    fn pga_ladder() {
+        let mut pga = ProgrammableGainAmplifier::new(vec![1.0, 2.0, 5.0, 10.0]).unwrap();
+        assert_eq!(pga.process(1.0), 1.0);
+        pga.select(3).unwrap();
+        assert_eq!(pga.process(1.0), 10.0);
+        assert_eq!(pga.setting(), 3);
+        assert!(pga.select(4).is_err());
+        pga.reset();
+        assert_eq!(pga.gain(), 1.0);
+        assert!(ProgrammableGainAmplifier::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn offset_compensation_calibration() {
+        let mut oc = OffsetCompensation::new(Volts::new(1.0), 8).unwrap();
+        let residual = oc.calibrate(Volts::from_millivolts(123.0));
+        // residual bounded by half an LSB
+        assert!(residual.value().abs() <= oc.lsb() / 2.0 + 1e-12);
+        // processing subtracts the correction
+        let out = oc.process(0.123);
+        assert!((out - residual.value()).abs() < 1e-12);
+        // saturates at full scale rather than wrapping
+        let big = oc.calibrate(Volts::new(10.0));
+        assert!(big.value() > 8.9, "clamped correction leaves most of it");
+    }
+
+    #[test]
+    fn agc_vga_converges_to_target() {
+        let mut vga = AgcVga::new(1.0, 1000.0, 1.0, 2000.0).unwrap();
+        // feed a constant-amplitude tone of 0.01: gain must go to ~100
+        let input = tone(600_000, 10e3, 0.01);
+        let mut last_peak: f64 = 0.0;
+        for (i, &x) in input.iter().enumerate() {
+            let y = vga.process(x);
+            if i > input.len() - 200 {
+                last_peak = last_peak.max(y.abs());
+            }
+        }
+        assert!(
+            (last_peak - 1.0).abs() < 0.1,
+            "AGC output peak {last_peak} should be ~1"
+        );
+        assert!((vga.gain() - 100.0).abs() / 100.0 < 0.15, "gain {}", vga.gain());
+    }
+
+    #[test]
+    fn limiter_is_linear_small_and_clamped_large() {
+        let mut lim = NonlinearLimiter::new(Volts::new(1.0), 10.0).unwrap();
+        let small = lim.process(1e-4);
+        assert!((small - 1e-3).abs() / 1e-3 < 1e-3, "linear region {small}");
+        let large = lim.process(10.0);
+        assert!(large <= 1.0 && large > 0.99, "saturated {large}");
+        assert_eq!(lim.limit(), 1.0);
+        // odd symmetry
+        assert_eq!(lim.process(-10.0), -large);
+    }
+
+    #[test]
+    fn class_ab_buffer_limits() {
+        let mut buf = ClassAbBuffer::new(
+            canti_units::Amperes::from_milliamps(2.0),
+            canti_units::Ohms::new(50.0),
+            1e6, // 1 V/us
+            FS,
+        )
+        .unwrap();
+        // compliance = 0.1 V
+        assert!((buf.v_max() - 0.1).abs() < 1e-12);
+        // slew: 1 V/us at 1 MHz = 1 V/sample, so a 0.05 step passes at once
+        let y = buf.process(0.05);
+        assert!((y - 0.05).abs() < 1e-12);
+        // but output clamps at v_max
+        let y = buf.process(5.0);
+        assert!((y - 0.1).abs() < 1e-12);
+        // slew limiting: tighten slew and watch a step ramp
+        let mut slow = ClassAbBuffer::new(
+            canti_units::Amperes::from_milliamps(2.0),
+            canti_units::Ohms::new(50.0),
+            1e4, // 0.01 V per sample
+            FS,
+        )
+        .unwrap();
+        let y1 = slow.process(0.1);
+        let y2 = slow.process(0.1);
+        assert!((y1 - 0.01).abs() < 1e-12);
+        assert!((y2 - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dda_cmrr() {
+        let mut dda =
+            DdaInstrumentationAmplifier::new(50.0, 1e5, silent(), 200e3, FS).unwrap();
+        // pure differential: gain 50 after settling
+        let mut y = 0.0;
+        for _ in 0..10_000 {
+            y = dda.process(1e-3);
+        }
+        assert!((y - 0.05).abs() / 0.05 < 1e-3);
+        // pure common mode leaks at gain/CMRR
+        dda.reset();
+        dda.set_common_mode(1.0);
+        let mut y = 0.0;
+        for _ in 0..10_000 {
+            y = dda.process(0.0);
+        }
+        assert!((y - 50.0 / 1e5).abs() / (50.0 / 1e5) < 1e-3, "cm leak {y}");
+    }
+
+    #[test]
+    fn mux_glitch_and_settling() {
+        let mut mux = AnalogMux::new(4, Volts::from_millivolts(10.0), 5.0).unwrap();
+        assert_eq!(mux.channels(), 4);
+        // no glitch before switching
+        assert_eq!(mux.process(1.0), 1.0);
+        mux.select(2).unwrap();
+        assert_eq!(mux.selected(), 2);
+        let y = mux.process(1.0);
+        assert!((y - 1.010).abs() < 1e-9, "glitch visible: {y}");
+        // decays away
+        let mut last = y;
+        for _ in 0..50 {
+            last = mux.process(1.0);
+        }
+        assert!((last - 1.0).abs() < 1e-6);
+        assert!(mux.select(4).is_err());
+        // re-selecting same channel: no new glitch
+        mux.select(2).unwrap();
+        let y = mux.process(1.0);
+        assert!((y - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_delay() {
+        let mut d = UnitDelay::new();
+        assert_eq!(d.process(1.0), 0.0);
+        assert_eq!(d.process(2.0), 1.0);
+        d.reset();
+        assert_eq!(d.process(3.0), 0.0);
+    }
+
+    #[test]
+    fn chopper_rejects_bad_parameters() {
+        assert!(ChopperAmplifier::new(0.0, 1e4, FS, Volts::zero(), silent(), Volts::zero()).is_err());
+        assert!(
+            ChopperAmplifier::new(10.0, 4e5, FS, Volts::zero(), silent(), Volts::zero()).is_err(),
+            "chop too close to nyquist"
+        );
+        assert!(LowPassFilter::new(6e5, FS).is_err());
+        assert!(HighPassFilter::new(0.0, FS).is_err());
+    }
+
+    #[test]
+    fn blocks_are_deterministic_after_reset() {
+        let noise = CompositeNoise::new(
+            WhiteNoise::new(1e-7, FS, 9).unwrap(),
+            FlickerNoise::new(1e-6, 1.0, 1e5, FS, 9).unwrap(),
+        );
+        let mut amp = ChopperAmplifier::new(
+            100.0,
+            10e3,
+            FS,
+            Volts::from_microvolts(100.0),
+            noise,
+            Volts::zero(),
+        )
+        .unwrap();
+        amp.reset();
+        let a: Vec<f64> = (0..64).map(|_| amp.process(1e-6)).collect();
+        amp.reset();
+        let b: Vec<f64> = (0..64).map(|_| amp.process(1e-6)).collect();
+        assert_eq!(a, b);
+        assert!(rms(&a) > 0.0);
+    }
+}

@@ -1,0 +1,378 @@
+//! The piezoresistive Wheatstone bridge, solved exactly.
+//!
+//! Both of the paper's systems read the cantilever through a four-element
+//! bridge. Arm numbering (bias `V_b` at the top node, ground at the
+//! bottom):
+//!
+//! ```text
+//!        Vb
+//!       /  \
+//!     R1    R3
+//!      |     |
+//!   V+ o     o V-        V_out = V+ − V−
+//!      |     |
+//!     R2    R4
+//!       \  /
+//!        gnd
+//! ```
+//!
+//! For the bridge to add constructively, *adjacent* arms must move
+//! oppositely: the pattern `[−δ, +δ, +δ, −δ]` on `[R1, R2, R3, R4]` gives
+//! exactly `V_out = V_b·δ` for small δ. The mems side supplies gauges in
+//! `[L, T, L, T]` order (longitudinal/transverse, moving oppositely under
+//! the same stress); [`WheatstoneBridge::output_from_gauges`] wires them to
+//! the right arms (R2/R3 longitudinal, R1/R4 transverse).
+//!
+//! Two implementations are modelled, matching the paper:
+//!
+//! * [`WheatstoneBridge::resistive`] — diffused p-resistors (static system),
+//! * [`WheatstoneBridge::pmos_triode`] — PMOS channels in the linear region
+//!   (resonant system): "higher resistivity and lower power consumption
+//!   compared to diffusion-type silicon resistors", bought with more
+//!   flicker noise — which the feedback loop's high-pass filters then
+//!   remove.
+
+use canti_units::{Kelvin, Ohms, Volts, Watts};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::components::{MosTriode, Resistor};
+use crate::error::ensure_positive;
+use crate::AnalogError;
+
+/// Which device implements the bridge arms.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum BridgeElement {
+    /// Diffused silicon resistor.
+    Resistive(Resistor),
+    /// PMOS transistor in the triode region.
+    PmosTriode(MosTriode),
+}
+
+/// A four-element Wheatstone bridge.
+///
+/// # Examples
+///
+/// ```
+/// use canti_analog::bridge::WheatstoneBridge;
+/// use canti_units::{Ohms, Volts};
+///
+/// let bridge = WheatstoneBridge::resistive(Ohms::from_kiloohms(10.0))?;
+/// // balanced bridge: zero output
+/// let v0 = bridge.output(Volts::new(5.0), [0.0; 4]);
+/// assert_eq!(v0.value(), 0.0);
+/// // constructive [-d, +d, +d, -d] pattern: V_out = Vb * d
+/// let v = bridge.output(Volts::new(5.0), [-1e-3, 1e-3, 1e-3, -1e-3]);
+/// assert!((v.value() - 5.0 * 1e-3).abs() < 1e-8);
+/// # Ok::<(), canti_analog::AnalogError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WheatstoneBridge {
+    element: BridgeElement,
+    nominal: Ohms,
+    /// Static per-arm fractional mismatch (fabrication), applied on top of
+    /// signal deltas.
+    mismatch: [f64; 4],
+}
+
+impl WheatstoneBridge {
+    /// A bridge of four matched diffused resistors of value `nominal`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] unless `nominal` is strictly positive.
+    pub fn resistive(nominal: Ohms) -> Result<Self, AnalogError> {
+        Ok(Self {
+            element: BridgeElement::Resistive(Resistor::p_diffusion(nominal)?),
+            nominal,
+            mismatch: [0.0; 4],
+        })
+    }
+
+    /// A bridge of four matched PMOS-triode devices. `device` sets the
+    /// geometry and bias; the nominal arm resistance is its on-resistance.
+    #[must_use]
+    pub fn pmos_triode(device: MosTriode) -> Self {
+        Self {
+            nominal: device.on_resistance(),
+            element: BridgeElement::PmosTriode(device),
+            mismatch: [0.0; 4],
+        }
+    }
+
+    /// The paper's resonant-system bridge: four long-channel 5 µm/25 µm
+    /// PMOS devices at 0.4 V overdrive — ~625 kΩ arms in a fraction of the
+    /// area a diffused resistor of that value would need.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; mirrors [`MosTriode::pmos_08um`].
+    pub fn paper_pmos() -> Result<Self, AnalogError> {
+        Ok(Self::pmos_triode(MosTriode::pmos_08um(
+            5e-6,
+            25e-6,
+            Volts::new(0.4),
+        )?))
+    }
+
+    /// The element implementing the arms.
+    #[must_use]
+    pub fn element(&self) -> &BridgeElement {
+        &self.element
+    }
+
+    /// Nominal arm resistance.
+    #[must_use]
+    pub fn nominal_resistance(&self) -> Ohms {
+        self.nominal
+    }
+
+    /// Applies random fabrication mismatch: each arm gets an independent
+    /// Gaussian fractional deviation of `sigma` (seeded, reproducible).
+    #[must_use]
+    pub fn with_random_mismatch(mut self, sigma: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for m in &mut self.mismatch {
+            // Box-Muller
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            *m = sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+        self
+    }
+
+    /// Applies explicit per-arm fractional mismatch.
+    #[must_use]
+    pub fn with_mismatch(mut self, mismatch: [f64; 4]) -> Self {
+        self.mismatch = mismatch;
+        self
+    }
+
+    /// The static mismatch in use.
+    #[must_use]
+    pub fn mismatch(&self) -> [f64; 4] {
+        self.mismatch
+    }
+
+    /// Exact bridge output for bias `vb` and per-arm fractional deltas
+    /// (signal + mismatch folded together):
+    /// `V_out = Vb·(R2/(R1+R2) − R4/(R3+R4))`.
+    #[must_use]
+    pub fn output(&self, vb: Volts, deltas: [f64; 4]) -> Volts {
+        let r = |i: usize| self.nominal.value() * (1.0 + self.mismatch[i] + deltas[i]);
+        let left = r(1) / (r(0) + r(1));
+        let right = r(3) / (r(2) + r(3));
+        Volts::new(vb.value() * (left - right))
+    }
+
+    /// The offset voltage: output with zero signal (pure mismatch).
+    #[must_use]
+    pub fn offset(&self, vb: Volts) -> Volts {
+        self.output(vb, [0.0; 4])
+    }
+
+    /// Small-signal sensitivity dV_out/dδ for the constructive
+    /// `[−δ, +δ, +δ, −δ]` excitation: equals `V_b` exactly for a balanced
+    /// bridge.
+    #[must_use]
+    pub fn sensitivity(&self, vb: Volts) -> f64 {
+        let d = 1e-9;
+        let vp = self.output(vb, [-d, d, d, -d]);
+        let vm = self.output(vb, [d, -d, -d, d]);
+        (vp.value() - vm.value()) / (2.0 * d)
+    }
+
+    /// Bridge output for gauges supplied in the mems crate's `[L, T, L, T]`
+    /// order: longitudinal gauges wired to R2/R3, transverse to R1/R4, so
+    /// that opposite-moving gauges land on adjacent arms and all four add
+    /// constructively.
+    #[must_use]
+    pub fn output_from_gauges(&self, vb: Volts, lt: [f64; 4]) -> Volts {
+        self.output(vb, [lt[1], lt[0], lt[2], lt[3]])
+    }
+
+    /// Output (Thevenin) resistance seen by the amplifier:
+    /// R1∥R2 + R3∥R4 = R for a balanced bridge of equal arms.
+    #[must_use]
+    pub fn output_resistance(&self) -> Ohms {
+        let r = self.nominal.value();
+        Ohms::new(r / 2.0 + r / 2.0)
+    }
+
+    /// Thermal noise density at the bridge output, V/√Hz.
+    #[must_use]
+    pub fn thermal_noise_density(&self, t: Kelvin) -> f64 {
+        (4.0 * canti_units::consts::thermal_energy(t) * self.output_resistance().value()).sqrt()
+    }
+
+    /// Flicker noise density at the output at 1 Hz, V/√Hz. Zero for the
+    /// resistive bridge (diffused resistors have negligible 1/f at these
+    /// bias levels); the two half-bridges of MOS devices contribute
+    /// incoherently.
+    #[must_use]
+    pub fn flicker_density_at_1hz(&self) -> f64 {
+        match &self.element {
+            BridgeElement::Resistive(_) => 0.0,
+            BridgeElement::PmosTriode(m) => {
+                // each divider contributes half of each device's noise;
+                // four devices, incoherent sum:
+                m.flicker_density_at_1hz() * (4.0f64).sqrt() / 2.0
+            }
+        }
+    }
+
+    /// Static power drawn from the bias source: two parallel dividers of
+    /// 2R each → P = V_b²/R.
+    #[must_use]
+    pub fn power(&self, vb: Volts) -> Watts {
+        Watts::new(vb.value() * vb.value() / self.nominal.value())
+    }
+
+    /// Bias voltage that would dissipate power `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] unless `p` is strictly positive.
+    pub fn bias_for_power(&self, p: Watts) -> Result<Volts, AnalogError> {
+        ensure_positive("power budget", p.value())?;
+        Ok(Volts::new((p.value() * self.nominal.value()).sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bridge() -> WheatstoneBridge {
+        WheatstoneBridge::resistive(Ohms::from_kiloohms(10.0)).unwrap()
+    }
+
+    #[test]
+    fn balanced_bridge_is_silent() {
+        let b = bridge();
+        assert_eq!(b.output(Volts::new(5.0), [0.0; 4]).value(), 0.0);
+        assert_eq!(b.offset(Volts::new(5.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn full_bridge_sensitivity_is_vb() {
+        let b = bridge();
+        for vb in [1.0, 3.3, 5.0] {
+            let s = b.sensitivity(Volts::new(vb));
+            assert!((s - vb).abs() / vb < 1e-6, "sensitivity {s} at Vb {vb}");
+        }
+    }
+
+    #[test]
+    fn single_arm_gives_quarter_sensitivity() {
+        // classic quarter-bridge: V_out ~ Vb * d / 4 for small d
+        let b = bridge();
+        let d = 1e-6;
+        let v = b.output(Volts::new(4.0), [d, 0.0, 0.0, 0.0]).value();
+        assert!((v.abs() - 4.0 * d / 4.0).abs() / (d) < 1e-3, "v = {v}");
+    }
+
+    #[test]
+    fn output_sign_flips_with_pattern() {
+        let b = bridge();
+        let plus = b.output(Volts::new(5.0), [-1e-3, 1e-3, 1e-3, -1e-3]).value();
+        let minus = b.output(Volts::new(5.0), [1e-3, -1e-3, -1e-3, 1e-3]).value();
+        assert!(plus > 0.0);
+        assert!((plus + minus).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_creates_offset() {
+        let b = bridge().with_mismatch([0.01, 0.0, 0.0, 0.0]);
+        let off = b.offset(Volts::new(5.0)).value();
+        // ~ -Vb * 0.01/4
+        assert!(off < 0.0);
+        assert!((off + 5.0 * 0.01 / 4.0).abs() < 1e-4, "offset {off}");
+        // random mismatch is reproducible per seed
+        let b1 = bridge().with_random_mismatch(0.01, 7);
+        let b2 = bridge().with_random_mismatch(0.01, 7);
+        assert_eq!(b1.mismatch(), b2.mismatch());
+        let b3 = bridge().with_random_mismatch(0.01, 8);
+        assert_ne!(b1.mismatch(), b3.mismatch());
+    }
+
+    #[test]
+    fn typical_offset_dominates_signal_before_compensation() {
+        // the reason the paper has a programmable offset compensation stage:
+        // 1% mismatch offset (mV) >> uV-scale biosignal.
+        let b = bridge().with_random_mismatch(0.01, 3);
+        let offset = b.offset(Volts::new(5.0)).value().abs();
+        let signal = b.output(Volts::new(5.0), [-1e-5, 1e-5, 1e-5, -1e-5]).value()
+            - b.offset(Volts::new(5.0)).value();
+        assert!(
+            offset > 10.0 * signal.abs(),
+            "offset {offset} vs signal {signal}"
+        );
+    }
+
+    #[test]
+    fn output_resistance_and_noise() {
+        let b = bridge();
+        assert!((b.output_resistance().value() - 10e3).abs() < 1e-9);
+        let e = b.thermal_noise_density(Kelvin::new(300.0));
+        // 10 kOhm -> 12.87 nV/rtHz
+        assert!((e - 12.87e-9).abs() / 12.87e-9 < 0.01);
+    }
+
+    #[test]
+    fn pmos_bridge_lower_power_higher_noise() {
+        // E7's claim at the unit level: equal bias, PMOS bridge burns less
+        // power (higher R) but has nonzero flicker.
+        let res = WheatstoneBridge::resistive(Ohms::from_kiloohms(10.0)).unwrap();
+        let pmos = WheatstoneBridge::paper_pmos().unwrap();
+        assert!(pmos.nominal_resistance().value() > 10.0 * res.nominal_resistance().value());
+        let vb = Volts::new(3.0);
+        assert!(pmos.power(vb).value() < res.power(vb).value() / 10.0);
+        assert_eq!(res.flicker_density_at_1hz(), 0.0);
+        assert!(pmos.flicker_density_at_1hz() > 0.0);
+        // sensitivities identical (both are ratio-metric)
+        assert!((pmos.sensitivity(vb) - res.sensitivity(vb)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_for_power_roundtrip() {
+        let b = bridge();
+        let vb = b.bias_for_power(Watts::new(1e-3)).unwrap();
+        assert!((b.power(vb).value() - 1e-3).abs() < 1e-12);
+        assert!(b.bias_for_power(Watts::zero()).is_err());
+    }
+
+    #[test]
+    fn gauge_wiring_is_constructive() {
+        // [L, T, L, T] with L = +d, T = -d must give |V| = Vb*d, not zero.
+        let b = bridge();
+        let d = 1e-4;
+        let v = b.output_from_gauges(Volts::new(5.0), [d, -d, d, -d]).value();
+        assert!((v.abs() - 5.0 * d).abs() / (5.0 * d) < 1e-6, "v = {v}");
+    }
+
+    #[test]
+    fn full_bridge_pattern_is_exactly_linear() {
+        // the symmetric [-d,+d,+d,-d] excitation keeps both divider
+        // denominators at 2R, so the exact solution is linear in d — one of
+        // the reasons full bridges are preferred.
+        let b = bridge();
+        let vb = Volts::new(5.0);
+        let small = b.output(vb, [-1e-6, 1e-6, 1e-6, -1e-6]).value() / 1e-6;
+        let large = b.output(vb, [-0.2, 0.2, 0.2, -0.2]).value() / 0.2;
+        assert!((small - large).abs() / small < 1e-9, "{small} vs {large}");
+    }
+
+    #[test]
+    fn quarter_bridge_compresses_at_large_delta() {
+        // a single active arm sees the divider nonlinearity
+        let b = bridge();
+        let vb = Volts::new(5.0);
+        let small = b.output(vb, [1e-6, 0.0, 0.0, 0.0]).value() / 1e-6;
+        let large = b.output(vb, [0.2, 0.0, 0.0, 0.0]).value() / 0.2;
+        assert!(
+            (small - large).abs() / small.abs() > 0.01,
+            "quarter bridge must compress: {small} vs {large}"
+        );
+    }
+}

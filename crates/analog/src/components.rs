@@ -1,0 +1,342 @@
+//! Passive and active device models: resistors, MOS-in-triode gauges,
+//! switches.
+//!
+//! These carry the *device-level* parameters (noise, mismatch, area, power)
+//! that differentiate the paper's two bridge implementations: diffused
+//! silicon resistors for the static system, PMOS transistors biased in the
+//! linear (triode) region for the resonant system — "the advantage of a
+//! higher resistivity and lower power consumption".
+
+use canti_units::{consts, Amperes, Kelvin, Ohms, SquareMeters, Volts};
+
+use crate::error::ensure_positive;
+use crate::AnalogError;
+
+/// A diffused/poly resistor with tolerance and temperature coefficient.
+///
+/// # Examples
+///
+/// ```
+/// use canti_analog::components::Resistor;
+/// use canti_units::{Kelvin, Ohms};
+///
+/// let r = Resistor::new(Ohms::from_kiloohms(10.0), 0.15, 1.5e-3)?;
+/// // Johnson noise of 10 kOhm at 300 K ~ 12.8 nV/sqrt(Hz):
+/// let e = r.thermal_noise_density(Kelvin::new(300.0));
+/// assert!((e - 12.8e-9).abs() / 12.8e-9 < 0.02);
+/// # Ok::<(), canti_analog::AnalogError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Resistor {
+    nominal: Ohms,
+    /// Relative fabrication tolerance (1σ), e.g. 0.15 for ±15 %.
+    tolerance: f64,
+    /// Linear temperature coefficient, 1/K.
+    tempco: f64,
+}
+
+impl Resistor {
+    /// Creates a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] unless the nominal value is strictly
+    /// positive and tolerance is non-negative.
+    pub fn new(nominal: Ohms, tolerance: f64, tempco: f64) -> Result<Self, AnalogError> {
+        ensure_positive("nominal resistance", nominal.value())?;
+        if !tolerance.is_finite() || tolerance < 0.0 {
+            return Err(AnalogError::NonPositive {
+                what: "tolerance (must be >= 0)",
+                value: tolerance,
+            });
+        }
+        if !tempco.is_finite() {
+            return Err(AnalogError::NotFinite { what: "tempco" });
+        }
+        Ok(Self {
+            nominal,
+            tolerance,
+            tempco,
+        })
+    }
+
+    /// A p-diffusion resistor in the 0.8 µm process (±15 %, +1500 ppm/K).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for positive `nominal`; mirrors [`Self::new`].
+    pub fn p_diffusion(nominal: Ohms) -> Result<Self, AnalogError> {
+        Self::new(nominal, 0.15, 1.5e-3)
+    }
+
+    /// Nominal resistance.
+    #[must_use]
+    pub fn nominal(&self) -> Ohms {
+        self.nominal
+    }
+
+    /// Relative 1σ tolerance.
+    #[must_use]
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Resistance at temperature `t` (nominal quoted at 300 K).
+    #[must_use]
+    pub fn at_temperature(&self, t: Kelvin) -> Ohms {
+        Ohms::new(self.nominal.value() * (1.0 + self.tempco * (t.value() - 300.0)))
+    }
+
+    /// Johnson thermal-noise voltage density √(4·k_B·T·R) in V/√Hz.
+    #[must_use]
+    pub fn thermal_noise_density(&self, t: Kelvin) -> f64 {
+        (4.0 * consts::thermal_energy(t) * self.nominal.value()).sqrt()
+    }
+}
+
+/// A MOS transistor biased in the triode (linear) region acting as a
+/// resistor.
+///
+/// R_on = 1/(k'·(W/L)·V_ov). Its flicker noise — the reason the chopper and
+/// high-pass filters exist — follows the standard KF model with
+/// S_v(f) = KF/(C_ox·W·L·f).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MosTriode {
+    /// Channel width, m.
+    pub width: f64,
+    /// Channel length, m.
+    pub length: f64,
+    /// Process transconductance k' = µ·C_ox, A/V².
+    pub k_prime: f64,
+    /// Gate overdrive V_GS − V_T, V.
+    pub overdrive: Volts,
+    /// Gate-oxide capacitance per area, F/m².
+    pub cox: f64,
+    /// Flicker coefficient KF, J (typical PMOS: ~10⁻²⁵).
+    pub kf: f64,
+}
+
+impl MosTriode {
+    /// A PMOS gauge in the 0.8 µm process: k' = 20 µA/V²,
+    /// C_ox = 2.1 mF/m², KF = 1.2·10⁻²⁵ J.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] on non-positive dimensions or overdrive.
+    pub fn pmos_08um(width: f64, length: f64, overdrive: Volts) -> Result<Self, AnalogError> {
+        ensure_positive("channel width", width)?;
+        ensure_positive("channel length", length)?;
+        ensure_positive("gate overdrive", overdrive.value())?;
+        Ok(Self {
+            width,
+            length,
+            k_prime: 20e-6,
+            overdrive,
+            cox: 2.1e-3,
+            kf: 1.2e-25,
+        })
+    }
+
+    /// On-resistance in the deep-triode approximation.
+    #[must_use]
+    pub fn on_resistance(&self) -> Ohms {
+        Ohms::new(1.0 / (self.k_prime * (self.width / self.length) * self.overdrive.value()))
+    }
+
+    /// Silicon area W·L.
+    #[must_use]
+    pub fn area(&self) -> SquareMeters {
+        SquareMeters::new(self.width * self.length)
+    }
+
+    /// Thermal noise of the channel resistance, V/√Hz.
+    #[must_use]
+    pub fn thermal_noise_density(&self, t: Kelvin) -> f64 {
+        (4.0 * consts::thermal_energy(t) * self.on_resistance().value()).sqrt()
+    }
+
+    /// Flicker voltage-noise density at frequency `f`, V/√Hz:
+    /// √(KF/(C_ox·W·L·f)).
+    #[must_use]
+    pub fn flicker_noise_density(&self, f: f64) -> f64 {
+        (self.kf / (self.cox * self.width * self.length * f.max(f64::MIN_POSITIVE))).sqrt()
+    }
+
+    /// Flicker density referred to 1 Hz (the constant the
+    /// [`crate::noise::FlickerNoise`] generator wants).
+    #[must_use]
+    pub fn flicker_density_at_1hz(&self) -> f64 {
+        self.flicker_noise_density(1.0)
+    }
+}
+
+/// A MOS switch (transmission gate) for the analog multiplexer.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Switch {
+    /// On-resistance.
+    pub r_on: Ohms,
+    /// Charge injected into the signal path on switching, C.
+    pub charge_injection: f64,
+    /// Load capacitance seen at the output node, F.
+    pub load_capacitance: f64,
+}
+
+impl Switch {
+    /// A minimum-size transmission gate in the 0.8 µm process.
+    #[must_use]
+    pub fn transmission_gate_08um() -> Self {
+        Self {
+            r_on: Ohms::from_kiloohms(2.0),
+            charge_injection: 30e-15,
+            load_capacitance: 2e-12,
+        }
+    }
+
+    /// Voltage glitch caused by channel-charge injection into the load:
+    /// ΔV = Q_inj/C_load.
+    #[must_use]
+    pub fn injection_glitch(&self) -> Volts {
+        Volts::new(self.charge_injection / self.load_capacitance)
+    }
+
+    /// Settling time constant τ = R_on·C_load.
+    #[must_use]
+    pub fn settling_tau(&self) -> f64 {
+        self.r_on.value() * self.load_capacitance
+    }
+
+    /// Time to settle within `epsilon` relative error.
+    #[must_use]
+    pub fn settling_time(&self, epsilon: f64) -> f64 {
+        self.settling_tau() * (1.0 / epsilon.max(f64::MIN_POSITIVE)).ln()
+    }
+}
+
+/// A simple current source/sink with finite output resistance.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CurrentSource {
+    /// Programmed current.
+    pub current: Amperes,
+    /// Output (Norton) resistance.
+    pub output_resistance: Ohms,
+}
+
+impl CurrentSource {
+    /// Creates a current source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError`] unless the output resistance is strictly
+    /// positive.
+    pub fn new(current: Amperes, output_resistance: Ohms) -> Result<Self, AnalogError> {
+        ensure_positive("output resistance", output_resistance.value())?;
+        Ok(Self {
+            current,
+            output_resistance,
+        })
+    }
+
+    /// Delivered current into a load at voltage `v` (finite output
+    /// resistance bleeds current).
+    #[must_use]
+    pub fn current_into(&self, v: Volts) -> Amperes {
+        Amperes::new(self.current.value() - v.value() / self.output_resistance.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistor_thermal_noise_reference() {
+        // 1 kOhm at 300 K: 4.07 nV/sqrt(Hz)
+        let r = Resistor::p_diffusion(Ohms::from_kiloohms(1.0)).unwrap();
+        let e = r.thermal_noise_density(Kelvin::new(300.0));
+        assert!((e - 4.07e-9).abs() / 4.07e-9 < 0.01, "e = {e}");
+        // scales as sqrt(R)
+        let r4 = Resistor::p_diffusion(Ohms::from_kiloohms(4.0)).unwrap();
+        let e4 = r4.thermal_noise_density(Kelvin::new(300.0));
+        assert!((e4 / e - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resistor_tempco() {
+        let r = Resistor::p_diffusion(Ohms::from_kiloohms(10.0)).unwrap();
+        let hot = r.at_temperature(Kelvin::new(400.0)).value();
+        // +100 K x 1.5e-3 = +15%
+        assert!((hot / 10e3 - 1.15).abs() < 1e-9);
+        assert_eq!(r.at_temperature(Kelvin::new(300.0)).value(), 10e3);
+    }
+
+    #[test]
+    fn resistor_validation() {
+        assert!(Resistor::new(Ohms::zero(), 0.1, 0.0).is_err());
+        assert!(Resistor::new(Ohms::new(100.0), -0.1, 0.0).is_err());
+        assert!(Resistor::new(Ohms::new(100.0), 0.1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn mos_triode_resistance_formula() {
+        // R = 1/(20e-6 * (10/2) * 1) = 10 kOhm
+        let m = MosTriode::pmos_08um(10e-6, 2e-6, Volts::new(1.0)).unwrap();
+        assert!((m.on_resistance().value() - 10e3).abs() < 1e-6);
+        // halving overdrive doubles R
+        let m2 = MosTriode::pmos_08um(10e-6, 2e-6, Volts::new(0.5)).unwrap();
+        assert!((m2.on_resistance().value() - 20e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mos_flicker_exceeds_thermal_at_low_frequency() {
+        // the raison d'etre of the chopper: at 1 Hz flicker >> thermal
+        let m = MosTriode::pmos_08um(20e-6, 4e-6, Volts::new(0.5)).unwrap();
+        let flicker_1hz = m.flicker_noise_density(1.0);
+        let thermal = m.thermal_noise_density(Kelvin::new(300.0));
+        assert!(
+            flicker_1hz > 10.0 * thermal,
+            "flicker {flicker_1hz} vs thermal {thermal}"
+        );
+        // but falls below it at high frequency
+        let corner = (flicker_1hz / thermal).powi(2);
+        let flicker_hi = m.flicker_noise_density(corner * 100.0);
+        assert!(flicker_hi < thermal);
+    }
+
+    #[test]
+    fn mos_flicker_scales_inverse_sqrt_area() {
+        let small = MosTriode::pmos_08um(5e-6, 2e-6, Volts::new(0.5)).unwrap();
+        let big = MosTriode::pmos_08um(20e-6, 8e-6, Volts::new(0.5)).unwrap();
+        // 16x area -> 4x lower flicker density
+        let ratio = small.flicker_density_at_1hz() / big.flicker_density_at_1hz();
+        assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn mos_beats_resistor_on_resistance_per_area() {
+        // the paper's point: a small PMOS achieves a large R.
+        let m = MosTriode::pmos_08um(4e-6, 8e-6, Volts::new(0.3)).unwrap();
+        let r = m.on_resistance();
+        assert!(r.value() > 100e3, "R_on {}", r.value());
+        // and in only 32 um^2 of silicon
+        assert!(m.area().value() < 50e-12);
+    }
+
+    #[test]
+    fn switch_artifacts() {
+        let s = Switch::transmission_gate_08um();
+        // 30 fC into 2 pF = 15 mV glitch
+        assert!((s.injection_glitch().as_millivolts() - 15.0).abs() < 1e-9);
+        // tau = 2k x 2pF = 4 ns
+        assert!((s.settling_tau() - 4e-9).abs() < 1e-15);
+        let t = s.settling_time(1e-4);
+        assert!((t / s.settling_tau() - (1e4f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_droop() {
+        let cs = CurrentSource::new(Amperes::from_microamps(100.0), Ohms::from_megaohms(1.0)).unwrap();
+        let i = cs.current_into(Volts::new(1.0));
+        assert!((i.value() - (100e-6 - 1e-6)).abs() < 1e-12);
+        assert!(CurrentSource::new(Amperes::zero(), Ohms::zero()).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+use std::fmt;
+
+/// Error raised by `canti-analog` on invalid circuit parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalogError {
+    /// A quantity that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A value that must be finite was NaN or infinite.
+    NotFinite {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+    },
+    /// A frequency at or above the Nyquist limit of the sample rate.
+    AboveNyquist {
+        /// The rejected frequency, Hz.
+        frequency: f64,
+        /// The sample rate, Hz.
+        sample_rate: f64,
+    },
+    /// An index outside a block's valid range (mux channel, PGA setting…).
+    IndexOutOfRange {
+        /// Human-readable name of the indexed thing.
+        what: &'static str,
+        /// The rejected index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+    /// A buffer whose length must be a power of two (FFT input) was not.
+    NotPowerOfTwo {
+        /// The rejected length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            Self::NotFinite { what } => write!(f, "{what} must be finite"),
+            Self::AboveNyquist {
+                frequency,
+                sample_rate,
+            } => write!(
+                f,
+                "frequency {frequency} Hz at or above Nyquist for sample rate {sample_rate} Hz"
+            ),
+            Self::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+            Self::NotPowerOfTwo { len } => {
+                write!(f, "buffer length {len} is not a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalogError {}
+
+pub(crate) fn ensure_positive(what: &'static str, value: f64) -> Result<(), AnalogError> {
+    if !value.is_finite() {
+        return Err(AnalogError::NotFinite { what });
+    }
+    if value <= 0.0 {
+        return Err(AnalogError::NonPositive { what, value });
+    }
+    Ok(())
+}
+
+pub(crate) fn ensure_below_nyquist(frequency: f64, sample_rate: f64) -> Result<(), AnalogError> {
+    if frequency >= sample_rate / 2.0 {
+        return Err(AnalogError::AboveNyquist {
+            frequency,
+            sample_rate,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<AnalogError>();
+    }
+
+    #[test]
+    fn messages() {
+        assert_eq!(
+            AnalogError::NotPowerOfTwo { len: 3 }.to_string(),
+            "buffer length 3 is not a power of two"
+        );
+        assert!(ensure_below_nyquist(0.6e6, 1e6).is_err());
+        assert!(ensure_below_nyquist(0.4e6, 1e6).is_ok());
+        assert!(ensure_positive("x", 0.0).is_err());
+    }
+}

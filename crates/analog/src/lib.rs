@@ -1,0 +1,55 @@
+//! # canti-analog — behavioural analog circuit simulation
+//!
+//! The readout-electronics half of the cantilever biosensor. The paper's
+//! central claim is architectural: *monolithic integration of the readout
+//! circuitry next to the transducer gives high SNR, low sensitivity to
+//! external interference, and autonomous operation*. Verifying that claim
+//! computationally needs a behavioural circuit simulator with honest noise:
+//!
+//! * [`noise`] — seeded white and 1/f (flicker) noise generators with
+//!   calibrated spectral densities,
+//! * [`spectrum`] — FFT, Welch PSD estimation and Goertzel single-bin
+//!   amplitude extraction, used both by measurements and by tests that
+//!   verify the noise generators,
+//! * [`components`] — resistors, MOS-in-triode devices and switches with
+//!   their noise/mismatch parameters,
+//! * [`bridge`] — the piezoresistive Wheatstone bridge (resistive and
+//!   PMOS-triode variants) solved exactly,
+//! * [`blocks`] — sampled-data circuit blocks: chopper-stabilized
+//!   amplifier, filters, PGA, offset-compensation DAC, variable-gain
+//!   amplifier with AGC, non-linear limiter, class-AB buffer, DDA
+//!   instrumentation amplifier, analog multiplexer,
+//! * [`chain`] — block-diagram execution with probes and SNR measurement,
+//! * [`interference`] — external-pickup modelling for the
+//!   monolithic-vs-discrete comparison.
+//!
+//! All stochastic elements take explicit seeds; simulations are
+//! deterministic and reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use canti_analog::noise::WhiteNoise;
+//!
+//! // 10 nV/sqrt(Hz) amplifier noise sampled at 1 MHz:
+//! let mut n = WhiteNoise::new(10e-9, 1e6, 42)?;
+//! let x = n.sample();
+//! assert!(x.is_finite());
+//! # Ok::<(), canti_analog::AnalogError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adc;
+pub mod blocks;
+pub mod bridge;
+pub mod chain;
+pub mod components;
+pub mod interference;
+pub mod noise;
+pub mod spectrum;
+
+mod error;
+
+pub use error::AnalogError;

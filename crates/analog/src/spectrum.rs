@@ -1,0 +1,339 @@
+//! Spectral analysis: radix-2 FFT, Welch PSD estimation, and Goertzel
+//! single-bin amplitude extraction.
+//!
+//! Used in two roles: (a) *measurement* inside the simulated instrument
+//! (SNR at the signal frequency, oscillation frequency estimation) and
+//! (b) *verification* of the noise generators in tests.
+
+use crate::error::ensure_positive;
+use crate::AnalogError;
+
+/// In-place radix-2 decimation-in-time FFT of interleaved complex data.
+///
+/// `re`/`im` must have equal power-of-two length.
+///
+/// # Errors
+///
+/// Returns [`AnalogError::NotPowerOfTwo`] for a non-power-of-two length.
+pub fn fft_radix2(re: &mut [f64], im: &mut [f64]) -> Result<(), AnalogError> {
+    let n = re.len();
+    if n != im.len() || !n.is_power_of_two() || n < 2 {
+        return Err(AnalogError::NotPowerOfTwo { len: n });
+    }
+
+    // bit-reversal permutation
+    let mut j = 0usize;
+    for i in 0..n - 1 {
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+
+    // butterflies
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr0, wi0) = (ang.cos(), ang.sin());
+        let half = len / 2;
+        let mut base = 0;
+        while base < n {
+            let (mut wr, mut wi) = (1.0f64, 0.0f64);
+            for k in 0..half {
+                let a = base + k;
+                let b = a + half;
+                let tr = wr * re[b] - wi * im[b];
+                let ti = wr * im[b] + wi * re[b];
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let nwr = wr * wr0 - wi * wi0;
+                wi = wr * wi0 + wi * wr0;
+                wr = nwr;
+            }
+            base += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// A one-sided power spectral density estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSpectrum {
+    /// Bin frequencies, Hz (DC through Nyquist).
+    pub frequencies: Vec<f64>,
+    /// One-sided PSD values, unit²/Hz.
+    pub densities: Vec<f64>,
+    /// Frequency resolution (bin spacing), Hz.
+    pub resolution: f64,
+}
+
+impl PowerSpectrum {
+    /// PSD value at the bin nearest to `f`, or `None` outside the range.
+    #[must_use]
+    pub fn density_at(&self, f: f64) -> Option<f64> {
+        if self.frequencies.is_empty() || f < 0.0 || f > *self.frequencies.last()? {
+            return None;
+        }
+        let idx = (f / self.resolution).round() as usize;
+        self.densities.get(idx).copied()
+    }
+
+    /// Total power by integrating the PSD (should match the signal
+    /// variance, by Parseval).
+    #[must_use]
+    pub fn total_power(&self) -> f64 {
+        self.densities.iter().sum::<f64>() * self.resolution
+    }
+
+    /// Frequency of the highest-density bin, excluding DC.
+    #[must_use]
+    pub fn peak_frequency(&self) -> Option<f64> {
+        let (idx, _) = self
+            .densities
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite PSD"))?;
+        Some(self.frequencies[idx])
+    }
+}
+
+/// Welch PSD estimate with a Hann window and 50 % overlap.
+///
+/// `segment` must be a power of two no larger than `data.len()`.
+///
+/// # Errors
+///
+/// Returns [`AnalogError`] for an invalid sample rate, a non-power-of-two
+/// segment, or data shorter than one segment.
+pub fn welch_psd(data: &[f64], sample_rate: f64, segment: usize) -> Result<PowerSpectrum, AnalogError> {
+    ensure_positive("sample rate", sample_rate)?;
+    if !segment.is_power_of_two() || segment < 2 {
+        return Err(AnalogError::NotPowerOfTwo { len: segment });
+    }
+    if data.len() < segment {
+        return Err(AnalogError::IndexOutOfRange {
+            what: "welch segment",
+            index: segment,
+            len: data.len(),
+        });
+    }
+
+    let hop = segment / 2;
+    let window: Vec<f64> = (0..segment)
+        .map(|i| {
+            let x = std::f64::consts::PI * i as f64 / segment as f64;
+            x.sin().powi(2) // Hann
+        })
+        .collect();
+    let window_power: f64 = window.iter().map(|w| w * w).sum::<f64>() / segment as f64;
+
+    let bins = segment / 2 + 1;
+    let mut acc = vec![0.0f64; bins];
+    let mut count = 0usize;
+    let mut start = 0usize;
+    let mut re = vec![0.0f64; segment];
+    let mut im = vec![0.0f64; segment];
+    while start + segment <= data.len() {
+        for i in 0..segment {
+            re[i] = data[start + i] * window[i];
+            im[i] = 0.0;
+        }
+        fft_radix2(&mut re, &mut im)?;
+        for (k, slot) in acc.iter_mut().enumerate() {
+            let p = re[k] * re[k] + im[k] * im[k];
+            *slot += p;
+        }
+        count += 1;
+        start += hop;
+    }
+
+    let norm = 1.0 / (count as f64 * window_power * segment as f64 * sample_rate);
+    let resolution = sample_rate / segment as f64;
+    let mut densities: Vec<f64> = acc.iter().map(|p| p * norm).collect();
+    // one-sided: double everything except DC and Nyquist
+    for d in densities.iter_mut().take(bins - 1).skip(1) {
+        *d *= 2.0;
+    }
+    let frequencies: Vec<f64> = (0..bins).map(|k| k as f64 * resolution).collect();
+    Ok(PowerSpectrum {
+        frequencies,
+        densities,
+        resolution,
+    })
+}
+
+/// Goertzel amplitude of the sinusoidal component at `f` in `data`.
+///
+/// Returns the *amplitude* (peak, not RMS) of the component. Accurate when
+/// `f` is not too close to DC/Nyquist and the record holds several cycles.
+///
+/// # Errors
+///
+/// Returns [`AnalogError`] for a frequency at/above Nyquist or empty data.
+pub fn goertzel_amplitude(data: &[f64], sample_rate: f64, f: f64) -> Result<f64, AnalogError> {
+    ensure_positive("sample rate", sample_rate)?;
+    ensure_positive("goertzel frequency", f)?;
+    crate::error::ensure_below_nyquist(f, sample_rate)?;
+    if data.is_empty() {
+        return Err(AnalogError::IndexOutOfRange {
+            what: "goertzel data",
+            index: 0,
+            len: 0,
+        });
+    }
+    let w = 2.0 * std::f64::consts::PI * f / sample_rate;
+    let coeff = 2.0 * w.cos();
+    let (mut s1, mut s2) = (0.0f64, 0.0f64);
+    for &x in data {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    let power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+    Ok(2.0 * power.max(0.0).sqrt() / data.len() as f64)
+}
+
+/// Signal-to-noise ratio of `data`: the power of the component at `f`
+/// against everything else, in dB. The measurement every SNR claim in this
+/// suite reduces to.
+///
+/// For SNRs above ~40 dB the tone should be *bin-centered* (an integer
+/// number of cycles in the record): the Goertzel estimate's spectral
+/// leakage otherwise biases the tiny noise residual.
+///
+/// # Errors
+///
+/// Propagates [`AnalogError`] from the Goertzel evaluation.
+pub fn snr_db(data: &[f64], sample_rate: f64, f: f64) -> Result<f64, AnalogError> {
+    let amp = goertzel_amplitude(data, sample_rate, f)?;
+    let signal_power = amp * amp / 2.0;
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    let total_power = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
+    let noise_power = (total_power - signal_power).max(f64::MIN_POSITIVE);
+    Ok(10.0 * (signal_power / noise_power).log10())
+}
+
+/// RMS of a record after mean removal.
+#[must_use]
+pub fn rms(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    (data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, fs: f64, f: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_bin() {
+        let n = 1024;
+        let fs = 1024.0;
+        let mut re = tone(n, fs, 128.0, 1.0);
+        let mut im = vec![0.0; n];
+        fft_radix2(&mut re, &mut im).unwrap();
+        // bin 128 should hold |X| = N/2
+        let mag = (re[128] * re[128] + im[128] * im[128]).sqrt();
+        assert!((mag - 512.0).abs() < 1e-6, "mag {mag}");
+        // other bins ~ 0
+        let other = (re[300] * re[300] + im[300] * im[300]).sqrt();
+        assert!(other < 1e-6);
+    }
+
+    #[test]
+    fn fft_rejects_bad_lengths() {
+        let mut a = vec![0.0; 3];
+        let mut b = vec![0.0; 3];
+        assert!(fft_radix2(&mut a, &mut b).is_err());
+    }
+
+    #[test]
+    fn fft_parseval() {
+        // energy preserved: sum|x|^2 = (1/N) sum|X|^2
+        let n = 256;
+        let mut re: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64 - 6.0).collect();
+        let time_energy: f64 = re.iter().map(|x| x * x).sum();
+        let mut im = vec![0.0; n];
+        fft_radix2(&mut re, &mut im).unwrap();
+        let freq_energy: f64 =
+            re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn welch_total_power_matches_variance() {
+        let n = 1 << 15;
+        let fs = 1e5;
+        let data = tone(n, fs, 5e3, 2.0);
+        let psd = welch_psd(&data, fs, 2048).unwrap();
+        // variance of a 2.0-amplitude sine is 2.0
+        assert!(
+            (psd.total_power() - 2.0).abs() / 2.0 < 0.05,
+            "power {}",
+            psd.total_power()
+        );
+        assert!((psd.peak_frequency().unwrap() - 5e3).abs() < psd.resolution * 1.5);
+    }
+
+    #[test]
+    fn goertzel_recovers_amplitude() {
+        let fs = 1e6;
+        let data = tone(65536, fs, 85e3, 3.3e-3);
+        let amp = goertzel_amplitude(&data, fs, 85e3).unwrap();
+        assert!((amp - 3.3e-3).abs() / 3.3e-3 < 1e-3, "amp {amp}");
+        // and reads ~0 off-frequency
+        let off = goertzel_amplitude(&data, fs, 180e3).unwrap();
+        assert!(off < 3.3e-6);
+    }
+
+    #[test]
+    fn snr_of_clean_tone_is_high_and_of_noisy_tone_is_finite() {
+        let fs = 1e5;
+        let clean = tone(1 << 14, fs, 1e3, 1.0);
+        assert!(snr_db(&clean, fs, 1e3).unwrap() > 60.0);
+
+        // add deterministic pseudo-noise
+        let noisy: Vec<f64> = clean
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + 0.1 * (((i * 2654435761) % 1000) as f64 / 500.0 - 1.0))
+            .collect();
+        let snr = snr_db(&noisy, fs, 1e3).unwrap();
+        assert!(snr > 10.0 && snr < 40.0, "snr {snr}");
+    }
+
+    #[test]
+    fn rms_of_known_signals() {
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(rms(&[5.0, 5.0, 5.0]), 0.0, "mean removed");
+        let s = tone(100_000, 1e5, 1e3, 1.0);
+        assert!((rms(&s) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn density_at_bounds() {
+        let data = tone(4096, 1e4, 1e3, 1.0);
+        let psd = welch_psd(&data, 1e4, 1024).unwrap();
+        assert!(psd.density_at(-1.0).is_none());
+        assert!(psd.density_at(6e3).is_none());
+        assert!(psd.density_at(1e3).is_some());
+    }
+}

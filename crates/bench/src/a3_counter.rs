@@ -1,0 +1,96 @@
+//! A3 — ablation: counter architecture (direct gated vs reciprocal).
+//!
+//! The paper's readout block "mainly consists of a digital counter". For a
+//! tens-of-kilohertz cantilever against an on-chip megahertz reference,
+//! the choice between direct (gated) counting and reciprocal (period)
+//! counting is worth three orders of magnitude in resolution at equal
+//! measurement time — this experiment measures it.
+
+use canti_digital::counter::{GatedCounter, ReciprocalCounter};
+use canti_units::{Hertz, Seconds};
+
+use crate::report::{fmt, ExperimentReport};
+
+/// Measurement times swept, seconds.
+pub const MEASUREMENT_TIMES: [f64; 3] = [0.01, 0.1, 1.0];
+
+/// The synthetic "cantilever" frequency used for the comparison.
+pub const SIGNAL_HZ: f64 = 84_321.7;
+
+/// Runs the A3 experiment.
+///
+/// # Panics
+///
+/// Panics if a measurement fails — covered by tests.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let fs = 2e6;
+    let total = *MEASUREMENT_TIMES.last().expect("nonempty") * 1.1;
+    let wave: Vec<f64> = (0..(total * fs) as usize)
+        .map(|i| (2.0 * std::f64::consts::PI * SIGNAL_HZ * i as f64 / fs).sin())
+        .collect();
+
+    let mut report = ExperimentReport::new(
+        "A3",
+        "counter architecture: gated vs reciprocal at equal measurement time",
+        &[
+            "T_meas [s]",
+            "gated err [Hz]",
+            "gated bound [Hz]",
+            "recip err [Hz]",
+            "recip bound [Hz]",
+        ],
+    );
+
+    for &t_meas in &MEASUREMENT_TIMES {
+        let gated = GatedCounter::new(Seconds::new(t_meas)).expect("counter");
+        let f_gated = gated.measure(&wave, fs).expect("measure").value();
+        // reciprocal: average as many whole periods as fit the window
+        let periods = (SIGNAL_HZ * t_meas).floor() as usize;
+        let recip =
+            ReciprocalCounter::new(Hertz::from_megahertz(10.0), periods).expect("counter");
+        let f_recip = recip.measure(&wave, fs).expect("measure").value();
+        let recip_bound = recip.relative_quantization(Hertz::new(SIGNAL_HZ)) * SIGNAL_HZ;
+        report.push_row(vec![
+            fmt(t_meas),
+            fmt((f_gated - SIGNAL_HZ).abs()),
+            fmt(gated.quantization().value()),
+            fmt((f_recip - SIGNAL_HZ).abs()),
+            fmt(recip_bound),
+        ]);
+    }
+
+    report.note(format!(
+        "signal: {SIGNAL_HZ} Hz against a 10 MHz reference; both counters stay inside \
+         their quantization bounds"
+    ));
+    report.note(
+        "ablation verdict: at every measurement time the reciprocal counter wins by \
+         ~f_ref/f_signal (~2 orders of magnitude here) — for kilohertz cantilevers the \
+         on-chip counter should be a reciprocal one",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reciprocal_beats_gated_at_every_time() {
+        let report = run();
+        assert_eq!(report.rows.len(), MEASUREMENT_TIMES.len());
+        for row in &report.rows {
+            let gated_err: f64 = row[1].parse().expect("number");
+            let gated_bound: f64 = row[2].parse().expect("number");
+            let recip_err: f64 = row[3].parse().expect("number");
+            let recip_bound: f64 = row[4].parse().expect("number");
+            assert!(gated_err <= gated_bound + 1e-9, "{row:?}");
+            assert!(recip_err <= recip_bound + 1e-6, "{row:?}");
+            assert!(
+                recip_bound < gated_bound / 10.0,
+                "reciprocal must be >=10x tighter: {row:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! A5 — extension: selectivity in real samples — cross-reactivity and
+//! fouling.
+//!
+//! Serum brings ~mM of background protein. Two failure channels:
+//!
+//! 1. **non-specific fouling** — background sticks to *both* cantilevers:
+//!    common-mode, removed by the reference channel;
+//! 2. **cross-reactivity** — background binds the *receptor sites*
+//!    themselves (competitively): differential with a bare reference
+//!    cannot remove this; only receptor chemistry (affinity contrast) can.
+//!
+//! This experiment quantifies both against a 1 nM target in serum-like
+//! background.
+
+use canti_bio::kinetics::{CompetitiveKinetics, CompetitiveState};
+use canti_bio::nonspecific::FoulingModel;
+use canti_bio::receptor::{BindingConstants, ReceptorLayer};
+use canti_units::{Molar, Seconds};
+
+use crate::report::{fmt, ExperimentReport};
+
+/// Interferent concentrations swept, micromolar.
+pub const INTERFERENT_UM: [f64; 4] = [0.0, 1.0, 10.0, 100.0];
+
+/// Runs the A5 experiment.
+///
+/// # Panics
+///
+/// Panics on substrate failures — covered by tests.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let receptor = ReceptorLayer::anti_igg();
+    let target = receptor.binding();
+    // weak cross-reactive binder: 1000x poorer affinity
+    let interferent = BindingConstants::new(1e3, 1e-2).expect("constants");
+    let competitive = CompetitiveKinetics::new(target, interferent);
+    let fouling = FoulingModel::serum_background().expect("model");
+
+    let c_target = Molar::from_nanomolar(1.0);
+    let exposure = Seconds::new(600.0);
+    let clean_theta = competitive.equilibrium(c_target, Molar::zero()).target;
+
+    let mut report = ExperimentReport::new(
+        "A5",
+        "selectivity: cross-reactivity and fouling vs interferent level (1 nM target)",
+        &[
+            "interferent [uM]",
+            "target coverage",
+            "specific err [%]",
+            "fouling stress [mN/m]",
+            "after referencing [mN/m]",
+        ],
+    );
+
+    for &c_um in &INTERFERENT_UM {
+        let c_int = Molar::from_micromolar(c_um);
+        // cross-reactivity: equilibrium competitive coverage
+        let eq: CompetitiveState = competitive.equilibrium(c_target, c_int);
+        let specific_err = (eq.target - clean_theta) / clean_theta * 100.0;
+        // fouling: common to both channels; reference subtracts it but for
+        // a small mismatch (beams differ by ~2 % in fouling response)
+        let fouled = fouling.coverage_at(c_int, exposure);
+        let sigma_fouling = fouling.surface_stress(fouled);
+        let after_ref = sigma_fouling * 0.02;
+        report.push_row(vec![
+            fmt(c_um),
+            fmt(eq.target),
+            fmt(specific_err),
+            fmt(sigma_fouling.as_millinewtons_per_meter()),
+            fmt(after_ref.as_millinewtons_per_meter()),
+        ]);
+    }
+
+    report.note(
+        "fouling is common-mode: the reference cantilever removes ~98 % of it. \
+         Cross-reactivity is not: at 100 uM of a 1000x-weaker binder the specific signal \
+         drops measurably, and no amount of referencing fixes it — selectivity must come \
+         from receptor affinity contrast",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fouling_referenced_away_cross_reactivity_not() {
+        let report = run();
+        assert_eq!(report.rows.len(), INTERFERENT_UM.len());
+        let last = report.rows.last().expect("rows");
+        // heavy interferent suppresses the specific signal measurably
+        let err: f64 = last[2].parse().expect("number");
+        assert!(err < -1.0, "cross-reactivity must bite: {err}%");
+        // fouling before/after referencing: 50x reduction
+        let fouling: f64 = last[3].parse().expect("number");
+        let after: f64 = last[4].parse().expect("number");
+        assert!(fouling > 0.0);
+        assert!((fouling / after - 50.0).abs() < 1.0);
+        // zero interferent row: no error, no fouling
+        let first = &report.rows[0];
+        assert_eq!(first[2].parse::<f64>().expect("number"), 0.0);
+        assert_eq!(first[3].parse::<f64>().expect("number"), 0.0);
+    }
+}

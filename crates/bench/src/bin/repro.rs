@@ -1,0 +1,76 @@
+//! Figure-reproduction driver: regenerates every table/figure experiment
+//! from DESIGN.md's index and writes CSV artefacts under `target/repro/`.
+//!
+//! ```text
+//! cargo run --release -p canti-bench --bin repro            # everything
+//! cargo run --release -p canti-bench --bin repro fig2 e7    # a subset
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use canti_bench::report::ExperimentReport;
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/repro");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+fn emit(report: &ExperimentReport) {
+    println!("{}", report.render());
+    let dir = out_dir();
+    let csv_path = dir.join(format!("{}.csv", report.id.to_lowercase()));
+    match fs::write(&csv_path, report.to_csv()) {
+        Ok(()) => println!("  -> {}", csv_path.display()),
+        Err(e) => eprintln!("  !! could not write {}: {e}", csv_path.display()),
+    }
+    let json_path = dir.join(format!("{}.json", report.id.to_lowercase()));
+    match serde_json::to_string_pretty(report) {
+        Ok(json) => match fs::write(&json_path, json) {
+            Ok(()) => println!("  -> {}\n", json_path.display()),
+            Err(e) => eprintln!("  !! could not write {}: {e}\n", json_path.display()),
+        },
+        Err(e) => eprintln!("  !! could not serialize {}: {e}\n", report.id),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+
+    type Runner = fn() -> ExperimentReport;
+    let menu: Vec<(&str, Runner)> = vec![
+        ("f1", canti_bench::fig1::run),
+        ("f2", canti_bench::fig2::run),
+        ("f3", canti_bench::fig3::run),
+        ("f4", canti_bench::fig4::run),
+        ("f5", canti_bench::fig5::run),
+        ("e6", canti_bench::e6_interference::run),
+        ("e7", canti_bench::e7_bridge::run),
+        ("e8", canti_bench::e8_fab::run),
+        ("e9", canti_bench::e9_lod::run),
+        ("a1", canti_bench::a1_thermal_drift::run),
+        ("a2", canti_bench::a2_phase_lead::run),
+        ("a3", canti_bench::a3_counter::run),
+        ("a4", canti_bench::a4_dose_response::run),
+        ("a5", canti_bench::a5_cross_reactivity::run),
+        ("a6", canti_bench::a6_higher_modes::run),
+    ];
+
+    // accept "f1", "fig1", "e7" etc.
+    let normalize = |a: &str| a.replacen("fig", "f", 1);
+    let wanted = |key: &str| all || args.iter().any(|a| normalize(a) == key);
+
+    let mut ran = 0;
+    for (key, runner) in menu {
+        if wanted(key) {
+            emit(&runner());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {args:?}; known: f1..f5, e6..e9, a1..a6, all");
+        std::process::exit(2);
+    }
+}

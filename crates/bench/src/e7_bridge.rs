@@ -1,0 +1,100 @@
+//! E7 — claim: the PMOS-in-triode bridge has "higher resistivity and lower
+//! power consumption compared to diffusion-type silicon resistors".
+//!
+//! Compares the two bridge implementations at equal bias: arm resistance,
+//! power draw, thermal and flicker noise, and estimated silicon area.
+
+use canti_analog::bridge::{BridgeElement, WheatstoneBridge};
+use canti_units::{Kelvin, Ohms, Volts};
+
+use crate::report::{fmt, ExperimentReport};
+
+/// Approximate silicon area of a diffused resistor of value `r` at
+/// 2 kΩ/sq sheet resistance and 4 µm track width, m².
+fn diffused_resistor_area(r: Ohms) -> f64 {
+    let squares = r.value() / 2_000.0;
+    let width = 4e-6;
+    squares * width * width
+}
+
+/// Runs the E7 experiment.
+///
+/// # Panics
+///
+/// Panics on construction failure — covered by tests.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let vb = Volts::new(2.5);
+    let t = Kelvin::new(300.0);
+    let resistive = WheatstoneBridge::resistive(Ohms::from_kiloohms(10.0)).expect("bridge");
+    let pmos = WheatstoneBridge::paper_pmos().expect("bridge");
+
+    let mut report = ExperimentReport::new(
+        "E7",
+        "bridge implementation comparison at Vb = 2.5 V",
+        &[
+            "bridge",
+            "R_arm [kOhm]",
+            "power [uW]",
+            "thermal [nV/rtHz]",
+            "flicker@1Hz [uV/rtHz]",
+            "area/arm [um^2]",
+        ],
+    );
+
+    // hypothetical diffused bridge at the PMOS's resistance, to make the
+    // area comparison honest (resistance-per-area is the claim)
+    let resistive_highr =
+        WheatstoneBridge::resistive(pmos.nominal_resistance()).expect("bridge");
+    for (name, bridge) in [
+        ("diffused 10 kOhm", &resistive),
+        ("diffused @ R_pmos", &resistive_highr),
+        ("PMOS triode", &pmos),
+    ] {
+        let area = match bridge.element() {
+            BridgeElement::Resistive(r) => diffused_resistor_area(r.nominal()),
+            BridgeElement::PmosTriode(m) => m.area().value(),
+        };
+        report.push_row(vec![
+            name.to_owned(),
+            fmt(bridge.nominal_resistance().value() / 1e3),
+            fmt(bridge.power(vb).value() * 1e6),
+            fmt(bridge.thermal_noise_density(t) * 1e9),
+            fmt(bridge.flicker_density_at_1hz() * 1e6),
+            fmt(area * 1e12),
+        ]);
+    }
+
+    let power_ratio = resistive.power(vb).value() / pmos.power(vb).value();
+    report.note(format!(
+        "power ratio (resistive/PMOS): {power_ratio:.0}x at equal bias and equal ratiometric sensitivity"
+    ));
+    report.note(
+        "the PMOS bridge trades flicker noise for power/area; the feedback loop's \
+         high-pass filters remove that flicker (it sits far below the oscillation \
+         frequency) — exactly the paper's design argument",
+    );
+    report.note("shape check vs Sec 3.2: higher resistivity, lower power — reproduced");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmos_wins_power_and_area_loses_flicker() {
+        let report = run();
+        assert_eq!(report.rows.len(), 3);
+        let parse = |r: usize, c: usize| -> f64 { report.rows[r][c].parse().expect("number") };
+        // resistance: PMOS far above the typical diffused bridge
+        assert!(parse(2, 1) > 10.0 * parse(0, 1));
+        // power: PMOS lower than the typical diffused bridge
+        assert!(parse(2, 2) < parse(0, 2) / 10.0);
+        // flicker: PMOS nonzero, resistive zero
+        assert_eq!(parse(0, 4), 0.0);
+        assert!(parse(2, 4) > 0.0);
+        // area at EQUAL resistance: PMOS wins by >10x
+        assert!(parse(2, 5) < parse(1, 5) / 10.0, "{} vs {}", parse(2, 5), parse(1, 5));
+    }
+}

@@ -1,0 +1,82 @@
+//! E8 — claim: "the complete post-processing can be performed on wafer
+//! level, leading to a very cost-efficient mass-production".
+//!
+//! Cost per good die vs production volume for the wafer-level route (three
+//! extra masks, everything batch) against a die-level post-processing
+//! route (low NRE, per-die handling), including the crossover volume.
+
+use canti_fab::cost::CostModel;
+
+use crate::report::{fmt, ExperimentReport};
+
+/// Production volumes swept (good dies).
+pub const VOLUMES: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Runs the E8 experiment.
+///
+/// # Panics
+///
+/// Panics on invalid cost models — covered by tests.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let wl = CostModel::wafer_level();
+    let dl = CostModel::die_level();
+
+    let mut report = ExperimentReport::new(
+        "E8",
+        "cost per good die vs production volume",
+        &["volume", "wafer-level [$]", "die-level [$]", "winner"],
+    );
+
+    for &v in &VOLUMES {
+        let c_wl = wl.cost_per_good_die(v).expect("cost");
+        let c_dl = dl.cost_per_good_die(v).expect("cost");
+        report.push_row(vec![
+            format!("{v}"),
+            fmt(c_wl),
+            fmt(c_dl),
+            if c_wl < c_dl { "wafer-level" } else { "die-level" }.to_owned(),
+        ]);
+    }
+
+    let crossover = wl
+        .crossover_volume(&dl)
+        .expect("valid models")
+        .expect("crossover exists");
+    report.note(format!(
+        "crossover at ~{crossover} units; beyond it the 3-mask wafer-level route amortizes \
+         its NRE and wins on per-die cost and yield"
+    ));
+    report.note(
+        "shape check vs Sec 2: wafer-level post-processing is the mass-production \
+         route; die-level only makes sense for prototypes — reproduced",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winner_flips_exactly_once() {
+        let report = run();
+        let winners: Vec<&str> = report.rows.iter().map(|r| r[3].as_str()).collect();
+        // die-level first, wafer-level later, exactly one transition
+        assert_eq!(winners.first().copied(), Some("die-level"));
+        assert_eq!(winners.last().copied(), Some("wafer-level"));
+        let transitions = winners.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(transitions, 1, "{winners:?}");
+        // costs monotonically decrease with volume within each route
+        for col in [1, 2] {
+            let costs: Vec<f64> = report
+                .rows
+                .iter()
+                .map(|r| r[col].parse::<f64>().expect("number"))
+                .collect();
+            for pair in costs.windows(2) {
+                assert!(pair[1] <= pair[0] + 1e-9, "column {col}: {costs:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # canti-bench — figure reproduction and benchmark harness
+//!
+//! One module per experiment in DESIGN.md's experiment index. Each module
+//! exposes `run()` returning an [`report::ExperimentReport`] — a uniform
+//! table + notes structure the `repro` binary prints and dumps as CSV, and
+//! whose kernels the Criterion benches time.
+//!
+//! | id | paper artefact | module |
+//! |----|----------------|--------|
+//! | F1 | Fig 1 — static bending from analyte binding | [`fig1`] |
+//! | F2 | Fig 2 — resonant frequency shift from added mass | [`fig2`] |
+//! | F3 | Fig 3 — post-CMOS release cross-sections + etch-stop | [`fig3`] |
+//! | F4 | Fig 4 — static readout chain budget | [`fig4`] |
+//! | F5 | Fig 5 — resonant feedback loop behaviour | [`fig5`] |
+//! | E6 | claim: interference rejection of monolithic readout | [`e6_interference`] |
+//! | E7 | claim: PMOS vs resistive bridge power | [`e7_bridge`] |
+//! | E8 | claim: wafer-level post-processing economics | [`e8_fab`] |
+//! | E9 | detection limits (noise → LOD) | [`e9_lod`] |
+//! | A1 | ablation: reference cantilever vs thermal drift | [`a1_thermal_drift`] |
+//! | A2 | ablation: phase-lead HPF corner of the loop | [`a2_phase_lead`] |
+//! | A3 | ablation: gated vs reciprocal counter | [`a3_counter`] |
+//! | A4 | extension: titration + 4PL calibration + readback | [`a4_dose_response`] |
+//! | A5 | extension: cross-reactivity and fouling selectivity | [`a5_cross_reactivity`] |
+//! | A6 | extension: higher-mode mass sensing | [`a6_higher_modes`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod a1_thermal_drift;
+pub mod a2_phase_lead;
+pub mod a3_counter;
+pub mod a4_dose_response;
+pub mod a5_cross_reactivity;
+pub mod a6_higher_modes;
+pub mod e6_interference;
+pub mod e7_bridge;
+pub mod e8_fab;
+pub mod e9_lod;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod report;
+
+/// Runs every experiment, in index order.
+#[must_use]
+pub fn run_all() -> Vec<report::ExperimentReport> {
+    vec![
+        fig1::run(),
+        fig2::run(),
+        fig3::run(),
+        fig4::run(),
+        fig5::run(),
+        e6_interference::run(),
+        e7_bridge::run(),
+        e8_fab::run(),
+        e9_lod::run(),
+        a1_thermal_drift::run(),
+        a2_phase_lead::run(),
+        a3_counter::run(),
+        a4_dose_response::run(),
+        a5_cross_reactivity::run(),
+        a6_higher_modes::run(),
+    ]
+}

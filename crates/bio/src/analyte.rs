@@ -1,0 +1,196 @@
+//! Analyte descriptions: the molecules a biosensor is asked to detect.
+//!
+//! The built-in catalogue covers the clinical scenarios the paper's
+//! introduction motivates ("blood analysis for antibodies or other
+//! proteins") plus DNA hybridization. Diffusion coefficients are literature
+//! values in water at 20–25 °C; they feed the transport-limited kinetics in
+//! [`crate::kinetics`].
+
+use canti_units::{Kilograms, KgPerMol, M2PerSecond};
+
+use crate::error::{ensure_positive, BioError};
+
+/// A molecule to detect: name, molar mass, and diffusivity in water.
+///
+/// # Examples
+///
+/// ```
+/// use canti_bio::analyte::Analyte;
+///
+/// let igg = Analyte::igg();
+/// assert!((igg.molar_mass().as_daltons() - 150_000.0).abs() < 1.0);
+/// // a single IgG weighs about 0.25 attogram:
+/// assert!(igg.molecule_mass().value() < 1e-21);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Analyte {
+    name: String,
+    molar_mass: KgPerMol,
+    diffusion: M2PerSecond,
+}
+
+impl Analyte {
+    /// Creates a custom analyte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] if the molar mass or diffusion coefficient is
+    /// not strictly positive and finite.
+    pub fn new(
+        name: impl Into<String>,
+        molar_mass: KgPerMol,
+        diffusion: M2PerSecond,
+    ) -> Result<Self, BioError> {
+        ensure_positive("molar mass", molar_mass.value())?;
+        ensure_positive("diffusion coefficient", diffusion.value())?;
+        Ok(Self {
+            name: name.into(),
+            molar_mass,
+            diffusion,
+        })
+    }
+
+    /// Immunoglobulin G — the workhorse antibody/antigen of immunoassays
+    /// (150 kDa, D ≈ 4.4·10⁻¹¹ m²/s).
+    #[must_use]
+    pub fn igg() -> Self {
+        Self {
+            name: "IgG".to_owned(),
+            molar_mass: KgPerMol::from_daltons(150_000.0),
+            diffusion: M2PerSecond::new(4.4e-11),
+        }
+    }
+
+    /// Prostate-specific antigen (28.7 kDa, D ≈ 8·10⁻¹¹ m²/s) — a classic
+    /// cantilever-biosensor demonstration target.
+    #[must_use]
+    pub fn psa() -> Self {
+        Self {
+            name: "PSA".to_owned(),
+            molar_mass: KgPerMol::from_daltons(28_700.0),
+            diffusion: M2PerSecond::new(8.0e-11),
+        }
+    }
+
+    /// C-reactive protein (115 kDa pentamer) — inflammation marker in blood
+    /// panels.
+    #[must_use]
+    pub fn crp() -> Self {
+        Self {
+            name: "CRP".to_owned(),
+            molar_mass: KgPerMol::from_daltons(115_000.0),
+            diffusion: M2PerSecond::new(5.0e-11),
+        }
+    }
+
+    /// Human serum albumin (66.5 kDa) — the dominant protein in serum, the
+    /// usual non-specific-binding interferent.
+    #[must_use]
+    pub fn hsa() -> Self {
+        Self {
+            name: "HSA".to_owned(),
+            molar_mass: KgPerMol::from_daltons(66_500.0),
+            diffusion: M2PerSecond::new(6.1e-11),
+        }
+    }
+
+    /// A 20-mer single-stranded DNA oligonucleotide (~6.1 kDa) for
+    /// hybridization assays.
+    #[must_use]
+    pub fn ssdna_20mer() -> Self {
+        Self {
+            name: "ssDNA 20-mer".to_owned(),
+            molar_mass: KgPerMol::from_daltons(6_100.0),
+            diffusion: M2PerSecond::new(1.2e-10),
+        }
+    }
+
+    /// The analyte's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Molar mass.
+    #[must_use]
+    pub fn molar_mass(&self) -> KgPerMol {
+        self.molar_mass
+    }
+
+    /// Diffusion coefficient in water.
+    #[must_use]
+    pub fn diffusion(&self) -> M2PerSecond {
+        self.diffusion
+    }
+
+    /// Mass of a single molecule.
+    #[must_use]
+    pub fn molecule_mass(&self) -> Kilograms {
+        self.molar_mass.molecule_mass()
+    }
+}
+
+impl std::fmt::Display for Analyte {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({:.1} kDa)",
+            self.name,
+            self.molar_mass.as_daltons() / 1000.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_masses_are_ordered() {
+        // sanity: heavier molecules diffuse slower in this catalogue
+        let list = [
+            Analyte::ssdna_20mer(),
+            Analyte::psa(),
+            Analyte::hsa(),
+            Analyte::crp(),
+            Analyte::igg(),
+        ];
+        for pair in list.windows(2) {
+            assert!(
+                pair[0].molar_mass().value() < pair[1].molar_mass().value(),
+                "{} should be lighter than {}",
+                pair[0].name(),
+                pair[1].name()
+            );
+            assert!(
+                pair[0].diffusion().value() >= pair[1].diffusion().value(),
+                "{} should diffuse at least as fast as {}",
+                pair[0].name(),
+                pair[1].name()
+            );
+        }
+    }
+
+    #[test]
+    fn custom_analyte_validation() {
+        assert!(Analyte::new("x", KgPerMol::from_daltons(0.0), M2PerSecond::new(1e-11)).is_err());
+        assert!(Analyte::new("x", KgPerMol::from_daltons(1e3), M2PerSecond::new(-1.0)).is_err());
+        assert!(
+            Analyte::new("x", KgPerMol::from_daltons(f64::NAN), M2PerSecond::new(1e-11)).is_err()
+        );
+        let a = Analyte::new("x", KgPerMol::from_daltons(1e3), M2PerSecond::new(1e-11));
+        assert!(a.is_ok());
+    }
+
+    #[test]
+    fn molecule_mass_of_igg() {
+        let m = Analyte::igg().molecule_mass();
+        // 150 kDa -> 2.49e-22 kg
+        assert!((m.value() - 2.49e-22).abs() / 2.49e-22 < 0.01);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Analyte::igg().to_string(), "IgG (150.0 kDa)");
+    }
+}

@@ -1,0 +1,478 @@
+//! Binding kinetics: Langmuir adsorption, transport-limited and competitive
+//! variants.
+//!
+//! The core model is the first-order Langmuir ODE for fractional coverage
+//! θ ∈ [0, 1] of the receptor sites:
+//!
+//! ```text
+//! dθ/dt = k_on · C · (1 − θ) − k_off · θ
+//! ```
+//!
+//! which for constant analyte concentration `C` has the closed-form solution
+//!
+//! ```text
+//! θ(t) = θ_eq + (θ₀ − θ_eq) · exp(−k_obs · t)
+//! θ_eq = C / (C + K_D),    k_obs = k_on·C + k_off
+//! ```
+//!
+//! [`LangmuirKinetics`] exposes both the closed form and an exact
+//! exponential stepper (the ODE is linear, so stepping is exact for constant
+//! `C`, with no integration error to tune). [`TransportLimitedKinetics`]
+//! adds the standard quasi-steady two-compartment correction for when
+//! diffusion to the surface, not reaction, limits the rate.
+//! [`CompetitiveKinetics`] models two analytes competing for the same sites
+//! (cross-reactivity).
+
+use canti_units::{Molar, Seconds};
+
+use crate::error::{ensure_coverage, ensure_positive, BioError};
+use crate::receptor::{BindingConstants, ReceptorLayer};
+
+/// Ideal (reaction-limited) Langmuir kinetics.
+///
+/// # Examples
+///
+/// ```
+/// use canti_bio::kinetics::LangmuirKinetics;
+/// use canti_units::{Molar, Seconds};
+///
+/// let k = LangmuirKinetics::new(1e5, 1e-4)?;   // K_D = 1 nM
+/// let c = Molar::from_nanomolar(1.0);
+/// // at C = K_D the equilibrium coverage is exactly 1/2:
+/// assert!((k.equilibrium_coverage(c) - 0.5).abs() < 1e-12);
+/// // and it is approached with rate k_obs = k_on*C + k_off:
+/// assert!((k.observed_rate(c) - 2e-4).abs() < 1e-12);
+/// let theta = k.coverage_at(c, 0.0, Seconds::new(3600.0));
+/// assert!(theta > 0.2 && theta < 0.5);
+/// # Ok::<(), canti_bio::BioError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LangmuirKinetics {
+    constants: BindingConstants,
+}
+
+impl LangmuirKinetics {
+    /// Creates kinetics from raw rate constants (`k_on` in 1/(M·s), `k_off`
+    /// in 1/s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] unless both constants are strictly positive.
+    pub fn new(k_on: f64, k_off: f64) -> Result<Self, BioError> {
+        Ok(Self {
+            constants: BindingConstants::new(k_on, k_off)?,
+        })
+    }
+
+    /// Creates kinetics from a receptor layer's binding constants.
+    #[must_use]
+    pub fn from_receptor(receptor: &ReceptorLayer) -> Self {
+        Self {
+            constants: receptor.binding(),
+        }
+    }
+
+    /// The underlying rate constants.
+    #[must_use]
+    pub fn constants(&self) -> BindingConstants {
+        self.constants
+    }
+
+    /// Equilibrium coverage θ_eq = C / (C + K_D) at concentration `c`.
+    #[must_use]
+    pub fn equilibrium_coverage(&self, c: Molar) -> f64 {
+        let kd = self.constants.dissociation_constant().value();
+        let c = c.value().max(0.0);
+        c / (c + kd)
+    }
+
+    /// Observed relaxation rate k_obs = k_on·C + k_off in 1/s.
+    #[must_use]
+    pub fn observed_rate(&self, c: Molar) -> f64 {
+        self.constants.k_on * c.value().max(0.0) + self.constants.k_off
+    }
+
+    /// Closed-form coverage after `elapsed` at constant concentration `c`,
+    /// starting from `theta0`.
+    ///
+    /// Out-of-range `theta0` is clamped into `[0, 1]`; negative `c` is
+    /// treated as zero (pure dissociation).
+    #[must_use]
+    pub fn coverage_at(&self, c: Molar, theta0: f64, elapsed: Seconds) -> f64 {
+        let theta0 = theta0.clamp(0.0, 1.0);
+        let theta_eq = self.equilibrium_coverage(c);
+        let k_obs = self.observed_rate(c);
+        theta_eq + (theta0 - theta_eq) * (-k_obs * elapsed.value()).exp()
+    }
+
+    /// Exact single step of the Langmuir ODE (valid because the ODE is
+    /// linear in θ for constant `c`); identical to
+    /// [`coverage_at`](Self::coverage_at) with `elapsed = dt`.
+    #[must_use]
+    pub fn step(&self, theta: f64, c: Molar, dt: Seconds) -> f64 {
+        self.coverage_at(c, theta, dt)
+    }
+
+    /// Instantaneous coverage rate dθ/dt at state `(theta, c)` in 1/s.
+    #[must_use]
+    pub fn rate(&self, theta: f64, c: Molar) -> f64 {
+        let c = c.value().max(0.0);
+        self.constants.k_on * c * (1.0 - theta) - self.constants.k_off * theta
+    }
+
+    /// Time to reach a fraction `f` ∈ (0, 1) of the way from `theta0` to the
+    /// equilibrium coverage at concentration `c`. Returns `None` when `f` is
+    /// outside (0, 1).
+    #[must_use]
+    pub fn time_to_fraction(&self, c: Molar, f: f64) -> Option<Seconds> {
+        if !(0.0..1.0).contains(&f) || f == 0.0 {
+            return None;
+        }
+        Some(Seconds::new(-(1.0 - f).ln() / self.observed_rate(c)))
+    }
+}
+
+/// Quasi-steady two-compartment (transport-limited) Langmuir kinetics.
+///
+/// When analyte must diffuse through a depletion layer to reach the surface,
+/// the observed binding slows by the factor `1 + Da·(1−θ)` where the
+/// Damköhler number `Da = k_on · Γ_max / k_m` compares reaction speed to the
+/// mass-transport coefficient `k_m` (m/s). For `Da ≪ 1` this reduces to
+/// ideal Langmuir; for `Da ≫ 1` the initial rate is transport-limited at
+/// `k_m · C / Γ_max`.
+///
+/// The ODE is nonlinear, so stepping uses classic RK4.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransportLimitedKinetics {
+    inner: LangmuirKinetics,
+    /// Mass-transport coefficient in m/s.
+    k_m: f64,
+    /// Saturation surface density in mol/m².
+    gamma_max: f64,
+}
+
+impl TransportLimitedKinetics {
+    /// Wraps ideal kinetics with a transport model.
+    ///
+    /// `k_m` is the mass-transport coefficient in m/s (typically
+    /// 10⁻⁶–10⁻⁴ m/s for microfluidic flow cells); `gamma_max` is the
+    /// saturation surface density in mol/m².
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] unless both are strictly positive.
+    pub fn new(inner: LangmuirKinetics, k_m: f64, gamma_max: f64) -> Result<Self, BioError> {
+        ensure_positive("mass-transport coefficient", k_m)?;
+        ensure_positive("saturation surface density", gamma_max)?;
+        Ok(Self {
+            inner,
+            k_m,
+            gamma_max,
+        })
+    }
+
+    /// Builds from a receptor layer (taking Γ_max from its probe density).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] unless `k_m` is strictly positive.
+    pub fn from_receptor(receptor: &ReceptorLayer, k_m: f64) -> Result<Self, BioError> {
+        Self::new(
+            LangmuirKinetics::from_receptor(receptor),
+            k_m,
+            receptor.gamma_max_mol_per_m2(),
+        )
+    }
+
+    /// The Damköhler number Da = k_on·Γ_max / k_m.
+    ///
+    /// `k_on` is stored in 1/(M·s) = L/(mol·s); the SI form needed here is
+    /// m³/(mol·s), hence the 10⁻³ conversion.
+    #[must_use]
+    pub fn damkohler(&self) -> f64 {
+        (self.inner.constants().k_on * 1e-3) * self.gamma_max / self.k_m
+    }
+
+    /// Instantaneous coverage rate dθ/dt, slowed by the transport factor.
+    #[must_use]
+    pub fn rate(&self, theta: f64, c: Molar) -> f64 {
+        let ideal = self.inner.rate(theta, c);
+        ideal / (1.0 + self.damkohler() * (1.0 - theta).max(0.0))
+    }
+
+    /// One RK4 step of size `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] if `theta` is outside `[0, 1]` or `dt` is not
+    /// strictly positive.
+    pub fn step(&self, theta: f64, c: Molar, dt: Seconds) -> Result<f64, BioError> {
+        ensure_coverage(theta)?;
+        ensure_positive("time step", dt.value())?;
+        let h = dt.value();
+        let f = |th: f64| self.rate(th, c);
+        let k1 = f(theta);
+        let k2 = f(theta + 0.5 * h * k1);
+        let k3 = f(theta + 0.5 * h * k2);
+        let k4 = f(theta + h * k3);
+        let next = theta + h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+        Ok(next.clamp(0.0, 1.0))
+    }
+
+    /// The equilibrium coverage — transport does not move the equilibrium,
+    /// only the rate, so this delegates to the ideal kinetics.
+    #[must_use]
+    pub fn equilibrium_coverage(&self, c: Molar) -> f64 {
+        self.inner.equilibrium_coverage(c)
+    }
+
+    /// The underlying reaction-limited kinetics.
+    #[must_use]
+    pub fn reaction_kinetics(&self) -> LangmuirKinetics {
+        self.inner
+    }
+}
+
+/// Two analytes competing for the same receptor sites.
+///
+/// ```text
+/// dθ₁/dt = k_on1·C₁·(1 − θ₁ − θ₂) − k_off1·θ₁
+/// dθ₂/dt = k_on2·C₂·(1 − θ₁ − θ₂) − k_off2·θ₂
+/// ```
+///
+/// Used to model cross-reactivity: a high-concentration low-affinity
+/// interferent (e.g. serum albumin) competing with the low-concentration
+/// high-affinity target.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CompetitiveKinetics {
+    target: BindingConstants,
+    interferent: BindingConstants,
+}
+
+/// Coverage state of a competitive binding simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CompetitiveState {
+    /// Fractional coverage by the target analyte.
+    pub target: f64,
+    /// Fractional coverage by the interferent.
+    pub interferent: f64,
+}
+
+impl CompetitiveState {
+    /// Total occupied site fraction.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.target + self.interferent
+    }
+}
+
+impl CompetitiveKinetics {
+    /// Creates a competitive model from the two species' rate constants.
+    #[must_use]
+    pub fn new(target: BindingConstants, interferent: BindingConstants) -> Self {
+        Self {
+            target,
+            interferent,
+        }
+    }
+
+    /// Instantaneous rates (dθ₁/dt, dθ₂/dt).
+    #[must_use]
+    pub fn rates(&self, state: CompetitiveState, c_target: Molar, c_interferent: Molar) -> (f64, f64) {
+        let free = (1.0 - state.total()).max(0.0);
+        let r1 = self.target.k_on * c_target.value().max(0.0) * free
+            - self.target.k_off * state.target;
+        let r2 = self.interferent.k_on * c_interferent.value().max(0.0) * free
+            - self.interferent.k_off * state.interferent;
+        (r1, r2)
+    }
+
+    /// One RK4 step of size `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] if either coverage is outside `[0, 1]` or `dt`
+    /// is not strictly positive.
+    pub fn step(
+        &self,
+        state: CompetitiveState,
+        c_target: Molar,
+        c_interferent: Molar,
+        dt: Seconds,
+    ) -> Result<CompetitiveState, BioError> {
+        ensure_coverage(state.target)?;
+        ensure_coverage(state.interferent)?;
+        ensure_positive("time step", dt.value())?;
+        let h = dt.value();
+        let f = |s: CompetitiveState| self.rates(s, c_target, c_interferent);
+        let add = |s: CompetitiveState, r: (f64, f64), scale: f64| CompetitiveState {
+            target: s.target + scale * r.0,
+            interferent: s.interferent + scale * r.1,
+        };
+        let k1 = f(state);
+        let k2 = f(add(state, k1, 0.5 * h));
+        let k3 = f(add(state, k2, 0.5 * h));
+        let k4 = f(add(state, k3, h));
+        let mut next = CompetitiveState {
+            target: state.target + h / 6.0 * (k1.0 + 2.0 * k2.0 + 2.0 * k3.0 + k4.0),
+            interferent: state.interferent + h / 6.0 * (k1.1 + 2.0 * k2.1 + 2.0 * k3.1 + k4.1),
+        };
+        next.target = next.target.clamp(0.0, 1.0);
+        next.interferent = next.interferent.clamp(0.0, 1.0 - next.target);
+        Ok(next)
+    }
+
+    /// Equilibrium coverages from simultaneous Langmuir isotherms.
+    #[must_use]
+    pub fn equilibrium(&self, c_target: Molar, c_interferent: Molar) -> CompetitiveState {
+        let a = c_target.value().max(0.0) / self.target.dissociation_constant().value();
+        let b = c_interferent.value().max(0.0) / self.interferent.dissociation_constant().value();
+        let denom = 1.0 + a + b;
+        CompetitiveState {
+            target: a / denom,
+            interferent: b / denom,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nm(x: f64) -> Molar {
+        Molar::from_nanomolar(x)
+    }
+
+    #[test]
+    fn equilibrium_at_kd_is_half() {
+        let k = LangmuirKinetics::new(1e5, 1e-4).unwrap();
+        assert!((k.equilibrium_coverage(nm(1.0)) - 0.5).abs() < 1e-12);
+        // 9x KD -> 0.9
+        assert!((k.equilibrium_coverage(nm(9.0)) - 0.9).abs() < 1e-12);
+        // zero concentration -> zero coverage
+        assert_eq!(k.equilibrium_coverage(Molar::zero()), 0.0);
+    }
+
+    #[test]
+    fn coverage_monotonic_in_time_during_association() {
+        let k = LangmuirKinetics::new(1e5, 1e-4).unwrap();
+        let c = nm(10.0);
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let th = k.coverage_at(c, 0.0, Seconds::new(f64::from(i) * 60.0));
+            assert!(th > prev, "coverage must rise monotonically");
+            prev = th;
+        }
+        assert!(prev <= k.equilibrium_coverage(c) + 1e-12);
+    }
+
+    #[test]
+    fn dissociation_decays_exponentially() {
+        let k = LangmuirKinetics::new(1e5, 1e-3).unwrap();
+        // start saturated, wash with pure buffer
+        let th = k.coverage_at(Molar::zero(), 1.0, Seconds::new(1000.0));
+        assert!((th - (-1.0f64).exp()).abs() < 1e-9, "e-fold after 1/k_off");
+    }
+
+    #[test]
+    fn stepping_matches_closed_form() {
+        let k = LangmuirKinetics::new(1e5, 1e-4).unwrap();
+        let c = nm(5.0);
+        let mut theta = 0.0;
+        let dt = Seconds::new(10.0);
+        for _ in 0..360 {
+            theta = k.step(theta, c, dt);
+        }
+        let direct = k.coverage_at(c, 0.0, Seconds::new(3600.0));
+        assert!((theta - direct).abs() < 1e-12, "exact stepper == closed form");
+    }
+
+    #[test]
+    fn time_to_fraction_inverse_of_coverage() {
+        let k = LangmuirKinetics::new(1e5, 1e-4).unwrap();
+        let c = nm(2.0);
+        let t63 = k.time_to_fraction(c, 1.0 - (-1.0f64).exp()).unwrap();
+        assert!((t63.value() - 1.0 / k.observed_rate(c)).abs() < 1e-6);
+        assert!(k.time_to_fraction(c, 0.0).is_none());
+        assert!(k.time_to_fraction(c, 1.0).is_none());
+        assert!(k.time_to_fraction(c, 1.5).is_none());
+    }
+
+    #[test]
+    fn transport_limit_slows_but_preserves_equilibrium() {
+        let ideal = LangmuirKinetics::new(1e6, 1e-4).unwrap();
+        let tl = TransportLimitedKinetics::new(ideal, 1e-6, 3e-8).unwrap();
+        assert!(tl.damkohler() > 1.0, "deliberately transport-limited");
+        let c = nm(10.0);
+        // initial rate must be slower than ideal
+        assert!(tl.rate(0.0, c) < ideal.rate(0.0, c));
+        // march to equilibrium; must approach the same theta_eq
+        let mut theta = 0.0;
+        let dt = Seconds::new(5.0);
+        for _ in 0..40_000 {
+            theta = tl.step(theta, c, dt).unwrap();
+        }
+        assert!(
+            (theta - ideal.equilibrium_coverage(c)).abs() < 1e-3,
+            "transport changes rate, not equilibrium: {theta}"
+        );
+    }
+
+    #[test]
+    fn transport_rate_reduces_to_ideal_for_small_da() {
+        let ideal = LangmuirKinetics::new(1e4, 1e-4).unwrap();
+        let tl = TransportLimitedKinetics::new(ideal, 1.0, 3e-8).unwrap();
+        assert!(tl.damkohler() < 1e-3);
+        let c = nm(10.0);
+        let rel = (tl.rate(0.3, c) - ideal.rate(0.3, c)).abs() / ideal.rate(0.3, c).abs();
+        assert!(rel < 1e-3);
+    }
+
+    #[test]
+    fn transport_validation() {
+        let ideal = LangmuirKinetics::new(1e5, 1e-4).unwrap();
+        assert!(TransportLimitedKinetics::new(ideal, 0.0, 1e-8).is_err());
+        assert!(TransportLimitedKinetics::new(ideal, 1e-6, -1.0).is_err());
+        let tl = TransportLimitedKinetics::new(ideal, 1e-6, 1e-8).unwrap();
+        assert!(tl.step(1.5, nm(1.0), Seconds::new(1.0)).is_err());
+        assert!(tl.step(0.5, nm(1.0), Seconds::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn competitive_equilibrium_matches_isotherms() {
+        let target = BindingConstants::new(1e5, 1e-4).unwrap(); // KD 1 nM
+        let interferent = BindingConstants::new(1e3, 1e-2).unwrap(); // KD 10 uM
+        let comp = CompetitiveKinetics::new(target, interferent);
+        let eq = comp.equilibrium(nm(1.0), Molar::from_micromolar(10.0));
+        // a = 1, b = 1 -> each occupies 1/3
+        assert!((eq.target - 1.0 / 3.0).abs() < 1e-9);
+        assert!((eq.interferent - 1.0 / 3.0).abs() < 1e-9);
+        assert!(eq.total() < 1.0);
+    }
+
+    #[test]
+    fn competitive_stepper_converges_to_equilibrium() {
+        let target = BindingConstants::new(1e5, 1e-3).unwrap();
+        let interferent = BindingConstants::new(1e4, 1e-2).unwrap();
+        let comp = CompetitiveKinetics::new(target, interferent);
+        let (ct, ci) = (nm(20.0), nm(500.0));
+        let eq = comp.equilibrium(ct, ci);
+        let mut s = CompetitiveState::default();
+        let dt = Seconds::new(0.5);
+        for _ in 0..400_000 {
+            s = comp.step(s, ct, ci, dt).unwrap();
+        }
+        assert!((s.target - eq.target).abs() < 1e-3, "{s:?} vs {eq:?}");
+        assert!((s.interferent - eq.interferent).abs() < 1e-3);
+    }
+
+    #[test]
+    fn interferent_suppresses_target_coverage() {
+        let target = BindingConstants::new(1e5, 1e-4).unwrap();
+        let interferent = BindingConstants::new(1e4, 1e-3).unwrap();
+        let comp = CompetitiveKinetics::new(target, interferent);
+        let alone = comp.equilibrium(nm(1.0), Molar::zero()).target;
+        let crowded = comp.equilibrium(nm(1.0), Molar::from_micromolar(100.0)).target;
+        assert!(crowded < alone, "competition must reduce target coverage");
+    }
+}

@@ -1,0 +1,48 @@
+//! # canti-bio — analytes, receptors, binding kinetics and sample liquids
+//!
+//! The biochemical half of the cantilever-biosensor simulation. The paper
+//! (Kirstein et al., DATE 2005) detects analytes via *bio-affinity
+//! recognition*: a probe molecule (e.g. an antibody) is immobilized on the
+//! cantilever; when the sample flows past, the matching analyte binds and
+//! changes the cantilever's surface stress (static mode) or mass (resonant
+//! mode). This crate models everything up to that hand-off:
+//!
+//! * [`analyte`] — what is being detected (molar mass, diffusivity),
+//! * [`receptor`] — the functionalized probe layer (site density, affinity,
+//!   per-coverage stress/mass signal),
+//! * [`kinetics`] — Langmuir association/dissociation, transport-limited
+//!   and competitive variants,
+//! * [`assay`] — assay timelines (baseline → injection → wash) producing
+//!   sensorgrams,
+//! * [`liquid`] — sample/buffer liquid properties (density, viscosity) that
+//!   the mechanical damping model consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use canti_bio::analyte::Analyte;
+//! use canti_bio::kinetics::LangmuirKinetics;
+//! use canti_bio::receptor::ReceptorLayer;
+//! use canti_units::{Molar, Seconds};
+//!
+//! let receptor = ReceptorLayer::anti_igg();
+//! let kinetics = LangmuirKinetics::from_receptor(&receptor);
+//! // 10 nM sample, 5 minutes of association starting from a bare surface:
+//! let theta = kinetics.coverage_at(Molar::from_nanomolar(10.0), 0.0, Seconds::new(300.0));
+//! assert!(theta > 0.0 && theta < 1.0);
+//! let _ = Analyte::igg();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyte;
+pub mod assay;
+pub mod kinetics;
+pub mod liquid;
+pub mod nonspecific;
+pub mod receptor;
+
+mod error;
+
+pub use error::BioError;

@@ -1,0 +1,235 @@
+//! Sample and buffer liquid properties.
+//!
+//! The paper's variable-gain amplifier exists precisely because "different
+//! liquids presented to the biosensor" change the cantilever's mechanical
+//! damping. Density and viscosity are the two numbers the hydrodynamic
+//! model in `canti-mems` needs.
+
+use canti_units::{Kelvin, KgPerM3, PascalSeconds};
+
+/// A homogeneous Newtonian medium surrounding the cantilever.
+///
+/// # Examples
+///
+/// ```
+/// use canti_bio::liquid::Liquid;
+/// use canti_units::Kelvin;
+///
+/// let water = Liquid::water(Kelvin::from_celsius(25.0));
+/// assert!(water.viscosity().value() < Liquid::serum(Kelvin::from_celsius(25.0)).viscosity().value());
+/// let air = Liquid::air();
+/// assert!(air.density().value() < 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Liquid {
+    name: String,
+    density: KgPerM3,
+    viscosity: PascalSeconds,
+}
+
+impl Liquid {
+    /// Creates a custom medium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if density or viscosity is not strictly positive — media with
+    /// zero density/viscosity are expressed with [`Liquid::vacuum`].
+    #[must_use]
+    pub fn new(name: impl Into<String>, density: KgPerM3, viscosity: PascalSeconds) -> Self {
+        assert!(
+            density.value() > 0.0 && density.is_finite(),
+            "density must be positive"
+        );
+        assert!(
+            viscosity.value() > 0.0 && viscosity.is_finite(),
+            "viscosity must be positive"
+        );
+        Self {
+            name: name.into(),
+            density,
+            viscosity,
+        }
+    }
+
+    /// An idealized vacuum (no fluid loading at all); useful as a reference
+    /// in Q-factor comparisons.
+    #[must_use]
+    pub fn vacuum() -> Self {
+        Self {
+            name: "vacuum".to_owned(),
+            density: KgPerM3::new(0.0),
+            viscosity: PascalSeconds::new(0.0),
+        }
+    }
+
+    /// Air at room temperature, sea level (ρ = 1.184 kg/m³,
+    /// µ = 18.5 µPa·s).
+    #[must_use]
+    pub fn air() -> Self {
+        Self {
+            name: "air".to_owned(),
+            density: canti_units::consts::AIR_DENSITY,
+            viscosity: PascalSeconds::new(18.5e-6),
+        }
+    }
+
+    /// Pure water at temperature `t`.
+    ///
+    /// Viscosity follows the Vogel–Fulcher–Tammann fit
+    /// µ(T) = A·10^(B/(T−C)) with A = 2.414·10⁻⁵ Pa·s, B = 247.8 K,
+    /// C = 140 K (accurate to ~2 % between 0 and 100 °C); density uses the
+    /// Kell-style quadratic around the 4 °C maximum.
+    #[must_use]
+    pub fn water(t: Kelvin) -> Self {
+        Self {
+            name: "water".to_owned(),
+            density: water_density(t),
+            viscosity: water_viscosity(t),
+        }
+    }
+
+    /// Phosphate-buffered saline at temperature `t`: water plus ~2 % density
+    /// and ~2 % viscosity from dissolved salts.
+    #[must_use]
+    pub fn pbs(t: Kelvin) -> Self {
+        let w = Self::water(t);
+        Self {
+            name: "PBS".to_owned(),
+            density: w.density * 1.02,
+            viscosity: w.viscosity * 1.02,
+        }
+    }
+
+    /// Human blood serum at temperature `t`: ~2.5 % denser and ~1.6× more
+    /// viscous than water (protein content).
+    #[must_use]
+    pub fn serum(t: Kelvin) -> Self {
+        let w = Self::water(t);
+        Self {
+            name: "serum".to_owned(),
+            density: w.density * 1.025,
+            viscosity: w.viscosity * 1.6,
+        }
+    }
+
+    /// Display name of the medium.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mass density.
+    #[must_use]
+    pub fn density(&self) -> KgPerM3 {
+        self.density
+    }
+
+    /// Dynamic viscosity.
+    #[must_use]
+    pub fn viscosity(&self) -> PascalSeconds {
+        self.viscosity
+    }
+
+    /// Kinematic viscosity ν = µ/ρ in m²/s; `None` for vacuum.
+    #[must_use]
+    pub fn kinematic_viscosity(&self) -> Option<f64> {
+        if self.density.value() == 0.0 {
+            None
+        } else {
+            Some(self.viscosity.value() / self.density.value())
+        }
+    }
+
+    /// `true` for the vacuum medium.
+    #[must_use]
+    pub fn is_vacuum(&self) -> bool {
+        self.density.value() == 0.0
+    }
+}
+
+impl std::fmt::Display for Liquid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (rho = {:.1} kg/m^3, mu = {:.2e} Pa*s)",
+            self.name,
+            self.density.value(),
+            self.viscosity.value()
+        )
+    }
+}
+
+/// Water density with the quadratic dip around the 4 °C maximum.
+fn water_density(t: Kelvin) -> KgPerM3 {
+    let c = t.as_celsius();
+    // Quadratic fit: 999.97 kg/m^3 max at 4 C, ~-0.0088 (c-4)^2 curvature
+    // keeps it within 0.5% of tabulated values for 0..60 C.
+    KgPerM3::new(999.97 - 0.0088 * (c - 4.0).powi(2))
+}
+
+/// Vogel–Fulcher–Tammann viscosity of water.
+fn water_viscosity(t: Kelvin) -> PascalSeconds {
+    let tk = t.value();
+    PascalSeconds::new(2.414e-5 * 10f64.powf(247.8 / (tk - 140.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_viscosity_reference_points() {
+        // 20 C: 1.002 mPa*s, 25 C: 0.890 mPa*s, 37 C: 0.692 mPa*s
+        let cases = [(20.0, 1.002e-3), (25.0, 0.890e-3), (37.0, 0.692e-3)];
+        for (c, expected) in cases {
+            let mu = Liquid::water(Kelvin::from_celsius(c)).viscosity().value();
+            assert!(
+                (mu - expected).abs() / expected < 0.02,
+                "water viscosity at {c} C: got {mu}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn water_density_reference_points() {
+        let rho20 = Liquid::water(Kelvin::from_celsius(20.0)).density().value();
+        assert!((rho20 - 998.2).abs() < 1.0, "20 C density: {rho20}");
+        let rho4 = Liquid::water(Kelvin::from_celsius(4.0)).density().value();
+        assert!(rho4 > rho20, "4 C water is denser than 20 C water");
+    }
+
+    #[test]
+    fn viscosity_falls_with_temperature() {
+        let cold = Liquid::water(Kelvin::from_celsius(5.0)).viscosity();
+        let warm = Liquid::water(Kelvin::from_celsius(40.0)).viscosity();
+        assert!(cold.value() > warm.value());
+    }
+
+    #[test]
+    fn serum_more_viscous_than_pbs_than_air() {
+        let t = Kelvin::from_celsius(25.0);
+        let serum = Liquid::serum(t);
+        let pbs = Liquid::pbs(t);
+        let air = Liquid::air();
+        assert!(serum.viscosity().value() > pbs.viscosity().value());
+        assert!(pbs.viscosity().value() > air.viscosity().value());
+        assert!(serum.density().value() > pbs.density().value());
+        assert!(pbs.density().value() > air.density().value());
+    }
+
+    #[test]
+    fn kinematic_viscosity_and_vacuum() {
+        let air = Liquid::air();
+        let nu = air.kinematic_viscosity().unwrap();
+        assert!((nu - 1.56e-5).abs() / 1.56e-5 < 0.05, "air nu ~ 1.56e-5, got {nu}");
+        assert!(Liquid::vacuum().kinematic_viscosity().is_none());
+        assert!(Liquid::vacuum().is_vacuum());
+        assert!(!air.is_vacuum());
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be positive")]
+    fn new_rejects_zero_density() {
+        let _ = Liquid::new("bad", KgPerM3::new(0.0), PascalSeconds::new(1e-3));
+    }
+}

@@ -1,0 +1,238 @@
+//! Non-specific adsorption: the background every real sample brings.
+//!
+//! Serum is ~1 mM of assorted protein that sticks to *any* surface —
+//! functionalized or not — producing a surface-stress and mass background
+//! on top of the specific signal. Because it hits the sensing and
+//! reference cantilevers alike, it is the second big common-mode term
+//! (after temperature) that the paper's array-with-reference architecture
+//! exists to reject.
+//!
+//! Model: a fast low-affinity reversible component (Langmuir against the
+//! total protein concentration) plus a slow irreversible fouling
+//! component that never washes off.
+
+use canti_units::{Molar, Seconds, SurfaceStress};
+
+use crate::error::{ensure_coverage, ensure_positive, BioError};
+use crate::kinetics::LangmuirKinetics;
+
+/// Non-specific adsorption model.
+///
+/// # Examples
+///
+/// ```
+/// use canti_bio::nonspecific::FoulingModel;
+/// use canti_units::{Molar, Seconds};
+///
+/// let fouling = FoulingModel::serum_background()?;
+/// let state = fouling.coverage_at(Molar::from_micromolar(600.0), Seconds::new(600.0));
+/// assert!(state.total() > 0.0 && state.total() < 1.0);
+/// # Ok::<(), canti_bio::BioError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FoulingModel {
+    reversible: LangmuirKinetics,
+    /// Irreversible fouling rate constant, 1/(M·s).
+    k_irreversible: f64,
+    /// Surface stress of a complete fouling monolayer.
+    full_coverage_stress: SurfaceStress,
+}
+
+/// Fouling state: reversible and irreversible coverage fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct FoulingState {
+    /// Reversible (washable) coverage.
+    pub reversible: f64,
+    /// Irreversible (permanent) coverage.
+    pub irreversible: f64,
+}
+
+impl FoulingState {
+    /// Total fouled fraction.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        (self.reversible + self.irreversible).min(1.0)
+    }
+}
+
+impl FoulingModel {
+    /// Creates a fouling model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] on non-positive rate constants.
+    pub fn new(
+        k_on: f64,
+        k_off: f64,
+        k_irreversible: f64,
+        full_coverage_stress: SurfaceStress,
+    ) -> Result<Self, BioError> {
+        ensure_positive("irreversible fouling rate", k_irreversible)?;
+        Ok(Self {
+            reversible: LangmuirKinetics::new(k_on, k_off)?,
+            k_irreversible,
+            full_coverage_stress,
+        })
+    }
+
+    /// Serum background: low-affinity reversible sticking (K_D ≈ 100 µM)
+    /// plus slow irreversible fouling; ~1 mN/m full-monolayer stress.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; mirrors [`Self::new`].
+    pub fn serum_background() -> Result<Self, BioError> {
+        Self::new(
+            1e2,   // k_on, 1/(M s) — weak
+            1e-2,  // k_off, 1/s  -> KD = 100 uM
+            5e-2,  // irreversible, 1/(M s)
+            SurfaceStress::from_millinewtons_per_meter(1.0),
+        )
+    }
+
+    /// The reversible component's kinetics.
+    #[must_use]
+    pub fn reversible_kinetics(&self) -> LangmuirKinetics {
+        self.reversible
+    }
+
+    /// Full-monolayer fouling stress.
+    #[must_use]
+    pub fn full_coverage_stress(&self) -> SurfaceStress {
+        self.full_coverage_stress
+    }
+
+    /// Closed-form fouling state after `elapsed` exposure to total protein
+    /// concentration `c` from a clean surface.
+    #[must_use]
+    pub fn coverage_at(&self, c: Molar, elapsed: Seconds) -> FoulingState {
+        let reversible = self.reversible.coverage_at(c, 0.0, elapsed);
+        // dθ/dt = k_irr·C·(1−θ): exponential approach with rate k_irr·C
+        let rate = self.k_irreversible * c.value().max(0.0);
+        let irreversible = 1.0 - (-rate * elapsed.value()).exp();
+        FoulingState {
+            reversible,
+            irreversible,
+        }
+    }
+
+    /// One exact step from an existing state (reversible relaxes toward
+    /// its equilibrium; irreversible only grows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] for out-of-range state or non-positive step.
+    pub fn step(
+        &self,
+        state: FoulingState,
+        c: Molar,
+        dt: Seconds,
+    ) -> Result<FoulingState, BioError> {
+        ensure_coverage(state.reversible)?;
+        ensure_coverage(state.irreversible)?;
+        ensure_positive("time step", dt.value())?;
+        let reversible = self.reversible.step(state.reversible, c, dt);
+        let rate = self.k_irreversible * c.value().max(0.0);
+        let irreversible =
+            1.0 - (1.0 - state.irreversible) * (-rate * dt.value()).exp();
+        Ok(FoulingState {
+            reversible,
+            irreversible,
+        })
+    }
+
+    /// Surface stress of a fouling state.
+    #[must_use]
+    pub fn surface_stress(&self, state: FoulingState) -> SurfaceStress {
+        self.full_coverage_stress * state.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> FoulingModel {
+        FoulingModel::serum_background().unwrap()
+    }
+
+    fn serum_conc() -> Molar {
+        Molar::from_micromolar(600.0) // ~40 g/L serum protein at ~65 kDa
+    }
+
+    #[test]
+    fn fouling_grows_with_exposure() {
+        let m = model();
+        let early = m.coverage_at(serum_conc(), Seconds::new(10.0)).total();
+        let late = m.coverage_at(serum_conc(), Seconds::new(1000.0)).total();
+        assert!(late > early);
+        assert!(late <= 1.0);
+        assert!(early > 0.0);
+    }
+
+    #[test]
+    fn wash_removes_only_the_reversible_part() {
+        let m = model();
+        let fouled = m.coverage_at(serum_conc(), Seconds::new(600.0));
+        assert!(fouled.reversible > 0.0);
+        assert!(fouled.irreversible > 0.0);
+        // long wash in clean buffer
+        let mut state = fouled;
+        for _ in 0..100 {
+            state = m.step(state, Molar::zero(), Seconds::new(10.0)).unwrap();
+        }
+        assert!(
+            state.reversible < fouled.reversible / 10.0,
+            "reversible washes off: {state:?}"
+        );
+        assert!(
+            (state.irreversible - fouled.irreversible).abs() < 1e-12,
+            "irreversible never washes: {state:?}"
+        );
+    }
+
+    #[test]
+    fn stepping_matches_closed_form_from_clean() {
+        let m = model();
+        let c = serum_conc();
+        let mut state = FoulingState::default();
+        for _ in 0..60 {
+            state = m.step(state, c, Seconds::new(10.0)).unwrap();
+        }
+        let direct = m.coverage_at(c, Seconds::new(600.0));
+        assert!((state.reversible - direct.reversible).abs() < 1e-9);
+        assert!((state.irreversible - direct.irreversible).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fouling_stress_is_mn_per_m_scale() {
+        let m = model();
+        let state = m.coverage_at(serum_conc(), Seconds::new(600.0));
+        let sigma = m.surface_stress(state);
+        assert!(
+            sigma.as_millinewtons_per_meter() > 0.05
+                && sigma.as_millinewtons_per_meter() <= 1.0,
+            "fouling stress {} mN/m",
+            sigma.as_millinewtons_per_meter()
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FoulingModel::new(1e2, 1e-2, 0.0, SurfaceStress::zero()).is_err());
+        let m = model();
+        assert!(m
+            .step(
+                FoulingState {
+                    reversible: 1.5,
+                    irreversible: 0.0
+                },
+                serum_conc(),
+                Seconds::new(1.0)
+            )
+            .is_err());
+        assert!(m
+            .step(FoulingState::default(), serum_conc(), Seconds::zero())
+            .is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! The functionalized probe layer immobilized on the cantilever surface.
+//!
+//! Before an assay, the matching probe (antibody, DNA capture strand, …) is
+//! immobilized on the cantilever's active face. This module captures the
+//! layer's transduction parameters: how many binding sites per area, how
+//! strongly the analyte binds (kinetic rate constants), and what a full
+//! monolayer of bound analyte does to the beam — the differential surface
+//! stress it induces (static mode) and the mass it adds (resonant mode).
+
+use canti_units::{Kilograms, Molar, PerSquareMeter, SquareMeters, SurfaceStress};
+
+use crate::analyte::Analyte;
+use crate::error::{ensure_coverage, ensure_positive, BioError};
+
+/// Kinetic rate constants of the probe–analyte pair.
+///
+/// `k_on` is the association rate in 1/(M·s); `k_off` the dissociation rate
+/// in 1/s. Their ratio gives the equilibrium dissociation constant
+/// K_D = k_off / k_on.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BindingConstants {
+    /// Association rate constant, 1/(M·s).
+    pub k_on: f64,
+    /// Dissociation rate constant, 1/s.
+    pub k_off: f64,
+}
+
+impl BindingConstants {
+    /// Creates a pair of rate constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] unless `k_on > 0` and `k_off > 0` (use a tiny
+    /// `k_off` for effectively irreversible binding rather than zero, so the
+    /// equilibrium maths stays well-defined).
+    pub fn new(k_on: f64, k_off: f64) -> Result<Self, BioError> {
+        ensure_positive("k_on", k_on)?;
+        ensure_positive("k_off", k_off)?;
+        Ok(Self { k_on, k_off })
+    }
+
+    /// Equilibrium dissociation constant K_D = k_off / k_on.
+    #[must_use]
+    pub fn dissociation_constant(&self) -> Molar {
+        Molar::new(self.k_off / self.k_on)
+    }
+}
+
+/// An immobilized receptor layer on the cantilever's functionalized face.
+///
+/// # Examples
+///
+/// ```
+/// use canti_bio::receptor::ReceptorLayer;
+///
+/// let layer = ReceptorLayer::anti_igg();
+/// // nanomolar-range affinity:
+/// let kd = layer.binding().dissociation_constant();
+/// assert!(kd.as_nanomolar() > 0.1 && kd.as_nanomolar() < 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReceptorLayer {
+    name: String,
+    probe_density: PerSquareMeter,
+    full_coverage_stress: SurfaceStress,
+    binding: BindingConstants,
+}
+
+impl ReceptorLayer {
+    /// Creates a custom receptor layer.
+    ///
+    /// `full_coverage_stress` is the differential surface stress induced by
+    /// a complete (θ = 1) analyte monolayer; biomolecular layers typically
+    /// produce 1–50 mN/m of compressive stress. Sign convention: positive
+    /// stress bends the beam *away* from the functionalized face.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] if the probe density is not strictly positive.
+    pub fn new(
+        name: impl Into<String>,
+        probe_density: PerSquareMeter,
+        full_coverage_stress: SurfaceStress,
+        binding: BindingConstants,
+    ) -> Result<Self, BioError> {
+        ensure_positive("probe density", probe_density.value())?;
+        Ok(Self {
+            name: name.into(),
+            probe_density,
+            full_coverage_stress,
+            binding,
+        })
+    }
+
+    /// Anti-IgG capture antibody layer: 2·10¹⁶ sites/m², ~5 mN/m full-coverage
+    /// stress, K_D ≈ 1 nM (k_on = 10⁵ 1/(M·s), k_off = 10⁻⁴ 1/s).
+    #[must_use]
+    pub fn anti_igg() -> Self {
+        Self {
+            name: "anti-IgG".to_owned(),
+            probe_density: PerSquareMeter::new(2e16),
+            full_coverage_stress: SurfaceStress::from_millinewtons_per_meter(5.0),
+            binding: BindingConstants {
+                k_on: 1e5,
+                k_off: 1e-4,
+            },
+        }
+    }
+
+    /// Anti-PSA capture antibody layer, K_D ≈ 0.5 nM.
+    #[must_use]
+    pub fn anti_psa() -> Self {
+        Self {
+            name: "anti-PSA".to_owned(),
+            probe_density: PerSquareMeter::new(1.5e16),
+            full_coverage_stress: SurfaceStress::from_millinewtons_per_meter(3.0),
+            binding: BindingConstants {
+                k_on: 2e5,
+                k_off: 1e-4,
+            },
+        }
+    }
+
+    /// Thiolated 20-mer DNA capture strand: denser grafting, hybridization
+    /// stress of ~15 mN/m, K_D ≈ 0.1 nM at moderate ionic strength.
+    #[must_use]
+    pub fn dna_probe_20mer() -> Self {
+        Self {
+            name: "DNA probe 20-mer".to_owned(),
+            probe_density: PerSquareMeter::new(6e16),
+            full_coverage_stress: SurfaceStress::from_millinewtons_per_meter(15.0),
+            binding: BindingConstants {
+                k_on: 1e6,
+                k_off: 1e-4,
+            },
+        }
+    }
+
+    /// The layer's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Binding-site areal density.
+    #[must_use]
+    pub fn probe_density(&self) -> PerSquareMeter {
+        self.probe_density
+    }
+
+    /// Differential surface stress of a full analyte monolayer.
+    #[must_use]
+    pub fn full_coverage_stress(&self) -> SurfaceStress {
+        self.full_coverage_stress
+    }
+
+    /// Kinetic rate constants.
+    #[must_use]
+    pub fn binding(&self) -> BindingConstants {
+        self.binding
+    }
+
+    /// Surface stress at fractional coverage `theta` (linear in coverage —
+    /// the standard first-order transduction model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] if `theta` is outside `[0, 1]`.
+    pub fn surface_stress_at(&self, theta: f64) -> Result<SurfaceStress, BioError> {
+        ensure_coverage(theta)?;
+        Ok(self.full_coverage_stress * theta)
+    }
+
+    /// Bound analyte mass on an area `area` at coverage `theta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BioError`] if `theta` is outside `[0, 1]`.
+    pub fn bound_mass(
+        &self,
+        analyte: &Analyte,
+        area: SquareMeters,
+        theta: f64,
+    ) -> Result<Kilograms, BioError> {
+        ensure_coverage(theta)?;
+        let sites = self.probe_density.value() * area.value();
+        Ok(Kilograms::new(
+            sites * theta * analyte.molecule_mass().value(),
+        ))
+    }
+
+    /// Surface site density expressed in mol/m² — the Γ_max of
+    /// transport-limited kinetics.
+    #[must_use]
+    pub fn gamma_max_mol_per_m2(&self) -> f64 {
+        self.probe_density.value() / canti_units::consts::AVOGADRO
+    }
+}
+
+impl std::fmt::Display for ReceptorLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({:.1e} sites/m^2, K_D = {:.2} nM)",
+            self.name,
+            self.probe_density.value(),
+            self.binding.dissociation_constant().as_nanomolar()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kd_is_koff_over_kon() {
+        let b = BindingConstants::new(1e5, 1e-4).unwrap();
+        assert!((b.dissociation_constant().as_nanomolar() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binding_constants_reject_zero() {
+        assert!(BindingConstants::new(0.0, 1e-4).is_err());
+        assert!(BindingConstants::new(1e5, 0.0).is_err());
+        assert!(BindingConstants::new(f64::NAN, 1e-4).is_err());
+    }
+
+    #[test]
+    fn stress_scales_linearly_with_coverage() {
+        let layer = ReceptorLayer::anti_igg();
+        let half = layer.surface_stress_at(0.5).unwrap();
+        let full = layer.surface_stress_at(1.0).unwrap();
+        assert!((full.value() / half.value() - 2.0).abs() < 1e-12);
+        assert!(layer.surface_stress_at(1.2).is_err());
+        assert!(layer.surface_stress_at(-0.1).is_err());
+    }
+
+    #[test]
+    fn bound_mass_full_monolayer_igg() {
+        // 2e16 sites/m^2 x (100 um x 50 um) x 2.49e-22 kg
+        let layer = ReceptorLayer::anti_igg();
+        let area = SquareMeters::new(100e-6 * 50e-6);
+        let m = layer.bound_mass(&Analyte::igg(), area, 1.0).unwrap();
+        let expected = 2e16 * 5e-9 * 2.4908e-22; // ~2.5e-14 kg = 25 pg
+        assert!((m.value() - expected).abs() / expected < 0.01);
+        assert!(m.as_picograms() > 10.0 && m.as_picograms() < 50.0);
+    }
+
+    #[test]
+    fn gamma_max_conversion() {
+        let layer = ReceptorLayer::anti_igg();
+        let gamma = layer.gamma_max_mol_per_m2();
+        assert!((gamma - 2e16 / 6.02214076e23).abs() / gamma < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_kd() {
+        let s = ReceptorLayer::anti_igg().to_string();
+        assert!(s.contains("anti-IgG"), "{s}");
+        assert!(s.contains("K_D"), "{s}");
+    }
+}

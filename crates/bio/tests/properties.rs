@@ -1,0 +1,110 @@
+//! Property-based tests for the biochemistry substrate.
+
+use canti_bio::kinetics::{CompetitiveKinetics, CompetitiveState, LangmuirKinetics};
+use canti_bio::nonspecific::FoulingModel;
+use canti_bio::receptor::BindingConstants;
+use canti_units::{Molar, Seconds};
+use proptest::prelude::*;
+
+fn kinetics() -> impl Strategy<Value = LangmuirKinetics> {
+    (1e3f64..1e7, 1e-6f64..1e-1)
+        .prop_map(|(k_on, k_off)| LangmuirKinetics::new(k_on, k_off).expect("valid"))
+}
+
+proptest! {
+    /// Coverage always stays in [0, 1] for any kinetics, concentration,
+    /// start and time.
+    #[test]
+    fn coverage_bounded(
+        k in kinetics(),
+        c_nm in 0.0f64..1e6,
+        theta0 in 0.0f64..1.0,
+        t in 0.0f64..1e6,
+    ) {
+        let theta = k.coverage_at(Molar::from_nanomolar(c_nm), theta0, Seconds::new(t));
+        prop_assert!((0.0..=1.0).contains(&theta), "theta {theta}");
+    }
+
+    /// Equilibrium coverage increases with concentration.
+    #[test]
+    fn equilibrium_monotone_in_concentration(k in kinetics(), c1 in 1e-3f64..1e5, f in 1.1f64..100.0) {
+        let lo = k.equilibrium_coverage(Molar::from_nanomolar(c1));
+        let hi = k.equilibrium_coverage(Molar::from_nanomolar(c1 * f));
+        prop_assert!(hi > lo);
+        prop_assert!(hi < 1.0);
+    }
+
+    /// Association from a clean surface is monotone in time.
+    #[test]
+    fn association_monotone_in_time(k in kinetics(), c_nm in 0.01f64..1e4, t in 1.0f64..1e4) {
+        let c = Molar::from_nanomolar(c_nm);
+        let early = k.coverage_at(c, 0.0, Seconds::new(t));
+        let late = k.coverage_at(c, 0.0, Seconds::new(2.0 * t));
+        prop_assert!(late >= early);
+    }
+
+    /// The stepper and the closed form agree after any split of an
+    /// interval (semigroup property).
+    #[test]
+    fn step_semigroup(k in kinetics(), c_nm in 0.01f64..1e4, t in 1.0f64..1e4, split in 0.1f64..0.9) {
+        let c = Molar::from_nanomolar(c_nm);
+        let direct = k.coverage_at(c, 0.0, Seconds::new(t));
+        let mid = k.coverage_at(c, 0.0, Seconds::new(t * split));
+        let two_step = k.coverage_at(c, mid, Seconds::new(t * (1.0 - split)));
+        prop_assert!((direct - two_step).abs() < 1e-12);
+    }
+
+    /// Competitive equilibrium coverages sum below unity and each is
+    /// suppressed by the other species.
+    #[test]
+    fn competitive_equilibrium_sane(
+        c1_nm in 0.01f64..1e4,
+        c2_nm in 0.01f64..1e4,
+    ) {
+        let a = BindingConstants::new(1e5, 1e-4).expect("valid");
+        let b = BindingConstants::new(1e4, 1e-3).expect("valid");
+        let comp = CompetitiveKinetics::new(a, b);
+        let (c1, c2) = (Molar::from_nanomolar(c1_nm), Molar::from_nanomolar(c2_nm));
+        let eq = comp.equilibrium(c1, c2);
+        prop_assert!(eq.target >= 0.0 && eq.interferent >= 0.0);
+        prop_assert!(eq.total() < 1.0);
+        let alone = comp.equilibrium(c1, Molar::zero());
+        prop_assert!(eq.target <= alone.target + 1e-12, "competition only suppresses");
+    }
+
+    /// Competitive stepping never leaves the simplex.
+    #[test]
+    fn competitive_step_stays_in_simplex(
+        c1_nm in 0.01f64..1e4,
+        c2_nm in 0.01f64..1e4,
+        steps in 1usize..200,
+    ) {
+        let a = BindingConstants::new(1e5, 1e-3).expect("valid");
+        let b = BindingConstants::new(1e4, 1e-2).expect("valid");
+        let comp = CompetitiveKinetics::new(a, b);
+        let (c1, c2) = (Molar::from_nanomolar(c1_nm), Molar::from_nanomolar(c2_nm));
+        let mut s = CompetitiveState::default();
+        for _ in 0..steps {
+            s = comp.step(s, c1, c2, Seconds::new(1.0)).expect("step");
+            prop_assert!(s.target >= 0.0 && s.interferent >= 0.0);
+            prop_assert!(s.total() <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Fouling's irreversible part never decreases, for any exposure
+    /// sequence.
+    #[test]
+    fn fouling_irreversible_monotone(exposures in prop::collection::vec(0.0f64..1e3, 1..20)) {
+        let m = FoulingModel::serum_background().expect("model");
+        let mut state = canti_bio::nonspecific::FoulingState::default();
+        let mut prev_irr = 0.0;
+        for c_um in exposures {
+            state = m
+                .step(state, Molar::from_micromolar(c_um), Seconds::new(30.0))
+                .expect("step");
+            prop_assert!(state.irreversible >= prev_irr - 1e-15);
+            prop_assert!(state.total() <= 1.0);
+            prev_irr = state.irreversible;
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Calibration and limit-of-detection analysis.
+//!
+//! Ties the measured noise of each system back to the physically
+//! meaningful resolution numbers: minimum detectable surface stress /
+//! coverage / analyte concentration (static mode) and minimum detectable
+//! mass (resonant mode, from the Allan deviation of the frequency
+//! readout).
+
+use canti_bio::kinetics::LangmuirKinetics;
+use canti_bio::receptor::ReceptorLayer;
+use canti_digital::allan::FrequencyRecord;
+use canti_mems::mass_loading::MassLoading;
+use canti_units::{Hertz, Kilograms, Molar, Seconds, SurfaceStress, Volts};
+
+use crate::CoreError;
+
+/// Static-system calibration: output volts per surface stress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticCalibration {
+    /// Responsivity, V per (N/m).
+    pub volts_per_stress: f64,
+}
+
+impl StaticCalibration {
+    /// Creates a calibration from a responsivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for a zero/non-finite responsivity.
+    pub fn new(volts_per_stress: f64) -> Result<Self, CoreError> {
+        if !volts_per_stress.is_finite() || volts_per_stress == 0.0 {
+            return Err(CoreError::Config {
+                reason: "responsivity must be nonzero and finite".to_owned(),
+            });
+        }
+        Ok(Self { volts_per_stress })
+    }
+
+    /// Inverts an output voltage into surface stress.
+    #[must_use]
+    pub fn stress_from_volts(&self, v: Volts) -> SurfaceStress {
+        SurfaceStress::new(v.value() / self.volts_per_stress)
+    }
+
+    /// Minimum detectable surface stress for output noise `noise_rms`
+    /// (1σ).
+    #[must_use]
+    pub fn min_detectable_stress(&self, noise_rms: Volts) -> SurfaceStress {
+        SurfaceStress::new((noise_rms.value() / self.volts_per_stress).abs())
+    }
+
+    /// Minimum detectable *coverage* on `receptor` for that noise.
+    #[must_use]
+    pub fn min_detectable_coverage(&self, noise_rms: Volts, receptor: &ReceptorLayer) -> f64 {
+        let sigma_min = self.min_detectable_stress(noise_rms);
+        (sigma_min.value() / receptor.full_coverage_stress().value()).abs()
+    }
+
+    /// Minimum detectable analyte *concentration*: the concentration whose
+    /// equilibrium coverage equals the minimum detectable coverage,
+    /// C_min = K_D·θ/(1−θ).
+    ///
+    /// Returns `None` when even full coverage is below the noise floor.
+    #[must_use]
+    pub fn min_detectable_concentration(
+        &self,
+        noise_rms: Volts,
+        receptor: &ReceptorLayer,
+        kinetics: &LangmuirKinetics,
+    ) -> Option<Molar> {
+        let theta = self.min_detectable_coverage(noise_rms, receptor);
+        if theta >= 1.0 {
+            return None;
+        }
+        let kd = kinetics.constants().dissociation_constant().value();
+        Some(Molar::new(kd * theta / (1.0 - theta)))
+    }
+}
+
+/// Resonant-system detection limit versus averaging time, derived from a
+/// frequency record's Allan deviation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MassDetectionLimit {
+    /// `(averaging time, minimum detectable mass)` pairs.
+    pub curve: Vec<(Seconds, Kilograms)>,
+}
+
+impl MassDetectionLimit {
+    /// Builds the curve: δm(τ) = σ_y(τ)·f₀ / responsivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when the record is too short for an Allan
+    /// curve.
+    pub fn from_allan(
+        record: &FrequencyRecord,
+        nominal: Hertz,
+        loading: &MassLoading,
+    ) -> Result<Self, CoreError> {
+        let responsivity = loading.responsivity(); // Hz/kg
+        let curve = record
+            .allan_curve()
+            .map_err(CoreError::Digital)?
+            .into_iter()
+            .map(|(tau, sigma_y)| {
+                let df = sigma_y * nominal.value();
+                (tau, Kilograms::new(df / responsivity))
+            })
+            .collect();
+        Ok(Self { curve })
+    }
+
+    /// The best (smallest) detectable mass on the curve and its averaging
+    /// time.
+    #[must_use]
+    pub fn best(&self) -> Option<(Seconds, Kilograms)> {
+        self.curve
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.value().partial_cmp(&b.1.value()).expect("finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canti_mems::dynamics::Resonator;
+    use canti_mems::mass_loading::MassPlacement;
+    use canti_units::SpringConstant;
+
+    #[test]
+    fn static_calibration_roundtrip() {
+        let cal = StaticCalibration::new(250.0).unwrap(); // 250 V per N/m
+        let sigma = cal.stress_from_volts(Volts::new(1.25));
+        assert!((sigma.as_millinewtons_per_meter() - 5.0).abs() < 1e-9);
+        assert!(StaticCalibration::new(0.0).is_err());
+        assert!(StaticCalibration::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn min_detectable_chain() {
+        let cal = StaticCalibration::new(250.0).unwrap();
+        let noise = Volts::from_millivolts(0.5);
+        let sigma_min = cal.min_detectable_stress(noise);
+        assert!((sigma_min.value() - 2e-6).abs() < 1e-12);
+        let receptor = ReceptorLayer::anti_igg(); // 5 mN/m full coverage
+        let theta_min = cal.min_detectable_coverage(noise, &receptor);
+        assert!((theta_min - 4e-4).abs() < 1e-9, "theta_min {theta_min}");
+        let kin = LangmuirKinetics::from_receptor(&receptor);
+        let c_min = cal
+            .min_detectable_concentration(noise, &receptor, &kin)
+            .unwrap();
+        // KD = 1 nM, theta tiny -> C_min ~ KD * theta = 0.4 pM
+        assert!(
+            (c_min.value() - 1e-9 * 4e-4).abs() / (1e-9 * 4e-4) < 0.01,
+            "C_min {c_min}"
+        );
+    }
+
+    #[test]
+    fn undetectable_when_noise_exceeds_full_scale() {
+        let cal = StaticCalibration::new(1.0).unwrap(); // 1 V per N/m
+        let receptor = ReceptorLayer::anti_igg();
+        let kin = LangmuirKinetics::from_receptor(&receptor);
+        // noise equivalent to 1 N/m >> 5 mN/m full coverage
+        assert!(cal
+            .min_detectable_concentration(Volts::new(1.0), &receptor, &kin)
+            .is_none());
+    }
+
+    #[test]
+    fn mass_lod_from_allan() {
+        let resonator = Resonator::new(
+            Hertz::from_kilohertz(100.0),
+            300.0,
+            SpringConstant::new(50.0),
+        )
+        .unwrap();
+        let loading = MassLoading::new(resonator, MassPlacement::Distributed);
+        // white frequency noise, sigma_y = 1e-6 at tau0 -> improves as
+        // 1/sqrt(tau)
+        let samples: Vec<f64> = (0..20_000)
+            .map(|i| 1e-6 * (((i * 2654435761usize) % 1000) as f64 / 500.0 - 1.0))
+            .collect();
+        let record = FrequencyRecord::new(samples, Seconds::new(0.1)).unwrap();
+        let lod =
+            MassDetectionLimit::from_allan(&record, Hertz::from_kilohertz(100.0), &loading)
+                .unwrap();
+        assert!(lod.curve.len() > 5);
+        let (tau_best, m_best) = lod.best().unwrap();
+        // best averaging time is longer than the base interval
+        assert!(tau_best.value() > 0.1);
+        assert!(m_best.value() > 0.0);
+        // longer averaging helps for white noise: first point worse than best
+        assert!(lod.curve[0].1.value() > m_best.value());
+        // picogram-scale resolution for these numbers
+        assert!(
+            m_best.as_picograms() < 1e3,
+            "best LOD {} pg",
+            m_best.as_picograms()
+        );
+    }
+}

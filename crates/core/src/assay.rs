@@ -1,0 +1,286 @@
+//! Running biochemical assays through the two systems.
+//!
+//! Binding kinetics evolve over seconds-to-minutes while the electronics
+//! run at megahertz; simulating every electrical sample across a 20-minute
+//! assay would be pointless. The assay runners therefore work
+//! **quasi-statically**: the binding ODE sets the instantaneous surface
+//! stress / bound mass, the system's calibrated transfer maps it to the
+//! output quantity, and the measured output noise (from a real sampled
+//! burst of the full chain) is added at the decimated assay rate. The full
+//! sample-level simulations remain available on the systems themselves for
+//! the electrical experiments.
+
+use canti_analog::noise::WhiteNoise;
+use canti_bio::assay::Sensorgram;
+use canti_bio::receptor::ReceptorLayer;
+use canti_bio::analyte::Analyte;
+use canti_units::{Hertz, Seconds, SurfaceStress};
+
+use crate::resonant_system::ResonantCantileverSystem;
+use crate::static_system::StaticCantileverSystem;
+use crate::CoreError;
+
+/// One point of a transduced assay trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssayPoint {
+    /// Time from assay start.
+    pub time: Seconds,
+    /// Receptor coverage at this time.
+    pub coverage: f64,
+    /// The transduced output (V for static, Hz for resonant).
+    pub output: f64,
+}
+
+/// A transduced assay trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssayTrace {
+    /// The points, in time order.
+    pub points: Vec<AssayPoint>,
+    /// Unit string of `output` (`"V"` or `"Hz"`).
+    pub unit: &'static str,
+}
+
+impl AssayTrace {
+    /// The output extremum relative to the first point (signed, largest
+    /// magnitude).
+    #[must_use]
+    pub fn peak_signal(&self) -> f64 {
+        let Some(first) = self.points.first() else {
+            return 0.0;
+        };
+        self.points
+            .iter()
+            .map(|p| p.output - first.output)
+            .fold(0.0f64, |m, d| if d.abs() > m.abs() { d } else { m })
+    }
+
+    /// Output at (the sample closest to) `t`.
+    #[must_use]
+    pub fn output_at(&self, t: Seconds) -> Option<f64> {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.time.value() - t.value())
+                    .abs()
+                    .partial_cmp(&(b.time.value() - t.value()).abs())
+                    .expect("finite times")
+            })
+            .map(|p| p.output)
+    }
+}
+
+/// Runs a sensorgram through the static system: coverage → surface stress
+/// → calibrated output volts, with measured output noise added at the
+/// assay sample rate.
+///
+/// `averaging` is the number of electrical output samples averaged per
+/// assay point (reduces the added noise by √averaging).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on transfer/noise-measurement failures.
+pub fn run_static_assay(
+    system: &mut StaticCantileverSystem,
+    receptor: &ReceptorLayer,
+    sensorgram: &Sensorgram,
+    averaging: usize,
+) -> Result<AssayTrace, CoreError> {
+    if averaging == 0 {
+        return Err(CoreError::Config {
+            reason: "averaging must be at least 1".to_owned(),
+        });
+    }
+    let transfer = system.transfer_volts_per_stress()?;
+    let noise_rms = system
+        .output_noise_rms(0, SurfaceStress::zero(), 16_000)?
+        .value();
+    let per_point_noise = noise_rms / (averaging as f64).sqrt();
+    let mut noise = WhiteNoise::new(
+        per_point_noise * std::f64::consts::SQRT_2, // density such that sigma = per_point_noise at fs=1
+        1.0,
+        system.config().seed.wrapping_add(0xA55A),
+    )?;
+
+    let points = sensorgram
+        .samples()
+        .iter()
+        .map(|s| {
+            let sigma = receptor.surface_stress_at(s.coverage)?;
+            Ok(AssayPoint {
+                time: s.time,
+                coverage: s.coverage,
+                output: transfer * sigma.value() + noise.sample(),
+            })
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+
+    Ok(AssayTrace { points, unit: "V" })
+}
+
+/// Runs a sensorgram through the resonant system: coverage → bound mass →
+/// loaded oscillation frequency, with counter quantization at the given
+/// gate time.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on invalid gate time or mass evaluation.
+pub fn run_resonant_assay(
+    system: &ResonantCantileverSystem,
+    receptor: &ReceptorLayer,
+    analyte: &Analyte,
+    sensorgram: &Sensorgram,
+    counter_gate: Seconds,
+) -> Result<AssayTrace, CoreError> {
+    if counter_gate.value() <= 0.0 {
+        return Err(CoreError::Config {
+            reason: "counter gate must be positive".to_owned(),
+        });
+    }
+    let area = system.chip().geometry().plan_area();
+    let loading = system.mass_loading();
+    let quant = 1.0 / counter_gate.value();
+
+    let points = sensorgram
+        .samples()
+        .iter()
+        .map(|s| {
+            let mass = receptor.bound_mass(analyte, area, s.coverage)?;
+            let f = loading.loaded_frequency(mass);
+            // gated-counter quantization: floor to whole counts in the gate
+            let counted = (f.value() * counter_gate.value()).floor() / counter_gate.value();
+            Ok(AssayPoint {
+                time: s.time,
+                coverage: s.coverage,
+                output: counted,
+            })
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+
+    let _ = Hertz::new(quant);
+    Ok(AssayTrace { points, unit: "Hz" })
+}
+
+/// Converts a resonant trace (Hz) into frequency *shift* relative to its
+/// first point — the quantity Figure 2 sketches.
+#[must_use]
+pub fn to_frequency_shift(trace: &AssayTrace) -> Vec<(Seconds, f64)> {
+    let Some(first) = trace.points.first() else {
+        return Vec::new();
+    };
+    trace
+        .points
+        .iter()
+        .map(|p| (p.time, p.output - first.output))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{BiosensorChip, Environment};
+    use crate::resonant_system::ResonantLoopConfig;
+    use crate::static_system::StaticReadoutConfig;
+    use canti_bio::assay::AssayProtocol;
+    use canti_bio::kinetics::LangmuirKinetics;
+    use canti_units::Molar;
+
+    fn sensorgram() -> Sensorgram {
+        let protocol = AssayProtocol::standard(
+            Seconds::new(30.0),
+            Molar::from_nanomolar(50.0),
+            Seconds::new(600.0),
+            Seconds::new(300.0),
+        );
+        let kinetics = LangmuirKinetics::from_receptor(&ReceptorLayer::anti_igg());
+        protocol.run(&kinetics, Seconds::new(5.0), 0.0).unwrap()
+    }
+
+    #[test]
+    fn static_assay_produces_rising_voltage() {
+        let mut sys = StaticCantileverSystem::new(
+            BiosensorChip::paper_static_chip().unwrap(),
+            StaticReadoutConfig::default(),
+        )
+        .unwrap();
+        let trace = run_static_assay(&mut sys, &ReceptorLayer::anti_igg(), &sensorgram(), 100)
+            .unwrap();
+        assert_eq!(trace.unit, "V");
+        assert_eq!(trace.points.len(), sensorgram().len());
+        let peak = trace.peak_signal();
+        assert!(peak.abs() > 1e-3, "binding must move the output: {peak} V");
+        // baseline flat-ish: before injection the output stays near zero
+        let baseline = trace.output_at(Seconds::new(20.0)).unwrap();
+        assert!(baseline.abs() < peak.abs() / 5.0, "baseline {baseline} vs peak {peak}");
+        assert!(run_static_assay(&mut sys, &ReceptorLayer::anti_igg(), &sensorgram(), 0).is_err());
+    }
+
+    #[test]
+    fn resonant_assay_frequency_falls_with_binding() {
+        let sys = ResonantCantileverSystem::new(
+            BiosensorChip::paper_resonant_chip().unwrap(),
+            Environment::air(),
+            ResonantLoopConfig::default(),
+        )
+        .unwrap();
+        let trace = run_resonant_assay(
+            &sys,
+            &ReceptorLayer::anti_igg(),
+            &Analyte::igg(),
+            &sensorgram(),
+            Seconds::new(10.0),
+        )
+        .unwrap();
+        assert_eq!(trace.unit, "Hz");
+        let shift = trace.peak_signal();
+        assert!(shift < 0.0, "bound mass lowers the frequency: {shift} Hz");
+        let shifts = to_frequency_shift(&trace);
+        assert_eq!(shifts.len(), trace.points.len());
+        assert_eq!(shifts[0].1, 0.0);
+        // gate quantization: all outputs land on the 0.1 Hz grid
+        for p in &trace.points {
+            let on_grid = (p.output * 10.0).round() / 10.0;
+            assert!((p.output - on_grid).abs() < 1e-9);
+        }
+        assert!(run_resonant_assay(
+            &sys,
+            &ReceptorLayer::anti_igg(),
+            &Analyte::igg(),
+            &sensorgram(),
+            Seconds::zero()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trace_helpers() {
+        let trace = AssayTrace {
+            points: vec![
+                AssayPoint {
+                    time: Seconds::new(0.0),
+                    coverage: 0.0,
+                    output: 1.0,
+                },
+                AssayPoint {
+                    time: Seconds::new(1.0),
+                    coverage: 0.5,
+                    output: 3.0,
+                },
+                AssayPoint {
+                    time: Seconds::new(2.0),
+                    coverage: 0.4,
+                    output: 2.5,
+                },
+            ],
+            unit: "V",
+        };
+        assert_eq!(trace.peak_signal(), 2.0);
+        assert_eq!(trace.output_at(Seconds::new(1.1)).unwrap(), 3.0);
+        let empty = AssayTrace {
+            points: vec![],
+            unit: "V",
+        };
+        assert_eq!(empty.peak_signal(), 0.0);
+        assert!(empty.output_at(Seconds::zero()).is_none());
+        assert!(to_frequency_shift(&empty).is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! The autonomous instrument: the digital sequencer driving the real
+//! analog system.
+//!
+//! "…and enables autonomous device operation" — this module closes that
+//! loop literally: the [`MeasurementSequencer`] FSM from `canti-digital`
+//! issues actions, and this harness executes them against the
+//! [`StaticCantileverSystem`], feeding completion events back. No host
+//! computer in the loop: power-on → self-test → self-calibration → scan →
+//! report.
+
+use canti_digital::sequencer::{
+    MeasurementSequencer, SequencerAction, SequencerEvent, SequencerState,
+};
+use canti_units::{SurfaceStress, Volts};
+
+use crate::static_system::{StaticCantileverSystem, CHANNELS};
+use crate::CoreError;
+
+/// One completed scan pass: the per-channel settled outputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanReport {
+    /// Settled output voltage per channel.
+    pub outputs: [Volts; CHANNELS],
+}
+
+/// The self-running instrument.
+///
+/// # Examples
+///
+/// ```no_run
+/// use canti_core::autonomous::AutonomousInstrument;
+/// use canti_core::chip::BiosensorChip;
+/// use canti_core::static_system::{StaticCantileverSystem, StaticReadoutConfig};
+/// use canti_units::SurfaceStress;
+///
+/// let chip = BiosensorChip::paper_static_chip()?;
+/// let system = StaticCantileverSystem::new(chip, StaticReadoutConfig::default())?;
+/// let mut instrument = AutonomousInstrument::new(system)?;
+/// instrument.power_on()?;
+/// let report = instrument.run_scan([SurfaceStress::zero(); 4], 10_000)?;
+/// assert!(report.outputs[0].value().is_finite());
+/// # Ok::<(), canti_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct AutonomousInstrument {
+    sequencer: MeasurementSequencer,
+    system: StaticCantileverSystem,
+}
+
+impl AutonomousInstrument {
+    /// Wraps a system in the autonomous controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the sequencer cannot be configured.
+    pub fn new(system: StaticCantileverSystem) -> Result<Self, CoreError> {
+        Ok(Self {
+            sequencer: MeasurementSequencer::new(CHANNELS, 1_000_000)
+                .map_err(CoreError::Digital)?,
+            system,
+        })
+    }
+
+    /// The controller's current state.
+    #[must_use]
+    pub fn state(&self) -> &SequencerState {
+        self.sequencer.state()
+    }
+
+    /// Completed scan passes since power-on/reset.
+    #[must_use]
+    pub fn scans_completed(&self) -> u64 {
+        self.sequencer.scans_completed()
+    }
+
+    /// The wrapped system (e.g. for responsivity queries).
+    #[must_use]
+    pub fn system(&self) -> &StaticCantileverSystem {
+        &self.system
+    }
+
+    /// Power-on sequence: self-test, then self-calibration of all channel
+    /// offsets, ending in `Idle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if calibration fails; the sequencer latches
+    /// `Fault` in that case.
+    pub fn power_on(&mut self) -> Result<(), CoreError> {
+        let action = self
+            .sequencer
+            .handle(SequencerEvent::SelfTestPassed)
+            .map_err(CoreError::Digital)?;
+        debug_assert_eq!(action, SequencerAction::RunCalibration);
+        match self.system.calibrate_offsets() {
+            Ok(()) => {
+                self.sequencer
+                    .handle(SequencerEvent::CalibrationDone)
+                    .map_err(CoreError::Digital)?;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.sequencer.handle(SequencerEvent::CalibrationFailed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs one complete scan pass under the sequencer's control:
+    /// `StartScan` → measure each channel the FSM asks for → `Report`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if triggered outside `Idle` or a measurement
+    /// fails (the sequencer faults in both cases).
+    pub fn run_scan(
+        &mut self,
+        sigmas: [SurfaceStress; CHANNELS],
+        samples_per_channel: usize,
+    ) -> Result<ScanReport, CoreError> {
+        let mut action = self
+            .sequencer
+            .handle(SequencerEvent::StartScan)
+            .map_err(CoreError::Digital)?;
+        if matches!(self.sequencer.state(), SequencerState::Fault { .. }) {
+            return Err(CoreError::Config {
+                reason: format!("scan triggered in invalid state: {:?}", self.sequencer.state()),
+            });
+        }
+        let mut outputs = [Volts::zero(); CHANNELS];
+        loop {
+            match action {
+                SequencerAction::MeasureChannel(ch) => {
+                    outputs[ch] = self.system.measure(ch, sigmas[ch], samples_per_channel)?;
+                    action = self
+                        .sequencer
+                        .handle(SequencerEvent::ChannelDone)
+                        .map_err(CoreError::Digital)?;
+                }
+                SequencerAction::Report => return Ok(ScanReport { outputs }),
+                other => {
+                    return Err(CoreError::Config {
+                        reason: format!("unexpected sequencer action {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Resets the controller (fault recovery); the system keeps its
+    /// calibration until the next [`Self::power_on`].
+    pub fn reset(&mut self) {
+        let _ = self.sequencer.handle(SequencerEvent::Reset);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::BiosensorChip;
+    use crate::static_system::StaticReadoutConfig;
+
+    fn instrument() -> AutonomousInstrument {
+        let system = StaticCantileverSystem::new(
+            BiosensorChip::paper_static_chip().unwrap(),
+            StaticReadoutConfig::default(),
+        )
+        .unwrap();
+        AutonomousInstrument::new(system).unwrap()
+    }
+
+    #[test]
+    fn full_autonomous_cycle() {
+        let mut inst = instrument();
+        assert_eq!(inst.state(), &SequencerState::PowerOn);
+        inst.power_on().unwrap();
+        assert_eq!(inst.state(), &SequencerState::Idle);
+
+        let mut sigmas = [SurfaceStress::zero(); CHANNELS];
+        sigmas[1] = SurfaceStress::from_millinewtons_per_meter(4.0);
+        let baseline = inst.run_scan([SurfaceStress::zero(); CHANNELS], 8_000).unwrap();
+        let report = inst.run_scan(sigmas, 8_000).unwrap();
+        assert_eq!(inst.scans_completed(), 2);
+        assert_eq!(inst.state(), &SequencerState::Idle);
+
+        // the stressed channel moved; the others stayed
+        let delta = |ch: usize| (report.outputs[ch] - baseline.outputs[ch]).value().abs();
+        assert!(delta(1) > 2e-3, "channel 1 moved {}", delta(1));
+        assert!(delta(0) < delta(1) / 5.0);
+        assert!(delta(3) < delta(1) / 5.0);
+    }
+
+    #[test]
+    fn scan_before_power_on_faults() {
+        let mut inst = instrument();
+        let err = inst
+            .run_scan([SurfaceStress::zero(); CHANNELS], 1_000)
+            .unwrap_err();
+        assert!(err.to_string().contains("invalid state"), "{err}");
+        assert!(matches!(inst.state(), SequencerState::Fault { .. }));
+        // recoverable
+        inst.reset();
+        inst.power_on().unwrap();
+        assert_eq!(inst.state(), &SequencerState::Idle);
+    }
+}

@@ -1,0 +1,263 @@
+//! The biosensor chip description: what was fabricated and where it
+//! operates.
+//!
+//! [`BiosensorChip`] is the assembly point: cantilever geometry (from the
+//! post-CMOS release), bridge implementation, actuation coil, package
+//! magnet, operating temperature and the surrounding medium. The two
+//! system modules consume it.
+
+use canti_bio::liquid::Liquid;
+use canti_mems::actuation::LorentzCoil;
+use canti_mems::beam::CompositeBeam;
+use canti_mems::geometry::CantileverGeometry;
+use canti_units::{Kelvin, Tesla, Volts};
+
+use canti_analog::bridge::WheatstoneBridge;
+
+use crate::CoreError;
+
+/// Operating environment of the chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Environment {
+    /// Chip temperature.
+    pub temperature: Kelvin,
+    /// The medium surrounding the cantilever (the sample liquid, or air
+    /// for dry calibration).
+    pub medium: Liquid,
+}
+
+impl Environment {
+    /// Room-temperature air — dry calibration conditions.
+    #[must_use]
+    pub fn air() -> Self {
+        Self {
+            temperature: canti_units::consts::ROOM_TEMPERATURE,
+            medium: Liquid::air(),
+        }
+    }
+
+    /// A liquid sample at 25 °C.
+    #[must_use]
+    pub fn liquid(medium: Liquid) -> Self {
+        Self {
+            temperature: Kelvin::from_celsius(25.0),
+            medium,
+        }
+    }
+}
+
+/// A fabricated single-chip cantilever biosensor.
+///
+/// # Examples
+///
+/// ```
+/// use canti_core::chip::BiosensorChip;
+///
+/// let chip = BiosensorChip::paper_resonant_chip()?;
+/// assert!(chip.beam().fundamental_frequency().as_kilohertz() > 10.0);
+/// # Ok::<(), canti_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BiosensorChip {
+    geometry: CantileverGeometry,
+    beam: CompositeBeam,
+    bridge: WheatstoneBridge,
+    coil: Option<LorentzCoil>,
+    magnet_field: Tesla,
+    bridge_bias: Volts,
+    /// Intrinsic (vacuum) quality factor of the released beam.
+    intrinsic_q: f64,
+}
+
+impl BiosensorChip {
+    /// Assembles a chip from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the beam cannot be reduced or parameters
+    /// are nonsensical.
+    pub fn new(
+        geometry: CantileverGeometry,
+        bridge: WheatstoneBridge,
+        coil: Option<LorentzCoil>,
+        magnet_field: Tesla,
+        bridge_bias: Volts,
+        intrinsic_q: f64,
+    ) -> Result<Self, CoreError> {
+        if bridge_bias.value() <= 0.0 {
+            return Err(CoreError::Config {
+                reason: "bridge bias must be positive".to_owned(),
+            });
+        }
+        if intrinsic_q <= 0.0 {
+            return Err(CoreError::Config {
+                reason: "intrinsic Q must be positive".to_owned(),
+            });
+        }
+        let beam = CompositeBeam::new(&geometry)?;
+        Ok(Self {
+            geometry,
+            beam,
+            bridge,
+            coil,
+            magnet_field,
+            bridge_bias,
+            intrinsic_q,
+        })
+    }
+
+    /// The paper's static-system chip: long soft beam, diffused-resistor
+    /// bridge distributed over the beam, no coil.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on substrate failures (none in practice).
+    pub fn paper_static_chip() -> Result<Self, CoreError> {
+        let geometry = CantileverGeometry::paper_static()?;
+        let bridge = WheatstoneBridge::resistive(canti_units::Ohms::from_kiloohms(10.0))?
+            .with_random_mismatch(0.005, 0x57A7);
+        Self::new(
+            geometry,
+            bridge,
+            None,
+            canti_units::consts::PACKAGE_MAGNET_FIELD,
+            Volts::new(5.0),
+            20_000.0,
+        )
+    }
+
+    /// The paper's resonant-system chip: short stiff beam with coil,
+    /// PMOS-triode bridge at the clamped edge, package magnet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on substrate failures (none in practice).
+    pub fn paper_resonant_chip() -> Result<Self, CoreError> {
+        let geometry = CantileverGeometry::paper_resonant()?;
+        let coil = LorentzCoil::paper_coil(&geometry)?;
+        let bridge = WheatstoneBridge::paper_pmos()?.with_random_mismatch(0.005, 0x4E50);
+        Self::new(
+            geometry,
+            bridge,
+            Some(coil),
+            canti_units::consts::PACKAGE_MAGNET_FIELD,
+            Volts::new(2.5),
+            10_000.0,
+        )
+    }
+
+    /// The cantilever geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &CantileverGeometry {
+        &self.geometry
+    }
+
+    /// The reduced beam mechanics.
+    #[must_use]
+    pub fn beam(&self) -> &CompositeBeam {
+        &self.beam
+    }
+
+    /// The readout bridge.
+    #[must_use]
+    pub fn bridge(&self) -> &WheatstoneBridge {
+        &self.bridge
+    }
+
+    /// The actuation coil, when present.
+    #[must_use]
+    pub fn coil(&self) -> Option<&LorentzCoil> {
+        self.coil.as_ref()
+    }
+
+    /// The package magnet's flux density.
+    #[must_use]
+    pub fn magnet_field(&self) -> Tesla {
+        self.magnet_field
+    }
+
+    /// The bridge bias voltage.
+    #[must_use]
+    pub fn bridge_bias(&self) -> Volts {
+        self.bridge_bias
+    }
+
+    /// The beam's intrinsic (vacuum) quality factor.
+    #[must_use]
+    pub fn intrinsic_q(&self) -> f64 {
+        self.intrinsic_q
+    }
+
+    /// Returns a copy with a different beam geometry (e.g. a Monte-Carlo
+    /// thickness variant), re-deriving the mechanics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the new geometry is invalid.
+    pub fn with_geometry(&self, geometry: CantileverGeometry) -> Result<Self, CoreError> {
+        let beam = CompositeBeam::new(&geometry)?;
+        Ok(Self {
+            geometry,
+            beam,
+            ..self.clone()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chips_assemble() {
+        let s = BiosensorChip::paper_static_chip().unwrap();
+        assert!(s.coil().is_none(), "static system needs no actuation");
+        assert!(s.bridge_bias().value() > 0.0);
+
+        let r = BiosensorChip::paper_resonant_chip().unwrap();
+        assert!(r.coil().is_some());
+        assert!(
+            r.beam().fundamental_frequency().value() > s.beam().fundamental_frequency().value(),
+            "resonant beam is stiffer/shorter"
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        let g = CantileverGeometry::paper_static().unwrap();
+        let b = WheatstoneBridge::resistive(canti_units::Ohms::from_kiloohms(10.0)).unwrap();
+        assert!(BiosensorChip::new(
+            g.clone(),
+            b.clone(),
+            None,
+            Tesla::new(0.25),
+            Volts::zero(),
+            1e4
+        )
+        .is_err());
+        assert!(
+            BiosensorChip::new(g, b, None, Tesla::new(0.25), Volts::new(5.0), 0.0).is_err()
+        );
+    }
+
+    #[test]
+    fn with_geometry_rederives_beam() {
+        let chip = BiosensorChip::paper_resonant_chip().unwrap();
+        let thicker = chip
+            .geometry()
+            .with_core_thickness(canti_units::Meters::from_micrometers(6.0));
+        let chip2 = chip.with_geometry(thicker).unwrap();
+        assert!(
+            chip2.beam().fundamental_frequency().value()
+                > chip.beam().fundamental_frequency().value()
+        );
+    }
+
+    #[test]
+    fn environments() {
+        let air = Environment::air();
+        assert!(air.medium.density().value() < 10.0);
+        let wet = Environment::liquid(Liquid::water(Kelvin::from_celsius(25.0)));
+        assert!(wet.medium.density().value() > 900.0);
+    }
+}

@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Error raised by `canti-core` system assembly and simulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A substrate error from the mechanics layer.
+    Mems(canti_mems::MemsError),
+    /// A substrate error from the biochemistry layer.
+    Bio(canti_bio::BioError),
+    /// A substrate error from the analog layer.
+    Analog(canti_analog::AnalogError),
+    /// A substrate error from the digital layer.
+    Digital(canti_digital::DigitalError),
+    /// A substrate error from the fabrication layer.
+    Fab(canti_fab::FabError),
+    /// A system-level configuration problem.
+    Config {
+        /// What is wrong.
+        reason: String,
+    },
+    /// The closed loop failed to start or sustain oscillation.
+    OscillationFailed {
+        /// Diagnostic detail.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Mems(e) => write!(f, "mechanics: {e}"),
+            Self::Bio(e) => write!(f, "biochemistry: {e}"),
+            Self::Analog(e) => write!(f, "analog: {e}"),
+            Self::Digital(e) => write!(f, "digital: {e}"),
+            Self::Fab(e) => write!(f, "fabrication: {e}"),
+            Self::Config { reason } => write!(f, "configuration: {reason}"),
+            Self::OscillationFailed { reason } => write!(f, "oscillation failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Mems(e) => Some(e),
+            Self::Bio(e) => Some(e),
+            Self::Analog(e) => Some(e),
+            Self::Digital(e) => Some(e),
+            Self::Fab(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<canti_mems::MemsError> for CoreError {
+    fn from(e: canti_mems::MemsError) -> Self {
+        Self::Mems(e)
+    }
+}
+
+impl From<canti_bio::BioError> for CoreError {
+    fn from(e: canti_bio::BioError) -> Self {
+        Self::Bio(e)
+    }
+}
+
+impl From<canti_analog::AnalogError> for CoreError {
+    fn from(e: canti_analog::AnalogError) -> Self {
+        Self::Analog(e)
+    }
+}
+
+impl From<canti_digital::DigitalError> for CoreError {
+    fn from(e: canti_digital::DigitalError) -> Self {
+        Self::Digital(e)
+    }
+}
+
+impl From<canti_fab::FabError> for CoreError {
+    fn from(e: canti_fab::FabError) -> Self {
+        Self::Fab(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_error_with_sources() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+        let e = CoreError::from(canti_mems::MemsError::EmptyStack);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("mechanics"));
+        let c = CoreError::Config {
+            reason: "bad".to_owned(),
+        };
+        assert!(std::error::Error::source(&c).is_none());
+    }
+}

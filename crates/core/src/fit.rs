@@ -1,0 +1,272 @@
+//! Curve fitting for assay calibration: Nelder–Mead simplex optimization
+//! and the four-parameter logistic (4PL) dose–response model.
+//!
+//! A deployed diagnostic instrument does not report volts — it reports a
+//! concentration, read off a calibration curve. The industry-standard
+//! curve for immunoassays is the 4PL:
+//!
+//! ```text
+//! y(x) = bottom + (top − bottom) / (1 + (ec50/x)^hill)
+//! ```
+//!
+//! [`FourParamLogistic::fit`] recovers its parameters from (dose,
+//! response) calibration points by derivative-free Nelder–Mead
+//! minimization of the squared error.
+
+use crate::CoreError;
+
+/// Derivative-free Nelder–Mead simplex minimization.
+///
+/// `x0` is the starting point, `scale` the per-dimension initial simplex
+/// size. Runs `max_iter` iterations (no early-exit tolerance games; this
+/// is a calibration-time fit, not an inner loop).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Config`] on dimension mismatch or empty input.
+pub fn nelder_mead(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    scale: &[f64],
+    max_iter: usize,
+) -> Result<Vec<f64>, CoreError> {
+    let n = x0.len();
+    if n == 0 || scale.len() != n {
+        return Err(CoreError::Config {
+            reason: "nelder-mead needs matching non-empty x0 and scale".to_owned(),
+        });
+    }
+    // initial simplex: x0 plus one vertex per dimension
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    simplex.push((x0.to_vec(), f(x0)));
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        v[i] += scale[i];
+        let fv = f(&v);
+        simplex.push((v, fv));
+    }
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    for _ in 0..max_iter {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        // centroid of all but worst
+        let mut centroid = vec![0.0; n];
+        for (v, _) in &simplex[..n] {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let fr = f(&reflect);
+
+        if fr < simplex[0].1 {
+            // try expansion
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&reflect)
+                .map(|(c, r)| c + gamma * (r - c))
+                .collect();
+            let fe = f(&expand);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            // contraction
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
+            let fc = f(&contract);
+            if fc < worst.1 {
+                simplex[n] = (contract, fc);
+            } else {
+                // shrink toward best
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let v: Vec<f64> = best
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, x)| b + sigma * (x - b))
+                        .collect();
+                    let fv = f(&v);
+                    *entry = (v, fv);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(simplex[0].0.clone())
+}
+
+/// The four-parameter logistic dose–response curve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FourParamLogistic {
+    /// Response at zero dose.
+    pub bottom: f64,
+    /// Response at saturating dose.
+    pub top: f64,
+    /// Dose of half-maximal response.
+    pub ec50: f64,
+    /// Hill slope (1 for ideal 1:1 Langmuir binding).
+    pub hill: f64,
+}
+
+impl FourParamLogistic {
+    /// Evaluates the curve at dose `x` (x ≥ 0; 0 maps to `bottom`).
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return self.bottom;
+        }
+        self.bottom + (self.top - self.bottom) / (1.0 + (self.ec50 / x).powf(self.hill))
+    }
+
+    /// Inverts a response back to a dose (the instrument's job).
+    /// Returns `None` outside the curve's open range.
+    #[must_use]
+    pub fn invert(&self, y: f64) -> Option<f64> {
+        let span = self.top - self.bottom;
+        let frac = (y - self.bottom) / span;
+        if !(frac > 0.0 && frac < 1.0) {
+            return None;
+        }
+        Some(self.ec50 / ((1.0 - frac) / frac).powf(1.0 / self.hill))
+    }
+
+    /// Fits the curve to `(dose, response)` points by Nelder–Mead least
+    /// squares. Doses must be non-negative; at least 5 points required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for too few points or degenerate
+    /// doses.
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self, CoreError> {
+        if points.len() < 5 {
+            return Err(CoreError::Config {
+                reason: format!("4PL fit needs >= 5 points, got {}", points.len()),
+            });
+        }
+        let max_dose = points.iter().map(|p| p.0).fold(0.0f64, f64::max);
+        if max_dose <= 0.0 {
+            return Err(CoreError::Config {
+                reason: "4PL fit needs at least one positive dose".to_owned(),
+            });
+        }
+        let min_y = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let max_y = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let span = (max_y - min_y).max(1e-30);
+
+        // parameterize ec50 logarithmically to keep it positive
+        let sse = |p: &[f64]| -> f64 {
+            let curve = FourParamLogistic {
+                bottom: p[0],
+                top: p[1],
+                ec50: p[2].exp(),
+                hill: p[3].abs().max(1e-3),
+            };
+            points
+                .iter()
+                .map(|&(x, y)| (curve.predict(x) - y).powi(2))
+                .sum()
+        };
+        let x0 = [
+            min_y,
+            max_y,
+            (max_dose / 10.0).max(1e-30).ln(),
+            1.0,
+        ];
+        let scale = [span * 0.2, span * 0.2, 1.5, 0.4];
+        let best = nelder_mead(sse, &x0, &scale, 800)?;
+        Ok(Self {
+            bottom: best[0],
+            top: best[1],
+            ec50: best[2].exp(),
+            hill: best[3].abs().max(1e-3),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nelder_mead_minimizes_rosenbrock() {
+        let rosenbrock =
+            |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let best = nelder_mead(rosenbrock, &[-1.2, 1.0], &[0.5, 0.5], 2000).unwrap();
+        assert!((best[0] - 1.0).abs() < 1e-3, "{best:?}");
+        assert!((best[1] - 1.0).abs() < 1e-3, "{best:?}");
+        assert!(nelder_mead(rosenbrock, &[], &[], 10).is_err());
+        assert!(nelder_mead(rosenbrock, &[1.0], &[1.0, 2.0], 10).is_err());
+    }
+
+    #[test]
+    fn fit_recovers_known_parameters() {
+        let truth = FourParamLogistic {
+            bottom: 0.002,
+            top: 0.105,
+            ec50: 1.0, // nM
+            hill: 1.0,
+        };
+        // 9-point calibration with 1 % multiplicative "noise" (deterministic)
+        let points: Vec<(f64, f64)> = [0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 100.0, 1000.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let wiggle = 1.0 + 0.01 * if i % 2 == 0 { 1.0 } else { -1.0 };
+                (x, truth.predict(x) * wiggle)
+            })
+            .collect();
+        let fitted = FourParamLogistic::fit(&points).unwrap();
+        assert!(
+            (fitted.ec50 - 1.0).abs() < 0.15,
+            "ec50 {} should be ~1",
+            fitted.ec50
+        );
+        assert!((fitted.hill - 1.0).abs() < 0.2, "hill {}", fitted.hill);
+        assert!((fitted.top - truth.top).abs() / truth.top < 0.1);
+    }
+
+    #[test]
+    fn predict_limits_and_midpoint() {
+        let c = FourParamLogistic {
+            bottom: 1.0,
+            top: 5.0,
+            ec50: 10.0,
+            hill: 2.0,
+        };
+        assert_eq!(c.predict(0.0), 1.0);
+        assert!((c.predict(1e9) - 5.0).abs() < 1e-6);
+        assert!((c.predict(10.0) - 3.0).abs() < 1e-12, "half response at EC50");
+    }
+
+    #[test]
+    fn invert_roundtrips() {
+        let c = FourParamLogistic {
+            bottom: 0.0,
+            top: 1.0,
+            ec50: 2.0,
+            hill: 1.3,
+        };
+        for x in [0.1, 0.5, 2.0, 8.0, 50.0] {
+            let y = c.predict(x);
+            let back = c.invert(y).unwrap();
+            assert!((back - x).abs() / x < 1e-9, "{x} -> {y} -> {back}");
+        }
+        assert!(c.invert(-0.1).is_none());
+        assert!(c.invert(1.0).is_none());
+    }
+
+    #[test]
+    fn fit_validation() {
+        assert!(FourParamLogistic::fit(&[(1.0, 1.0); 3]).is_err());
+        assert!(FourParamLogistic::fit(&[(0.0, 1.0); 6]).is_err());
+    }
+}

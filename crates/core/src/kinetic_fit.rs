@@ -1,0 +1,216 @@
+//! Kinetic-rate extraction from measured sensorgrams.
+//!
+//! Beyond endpoint concentrations, a time-resolved biosensor measures
+//! *kinetics*: fitting the association phase to A·(1 − e^(−k_obs·t)) and
+//! the dissociation phase to B·e^(−k_off·t) yields k_off directly and
+//! k_on = (k_obs − k_off)/C — the analysis surface-plasmon-resonance
+//! instruments ship, applied here to the cantilever sensorgram.
+
+use canti_bio::assay::Sensorgram;
+use canti_units::{Molar, Seconds};
+
+use crate::fit::nelder_mead;
+use crate::CoreError;
+
+/// Result of fitting a single association/dissociation cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KineticFit {
+    /// Observed association rate k_obs = k_on·C + k_off, 1/s.
+    pub k_obs: f64,
+    /// Dissociation rate k_off, 1/s.
+    pub k_off: f64,
+    /// Derived association rate k_on, 1/(M·s).
+    pub k_on: f64,
+    /// Derived dissociation constant K_D = k_off/k_on.
+    pub kd: Molar,
+}
+
+/// Fits an exponential approach `a·(1 − e^(−k·t)) + c` to `(t, y)` points;
+/// returns `(a, k, c)`.
+fn fit_rising_exponential(points: &[(f64, f64)]) -> Result<(f64, f64, f64), CoreError> {
+    if points.len() < 4 {
+        return Err(CoreError::Config {
+            reason: "exponential fit needs >= 4 points".to_owned(),
+        });
+    }
+    let t_span = points.last().expect("nonempty").0 - points[0].0;
+    if t_span <= 0.0 {
+        return Err(CoreError::Config {
+            reason: "non-increasing time axis".to_owned(),
+        });
+    }
+    let y_last = points.last().expect("nonempty").1;
+    let y_first = points[0].1;
+    let sse = |p: &[f64]| -> f64 {
+        let (a, ln_k, c) = (p[0], p[1], p[2]);
+        let k = ln_k.exp();
+        points
+            .iter()
+            .map(|&(t, y)| {
+                let model = a * (1.0 - (-k * (t - points[0].0)).exp()) + c;
+                (model - y).powi(2)
+            })
+            .sum()
+    };
+    let x0 = [y_last - y_first, (2.0 / t_span).ln(), y_first];
+    let scale = [
+        (y_last - y_first).abs().max(1e-12) * 0.5,
+        1.0,
+        (y_last - y_first).abs().max(1e-12) * 0.2,
+    ];
+    let best = nelder_mead(sse, &x0, &scale, 600)?;
+    Ok((best[0], best[1].exp(), best[2]))
+}
+
+/// Fits a decaying exponential `a·e^(−k·t) + c`; returns `(a, k, c)`.
+fn fit_decaying_exponential(points: &[(f64, f64)]) -> Result<(f64, f64, f64), CoreError> {
+    // reuse the rising fit on the mirrored data: a·e^(-kt)+c =
+    // -a·(1-e^(-kt)) + (a+c)
+    let (neg_a, k, offset) = fit_rising_exponential(points)?;
+    Ok((-neg_a, k, offset + neg_a))
+}
+
+/// Extracts kinetic rates from a sensorgram whose injection ran from
+/// `t_inject` to `t_wash` at concentration `c`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when either phase has too few samples or the fit
+/// degenerates (k_obs ≤ k_off).
+pub fn fit_sensorgram(
+    gram: &Sensorgram,
+    c: Molar,
+    t_inject: Seconds,
+    t_wash: Seconds,
+) -> Result<KineticFit, CoreError> {
+    if c.value() <= 0.0 {
+        return Err(CoreError::Config {
+            reason: "analyte concentration must be positive".to_owned(),
+        });
+    }
+    let assoc: Vec<(f64, f64)> = gram
+        .samples()
+        .iter()
+        .filter(|s| s.time.value() >= t_inject.value() && s.time.value() < t_wash.value())
+        .map(|s| (s.time.value(), s.coverage))
+        .collect();
+    let dissoc: Vec<(f64, f64)> = gram
+        .samples()
+        .iter()
+        .filter(|s| s.time.value() >= t_wash.value())
+        .map(|s| (s.time.value(), s.coverage))
+        .collect();
+
+    let (_, k_obs, _) = fit_rising_exponential(&assoc)?;
+    let (_, k_off, _) = fit_decaying_exponential(&dissoc)?;
+    if k_obs <= k_off {
+        return Err(CoreError::Config {
+            reason: format!("degenerate fit: k_obs {k_obs} <= k_off {k_off}"),
+        });
+    }
+    let k_on = (k_obs - k_off) / c.value();
+    Ok(KineticFit {
+        k_obs,
+        k_off,
+        k_on,
+        kd: Molar::new(k_off / k_on),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canti_bio::assay::AssayProtocol;
+    use canti_bio::kinetics::LangmuirKinetics;
+
+    #[test]
+    fn recovers_rates_from_clean_sensorgram() {
+        // truth: k_on = 2e5, k_off = 5e-4 -> KD = 2.5 nM
+        let kinetics = LangmuirKinetics::new(2e5, 5e-4).unwrap();
+        let c = Molar::from_nanomolar(10.0);
+        let protocol = AssayProtocol::standard(
+            Seconds::new(60.0),
+            c,
+            Seconds::new(1200.0),
+            Seconds::new(2400.0),
+        );
+        let gram = protocol.run(&kinetics, Seconds::new(5.0), 0.0).unwrap();
+        let fit = fit_sensorgram(&gram, c, Seconds::new(60.0), Seconds::new(1260.0)).unwrap();
+        assert!(
+            (fit.k_off - 5e-4).abs() / 5e-4 < 0.05,
+            "k_off {} vs 5e-4",
+            fit.k_off
+        );
+        assert!(
+            (fit.k_on - 2e5).abs() / 2e5 < 0.1,
+            "k_on {} vs 2e5",
+            fit.k_on
+        );
+        assert!(
+            (fit.kd.as_nanomolar() - 2.5).abs() < 0.4,
+            "KD {} nM vs 2.5",
+            fit.kd.as_nanomolar()
+        );
+        // k_obs consistency
+        let expected_obs = 2e5 * 10e-9 + 5e-4;
+        assert!((fit.k_obs - expected_obs).abs() / expected_obs < 0.05);
+    }
+
+    #[test]
+    fn tolerates_small_noise() {
+        let kinetics = LangmuirKinetics::new(1e5, 1e-3).unwrap();
+        let c = Molar::from_nanomolar(20.0);
+        let protocol = AssayProtocol::standard(
+            Seconds::new(30.0),
+            c,
+            Seconds::new(900.0),
+            Seconds::new(1500.0),
+        );
+        let gram = protocol.run(&kinetics, Seconds::new(5.0), 0.0).unwrap();
+        // perturb coverages deterministically by ~1 %
+        let noisy = {
+            let mut samples = gram.samples().to_vec();
+            for (i, s) in samples.iter_mut().enumerate() {
+                let wiggle = 1.0 + 0.01 * (((i * 37) % 7) as f64 / 3.5 - 1.0);
+                s.coverage = (s.coverage * wiggle).clamp(0.0, 1.0);
+            }
+            // rebuild a Sensorgram through serde-free construction: reuse
+            // the protocol runner contract by fitting on raw points instead
+            samples
+        };
+        let assoc: Vec<(f64, f64)> = noisy
+            .iter()
+            .filter(|s| (30.0..930.0).contains(&s.time.value()))
+            .map(|s| (s.time.value(), s.coverage))
+            .collect();
+        let (_, k_obs, _) = super::fit_rising_exponential(&assoc).unwrap();
+        let expected = 1e5 * 20e-9 + 1e-3;
+        assert!(
+            (k_obs - expected).abs() / expected < 0.15,
+            "k_obs {k_obs} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let kinetics = LangmuirKinetics::new(1e5, 1e-4).unwrap();
+        let protocol = AssayProtocol::standard(
+            Seconds::new(10.0),
+            Molar::from_nanomolar(1.0),
+            Seconds::new(10.0),
+            Seconds::new(10.0),
+        );
+        let gram = protocol.run(&kinetics, Seconds::new(5.0), 0.0).unwrap();
+        // zero concentration rejected
+        assert!(fit_sensorgram(&gram, Molar::zero(), Seconds::new(10.0), Seconds::new(20.0))
+            .is_err());
+        // too few points in a phase
+        assert!(fit_sensorgram(
+            &gram,
+            Molar::from_nanomolar(1.0),
+            Seconds::new(29.0),
+            Seconds::new(30.0)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # canti-core — single-chip CMOS cantilever biosensor systems
+//!
+//! The paper's contribution, assembled from the substrate crates: two
+//! complete single-chip biosensor systems with monolithic readout.
+//!
+//! * [`chip`] — the chip description: cantilever geometry, bridge
+//!   implementation, coil, operating environment,
+//! * [`static_system`] — the static (surface-stress) system of Figure 4:
+//!   a four-cantilever array behind an analog mux, read by a
+//!   chopper-stabilized amplifier chain,
+//! * [`resonant_system`] — the resonant (mass-shift) system of Figure 5:
+//!   the cantilever inside a self-sustaining feedback loop with Lorentz
+//!   actuation and a digital frequency counter,
+//! * [`assay`] — running biochemical assays through either system,
+//!   producing the sensorgram in output units (volts / hertz),
+//! * [`analysis`] — calibration and limit-of-detection analysis,
+//! * [`scenario`] — canned end-to-end scenarios used by examples, tests
+//!   and the figure-reproduction benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use canti_core::scenario;
+//!
+//! // the paper's static immunoassay demonstrator, end to end:
+//! let outcome = scenario::igg_immunoassay_quick()?;
+//! assert!(outcome.peak_output_volts > 0.0);
+//! # Ok::<(), canti_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod autonomous;
+pub mod assay;
+pub mod chip;
+pub mod fit;
+pub mod kinetic_fit;
+pub mod resonant_system;
+pub mod scenario;
+pub mod static_system;
+
+mod error;
+
+pub use error::CoreError;

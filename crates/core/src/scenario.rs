@@ -1,0 +1,186 @@
+//! Canned end-to-end scenarios used by examples, integration tests and the
+//! figure-reproduction benches.
+//!
+//! Each scenario assembles a chip, a receptor chemistry, a sample and a
+//! protocol, runs it through the appropriate system, and returns a compact
+//! outcome summary.
+
+use canti_bio::analyte::Analyte;
+use canti_bio::assay::AssayProtocol;
+use canti_bio::kinetics::LangmuirKinetics;
+use canti_bio::receptor::ReceptorLayer;
+use canti_units::{Molar, Seconds, SurfaceStress};
+
+use crate::assay::{run_resonant_assay, run_static_assay};
+use crate::chip::{BiosensorChip, Environment};
+use crate::resonant_system::{ResonantCantileverSystem, ResonantLoopConfig};
+use crate::static_system::{StaticCantileverSystem, StaticReadoutConfig};
+use crate::CoreError;
+
+/// Outcome of a static-mode scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticOutcome {
+    /// Peak output signal relative to baseline, V.
+    pub peak_output_volts: f64,
+    /// Peak receptor coverage reached.
+    pub peak_coverage: f64,
+    /// System responsivity, V per (N/m).
+    pub responsivity: f64,
+    /// Output noise floor (1σ) per assay point, V.
+    pub noise_rms_volts: f64,
+}
+
+/// Outcome of a resonant-mode scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResonantOutcome {
+    /// Peak frequency shift relative to baseline, Hz (negative).
+    pub peak_shift_hz: f64,
+    /// Peak receptor coverage reached.
+    pub peak_coverage: f64,
+    /// Unloaded resonant frequency, Hz.
+    pub baseline_frequency_hz: f64,
+    /// Mass responsivity, Hz/kg.
+    pub responsivity_hz_per_kg: f64,
+}
+
+/// The paper's motivating scenario: an IgG immunoassay ("blood analysis
+/// for antibodies") on the static system. Short protocol for fast tests.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on any substrate failure.
+pub fn igg_immunoassay_quick() -> Result<StaticOutcome, CoreError> {
+    static_scenario(
+        &ReceptorLayer::anti_igg(),
+        Molar::from_nanomolar(50.0),
+        Seconds::new(30.0),
+        Seconds::new(300.0),
+        Seconds::new(120.0),
+        Seconds::new(5.0),
+    )
+}
+
+/// A full-length PSA screening assay on the static system.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on any substrate failure.
+pub fn psa_screening() -> Result<StaticOutcome, CoreError> {
+    static_scenario(
+        &ReceptorLayer::anti_psa(),
+        Molar::from_nanomolar(5.0),
+        Seconds::new(60.0),
+        Seconds::new(900.0),
+        Seconds::new(600.0),
+        Seconds::new(5.0),
+    )
+}
+
+/// DNA hybridization on the resonant system (dry readout after
+/// hybridization, i.e. operated in air).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on any substrate failure.
+pub fn dna_hybridization_resonant() -> Result<ResonantOutcome, CoreError> {
+    resonant_scenario(
+        &ReceptorLayer::dna_probe_20mer(),
+        &Analyte::ssdna_20mer(),
+        Molar::from_nanomolar(100.0),
+        Seconds::new(60.0),
+        Seconds::new(1200.0),
+        Seconds::new(300.0),
+    )
+}
+
+fn static_scenario(
+    receptor: &ReceptorLayer,
+    concentration: Molar,
+    baseline: Seconds,
+    association: Seconds,
+    wash: Seconds,
+    dt: Seconds,
+) -> Result<StaticOutcome, CoreError> {
+    let chip = BiosensorChip::paper_static_chip()?;
+    let mut system = StaticCantileverSystem::new(chip, StaticReadoutConfig::default())?;
+    system.calibrate_offsets()?;
+
+    let protocol = AssayProtocol::standard(baseline, concentration, association, wash);
+    let kinetics = LangmuirKinetics::from_receptor(receptor);
+    let sensorgram = protocol.run(&kinetics, dt, 0.0)?;
+
+    let responsivity = system.transfer_volts_per_stress()?;
+    let noise = system
+        .output_noise_rms(0, SurfaceStress::zero(), 16_000)?
+        .value();
+    let trace = run_static_assay(&mut system, receptor, &sensorgram, 256)?;
+
+    Ok(StaticOutcome {
+        peak_output_volts: trace.peak_signal(),
+        peak_coverage: sensorgram.peak_coverage(),
+        responsivity,
+        noise_rms_volts: noise / 16.0, // sqrt(256) averaging per point
+    })
+}
+
+fn resonant_scenario(
+    receptor: &ReceptorLayer,
+    analyte: &Analyte,
+    concentration: Molar,
+    baseline: Seconds,
+    association: Seconds,
+    wash: Seconds,
+) -> Result<ResonantOutcome, CoreError> {
+    let chip = BiosensorChip::paper_resonant_chip()?;
+    let system =
+        ResonantCantileverSystem::new(chip, Environment::air(), ResonantLoopConfig::default())?;
+
+    let protocol = AssayProtocol::standard(baseline, concentration, association, wash);
+    let kinetics = LangmuirKinetics::from_receptor(receptor);
+    let sensorgram = protocol.run(&kinetics, Seconds::new(5.0), 0.0)?;
+
+    let trace = run_resonant_assay(&system, receptor, analyte, &sensorgram, Seconds::new(10.0))?;
+    let loading = system.mass_loading();
+
+    Ok(ResonantOutcome {
+        peak_shift_hz: trace.peak_signal(),
+        peak_coverage: sensorgram.peak_coverage(),
+        baseline_frequency_hz: loading.resonator().resonant_frequency().value(),
+        responsivity_hz_per_kg: loading.responsivity(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn igg_scenario_detects() {
+        let outcome = igg_immunoassay_quick().unwrap();
+        assert!(outcome.peak_coverage > 0.5, "50 nM >> KD saturates");
+        assert!(
+            outcome.peak_output_volts.abs() > 5.0 * outcome.noise_rms_volts,
+            "signal {} must clear the noise floor {}",
+            outcome.peak_output_volts,
+            outcome.noise_rms_volts
+        );
+        assert!(outcome.responsivity.abs() > 0.0);
+    }
+
+    #[test]
+    fn psa_scenario_partial_coverage() {
+        let outcome = psa_screening().unwrap();
+        // 5 nM against KD 0.5 nM with finite time: substantial but < full
+        assert!(outcome.peak_coverage > 0.3 && outcome.peak_coverage < 1.0);
+        assert!(outcome.peak_output_volts.abs() > 0.0);
+    }
+
+    #[test]
+    fn dna_scenario_negative_shift() {
+        let outcome = dna_hybridization_resonant().unwrap();
+        assert!(outcome.peak_shift_hz < 0.0, "mass pulls frequency down");
+        assert!(outcome.baseline_frequency_hz > 10e3);
+        assert!(outcome.responsivity_hz_per_kg > 0.0);
+        assert!(outcome.peak_coverage > 0.5);
+    }
+}

@@ -1,0 +1,240 @@
+//! Allan deviation: the stability measure a detection limit is read from.
+//!
+//! A resonant mass sensor's resolution is set by how stable its oscillation
+//! frequency is over the measurement interval. The (overlapped) Allan
+//! deviation σ_y(τ) of the fractional-frequency record answers exactly
+//! that: the minimum detectable relative frequency shift at averaging time
+//! τ, hence (through the mass responsivity) the minimum detectable mass.
+
+use canti_units::Seconds;
+
+use crate::error::ensure_positive;
+use crate::DigitalError;
+
+/// A record of fractional-frequency samples y_i = (f_i − f₀)/f₀ taken at a
+/// fixed interval τ₀.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FrequencyRecord {
+    samples: Vec<f64>,
+    tau0: Seconds,
+}
+
+impl FrequencyRecord {
+    /// Wraps fractional-frequency samples at interval `tau0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] unless `tau0` is strictly positive.
+    pub fn new(samples: Vec<f64>, tau0: Seconds) -> Result<Self, DigitalError> {
+        ensure_positive("sample interval", tau0.value())?;
+        Ok(Self { samples, tau0 })
+    }
+
+    /// Builds a record from absolute frequency readings and their nominal
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] unless `tau0` and `nominal` are positive.
+    pub fn from_absolute(
+        frequencies: &[f64],
+        nominal: f64,
+        tau0: Seconds,
+    ) -> Result<Self, DigitalError> {
+        ensure_positive("nominal frequency", nominal)?;
+        Self::new(
+            frequencies.iter().map(|f| (f - nominal) / nominal).collect(),
+            tau0,
+        )
+    }
+
+    /// The samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Base sampling interval τ₀.
+    #[must_use]
+    pub fn tau0(&self) -> Seconds {
+        self.tau0
+    }
+
+    /// Overlapped Allan variance at τ = m·τ₀:
+    ///
+    /// σ_y²(mτ₀) = 1/(2·m²·(N−2m)) · Σ_{i=0}^{N-2m-1} (Σy_{i+m..i+2m} − Σy_{i..i+m})²
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] if fewer than `2m + 1` samples are
+    /// available or `m == 0`.
+    pub fn allan_variance(&self, m: usize) -> Result<f64, DigitalError> {
+        if m == 0 {
+            return Err(DigitalError::NonPositive {
+                what: "averaging factor m",
+                value: 0.0,
+            });
+        }
+        let n = self.samples.len();
+        if n <= 2 * m {
+            return Err(DigitalError::InsufficientData {
+                what: "allan variance",
+                got: n,
+                need: 2 * m + 1,
+            });
+        }
+        // prefix sums for O(1) window sums
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(0.0);
+        for &y in &self.samples {
+            prefix.push(prefix.last().expect("nonempty") + y);
+        }
+        let window = |i: usize| prefix[i + m] - prefix[i];
+        let terms = n - 2 * m + 1;
+        let mut acc = 0.0;
+        for i in 0..terms {
+            let d = window(i + m) - window(i);
+            acc += d * d;
+        }
+        Ok(acc / (2.0 * (m as f64).powi(2) * terms as f64))
+    }
+
+    /// Overlapped Allan deviation σ_y(m·τ₀).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::allan_variance`].
+    pub fn allan_deviation(&self, m: usize) -> Result<f64, DigitalError> {
+        Ok(self.allan_variance(m)?.sqrt())
+    }
+
+    /// Allan deviation over a log-spaced set of averaging factors; returns
+    /// `(τ, σ_y(τ))` pairs up to the longest computable τ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] if even `m = 1` is not computable.
+    pub fn allan_curve(&self) -> Result<Vec<(Seconds, f64)>, DigitalError> {
+        let n = self.samples.len();
+        if n < 3 {
+            return Err(DigitalError::InsufficientData {
+                what: "allan curve",
+                got: n,
+                need: 3,
+            });
+        }
+        let mut out = Vec::new();
+        let mut m = 1usize;
+        while 2 * m < n {
+            out.push((
+                Seconds::new(self.tau0.value() * m as f64),
+                self.allan_deviation(m)?,
+            ));
+            // ~3 points per octave
+            m = ((m as f64) * 1.26).ceil() as usize;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn white_record(n: usize, sigma: f64, seed: u64) -> FrequencyRecord {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen();
+                sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        FrequencyRecord::new(samples, Seconds::new(0.1)).unwrap()
+    }
+
+    #[test]
+    fn white_fm_slope_minus_half() {
+        // white frequency noise: sigma_y(tau) ~ tau^-1/2
+        let rec = white_record(100_000, 1e-6, 1);
+        let s1 = rec.allan_deviation(1).unwrap();
+        let s100 = rec.allan_deviation(100).unwrap();
+        let ratio = s1 / s100;
+        assert!(
+            (ratio - 10.0).abs() < 1.0,
+            "tau x100 should reduce sigma x10, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn allan_of_white_noise_at_m1_matches_sigma() {
+        // for white y with std s: sigma_y(tau0) = s (expectation of
+        // (y2-y1)^2/2 = s^2)
+        let rec = white_record(200_000, 2e-6, 7);
+        let s = rec.allan_deviation(1).unwrap();
+        assert!((s - 2e-6).abs() / 2e-6 < 0.02, "sigma {s}");
+    }
+
+    #[test]
+    fn constant_drift_gives_linear_tau() {
+        // pure linear frequency drift: sigma_y(tau) = drift*tau/sqrt(2)
+        let tau0 = 0.1;
+        let drift_per_sample = 1e-9;
+        let samples: Vec<f64> = (0..10_000).map(|i| i as f64 * drift_per_sample).collect();
+        let rec = FrequencyRecord::new(samples, Seconds::new(tau0)).unwrap();
+        let s10 = rec.allan_deviation(10).unwrap();
+        let s100 = rec.allan_deviation(100).unwrap();
+        assert!(
+            (s100 / s10 - 10.0).abs() < 0.2,
+            "drift slope +1: ratio {}",
+            s100 / s10
+        );
+    }
+
+    #[test]
+    fn zero_noise_gives_zero_adev() {
+        // constant offset: zero up to prefix-sum rounding residue
+        let rec = FrequencyRecord::new(vec![5e-7; 1000], Seconds::new(1.0)).unwrap();
+        assert!(rec.allan_deviation(1).unwrap() < 1e-18);
+        assert!(rec.allan_deviation(100).unwrap() < 1e-18);
+    }
+
+    #[test]
+    fn from_absolute_normalizes() {
+        let rec =
+            FrequencyRecord::from_absolute(&[100_001.0, 99_999.0], 100_000.0, Seconds::new(1.0))
+                .unwrap();
+        assert!((rec.samples()[0] - 1e-5).abs() < 1e-12);
+        assert!((rec.samples()[1] + 1e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_log_spaced_and_bounded() {
+        let rec = white_record(1000, 1e-6, 3);
+        let curve = rec.allan_curve().unwrap();
+        assert!(curve.len() > 5);
+        // taus strictly increasing, all computable
+        for pair in curve.windows(2) {
+            assert!(pair[1].0.value() > pair[0].0.value());
+        }
+        let max_m = (1000 - 1) / 2;
+        assert!(curve.last().unwrap().0.value() <= 0.1 * max_m as f64 + 1e-9);
+    }
+
+    #[test]
+    fn errors() {
+        let rec = white_record(10, 1e-6, 3);
+        assert!(rec.allan_variance(0).is_err());
+        assert!(rec.allan_variance(5).is_err());
+        assert!(FrequencyRecord::new(vec![], Seconds::zero()).is_err());
+        assert!(
+            FrequencyRecord::new(vec![0.0, 0.0], Seconds::new(1.0))
+                .unwrap()
+                .allan_curve()
+                .is_err()
+        );
+        assert!(FrequencyRecord::from_absolute(&[1.0], 0.0, Seconds::new(1.0)).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Reference clock with frequency error and cycle jitter.
+//!
+//! The on-chip counter is only as good as its time base. An integrated
+//! relaxation oscillator has percent-level absolute error; a crystal in the
+//! package gets to ppm. Both matter to how well the frequency counter's
+//! reading maps back to an absolute mass.
+
+use canti_units::Hertz;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::error::ensure_positive;
+use crate::DigitalError;
+
+/// A reference clock with static ppm error and white cycle-to-cycle jitter.
+#[derive(Debug, Clone)]
+pub struct ReferenceClock {
+    nominal: Hertz,
+    ppm_error: f64,
+    jitter_rms_seconds: f64,
+    rng: ChaCha8Rng,
+}
+
+impl ReferenceClock {
+    /// Creates a clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] unless the nominal frequency is strictly
+    /// positive and the jitter non-negative.
+    pub fn new(
+        nominal: Hertz,
+        ppm_error: f64,
+        jitter_rms_seconds: f64,
+        seed: u64,
+    ) -> Result<Self, DigitalError> {
+        ensure_positive("nominal clock frequency", nominal.value())?;
+        if !jitter_rms_seconds.is_finite() || jitter_rms_seconds < 0.0 {
+            return Err(DigitalError::NonPositive {
+                what: "clock jitter (must be >= 0)",
+                value: jitter_rms_seconds,
+            });
+        }
+        if !ppm_error.is_finite() {
+            return Err(DigitalError::NonPositive {
+                what: "ppm error (must be finite)",
+                value: ppm_error,
+            });
+        }
+        Ok(Self {
+            nominal,
+            ppm_error,
+            jitter_rms_seconds,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        })
+    }
+
+    /// A packaged crystal: 10 MHz, ±20 ppm, 5 ps RMS jitter.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; mirrors [`Self::new`].
+    pub fn crystal_10mhz(seed: u64) -> Result<Self, DigitalError> {
+        Self::new(Hertz::from_megahertz(10.0), 20.0, 5e-12, seed)
+    }
+
+    /// A fully integrated RC relaxation oscillator: 4 MHz, ±2 % (20 000
+    /// ppm), 500 ps RMS jitter — what "autonomous device operation" without
+    /// external components buys you.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; mirrors [`Self::new`].
+    pub fn on_chip_rc_4mhz(seed: u64) -> Result<Self, DigitalError> {
+        Self::new(Hertz::from_megahertz(4.0), 20_000.0, 500e-12, seed)
+    }
+
+    /// Nominal frequency.
+    #[must_use]
+    pub fn nominal(&self) -> Hertz {
+        self.nominal
+    }
+
+    /// The actual (error-shifted) frequency.
+    #[must_use]
+    pub fn actual(&self) -> Hertz {
+        Hertz::new(self.nominal.value() * (1.0 + self.ppm_error * 1e-6))
+    }
+
+    /// The static fractional error.
+    #[must_use]
+    pub fn fractional_error(&self) -> f64 {
+        self.ppm_error * 1e-6
+    }
+
+    /// Duration of `cycles` clock cycles including jitter (RMS jitter
+    /// accumulates as √N for white cycle jitter).
+    pub fn elapsed_seconds(&mut self, cycles: u64) -> f64 {
+        let ideal = cycles as f64 / self.actual().value();
+        if self.jitter_rms_seconds == 0.0 {
+            return ideal;
+        }
+        let u1: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.gen();
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        ideal + g * self.jitter_rms_seconds * (cycles as f64).sqrt()
+    }
+
+    /// How a frequency measured against this clock maps to truth: the
+    /// counter reports `f_true · f_nominal/f_actual`.
+    #[must_use]
+    pub fn reported_frequency(&self, f_true: Hertz) -> Hertz {
+        Hertz::new(f_true.value() * self.nominal.value() / self.actual().value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actual_reflects_ppm() {
+        let c = ReferenceClock::new(Hertz::from_megahertz(10.0), 100.0, 0.0, 0).unwrap();
+        assert!((c.actual().value() - 10e6 * (1.0 + 1e-4)).abs() < 1e-3);
+        assert!((c.fractional_error() - 1e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn crystal_beats_rc_on_error() {
+        let xtal = ReferenceClock::crystal_10mhz(0).unwrap();
+        let rc = ReferenceClock::on_chip_rc_4mhz(0).unwrap();
+        assert!(xtal.fractional_error().abs() < rc.fractional_error().abs() / 100.0);
+    }
+
+    #[test]
+    fn elapsed_without_jitter_is_exact() {
+        let mut c = ReferenceClock::new(Hertz::from_megahertz(1.0), 0.0, 0.0, 0).unwrap();
+        assert!((c.elapsed_seconds(1_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_accumulates_as_sqrt_n() {
+        let trials = 3000;
+        let spread = |cycles: u64| {
+            let mut c = ReferenceClock::new(Hertz::from_megahertz(1.0), 0.0, 1e-9, 42).unwrap();
+            let ideal = cycles as f64 / 1e6;
+            let var: f64 = (0..trials)
+                .map(|_| (c.elapsed_seconds(cycles) - ideal).powi(2))
+                .sum::<f64>()
+                / f64::from(trials);
+            var.sqrt()
+        };
+        let s100 = spread(100);
+        let s10000 = spread(10_000);
+        assert!(
+            (s10000 / s100 - 10.0).abs() < 1.0,
+            "sqrt-N accumulation: {}",
+            s10000 / s100
+        );
+    }
+
+    #[test]
+    fn reported_frequency_error() {
+        // a fast clock makes signals look slow
+        let c = ReferenceClock::new(Hertz::from_megahertz(10.0), 1000.0, 0.0, 0).unwrap();
+        let reported = c.reported_frequency(Hertz::from_kilohertz(100.0));
+        let rel = (reported.value() - 100e3) / 100e3;
+        assert!((rel + 1e-3).abs() < 1e-6, "relative error {rel}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ReferenceClock::new(Hertz::zero(), 0.0, 0.0, 0).is_err());
+        assert!(ReferenceClock::new(Hertz::new(1e6), 0.0, -1.0, 0).is_err());
+        assert!(ReferenceClock::new(Hertz::new(1e6), f64::NAN, 0.0, 0).is_err());
+    }
+}

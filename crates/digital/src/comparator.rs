@@ -1,0 +1,181 @@
+//! Zero-crossing detection: analog oscillation → digital edges.
+//!
+//! The comparator squares up the sensed oscillation before the counter.
+//! Hysteresis rejects noise-induced chatter near the threshold; input noise
+//! still converts to timing jitter at a rate of `e_n / slew` seconds per
+//! volt of noise — which is exactly why a larger oscillation amplitude
+//! gives a quieter frequency readout.
+
+use crate::error::ensure_positive;
+use crate::DigitalError;
+
+/// A comparator with symmetric hysteresis around zero.
+///
+/// # Examples
+///
+/// ```
+/// use canti_digital::comparator::ZeroCrossingDetector;
+///
+/// let mut det = ZeroCrossingDetector::new(0.05)?;
+/// let wave: Vec<f64> = (0..1000)
+///     .map(|i| (2.0 * std::f64::consts::PI * 10.0 * i as f64 / 1000.0).sin())
+///     .collect();
+/// let edges = det.rising_edges(&wave);
+/// assert_eq!(edges.len(), 10);
+/// # Ok::<(), canti_digital::DigitalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZeroCrossingDetector {
+    hysteresis: f64,
+    state: bool,
+}
+
+impl ZeroCrossingDetector {
+    /// Creates a detector with hysteresis half-width `hysteresis` (V): the
+    /// output goes high above `+h`, low below `−h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] unless `hysteresis` is strictly positive.
+    pub fn new(hysteresis: f64) -> Result<Self, DigitalError> {
+        ensure_positive("comparator hysteresis", hysteresis)?;
+        Ok(Self {
+            hysteresis,
+            state: false,
+        })
+    }
+
+    /// The hysteresis half-width.
+    #[must_use]
+    pub fn hysteresis(&self) -> f64 {
+        self.hysteresis
+    }
+
+    /// Processes one sample; returns `true` while the output is high.
+    pub fn process(&mut self, x: f64) -> bool {
+        if self.state {
+            if x < -self.hysteresis {
+                self.state = false;
+            }
+        } else if x > self.hysteresis {
+            self.state = true;
+        }
+        self.state
+    }
+
+    /// Resets the output low.
+    pub fn reset(&mut self) {
+        self.state = false;
+    }
+
+    /// Returns the sub-sample times (in samples) of all rising output
+    /// edges in `wave`, using linear interpolation across the `+h`
+    /// threshold crossing.
+    pub fn rising_edges(&mut self, wave: &[f64]) -> Vec<f64> {
+        let mut edges = Vec::new();
+        let mut prev = f64::NAN;
+        for (i, &x) in wave.iter().enumerate() {
+            let was = self.state;
+            let now = self.process(x);
+            if now && !was && i > 0 && prev.is_finite() {
+                // interpolate crossing of +hysteresis between samples i-1, i
+                let frac = if (x - prev).abs() > f64::MIN_POSITIVE {
+                    ((self.hysteresis - prev) / (x - prev)).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                edges.push((i - 1) as f64 + frac);
+            }
+            prev = x;
+        }
+        edges
+    }
+
+    /// RMS timing jitter (in seconds) induced by input voltage noise
+    /// `noise_rms` on a sinusoid of amplitude `amplitude` at `frequency`:
+    /// σ_t = e_n / (dV/dt at crossing) = e_n / (2π·f·A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] on non-positive amplitude or frequency.
+    pub fn noise_jitter_rms(
+        &self,
+        noise_rms: f64,
+        amplitude: f64,
+        frequency: f64,
+    ) -> Result<f64, DigitalError> {
+        ensure_positive("oscillation amplitude", amplitude)?;
+        ensure_positive("oscillation frequency", frequency)?;
+        Ok(noise_rms / (2.0 * std::f64::consts::PI * frequency * amplitude))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, fs: f64, f: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn counts_cycles_of_clean_sine() {
+        let mut det = ZeroCrossingDetector::new(0.01).unwrap();
+        let wave = sine(100_000, 1e6, 5e3, 1.0);
+        // 0.1 s of 5 kHz = 500 cycles
+        let edges = det.rising_edges(&wave);
+        assert_eq!(edges.len(), 500);
+    }
+
+    #[test]
+    fn edge_spacing_matches_period() {
+        let mut det = ZeroCrossingDetector::new(0.01).unwrap();
+        let fs = 1e6;
+        let wave = sine(100_000, fs, 9_973.0, 1.0); // deliberately not a divisor
+        let edges = det.rising_edges(&wave);
+        let spacings: Vec<f64> = edges.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = spacings.iter().sum::<f64>() / spacings.len() as f64;
+        let period_samples = fs / 9_973.0;
+        assert!(
+            (mean - period_samples).abs() / period_samples < 1e-4,
+            "mean spacing {mean}, expected {period_samples}"
+        );
+    }
+
+    #[test]
+    fn hysteresis_rejects_small_chatter() {
+        let mut det = ZeroCrossingDetector::new(0.2).unwrap();
+        // noise-like small signal never crosses +/-0.2
+        let wave: Vec<f64> = (0..1000).map(|i| 0.1 * ((i % 7) as f64 - 3.0) / 3.0).collect();
+        assert!(det.rising_edges(&wave).is_empty());
+    }
+
+    #[test]
+    fn jitter_formula() {
+        let det = ZeroCrossingDetector::new(0.01).unwrap();
+        // 1 mV noise on 1 V amplitude at 100 kHz: 1e-3/(2pi*1e5) = 1.59 ns
+        let j = det.noise_jitter_rms(1e-3, 1.0, 1e5).unwrap();
+        assert!((j - 1.59e-9).abs() / 1.59e-9 < 0.01);
+        // bigger amplitude, less jitter
+        let j2 = det.noise_jitter_rms(1e-3, 2.0, 1e5).unwrap();
+        assert!((j / j2 - 2.0).abs() < 1e-12);
+        assert!(det.noise_jitter_rms(1e-3, 0.0, 1e5).is_err());
+    }
+
+    #[test]
+    fn reset_restores_low_state() {
+        let mut det = ZeroCrossingDetector::new(0.1).unwrap();
+        det.process(1.0);
+        assert!(det.process(0.0), "stays high inside hysteresis");
+        det.reset();
+        assert!(!det.process(0.0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ZeroCrossingDetector::new(0.0).is_err());
+        assert!(ZeroCrossingDetector::new(-0.1).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Frequency counters: the paper's "digital counter to monitor the
+//! resonant frequency".
+//!
+//! Two classic architectures:
+//!
+//! * [`GatedCounter`] (direct counting) — count signal edges during a fixed
+//!   gate time `T`; resolution is ±1 count → ±1/T Hz regardless of the
+//!   signal frequency. Simple, but slow signals need long gates.
+//! * [`ReciprocalCounter`] — time `N` whole signal periods against a fast
+//!   reference clock; relative resolution is ±1 reference cycle over the
+//!   measurement, i.e. Δf/f ≈ 1/(f_ref·T_meas): far better for the tens-of-
+//!   kilohertz cantilever signals against an on-chip MHz reference.
+
+use canti_units::{Hertz, Seconds};
+
+use crate::comparator::ZeroCrossingDetector;
+use crate::error::ensure_positive;
+use crate::DigitalError;
+
+/// Default comparator hysteresis used by the counters, as a fraction of
+/// unit amplitude.
+const DEFAULT_HYSTERESIS: f64 = 1e-3;
+
+/// Direct (gated) frequency counter.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GatedCounter {
+    gate: Seconds,
+}
+
+impl GatedCounter {
+    /// Creates a counter with gate time `gate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] unless the gate time is strictly positive.
+    pub fn new(gate: Seconds) -> Result<Self, DigitalError> {
+        ensure_positive("gate time", gate.value())?;
+        Ok(Self { gate })
+    }
+
+    /// The gate time.
+    #[must_use]
+    pub fn gate_time(&self) -> Seconds {
+        self.gate
+    }
+
+    /// Worst-case quantization error: ±1 count over the gate.
+    #[must_use]
+    pub fn quantization(&self) -> Hertz {
+        Hertz::new(1.0 / self.gate.value())
+    }
+
+    /// Measures the frequency of `wave` (sampled at `fs`): counts whole
+    /// edges within the first gate interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] if the record is shorter than the gate or
+    /// contains fewer than one edge.
+    pub fn measure(&self, wave: &[f64], fs: f64) -> Result<Hertz, DigitalError> {
+        ensure_positive("sample rate", fs)?;
+        let gate_samples = (self.gate.value() * fs).round() as usize;
+        if wave.len() < gate_samples {
+            return Err(DigitalError::InsufficientData {
+                what: "gated count",
+                got: wave.len(),
+                need: gate_samples,
+            });
+        }
+        let mut det = ZeroCrossingDetector::new(DEFAULT_HYSTERESIS).expect("positive hysteresis");
+        let edges = det.rising_edges(&wave[..gate_samples]);
+        if edges.is_empty() {
+            return Err(DigitalError::InsufficientData {
+                what: "signal edges in gate",
+                got: 0,
+                need: 1,
+            });
+        }
+        // integer count, exactly like hardware: floor to whole edges
+        Ok(Hertz::new(edges.len() as f64 / self.gate.value()))
+    }
+}
+
+/// Reciprocal (period-averaging) frequency counter.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReciprocalCounter {
+    reference: Hertz,
+    periods: usize,
+}
+
+impl ReciprocalCounter {
+    /// Creates a counter timing `periods` signal periods against a
+    /// reference clock of `reference` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] on a non-positive reference or zero
+    /// periods.
+    pub fn new(reference: Hertz, periods: usize) -> Result<Self, DigitalError> {
+        ensure_positive("reference clock", reference.value())?;
+        if periods == 0 {
+            return Err(DigitalError::NonPositive {
+                what: "averaged periods",
+                value: 0.0,
+            });
+        }
+        Ok(Self { reference, periods })
+    }
+
+    /// The reference clock.
+    #[must_use]
+    pub fn reference(&self) -> Hertz {
+        self.reference
+    }
+
+    /// Periods averaged per measurement.
+    #[must_use]
+    pub fn periods(&self) -> usize {
+        self.periods
+    }
+
+    /// Relative quantization error ±1 reference cycle across the
+    /// measurement of a signal at `f`: Δf/f = f/(N·f_ref).
+    #[must_use]
+    pub fn relative_quantization(&self, f: Hertz) -> f64 {
+        f.value() / (self.periods as f64 * self.reference.value())
+    }
+
+    /// Measures frequency: finds `periods + 1` rising edges, quantizes the
+    /// elapsed time to reference-clock cycles, divides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] if the record holds too few edges.
+    pub fn measure(&self, wave: &[f64], fs: f64) -> Result<Hertz, DigitalError> {
+        ensure_positive("sample rate", fs)?;
+        let mut det = ZeroCrossingDetector::new(DEFAULT_HYSTERESIS).expect("positive hysteresis");
+        let edges = det.rising_edges(wave);
+        if edges.len() < self.periods + 1 {
+            return Err(DigitalError::InsufficientData {
+                what: "signal periods",
+                got: edges.len().saturating_sub(1),
+                need: self.periods,
+            });
+        }
+        let elapsed_samples = edges[self.periods] - edges[0];
+        let elapsed_seconds = elapsed_samples / fs;
+        // quantize to whole reference cycles, like the hardware counter
+        let ref_cycles = (elapsed_seconds * self.reference.value()).round();
+        let measured_period = ref_cycles / self.reference.value() / self.periods as f64;
+        Ok(Hertz::new(1.0 / measured_period))
+    }
+}
+
+/// Sweeps gate time and returns `(gate, |measured − true|)` pairs — the
+/// resolution-vs-speed trade-off curve of the Figure 5 reproduction.
+///
+/// # Errors
+///
+/// Propagates measurement errors (e.g. record shorter than a gate).
+pub fn gate_time_sweep(
+    wave: &[f64],
+    fs: f64,
+    true_frequency: Hertz,
+    gates: &[Seconds],
+) -> Result<Vec<(Seconds, Hertz)>, DigitalError> {
+    let mut out = Vec::with_capacity(gates.len());
+    for &gate in gates {
+        let counter = GatedCounter::new(gate)?;
+        let f = counter.measure(wave, fs)?;
+        out.push((gate, Hertz::new((f.value() - true_frequency.value()).abs())));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, fs: f64, f: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn gated_counter_within_quantization() {
+        let fs = 1e6;
+        let f_true = 84_321.0;
+        let wave = sine(1_000_000, fs, f_true);
+        let counter = GatedCounter::new(Seconds::new(0.5)).unwrap();
+        let f = counter.measure(&wave, fs).unwrap();
+        assert!(
+            (f.value() - f_true).abs() <= counter.quantization().value(),
+            "measured {f}, true {f_true}"
+        );
+    }
+
+    #[test]
+    fn longer_gate_better_resolution() {
+        let fs = 1e6;
+        let f_true = 84_321.4;
+        let wave = sine(2_000_000, fs, f_true);
+        let gates = [0.01, 0.1, 1.0].map(Seconds::new);
+        let sweep = gate_time_sweep(&wave, fs, Hertz::new(f_true), &gates).unwrap();
+        // error bound shrinks with the gate
+        assert!(sweep[0].1.value() <= 1.0 / 0.01 + 1e-9);
+        assert!(sweep[2].1.value() <= 1.0 / 1.0 + 1e-9);
+        assert!(sweep[2].1.value() < sweep[0].1.value() + 1e-9);
+    }
+
+    #[test]
+    fn reciprocal_counter_beats_gated_at_equal_time() {
+        let fs = 2e6;
+        let f_true = 73_456.7;
+        let wave = sine(400_000, fs, f_true); // 0.2 s
+        // gated with 0.1 s gate: +/- 10 Hz
+        let gated = GatedCounter::new(Seconds::new(0.1)).unwrap();
+        let fg = gated.measure(&wave, fs).unwrap();
+        // reciprocal over ~0.1 s (7345 periods) against 10 MHz reference
+        let recip = ReciprocalCounter::new(Hertz::from_megahertz(10.0), 7345).unwrap();
+        let fr = recip.measure(&wave, fs).unwrap();
+        let err_g = (fg.value() - f_true).abs();
+        let err_r = (fr.value() - f_true).abs();
+        assert!(
+            err_r < err_g / 10.0,
+            "reciprocal {err_r} Hz should beat gated {err_g} Hz"
+        );
+    }
+
+    #[test]
+    fn reciprocal_quantization_formula() {
+        let c = ReciprocalCounter::new(Hertz::from_megahertz(10.0), 1000).unwrap();
+        let rq = c.relative_quantization(Hertz::from_kilohertz(100.0));
+        // 1e5/(1000*1e7) = 1e-5
+        assert!((rq - 1e-5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn insufficient_data_errors() {
+        let fs = 1e6;
+        let wave = sine(1000, fs, 10e3); // 1 ms record
+        let counter = GatedCounter::new(Seconds::new(0.1)).unwrap();
+        assert!(matches!(
+            counter.measure(&wave, fs),
+            Err(DigitalError::InsufficientData { .. })
+        ));
+        let recip = ReciprocalCounter::new(Hertz::from_megahertz(1.0), 100).unwrap();
+        assert!(recip.measure(&wave, fs).is_err());
+        // flat signal: no edges
+        let flat = vec![0.0; 200_000];
+        let counter = GatedCounter::new(Seconds::new(0.1)).unwrap();
+        assert!(counter.measure(&flat, fs).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(GatedCounter::new(Seconds::zero()).is_err());
+        assert!(ReciprocalCounter::new(Hertz::zero(), 10).is_err());
+        assert!(ReciprocalCounter::new(Hertz::new(1e6), 0).is_err());
+    }
+}

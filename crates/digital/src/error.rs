@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Error raised by `canti-digital` on invalid inputs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DigitalError {
+    /// A quantity that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Not enough data for the requested measurement.
+    InsufficientData {
+        /// What was being measured.
+        what: &'static str,
+        /// Samples/edges available.
+        got: usize,
+        /// Samples/edges needed.
+        need: usize,
+    },
+}
+
+impl fmt::Display for DigitalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            Self::InsufficientData { what, got, need } => {
+                write!(f, "insufficient data for {what}: got {got}, need {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DigitalError {}
+
+pub(crate) fn ensure_positive(what: &'static str, value: f64) -> Result<(), DigitalError> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(DigitalError::NonPositive { what, value });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_error_and_display() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<DigitalError>();
+        assert_eq!(
+            DigitalError::InsufficientData {
+                what: "allan deviation",
+                got: 1,
+                need: 3
+            }
+            .to_string(),
+            "insufficient data for allan deviation: got 1, need 3"
+        );
+    }
+}

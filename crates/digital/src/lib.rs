@@ -1,0 +1,46 @@
+//! # canti-digital — the on-chip digital readout
+//!
+//! "The readout block mainly consists of a digital counter to monitor the
+//! resonant frequency of the sensor system." This crate models that block
+//! and the analysis that turns counter readings into a mass resolution:
+//!
+//! * [`comparator`] — zero-crossing detection with hysteresis, converting
+//!   the analog oscillation into edges,
+//! * [`counter`] — direct (gated) and reciprocal frequency counters with
+//!   their ±1-count quantization,
+//! * [`allan`] — overlapped Allan deviation of a frequency record, the
+//!   standard stability measure a detection limit is read from,
+//! * [`clock`] — reference clock with ppm error and cycle jitter,
+//! * [`sequencer`] — the autonomous measurement controller FSM
+//!   (self-test → calibrate → scan → report, with a watchdog).
+//!
+//! # Examples
+//!
+//! ```
+//! use canti_digital::comparator::ZeroCrossingDetector;
+//! use canti_digital::counter::GatedCounter;
+//! use canti_units::Seconds;
+//!
+//! // a clean 10 kHz square-ish wave sampled at 1 MHz
+//! let fs = 1e6;
+//! let wave: Vec<f64> = (0..1_000_000)
+//!     .map(|i| (2.0 * std::f64::consts::PI * 10e3 * i as f64 / fs).sin())
+//!     .collect();
+//! let counter = GatedCounter::new(Seconds::new(0.1))?;
+//! let f = counter.measure(&wave, fs)?;
+//! assert!((f.value() - 10e3).abs() < 20.0);
+//! # Ok::<(), canti_digital::DigitalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allan;
+pub mod clock;
+pub mod comparator;
+pub mod counter;
+pub mod sequencer;
+
+mod error;
+
+pub use error::DigitalError;

@@ -1,0 +1,327 @@
+//! The autonomous measurement sequencer: the on-chip controller FSM.
+//!
+//! "Enables autonomous device operation" ultimately means a state machine
+//! next to the analog blocks: power up, self-calibrate the offset DACs,
+//! scan the mux channels, report, repeat — with a watchdog so a stuck
+//! analog step faults instead of hanging the instrument.
+//!
+//! The sequencer is deliberately event-driven and side-effect-free: the
+//! surrounding system feeds it events ([`SequencerEvent`]) and executes
+//! whatever [`SequencerAction`] it returns. That makes every transition
+//! unit-testable without analog machinery.
+
+use crate::DigitalError;
+
+/// Controller states.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SequencerState {
+    /// Just powered, nothing trusted yet.
+    PowerOn,
+    /// Offset calibration in progress.
+    Calibrating,
+    /// Calibrated and waiting for a scan trigger.
+    Idle,
+    /// Scanning the mux; `channel` is in progress.
+    Scanning {
+        /// Channel currently being measured.
+        channel: usize,
+    },
+    /// Latched fault; only `Reset` leaves it.
+    Fault {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+/// Events fed to the sequencer.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SequencerEvent {
+    /// Power-on self test passed.
+    SelfTestPassed,
+    /// The offset calibration routine finished.
+    CalibrationDone,
+    /// The offset calibration routine failed (e.g. DAC range exceeded).
+    CalibrationFailed,
+    /// Host/system requests a scan pass.
+    StartScan,
+    /// The current channel's measurement is complete.
+    ChannelDone,
+    /// Fault acknowledgment / global reset.
+    Reset,
+}
+
+/// Actions the surrounding system must execute after a transition.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SequencerAction {
+    /// Run the offset-calibration routine.
+    RunCalibration,
+    /// Select and measure `channel`.
+    MeasureChannel(usize),
+    /// A full scan finished; report the results.
+    Report,
+    /// Nothing to do.
+    None,
+}
+
+/// The measurement controller.
+///
+/// # Examples
+///
+/// ```
+/// use canti_digital::sequencer::{MeasurementSequencer, SequencerEvent, SequencerAction, SequencerState};
+///
+/// let mut seq = MeasurementSequencer::new(4, 1000)?;
+/// assert_eq!(seq.handle(SequencerEvent::SelfTestPassed)?, SequencerAction::RunCalibration);
+/// assert_eq!(seq.handle(SequencerEvent::CalibrationDone)?, SequencerAction::None);
+/// assert_eq!(seq.handle(SequencerEvent::StartScan)?, SequencerAction::MeasureChannel(0));
+/// # Ok::<(), canti_digital::DigitalError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeasurementSequencer {
+    state: SequencerState,
+    channels: usize,
+    /// Watchdog budget per state, in ticks.
+    watchdog_limit: u64,
+    ticks_in_state: u64,
+    /// Completed scan passes since reset.
+    scans_completed: u64,
+}
+
+impl MeasurementSequencer {
+    /// Creates a sequencer for `channels` mux channels with a per-state
+    /// watchdog budget of `watchdog_limit` ticks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] for zero channels or a zero watchdog.
+    pub fn new(channels: usize, watchdog_limit: u64) -> Result<Self, DigitalError> {
+        if channels == 0 {
+            return Err(DigitalError::NonPositive {
+                what: "sequencer channels",
+                value: 0.0,
+            });
+        }
+        if watchdog_limit == 0 {
+            return Err(DigitalError::NonPositive {
+                what: "watchdog limit",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            state: SequencerState::PowerOn,
+            channels,
+            watchdog_limit,
+            ticks_in_state: 0,
+            scans_completed: 0,
+        })
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> &SequencerState {
+        &self.state
+    }
+
+    /// Completed scan passes since the last reset.
+    #[must_use]
+    pub fn scans_completed(&self) -> u64 {
+        self.scans_completed
+    }
+
+    fn goto(&mut self, state: SequencerState) {
+        self.state = state;
+        self.ticks_in_state = 0;
+    }
+
+    /// Handles one event, returning the action to execute.
+    ///
+    /// Unexpected events in a state latch a [`SequencerState::Fault`] —
+    /// silent event swallowing is how real sequencers end up in undefined
+    /// states.
+    ///
+    /// # Errors
+    ///
+    /// Never errs currently; the `Result` reserves room for future
+    /// hard-failure signaling.
+    pub fn handle(&mut self, event: SequencerEvent) -> Result<SequencerAction, DigitalError> {
+        use SequencerEvent as E;
+        use SequencerState as S;
+
+        // Reset works from anywhere.
+        if event == E::Reset {
+            self.goto(S::PowerOn);
+            self.scans_completed = 0;
+            return Ok(SequencerAction::None);
+        }
+
+        let (next, action) = match (&self.state, &event) {
+            (S::PowerOn, E::SelfTestPassed) => (S::Calibrating, SequencerAction::RunCalibration),
+            (S::Calibrating, E::CalibrationDone) => (S::Idle, SequencerAction::None),
+            (S::Calibrating, E::CalibrationFailed) => (
+                S::Fault {
+                    reason: "offset calibration failed".to_owned(),
+                },
+                SequencerAction::None,
+            ),
+            (S::Idle, E::StartScan) => (
+                S::Scanning { channel: 0 },
+                SequencerAction::MeasureChannel(0),
+            ),
+            (S::Scanning { channel }, E::ChannelDone) => {
+                let next_ch = channel + 1;
+                if next_ch >= self.channels {
+                    self.scans_completed += 1;
+                    (S::Idle, SequencerAction::Report)
+                } else {
+                    (
+                        S::Scanning { channel: next_ch },
+                        SequencerAction::MeasureChannel(next_ch),
+                    )
+                }
+            }
+            (S::Fault { .. }, _) => (self.state.clone(), SequencerAction::None),
+            (state, event) => (
+                S::Fault {
+                    reason: format!("unexpected {event:?} in {state:?}"),
+                },
+                SequencerAction::None,
+            ),
+        };
+        self.goto(next);
+        Ok(action)
+    }
+
+    /// Advances the watchdog one tick; trips to `Fault` when a state
+    /// overstays its budget. Returns `true` if the watchdog fired.
+    pub fn tick(&mut self) -> bool {
+        if matches!(self.state, SequencerState::Idle | SequencerState::Fault { .. }) {
+            // Idle may legitimately wait forever; Fault is already latched.
+            return false;
+        }
+        self.ticks_in_state += 1;
+        if self.ticks_in_state > self.watchdog_limit {
+            self.goto(SequencerState::Fault {
+                reason: "watchdog timeout".to_owned(),
+            });
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SequencerAction as A;
+    use SequencerEvent as E;
+    use SequencerState as S;
+
+    fn ready() -> MeasurementSequencer {
+        let mut seq = MeasurementSequencer::new(4, 100).unwrap();
+        seq.handle(E::SelfTestPassed).unwrap();
+        seq.handle(E::CalibrationDone).unwrap();
+        seq
+    }
+
+    #[test]
+    fn happy_path_scans_all_channels_in_order() {
+        let mut seq = ready();
+        assert_eq!(seq.state(), &S::Idle);
+        assert_eq!(seq.handle(E::StartScan).unwrap(), A::MeasureChannel(0));
+        for expected in [A::MeasureChannel(1), A::MeasureChannel(2), A::MeasureChannel(3)] {
+            assert_eq!(seq.handle(E::ChannelDone).unwrap(), expected);
+        }
+        assert_eq!(seq.handle(E::ChannelDone).unwrap(), A::Report);
+        assert_eq!(seq.state(), &S::Idle);
+        assert_eq!(seq.scans_completed(), 1);
+        // a second pass works identically
+        assert_eq!(seq.handle(E::StartScan).unwrap(), A::MeasureChannel(0));
+    }
+
+    #[test]
+    fn calibration_failure_faults() {
+        let mut seq = MeasurementSequencer::new(4, 100).unwrap();
+        seq.handle(E::SelfTestPassed).unwrap();
+        seq.handle(E::CalibrationFailed).unwrap();
+        assert!(matches!(seq.state(), S::Fault { .. }));
+        // fault latches: further events do nothing
+        assert_eq!(seq.handle(E::StartScan).unwrap(), A::None);
+        assert!(matches!(seq.state(), S::Fault { .. }));
+        // reset recovers
+        seq.handle(E::Reset).unwrap();
+        assert_eq!(seq.state(), &S::PowerOn);
+    }
+
+    #[test]
+    fn unexpected_event_faults_with_context() {
+        let mut seq = ready();
+        // ChannelDone while idle is a protocol violation
+        seq.handle(E::ChannelDone).unwrap();
+        match seq.state() {
+            S::Fault { reason } => {
+                assert!(reason.contains("ChannelDone"), "{reason}");
+                assert!(reason.contains("Idle"), "{reason}");
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_in_active_states_only() {
+        let mut seq = ready();
+        // Idle never times out
+        for _ in 0..1000 {
+            assert!(!seq.tick());
+        }
+        seq.handle(E::StartScan).unwrap();
+        // Scanning does
+        for _ in 0..100 {
+            assert!(!seq.tick());
+        }
+        assert!(seq.tick(), "101st tick must fire the watchdog");
+        assert!(matches!(seq.state(), S::Fault { reason } if reason.contains("watchdog")));
+        // no double-fire
+        assert!(!seq.tick());
+    }
+
+    #[test]
+    fn event_progress_resets_watchdog() {
+        let mut seq = ready();
+        seq.handle(E::StartScan).unwrap();
+        for _ in 0..90 {
+            seq.tick();
+        }
+        // progress to the next channel: budget starts over
+        seq.handle(E::ChannelDone).unwrap();
+        for _ in 0..90 {
+            assert!(!seq.tick());
+        }
+    }
+
+    #[test]
+    fn reset_clears_scan_count() {
+        let mut seq = ready();
+        seq.handle(E::StartScan).unwrap();
+        for _ in 0..4 {
+            seq.handle(E::ChannelDone).unwrap();
+        }
+        assert_eq!(seq.scans_completed(), 1);
+        seq.handle(E::Reset).unwrap();
+        assert_eq!(seq.scans_completed(), 0);
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(MeasurementSequencer::new(0, 100).is_err());
+        assert!(MeasurementSequencer::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn single_channel_sequencer() {
+        let mut seq = MeasurementSequencer::new(1, 10).unwrap();
+        seq.handle(E::SelfTestPassed).unwrap();
+        seq.handle(E::CalibrationDone).unwrap();
+        assert_eq!(seq.handle(E::StartScan).unwrap(), A::MeasureChannel(0));
+        assert_eq!(seq.handle(E::ChannelDone).unwrap(), A::Report);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the digital substrate.
+
+use canti_digital::allan::FrequencyRecord;
+use canti_digital::comparator::ZeroCrossingDetector;
+use canti_digital::counter::{GatedCounter, ReciprocalCounter};
+use canti_units::{Hertz, Seconds};
+use proptest::prelude::*;
+
+fn sine(n: usize, fs: f64, f: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The gated counter is always within its ±1-count bound, for any
+    /// frequency and gate in range.
+    #[test]
+    fn gated_counter_within_quantization(f in 5e3f64..2e5, gate_ms in 10.0f64..100.0) {
+        let fs = 2e6;
+        let gate = Seconds::from_millis(gate_ms);
+        let n = ((gate.value() * fs) as usize) + 100;
+        let wave = sine(n, fs, f);
+        let counter = GatedCounter::new(gate).expect("counter");
+        let measured = counter.measure(&wave, fs).expect("measure").value();
+        prop_assert!(
+            (measured - f).abs() <= counter.quantization().value() + 1e-6,
+            "f {f}, measured {measured}, bound {}",
+            counter.quantization().value()
+        );
+    }
+
+    /// The reciprocal counter is within its relative quantization bound.
+    #[test]
+    fn reciprocal_counter_within_quantization(f in 1e4f64..2e5, periods in 50usize..500) {
+        let fs = 4e6;
+        let n = ((periods as f64 + 2.0) / f * fs) as usize + 100;
+        let wave = sine(n, fs, f);
+        let counter = ReciprocalCounter::new(Hertz::from_megahertz(10.0), periods)
+            .expect("counter");
+        let measured = counter.measure(&wave, fs).expect("measure").value();
+        let bound = counter.relative_quantization(Hertz::new(f)) * f
+            // plus the waveform sampling granularity of the edge times
+            + f * f / fs;
+        prop_assert!(
+            (measured - f).abs() <= bound * 2.0 + 1e-6,
+            "f {f}, measured {measured}, bound {bound}"
+        );
+    }
+
+    /// The comparator counts ~f·T cycles of any clean tone.
+    #[test]
+    fn comparator_counts_cycles(f in 1e3f64..5e4) {
+        let fs = 1e6;
+        let n = 100_000; // 0.1 s
+        let wave = sine(n, fs, f);
+        let mut det = ZeroCrossingDetector::new(0.01).expect("detector");
+        let edges = det.rising_edges(&wave).len() as f64;
+        let expected = f * 0.1;
+        prop_assert!((edges - expected).abs() <= 1.0, "f {f}: {edges} vs {expected}");
+    }
+
+    /// Scaling a frequency record scales its Allan deviation linearly.
+    #[test]
+    fn allan_scales_linearly(scale in 0.1f64..100.0, seed in 0u64..100) {
+        let base: Vec<f64> = (0..2000)
+            .map(|i| ((((i as u64) + seed).wrapping_mul(2654435761) % 1001) as f64 / 500.0 - 1.0) * 1e-6)
+            .collect();
+        let scaled: Vec<f64> = base.iter().map(|y| y * scale).collect();
+        let r1 = FrequencyRecord::new(base, Seconds::new(1.0)).expect("record");
+        let r2 = FrequencyRecord::new(scaled, Seconds::new(1.0)).expect("record");
+        for m in [1usize, 7, 50] {
+            let a = r1.allan_deviation(m).expect("adev");
+            let b = r2.allan_deviation(m).expect("adev");
+            if a > 0.0 {
+                prop_assert!((b / a - scale).abs() / scale < 1e-9);
+            }
+        }
+    }
+
+    /// Allan deviation is invariant under a constant frequency offset.
+    #[test]
+    fn allan_offset_invariant(offset in -1e-3f64..1e-3) {
+        let base: Vec<f64> = (0..1500)
+            .map(|i| (((i * 48271) % 997) as f64 / 500.0 - 1.0) * 1e-6)
+            .collect();
+        let shifted: Vec<f64> = base.iter().map(|y| y + offset).collect();
+        let r1 = FrequencyRecord::new(base, Seconds::new(1.0)).expect("record");
+        let r2 = FrequencyRecord::new(shifted, Seconds::new(1.0)).expect("record");
+        for m in [1usize, 10] {
+            let a = r1.allan_deviation(m).expect("adev");
+            let b = r2.allan_deviation(m).expect("adev");
+            prop_assert!((a - b).abs() <= 1e-12 + 1e-6 * a);
+        }
+    }
+}

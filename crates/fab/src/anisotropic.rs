@@ -1,0 +1,179 @@
+//! Anisotropic KOH etch geometry: why the backside window is so much
+//! bigger than the membrane.
+//!
+//! KOH etches (100) silicon fast and {111} planes ~100× slower, so a
+//! backside opening produces a cavity with sidewalls sloped at the
+//! {111}/(100) angle of **54.74°**. Etching through a wafer of thickness
+//! `t` therefore *shrinks* the opening by `t/tan(54.74°) ≈ 0.707·t` per
+//! side: the mask must be oversized by that much for the membrane to come
+//! out at the drawn size. Getting this wrong is the classic first-tapeout
+//! MEMS bug — which is exactly why the paper folds the MEMS masks into the
+//! CMOS DRC flow. [`backside_window_rule`] turns the geometry into a rule
+//! for the deck.
+
+use canti_units::Meters;
+
+use crate::drc::Rule;
+use crate::error::ensure_positive;
+use crate::layers::MaskLayer;
+use crate::FabError;
+
+/// The {111}/(100) sidewall angle of KOH-etched silicon, degrees.
+pub const KOH_SIDEWALL_ANGLE_DEG: f64 = 54.7356;
+
+/// Lateral inset of the cavity per side after etching depth `depth`:
+/// `depth / tan(54.74°)`.
+#[must_use]
+pub fn sidewall_inset(depth: Meters) -> Meters {
+    Meters::new(depth.value() / KOH_SIDEWALL_ANGLE_DEG.to_radians().tan())
+}
+
+/// Required backside mask opening for a target membrane span, etching
+/// through `etch_depth` (wafer minus membrane): membrane + 2·inset.
+///
+/// # Errors
+///
+/// Returns [`FabError`] unless both dimensions are strictly positive.
+pub fn required_backside_opening(
+    membrane_span: Meters,
+    etch_depth: Meters,
+) -> Result<Meters, FabError> {
+    ensure_positive("membrane span", membrane_span.value())?;
+    ensure_positive("etch depth", etch_depth.value())?;
+    Ok(membrane_span + sidewall_inset(etch_depth) * 2.0)
+}
+
+/// The membrane span a given backside opening yields after etching
+/// through `etch_depth`; `None` when the cavity pinches off before
+/// reaching the etch-stop.
+#[must_use]
+pub fn resulting_membrane_span(opening: Meters, etch_depth: Meters) -> Option<Meters> {
+    let span = opening.value() - 2.0 * sidewall_inset(etch_depth).value();
+    if span <= 0.0 {
+        None
+    } else {
+        Some(Meters::new(span))
+    }
+}
+
+/// Convex-corner undercut: KOH attacks convex mask corners along fast
+/// planes, rounding them at roughly `0.7·depth` per corner. Structures
+/// needing sharp convex corners (mesas) must add corner-compensation
+/// features at least this large.
+#[must_use]
+pub fn convex_corner_undercut(depth: Meters) -> Meters {
+    Meters::new(0.7 * depth.value())
+}
+
+/// Derives the wafer-thickness-aware DRC rule: the backside-etch mask must
+/// enclose the front-side dielectric window by the sidewall inset (plus an
+/// alignment margin), or the membrane comes out smaller than drawn.
+///
+/// # Errors
+///
+/// Returns [`FabError`] for non-positive dimensions.
+pub fn backside_window_rule(
+    wafer_thickness: Meters,
+    membrane_thickness: Meters,
+    alignment_margin: Meters,
+) -> Result<Rule, FabError> {
+    ensure_positive("wafer thickness", wafer_thickness.value())?;
+    ensure_positive("membrane thickness", membrane_thickness.value())?;
+    if membrane_thickness.value() >= wafer_thickness.value() {
+        return Err(FabError::InvalidFlow {
+            reason: "membrane thicker than the wafer".to_owned(),
+        });
+    }
+    let etch_depth = wafer_thickness - membrane_thickness;
+    let inset = sidewall_inset(etch_depth) + alignment_margin;
+    Ok(Rule::Enclosure {
+        inner: MaskLayer::FsDielectricEtch,
+        outer: MaskLayer::BacksideEtch,
+        min_nm: (inset.value() * 1e9).round() as i64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc::RuleDeck;
+    use crate::layout::{cantilever_cell, Cell, Rect};
+
+    #[test]
+    fn sidewall_inset_reference() {
+        // tan(54.7356) = sqrt(2): inset = depth / sqrt(2)
+        let inset = sidewall_inset(Meters::from_micrometers(520.0));
+        assert!(
+            (inset.as_micrometers() - 520.0 / 2f64.sqrt()).abs() < 0.01,
+            "inset {} um",
+            inset.as_micrometers()
+        );
+    }
+
+    #[test]
+    fn opening_roundtrip() {
+        let membrane = Meters::from_micrometers(300.0);
+        let depth = Meters::from_micrometers(520.0);
+        let opening = required_backside_opening(membrane, depth).unwrap();
+        let back = resulting_membrane_span(opening, depth).unwrap();
+        assert!((back.value() - membrane.value()).abs() < 1e-12);
+        // a 300 um membrane needs a ~1 mm opening through a 520 um wafer
+        assert!(opening.as_micrometers() > 1000.0);
+    }
+
+    #[test]
+    fn pinch_off_detected() {
+        // a small opening never reaches the etch stop
+        let opening = Meters::from_micrometers(100.0);
+        let depth = Meters::from_micrometers(520.0);
+        assert!(resulting_membrane_span(opening, depth).is_none());
+    }
+
+    #[test]
+    fn undercut_scale() {
+        let u = convex_corner_undercut(Meters::from_micrometers(520.0));
+        assert!((u.as_micrometers() - 364.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn derived_rule_catches_undersized_window() {
+        let rule = backside_window_rule(
+            Meters::from_micrometers(525.0),
+            Meters::from_micrometers(5.0),
+            Meters::from_micrometers(20.0),
+        )
+        .unwrap();
+        // inset = 520/sqrt(2) + 20 = ~387.7 um = ~387,700 nm
+        if let Rule::Enclosure { min_nm, .. } = &rule {
+            assert!((min_nm - 387_700).abs() < 500, "min {min_nm}");
+        } else {
+            panic!("expected enclosure rule");
+        }
+        // the generator's 32 um margin cell FAILS this physically honest
+        // rule — the kind of tapeout-saving catch the integrated flow makes
+        let mut deck = RuleDeck::new();
+        deck.push(rule);
+        let violations = deck.run(&cantilever_cell(150.0, 140.0));
+        assert_eq!(violations.len(), 1, "{violations:?}");
+
+        // an adequately oversized window passes
+        let mut cell = Cell::new("fixed");
+        cell.add(
+            MaskLayer::FsDielectricEtch,
+            Rect::from_um(0.0, 0.0, 160.0, 150.0),
+        );
+        cell.add(
+            MaskLayer::BacksideEtch,
+            Rect::from_um(-400.0, -400.0, 560.0, 550.0),
+        );
+        assert!(deck.run(&cell).is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        let t = Meters::from_micrometers(525.0);
+        assert!(backside_window_rule(t, t, Meters::zero()).is_err());
+        assert!(backside_window_rule(Meters::zero(), t, Meters::zero()).is_err());
+        assert!(required_backside_opening(Meters::zero(), t).is_err());
+    }
+}

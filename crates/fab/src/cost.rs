@@ -1,0 +1,218 @@
+//! Production cost: wafer-level vs die-level post-processing.
+//!
+//! "The complete post-processing can be performed on wafer level, leading
+//! to a very cost-efficient mass-production." The economics are simple but
+//! worth making executable: wafer-level post-processing adds a *per-wafer*
+//! cost amortized over every good die, while die-level handling (pick,
+//! mount, etch, clean per die) adds a *per-die* cost that never amortizes.
+
+use crate::error::ensure_positive;
+use crate::FabError;
+
+/// Cost structure of one production route.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostModel {
+    /// Processed CMOS wafer cost, currency units.
+    pub wafer_cost: f64,
+    /// Post-processing cost added per wafer (masks amortized separately).
+    pub post_process_per_wafer: f64,
+    /// Post-processing cost added per die (zero for wafer-level routes).
+    pub post_process_per_die: f64,
+    /// One-time engineering/mask (NRE) cost for the route.
+    pub nre: f64,
+    /// Gross dies per wafer.
+    pub dies_per_wafer: u32,
+    /// Yield after post-processing, 0–1.
+    pub yield_fraction: f64,
+}
+
+impl CostModel {
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabError`] on non-positive dies/yield or negative costs.
+    pub fn validate(&self) -> Result<(), FabError> {
+        for (what, v) in [
+            ("wafer cost", self.wafer_cost),
+            ("per-wafer post-processing", self.post_process_per_wafer),
+            ("per-die post-processing", self.post_process_per_die),
+            ("NRE", self.nre),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(FabError::NonPositive { what, value: v });
+            }
+        }
+        if self.dies_per_wafer == 0 {
+            return Err(FabError::NonPositive {
+                what: "dies per wafer",
+                value: 0.0,
+            });
+        }
+        ensure_positive("yield", self.yield_fraction)?;
+        if self.yield_fraction > 1.0 {
+            return Err(FabError::NonPositive {
+                what: "yield (must be <= 1)",
+                value: self.yield_fraction,
+            });
+        }
+        Ok(())
+    }
+
+    /// The paper's route: three extra masks, everything at wafer level.
+    #[must_use]
+    pub fn wafer_level() -> Self {
+        Self {
+            wafer_cost: 1500.0,
+            post_process_per_wafer: 400.0,
+            post_process_per_die: 0.0,
+            nre: 45_000.0, // 3 MEMS masks + runset work
+            dies_per_wafer: 800,
+            yield_fraction: 0.85,
+        }
+    }
+
+    /// The die-level alternative: cheaper NRE (no extra masks in the CMOS
+    /// reticle), but every die is individually etched/handled.
+    #[must_use]
+    pub fn die_level() -> Self {
+        Self {
+            wafer_cost: 1500.0,
+            post_process_per_wafer: 0.0,
+            post_process_per_die: 6.0,
+            nre: 10_000.0,
+            dies_per_wafer: 800,
+            yield_fraction: 0.70, // individual handling hurts yield too
+        }
+    }
+
+    /// Cost per *good* die at a production volume of `volume` good dies
+    /// (NRE amortized over the volume).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabError`] on an invalid model or zero volume.
+    pub fn cost_per_good_die(&self, volume: u64) -> Result<f64, FabError> {
+        self.validate()?;
+        if volume == 0 {
+            return Err(FabError::NonPositive {
+                what: "production volume",
+                value: 0.0,
+            });
+        }
+        let good_per_wafer = f64::from(self.dies_per_wafer) * self.yield_fraction;
+        let variable = (self.wafer_cost + self.post_process_per_wafer) / good_per_wafer
+            + self.post_process_per_die / self.yield_fraction;
+        Ok(variable + self.nre / volume as f64)
+    }
+
+    /// The volume above which `self` is cheaper than `other` (crossover),
+    /// or `None` if it never is (or always is).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabError`] on invalid models.
+    pub fn crossover_volume(&self, other: &Self) -> Result<Option<u64>, FabError> {
+        self.validate()?;
+        other.validate()?;
+        // cost_a(v) = var_a + nre_a/v; crossover where equal.
+        let var = |m: &Self| {
+            (m.wafer_cost + m.post_process_per_wafer)
+                / (f64::from(m.dies_per_wafer) * m.yield_fraction)
+                + m.post_process_per_die / m.yield_fraction
+        };
+        let (va, vb) = (var(self), var(other));
+        let (na, nb) = (self.nre, other.nre);
+        if va >= vb {
+            // self never wins on variable cost; it can only win if its NRE
+            // is also lower, in which case it wins at *low* volume — report
+            // None (no high-volume crossover).
+            return Ok(None);
+        }
+        // va + na/v < vb + nb/v  =>  v > (na - nb)/(vb - va)
+        let v = (na - nb) / (vb - va);
+        Ok(Some(if v <= 0.0 { 1 } else { v.ceil() as u64 }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wafer_level_wins_at_volume() {
+        let wl = CostModel::wafer_level();
+        let dl = CostModel::die_level();
+        let high = 1_000_000;
+        let c_wl = wl.cost_per_good_die(high).unwrap();
+        let c_dl = dl.cost_per_good_die(high).unwrap();
+        assert!(
+            c_wl < c_dl / 2.0,
+            "at volume, wafer-level {c_wl} must crush die-level {c_dl}"
+        );
+    }
+
+    #[test]
+    fn die_level_wins_at_prototype_volume() {
+        let wl = CostModel::wafer_level();
+        let dl = CostModel::die_level();
+        let proto = 500;
+        let c_wl = wl.cost_per_good_die(proto).unwrap();
+        let c_dl = dl.cost_per_good_die(proto).unwrap();
+        assert!(c_dl < c_wl, "at 500 units die-level {c_dl} vs wafer {c_wl}");
+    }
+
+    #[test]
+    fn crossover_exists_and_is_consistent() {
+        let wl = CostModel::wafer_level();
+        let dl = CostModel::die_level();
+        let v = wl.crossover_volume(&dl).unwrap().expect("crossover");
+        // just below: die-level cheaper or equal; just above: wafer-level cheaper
+        let below = (v - 1).max(1);
+        assert!(
+            dl.cost_per_good_die(below).unwrap() <= wl.cost_per_good_die(below).unwrap() + 1e-9
+        );
+        assert!(wl.cost_per_good_die(v + 1).unwrap() < dl.cost_per_good_die(v + 1).unwrap());
+        // reverse direction: die-level never beats wafer-level at volume
+        assert_eq!(dl.crossover_volume(&wl).unwrap(), None);
+    }
+
+    #[test]
+    fn cost_decreases_with_volume() {
+        let wl = CostModel::wafer_level();
+        let c1 = wl.cost_per_good_die(1_000).unwrap();
+        let c2 = wl.cost_per_good_die(100_000).unwrap();
+        let c3 = wl.cost_per_good_die(10_000_000).unwrap();
+        assert!(c1 > c2 && c2 > c3);
+        // asymptote: variable cost only
+        let asymptote = (1500.0 + 400.0) / (800.0 * 0.85);
+        assert!((c3 - asymptote).abs() / asymptote < 0.01);
+    }
+
+    #[test]
+    fn yield_raises_cost() {
+        let mut low_yield = CostModel::wafer_level();
+        low_yield.yield_fraction = 0.4;
+        let good = CostModel::wafer_level();
+        assert!(
+            low_yield.cost_per_good_die(1_000_000).unwrap()
+                > good.cost_per_good_die(1_000_000).unwrap()
+        );
+    }
+
+    #[test]
+    fn validation() {
+        let mut m = CostModel::wafer_level();
+        m.yield_fraction = 0.0;
+        assert!(m.validate().is_err());
+        m.yield_fraction = 1.5;
+        assert!(m.validate().is_err());
+        m = CostModel::wafer_level();
+        m.dies_per_wafer = 0;
+        assert!(m.validate().is_err());
+        m = CostModel::wafer_level();
+        m.wafer_cost = -1.0;
+        assert!(m.validate().is_err());
+        assert!(CostModel::wafer_level().cost_per_good_die(0).is_err());
+    }
+}

@@ -1,0 +1,455 @@
+//! Design-rule checking: the paper's headline EDA claim made executable.
+//!
+//! "The design of the three additional mask layers is completely integrated
+//! in the physical design flow of the CMOS technology, so that the physical
+//! design verification, e.g., design-rule checks, can be performed with
+//! respect to the CMOS layers." — this module is that runset: a rule deck
+//! whose MEMS rules reference n-well, metal and the etch masks together.
+
+use crate::layers::MaskLayer;
+use crate::layout::{Cell, Rect};
+
+/// One design rule.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Rule {
+    /// Every shape on `layer` must be at least `min_nm` wide in its
+    /// narrow direction.
+    MinWidth {
+        /// The checked layer.
+        layer: MaskLayer,
+        /// Minimum width, nm.
+        min_nm: i64,
+    },
+    /// Disjoint same-layer shapes must be at least `min_nm` apart.
+    MinSpacing {
+        /// The checked layer.
+        layer: MaskLayer,
+        /// Minimum spacing, nm.
+        min_nm: i64,
+    },
+    /// Every `inner` shape must be enclosed by some `outer` shape with at
+    /// least `min_nm` margin on all sides.
+    Enclosure {
+        /// The enclosed layer.
+        inner: MaskLayer,
+        /// The enclosing layer.
+        outer: MaskLayer,
+        /// Minimum margin, nm.
+        min_nm: i64,
+    },
+    /// Shapes on `a` must not overlap shapes on `b`.
+    NoOverlap {
+        /// First layer.
+        a: MaskLayer,
+        /// Second layer.
+        b: MaskLayer,
+    },
+}
+
+impl Rule {
+    /// Short runset-style description.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Self::MinWidth { layer, min_nm } => {
+                format!("{layer}.W >= {:.2} um", *min_nm as f64 / 1000.0)
+            }
+            Self::MinSpacing { layer, min_nm } => {
+                format!("{layer}.S >= {:.2} um", *min_nm as f64 / 1000.0)
+            }
+            Self::Enclosure {
+                inner,
+                outer,
+                min_nm,
+            } => format!(
+                "{outer} encloses {inner} >= {:.2} um",
+                *min_nm as f64 / 1000.0
+            ),
+            Self::NoOverlap { a, b } => format!("{a} not over {b}"),
+        }
+    }
+}
+
+/// A rule violation with its location.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Violation {
+    /// The violated rule's description.
+    pub rule: String,
+    /// Where (a shape or the gap region's bounding box).
+    pub location: Rect,
+    /// Measured value vs required, nm (e.g. actual width / spacing /
+    /// margin).
+    pub measured_nm: i64,
+    /// Required value, nm (0 for boolean rules).
+    pub required_nm: i64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at {} (measured {:.2} um, required {:.2} um)",
+            self.rule,
+            self.location,
+            self.measured_nm as f64 / 1000.0,
+            self.required_nm as f64 / 1000.0
+        )
+    }
+}
+
+/// An ordered collection of rules.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RuleDeck {
+    rules: Vec<Rule>,
+}
+
+impl RuleDeck {
+    /// An empty deck.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a rule.
+    pub fn push(&mut self, rule: Rule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The rules.
+    #[must_use]
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Runs every rule over `cell`, returning all violations.
+    #[must_use]
+    pub fn run(&self, cell: &Cell) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            match rule {
+                Rule::MinWidth { layer, min_nm } => {
+                    for r in cell.shapes_on(*layer) {
+                        if r.min_dimension() < *min_nm {
+                            out.push(Violation {
+                                rule: rule.describe(),
+                                location: *r,
+                                measured_nm: r.min_dimension(),
+                                required_nm: *min_nm,
+                            });
+                        }
+                    }
+                }
+                Rule::MinSpacing { layer, min_nm } => {
+                    let shapes = cell.shapes_on(*layer);
+                    for i in 0..shapes.len() {
+                        for j in i + 1..shapes.len() {
+                            let s = shapes[i].spacing(&shapes[j]);
+                            if s > 0 && s < *min_nm {
+                                let bb = Rect {
+                                    x0: shapes[i].x0.min(shapes[j].x0),
+                                    y0: shapes[i].y0.min(shapes[j].y0),
+                                    x1: shapes[i].x1.max(shapes[j].x1),
+                                    y1: shapes[i].y1.max(shapes[j].y1),
+                                };
+                                out.push(Violation {
+                                    rule: rule.describe(),
+                                    location: bb,
+                                    measured_nm: s,
+                                    required_nm: *min_nm,
+                                });
+                            }
+                        }
+                    }
+                }
+                Rule::Enclosure {
+                    inner,
+                    outer,
+                    min_nm,
+                } => {
+                    for r in cell.shapes_on(*inner) {
+                        let best = cell
+                            .shapes_on(*outer)
+                            .iter()
+                            .map(|o| o.enclosure_margin(r))
+                            .max()
+                            .unwrap_or(i64::MIN);
+                        if best < *min_nm {
+                            out.push(Violation {
+                                rule: rule.describe(),
+                                location: *r,
+                                measured_nm: best.max(-1),
+                                required_nm: *min_nm,
+                            });
+                        }
+                    }
+                }
+                Rule::NoOverlap { a, b } => {
+                    for ra in cell.shapes_on(*a) {
+                        for rb in cell.shapes_on(*b) {
+                            if let Some(i) = ra.intersection(rb) {
+                                out.push(Violation {
+                                    rule: rule.describe(),
+                                    location: i,
+                                    measured_nm: i.min_dimension(),
+                                    required_nm: 0,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Core CMOS rules of the 0.8 µm process (the subset relevant near the
+/// MEMS structures).
+#[must_use]
+pub fn cmos_core_rules() -> RuleDeck {
+    let mut deck = RuleDeck::new();
+    deck.push(Rule::MinWidth {
+        layer: MaskLayer::Metal1,
+        min_nm: 1200,
+    })
+    .push(Rule::MinSpacing {
+        layer: MaskLayer::Metal1,
+        min_nm: 1200,
+    })
+    .push(Rule::MinWidth {
+        layer: MaskLayer::Metal2,
+        min_nm: 1600,
+    })
+    .push(Rule::MinSpacing {
+        layer: MaskLayer::Metal2,
+        min_nm: 1600,
+    })
+    .push(Rule::MinWidth {
+        layer: MaskLayer::NWell,
+        min_nm: 4000,
+    })
+    .push(Rule::MinWidth {
+        layer: MaskLayer::PPlus,
+        min_nm: 1600,
+    });
+    deck
+}
+
+/// The MEMS rule deck the paper implies: the three etch masks checked
+/// against each other **and against the CMOS layers** (n-well etch-stop
+/// coverage, no stray metal in the open etch window).
+#[must_use]
+pub fn mems_rules() -> RuleDeck {
+    let mut deck = RuleDeck::new();
+    deck
+        // the etch trenches must be wide enough to etch reliably
+        .push(Rule::MinWidth {
+            layer: MaskLayer::FsSiliconEtch,
+            min_nm: 4000,
+        })
+        // and far enough apart that the silicon wall between them survives
+        // (touching trenches are one trench and are allowed)
+        .push(Rule::MinSpacing {
+            layer: MaskLayer::FsSiliconEtch,
+            min_nm: 5000,
+        })
+        // backside membrane window: KOH needs a large opening
+        .push(Rule::MinWidth {
+            layer: MaskLayer::BacksideEtch,
+            min_nm: 100_000,
+        })
+        // dielectric window opens over every silicon trench, with margin
+        .push(Rule::Enclosure {
+            inner: MaskLayer::FsSiliconEtch,
+            outer: MaskLayer::FsDielectricEtch,
+            min_nm: 1000,
+        })
+        // the membrane must extend beyond the dielectric window
+        .push(Rule::Enclosure {
+            inner: MaskLayer::FsDielectricEtch,
+            outer: MaskLayer::BacksideEtch,
+            min_nm: 20_000,
+        })
+        // the electrochemical etch-stop needs n-well under the whole
+        // released region
+        .push(Rule::Enclosure {
+            inner: MaskLayer::FsDielectricEtch,
+            outer: MaskLayer::NWell,
+            min_nm: 2000,
+        })
+        // no metal may cross the silicon-etch trenches (it would mask the
+        // etch / be undercut)
+        .push(Rule::NoOverlap {
+            a: MaskLayer::Metal1,
+            b: MaskLayer::FsSiliconEtch,
+        })
+        .push(Rule::NoOverlap {
+            a: MaskLayer::Metal2,
+            b: MaskLayer::FsSiliconEtch,
+        });
+    deck
+}
+
+/// The full combined deck (CMOS + MEMS) — one runset, as the paper's flow
+/// integration implies.
+#[must_use]
+pub fn full_deck() -> RuleDeck {
+    let mut deck = cmos_core_rules();
+    for rule in mems_rules().rules() {
+        deck.push(rule.clone());
+    }
+    deck
+}
+
+/// The full deck plus the wafer-thickness-derived backside-window rule
+/// from the KOH sidewall geometry — the physically honest runset for a
+/// given wafer.
+///
+/// # Errors
+///
+/// Returns [`crate::FabError`] for degenerate wafer/membrane thicknesses.
+pub fn full_deck_for_wafer(
+    wafer: canti_units::Meters,
+    membrane: canti_units::Meters,
+) -> Result<RuleDeck, crate::FabError> {
+    let mut deck = full_deck();
+    deck.push(crate::anisotropic::backside_window_rule(
+        wafer,
+        membrane,
+        canti_units::Meters::from_micrometers(20.0),
+    )?);
+    Ok(deck)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::cantilever_cell;
+
+    #[test]
+    fn paper_cantilever_cell_is_clean() {
+        let cell = cantilever_cell(150.0, 140.0);
+        let violations = full_deck().run(&cell);
+        assert!(
+            violations.is_empty(),
+            "generated cell must be DRC-clean, got: {:?}",
+            violations.iter().map(Violation::to_string).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn min_width_catches_narrow_shape() {
+        let mut cell = Cell::new("t");
+        cell.add(MaskLayer::Metal1, Rect::from_um(0.0, 0.0, 0.8, 10.0));
+        let v = cmos_core_rules().run(&cell);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].measured_nm, 800);
+        assert_eq!(v[0].required_nm, 1200);
+        assert!(v[0].to_string().contains("MET1.W"));
+    }
+
+    #[test]
+    fn min_spacing_catches_close_pairs_but_not_touching() {
+        let mut cell = Cell::new("t");
+        cell.add(MaskLayer::Metal2, Rect::from_um(0.0, 0.0, 5.0, 5.0));
+        cell.add(MaskLayer::Metal2, Rect::from_um(5.5, 0.0, 10.0, 5.0)); // 0.5 um gap
+        cell.add(MaskLayer::Metal2, Rect::from_um(10.0, 0.0, 15.0, 5.0)); // touching: ok
+        let v: Vec<Violation> = cmos_core_rules()
+            .run(&cell)
+            .into_iter()
+            .filter(|v| v.rule.contains("MET2.S"))
+            .collect();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].measured_nm, 500);
+    }
+
+    #[test]
+    fn enclosure_catches_missing_nwell_coverage() {
+        // a beam whose n-well stops short of the etch window: the classic
+        // etch-stop design error the integrated flow is meant to catch.
+        let mut cell = cantilever_cell(150.0, 140.0);
+        // shrink the n-well by replacing it with a too-small one
+        let mut bad = Cell::new("bad");
+        for layer in MaskLayer::ALL {
+            for r in cell.shapes_on(layer) {
+                if layer == MaskLayer::NWell {
+                    bad.add(layer, Rect::from_um(0.0, 0.0, 50.0, 50.0));
+                } else {
+                    bad.add(layer, *r);
+                }
+            }
+        }
+        cell = bad;
+        let v = mems_rules().run(&cell);
+        assert!(
+            v.iter().any(|v| v.rule.contains("NWELL encloses FD")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn no_overlap_catches_metal_over_trench() {
+        let mut cell = cantilever_cell(150.0, 140.0);
+        // route metal2 straight across the tip trench
+        cell.add(MaskLayer::Metal2, Rect::from_um(140.0, 60.0, 170.0, 64.0));
+        let v = mems_rules().run(&cell);
+        assert!(v.iter().any(|v| v.rule.contains("MET2 not over FS")), "{v:?}");
+    }
+
+    #[test]
+    fn violation_reports_location() {
+        let mut cell = Cell::new("t");
+        let r = Rect::from_um(3.0, 4.0, 3.5, 20.0);
+        cell.add(MaskLayer::Metal2, r);
+        let v = cmos_core_rules().run(&cell);
+        assert_eq!(v[0].location, r);
+    }
+
+    #[test]
+    fn deck_composition() {
+        let full = full_deck();
+        assert_eq!(
+            full.rules().len(),
+            cmos_core_rules().rules().len() + mems_rules().rules().len()
+        );
+        // every rule describes itself distinctly
+        let mut descs: Vec<String> = full.rules().iter().map(Rule::describe).collect();
+        descs.sort();
+        descs.dedup();
+        assert_eq!(descs.len(), full.rules().len());
+    }
+
+    #[test]
+    fn empty_cell_is_clean() {
+        let v = full_deck().run(&Cell::new("empty"));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn wafer_honest_deck_and_cell() {
+        use crate::layout::cantilever_cell_for_wafer;
+        use canti_units::Meters;
+        let wafer = Meters::from_micrometers(525.0);
+        let membrane = Meters::from_micrometers(5.0);
+        let deck = full_deck_for_wafer(wafer, membrane).unwrap();
+        assert_eq!(deck.rules().len(), full_deck().rules().len() + 1);
+
+        // the schematic cell (30 um margin) fails the honest KOH rule...
+        let schematic = cantilever_cell(150.0, 140.0);
+        let v = deck.run(&schematic);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].rule.contains("EB encloses FD"));
+
+        // ...the wafer-sized cell passes the whole honest deck
+        let honest = cantilever_cell_for_wafer(150.0, 140.0, 525.0, 5.0);
+        let v = deck.run(&honest);
+        assert!(v.is_empty(), "{v:?}");
+        // and its backside window is close to a millimeter across
+        let eb = honest.shapes_on(MaskLayer::BacksideEtch)[0];
+        assert!(eb.width() > 800_000, "EB width {} nm", eb.width());
+
+        // degenerate wafer rejected
+        assert!(full_deck_for_wafer(membrane, membrane).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Error raised by `canti-fab` on invalid inputs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FabError {
+    /// A quantity that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A degenerate rectangle (zero or negative extent).
+    DegenerateRect {
+        /// The rejected coordinates (x0, y0, x1, y1) in nm.
+        coords: (i64, i64, i64, i64),
+    },
+    /// A process flow that cannot run (e.g. etch before deposition).
+    InvalidFlow {
+        /// What went wrong.
+        reason: String,
+    },
+    /// Monte-Carlo configuration error.
+    BadDistribution {
+        /// What is wrong with the distribution.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for FabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            Self::DegenerateRect { coords } => {
+                write!(f, "degenerate rectangle {coords:?} (nm)")
+            }
+            Self::InvalidFlow { reason } => write!(f, "invalid process flow: {reason}"),
+            Self::BadDistribution { reason } => write!(f, "bad distribution: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FabError {}
+
+pub(crate) fn ensure_positive(what: &'static str, value: f64) -> Result<(), FabError> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(FabError::NonPositive { what, value });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_error_and_display() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<FabError>();
+        let e = FabError::DegenerateRect {
+            coords: (0, 0, 0, 5),
+        };
+        assert!(e.to_string().contains("degenerate"));
+    }
+}

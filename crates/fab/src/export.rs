@@ -1,0 +1,179 @@
+//! Layout interchange: a CIF-subset writer and reader.
+//!
+//! Real post-CMOS mask data travels as CIF/GDS. This module implements the
+//! rectangle subset of CIF (Caltech Intermediate Form) — enough to hand
+//! the three MEMS masks (plus the CMOS context) to a mask shop or read
+//! them back:
+//!
+//! ```text
+//! DS 1 1 2;
+//! L EB;
+//! B 438000 428000 91000 66000;
+//! DF;
+//! E
+//! ```
+//!
+//! `B w h cx cy;` boxes are written in *doubled* nm units (the `1 2`
+//! scale factors in `DS` mean "divide by two on read") — the standard CIF
+//! trick that keeps box centers on the integer grid for odd widths.
+
+use std::fmt::Write as _;
+
+use crate::layers::MaskLayer;
+use crate::layout::{Cell, Rect};
+use crate::FabError;
+
+/// Serializes a cell to CIF (rectangles only).
+#[must_use]
+pub fn to_cif(cell: &Cell) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "(canti layout {} in nm units);", cell.name());
+    let _ = writeln!(out, "DS 1 1 2;");
+    for layer in MaskLayer::ALL {
+        let shapes = cell.shapes_on(layer);
+        if shapes.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "L {};", layer.code());
+        for r in shapes {
+            // doubled units: width/height and exact (x0+x1) center sums
+            let _ = writeln!(
+                out,
+                "B {} {} {} {};",
+                2 * r.width(),
+                2 * r.height(),
+                r.x0 + r.x1,
+                r.y0 + r.y1
+            );
+        }
+    }
+    let _ = writeln!(out, "DF;");
+    let _ = writeln!(out, "E");
+    out
+}
+
+/// Parses the CIF subset written by [`to_cif`] back into a cell named
+/// `name`.
+///
+/// # Errors
+///
+/// Returns [`FabError::InvalidFlow`] on malformed commands, unknown layer
+/// codes, or boxes with non-positive dimensions.
+pub fn from_cif(name: &str, cif: &str) -> Result<Cell, FabError> {
+    let mut cell = Cell::new(name);
+    let mut current: Option<MaskLayer> = None;
+
+    for raw in cif.split(';') {
+        let stmt = raw.trim();
+        if stmt.is_empty()
+            || stmt.starts_with('(')
+            || stmt == "E"
+            || stmt.starts_with("DS")
+            || stmt == "DF"
+        {
+            continue;
+        }
+        if let Some(code) = stmt.strip_prefix("L ") {
+            let code = code.trim();
+            current = Some(layer_from_code(code).ok_or_else(|| FabError::InvalidFlow {
+                reason: format!("unknown layer code '{code}'"),
+            })?);
+            continue;
+        }
+        if let Some(body) = stmt.strip_prefix("B ") {
+            let layer = current.ok_or_else(|| FabError::InvalidFlow {
+                reason: "box before any layer command".to_owned(),
+            })?;
+            let nums: Vec<i64> = body
+                .split_whitespace()
+                .map(|t| {
+                    t.parse::<i64>().map_err(|_| FabError::InvalidFlow {
+                        reason: format!("bad box coordinate '{t}'"),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            if nums.len() != 4 {
+                return Err(FabError::InvalidFlow {
+                    reason: format!("box needs 4 coordinates, got {}", nums.len()),
+                });
+            }
+            let (w2, h2, cx2, cy2) = (nums[0], nums[1], nums[2], nums[3]);
+            if w2 % 2 != 0 || h2 % 2 != 0 {
+                return Err(FabError::InvalidFlow {
+                    reason: "box dimensions must be even in doubled units".to_owned(),
+                });
+            }
+            let (w, h) = (w2 / 2, h2 / 2);
+            // cx2 = x0 + x1 and w = x1 - x0  =>  x0 = (cx2 - w)/2 exactly
+            let x0 = (cx2 - w) / 2;
+            let y0 = (cy2 - h) / 2;
+            let rect = Rect::new(x0, y0, x0 + w, y0 + h)?;
+            cell.add(layer, rect);
+            continue;
+        }
+        return Err(FabError::InvalidFlow {
+            reason: format!("unrecognized CIF statement '{stmt}'"),
+        });
+    }
+    Ok(cell)
+}
+
+fn layer_from_code(code: &str) -> Option<MaskLayer> {
+    MaskLayer::ALL.into_iter().find(|l| l.code() == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::cantilever_cell;
+
+    #[test]
+    fn roundtrip_preserves_every_shape() {
+        let cell = cantilever_cell(150.0, 140.0);
+        let cif = to_cif(&cell);
+        let back = from_cif("roundtrip", &cif).expect("parse");
+        assert_eq!(back.shape_count(), cell.shape_count());
+        for layer in MaskLayer::ALL {
+            let a: std::collections::BTreeSet<_> = cell.shapes_on(layer).iter().collect();
+            let b: std::collections::BTreeSet<_> = back.shapes_on(layer).iter().collect();
+            assert_eq!(a, b, "layer {layer}");
+        }
+    }
+
+    #[test]
+    fn cif_contains_mems_layers_and_footer() {
+        let cif = to_cif(&cantilever_cell(150.0, 140.0));
+        for code in ["EB", "FD", "FS", "NWELL", "MET2"] {
+            assert!(cif.contains(&format!("L {code};")), "{code} missing:\n{cif}");
+        }
+        assert!(cif.trim_end().ends_with('E'));
+        assert!(cif.contains("DS 1 1 2;"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(from_cif("x", "B 10 10 0 0;").is_err(), "box before layer");
+        assert!(from_cif("x", "L NOPE; B 10 10 0 0;").is_err(), "bad layer");
+        assert!(from_cif("x", "L EB; B 10 10 0;").is_err(), "short box");
+        assert!(from_cif("x", "L EB; B ten 10 0 0;").is_err(), "non-numeric");
+        assert!(from_cif("x", "GARBAGE!").is_err());
+        assert!(from_cif("x", "L EB; B 0 20 0 0;").is_err(), "degenerate box");
+        assert!(from_cif("x", "L EB; B 3 10 0 0;").is_err(), "odd doubled width");
+    }
+
+    #[test]
+    fn empty_and_comment_only_cif_parse() {
+        let c = from_cif("empty", "(nothing here);\nDS 1 1 1;\nDF;\nE").expect("parse");
+        assert_eq!(c.shape_count(), 0);
+    }
+
+    #[test]
+    fn odd_dimensions_roundtrip() {
+        // center-based encoding must not lose a nm on odd widths
+        let mut cell = Cell::new("odd");
+        cell.add(MaskLayer::Metal1, Rect::new(0, 0, 7, 3).expect("rect"));
+        cell.add(MaskLayer::Metal1, Rect::new(-13, -5, 0, 0).expect("rect"));
+        let back = from_cif("odd", &to_cif(&cell)).expect("parse");
+        assert_eq!(back.shapes_on(MaskLayer::Metal1), cell.shapes_on(MaskLayer::Metal1));
+    }
+}

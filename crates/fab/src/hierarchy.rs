@@ -1,0 +1,324 @@
+//! Hierarchical layout: cells instantiating cells, and flattening for DRC.
+//!
+//! The paper's chip is an *array* — four cantilever cells plus shared
+//! readout. Real layout is hierarchical: the cantilever is drawn once and
+//! instantiated four times. [`Library`] holds named [`HierCell`]s whose
+//! instances reference other cells by name (translation-only placement, as
+//! befits a rectilinear database); [`Library::flatten`] resolves the
+//! hierarchy into a single flat [`Cell`] the DRC engine can chew on, with
+//! cycle and dangling-reference detection.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::layers::MaskLayer;
+use crate::layout::{cantilever_cell, Cell, Rect};
+use crate::FabError;
+
+/// A placement of a child cell, translated by `(dx, dy)` nm.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Instance {
+    /// Name of the instantiated cell.
+    pub child: String,
+    /// X translation, nm.
+    pub dx: i64,
+    /// Y translation, nm.
+    pub dy: i64,
+}
+
+/// A cell with its own shapes plus child instances.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct HierCell {
+    /// The cell's own (flat) shapes.
+    pub shapes: Cell,
+    /// Child placements.
+    pub instances: Vec<Instance>,
+}
+
+/// A named collection of hierarchical cells.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Library {
+    cells: BTreeMap<String, HierCell>,
+}
+
+impl Library {
+    /// An empty library.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a cell.
+    pub fn insert(&mut self, name: impl Into<String>, cell: HierCell) -> &mut Self {
+        self.cells.insert(name.into(), cell);
+        self
+    }
+
+    /// Looks up a cell.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&HierCell> {
+        self.cells.get(name)
+    }
+
+    /// Cell names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.cells.keys().map(String::as_str)
+    }
+
+    /// Flattens `top` into a single cell: every shape of every transitive
+    /// instance, translated into top coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabError::InvalidFlow`] on a dangling reference or an
+    /// instantiation cycle.
+    pub fn flatten(&self, top: &str) -> Result<Cell, FabError> {
+        let mut out = Cell::new(top.to_owned());
+        let mut stack: BTreeSet<String> = BTreeSet::new();
+        self.flatten_into(top, 0, 0, &mut out, &mut stack)?;
+        Ok(out)
+    }
+
+    fn flatten_into(
+        &self,
+        name: &str,
+        dx: i64,
+        dy: i64,
+        out: &mut Cell,
+        stack: &mut BTreeSet<String>,
+    ) -> Result<(), FabError> {
+        let cell = self.cells.get(name).ok_or_else(|| FabError::InvalidFlow {
+            reason: format!("instance references unknown cell '{name}'"),
+        })?;
+        if !stack.insert(name.to_owned()) {
+            return Err(FabError::InvalidFlow {
+                reason: format!("instantiation cycle through '{name}'"),
+            });
+        }
+        for layer in MaskLayer::ALL {
+            for r in cell.shapes.shapes_on(layer) {
+                out.add(
+                    layer,
+                    Rect {
+                        x0: r.x0 + dx,
+                        y0: r.y0 + dy,
+                        x1: r.x1 + dx,
+                        y1: r.y1 + dy,
+                    },
+                );
+            }
+        }
+        for inst in &cell.instances {
+            self.flatten_into(&inst.child, dx + inst.dx, dy + inst.dy, out, stack)?;
+        }
+        stack.remove(name);
+        Ok(())
+    }
+}
+
+/// Builds the paper's array chip: `count` cantilever cells at `pitch_um`
+/// vertical pitch under a `top` cell. Flatten `"chip"` and run the deck.
+#[must_use]
+pub fn array_chip_library(count: usize, pitch_um: f64, length_um: f64, width_um: f64) -> Library {
+    let mut lib = Library::new();
+    lib.insert(
+        "cantilever",
+        HierCell {
+            shapes: cantilever_cell(length_um, width_um),
+            instances: vec![],
+        },
+    );
+    let instances = (0..count)
+        .map(|i| Instance {
+            child: "cantilever".to_owned(),
+            dx: 0,
+            dy: (i as f64 * pitch_um * 1000.0).round() as i64,
+        })
+        .collect();
+    lib.insert(
+        "chip",
+        HierCell {
+            shapes: Cell::new("chip"),
+            instances,
+        },
+    );
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc::full_deck;
+
+    #[test]
+    fn flatten_translates_shapes() {
+        let mut lib = Library::new();
+        let mut leaf = Cell::new("leaf");
+        leaf.add(MaskLayer::Metal1, Rect::from_um(0.0, 0.0, 2.0, 2.0));
+        lib.insert(
+            "leaf",
+            HierCell {
+                shapes: leaf,
+                instances: vec![],
+            },
+        );
+        lib.insert(
+            "top",
+            HierCell {
+                shapes: Cell::new("top"),
+                instances: vec![
+                    Instance {
+                        child: "leaf".to_owned(),
+                        dx: 10_000,
+                        dy: 0,
+                    },
+                    Instance {
+                        child: "leaf".to_owned(),
+                        dx: 0,
+                        dy: 20_000,
+                    },
+                ],
+            },
+        );
+        let flat = lib.flatten("top").unwrap();
+        let shapes = flat.shapes_on(MaskLayer::Metal1);
+        assert_eq!(shapes.len(), 2);
+        assert!(shapes.contains(&Rect::from_um(10.0, 0.0, 12.0, 2.0)));
+        assert!(shapes.contains(&Rect::from_um(0.0, 20.0, 2.0, 22.0)));
+    }
+
+    #[test]
+    fn nested_translation_composes() {
+        let mut lib = Library::new();
+        let mut leaf = Cell::new("leaf");
+        leaf.add(MaskLayer::Poly1, Rect::new(0, 0, 100, 100).unwrap());
+        lib.insert(
+            "leaf",
+            HierCell {
+                shapes: leaf,
+                instances: vec![],
+            },
+        );
+        lib.insert(
+            "mid",
+            HierCell {
+                shapes: Cell::new("mid"),
+                instances: vec![Instance {
+                    child: "leaf".to_owned(),
+                    dx: 1000,
+                    dy: 0,
+                }],
+            },
+        );
+        lib.insert(
+            "top",
+            HierCell {
+                shapes: Cell::new("top"),
+                instances: vec![Instance {
+                    child: "mid".to_owned(),
+                    dx: 0,
+                    dy: 500,
+                }],
+            },
+        );
+        let flat = lib.flatten("top").unwrap();
+        assert_eq!(
+            flat.shapes_on(MaskLayer::Poly1),
+            &[Rect::new(1000, 500, 1100, 600).unwrap()]
+        );
+    }
+
+    #[test]
+    fn dangling_and_cycle_detected() {
+        let mut lib = Library::new();
+        lib.insert(
+            "a",
+            HierCell {
+                shapes: Cell::new("a"),
+                instances: vec![Instance {
+                    child: "b".to_owned(),
+                    dx: 0,
+                    dy: 0,
+                }],
+            },
+        );
+        assert!(matches!(
+            lib.flatten("a"),
+            Err(FabError::InvalidFlow { .. })
+        ));
+        // close the loop: a -> b -> a
+        lib.insert(
+            "b",
+            HierCell {
+                shapes: Cell::new("b"),
+                instances: vec![Instance {
+                    child: "a".to_owned(),
+                    dx: 0,
+                    dy: 0,
+                }],
+            },
+        );
+        let err = lib.flatten("a").unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+        assert!(lib.flatten("missing").is_err());
+    }
+
+    #[test]
+    fn sibling_instances_allowed() {
+        // diamond reuse (not a cycle): top instantiates leaf twice through
+        // different mids
+        let mut lib = Library::new();
+        let mut leaf = Cell::new("leaf");
+        leaf.add(MaskLayer::Metal1, Rect::new(0, 0, 10, 10).unwrap());
+        lib.insert("leaf", HierCell { shapes: leaf, instances: vec![] });
+        for (name, dx) in [("m1", 100), ("m2", 200)] {
+            lib.insert(
+                name,
+                HierCell {
+                    shapes: Cell::new(name),
+                    instances: vec![Instance {
+                        child: "leaf".to_owned(),
+                        dx,
+                        dy: 0,
+                    }],
+                },
+            );
+        }
+        lib.insert(
+            "top",
+            HierCell {
+                shapes: Cell::new("top"),
+                instances: vec![
+                    Instance { child: "m1".to_owned(), dx: 0, dy: 0 },
+                    Instance { child: "m2".to_owned(), dx: 0, dy: 0 },
+                ],
+            },
+        );
+        let flat = lib.flatten("top").unwrap();
+        assert_eq!(flat.shapes_on(MaskLayer::Metal1).len(), 2);
+    }
+
+    #[test]
+    fn four_cantilever_array_is_drc_clean() {
+        // the paper's array: 4 beams at a pitch that keeps the etch
+        // trenches apart
+        let lib = array_chip_library(4, 300.0, 150.0, 140.0);
+        let flat = lib.flatten("chip").unwrap();
+        assert_eq!(flat.shapes_on(MaskLayer::FsSiliconEtch).len(), 12);
+        let violations = full_deck().run(&flat);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn too_tight_pitch_fails_spacing() {
+        // squeeze the beams until the silicon-etch trenches nearly touch
+        let lib = array_chip_library(2, 151.0, 150.0, 140.0);
+        let flat = lib.flatten("chip").unwrap();
+        let violations = full_deck().run(&flat);
+        assert!(
+            violations.iter().any(|v| v.rule.contains("FS.S")
+                || v.rule.contains("MET2")
+                || v.rule.contains("MET1")),
+            "tight pitch must violate something: {violations:?}"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! The 0.8 µm double-poly double-metal layer set plus the three post-CMOS
+//! MEMS mask layers.
+//!
+//! The paper's point is that the MEMS masks live *inside* the CMOS physical
+//! design flow: they are ordinary mask layers with ordinary design rules,
+//! checkable against n-well, metal, and the rest. [`MaskLayer`] is the
+//! shared enumeration both the layout database and the DRC deck key on.
+
+use canti_units::Meters;
+
+/// All mask layers of the adapted 0.8 µm 2P2M process.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[non_exhaustive]
+pub enum MaskLayer {
+    /// N-well implant — doubles as the electrochemical etch-stop defining
+    /// the cantilever thickness.
+    NWell,
+    /// Active (diffusion) area.
+    Active,
+    /// P+ source/drain implant.
+    PPlus,
+    /// N+ source/drain implant.
+    NPlus,
+    /// First polysilicon (gates).
+    Poly1,
+    /// Second polysilicon (capacitors, resistors).
+    Poly2,
+    /// Contact cuts.
+    Contact,
+    /// First metal.
+    Metal1,
+    /// Via cuts.
+    Via,
+    /// Second metal (the actuation coil lives here).
+    Metal2,
+    /// Pad/passivation opening.
+    Pad,
+    /// MEMS mask 1: backside KOH etch window.
+    BacksideEtch,
+    /// MEMS mask 2: front-side dielectric (RIE) etch window.
+    FsDielectricEtch,
+    /// MEMS mask 3: front-side silicon (RIE) etch window — outlines the
+    /// beam.
+    FsSiliconEtch,
+}
+
+impl MaskLayer {
+    /// All layers, in mask order.
+    pub const ALL: [MaskLayer; 14] = [
+        MaskLayer::NWell,
+        MaskLayer::Active,
+        MaskLayer::PPlus,
+        MaskLayer::NPlus,
+        MaskLayer::Poly1,
+        MaskLayer::Poly2,
+        MaskLayer::Contact,
+        MaskLayer::Metal1,
+        MaskLayer::Via,
+        MaskLayer::Metal2,
+        MaskLayer::Pad,
+        MaskLayer::BacksideEtch,
+        MaskLayer::FsDielectricEtch,
+        MaskLayer::FsSiliconEtch,
+    ];
+
+    /// The three post-CMOS micromachining masks.
+    pub const MEMS: [MaskLayer; 3] = [
+        MaskLayer::BacksideEtch,
+        MaskLayer::FsDielectricEtch,
+        MaskLayer::FsSiliconEtch,
+    ];
+
+    /// `true` for the three added MEMS masks.
+    #[must_use]
+    pub fn is_mems(self) -> bool {
+        matches!(
+            self,
+            Self::BacksideEtch | Self::FsDielectricEtch | Self::FsSiliconEtch
+        )
+    }
+
+    /// GDS-style layer number.
+    #[must_use]
+    pub fn gds_number(self) -> u16 {
+        match self {
+            Self::NWell => 1,
+            Self::Active => 2,
+            Self::PPlus => 3,
+            Self::NPlus => 4,
+            Self::Poly1 => 10,
+            Self::Poly2 => 11,
+            Self::Contact => 20,
+            Self::Metal1 => 30,
+            Self::Via => 35,
+            Self::Metal2 => 40,
+            Self::Pad => 50,
+            Self::BacksideEtch => 60,
+            Self::FsDielectricEtch => 61,
+            Self::FsSiliconEtch => 62,
+        }
+    }
+
+    /// Short mask name as it would appear in a runset.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Self::NWell => "NWELL",
+            Self::Active => "ACTV",
+            Self::PPlus => "PPLUS",
+            Self::NPlus => "NPLUS",
+            Self::Poly1 => "POLY1",
+            Self::Poly2 => "POLY2",
+            Self::Contact => "CONT",
+            Self::Metal1 => "MET1",
+            Self::Via => "VIA",
+            Self::Metal2 => "MET2",
+            Self::Pad => "PAD",
+            Self::BacksideEtch => "EB",
+            Self::FsDielectricEtch => "FD",
+            Self::FsSiliconEtch => "FS",
+        }
+    }
+}
+
+impl std::fmt::Display for MaskLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One physical film of the fabricated stack (for cross-sections).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Film {
+    /// Film name, e.g. `"field oxide"`.
+    pub name: String,
+    /// Film thickness.
+    pub thickness: Meters,
+    /// `true` for dielectric films (removed by the front-side dielectric
+    /// etch).
+    pub dielectric: bool,
+}
+
+impl Film {
+    /// Creates a film.
+    #[must_use]
+    pub fn new(name: impl Into<String>, thickness: Meters, dielectric: bool) -> Self {
+        Self {
+            name: name.into(),
+            thickness,
+            dielectric,
+        }
+    }
+}
+
+/// The as-fabricated film stack of the 0.8 µm 2P2M process above the bulk,
+/// bottom-up, at a generic (non-transistor) location.
+#[must_use]
+pub fn cmos_08um_film_stack() -> Vec<Film> {
+    vec![
+        Film::new("field oxide", Meters::from_micrometers(0.6), true),
+        Film::new("poly interlevel oxide", Meters::from_micrometers(0.3), true),
+        Film::new("IMD oxide 1", Meters::from_micrometers(0.9), true),
+        Film::new("metal 1 (Al)", Meters::from_micrometers(0.6), false),
+        Film::new("IMD oxide 2", Meters::from_micrometers(0.9), true),
+        Film::new("metal 2 (Al)", Meters::from_micrometers(0.9), false),
+        Film::new("passivation nitride", Meters::from_micrometers(1.0), true),
+    ]
+}
+
+/// Default wafer thickness of the process, 525 µm.
+#[must_use]
+pub fn default_wafer_thickness() -> Meters {
+    Meters::from_micrometers(525.0)
+}
+
+/// Default n-well junction depth — the electrochemically-defined cantilever
+/// thickness, 5 µm.
+#[must_use]
+pub fn default_nwell_depth() -> Meters {
+    Meters::from_micrometers(5.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_three_mems_masks() {
+        let mems: Vec<_> = MaskLayer::ALL.iter().filter(|l| l.is_mems()).collect();
+        assert_eq!(mems.len(), 3, "the paper adds exactly three mask layers");
+        assert_eq!(MaskLayer::MEMS.len(), 3);
+    }
+
+    #[test]
+    fn gds_numbers_unique() {
+        let mut nums: Vec<u16> = MaskLayer::ALL.iter().map(|l| l.gds_number()).collect();
+        nums.sort_unstable();
+        nums.dedup();
+        assert_eq!(nums.len(), MaskLayer::ALL.len());
+    }
+
+    #[test]
+    fn codes_unique_and_displayed() {
+        let mut codes: Vec<&str> = MaskLayer::ALL.iter().map(|l| l.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), MaskLayer::ALL.len());
+        assert_eq!(MaskLayer::FsSiliconEtch.to_string(), "FS");
+    }
+
+    #[test]
+    fn film_stack_is_plausible() {
+        let stack = cmos_08um_film_stack();
+        assert!(stack.len() >= 6);
+        let total: f64 = stack.iter().map(|f| f.thickness.value()).sum();
+        // a few microns of BEOL
+        assert!(total > 3e-6 && total < 10e-6);
+        // contains both metals and they are not dielectric
+        let metals: Vec<_> = stack.iter().filter(|f| !f.dielectric).collect();
+        assert_eq!(metals.len(), 2);
+    }
+}

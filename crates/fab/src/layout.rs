@@ -1,0 +1,480 @@
+//! A minimal rectilinear layout database: nanometer-grid rectangles in
+//! cells, with the geometric predicates the DRC engine needs.
+//!
+//! Coordinates are `i64` nanometers — the integer database grid of real
+//! layout tools, avoiding all floating-point equality pitfalls in design
+//! rule arithmetic.
+
+use std::collections::BTreeMap;
+
+use crate::layers::MaskLayer;
+use crate::FabError;
+
+/// An axis-aligned rectangle on the nm grid; `x0 < x1`, `y0 < y1`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct Rect {
+    /// Left edge, nm.
+    pub x0: i64,
+    /// Bottom edge, nm.
+    pub y0: i64,
+    /// Right edge, nm.
+    pub x1: i64,
+    /// Top edge, nm.
+    pub y1: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle from nm coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabError::DegenerateRect`] unless `x0 < x1` and `y0 < y1`.
+    pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Result<Self, FabError> {
+        if x0 >= x1 || y0 >= y1 {
+            return Err(FabError::DegenerateRect {
+                coords: (x0, y0, x1, y1),
+            });
+        }
+        Ok(Self { x0, y0, x1, y1 })
+    }
+
+    /// Creates a rectangle from micrometer coordinates (rounded to the nm
+    /// grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate rectangle — µm-level constructors are used
+    /// with literal dimensions in examples and generators.
+    #[must_use]
+    pub fn from_um(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Self::new(
+            (x0 * 1000.0).round() as i64,
+            (y0 * 1000.0).round() as i64,
+            (x1 * 1000.0).round() as i64,
+            (y1 * 1000.0).round() as i64,
+        )
+        .expect("non-degenerate rectangle")
+    }
+
+    /// Width in nm.
+    #[must_use]
+    pub fn width(&self) -> i64 {
+        self.x1 - self.x0
+    }
+
+    /// Height in nm.
+    #[must_use]
+    pub fn height(&self) -> i64 {
+        self.y1 - self.y0
+    }
+
+    /// The smaller of width and height — what min-width rules check.
+    #[must_use]
+    pub fn min_dimension(&self) -> i64 {
+        self.width().min(self.height())
+    }
+
+    /// Area in nm².
+    #[must_use]
+    pub fn area(&self) -> i128 {
+        i128::from(self.width()) * i128::from(self.height())
+    }
+
+    /// `true` if the rectangles share interior area.
+    #[must_use]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// The shared area, if any.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            x0: self.x0.max(other.x0),
+            y0: self.y0.max(other.y0),
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+        })
+    }
+
+    /// `true` if `other` lies fully inside `self` (boundaries allowed).
+    #[must_use]
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.x0 <= other.x0 && self.y0 <= other.y0 && self.x1 >= other.x1 && self.y1 >= other.y1
+    }
+
+    /// Minimum margin by which `self` encloses `other`, negative if it
+    /// does not.
+    #[must_use]
+    pub fn enclosure_margin(&self, other: &Rect) -> i64 {
+        (other.x0 - self.x0)
+            .min(self.x1 - other.x1)
+            .min(other.y0 - self.y0)
+            .min(self.y1 - other.y1)
+    }
+
+    /// Euclidean-free (Chebyshev-style axis) gap between two disjoint
+    /// rectangles: the larger of the x-gap and y-gap when separated along
+    /// one axis, the max when separated along both (conservative corner
+    /// rule). Zero when touching or overlapping.
+    #[must_use]
+    pub fn spacing(&self, other: &Rect) -> i64 {
+        let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(0);
+        let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(0);
+        if dx > 0 && dy > 0 {
+            // corner-to-corner: use the diagonal, rounded down
+            let d = ((dx as f64).hypot(dy as f64)).floor();
+            d as i64
+        } else {
+            dx.max(dy)
+        }
+    }
+
+    /// Grows the rectangle by `margin` nm on every side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabError::DegenerateRect`] if a negative margin collapses
+    /// it.
+    pub fn expanded(&self, margin: i64) -> Result<Rect, FabError> {
+        Rect::new(
+            self.x0 - margin,
+            self.y0 - margin,
+            self.x1 + margin,
+            self.y1 + margin,
+        )
+    }
+
+    /// Center point, nm.
+    #[must_use]
+    pub fn center(&self) -> (i64, i64) {
+        ((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({:.2},{:.2})-({:.2},{:.2}) um",
+            self.x0 as f64 / 1000.0,
+            self.y0 as f64 / 1000.0,
+            self.x1 as f64 / 1000.0,
+            self.y1 as f64 / 1000.0
+        )
+    }
+}
+
+/// A layout cell: named shape lists per mask layer.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Cell {
+    name: String,
+    shapes: BTreeMap<MaskLayer, Vec<Rect>>,
+}
+
+impl Cell {
+    /// Creates an empty cell.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            shapes: BTreeMap::new(),
+        }
+    }
+
+    /// The cell name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a shape on a layer.
+    pub fn add(&mut self, layer: MaskLayer, rect: Rect) -> &mut Self {
+        self.shapes.entry(layer).or_default().push(rect);
+        self
+    }
+
+    /// All shapes on `layer` (empty slice if none).
+    #[must_use]
+    pub fn shapes_on(&self, layer: MaskLayer) -> &[Rect] {
+        self.shapes.get(&layer).map_or(&[], Vec::as_slice)
+    }
+
+    /// Layers that carry at least one shape.
+    pub fn used_layers(&self) -> impl Iterator<Item = MaskLayer> + '_ {
+        self.shapes
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, _)| *k)
+    }
+
+    /// Total shape count.
+    #[must_use]
+    pub fn shape_count(&self) -> usize {
+        self.shapes.values().map(Vec::len).sum()
+    }
+
+    /// Bounding box over all layers, `None` for an empty cell.
+    #[must_use]
+    pub fn bbox(&self) -> Option<Rect> {
+        let mut it = self.shapes.values().flatten();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| Rect {
+            x0: acc.x0.min(r.x0),
+            y0: acc.y0.min(r.y0),
+            x1: acc.x1.max(r.x1),
+            y1: acc.y1.max(r.y1),
+        }))
+    }
+}
+
+/// Generates the full cantilever layout cell the paper implies: n-well
+/// under the beam, the beam outline on the FS silicon-etch mask, the
+/// dielectric etch window around it, the backside KOH window, the metal-2
+/// actuation coil along the beam edges and the metal-1 bridge wiring at the
+/// clamped edge.
+///
+/// The backside window here uses a schematic 30 µm margin; for a window
+/// sized by the real KOH sidewall geometry use
+/// [`cantilever_cell_for_wafer`].
+///
+/// `length_um` × `width_um` is the beam plan size.
+#[must_use]
+pub fn cantilever_cell(length_um: f64, width_um: f64) -> Cell {
+    let mut cell = Cell::new("cantilever");
+    // Beam occupies (0,0)..(L,W); clamp at x = 0.
+    let beam = Rect::from_um(0.0, 0.0, length_um, width_um);
+
+    // FS silicon etch: a ring outlining the beam (three released sides as a
+    // U-shaped trench, 5 um wide), abstracted as three trench rects.
+    let trench = 5.0;
+    cell.add(
+        MaskLayer::FsSiliconEtch,
+        Rect::from_um(length_um, -trench, length_um + trench, width_um + trench),
+    );
+    cell.add(
+        MaskLayer::FsSiliconEtch,
+        Rect::from_um(0.0, -trench, length_um, 0.0),
+    );
+    cell.add(
+        MaskLayer::FsSiliconEtch,
+        Rect::from_um(0.0, width_um, length_um, width_um + trench),
+    );
+
+    // FS dielectric etch window: beam + trench + 2 um margin.
+    cell.add(
+        MaskLayer::FsDielectricEtch,
+        Rect::from_um(
+            -2.0,
+            -trench - 2.0,
+            length_um + trench + 2.0,
+            width_um + trench + 2.0,
+        ),
+    );
+
+    // Backside window: membrane 30 um beyond the dielectric window.
+    cell.add(
+        MaskLayer::BacksideEtch,
+        Rect::from_um(
+            -32.0,
+            -trench - 32.0,
+            length_um + trench + 32.0,
+            width_um + trench + 32.0,
+        ),
+    );
+
+    // N-well covers beam and anchors generously (etch-stop requirement).
+    cell.add(
+        MaskLayer::NWell,
+        Rect::from_um(
+            -40.0,
+            -trench - 36.0,
+            length_um + trench + 36.0,
+            width_um + trench + 36.0,
+        ),
+    );
+
+    // Metal-2 actuation coil: two rails along the beam edges plus the tip
+    // transverse segment (single-turn abstraction; real coil repeats).
+    let rail = 2.0;
+    cell.add(
+        MaskLayer::Metal2,
+        Rect::from_um(0.0, 1.0, length_um - 3.0, 1.0 + rail),
+    );
+    cell.add(
+        MaskLayer::Metal2,
+        Rect::from_um(0.0, width_um - 1.0 - rail, length_um - 3.0, width_um - 1.0),
+    );
+    cell.add(
+        MaskLayer::Metal2,
+        Rect::from_um(
+            length_um - 3.0 - rail,
+            1.0,
+            length_um - 3.0,
+            width_um - 1.0,
+        ),
+    );
+
+    // Metal-1 bridge wiring near the clamped edge (on the anchor side).
+    cell.add(
+        MaskLayer::Metal1,
+        Rect::from_um(-10.0, 2.0, -2.0, width_um - 2.0),
+    );
+
+    // Diffused piezoresistors at the clamped edge.
+    cell.add(MaskLayer::PPlus, Rect::from_um(1.0, 4.0, 9.0, 8.0));
+    cell.add(
+        MaskLayer::PPlus,
+        Rect::from_um(1.0, width_um - 8.0, 9.0, width_um - 4.0),
+    );
+
+    let _ = beam;
+    cell
+}
+
+/// Like [`cantilever_cell`], but sizes the backside KOH window for a real
+/// wafer: the opening is oversized by the {111}-sidewall inset for etching
+/// through `wafer_um − membrane_um` of silicon, plus a 20 µm alignment
+/// margin — so the cell passes the wafer-thickness-derived DRC rule of
+/// [`crate::anisotropic::backside_window_rule`].
+#[must_use]
+pub fn cantilever_cell_for_wafer(
+    length_um: f64,
+    width_um: f64,
+    wafer_um: f64,
+    membrane_um: f64,
+) -> Cell {
+    let cell = cantilever_cell(length_um, width_um);
+    let etch_depth = canti_units::Meters::from_micrometers((wafer_um - membrane_um).max(1.0));
+    let inset_um =
+        crate::anisotropic::sidewall_inset(etch_depth).as_micrometers() + 20.0;
+    // replace the schematic backside window with the honest one around the
+    // dielectric etch window
+    let fd = cell.shapes_on(MaskLayer::FsDielectricEtch)[0];
+    let margin = (inset_um * 1000.0).round() as i64;
+    let honest = fd.expanded(margin).expect("grows");
+    let mut out = Cell::new(cell.name().to_owned());
+    for layer in MaskLayer::ALL {
+        for r in cell.shapes_on(layer) {
+            if layer == MaskLayer::BacksideEtch {
+                out.add(layer, honest);
+            } else {
+                out.add(layer, *r);
+            }
+        }
+    }
+    // the n-well etch-stop must still cover the dielectric window; grow it
+    // too if the original is now smaller than required (it only needs to
+    // cover FD, not EB — the stop acts where the front side opens)
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_validation_and_dims() {
+        assert!(Rect::new(0, 0, 0, 10).is_err());
+        assert!(Rect::new(10, 0, 0, 10).is_err());
+        let r = Rect::new(0, 0, 2000, 1000).unwrap();
+        assert_eq!(r.width(), 2000);
+        assert_eq!(r.height(), 1000);
+        assert_eq!(r.min_dimension(), 1000);
+        assert_eq!(r.area(), 2_000_000);
+        assert_eq!(r.center(), (1000, 500));
+    }
+
+    #[test]
+    fn from_um_grid_snap() {
+        let r = Rect::from_um(0.0005, 0.0, 1.0, 1.0);
+        assert_eq!(r.x0, 1, "0.0005 um rounds to 1 nm");
+        assert_eq!(r.x1, 1000);
+    }
+
+    #[test]
+    fn intersection_and_containment() {
+        let a = Rect::new(0, 0, 100, 100).unwrap();
+        let b = Rect::new(50, 50, 150, 150).unwrap();
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(50, 50, 100, 100).unwrap());
+        let c = Rect::new(10, 10, 90, 90).unwrap();
+        assert!(a.contains(&c));
+        assert!(!c.contains(&a));
+        assert_eq!(a.enclosure_margin(&c), 10);
+        assert!(a.enclosure_margin(&b) < 0);
+        // disjoint
+        let d = Rect::new(200, 0, 300, 100).unwrap();
+        assert!(!a.intersects(&d));
+        assert!(a.intersection(&d).is_none());
+    }
+
+    #[test]
+    fn spacing_cases() {
+        let a = Rect::new(0, 0, 100, 100).unwrap();
+        // pure x gap
+        let b = Rect::new(150, 0, 250, 100).unwrap();
+        assert_eq!(a.spacing(&b), 50);
+        // pure y gap
+        let c = Rect::new(0, 130, 100, 200).unwrap();
+        assert_eq!(a.spacing(&c), 30);
+        // diagonal: 30,40 -> 50
+        let d = Rect::new(130, 140, 200, 220).unwrap();
+        assert_eq!(a.spacing(&d), 50);
+        // touching
+        let e = Rect::new(100, 0, 200, 100).unwrap();
+        assert_eq!(a.spacing(&e), 0);
+        // overlapping
+        let f = Rect::new(50, 50, 150, 150).unwrap();
+        assert_eq!(a.spacing(&f), 0);
+        // symmetric
+        assert_eq!(b.spacing(&a), a.spacing(&b));
+    }
+
+    #[test]
+    fn expanded() {
+        let a = Rect::new(0, 0, 100, 100).unwrap();
+        let g = a.expanded(10).unwrap();
+        assert_eq!(g, Rect::new(-10, -10, 110, 110).unwrap());
+        assert!(a.expanded(-60).is_err());
+    }
+
+    #[test]
+    fn cell_basics() {
+        let mut c = Cell::new("test");
+        assert!(c.bbox().is_none());
+        c.add(MaskLayer::Metal1, Rect::from_um(0.0, 0.0, 1.0, 1.0));
+        c.add(MaskLayer::Metal2, Rect::from_um(2.0, 2.0, 3.0, 3.0));
+        assert_eq!(c.shape_count(), 2);
+        assert_eq!(c.shapes_on(MaskLayer::Metal1).len(), 1);
+        assert!(c.shapes_on(MaskLayer::Poly1).is_empty());
+        assert_eq!(c.used_layers().count(), 2);
+        let bb = c.bbox().unwrap();
+        assert_eq!(bb, Rect::from_um(0.0, 0.0, 3.0, 3.0));
+        assert_eq!(c.name(), "test");
+    }
+
+    #[test]
+    fn cantilever_cell_structure() {
+        let c = cantilever_cell(150.0, 140.0);
+        // all three MEMS masks present
+        for l in MaskLayer::MEMS {
+            assert!(!c.shapes_on(l).is_empty(), "missing {l}");
+        }
+        // nwell encloses the dielectric window
+        let nwell = c.shapes_on(MaskLayer::NWell)[0];
+        let fd = c.shapes_on(MaskLayer::FsDielectricEtch)[0];
+        assert!(nwell.contains(&fd));
+        // backside window encloses the dielectric window
+        let eb = c.shapes_on(MaskLayer::BacksideEtch)[0];
+        assert!(eb.contains(&fd));
+        // coil rails present on metal 2
+        assert_eq!(c.shapes_on(MaskLayer::Metal2).len(), 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! # canti-fab — CMOS process, layout, DRC and post-CMOS micromachining
+//!
+//! The DATE-relevant half of the paper: the cantilevers are built in "a
+//! standard 0.8 µm double-poly, double-metal CMOS process with post-CMOS
+//! micromachining", and — the key design-flow point — "the design of the
+//! three additional mask layers is completely integrated in the physical
+//! design flow of the CMOS technology, so that the physical design
+//! verification, e.g., design-rule checks, can be performed with respect to
+//! the CMOS layers."
+//!
+//! This crate builds that flow:
+//!
+//! * [`layers`] — the 0.8 µm 2P2M layer set **plus the three MEMS masks**
+//!   (backside etch window, front-side dielectric etch, front-side silicon
+//!   etch),
+//! * [`layout`] — a minimal rectilinear layout database (nanometer-grid
+//!   rectangles in cells) with the geometric predicates DRC needs,
+//! * [`drc`] — a rule deck engine and the MEMS+CMOS deck the paper
+//!   implies, checking the etch masks against the CMOS layers,
+//! * [`process`] — a 1-D column process-flow simulator: CMOS stack →
+//!   backside KOH with electrochemical etch-stop on the n-well junction →
+//!   two front-side dry etches → released beam (the Figure 3 sequence),
+//! * [`variation`] — seeded Monte-Carlo machinery with wafer/die
+//!   hierarchy for process-spread studies,
+//! * [`cost`] — wafer-level vs die-level post-processing cost, backing the
+//!   "cost-efficient mass production" claim.
+//!
+//! # Examples
+//!
+//! ```
+//! use canti_fab::layout::{Cell, Rect};
+//! use canti_fab::layers::MaskLayer;
+//!
+//! let mut cell = Cell::new("beam");
+//! cell.add(MaskLayer::FsSiliconEtch, Rect::from_um(0.0, 0.0, 150.0, 140.0));
+//! assert_eq!(cell.shapes_on(MaskLayer::FsSiliconEtch).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anisotropic;
+pub mod cost;
+pub mod drc;
+pub mod export;
+pub mod hierarchy;
+pub mod layers;
+pub mod layout;
+pub mod process;
+pub mod variation;
+
+mod error;
+
+pub use error::FabError;

@@ -1,0 +1,367 @@
+//! Post-CMOS micromachining flow: the paper's Figure 3 sequence as a 1-D
+//! column simulation.
+//!
+//! "After completion of the CMOS process, a back-side anisotropic silicon
+//! etch is performed using potassium hydroxide (KOH) together with an
+//! electro-chemical etch-stop. The pn-junction for this etch-stop is
+//! defined by the n-well diffusion layer of the CMOS-technology, providing
+//! a well-defined thickness of the crystalline silicon layer forming the
+//! cantilever. The cantilever is released by two successive anisotropic
+//! front-side dry etch steps, which remove the dielectric layers and the
+//! bulk silicon, respectively."
+//!
+//! The simulator tracks the film column at the cantilever location through
+//! those steps and reports the before/after cross-sections, the resulting
+//! beam thickness, and whether the beam actually released.
+
+use canti_units::Meters;
+
+use crate::error::ensure_positive;
+use crate::layers::{cmos_08um_film_stack, default_nwell_depth, default_wafer_thickness, Film};
+use crate::FabError;
+
+/// How the backside KOH etch terminates.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum EtchStop {
+    /// Electrochemical stop on the n-well pn-junction: the remaining
+    /// silicon thickness equals the junction depth, almost independent of
+    /// etch time — the paper's method.
+    Electrochemical,
+    /// Timed etch: remaining = wafer − rate·time; thickness inherits the
+    /// full wafer-thickness and etch-rate spread. The baseline the
+    /// etch-stop is compared against.
+    Timed {
+        /// Etch rate, m/s (KOH ≈ 1 µm/min ≈ 1.67·10⁻⁸ m/s).
+        rate: f64,
+        /// Etch duration, s.
+        duration: f64,
+    },
+}
+
+/// Starting wafer state for the post-CMOS flow.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WaferSpec {
+    /// Full wafer (bulk silicon) thickness.
+    pub wafer_thickness: Meters,
+    /// N-well junction depth — the etch-stop-defined beam thickness.
+    pub nwell_depth: Meters,
+    /// BEOL film stack above the silicon at the beam location.
+    pub films: Vec<Film>,
+}
+
+impl WaferSpec {
+    /// The nominal 0.8 µm process wafer.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self {
+            wafer_thickness: default_wafer_thickness(),
+            nwell_depth: default_nwell_depth(),
+            films: cmos_08um_film_stack(),
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabError`] if thicknesses are non-positive or the n-well
+    /// is deeper than the wafer.
+    pub fn validate(&self) -> Result<(), FabError> {
+        ensure_positive("wafer thickness", self.wafer_thickness.value())?;
+        ensure_positive("n-well depth", self.nwell_depth.value())?;
+        if self.nwell_depth.value() >= self.wafer_thickness.value() {
+            return Err(FabError::InvalidFlow {
+                reason: "n-well deeper than the wafer".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot of the film column, bottom-up, with named films.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CrossSection {
+    /// Films bottom-up, including the bulk/beam silicon.
+    pub films: Vec<Film>,
+}
+
+impl CrossSection {
+    /// Total column thickness.
+    #[must_use]
+    pub fn total_thickness(&self) -> Meters {
+        self.films.iter().map(|f| f.thickness).sum()
+    }
+
+    /// Renders a text sketch of the column (topmost film first) — the
+    /// Figure 3 "schematic view".
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for film in self.films.iter().rev() {
+            out.push_str(&format!(
+                "| {:<24} {:>8.3} um |\n",
+                film.name,
+                film.thickness.as_micrometers()
+            ));
+        }
+        out.push_str("+----------------------------------------+\n");
+        out
+    }
+}
+
+/// Outcome of running the post-CMOS flow.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProcessResult {
+    /// Column before post-processing (full CMOS stack on full wafer).
+    pub before: CrossSection,
+    /// Column after the backside KOH etch (membrane).
+    pub after_koh: CrossSection,
+    /// Column after both front-side etches at the *trench* location —
+    /// empty when the beam released.
+    pub after_release_trench: CrossSection,
+    /// Column on the beam itself after release.
+    pub after_release_beam: CrossSection,
+    /// The released beam's silicon thickness.
+    pub beam_thickness: Meters,
+    /// `true` when the trench column reached zero — the beam is free.
+    pub released: bool,
+}
+
+/// The post-CMOS micromachining flow.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PostCmosFlow {
+    /// How the KOH etch terminates.
+    pub etch_stop: EtchStop,
+    /// Front-side dielectric RIE overetch margin (fraction of dielectric
+    /// thickness the step can clear; ≥ 1 clears everything).
+    pub dielectric_etch_capability: f64,
+    /// Maximum silicon thickness the front-side silicon RIE can punch
+    /// through.
+    pub silicon_etch_depth: Meters,
+}
+
+impl PostCmosFlow {
+    /// The paper's flow: electrochemical etch-stop, full dielectric clear,
+    /// 12 µm silicon RIE capability.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            etch_stop: EtchStop::Electrochemical,
+            dielectric_etch_capability: 1.2,
+            silicon_etch_depth: Meters::from_micrometers(12.0),
+        }
+    }
+
+    /// A timed-etch variant for the etch-stop comparison (targets the same
+    /// 5 µm membrane on the nominal wafer).
+    #[must_use]
+    pub fn timed_baseline() -> Self {
+        let rate = 1.0e-6 / 60.0; // 1 um/min
+        let target_remaining = default_nwell_depth().value();
+        let duration = (default_wafer_thickness().value() - target_remaining) / rate;
+        Self {
+            etch_stop: EtchStop::Timed { rate, duration },
+            dielectric_etch_capability: 1.2,
+            silicon_etch_depth: Meters::from_micrometers(12.0),
+        }
+    }
+
+    /// Runs the flow on `wafer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabError`] for an invalid wafer spec or nonsensical etch
+    /// parameters.
+    pub fn run(&self, wafer: &WaferSpec) -> Result<ProcessResult, FabError> {
+        wafer.validate()?;
+        ensure_positive(
+            "dielectric etch capability",
+            self.dielectric_etch_capability,
+        )?;
+        ensure_positive("silicon etch depth", self.silicon_etch_depth.value())?;
+
+        // BEFORE: bulk + films
+        let mut before_films = vec![Film::new("bulk silicon", wafer.wafer_thickness, false)];
+        before_films.extend(wafer.films.iter().cloned());
+        let before = CrossSection {
+            films: before_films,
+        };
+
+        // KOH backside etch -> membrane
+        let membrane = match self.etch_stop {
+            EtchStop::Electrochemical => wafer.nwell_depth,
+            EtchStop::Timed { rate, duration } => {
+                ensure_positive("etch rate", rate)?;
+                ensure_positive("etch duration", duration)?;
+                let remaining = wafer.wafer_thickness.value() - rate * duration;
+                if remaining <= 0.0 {
+                    return Err(FabError::InvalidFlow {
+                        reason: "timed KOH etch punched through the wafer".to_owned(),
+                    });
+                }
+                Meters::new(remaining)
+            }
+        };
+        let mut after_koh_films = vec![Film::new("membrane silicon (n-well)", membrane, false)];
+        after_koh_films.extend(wafer.films.iter().cloned());
+        let after_koh = CrossSection {
+            films: after_koh_films,
+        };
+
+        // Front-side etch 1: remove dielectrics in the trench.
+        // Capability >= 1 clears all of them.
+        let dielectric_total: f64 = wafer
+            .films
+            .iter()
+            .filter(|f| f.dielectric)
+            .map(|f| f.thickness.value())
+            .sum();
+        let dielectric_cleared = self.dielectric_etch_capability >= 1.0;
+        let metal_in_trench = wafer.films.iter().any(|f| !f.dielectric);
+        // In a DRC-clean layout no metal crosses the trench; films passed in
+        // the wafer spec describe the *beam* column. The trench column only
+        // holds dielectrics (+ bulk), so release requires clearing
+        // dielectrics and punching the membrane.
+        let silicon_cleared = self.silicon_etch_depth.value() >= membrane.value();
+        let released = dielectric_cleared && silicon_cleared;
+
+        let after_release_trench = if released {
+            CrossSection { films: vec![] }
+        } else {
+            let mut films = Vec::new();
+            if !silicon_cleared {
+                films.push(Film::new(
+                    "residual membrane silicon",
+                    Meters::new((membrane.value() - self.silicon_etch_depth.value()).max(0.0)),
+                    false,
+                ));
+            }
+            if !dielectric_cleared {
+                films.push(Film::new(
+                    "residual dielectric",
+                    Meters::new(dielectric_total * (1.0 - self.dielectric_etch_capability)),
+                    true,
+                ));
+            }
+            CrossSection { films }
+        };
+
+        // The beam column keeps the membrane silicon plus any non-dielectric
+        // films that the layout routes over the beam (the coil); the
+        // dielectric above/around the beam is removed by the first etch.
+        let mut beam_films = vec![Film::new("beam silicon (n-well)", membrane, false)];
+        beam_films.extend(wafer.films.iter().filter(|f| !f.dielectric).cloned());
+        let after_release_beam = CrossSection { films: beam_films };
+
+        let _ = metal_in_trench;
+        Ok(ProcessResult {
+            before,
+            after_koh,
+            after_release_trench,
+            after_release_beam,
+            beam_thickness: membrane,
+            released,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_flow_releases_a_5um_beam() {
+        let result = PostCmosFlow::paper().run(&WaferSpec::nominal()).unwrap();
+        assert!(result.released);
+        assert!((result.beam_thickness.as_micrometers() - 5.0).abs() < 1e-9);
+        assert!(result.after_release_trench.films.is_empty());
+        // the beam column: silicon + the two metals
+        assert_eq!(result.after_release_beam.films.len(), 3);
+    }
+
+    #[test]
+    fn before_after_cross_sections_shrink() {
+        let result = PostCmosFlow::paper().run(&WaferSpec::nominal()).unwrap();
+        let before = result.before.total_thickness().value();
+        let after_koh = result.after_koh.total_thickness().value();
+        let beam = result.after_release_beam.total_thickness().value();
+        assert!(before > 500e-6, "full wafer");
+        assert!(after_koh < 15e-6, "membrane + BEOL");
+        assert!(beam < after_koh, "release strips the dielectrics");
+        assert!(before > after_koh);
+    }
+
+    #[test]
+    fn etch_stop_tracks_nwell_depth_not_wafer() {
+        // electrochemical stop: beam thickness follows the n-well depth
+        let mut wafer = WaferSpec::nominal();
+        wafer.nwell_depth = Meters::from_micrometers(6.5);
+        wafer.wafer_thickness = Meters::from_micrometers(600.0); // thicker wafer!
+        let r = PostCmosFlow::paper().run(&wafer).unwrap();
+        assert!((r.beam_thickness.as_micrometers() - 6.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timed_etch_tracks_wafer_thickness() {
+        // timed etch: a +20 um thick wafer leaves +20 um membrane
+        let flow = PostCmosFlow::timed_baseline();
+        let nominal = flow.run(&WaferSpec::nominal()).unwrap();
+        assert!((nominal.beam_thickness.as_micrometers() - 5.0).abs() < 1e-6);
+        let mut thick = WaferSpec::nominal();
+        thick.wafer_thickness = Meters::from_micrometers(545.0);
+        let result = flow.run(&thick).unwrap();
+        assert!(
+            (result.beam_thickness.as_micrometers() - 25.0).abs() < 1e-6,
+            "timed etch inherits wafer spread: {}",
+            result.beam_thickness.as_micrometers()
+        );
+        // 25 um membrane beats the 12 um silicon RIE: release fails
+        assert!(!result.released);
+        assert!(!result.after_release_trench.films.is_empty());
+    }
+
+    #[test]
+    fn weak_dielectric_etch_fails_release() {
+        let mut flow = PostCmosFlow::paper();
+        flow.dielectric_etch_capability = 0.5;
+        let r = flow.run(&WaferSpec::nominal()).unwrap();
+        assert!(!r.released);
+        assert!(r
+            .after_release_trench
+            .films
+            .iter()
+            .any(|f| f.name.contains("dielectric")));
+    }
+
+    #[test]
+    fn punch_through_is_an_error() {
+        let mut flow = PostCmosFlow::timed_baseline();
+        if let EtchStop::Timed { rate, .. } = flow.etch_stop {
+            flow.etch_stop = EtchStop::Timed {
+                rate,
+                duration: 1e9,
+            };
+        }
+        assert!(flow.run(&WaferSpec::nominal()).is_err());
+    }
+
+    #[test]
+    fn invalid_wafer_rejected() {
+        let mut wafer = WaferSpec::nominal();
+        wafer.nwell_depth = Meters::from_micrometers(600.0);
+        assert!(wafer.validate().is_err());
+        wafer.nwell_depth = Meters::zero();
+        assert!(wafer.validate().is_err());
+    }
+
+    #[test]
+    fn render_sketches_both_states() {
+        let r = PostCmosFlow::paper().run(&WaferSpec::nominal()).unwrap();
+        let before = r.before.render();
+        let after = r.after_release_beam.render();
+        assert!(before.contains("bulk silicon"));
+        assert!(before.contains("passivation"));
+        assert!(after.contains("beam silicon"));
+        assert!(!after.contains("passivation"), "dielectrics stripped:\n{after}");
+    }
+}

@@ -1,0 +1,324 @@
+//! Seeded Monte-Carlo machinery with a wafer/die hierarchy.
+//!
+//! Process parameters spread at two scales: wafer-to-wafer (or lot) and
+//! die-to-die within a wafer. [`Distribution`] describes a parameter,
+//! [`MonteCarlo`] runs seeded trials, and [`WaferModel`] composes the two
+//! scales the way yield engineers think about them.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::FabError;
+
+/// A one-dimensional parameter distribution.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Distribution {
+    /// Gaussian with mean and standard deviation.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (≥ 0).
+        sigma: f64,
+    },
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Always `value` (for pinned parameters).
+    Constant {
+        /// The pinned value.
+        value: f64,
+    },
+}
+
+impl Distribution {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabError::BadDistribution`] on negative sigma or an empty
+    /// uniform interval.
+    pub fn validate(&self) -> Result<(), FabError> {
+        match *self {
+            Self::Normal { mean, sigma } => {
+                if !mean.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+                    return Err(FabError::BadDistribution {
+                        reason: "normal needs finite mean and sigma >= 0",
+                    });
+                }
+            }
+            Self::Uniform { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+                    return Err(FabError::BadDistribution {
+                        reason: "uniform needs lo < hi",
+                    });
+                }
+            }
+            Self::Constant { value } => {
+                if !value.is_finite() {
+                    return Err(FabError::BadDistribution {
+                        reason: "constant must be finite",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Self::Normal { mean, sigma } => {
+                if sigma == 0.0 {
+                    return mean;
+                }
+                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen();
+                mean + sigma
+                    * (-2.0 * u1.ln()).sqrt()
+                    * (2.0 * std::f64::consts::PI * u2).cos()
+            }
+            Self::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            Self::Constant { value } => value,
+        }
+    }
+
+    /// The distribution mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Self::Normal { mean, .. } => mean,
+            Self::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Self::Constant { value } => value,
+        }
+    }
+}
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Stats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl Stats {
+    /// Computes statistics of `samples`; `None` when fewer than 2 values.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Some(Self {
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+            count: samples.len(),
+        })
+    }
+
+    /// Coefficient of variation σ/|µ| (`None` for zero mean).
+    #[must_use]
+    pub fn cv(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.std_dev / self.mean.abs())
+        }
+    }
+}
+
+/// A seeded Monte-Carlo runner.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    seed: u64,
+    trials: usize,
+}
+
+impl MonteCarlo {
+    /// Creates a runner with `trials` trials from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabError`] for zero trials.
+    pub fn new(seed: u64, trials: usize) -> Result<Self, FabError> {
+        if trials == 0 {
+            return Err(FabError::BadDistribution {
+                reason: "at least one trial required",
+            });
+        }
+        Ok(Self { seed, trials })
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Runs `f` once per trial with a per-trial RNG (stable per seed and
+    /// trial index, independent of evaluation order).
+    pub fn run<T>(&self, mut f: impl FnMut(&mut ChaCha8Rng, usize) -> T) -> Vec<T> {
+        (0..self.trials)
+            .map(|i| {
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64);
+                f(&mut rng, i)
+            })
+            .collect()
+    }
+
+    /// Convenience: runs a scalar-valued trial function and summarizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabError`] if statistics cannot be formed (single trial).
+    pub fn run_stats(&self, f: impl FnMut(&mut ChaCha8Rng, usize) -> f64) -> Result<Stats, FabError> {
+        let samples = self.run(f);
+        Stats::of(&samples).ok_or(FabError::BadDistribution {
+            reason: "need at least two trials for statistics",
+        })
+    }
+}
+
+/// Two-level wafer/die variation: parameter = wafer offset + die offset.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WaferModel {
+    /// Wafer-level (common to all dies) sigma.
+    pub wafer_sigma: f64,
+    /// Die-level (independent per die) sigma.
+    pub die_sigma: f64,
+}
+
+impl WaferModel {
+    /// Draws one wafer: returns `dies` parameter deviations sharing the
+    /// wafer-level component.
+    pub fn sample_wafer<R: Rng>(&self, rng: &mut R, dies: usize) -> Vec<f64> {
+        let wafer = Distribution::Normal {
+            mean: 0.0,
+            sigma: self.wafer_sigma,
+        }
+        .sample(rng);
+        let die_dist = Distribution::Normal {
+            mean: 0.0,
+            sigma: self.die_sigma,
+        };
+        (0..dies).map(|_| wafer + die_dist.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_validation() {
+        assert!(Distribution::Normal { mean: 0.0, sigma: -1.0 }.validate().is_err());
+        assert!(Distribution::Uniform { lo: 1.0, hi: 1.0 }.validate().is_err());
+        assert!(Distribution::Constant { value: f64::NAN }.validate().is_err());
+        assert!(Distribution::Normal { mean: 5.0, sigma: 0.1 }.validate().is_ok());
+    }
+
+    #[test]
+    fn normal_sampling_statistics() {
+        let mc = MonteCarlo::new(1, 20_000).unwrap();
+        let d = Distribution::Normal { mean: 5.0, sigma: 0.25 };
+        let stats = mc.run_stats(|rng, _| d.sample(rng)).unwrap();
+        assert!((stats.mean - 5.0).abs() < 0.01, "mean {}", stats.mean);
+        assert!((stats.std_dev - 0.25).abs() < 0.01, "std {}", stats.std_dev);
+        assert!((stats.cv().unwrap() - 0.05).abs() < 0.005);
+    }
+
+    #[test]
+    fn uniform_bounds_and_constant() {
+        let mc = MonteCarlo::new(2, 5000).unwrap();
+        let d = Distribution::Uniform { lo: -1.0, hi: 3.0 };
+        let samples = mc.run(|rng, _| d.sample(rng));
+        assert!(samples.iter().all(|&x| (-1.0..3.0).contains(&x)));
+        let stats = Stats::of(&samples).unwrap();
+        assert!((stats.mean - 1.0).abs() < 0.1);
+        let c = Distribution::Constant { value: 7.5 };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(c.sample(&mut rng), 7.5);
+        assert_eq!(c.mean(), 7.5);
+    }
+
+    #[test]
+    fn trials_are_order_independent_and_seeded() {
+        let mc = MonteCarlo::new(9, 10).unwrap();
+        let d = Distribution::Normal { mean: 0.0, sigma: 1.0 };
+        let a = mc.run(|rng, _| d.sample(rng));
+        let b = mc.run(|rng, _| d.sample(rng));
+        assert_eq!(a, b, "same seed, same draws");
+        let mc2 = MonteCarlo::new(10, 10).unwrap();
+        let c = mc2.run(|rng, _| d.sample(rng));
+        assert_ne!(a, c);
+        // per-trial rngs: trial 3's value does not depend on trial 2's work
+        let partial = mc.run(|rng, i| if i == 3 { d.sample(rng) } else { 0.0 });
+        assert_eq!(partial[3], a[3]);
+    }
+
+    #[test]
+    fn stats_edge_cases() {
+        assert!(Stats::of(&[]).is_none());
+        assert!(Stats::of(&[1.0]).is_none());
+        let s = Stats::of(&[2.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - std::f64::consts::SQRT_2).abs() < 1e-12);
+        let zero_mean = Stats::of(&[-1.0, 1.0]).unwrap();
+        assert!(zero_mean.cv().is_none());
+    }
+
+    #[test]
+    fn wafer_model_correlation() {
+        // dies on the same wafer share the wafer offset: within-wafer
+        // spread ~ die_sigma, across-wafer spread ~ sqrt(ws^2+ds^2)
+        let model = WaferModel {
+            wafer_sigma: 0.10,
+            die_sigma: 0.02,
+        };
+        let mc = MonteCarlo::new(5, 400).unwrap();
+        let wafers = mc.run(|rng, _| model.sample_wafer(rng, 50));
+        let within: Vec<f64> = wafers
+            .iter()
+            .map(|w| Stats::of(w).unwrap().std_dev)
+            .collect();
+        let mean_within = Stats::of(&within).unwrap().mean;
+        assert!((mean_within - 0.02).abs() < 0.005, "within {mean_within}");
+        let wafer_means: Vec<f64> = wafers
+            .iter()
+            .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+            .collect();
+        let across = Stats::of(&wafer_means).unwrap().std_dev;
+        assert!((across - 0.10).abs() < 0.02, "across {across}");
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        assert!(MonteCarlo::new(0, 0).is_err());
+        let one = MonteCarlo::new(0, 1).unwrap();
+        assert!(one.run_stats(|_, _| 1.0).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the fabrication substrate.
+
+use canti_fab::cost::CostModel;
+use canti_fab::layout::Rect;
+use canti_fab::process::{PostCmosFlow, WaferSpec};
+use canti_fab::variation::{Distribution, MonteCarlo, Stats};
+use canti_units::Meters;
+use proptest::prelude::*;
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (
+        -100_000i64..100_000,
+        -100_000i64..100_000,
+        1i64..50_000,
+        1i64..50_000,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h).expect("valid"))
+}
+
+proptest! {
+    /// Geometric predicates are symmetric/consistent.
+    #[test]
+    fn rect_predicates_consistent(a in rect(), b in rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        prop_assert_eq!(a.spacing(&b), b.spacing(&a));
+        prop_assert_eq!(a.intersection(&b).is_some(), a.intersects(&b));
+        // overlap and positive spacing are mutually exclusive
+        if a.intersects(&b) {
+            prop_assert_eq!(a.spacing(&b), 0);
+        }
+        // containment implies non-negative enclosure margin and intersection
+        if a.contains(&b) {
+            prop_assert!(a.enclosure_margin(&b) >= 0);
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    /// The intersection is contained in both operands and commutative.
+    #[test]
+    fn rect_intersection_contained(a in rect(), b in rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains(&i));
+            prop_assert!(b.contains(&i));
+            prop_assert_eq!(Some(i), b.intersection(&a));
+            prop_assert!(i.area() <= a.area().min(b.area()));
+        }
+    }
+
+    /// Expanding by m then checking enclosure of the original gives exactly m.
+    #[test]
+    fn rect_expand_enclosure(a in rect(), m in 1i64..10_000) {
+        let grown = a.expanded(m).expect("grows");
+        prop_assert_eq!(grown.enclosure_margin(&a), m);
+        prop_assert!(grown.contains(&a));
+    }
+
+    /// Cost per good die decreases monotonically with volume and yield.
+    #[test]
+    fn cost_monotone(v1 in 100u64..1_000_000, factor in 2u64..100) {
+        let m = CostModel::wafer_level();
+        let c1 = m.cost_per_good_die(v1).expect("cost");
+        let c2 = m.cost_per_good_die(v1 * factor).expect("cost");
+        prop_assert!(c2 <= c1 + 1e-12);
+
+        let mut better_yield = m;
+        better_yield.yield_fraction = (m.yield_fraction + 0.1).min(1.0);
+        prop_assert!(
+            better_yield.cost_per_good_die(v1).expect("cost") <= c1 + 1e-12
+        );
+    }
+
+    /// The electrochemical etch-stop pins beam thickness to n-well depth
+    /// regardless of wafer thickness.
+    #[test]
+    fn etch_stop_thickness_equals_nwell(
+        nwell_um in 1.0f64..20.0,
+        wafer_um in 300.0f64..700.0,
+    ) {
+        let mut spec = WaferSpec::nominal();
+        spec.nwell_depth = Meters::from_micrometers(nwell_um);
+        spec.wafer_thickness = Meters::from_micrometers(wafer_um);
+        let r = PostCmosFlow::paper().run(&spec).expect("flow");
+        prop_assert!((r.beam_thickness.as_micrometers() - nwell_um).abs() < 1e-9);
+    }
+
+    /// Monte-Carlo sample statistics match the requested distribution.
+    #[test]
+    fn normal_mc_statistics(mean in -10.0f64..10.0, sigma in 0.01f64..2.0, seed in 0u64..50) {
+        let mc = MonteCarlo::new(seed, 4000).expect("mc");
+        let d = Distribution::Normal { mean, sigma };
+        let stats = mc.run_stats(|rng, _| d.sample(rng)).expect("stats");
+        prop_assert!((stats.mean - mean).abs() < 5.0 * sigma / (4000f64).sqrt() + 1e-9);
+        prop_assert!((stats.std_dev - sigma).abs() / sigma < 0.1);
+    }
+
+    /// Uniform samples stay in bounds, and Stats min/max bracket the mean.
+    #[test]
+    fn uniform_mc_bounds(lo in -5.0f64..0.0, width in 0.1f64..10.0, seed in 0u64..50) {
+        let hi = lo + width;
+        let mc = MonteCarlo::new(seed, 500).expect("mc");
+        let d = Distribution::Uniform { lo, hi };
+        let samples = mc.run(|rng, _| d.sample(rng));
+        prop_assert!(samples.iter().all(|&x| x >= lo && x < hi));
+        let stats = Stats::of(&samples).expect("stats");
+        prop_assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+    }
+}

@@ -1,0 +1,235 @@
+//! Lorentz-force actuation: the on-chip coil driven against the package
+//! magnet.
+//!
+//! The paper actuates the resonant cantilever with "a coil along the
+//! cantilever edges, driven by a periodic electric current" in the field of
+//! "a permanent magnet, integrated in the package". With the magnet's field
+//! **B** in the chip plane along the beam axis, the current in the coil's
+//! *transverse* segments (the ones running across the beam near the tip)
+//! experiences a vertical Lorentz force F = N·B·I·w — exactly the force a
+//! tip-load wants to be.
+
+use canti_units::{Amperes, Meters, Newtons, Ohms, Tesla, Volts, Watts};
+
+use crate::error::ensure_positive;
+use crate::geometry::CantileverGeometry;
+use crate::MemsError;
+
+/// Resistivity of sputtered aluminum interconnect, Ω·m.
+const ALUMINUM_RESISTIVITY: f64 = 2.8e-8;
+
+/// Conservative DC electromigration current-density limit for Al, A/m².
+const ELECTROMIGRATION_LIMIT: f64 = 2.0e9;
+
+/// A planar rectangular actuation coil routed along the cantilever edges.
+///
+/// # Examples
+///
+/// ```
+/// use canti_mems::actuation::LorentzCoil;
+/// use canti_mems::geometry::CantileverGeometry;
+/// use canti_units::{Amperes, Tesla};
+///
+/// let geom = CantileverGeometry::paper_resonant()?;
+/// let coil = LorentzCoil::paper_coil(&geom)?;
+/// let f = coil.force(Tesla::new(0.25), Amperes::from_milliamps(1.0));
+/// // ~100 nN of drive force:
+/// assert!(f.value() > 1e-8 && f.value() < 1e-6);
+/// # Ok::<(), canti_mems::MemsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LorentzCoil {
+    turns: u32,
+    track_width: Meters,
+    track_thickness: Meters,
+    transverse_length: Meters,
+    total_track_length: Meters,
+}
+
+impl LorentzCoil {
+    /// Creates a coil from explicit routing numbers.
+    ///
+    /// `transverse_length` is the force-generating width of one transverse
+    /// segment; `total_track_length` the full routed length (for
+    /// resistance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] if any dimension is not strictly positive or
+    /// `turns` is zero.
+    pub fn new(
+        turns: u32,
+        track_width: Meters,
+        track_thickness: Meters,
+        transverse_length: Meters,
+        total_track_length: Meters,
+    ) -> Result<Self, MemsError> {
+        if turns == 0 {
+            return Err(MemsError::NonPositive {
+                what: "coil turns",
+                value: 0.0,
+            });
+        }
+        ensure_positive("track width", track_width.value())?;
+        ensure_positive("track thickness", track_thickness.value())?;
+        ensure_positive("transverse length", transverse_length.value())?;
+        ensure_positive("total track length", total_track_length.value())?;
+        Ok(Self {
+            turns,
+            track_width,
+            track_thickness,
+            transverse_length,
+            total_track_length,
+        })
+    }
+
+    /// The coil the paper implies: 3 turns of 2 µm-wide, 0.6 µm-thick metal
+    /// routed along the edges of `geometry`, with the transverse segments
+    /// spanning 90 % of the beam width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] for degenerate geometry.
+    pub fn paper_coil(geometry: &CantileverGeometry) -> Result<Self, MemsError> {
+        let turns = 3u32;
+        let transverse = geometry.width() * 0.9;
+        let loop_len = 2.0 * (geometry.length().value() + geometry.width().value());
+        Self::new(
+            turns,
+            Meters::from_micrometers(2.0),
+            Meters::from_micrometers(0.6),
+            transverse,
+            Meters::new(f64::from(turns) * loop_len),
+        )
+    }
+
+    /// Number of turns.
+    #[must_use]
+    pub fn turns(&self) -> u32 {
+        self.turns
+    }
+
+    /// Vertical Lorentz force on the beam tip region:
+    /// F = N·B·I·L_transverse.
+    #[must_use]
+    pub fn force(&self, field: Tesla, current: Amperes) -> Newtons {
+        Newtons::new(
+            f64::from(self.turns) * field.value() * current.value() * self.transverse_length.value(),
+        )
+    }
+
+    /// Force responsivity dF/dI in N/A at the given field.
+    #[must_use]
+    pub fn force_per_ampere(&self, field: Tesla) -> f64 {
+        f64::from(self.turns) * field.value() * self.transverse_length.value()
+    }
+
+    /// DC resistance of the full coil track.
+    #[must_use]
+    pub fn resistance(&self) -> Ohms {
+        let cross_section = self.track_width.value() * self.track_thickness.value();
+        Ohms::new(ALUMINUM_RESISTIVITY * self.total_track_length.value() / cross_section)
+    }
+
+    /// Ohmic power dissipated at drive current `i`.
+    #[must_use]
+    pub fn power(&self, i: Amperes) -> Watts {
+        (self.resistance() * i) * i
+    }
+
+    /// Voltage across the coil at drive current `i` — what the class-AB
+    /// output buffer must deliver into this deliberately low resistance.
+    #[must_use]
+    pub fn voltage(&self, i: Amperes) -> Volts {
+        self.resistance() * i
+    }
+
+    /// Maximum safe drive current set by the aluminum electromigration
+    /// limit.
+    #[must_use]
+    pub fn max_current(&self) -> Amperes {
+        Amperes::new(
+            ELECTROMIGRATION_LIMIT * self.track_width.value() * self.track_thickness.value(),
+        )
+    }
+
+    /// Steady-state self-heating ΔT = P·R_th for a thermal resistance
+    /// `r_th_kelvin_per_watt` from the beam to the substrate.
+    #[must_use]
+    pub fn self_heating_kelvin(&self, i: Amperes, r_th_kelvin_per_watt: f64) -> f64 {
+        self.power(i).value() * r_th_kelvin_per_watt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coil() -> LorentzCoil {
+        LorentzCoil::paper_coil(&CantileverGeometry::paper_resonant().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn force_scale_and_linearity() {
+        let c = coil();
+        let b = Tesla::new(0.25);
+        let f1 = c.force(b, Amperes::from_milliamps(1.0));
+        // 3 turns x 0.25 T x 1 mA x 126 um = 94.5 nN
+        assert!((f1.value() - 9.45e-8).abs() / 9.45e-8 < 1e-9, "{f1}");
+        let f2 = c.force(b, Amperes::from_milliamps(2.0));
+        assert!((f2.value() / f1.value() - 2.0).abs() < 1e-12);
+        // doubling the field doubles the force
+        let fb = c.force(Tesla::new(0.5), Amperes::from_milliamps(1.0));
+        assert!((fb.value() / f1.value() - 2.0).abs() < 1e-12);
+        // force_per_ampere consistent
+        assert!((c.force_per_ampere(b) * 1e-3 - f1.value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn coil_resistance_is_low() {
+        // The paper drives "the low-resistance coil via a class AB output
+        // buffer" — tens of ohms, not kiloohms.
+        let r = coil().resistance().value();
+        assert!(r > 5.0 && r < 100.0, "coil resistance {r} ohm");
+    }
+
+    #[test]
+    fn electromigration_limit_milliamp_scale() {
+        let imax = coil().max_current();
+        assert!(
+            imax.value() > 1e-3 && imax.value() < 1e-2,
+            "EM limit {imax} should be a few mA"
+        );
+    }
+
+    #[test]
+    fn power_quadratic_in_current() {
+        let c = coil();
+        let p1 = c.power(Amperes::from_milliamps(1.0)).value();
+        let p2 = c.power(Amperes::from_milliamps(2.0)).value();
+        assert!((p2 / p1 - 4.0).abs() < 1e-12);
+        // sub-milliwatt at 1 mA
+        assert!(p1 < 1e-3, "power {p1}");
+        let v = c.voltage(Amperes::from_milliamps(1.0));
+        assert!((v.value() - c.resistance().value() * 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn self_heating_sane() {
+        // 1 mA through ~30 ohm = 30 uW; with 1e4 K/W thermal resistance
+        // that is ~0.3 K — negligible, as a working sensor needs.
+        let dt = coil().self_heating_kelvin(Amperes::from_milliamps(1.0), 1e4);
+        assert!(dt < 1.0, "self heating {dt} K");
+    }
+
+    #[test]
+    fn validation() {
+        let w = Meters::from_micrometers(2.0);
+        let t = Meters::from_micrometers(0.6);
+        let tl = Meters::from_micrometers(100.0);
+        let total = Meters::from_micrometers(1000.0);
+        assert!(LorentzCoil::new(0, w, t, tl, total).is_err());
+        assert!(LorentzCoil::new(3, Meters::zero(), t, tl, total).is_err());
+        assert!(LorentzCoil::new(3, w, t, tl, Meters::zero()).is_err());
+    }
+}

@@ -1,0 +1,483 @@
+//! Composite Euler–Bernoulli beam mechanics.
+//!
+//! The released cantilever is a multilayer laminate. The transformed-section
+//! method gives its effective neutral axis and flexural rigidity, from which
+//! everything mechanical follows: spring constant, modal frequencies, mode
+//! shapes and curvatures.
+//!
+//! Clamped-free mode shapes use the classic eigenfunctions
+//! φₙ(ξ) = cosh(λₙξ) − cos(λₙξ) − σₙ(sinh(λₙξ) − sin(λₙξ)) with the first
+//! six eigenvalues λₙ of `cosh λ · cos λ = −1`.
+
+use canti_units::{Hertz, Kilograms, Meters, Pascals, SpringConstant};
+
+use crate::geometry::CantileverGeometry;
+use crate::MemsError;
+
+/// First six eigenvalues of the clamped-free beam equation
+/// `cosh λ · cos λ = −1`.
+pub const CLAMPED_FREE_EIGENVALUES: [f64; 6] = [
+    1.875_104_068_711_961,
+    4.694_091_132_974_175,
+    7.854_757_438_237_613,
+    10.995_540_734_875_467,
+    14.137_168_391_046_47,
+    17.278_759_657_399_5,
+];
+
+/// Choice of elastic modulus for the laminate.
+///
+/// Biosensor cantilevers are wide plates (w ≫ t); the plate modulus
+/// E/(1 − ν²) is then the physically correct stiffness and is the default
+/// everywhere in this suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum ElasticModel {
+    /// Narrow-beam model: plain Young's modulus E.
+    Beam,
+    /// Wide-plate model: E/(1 − ν²).
+    #[default]
+    Plate,
+}
+
+/// A composite cantilever reduced to its section properties.
+///
+/// # Examples
+///
+/// ```
+/// use canti_mems::beam::CompositeBeam;
+/// use canti_mems::geometry::CantileverGeometry;
+/// use canti_mems::material::Material;
+/// use canti_units::Meters;
+///
+/// // textbook check: k = E' w t^3 / (4 L^3) for a uniform beam
+/// let g = CantileverGeometry::uniform(
+///     Meters::from_micrometers(200.0),
+///     Meters::from_micrometers(50.0),
+///     Meters::from_micrometers(2.0),
+///     Material::silicon_110(),
+/// )?;
+/// let beam = CompositeBeam::new(&g)?;
+/// assert!(beam.spring_constant().value() > 0.0);
+/// # Ok::<(), canti_mems::MemsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CompositeBeam {
+    geometry: CantileverGeometry,
+    model: ElasticModel,
+    /// Distance of the neutral axis from the stack bottom, m.
+    neutral_axis: f64,
+    /// Flexural rigidity EI of the full-width section, N·m².
+    flexural_rigidity: f64,
+    /// Mass per unit length, kg/m.
+    mass_per_length: f64,
+}
+
+impl CompositeBeam {
+    /// Reduces a geometry to section properties with the default
+    /// ([`ElasticModel::Plate`]) stiffness model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::EmptyStack`] for an empty layer stack (already
+    /// prevented by [`CantileverGeometry`]'s own validation).
+    pub fn new(geometry: &CantileverGeometry) -> Result<Self, MemsError> {
+        Self::with_model(geometry, ElasticModel::default())
+    }
+
+    /// Reduces a geometry with an explicit elastic model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::EmptyStack`] for an empty layer stack.
+    pub fn with_model(
+        geometry: &CantileverGeometry,
+        model: ElasticModel,
+    ) -> Result<Self, MemsError> {
+        if geometry.layers().is_empty() {
+            return Err(MemsError::EmptyStack);
+        }
+        let modulus = |m: &crate::material::Material| -> f64 {
+            match model {
+                ElasticModel::Beam => m.youngs_modulus().value(),
+                ElasticModel::Plate => m.plate_modulus().value(),
+            }
+        };
+
+        // Transformed-section neutral axis: z_n = sum(E t z) / sum(E t).
+        let mut z_bottom = 0.0;
+        let mut et_sum = 0.0;
+        let mut etz_sum = 0.0;
+        for layer in geometry.layers() {
+            let t = layer.thickness.value();
+            let e = modulus(&layer.material);
+            let zc = z_bottom + t / 2.0;
+            et_sum += e * t;
+            etz_sum += e * t * zc;
+            z_bottom += t;
+        }
+        let z_n = etz_sum / et_sum;
+
+        // Flexural rigidity per unit width, then x width.
+        let mut z = 0.0;
+        let mut d_per_width = 0.0;
+        for layer in geometry.layers() {
+            let t = layer.thickness.value();
+            let e = modulus(&layer.material);
+            let zc = z + t / 2.0;
+            d_per_width += e * (t.powi(3) / 12.0 + t * (zc - z_n).powi(2));
+            z += t;
+        }
+        let ei = d_per_width * geometry.width().value();
+
+        let mass_per_length = geometry.areal_mass().value() * geometry.width().value();
+
+        Ok(Self {
+            geometry: geometry.clone(),
+            model,
+            neutral_axis: z_n,
+            flexural_rigidity: ei,
+            mass_per_length,
+        })
+    }
+
+    /// The geometry this beam was built from.
+    #[must_use]
+    pub fn geometry(&self) -> &CantileverGeometry {
+        &self.geometry
+    }
+
+    /// The elastic model used.
+    #[must_use]
+    pub fn elastic_model(&self) -> ElasticModel {
+        self.model
+    }
+
+    /// Neutral-axis height above the stack bottom.
+    #[must_use]
+    pub fn neutral_axis(&self) -> Meters {
+        Meters::new(self.neutral_axis)
+    }
+
+    /// Flexural rigidity EI of the full-width section in N·m².
+    #[must_use]
+    pub fn flexural_rigidity(&self) -> f64 {
+        self.flexural_rigidity
+    }
+
+    /// Mass per unit length in kg/m.
+    #[must_use]
+    pub fn mass_per_length(&self) -> f64 {
+        self.mass_per_length
+    }
+
+    /// Total beam mass.
+    #[must_use]
+    pub fn mass(&self) -> Kilograms {
+        Kilograms::new(self.mass_per_length * self.geometry.length().value())
+    }
+
+    /// Static tip spring constant k = 3EI/L³.
+    #[must_use]
+    pub fn spring_constant(&self) -> SpringConstant {
+        let l = self.geometry.length().value();
+        SpringConstant::new(3.0 * self.flexural_rigidity / l.powi(3))
+    }
+
+    /// Vacuum resonant frequency of mode `n` (1-based):
+    /// fₙ = (λₙ²/2π)·√(EI/(µ·L⁴)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::ModeOutOfRange`] for `n` outside `1..=6`.
+    pub fn mode_frequency(&self, n: usize) -> Result<Hertz, MemsError> {
+        let lambda = self.eigenvalue(n)?;
+        let l = self.geometry.length().value();
+        let omega = lambda.powi(2) * (self.flexural_rigidity / (self.mass_per_length * l.powi(4))).sqrt();
+        Ok(Hertz::from_angular(omega))
+    }
+
+    /// Fundamental (mode-1) vacuum frequency.
+    #[must_use]
+    pub fn fundamental_frequency(&self) -> Hertz {
+        self.mode_frequency(1).expect("mode 1 always valid")
+    }
+
+    /// Effective lumped mass of mode `n` referred to the tip, chosen so
+    /// that k/m_eff = ωₙ². For mode 1: m_eff = 3m/λ₁⁴ ≈ 0.2427·m.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::ModeOutOfRange`] for `n` outside `1..=6`.
+    pub fn effective_mass(&self, n: usize) -> Result<Kilograms, MemsError> {
+        let lambda = self.eigenvalue(n)?;
+        Ok(Kilograms::new(3.0 * self.mass().value() / lambda.powi(4)))
+    }
+
+    /// Clamped-free eigenvalue λₙ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::ModeOutOfRange`] for `n` outside `1..=6`.
+    pub fn eigenvalue(&self, n: usize) -> Result<f64, MemsError> {
+        CLAMPED_FREE_EIGENVALUES
+            .get(n.wrapping_sub(1))
+            .copied()
+            .ok_or(MemsError::ModeOutOfRange {
+                requested: n,
+                max: CLAMPED_FREE_EIGENVALUES.len(),
+            })
+    }
+
+    /// Mode-`n` shape φₙ(ξ) at normalized position ξ ∈ [0, 1], normalized
+    /// to φₙ(1) = 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] for an invalid mode or position.
+    pub fn mode_shape(&self, n: usize, xi: f64) -> Result<f64, MemsError> {
+        crate::error::ensure_position(xi)?;
+        let lambda = self.eigenvalue(n)?;
+        Ok(raw_mode_shape(lambda, xi) / raw_mode_shape(lambda, 1.0))
+    }
+
+    /// Mode-`n` curvature φₙ''(ξ)/L² (per meter of tip displacement) at
+    /// normalized position ξ, for tip-normalized shapes. Maximum magnitude
+    /// is at the clamp (ξ = 0) — which is why the paper puts the resonant
+    /// readout bridge there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] for an invalid mode or position.
+    pub fn mode_curvature(&self, n: usize, xi: f64) -> Result<f64, MemsError> {
+        crate::error::ensure_position(xi)?;
+        let lambda = self.eigenvalue(n)?;
+        let l = self.geometry.length().value();
+        Ok(raw_mode_curvature(lambda, xi) / raw_mode_shape(lambda, 1.0) / l.powi(2))
+    }
+
+    /// Static deflection profile under a tip force `f`: w(ξ) = F·L³/(6EI)·(3ξ² − ξ³).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] for a position outside `[0, 1]`.
+    pub fn tip_load_deflection(&self, f: canti_units::Newtons, xi: f64) -> Result<Meters, MemsError> {
+        crate::error::ensure_position(xi)?;
+        let l = self.geometry.length().value();
+        let w = f.value() * l.powi(3) / (6.0 * self.flexural_rigidity) * (3.0 * xi * xi - xi.powi(3));
+        Ok(Meters::new(w))
+    }
+
+    /// Curvature κ(ξ) = F·L·(1 − ξ)/EI under a tip force `f` — linear,
+    /// maximal at the clamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] for a position outside `[0, 1]`.
+    pub fn tip_load_curvature(&self, f: canti_units::Newtons, xi: f64) -> Result<f64, MemsError> {
+        crate::error::ensure_position(xi)?;
+        let l = self.geometry.length().value();
+        Ok(f.value() * l * (1.0 - xi) / self.flexural_rigidity)
+    }
+
+    /// Bending stress in the beam axis at height `z` above the stack
+    /// bottom, inside the layer with modulus `e_layer`, for curvature
+    /// `kappa` (1/m): σ = E·κ·(z − z_n).
+    #[must_use]
+    pub fn bending_stress_at(&self, e_layer: Pascals, z: Meters, kappa: f64) -> Pascals {
+        Pascals::new(e_layer.value() * kappa * (z.value() - self.neutral_axis))
+    }
+}
+
+/// Unnormalized clamped-free mode shape.
+fn raw_mode_shape(lambda: f64, xi: f64) -> f64 {
+    let s = (lambda.cosh() + lambda.cos()) / (lambda.sinh() + lambda.sin());
+    let a = lambda * xi;
+    (a.cosh() - a.cos()) - s * (a.sinh() - a.sin())
+}
+
+/// Second derivative of the unnormalized mode shape w.r.t. ξ.
+fn raw_mode_curvature(lambda: f64, xi: f64) -> f64 {
+    let s = (lambda.cosh() + lambda.cos()) / (lambda.sinh() + lambda.sin());
+    let a = lambda * xi;
+    lambda * lambda * ((a.cosh() + a.cos()) - s * (a.sinh() + a.sin()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Layer;
+    use crate::material::Material;
+    use canti_units::Newtons;
+
+    fn uniform_si(l_um: f64, w_um: f64, t_um: f64) -> CompositeBeam {
+        let g = CantileverGeometry::uniform(
+            Meters::from_micrometers(l_um),
+            Meters::from_micrometers(w_um),
+            Meters::from_micrometers(t_um),
+            Material::silicon_110(),
+        )
+        .unwrap();
+        CompositeBeam::with_model(&g, ElasticModel::Beam).unwrap()
+    }
+
+    #[test]
+    fn uniform_spring_constant_matches_textbook() {
+        // k = E w t^3 / (4 L^3)
+        let b = uniform_si(200.0, 50.0, 2.0);
+        let e = Material::silicon_110().youngs_modulus().value();
+        let expected = e * 50e-6 * (2e-6f64).powi(3) / (4.0 * (200e-6f64).powi(3));
+        let k = b.spring_constant().value();
+        assert!((k - expected).abs() / expected < 1e-12, "k = {k}, expected {expected}");
+    }
+
+    #[test]
+    fn uniform_fundamental_matches_textbook() {
+        // f1 = 0.16154 * (t/L^2) * sqrt(E/rho)
+        let b = uniform_si(100.0, 50.0, 2.0);
+        let e = 169e9f64;
+        let rho = 2330.0f64;
+        let expected = 0.161_537 * (2e-6 / (100e-6f64).powi(2)) * (e / rho).sqrt();
+        let f1 = b.fundamental_frequency().value();
+        assert!(
+            (f1 - expected).abs() / expected < 1e-3,
+            "f1 = {f1}, expected ~{expected}"
+        );
+        // order of magnitude: a few hundred kHz
+        assert!(f1 > 1e5 && f1 < 1e6);
+    }
+
+    #[test]
+    fn mode_frequency_ratios() {
+        // f2/f1 = (lambda2/lambda1)^2 = 6.2669
+        let b = uniform_si(150.0, 60.0, 3.0);
+        let f1 = b.mode_frequency(1).unwrap().value();
+        let f2 = b.mode_frequency(2).unwrap().value();
+        let f3 = b.mode_frequency(3).unwrap().value();
+        assert!((f2 / f1 - 6.2669).abs() < 1e-3);
+        assert!((f3 / f1 - 17.547).abs() < 1e-2);
+        assert!(b.mode_frequency(0).is_err());
+        assert!(b.mode_frequency(7).is_err());
+    }
+
+    #[test]
+    fn neutral_axis_centered_for_uniform() {
+        let b = uniform_si(100.0, 50.0, 4.0);
+        assert!((b.neutral_axis().as_micrometers() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neutral_axis_pulls_toward_stiffer_layer() {
+        // Si (bottom) much stiffer than oxide (top) -> z_n below mid-plane
+        let g = CantileverGeometry::new(
+            Meters::from_micrometers(100.0),
+            Meters::from_micrometers(50.0),
+            vec![
+                Layer::new(Material::silicon_110(), Meters::from_micrometers(2.0)).unwrap(),
+                Layer::new(Material::silicon_dioxide(), Meters::from_micrometers(2.0)).unwrap(),
+            ],
+        )
+        .unwrap();
+        let b = CompositeBeam::new(&g).unwrap();
+        assert!(b.neutral_axis().as_micrometers() < 2.0);
+        assert!(b.neutral_axis().as_micrometers() > 1.0);
+    }
+
+    #[test]
+    fn splitting_a_layer_changes_nothing() {
+        // One 4 um Si layer == two stacked 2 um Si layers.
+        let one = uniform_si(100.0, 50.0, 4.0);
+        let g2 = CantileverGeometry::new(
+            Meters::from_micrometers(100.0),
+            Meters::from_micrometers(50.0),
+            vec![
+                Layer::new(Material::silicon_110(), Meters::from_micrometers(2.0)).unwrap(),
+                Layer::new(Material::silicon_110(), Meters::from_micrometers(2.0)).unwrap(),
+            ],
+        )
+        .unwrap();
+        let two = CompositeBeam::with_model(&g2, ElasticModel::Beam).unwrap();
+        let rel = (one.flexural_rigidity() - two.flexural_rigidity()).abs() / one.flexural_rigidity();
+        assert!(rel < 1e-12, "EI must be invariant under layer splitting");
+        assert!((one.neutral_axis().value() - two.neutral_axis().value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn plate_model_is_stiffer() {
+        let g = CantileverGeometry::paper_resonant().unwrap();
+        let beam = CompositeBeam::with_model(&g, ElasticModel::Beam).unwrap();
+        let plate = CompositeBeam::with_model(&g, ElasticModel::Plate).unwrap();
+        assert!(plate.flexural_rigidity() > beam.flexural_rigidity());
+        assert!(plate.fundamental_frequency().value() > beam.fundamental_frequency().value());
+    }
+
+    #[test]
+    fn effective_mass_fraction() {
+        let b = uniform_si(100.0, 50.0, 2.0);
+        let frac = b.effective_mass(1).unwrap().value() / b.mass().value();
+        // 3/lambda1^4 = 0.2427
+        assert!((frac - 0.2427).abs() < 1e-3, "m_eff/m = {frac}");
+        // consistency: k/m_eff == omega1^2
+        let w1 = b.fundamental_frequency().angular();
+        let check = b.spring_constant().value() / b.effective_mass(1).unwrap().value();
+        assert!((check - w1 * w1).abs() / (w1 * w1) < 1e-12);
+    }
+
+    #[test]
+    fn mode_shape_boundary_conditions() {
+        let b = uniform_si(100.0, 50.0, 2.0);
+        for n in 1..=6 {
+            // clamped end: zero deflection
+            assert!(b.mode_shape(n, 0.0).unwrap().abs() < 1e-12, "mode {n}");
+            // tip-normalized
+            assert!((b.mode_shape(n, 1.0).unwrap().abs() - 1.0).abs() < 1e-9, "mode {n}");
+            // free end: zero curvature
+            let l = b.geometry().length().value();
+            let tip_curv = b.mode_curvature(n, 1.0).unwrap() * l * l;
+            assert!(tip_curv.abs() < 1e-6, "mode {n} tip curvature {tip_curv}");
+        }
+        assert!(b.mode_shape(1, 1.5).is_err());
+    }
+
+    #[test]
+    fn mode1_curvature_max_at_clamp() {
+        let b = uniform_si(100.0, 50.0, 2.0);
+        let at_clamp = b.mode_curvature(1, 0.0).unwrap().abs();
+        for i in 1..=10 {
+            let xi = f64::from(i) / 10.0;
+            assert!(
+                b.mode_curvature(1, xi).unwrap().abs() <= at_clamp + 1e-9,
+                "curvature must peak at clamp"
+            );
+        }
+    }
+
+    #[test]
+    fn tip_load_statics() {
+        let b = uniform_si(100.0, 50.0, 2.0);
+        let f = Newtons::new(1e-9);
+        // tip deflection equals F/k
+        let tip = b.tip_load_deflection(f, 1.0).unwrap().value();
+        let expected = f.value() / b.spring_constant().value();
+        assert!((tip - expected).abs() / expected < 1e-12);
+        // clamp deflection zero
+        assert_eq!(b.tip_load_deflection(f, 0.0).unwrap().value(), 0.0);
+        // curvature linear, zero at tip
+        assert_eq!(b.tip_load_curvature(f, 1.0).unwrap(), 0.0);
+        let k0 = b.tip_load_curvature(f, 0.0).unwrap();
+        let k_half = b.tip_load_curvature(f, 0.5).unwrap();
+        assert!((k_half / k0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bending_stress_antisymmetric_about_neutral_axis() {
+        let b = uniform_si(100.0, 50.0, 2.0);
+        let e = Material::silicon_110().youngs_modulus();
+        let kappa = 10.0; // 1/m
+        let top = b.bending_stress_at(e, Meters::from_micrometers(2.0), kappa);
+        let bottom = b.bending_stress_at(e, Meters::zero(), kappa);
+        assert!((top.value() + bottom.value()).abs() < 1e-6);
+        assert!(top.value() > 0.0);
+        let mid = b.bending_stress_at(e, Meters::from_micrometers(1.0), kappa);
+        assert!(mid.value().abs() < 1e-9);
+    }
+}

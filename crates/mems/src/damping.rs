@@ -1,0 +1,232 @@
+//! Fluid damping and added mass: quality factor in gas and liquid.
+//!
+//! The feedback circuit's variable-gain amplifier exists because "different
+//! liquids presented to the biosensor" change the mechanical damping. This
+//! module quantifies that: given a beam and a surrounding medium it returns
+//! the fluid-loaded resonant frequency, the quality factor and the added
+//! fluid mass.
+//!
+//! The model is the standard hydrodynamic-function description of a
+//! rectangular beam vibrating in a viscous fluid, using Maali's two-term
+//! approximation of the hydrodynamic function Γ(ω) = Γ_r + iΓ_i:
+//!
+//! ```text
+//! Γ_r = a₁ + a₂·δ/w          a₁ = 1.0553,  a₂ = 3.7997
+//! Γ_i = b₁·δ/w + b₂·(δ/w)²   b₁ = 3.8018,  b₂ = 2.7364
+//! δ   = √(2µ/(ρ_f ω))        (viscous boundary-layer thickness)
+//! ```
+//!
+//! Added fluid mass per length: m_a = (π/4)·ρ_f·w²·Γ_r. The fluid-loaded
+//! frequency follows from mass loading, solved by fixed-point iteration
+//! (Γ depends on ω); the fluid Q is
+//! Q = (4µ_L/(π·ρ_f·w²) + Γ_r)/Γ_i, combined in parallel with the
+//! intrinsic (anchor/material) Q.
+
+use canti_bio::liquid::Liquid;
+use canti_units::Hertz;
+
+use crate::beam::CompositeBeam;
+use crate::error::ensure_positive;
+use crate::MemsError;
+
+const A1: f64 = 1.0553;
+const A2: f64 = 3.7997;
+const B1: f64 = 3.8018;
+const B2: f64 = 2.7364;
+
+/// Result of evaluating fluid loading on a beam.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FluidLoading {
+    /// Fluid-loaded resonant frequency.
+    pub frequency: Hertz,
+    /// Total quality factor (fluid ∥ intrinsic).
+    pub quality_factor: f64,
+    /// Real part of the hydrodynamic function at the solution frequency.
+    pub gamma_r: f64,
+    /// Imaginary part of the hydrodynamic function.
+    pub gamma_i: f64,
+    /// Added fluid mass per unit length, kg/m.
+    pub added_mass_per_length: f64,
+    /// Viscous boundary-layer thickness at the solution frequency, m.
+    pub boundary_layer: f64,
+}
+
+/// Evaluates fluid loading of `beam`'s fundamental mode in `medium`.
+///
+/// `intrinsic_q` is the vacuum quality factor (anchor + material losses),
+/// typically 10³–10⁵ for single-crystal silicon beams.
+///
+/// # Errors
+///
+/// Returns [`MemsError`] unless `intrinsic_q` is strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use canti_bio::liquid::Liquid;
+/// use canti_mems::beam::CompositeBeam;
+/// use canti_mems::damping::fluid_loading;
+/// use canti_mems::geometry::CantileverGeometry;
+/// use canti_units::Kelvin;
+///
+/// let beam = CompositeBeam::new(&CantileverGeometry::paper_resonant()?)?;
+/// let air = fluid_loading(&beam, &Liquid::air(), 10_000.0)?;
+/// let water = fluid_loading(&beam, &Liquid::water(Kelvin::from_celsius(25.0)), 10_000.0)?;
+/// // liquid collapses Q by orders of magnitude and pulls the frequency down:
+/// assert!(air.quality_factor > 20.0 * water.quality_factor);
+/// assert!(water.frequency.value() < air.frequency.value());
+/// # Ok::<(), canti_mems::MemsError>(())
+/// ```
+pub fn fluid_loading(
+    beam: &CompositeBeam,
+    medium: &Liquid,
+    intrinsic_q: f64,
+) -> Result<FluidLoading, MemsError> {
+    ensure_positive("intrinsic quality factor", intrinsic_q)?;
+    let f_vac = beam.fundamental_frequency();
+
+    if medium.is_vacuum() {
+        return Ok(FluidLoading {
+            frequency: f_vac,
+            quality_factor: intrinsic_q,
+            gamma_r: 0.0,
+            gamma_i: 0.0,
+            added_mass_per_length: 0.0,
+            boundary_layer: 0.0,
+        });
+    }
+
+    let w = beam.geometry().width().value();
+    let mu_l = beam.mass_per_length();
+    let rho = medium.density().value();
+    let visc = medium.viscosity().value();
+    // T = (pi/4) rho_f w^2: the cylinder-of-fluid reference mass per length.
+    let t_ref = std::f64::consts::FRAC_PI_4 * rho * w * w;
+
+    // Fixed-point iteration: omega depends on Gamma_r(omega).
+    let omega_vac = f_vac.angular();
+    let mut omega = omega_vac;
+    for _ in 0..60 {
+        let delta = (2.0 * visc / (rho * omega)).sqrt();
+        let gamma_r = A1 + A2 * delta / w;
+        let next = omega_vac / (1.0 + t_ref * gamma_r / mu_l).sqrt();
+        if (next - omega).abs() / omega < 1e-12 {
+            omega = next;
+            break;
+        }
+        omega = next;
+    }
+    let delta = (2.0 * visc / (rho * omega)).sqrt();
+    let gamma_r = A1 + A2 * delta / w;
+    let gamma_i = B1 * delta / w + B2 * (delta / w).powi(2);
+
+    let q_fluid = (4.0 * mu_l / (std::f64::consts::PI * rho * w * w) + gamma_r) / gamma_i;
+    let q_total = 1.0 / (1.0 / q_fluid + 1.0 / intrinsic_q);
+
+    Ok(FluidLoading {
+        frequency: Hertz::from_angular(omega),
+        quality_factor: q_total,
+        gamma_r,
+        gamma_i,
+        added_mass_per_length: t_ref * gamma_r,
+        boundary_layer: delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CantileverGeometry;
+    use canti_units::Kelvin;
+
+    fn beam() -> CompositeBeam {
+        CompositeBeam::new(&CantileverGeometry::paper_resonant().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn vacuum_is_lossless_reference() {
+        let b = beam();
+        let l = fluid_loading(&b, &Liquid::vacuum(), 12_000.0).unwrap();
+        assert_eq!(l.quality_factor, 12_000.0);
+        assert_eq!(l.frequency, b.fundamental_frequency());
+        assert_eq!(l.added_mass_per_length, 0.0);
+    }
+
+    #[test]
+    fn air_q_in_hundreds() {
+        let l = fluid_loading(&beam(), &Liquid::air(), 100_000.0).unwrap();
+        assert!(
+            l.quality_factor > 100.0 && l.quality_factor < 5000.0,
+            "air Q = {}",
+            l.quality_factor
+        );
+        // air barely shifts the frequency (<2%)
+        let f_vac = beam().fundamental_frequency().value();
+        assert!((f_vac - l.frequency.value()) / f_vac < 0.02);
+    }
+
+    #[test]
+    fn water_q_single_digits_to_tens() {
+        let l = fluid_loading(
+            &beam(),
+            &Liquid::water(Kelvin::from_celsius(25.0)),
+            100_000.0,
+        )
+        .unwrap();
+        assert!(
+            l.quality_factor > 1.0 && l.quality_factor < 50.0,
+            "water Q = {}",
+            l.quality_factor
+        );
+        // water pulls the frequency down by tens of percent
+        let f_vac = beam().fundamental_frequency().value();
+        let drop = (f_vac - l.frequency.value()) / f_vac;
+        assert!(drop > 0.2 && drop < 0.8, "frequency drop {drop}");
+    }
+
+    #[test]
+    fn serum_damps_more_than_water() {
+        let t = Kelvin::from_celsius(25.0);
+        let water = fluid_loading(&beam(), &Liquid::water(t), 1e5).unwrap();
+        let serum = fluid_loading(&beam(), &Liquid::serum(t), 1e5).unwrap();
+        assert!(serum.quality_factor < water.quality_factor);
+    }
+
+    #[test]
+    fn intrinsic_q_caps_total_q() {
+        // with a terrible intrinsic Q, even vacuum-like media can't help
+        let air_good = fluid_loading(&beam(), &Liquid::air(), 1e5).unwrap();
+        let air_bad = fluid_loading(&beam(), &Liquid::air(), 50.0).unwrap();
+        assert!(air_bad.quality_factor < 50.0);
+        assert!(air_good.quality_factor > air_bad.quality_factor);
+        assert!(fluid_loading(&beam(), &Liquid::air(), 0.0).is_err());
+    }
+
+    #[test]
+    fn added_mass_positive_and_larger_in_water() {
+        let t = Kelvin::from_celsius(25.0);
+        let air = fluid_loading(&beam(), &Liquid::air(), 1e5).unwrap();
+        let water = fluid_loading(&beam(), &Liquid::water(t), 1e5).unwrap();
+        assert!(air.added_mass_per_length > 0.0);
+        assert!(water.added_mass_per_length > 100.0 * air.added_mass_per_length);
+        // in water the added mass is comparable to the beam mass itself
+        let ratio = water.added_mass_per_length / beam().mass_per_length();
+        assert!(ratio > 1.0 && ratio < 50.0, "added-mass ratio {ratio}");
+    }
+
+    #[test]
+    fn boundary_layer_scale() {
+        let l = fluid_loading(
+            &beam(),
+            &Liquid::water(Kelvin::from_celsius(25.0)),
+            1e5,
+        )
+        .unwrap();
+        // ~ a few microns at 100 kHz-scale frequencies in water
+        assert!(
+            l.boundary_layer > 0.5e-6 && l.boundary_layer < 20e-6,
+            "delta = {}",
+            l.boundary_layer
+        );
+    }
+}

@@ -1,0 +1,335 @@
+//! Lumped resonator dynamics: transfer function, time stepping and
+//! thermomechanical noise.
+//!
+//! The fundamental mode of the fluid-loaded cantilever is a damped harmonic
+//! oscillator
+//!
+//! ```text
+//! m·ẍ + (m·ω₀/Q)·ẋ + k·x = F(t)
+//! ```
+//!
+//! with m = k/ω₀² the effective modal mass. [`Resonator`] holds the three
+//! lumped parameters; [`Resonator::step`] advances an explicit RK4 state
+//! for closed-loop (oscillator) simulation, and the frequency-domain
+//! helpers serve open-loop response sweeps.
+
+use canti_bio::liquid::Liquid;
+use canti_units::{consts, Hertz, Kelvin, Kilograms, Meters, Newtons, Seconds, SpringConstant};
+
+use crate::beam::CompositeBeam;
+use crate::damping::fluid_loading;
+use crate::error::ensure_positive;
+use crate::MemsError;
+
+/// A damped harmonic oscillator with lumped (f₀, Q, k).
+///
+/// # Examples
+///
+/// ```
+/// use canti_mems::dynamics::Resonator;
+/// use canti_units::{Hertz, SpringConstant};
+///
+/// let r = Resonator::new(Hertz::from_kilohertz(100.0), 500.0, SpringConstant::new(10.0))?;
+/// // at resonance the response is Q times the static compliance:
+/// let h0 = r.transfer_magnitude(Hertz::new(1.0));
+/// let hr = r.transfer_magnitude(r.resonant_frequency());
+/// assert!((hr / h0 - 500.0).abs() / 500.0 < 1e-3);
+/// # Ok::<(), canti_mems::MemsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Resonator {
+    f0: Hertz,
+    q: f64,
+    k: SpringConstant,
+}
+
+/// Kinematic state of a resonator being time-stepped.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ResonatorState {
+    /// Displacement, m.
+    pub x: f64,
+    /// Velocity, m/s.
+    pub v: f64,
+}
+
+impl Resonator {
+    /// Creates a resonator from lumped parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] unless f₀, Q and k are strictly positive.
+    pub fn new(f0: Hertz, q: f64, k: SpringConstant) -> Result<Self, MemsError> {
+        ensure_positive("resonant frequency", f0.value())?;
+        ensure_positive("quality factor", q)?;
+        ensure_positive("spring constant", k.value())?;
+        Ok(Self { f0, q, k })
+    }
+
+    /// Builds the fundamental-mode resonator of `beam` immersed in
+    /// `medium`, folding in the fluid frequency shift and Q.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] unless `intrinsic_q` is strictly positive.
+    pub fn from_beam_in_fluid(
+        beam: &CompositeBeam,
+        medium: &Liquid,
+        intrinsic_q: f64,
+    ) -> Result<Self, MemsError> {
+        let loading = fluid_loading(beam, medium, intrinsic_q)?;
+        Self::new(loading.frequency, loading.quality_factor, beam.spring_constant())
+    }
+
+    /// Resonant frequency f₀.
+    #[must_use]
+    pub fn resonant_frequency(&self) -> Hertz {
+        self.f0
+    }
+
+    /// Quality factor Q.
+    #[must_use]
+    pub fn quality_factor(&self) -> f64 {
+        self.q
+    }
+
+    /// Spring constant k.
+    #[must_use]
+    pub fn spring_constant(&self) -> SpringConstant {
+        self.k
+    }
+
+    /// Effective modal mass m = k/ω₀².
+    #[must_use]
+    pub fn effective_mass(&self) -> Kilograms {
+        let w0 = self.f0.angular();
+        Kilograms::new(self.k.value() / (w0 * w0))
+    }
+
+    /// Damping coefficient c = m·ω₀/Q in kg/s.
+    #[must_use]
+    pub fn damping_coefficient(&self) -> f64 {
+        self.effective_mass().value() * self.f0.angular() / self.q
+    }
+
+    /// Returns a copy with extra point mass added at the tip (lowers f₀,
+    /// keeps k).
+    #[must_use]
+    pub fn with_added_tip_mass(&self, dm: Kilograms) -> Self {
+        let m_new = self.effective_mass().value() + dm.value();
+        let w_new = (self.k.value() / m_new).sqrt();
+        Self {
+            f0: Hertz::from_angular(w_new),
+            q: self.q,
+            k: self.k,
+        }
+    }
+
+    /// |H(f)| in m/N: displacement amplitude per unit drive force at
+    /// frequency `f`.
+    #[must_use]
+    pub fn transfer_magnitude(&self, f: Hertz) -> f64 {
+        let r = f.value() / self.f0.value();
+        let denom = ((1.0 - r * r).powi(2) + (r / self.q).powi(2)).sqrt();
+        1.0 / (self.k.value() * denom)
+    }
+
+    /// Phase of H(f) in radians, 0 at DC → −π far above resonance,
+    /// −π/2 exactly at f₀.
+    #[must_use]
+    pub fn transfer_phase(&self, f: Hertz) -> f64 {
+        let r = f.value() / self.f0.value();
+        (-(r / self.q)).atan2(1.0 - r * r)
+    }
+
+    /// Steady-state amplitude at resonance for drive amplitude `f`:
+    /// x = Q·F/k.
+    #[must_use]
+    pub fn resonant_amplitude(&self, f: Newtons) -> Meters {
+        Meters::new(self.q * f.value() / self.k.value())
+    }
+
+    /// −3 dB bandwidth f₀/Q.
+    #[must_use]
+    pub fn bandwidth(&self) -> Hertz {
+        Hertz::new(self.f0.value() / self.q)
+    }
+
+    /// One-sided thermomechanical force-noise density √(4·k_B·T·m·ω₀/Q)
+    /// in N/√Hz.
+    #[must_use]
+    pub fn thermal_force_noise_density(&self, temperature: Kelvin) -> f64 {
+        (4.0 * consts::thermal_energy(temperature) * self.damping_coefficient()).sqrt()
+    }
+
+    /// RMS thermal displacement √(k_B·T/k) — equipartition.
+    #[must_use]
+    pub fn thermal_displacement_rms(&self, temperature: Kelvin) -> Meters {
+        Meters::new((consts::thermal_energy(temperature) / self.k.value()).sqrt())
+    }
+
+    /// Advances the state by `dt` under external force `force` using RK4.
+    ///
+    /// For accurate oscillation, `dt` should resolve the period
+    /// (dt ≲ 1/(20·f₀)).
+    #[must_use]
+    pub fn step(&self, state: ResonatorState, force: Newtons, dt: Seconds) -> ResonatorState {
+        let m = self.effective_mass().value();
+        let c = self.damping_coefficient();
+        let k = self.k.value();
+        let f = force.value();
+        let h = dt.value();
+        let acc = |x: f64, v: f64| (f - c * v - k * x) / m;
+
+        let (x0, v0) = (state.x, state.v);
+        let a1 = acc(x0, v0);
+        let a2 = acc(x0 + 0.5 * h * v0, v0 + 0.5 * h * a1);
+        let a3 = acc(
+            x0 + 0.5 * h * v0 + 0.25 * h * h * a1,
+            v0 + 0.5 * h * a2,
+        );
+        let a4 = acc(x0 + h * v0 + 0.5 * h * h * a2, v0 + h * a3);
+
+        ResonatorState {
+            x: x0 + h * v0 + h * h / 6.0 * (a1 + a2 + a3),
+            v: v0 + h / 6.0 * (a1 + 2.0 * a2 + 2.0 * a3 + a4),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CantileverGeometry;
+
+    fn res() -> Resonator {
+        Resonator::new(
+            Hertz::from_kilohertz(100.0),
+            200.0,
+            SpringConstant::new(20.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Resonator::new(Hertz::zero(), 10.0, SpringConstant::new(1.0)).is_err());
+        assert!(Resonator::new(Hertz::new(1e5), -1.0, SpringConstant::new(1.0)).is_err());
+        assert!(Resonator::new(Hertz::new(1e5), 10.0, SpringConstant::zero()).is_err());
+    }
+
+    #[test]
+    fn effective_mass_consistent() {
+        let r = res();
+        let m = r.effective_mass().value();
+        let w0 = r.resonant_frequency().angular();
+        assert!((r.spring_constant().value() / m - w0 * w0).abs() / (w0 * w0) < 1e-12);
+    }
+
+    #[test]
+    fn transfer_function_landmarks() {
+        let r = res();
+        // DC: 1/k
+        let h0 = r.transfer_magnitude(Hertz::new(0.001));
+        assert!((h0 - 1.0 / 20.0).abs() / (1.0 / 20.0) < 1e-6);
+        // resonance: Q/k
+        let hr = r.transfer_magnitude(r.resonant_frequency());
+        assert!((hr - 200.0 / 20.0).abs() / 10.0 < 1e-9);
+        // phase: ~0 at DC, -pi/2 at f0, -> -pi far above
+        assert!(r.transfer_phase(Hertz::new(1.0)).abs() < 1e-3);
+        assert!((r.transfer_phase(r.resonant_frequency()) + std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        assert!(r.transfer_phase(Hertz::from_megahertz(10.0)) < -3.0);
+    }
+
+    #[test]
+    fn bandwidth_from_half_power_points() {
+        let r = res();
+        let bw = r.bandwidth().value();
+        assert!((bw - 500.0).abs() < 1e-9);
+        // |H| at f0 +/- bw/2 is ~ 1/sqrt(2) of peak
+        let peak = r.transfer_magnitude(r.resonant_frequency());
+        let edge = r.transfer_magnitude(Hertz::new(1e5 + 250.0));
+        let ratio = edge / peak;
+        assert!((ratio - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn added_mass_lowers_frequency() {
+        let r = res();
+        let m = r.effective_mass();
+        // adding m_eff halves omega^2 -> f0/sqrt(2)
+        let shifted = r.with_added_tip_mass(m);
+        let expect = 1e5 / 2f64.sqrt();
+        assert!((shifted.resonant_frequency().value() - expect).abs() / expect < 1e-12);
+        assert_eq!(shifted.spring_constant(), r.spring_constant());
+    }
+
+    #[test]
+    fn free_decay_matches_q() {
+        // release from x0, count amplitude decay: envelope ~ exp(-w0 t / 2Q)
+        let r = res();
+        let w0 = r.resonant_frequency().angular();
+        let dt = Seconds::new(1.0 / (100.0 * r.resonant_frequency().value()));
+        let mut s = ResonatorState { x: 1e-9, v: 0.0 };
+        let cycles = 50.0;
+        let steps = (cycles * 100.0) as usize;
+        for _ in 0..steps {
+            s = r.step(s, Newtons::zero(), dt);
+        }
+        let t = dt.value() * steps as f64;
+        let expected_env = 1e-9 * (-w0 * t / (2.0 * r.quality_factor())).exp();
+        // total energy-equivalent amplitude from x and v:
+        let amp = (s.x * s.x + (s.v / w0).powi(2)).sqrt();
+        assert!(
+            (amp - expected_env).abs() / expected_env < 0.02,
+            "amp {amp} vs envelope {expected_env}"
+        );
+    }
+
+    #[test]
+    fn driven_at_resonance_reaches_q_times_static() {
+        let r = Resonator::new(Hertz::from_kilohertz(50.0), 40.0, SpringConstant::new(5.0)).unwrap();
+        let f0 = r.resonant_frequency().value();
+        let w0 = r.resonant_frequency().angular();
+        let drive = 1e-9; // N amplitude
+        let dt = Seconds::new(1.0 / (200.0 * f0));
+        let mut s = ResonatorState::default();
+        // run for ~ 8 Q cycles to settle (tau = Q/pi cycles)
+        let steps = (8.0 * 40.0 * 200.0) as usize;
+        let mut peak: f64 = 0.0;
+        for i in 0..steps {
+            let t = dt.value() * i as f64;
+            let force = Newtons::new(drive * (w0 * t).sin());
+            s = r.step(s, force, dt);
+            if i > steps - 400 {
+                peak = peak.max(s.x.abs());
+            }
+        }
+        let expected = r.resonant_amplitude(Newtons::new(drive)).value();
+        assert!(
+            (peak - expected).abs() / expected < 0.05,
+            "peak {peak} vs Q*F/k {expected}"
+        );
+    }
+
+    #[test]
+    fn thermal_noise_scales() {
+        let r = res();
+        let t300 = r.thermal_force_noise_density(Kelvin::new(300.0));
+        let t600 = r.thermal_force_noise_density(Kelvin::new(600.0));
+        assert!((t600 / t300 - 2f64.sqrt()).abs() < 1e-12);
+        // realistic scale: fN-pN per sqrt(Hz) for MEMS
+        assert!(t300 > 1e-16 && t300 < 1e-9, "S_F = {t300}");
+        let x_rms = r.thermal_displacement_rms(Kelvin::new(300.0));
+        // sqrt(kT/k) = sqrt(4.14e-21/20) ~ 1.4e-11 m
+        assert!((x_rms.value() - (4.141947e-21f64 / 20.0).sqrt()).abs() / x_rms.value() < 1e-3);
+    }
+
+    #[test]
+    fn from_beam_in_fluid_consistent_with_damping_module() {
+        let beam = CompositeBeam::new(&CantileverGeometry::paper_resonant().unwrap()).unwrap();
+        let r = Resonator::from_beam_in_fluid(&beam, &Liquid::air(), 1e5).unwrap();
+        assert!(r.resonant_frequency().value() < beam.fundamental_frequency().value());
+        assert!(r.quality_factor() > 100.0);
+        assert_eq!(r.spring_constant(), beam.spring_constant());
+    }
+}

@@ -1,0 +1,106 @@
+use std::fmt;
+
+/// Error raised by `canti-mems` on physically invalid inputs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MemsError {
+    /// A quantity that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A value that must be finite was NaN or infinite.
+    NotFinite {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+    },
+    /// A cantilever stack with no layers.
+    EmptyStack,
+    /// A mode index outside the supported range.
+    ModeOutOfRange {
+        /// The requested mode number (1-based).
+        requested: usize,
+        /// Highest supported mode number.
+        max: usize,
+    },
+    /// A position outside the beam (normalized coordinate not in `[0, 1]`).
+    PositionOutOfRange {
+        /// The rejected normalized position.
+        value: f64,
+    },
+}
+
+impl fmt::Display for MemsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            Self::NotFinite { what } => write!(f, "{what} must be finite"),
+            Self::EmptyStack => write!(f, "cantilever stack must contain at least one layer"),
+            Self::ModeOutOfRange { requested, max } => {
+                write!(f, "mode {requested} out of range (1..={max})")
+            }
+            Self::PositionOutOfRange { value } => {
+                write!(f, "normalized beam position must lie in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemsError {}
+
+pub(crate) fn ensure_positive(what: &'static str, value: f64) -> Result<(), MemsError> {
+    if !value.is_finite() {
+        return Err(MemsError::NotFinite { what });
+    }
+    if value <= 0.0 {
+        return Err(MemsError::NonPositive { what, value });
+    }
+    Ok(())
+}
+
+pub(crate) fn ensure_position(value: f64) -> Result<(), MemsError> {
+    if !value.is_finite() {
+        return Err(MemsError::NotFinite {
+            what: "normalized beam position",
+        });
+    }
+    if !(0.0..=1.0).contains(&value) {
+        return Err(MemsError::PositionOutOfRange { value });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<MemsError>();
+    }
+
+    #[test]
+    fn messages() {
+        assert_eq!(
+            MemsError::EmptyStack.to_string(),
+            "cantilever stack must contain at least one layer"
+        );
+        assert_eq!(
+            MemsError::ModeOutOfRange { requested: 9, max: 6 }.to_string(),
+            "mode 9 out of range (1..=6)"
+        );
+    }
+
+    #[test]
+    fn validators() {
+        assert!(ensure_positive("x", 1.0).is_ok());
+        assert!(ensure_positive("x", -1.0).is_err());
+        assert!(ensure_position(0.5).is_ok());
+        assert!(ensure_position(1.01).is_err());
+    }
+}

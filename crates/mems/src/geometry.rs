@@ -1,0 +1,278 @@
+//! Cantilever plan geometry and layer stack.
+//!
+//! The paper's beams are released from the CMOS wafer: the electrochemical
+//! etch-stop on the n-well junction defines a crystalline-silicon core of
+//! well-controlled thickness, and the front-side etches free a rectangular
+//! plate that may still carry dielectric, metal (the coil) and a gold
+//! functionalization film.
+
+use canti_units::{KgPerM2, Meters, SquareMeters};
+
+use crate::error::ensure_positive;
+use crate::material::Material;
+use crate::MemsError;
+
+/// One layer of the released stack, bottom-up order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Layer {
+    /// The layer's structural material.
+    pub material: Material,
+    /// Layer thickness.
+    pub thickness: Meters,
+}
+
+impl Layer {
+    /// Creates a layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] unless the thickness is strictly positive.
+    pub fn new(material: Material, thickness: Meters) -> Result<Self, MemsError> {
+        ensure_positive("layer thickness", thickness.value())?;
+        Ok(Self {
+            material,
+            thickness,
+        })
+    }
+}
+
+/// The full cantilever description: plan dimensions plus the layer stack.
+///
+/// # Examples
+///
+/// ```
+/// use canti_mems::geometry::CantileverGeometry;
+///
+/// let g = CantileverGeometry::paper_static()?;
+/// assert!(g.total_thickness().as_micrometers() > 1.0);
+/// assert!(g.plan_area().value() > 0.0);
+/// # Ok::<(), canti_mems::MemsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CantileverGeometry {
+    length: Meters,
+    width: Meters,
+    layers: Vec<Layer>,
+}
+
+impl CantileverGeometry {
+    /// Creates a cantilever from plan dimensions and a bottom-up layer
+    /// stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] if length/width are not strictly positive or
+    /// the stack is empty.
+    pub fn new(length: Meters, width: Meters, layers: Vec<Layer>) -> Result<Self, MemsError> {
+        ensure_positive("cantilever length", length.value())?;
+        ensure_positive("cantilever width", width.value())?;
+        if layers.is_empty() {
+            return Err(MemsError::EmptyStack);
+        }
+        Ok(Self {
+            length,
+            width,
+            layers,
+        })
+    }
+
+    /// The paper's static-mode beam: long and soft for maximum
+    /// surface-stress deflection. 500 µm × 100 µm, 5 µm n-well silicon core
+    /// with a 20 nm gold functionalization film.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` mirrors [`Self::new`].
+    pub fn paper_static() -> Result<Self, MemsError> {
+        Self::new(
+            Meters::from_micrometers(500.0),
+            Meters::from_micrometers(100.0),
+            vec![
+                Layer::new(Material::silicon_110(), Meters::from_micrometers(5.0))?,
+                Layer::new(Material::gold(), Meters::from_nanometers(20.0))?,
+            ],
+        )
+    }
+
+    /// The paper's resonant-mode beam: shorter and stiffer for a clean
+    /// high-Q resonance. 150 µm × 140 µm, 5 µm silicon core, 1 µm oxide
+    /// with the 0.6 µm aluminum coil on top, 20 nm gold film.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` mirrors [`Self::new`].
+    pub fn paper_resonant() -> Result<Self, MemsError> {
+        Self::new(
+            Meters::from_micrometers(150.0),
+            Meters::from_micrometers(140.0),
+            vec![
+                Layer::new(Material::silicon_110(), Meters::from_micrometers(5.0))?,
+                Layer::new(Material::silicon_dioxide(), Meters::from_micrometers(1.0))?,
+                Layer::new(Material::aluminum(), Meters::from_micrometers(0.6))?,
+                Layer::new(Material::gold(), Meters::from_nanometers(20.0))?,
+            ],
+        )
+    }
+
+    /// A bare single-material beam — handy for textbook cross-checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] on non-positive dimensions.
+    pub fn uniform(
+        length: Meters,
+        width: Meters,
+        thickness: Meters,
+        material: Material,
+    ) -> Result<Self, MemsError> {
+        Self::new(length, width, vec![Layer::new(material, thickness)?])
+    }
+
+    /// Beam length from clamp to free end.
+    #[must_use]
+    pub fn length(&self) -> Meters {
+        self.length
+    }
+
+    /// Beam width.
+    #[must_use]
+    pub fn width(&self) -> Meters {
+        self.width
+    }
+
+    /// The layer stack, bottom-up.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total stack thickness.
+    #[must_use]
+    pub fn total_thickness(&self) -> Meters {
+        self.layers.iter().map(|l| l.thickness).sum()
+    }
+
+    /// Plan-view area (length × width) — the functionalized face area.
+    #[must_use]
+    pub fn plan_area(&self) -> SquareMeters {
+        self.length * self.width
+    }
+
+    /// Mass per unit plan area of the stack, Σ ρᵢ·tᵢ.
+    #[must_use]
+    pub fn areal_mass(&self) -> KgPerM2 {
+        KgPerM2::new(
+            self.layers
+                .iter()
+                .map(|l| l.material.density().value() * l.thickness.value())
+                .sum(),
+        )
+    }
+
+    /// Total beam mass.
+    #[must_use]
+    pub fn mass(&self) -> canti_units::Kilograms {
+        self.areal_mass() * self.plan_area()
+    }
+
+    /// Returns a copy with the silicon core thickness replaced — the knob
+    /// the electrochemical etch-stop controls. Layers whose material name
+    /// starts with `"Si <"` (crystalline silicon) are rescaled.
+    #[must_use]
+    pub fn with_core_thickness(&self, thickness: Meters) -> Self {
+        let mut out = self.clone();
+        for layer in &mut out.layers {
+            if layer.material.name().starts_with("Si <") {
+                layer.thickness = thickness;
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for CantileverGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.0} um x {:.0} um cantilever, {} layer(s), t = {:.2} um",
+            self.length.as_micrometers(),
+            self.width.as_micrometers(),
+            self.layers.len(),
+            self.total_thickness().as_micrometers()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries_valid() {
+        let s = CantileverGeometry::paper_static().unwrap();
+        assert_eq!(s.layers().len(), 2);
+        assert!((s.total_thickness().as_micrometers() - 5.02).abs() < 0.01);
+        let r = CantileverGeometry::paper_resonant().unwrap();
+        assert_eq!(r.layers().len(), 4);
+        assert!(r.length() < s.length(), "resonant beam is shorter");
+    }
+
+    #[test]
+    fn validation() {
+        let si = Material::silicon_110();
+        assert!(Layer::new(si.clone(), Meters::zero()).is_err());
+        assert!(CantileverGeometry::new(
+            Meters::from_micrometers(100.0),
+            Meters::from_micrometers(50.0),
+            vec![]
+        )
+        .is_err());
+        assert!(CantileverGeometry::uniform(
+            Meters::zero(),
+            Meters::from_micrometers(50.0),
+            Meters::from_micrometers(2.0),
+            si
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mass_of_uniform_silicon_beam() {
+        // 100 x 50 x 2 um Si: V = 1e-14 m^3, m = 2330 * 1e-14 = 2.33e-11 kg
+        let g = CantileverGeometry::uniform(
+            Meters::from_micrometers(100.0),
+            Meters::from_micrometers(50.0),
+            Meters::from_micrometers(2.0),
+            Material::silicon_110(),
+        )
+        .unwrap();
+        let m = g.mass().value();
+        assert!((m - 2.33e-11).abs() / 2.33e-11 < 1e-9, "mass {m}");
+    }
+
+    #[test]
+    fn areal_mass_sums_layers() {
+        let g = CantileverGeometry::paper_resonant().unwrap();
+        let expected = 2330.0 * 5e-6 + 2200.0 * 1e-6 + 2700.0 * 0.6e-6 + 19_300.0 * 20e-9;
+        assert!((g.areal_mass().value() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn core_thickness_override() {
+        let g = CantileverGeometry::paper_resonant().unwrap();
+        let thicker = g.with_core_thickness(Meters::from_micrometers(6.5));
+        assert!(
+            (thicker.total_thickness().value() - g.total_thickness().value() - 1.5e-6).abs()
+                < 1e-12
+        );
+        // non-silicon layers untouched
+        assert_eq!(thicker.layers()[1], g.layers()[1]);
+    }
+
+    #[test]
+    fn display() {
+        let g = CantileverGeometry::paper_static().unwrap();
+        let s = g.to_string();
+        assert!(s.contains("500 um x 100 um"), "{s}");
+    }
+}

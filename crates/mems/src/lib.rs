@@ -1,0 +1,56 @@
+//! # canti-mems — micromechanical cantilever physics
+//!
+//! The transducer half of the cantilever-biosensor simulation: everything
+//! between "a force/stress acts on the beam" and "the piezoresistive bridge
+//! resistance changes". Models the paper's device physics:
+//!
+//! * [`material`] — elastic, density and piezoresistive constants of the
+//!   CMOS layer materials (crystalline Si, oxide, nitride, metal, poly),
+//! * [`geometry`] — the multilayer cantilever stack released by the
+//!   post-CMOS etch,
+//! * [`beam`] — composite Euler–Bernoulli mechanics: neutral axis, flexural
+//!   rigidity, spring constant, modal frequencies,
+//! * [`surface_stress`] — static bending from differential surface stress
+//!   (the paper's Figure 1 operating mode),
+//! * [`piezo`] — piezoresistive transduction: stress → ΔR/R for diffused
+//!   resistors and PMOS-in-triode gauges,
+//! * [`actuation`] — the on-chip Lorentz-force coil driven against the
+//!   package magnet (Figure 5's actuation path),
+//! * [`damping`] — quality factor and added fluid mass in gas/liquid
+//!   (hydrodynamic function approximation),
+//! * [`dynamics`] — the lumped resonator: transfer function, RK4 time
+//!   stepping, thermomechanical noise,
+//! * [`mass_loading`] — resonant-mode responsivity: Δf per bound mass
+//!   (Figure 2's operating mode).
+//!
+//! # Examples
+//!
+//! ```
+//! use canti_mems::geometry::CantileverGeometry;
+//! use canti_mems::beam::CompositeBeam;
+//!
+//! let geom = CantileverGeometry::paper_resonant()?;
+//! let beam = CompositeBeam::new(&geom)?;
+//! let f0 = beam.mode_frequency(1)?;
+//! // etch-stop-defined silicon beams of this size resonate in the 10s-100s of kHz:
+//! assert!(f0.as_kilohertz() > 10.0 && f0.as_kilohertz() < 2000.0);
+//! # Ok::<(), canti_mems::MemsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actuation;
+pub mod beam;
+pub mod damping;
+pub mod dynamics;
+pub mod geometry;
+pub mod mass_loading;
+pub mod material;
+pub mod piezo;
+pub mod surface_stress;
+pub mod thermal;
+
+mod error;
+
+pub use error::MemsError;

@@ -1,0 +1,285 @@
+//! Resonant-mode mass sensing: frequency shift per bound analyte mass.
+//!
+//! "The additional mass of the analyte molecules causes a shift in the
+//! resonant frequency upon binding" (the paper's Figure 2). For a lumped
+//! resonator with effective mass m_eff, adding Δm_eff gives exactly
+//!
+//! ```text
+//! f' = f₀ · √(m_eff / (m_eff + Δm_eff))        (≈ f₀·(1 − Δm_eff/2m_eff))
+//! ```
+//!
+//! Where the mass lands matters: a point mass at the tip counts fully;
+//! analyte spread uniformly over the beam counts with the modal weighting
+//! 3/λ₁⁴ ≈ 0.2427 (the same factor that maps beam mass to m_eff).
+
+use canti_units::{Hertz, Kilograms};
+
+use crate::beam::{CompositeBeam, CLAMPED_FREE_EIGENVALUES};
+use crate::dynamics::Resonator;
+use crate::error::ensure_positive;
+use crate::MemsError;
+
+/// Modal weighting of uniformly distributed added mass for mode 1:
+/// 3/λ₁⁴ ≈ 0.2427.
+#[must_use]
+pub fn distributed_mass_fraction() -> f64 {
+    3.0 / CLAMPED_FREE_EIGENVALUES[0].powi(4)
+}
+
+/// Where the added mass sits on the beam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum MassPlacement {
+    /// Concentrated at the free end (weighting 1).
+    Tip,
+    /// Spread uniformly over the beam (weighting 3/λ₁⁴ ≈ 0.2427) — how a
+    /// bound analyte monolayer actually loads the beam.
+    #[default]
+    Distributed,
+}
+
+impl MassPlacement {
+    /// Modal weighting factor α such that Δm_eff = α·Δm.
+    #[must_use]
+    pub fn modal_weight(self) -> f64 {
+        match self {
+            Self::Tip => 1.0,
+            Self::Distributed => distributed_mass_fraction(),
+        }
+    }
+}
+
+/// Mass-loading response of a resonator.
+///
+/// # Examples
+///
+/// ```
+/// use canti_mems::dynamics::Resonator;
+/// use canti_mems::mass_loading::{MassLoading, MassPlacement};
+/// use canti_units::{Hertz, Kilograms, SpringConstant};
+///
+/// let r = Resonator::new(Hertz::from_kilohertz(100.0), 300.0, SpringConstant::new(15.0))?;
+/// let loading = MassLoading::new(r, MassPlacement::Distributed);
+/// // 10 pg of bound protein shifts the resonance down:
+/// let df = loading.frequency_shift(Kilograms::from_picograms(10.0));
+/// assert!(df.value() < 0.0);
+/// # Ok::<(), canti_mems::MemsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MassLoading {
+    resonator: Resonator,
+    placement: MassPlacement,
+}
+
+impl MassLoading {
+    /// Creates a mass-loading model.
+    #[must_use]
+    pub fn new(resonator: Resonator, placement: MassPlacement) -> Self {
+        Self {
+            resonator,
+            placement,
+        }
+    }
+
+    /// The unloaded resonator.
+    #[must_use]
+    pub fn resonator(&self) -> Resonator {
+        self.resonator
+    }
+
+    /// The mass placement in use.
+    #[must_use]
+    pub fn placement(&self) -> MassPlacement {
+        self.placement
+    }
+
+    /// Exact loaded frequency for added mass `dm`.
+    #[must_use]
+    pub fn loaded_frequency(&self, dm: Kilograms) -> Hertz {
+        let m_eff = self.resonator.effective_mass().value();
+        let dm_eff = self.placement.modal_weight() * dm.value().max(0.0);
+        Hertz::new(
+            self.resonator.resonant_frequency().value() * (m_eff / (m_eff + dm_eff)).sqrt(),
+        )
+    }
+
+    /// Exact frequency shift Δf = f' − f₀ (negative for added mass).
+    #[must_use]
+    pub fn frequency_shift(&self, dm: Kilograms) -> Hertz {
+        self.loaded_frequency(dm) - self.resonator.resonant_frequency()
+    }
+
+    /// Small-mass responsivity |df/dm| = α·f₀/(2·m_eff) in Hz/kg.
+    #[must_use]
+    pub fn responsivity(&self) -> f64 {
+        self.placement.modal_weight() * self.resonator.resonant_frequency().value()
+            / (2.0 * self.resonator.effective_mass().value())
+    }
+
+    /// Minimum detectable mass for a frequency noise floor `freq_noise`
+    /// (e.g. the Allan-deviation-derived resolution of the on-chip
+    /// counter): δm = δf / responsivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] unless `freq_noise` is strictly positive.
+    pub fn min_detectable_mass(&self, freq_noise: Hertz) -> Result<Kilograms, MemsError> {
+        ensure_positive("frequency noise", freq_noise.value())?;
+        Ok(Kilograms::new(freq_noise.value() / self.responsivity()))
+    }
+
+    /// Inverts a measured frequency shift back to bound mass (small-shift
+    /// linearization).
+    #[must_use]
+    pub fn mass_from_shift(&self, df: Hertz) -> Kilograms {
+        Kilograms::new(df.value().abs() / self.responsivity())
+    }
+}
+
+/// Frequency shift of mode `n` for *uniformly distributed* added mass
+/// `dm` on `beam`.
+///
+/// A uniform layer scales the mass per length µ without changing the mode
+/// shape, so **every** mode shifts by the same relative amount:
+/// Δfₙ/fₙ = −Δm/(2m). Because fₙ grows as λₙ², the *absolute* responsivity
+/// |Δfₙ|/Δm = fₙ/(2m) grows with mode number — the classic argument for
+/// operating mass sensors in higher modes.
+///
+/// # Errors
+///
+/// Returns [`MemsError::ModeOutOfRange`] for an unsupported mode.
+pub fn uniform_mass_mode_shift(
+    beam: &CompositeBeam,
+    n: usize,
+    dm: Kilograms,
+) -> Result<Hertz, MemsError> {
+    let f_n = beam.mode_frequency(n)?;
+    let m = beam.mass().value();
+    // exact: f' = f * sqrt(m/(m+dm))
+    let loaded = f_n.value() * (m / (m + dm.value().max(0.0))).sqrt();
+    Ok(Hertz::new(loaded - f_n.value()))
+}
+
+/// Mode-`n` responsivity to uniformly distributed mass, |dfₙ/dm| = fₙ/(2m)
+/// in Hz/kg.
+///
+/// # Errors
+///
+/// Returns [`MemsError::ModeOutOfRange`] for an unsupported mode.
+pub fn uniform_mass_mode_responsivity(beam: &CompositeBeam, n: usize) -> Result<f64, MemsError> {
+    Ok(beam.mode_frequency(n)?.value() / (2.0 * beam.mass().value()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canti_units::SpringConstant;
+
+    fn loading(placement: MassPlacement) -> MassLoading {
+        let r = Resonator::new(
+            Hertz::from_kilohertz(100.0),
+            300.0,
+            SpringConstant::new(15.0),
+        )
+        .unwrap();
+        MassLoading::new(r, placement)
+    }
+
+    #[test]
+    fn distributed_fraction_value() {
+        assert!((distributed_mass_fraction() - 0.242_67).abs() < 1e-4);
+        assert_eq!(MassPlacement::Tip.modal_weight(), 1.0);
+    }
+
+    #[test]
+    fn shift_is_negative_and_monotonic() {
+        let l = loading(MassPlacement::Tip);
+        let d1 = l.frequency_shift(Kilograms::from_picograms(1.0)).value();
+        let d10 = l.frequency_shift(Kilograms::from_picograms(10.0)).value();
+        assert!(d1 < 0.0);
+        assert!(d10 < d1, "more mass, more (negative) shift");
+        // zero mass, zero shift
+        assert_eq!(l.frequency_shift(Kilograms::zero()).value(), 0.0);
+    }
+
+    #[test]
+    fn exact_vs_linearized_small_mass() {
+        let l = loading(MassPlacement::Tip);
+        let dm = Kilograms::from_femtograms(100.0);
+        let exact = -l.frequency_shift(dm).value();
+        let linear = l.responsivity() * dm.value();
+        // truncation error is O(dm/m_eff) ~ 2.6e-6 for this mass
+        assert!(
+            (exact - linear).abs() / linear < 1e-5,
+            "exact {exact}, linear {linear}"
+        );
+    }
+
+    #[test]
+    fn tip_mass_counts_about_four_times_distributed() {
+        let tip = loading(MassPlacement::Tip);
+        let dist = loading(MassPlacement::Distributed);
+        let dm = Kilograms::from_picograms(5.0);
+        let ratio = tip.frequency_shift(dm).value() / dist.frequency_shift(dm).value();
+        assert!(
+            (ratio - 1.0 / distributed_mass_fraction()).abs() < 0.01,
+            "ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn doubling_m_eff_gives_sqrt2_drop() {
+        let l = loading(MassPlacement::Tip);
+        let m_eff = l.resonator().effective_mass();
+        let f = l.loaded_frequency(m_eff);
+        let expected = 100e3 / 2f64.sqrt();
+        assert!((f.value() - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn min_detectable_mass_roundtrip() {
+        let l = loading(MassPlacement::Distributed);
+        let dm_min = l.min_detectable_mass(Hertz::new(0.1)).unwrap();
+        let shift = l.frequency_shift(dm_min).value().abs();
+        assert!((shift - 0.1).abs() / 0.1 < 1e-3, "shift {shift}");
+        assert!(l.min_detectable_mass(Hertz::zero()).is_err());
+        // mass_from_shift inverts
+        let back = l.mass_from_shift(Hertz::new(-0.1));
+        assert!((back.value() - dm_min.value()).abs() / dm_min.value() < 1e-9);
+    }
+
+    #[test]
+    fn higher_modes_more_responsive_same_relative_shift() {
+        use crate::geometry::CantileverGeometry;
+        let beam = CompositeBeam::new(&CantileverGeometry::paper_resonant().unwrap()).unwrap();
+        let dm = Kilograms::from_nanograms(1.0);
+        let mut prev_resp = 0.0;
+        let rel1 = uniform_mass_mode_shift(&beam, 1, dm).unwrap().value()
+            / beam.mode_frequency(1).unwrap().value();
+        for n in 1..=4 {
+            let resp = uniform_mass_mode_responsivity(&beam, n).unwrap();
+            assert!(resp > prev_resp, "mode {n} must be more responsive");
+            prev_resp = resp;
+            // relative shift identical across modes (uniform layer)
+            let rel = uniform_mass_mode_shift(&beam, n, dm).unwrap().value()
+                / beam.mode_frequency(n).unwrap().value();
+            assert!((rel - rel1).abs() < 1e-12, "mode {n}: {rel} vs {rel1}");
+        }
+        // responsivity ratio mode2/mode1 = (lambda2/lambda1)^2 = 6.27
+        let r1 = uniform_mass_mode_responsivity(&beam, 1).unwrap();
+        let r2 = uniform_mass_mode_responsivity(&beam, 2).unwrap();
+        assert!((r2 / r1 - 6.2669).abs() < 1e-3);
+        assert!(uniform_mass_mode_responsivity(&beam, 9).is_err());
+    }
+
+    #[test]
+    fn picogram_sensitivity_scale() {
+        // MEMS resonators resolve picograms with sub-Hz counters.
+        let l = loading(MassPlacement::Distributed);
+        let dm = l.min_detectable_mass(Hertz::new(1.0)).unwrap();
+        assert!(
+            dm.as_picograms() > 1e-3 && dm.as_picograms() < 1e3,
+            "min mass {} pg",
+            dm.as_picograms()
+        );
+    }
+}

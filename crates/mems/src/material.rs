@@ -1,0 +1,317 @@
+//! Materials of the 0.8 µm CMOS stack and their mechanical / piezoresistive
+//! constants.
+//!
+//! The cantilever released by the paper's post-CMOS micromachining is mostly
+//! n-well crystalline silicon (the electrochemical etch-stop lands on the
+//! n-well junction), optionally carrying dielectric and metal layers on top
+//! (the actuation coil, passivation) and a functionalization coating (gold)
+//! on the active face.
+
+use canti_units::{KgPerM3, Pascals};
+
+use crate::error::ensure_positive;
+use crate::MemsError;
+
+/// An isotropic (or effective-orientation) structural material.
+///
+/// # Examples
+///
+/// ```
+/// use canti_mems::material::Material;
+///
+/// let si = Material::silicon_110();
+/// assert!(si.youngs_modulus().value() > 1e11);
+/// // plate modulus E/(1-nu^2) always exceeds E:
+/// assert!(si.plate_modulus().value() > si.youngs_modulus().value());
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Material {
+    name: String,
+    youngs_modulus: Pascals,
+    density: KgPerM3,
+    poisson: f64,
+}
+
+impl Material {
+    /// Creates a custom material.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] unless modulus and density are strictly
+    /// positive and the Poisson ratio lies in `[0, 0.5)`.
+    pub fn new(
+        name: impl Into<String>,
+        youngs_modulus: Pascals,
+        density: KgPerM3,
+        poisson: f64,
+    ) -> Result<Self, MemsError> {
+        ensure_positive("Young's modulus", youngs_modulus.value())?;
+        ensure_positive("density", density.value())?;
+        if !poisson.is_finite() || !(0.0..0.5).contains(&poisson) {
+            return Err(MemsError::NonPositive {
+                what: "Poisson ratio (must be in [0, 0.5))",
+                value: poisson,
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            youngs_modulus,
+            density,
+            poisson,
+        })
+    }
+
+    /// Single-crystal silicon along ⟨100⟩ (E = 130 GPa).
+    #[must_use]
+    pub fn silicon_100() -> Self {
+        Self {
+            name: "Si <100>".to_owned(),
+            youngs_modulus: Pascals::from_gigapascals(130.0),
+            density: KgPerM3::new(2330.0),
+            poisson: 0.28,
+        }
+    }
+
+    /// Single-crystal silicon along ⟨110⟩ (E = 169 GPa) — the usual beam
+    /// axis for KOH-etched cantilevers on (100) wafers.
+    #[must_use]
+    pub fn silicon_110() -> Self {
+        Self {
+            name: "Si <110>".to_owned(),
+            youngs_modulus: Pascals::from_gigapascals(169.0),
+            density: KgPerM3::new(2330.0),
+            poisson: 0.064,
+        }
+    }
+
+    /// Thermal/deposited silicon dioxide.
+    #[must_use]
+    pub fn silicon_dioxide() -> Self {
+        Self {
+            name: "SiO2".to_owned(),
+            youngs_modulus: Pascals::from_gigapascals(70.0),
+            density: KgPerM3::new(2200.0),
+            poisson: 0.17,
+        }
+    }
+
+    /// LPCVD silicon nitride (passivation).
+    #[must_use]
+    pub fn silicon_nitride() -> Self {
+        Self {
+            name: "Si3N4".to_owned(),
+            youngs_modulus: Pascals::from_gigapascals(250.0),
+            density: KgPerM3::new(3100.0),
+            poisson: 0.23,
+        }
+    }
+
+    /// Sputtered aluminum interconnect metal.
+    #[must_use]
+    pub fn aluminum() -> Self {
+        Self {
+            name: "Al".to_owned(),
+            youngs_modulus: Pascals::from_gigapascals(70.0),
+            density: KgPerM3::new(2700.0),
+            poisson: 0.35,
+        }
+    }
+
+    /// Evaporated gold — the functionalization layer thiol chemistry binds to.
+    #[must_use]
+    pub fn gold() -> Self {
+        Self {
+            name: "Au".to_owned(),
+            youngs_modulus: Pascals::from_gigapascals(79.0),
+            density: KgPerM3::new(19_300.0),
+            poisson: 0.44,
+        }
+    }
+
+    /// LPCVD polysilicon (gate/resistor material).
+    #[must_use]
+    pub fn polysilicon() -> Self {
+        Self {
+            name: "poly-Si".to_owned(),
+            youngs_modulus: Pascals::from_gigapascals(160.0),
+            density: KgPerM3::new(2330.0),
+            poisson: 0.22,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Young's modulus E.
+    #[must_use]
+    pub fn youngs_modulus(&self) -> Pascals {
+        self.youngs_modulus
+    }
+
+    /// Mass density ρ.
+    #[must_use]
+    pub fn density(&self) -> KgPerM3 {
+        self.density
+    }
+
+    /// Poisson ratio ν.
+    #[must_use]
+    pub fn poisson(&self) -> f64 {
+        self.poisson
+    }
+
+    /// Plate (biaxial) modulus E/(1 − ν²), appropriate for wide beams
+    /// (w ≫ t), which biosensor cantilevers are.
+    #[must_use]
+    pub fn plate_modulus(&self) -> Pascals {
+        Pascals::new(self.youngs_modulus.value() / (1.0 - self.poisson * self.poisson))
+    }
+
+    /// Biaxial modulus E/(1 − ν) used in Stoney-type surface-stress
+    /// formulas.
+    #[must_use]
+    pub fn biaxial_modulus(&self) -> Pascals {
+        Pascals::new(self.youngs_modulus.value() / (1.0 - self.poisson))
+    }
+}
+
+impl std::fmt::Display for Material {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (E = {:.0} GPa, rho = {:.0} kg/m^3)",
+            self.name,
+            self.youngs_modulus.value() / 1e9,
+            self.density.value()
+        )
+    }
+}
+
+/// Piezoresistive coefficients of a silicon resistor, 1/Pa.
+///
+/// `pi_l` couples to stress along the current direction, `pi_t` to stress
+/// transverse to it: ΔR/R = π_l·σ_l + π_t·σ_t.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PiezoCoefficients {
+    /// Longitudinal coefficient π_l in 1/Pa.
+    pub pi_l: f64,
+    /// Transverse coefficient π_t in 1/Pa.
+    pub pi_t: f64,
+}
+
+impl PiezoCoefficients {
+    /// p-type diffused resistor along ⟨110⟩ on a (100) wafer — the standard
+    /// high-sensitivity choice: π_l = +71.8·10⁻¹¹, π_t = −66.3·10⁻¹¹ 1/Pa.
+    #[must_use]
+    pub fn p_silicon_110() -> Self {
+        Self {
+            pi_l: 71.8e-11,
+            pi_t: -66.3e-11,
+        }
+    }
+
+    /// n-type diffused resistor along ⟨100⟩: π_l = −102.2·10⁻¹¹,
+    /// π_t = +53.4·10⁻¹¹ 1/Pa.
+    #[must_use]
+    pub fn n_silicon_100() -> Self {
+        Self {
+            pi_l: -102.2e-11,
+            pi_t: 53.4e-11,
+        }
+    }
+
+    /// Effective coefficients of a PMOS channel in the triode region used
+    /// as a stress gauge (mobility piezo-effect, ⟨110⟩ channel). Roughly
+    /// the p-resistor values attenuated by the inversion-layer confinement.
+    #[must_use]
+    pub fn pmos_triode_110() -> Self {
+        Self {
+            pi_l: 60.0e-11,
+            pi_t: -55.0e-11,
+        }
+    }
+
+    /// Fractional resistance change for the given longitudinal and
+    /// transverse stresses.
+    #[must_use]
+    pub fn delta_r_over_r(&self, sigma_l: Pascals, sigma_t: Pascals) -> f64 {
+        self.pi_l * sigma_l.value() + self.pi_t * sigma_t.value()
+    }
+
+    /// Effective gauge factor K = (ΔR/R)/ε for uniaxial longitudinal stress
+    /// in a material with Young's modulus `e` (ε = σ/E).
+    #[must_use]
+    pub fn gauge_factor(&self, e: Pascals) -> f64 {
+        self.pi_l * e.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_sane() {
+        for m in [
+            Material::silicon_100(),
+            Material::silicon_110(),
+            Material::silicon_dioxide(),
+            Material::silicon_nitride(),
+            Material::aluminum(),
+            Material::gold(),
+            Material::polysilicon(),
+        ] {
+            assert!(m.youngs_modulus().value() > 1e10, "{}", m.name());
+            assert!(m.density().value() > 1000.0, "{}", m.name());
+            assert!((0.0..0.5).contains(&m.poisson()), "{}", m.name());
+            assert!(m.plate_modulus().value() >= m.youngs_modulus().value());
+            assert!(m.biaxial_modulus().value() >= m.plate_modulus().value());
+        }
+    }
+
+    #[test]
+    fn custom_material_validation() {
+        let e = Pascals::from_gigapascals(100.0);
+        let rho = KgPerM3::new(2000.0);
+        assert!(Material::new("x", Pascals::zero(), rho, 0.2).is_err());
+        assert!(Material::new("x", e, KgPerM3::new(-1.0), 0.2).is_err());
+        assert!(Material::new("x", e, rho, 0.5).is_err());
+        assert!(Material::new("x", e, rho, -0.1).is_err());
+        assert!(Material::new("x", e, rho, 0.3).is_ok());
+    }
+
+    #[test]
+    fn p_silicon_gauge_factor_is_textbook_scale() {
+        // K = pi_l * E ~ 71.8e-11 * 169e9 ~ 121 — silicon gauges are
+        // famously ~2 orders above metal-foil gauges (K ~ 2).
+        let k = PiezoCoefficients::p_silicon_110()
+            .gauge_factor(Material::silicon_110().youngs_modulus());
+        assert!(k > 100.0 && k < 140.0, "gauge factor {k}");
+    }
+
+    #[test]
+    fn delta_r_sign_conventions() {
+        let p = PiezoCoefficients::p_silicon_110();
+        // tensile longitudinal stress raises R for p-type
+        assert!(p.delta_r_over_r(Pascals::from_megapascals(10.0), Pascals::zero()) > 0.0);
+        // tensile transverse stress lowers R for p-type
+        assert!(p.delta_r_over_r(Pascals::zero(), Pascals::from_megapascals(10.0)) < 0.0);
+        let n = PiezoCoefficients::n_silicon_100();
+        assert!(n.delta_r_over_r(Pascals::from_megapascals(10.0), Pascals::zero()) < 0.0);
+    }
+
+    #[test]
+    fn longitudinal_transverse_pair_cancels_in_sum_for_matched_stress() {
+        // The Wheatstone bridge exploits pi_l ~ -pi_t: longitudinal and
+        // transverse resistors move oppositely under the same stress.
+        let p = PiezoCoefficients::p_silicon_110();
+        let s = Pascals::from_megapascals(5.0);
+        let dl = p.delta_r_over_r(s, Pascals::zero());
+        let dt = p.delta_r_over_r(Pascals::zero(), s);
+        assert!(dl * dt < 0.0);
+        assert!((dl + dt).abs() < dl.abs() * 0.1, "near-cancellation");
+    }
+}

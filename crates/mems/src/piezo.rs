@@ -1,0 +1,416 @@
+//! Piezoresistive transduction: beam stress → fractional resistance change.
+//!
+//! Both of the paper's systems read the cantilever with a piezoresistive
+//! Wheatstone bridge; only the placement differs:
+//!
+//! * **resonant mode** — the bridge sits *at the clamped edge*, "where the
+//!   maximum mechanical stress is induced" (the mode-1 curvature peaks at
+//!   ξ = 0);
+//! * **static mode** — the bridge is *distributed over the cantilever
+//!   length*: surface-stress loading produces uniform curvature, so every
+//!   segment contributes equal signal and a longer gauge just lowers 1/f
+//!   noise.
+//!
+//! This module turns a mechanical load case into the four ΔR/R values of a
+//! bridge; the electrical network (bias, offset, noise) lives in
+//! `canti-analog`.
+
+use canti_units::{Meters, Newtons, Pascals, SurfaceStress};
+
+use crate::beam::CompositeBeam;
+use crate::error::ensure_position;
+use crate::material::PiezoCoefficients;
+use crate::surface_stress::SurfaceStressLoad;
+use crate::MemsError;
+
+/// Current direction of a gauge relative to the beam axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum GaugeOrientation {
+    /// Current flows along the beam axis — couples through π_l.
+    Longitudinal,
+    /// Current flows across the beam — couples through π_t.
+    Transverse,
+}
+
+/// A mechanical load case the gauge can be asked about.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LoadCase {
+    /// Static point force at the tip.
+    TipForce(Newtons),
+    /// Uniform differential surface stress on the top face (static
+    /// biosensing).
+    UniformSurfaceStress(SurfaceStress),
+    /// Mode-1 vibration with the given tip amplitude (resonant
+    /// biosensing); the returned ΔR/R is the *amplitude* of the sinusoidal
+    /// resistance modulation.
+    Mode1TipAmplitude(Meters),
+}
+
+/// One piezoresistive gauge on the beam.
+///
+/// # Examples
+///
+/// ```
+/// use canti_mems::beam::CompositeBeam;
+/// use canti_mems::geometry::CantileverGeometry;
+/// use canti_mems::piezo::{GaugeOrientation, LoadCase, PiezoGauge};
+/// use canti_units::{Meters, SurfaceStress};
+///
+/// let geom = CantileverGeometry::paper_static()?;
+/// let beam = CompositeBeam::new(&geom)?;
+/// let gauge = PiezoGauge::diffused_at_silicon_surface(
+///     &beam, GaugeOrientation::Longitudinal, (0.0, 1.0))?;
+/// let dr = gauge.delta_r(&beam, LoadCase::UniformSurfaceStress(
+///     SurfaceStress::from_millinewtons_per_meter(5.0)))?;
+/// assert!(dr.abs() > 0.0);
+/// # Ok::<(), canti_mems::MemsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PiezoGauge {
+    coefficients: PiezoCoefficients,
+    orientation: GaugeOrientation,
+    /// Normalized span `[start, end]` along the beam the gauge occupies.
+    span: (f64, f64),
+    /// Height of the gauge plane above the stack bottom.
+    z: Meters,
+    /// Young's modulus of the layer the gauge lives in.
+    layer_modulus: Pascals,
+}
+
+impl PiezoGauge {
+    /// Creates a gauge at an explicit stack height.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] if the span is not a nondegenerate subinterval
+    /// of `[0, 1]`.
+    pub fn new(
+        coefficients: PiezoCoefficients,
+        orientation: GaugeOrientation,
+        span: (f64, f64),
+        z: Meters,
+        layer_modulus: Pascals,
+    ) -> Result<Self, MemsError> {
+        ensure_position(span.0)?;
+        ensure_position(span.1)?;
+        if span.1 <= span.0 {
+            return Err(MemsError::PositionOutOfRange { value: span.1 });
+        }
+        Ok(Self {
+            coefficients,
+            orientation,
+            span,
+            z,
+            layer_modulus,
+        })
+    }
+
+    /// A p-type diffused resistor just below the top surface of the silicon
+    /// core (the stack's first layer), the paper's static-readout gauge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] for an invalid span.
+    pub fn diffused_at_silicon_surface(
+        beam: &CompositeBeam,
+        orientation: GaugeOrientation,
+        span: (f64, f64),
+    ) -> Result<Self, MemsError> {
+        let core = &beam.geometry().layers()[0];
+        Self::new(
+            PiezoCoefficients::p_silicon_110(),
+            orientation,
+            span,
+            core.thickness,
+            core.material.youngs_modulus(),
+        )
+    }
+
+    /// A PMOS transistor biased in the triode region used as a gauge — the
+    /// paper's resonant-readout choice ("higher resistivity and lower power
+    /// consumption compared to diffusion-type silicon resistors").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] for an invalid span.
+    pub fn pmos_at_silicon_surface(
+        beam: &CompositeBeam,
+        orientation: GaugeOrientation,
+        span: (f64, f64),
+    ) -> Result<Self, MemsError> {
+        let core = &beam.geometry().layers()[0];
+        Self::new(
+            PiezoCoefficients::pmos_triode_110(),
+            orientation,
+            span,
+            core.thickness,
+            core.material.youngs_modulus(),
+        )
+    }
+
+    /// The gauge's orientation.
+    #[must_use]
+    pub fn orientation(&self) -> GaugeOrientation {
+        self.orientation
+    }
+
+    /// The gauge's normalized span.
+    #[must_use]
+    pub fn span(&self) -> (f64, f64) {
+        self.span
+    }
+
+    /// The piezoresistive coefficients in use.
+    #[must_use]
+    pub fn coefficients(&self) -> PiezoCoefficients {
+        self.coefficients
+    }
+
+    /// Average curvature over the gauge span for a load case.
+    fn average_curvature(&self, beam: &CompositeBeam, load: LoadCase) -> Result<f64, MemsError> {
+        let (a, b) = self.span;
+        match load {
+            LoadCase::TipForce(f) => {
+                // kappa(xi) linear -> average at span midpoint
+                beam.tip_load_curvature(f, (a + b) / 2.0)
+            }
+            LoadCase::UniformSurfaceStress(sigma) => {
+                Ok(SurfaceStressLoad::new(beam).curvature(sigma))
+            }
+            LoadCase::Mode1TipAmplitude(amp) => {
+                // Simpson integration of the mode-1 curvature over the span.
+                let n = 32; // even
+                let h = (b - a) / f64::from(n);
+                let mut sum = 0.0;
+                for i in 0..=n {
+                    let xi = a + h * f64::from(i);
+                    let w = if i == 0 || i == n {
+                        1.0
+                    } else if i % 2 == 1 {
+                        4.0
+                    } else {
+                        2.0
+                    };
+                    sum += w * beam.mode_curvature(1, xi)?;
+                }
+                let integral = sum * h / 3.0;
+                Ok(integral / (b - a) * amp.value())
+            }
+        }
+    }
+
+    /// Fractional resistance change ΔR/R for a load case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] if the load case evaluates a position outside
+    /// the beam (cannot happen for a validated gauge).
+    pub fn delta_r(&self, beam: &CompositeBeam, load: LoadCase) -> Result<f64, MemsError> {
+        let kappa = self.average_curvature(beam, load)?;
+        let sigma = beam.bending_stress_at(self.layer_modulus, self.z, kappa);
+        Ok(match self.orientation {
+            GaugeOrientation::Longitudinal => self
+                .coefficients
+                .delta_r_over_r(sigma, Pascals::zero()),
+            GaugeOrientation::Transverse => self
+                .coefficients
+                .delta_r_over_r(Pascals::zero(), sigma),
+        })
+    }
+}
+
+/// The four gauges of a full-bridge arrangement, ordered so that adjacent
+/// bridge arms alternate orientation: `[L, T, L, T]`. With π_l and π_t of
+/// opposite sign this makes all four arms add constructively.
+///
+/// # Errors
+///
+/// Returns [`MemsError`] for an invalid span.
+pub fn full_bridge_gauges(
+    beam: &CompositeBeam,
+    pmos: bool,
+    span: (f64, f64),
+) -> Result<[PiezoGauge; 4], MemsError> {
+    let make = |orientation| {
+        if pmos {
+            PiezoGauge::pmos_at_silicon_surface(beam, orientation, span)
+        } else {
+            PiezoGauge::diffused_at_silicon_surface(beam, orientation, span)
+        }
+    };
+    Ok([
+        make(GaugeOrientation::Longitudinal)?,
+        make(GaugeOrientation::Transverse)?,
+        make(GaugeOrientation::Longitudinal)?,
+        make(GaugeOrientation::Transverse)?,
+    ])
+}
+
+/// Computes the four ΔR/R values of a bridge for a load case.
+///
+/// # Errors
+///
+/// Propagates any [`MemsError`] from gauge evaluation.
+pub fn bridge_deltas(
+    gauges: &[PiezoGauge; 4],
+    beam: &CompositeBeam,
+    load: LoadCase,
+) -> Result<[f64; 4], MemsError> {
+    Ok([
+        gauges[0].delta_r(beam, load)?,
+        gauges[1].delta_r(beam, load)?,
+        gauges[2].delta_r(beam, load)?,
+        gauges[3].delta_r(beam, load)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CantileverGeometry;
+
+    fn static_beam() -> CompositeBeam {
+        CompositeBeam::new(&CantileverGeometry::paper_static().unwrap()).unwrap()
+    }
+
+    fn resonant_beam() -> CompositeBeam {
+        CompositeBeam::new(&CantileverGeometry::paper_resonant().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn span_validation() {
+        let beam = static_beam();
+        assert!(
+            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.5, 0.5))
+                .is_err()
+        );
+        assert!(
+            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.2, 0.1))
+                .is_err()
+        );
+        assert!(
+            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 1.2))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn surface_stress_signal_independent_of_span() {
+        // Uniform curvature: a clamp-edge gauge and a full-length gauge see
+        // the same DR/R — the physics behind the paper's distributed bridge.
+        let beam = static_beam();
+        let sigma = SurfaceStress::from_millinewtons_per_meter(5.0);
+        let clamp =
+            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 0.1))
+                .unwrap();
+        let full =
+            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 1.0))
+                .unwrap();
+        let a = clamp.delta_r(&beam, LoadCase::UniformSurfaceStress(sigma)).unwrap();
+        let b = full.delta_r(&beam, LoadCase::UniformSurfaceStress(sigma)).unwrap();
+        assert!((a - b).abs() < 1e-15, "{a} vs {b}");
+        assert!(a.abs() > 1e-8, "signal must be nonzero");
+    }
+
+    #[test]
+    fn tip_force_signal_largest_at_clamp() {
+        let beam = static_beam();
+        let f = LoadCase::TipForce(Newtons::new(1e-8));
+        let clamp =
+            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 0.1))
+                .unwrap();
+        let tip =
+            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.8, 0.9))
+                .unwrap();
+        assert!(
+            clamp.delta_r(&beam, f).unwrap().abs() > tip.delta_r(&beam, f).unwrap().abs() * 5.0
+        );
+    }
+
+    #[test]
+    fn mode1_signal_largest_at_clamp() {
+        let beam = resonant_beam();
+        let load = LoadCase::Mode1TipAmplitude(Meters::from_nanometers(10.0));
+        let clamp =
+            PiezoGauge::pmos_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 0.1))
+                .unwrap();
+        let outer =
+            PiezoGauge::pmos_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.5, 0.6))
+                .unwrap();
+        let at_clamp = clamp.delta_r(&beam, load).unwrap().abs();
+        let at_mid = outer.delta_r(&beam, load).unwrap().abs();
+        assert!(
+            at_clamp > at_mid,
+            "clamp {at_clamp} must beat mid-beam {at_mid} — the paper's placement"
+        );
+    }
+
+    #[test]
+    fn longitudinal_and_transverse_have_opposite_sign() {
+        let beam = static_beam();
+        let sigma = LoadCase::UniformSurfaceStress(SurfaceStress::from_millinewtons_per_meter(5.0));
+        let l =
+            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 1.0))
+                .unwrap();
+        let t =
+            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Transverse, (0.0, 1.0))
+                .unwrap();
+        let dl = l.delta_r(&beam, sigma).unwrap();
+        let dt = t.delta_r(&beam, sigma).unwrap();
+        assert!(dl * dt < 0.0, "bridge arms must move oppositely: {dl} {dt}");
+    }
+
+    #[test]
+    fn signal_linear_in_load() {
+        let beam = static_beam();
+        let g =
+            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 1.0))
+                .unwrap();
+        let d1 = g
+            .delta_r(
+                &beam,
+                LoadCase::UniformSurfaceStress(SurfaceStress::from_millinewtons_per_meter(1.0)),
+            )
+            .unwrap();
+        let d10 = g
+            .delta_r(
+                &beam,
+                LoadCase::UniformSurfaceStress(SurfaceStress::from_millinewtons_per_meter(10.0)),
+            )
+            .unwrap();
+        assert!((d10 / d1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bridge_deltas_alternate_sign() {
+        let beam = resonant_beam();
+        let gauges = full_bridge_gauges(&beam, true, (0.0, 0.15)).unwrap();
+        let deltas = bridge_deltas(
+            &gauges,
+            &beam,
+            LoadCase::Mode1TipAmplitude(Meters::from_nanometers(50.0)),
+        )
+        .unwrap();
+        assert!(deltas[0] * deltas[1] < 0.0);
+        assert!(deltas[1] * deltas[2] < 0.0);
+        assert!(deltas[2] * deltas[3] < 0.0);
+        assert_eq!(deltas[0], deltas[2]);
+        assert_eq!(deltas[1], deltas[3]);
+    }
+
+    #[test]
+    fn pmos_gauge_slightly_less_sensitive_than_diffused() {
+        let beam = resonant_beam();
+        let load = LoadCase::Mode1TipAmplitude(Meters::from_nanometers(10.0));
+        let pmos =
+            PiezoGauge::pmos_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 0.1))
+                .unwrap();
+        let diff =
+            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 0.1))
+                .unwrap();
+        let p = pmos.delta_r(&beam, load).unwrap().abs();
+        let d = diff.delta_r(&beam, load).unwrap().abs();
+        assert!(p < d, "pmos {p} vs diffused {d}");
+        assert!(p > d * 0.5, "but within a factor of two");
+    }
+}

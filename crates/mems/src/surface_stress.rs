@@ -1,0 +1,216 @@
+//! Static bending from differential surface stress — the paper's Figure 1
+//! operating mode.
+//!
+//! When analyte adsorbs on the functionalized (top) face only, it changes
+//! that face's surface stress by Δσₛ (N/m). For a thin beam this is
+//! equivalent to a bending moment per unit width
+//!
+//! ```text
+//! M' = Δσₛ · (z_top − z_n)
+//! ```
+//!
+//! applied uniformly along the beam, producing **uniform curvature**
+//!
+//! ```text
+//! κ = Δσₛ · (z_top − z_n) · w / EI
+//! ```
+//!
+//! and a tip deflection δ = κL²/2. For a single-layer beam this reduces to
+//! the classic Stoney-type cantilever result δ = 3·Δσₛ·(1 − ν)·L²/(E·t²)
+//! (with the biaxial modulus). Because the curvature is uniform, the paper
+//! distributes the static-mode Wheatstone bridge along the whole beam
+//! length — every segment contributes equal signal.
+
+use canti_units::{Meters, SurfaceStress};
+
+use crate::beam::CompositeBeam;
+use crate::error::ensure_position;
+use crate::MemsError;
+
+/// Static surface-stress loading of a composite cantilever.
+///
+/// # Examples
+///
+/// ```
+/// use canti_mems::beam::CompositeBeam;
+/// use canti_mems::geometry::CantileverGeometry;
+/// use canti_mems::surface_stress::SurfaceStressLoad;
+/// use canti_units::SurfaceStress;
+///
+/// let geom = CantileverGeometry::paper_static()?;
+/// let beam = CompositeBeam::new(&geom)?;
+/// let load = SurfaceStressLoad::new(&beam);
+/// // 5 mN/m (a typical full protein monolayer) bends this beam by ~1 nm —
+/// // well within reach of the piezoresistive bridge + chopper amplifier:
+/// let tip = load.tip_deflection(SurfaceStress::from_millinewtons_per_meter(5.0));
+/// assert!(tip.as_nanometers() > 0.1);
+/// # Ok::<(), canti_mems::MemsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SurfaceStressLoad<'a> {
+    beam: &'a CompositeBeam,
+}
+
+impl<'a> SurfaceStressLoad<'a> {
+    /// Creates a surface-stress load model for `beam`. The stressed face is
+    /// the top of the layer stack (the functionalized face).
+    #[must_use]
+    pub fn new(beam: &'a CompositeBeam) -> Self {
+        Self { beam }
+    }
+
+    /// Moment arm of the stressed face: z_top − z_n.
+    #[must_use]
+    pub fn moment_arm(&self) -> Meters {
+        self.beam.geometry().total_thickness() - self.beam.neutral_axis()
+    }
+
+    /// Uniform curvature κ (1/m) induced by differential surface stress
+    /// `sigma` on the top face. Positive stress (tensile on top) bends the
+    /// beam upward in this sign convention.
+    #[must_use]
+    pub fn curvature(&self, sigma: SurfaceStress) -> f64 {
+        let w = self.beam.geometry().width().value();
+        sigma.value() * self.moment_arm().value() * w / self.beam.flexural_rigidity()
+    }
+
+    /// Deflection profile w(ξ) = κ·(ξL)²/2 at normalized position ξ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] for ξ outside `[0, 1]`.
+    pub fn deflection(&self, sigma: SurfaceStress, xi: f64) -> Result<Meters, MemsError> {
+        ensure_position(xi)?;
+        let l = self.beam.geometry().length().value();
+        Ok(Meters::new(self.curvature(sigma) * (xi * l).powi(2) / 2.0))
+    }
+
+    /// Tip deflection δ = κL²/2.
+    #[must_use]
+    pub fn tip_deflection(&self, sigma: SurfaceStress) -> Meters {
+        let l = self.beam.geometry().length().value();
+        Meters::new(self.curvature(sigma) * l * l / 2.0)
+    }
+
+    /// Deflection responsivity dδ/dσₛ in meters per (N/m) — a single
+    /// figure of merit for static-mode beam design.
+    #[must_use]
+    pub fn responsivity(&self) -> f64 {
+        self.tip_deflection(SurfaceStress::new(1.0)).value()
+    }
+
+    /// Minimum detectable surface stress for a given deflection noise
+    /// floor.
+    #[must_use]
+    pub fn min_detectable_stress(&self, deflection_noise: Meters) -> SurfaceStress {
+        SurfaceStress::new(deflection_noise.value() / self.responsivity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::ElasticModel;
+    use crate::geometry::CantileverGeometry;
+    use crate::material::Material;
+
+    fn uniform_beam(l_um: f64, w_um: f64, t_um: f64) -> CompositeBeam {
+        let g = CantileverGeometry::uniform(
+            Meters::from_micrometers(l_um),
+            Meters::from_micrometers(w_um),
+            Meters::from_micrometers(t_um),
+            Material::silicon_110(),
+        )
+        .unwrap();
+        CompositeBeam::with_model(&g, ElasticModel::Beam).unwrap()
+    }
+
+    #[test]
+    fn stoney_cantilever_formula_single_layer() {
+        // Beam model: delta = 3 sigma L^2 / (E t^2)
+        let beam = uniform_beam(500.0, 100.0, 5.0);
+        let load = SurfaceStressLoad::new(&beam);
+        let sigma = SurfaceStress::from_millinewtons_per_meter(5.0);
+        let e = Material::silicon_110().youngs_modulus().value();
+        let expected = 3.0 * sigma.value() * (500e-6f64).powi(2) / (e * (5e-6f64).powi(2));
+        let tip = load.tip_deflection(sigma).value();
+        assert!(
+            (tip - expected).abs() / expected < 1e-12,
+            "tip {tip}, Stoney {expected}"
+        );
+    }
+
+    #[test]
+    fn deflection_quadratic_in_position() {
+        let beam = uniform_beam(500.0, 100.0, 5.0);
+        let load = SurfaceStressLoad::new(&beam);
+        let sigma = SurfaceStress::from_millinewtons_per_meter(1.0);
+        let half = load.deflection(sigma, 0.5).unwrap().value();
+        let full = load.deflection(sigma, 1.0).unwrap().value();
+        assert!((full / half - 4.0).abs() < 1e-12, "w ~ xi^2");
+        assert_eq!(load.deflection(sigma, 0.0).unwrap().value(), 0.0);
+        assert!(load.deflection(sigma, 1.1).is_err());
+    }
+
+    #[test]
+    fn deflection_linear_in_stress() {
+        let beam = uniform_beam(500.0, 100.0, 5.0);
+        let load = SurfaceStressLoad::new(&beam);
+        let d1 = load
+            .tip_deflection(SurfaceStress::from_millinewtons_per_meter(1.0))
+            .value();
+        let d5 = load
+            .tip_deflection(SurfaceStress::from_millinewtons_per_meter(5.0))
+            .value();
+        assert!((d5 / d1 - 5.0).abs() < 1e-12);
+        // negative (compressive) stress bends the other way
+        let dn = load
+            .tip_deflection(SurfaceStress::from_millinewtons_per_meter(-1.0))
+            .value();
+        assert!((dn + d1).abs() < 1e-18);
+    }
+
+    #[test]
+    fn longer_thinner_beams_are_more_responsive() {
+        let short = uniform_beam(200.0, 100.0, 5.0);
+        let long = uniform_beam(500.0, 100.0, 5.0);
+        let thick = uniform_beam(500.0, 100.0, 8.0);
+        assert!(
+            SurfaceStressLoad::new(&long).responsivity()
+                > SurfaceStressLoad::new(&short).responsivity()
+        );
+        assert!(
+            SurfaceStressLoad::new(&long).responsivity()
+                > SurfaceStressLoad::new(&thick).responsivity()
+        );
+    }
+
+    #[test]
+    fn responsivity_independent_of_width_for_uniform_beam() {
+        // sigma enters per width; EI ~ width -> width cancels.
+        let narrow = uniform_beam(500.0, 50.0, 5.0);
+        let wide = uniform_beam(500.0, 150.0, 5.0);
+        let rn = SurfaceStressLoad::new(&narrow).responsivity();
+        let rw = SurfaceStressLoad::new(&wide).responsivity();
+        assert!((rn - rw).abs() / rn < 1e-12);
+    }
+
+    #[test]
+    fn min_detectable_stress_inverse_of_responsivity() {
+        let beam = uniform_beam(500.0, 100.0, 5.0);
+        let load = SurfaceStressLoad::new(&beam);
+        let noise = Meters::from_nanometers(1.0);
+        let sigma_min = load.min_detectable_stress(noise);
+        let check = load.tip_deflection(sigma_min).value();
+        assert!((check - 1e-9).abs() / 1e-9 < 1e-12);
+        // single-digit mN/m resolution for 1 nm deflection noise on this beam
+        assert!(sigma_min.as_millinewtons_per_meter() < 10.0);
+    }
+
+    #[test]
+    fn moment_arm_for_uniform_beam_is_half_thickness() {
+        let beam = uniform_beam(500.0, 100.0, 5.0);
+        let load = SurfaceStressLoad::new(&beam);
+        assert!((load.moment_arm().as_micrometers() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,253 @@
+//! Thermal effects: bimorph bending and resonant-frequency drift.
+//!
+//! Temperature is the biosensor's main systematic error source, and the
+//! reason the paper's array has a *reference* cantilever:
+//!
+//! * a multilayer beam with mismatched thermal expansion is a **bimorph**:
+//!   ΔT bends it exactly like a differential surface stress does, at
+//!   mN/m-per-kelvin scale — easily swamping a biological signal;
+//! * silicon's modulus softens with temperature, drifting the resonant
+//!   frequency at roughly −30 ppm/K.
+//!
+//! Both effects are *common* to sensing and reference beams on the same
+//! die, which is what differential readout exploits.
+
+use canti_units::{Hertz, Kelvin, SurfaceStress};
+
+use crate::beam::CompositeBeam;
+use crate::error::ensure_positive;
+use crate::MemsError;
+
+/// Linear coefficient of thermal expansion, 1/K, looked up by material
+/// name as used in [`crate::material::Material`].
+#[must_use]
+pub fn thermal_expansion(material_name: &str) -> f64 {
+    match material_name {
+        name if name.starts_with("Si <") => 2.6e-6,
+        "SiO2" => 0.5e-6,
+        "Si3N4" => 3.3e-6,
+        "Al" => 23.1e-6,
+        "Au" => 14.2e-6,
+        "poly-Si" => 2.8e-6,
+        _ => 3.0e-6,
+    }
+}
+
+/// Temperature coefficient of silicon's Young's modulus, 1/K
+/// (dE/dT / E ≈ −60 ppm/K ⇒ df/dT / f ≈ −30 ppm/K).
+pub const SILICON_MODULUS_TC: f64 = -60e-6;
+
+/// Thermal response of a composite beam.
+///
+/// # Examples
+///
+/// ```
+/// use canti_mems::beam::CompositeBeam;
+/// use canti_mems::geometry::CantileverGeometry;
+/// use canti_mems::thermal::ThermalModel;
+/// use canti_units::Kelvin;
+///
+/// let beam = CompositeBeam::new(&CantileverGeometry::paper_resonant()?)?;
+/// let thermal = ThermalModel::new(&beam);
+/// // 1 K of drift produces an mN/m-scale equivalent surface stress:
+/// let sigma = thermal.equivalent_surface_stress(1.0);
+/// assert!(sigma.value().abs() > 1e-5);
+/// let _ = Kelvin::new(300.0);
+/// # Ok::<(), canti_mems::MemsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalModel<'a> {
+    beam: &'a CompositeBeam,
+}
+
+impl<'a> ThermalModel<'a> {
+    /// Creates a thermal model for `beam`.
+    #[must_use]
+    pub fn new(beam: &'a CompositeBeam) -> Self {
+        Self { beam }
+    }
+
+    /// Bimorph curvature per kelvin, 1/(m·K).
+    ///
+    /// Transformed-section result: each layer carries a thermal force
+    /// N_i = E_i·t_i·α_i·ΔT per unit width; the net moment about the
+    /// neutral axis is M' = Σ N_i·(z_i − z_n), giving
+    /// κ = M'·w/EI per kelvin. A single-material beam gives exactly zero.
+    #[must_use]
+    pub fn bimorph_curvature_per_kelvin(&self) -> f64 {
+        let z_n = self.beam.neutral_axis().value();
+        let mut z = 0.0;
+        let mut moment_per_width = 0.0;
+        for layer in self.beam.geometry().layers() {
+            let t = layer.thickness.value();
+            let e = layer.material.youngs_modulus().value();
+            let alpha = thermal_expansion(layer.material.name());
+            let zc = z + t / 2.0;
+            moment_per_width += e * t * alpha * (zc - z_n);
+            z += t;
+        }
+        moment_per_width * self.beam.geometry().width().value() / self.beam.flexural_rigidity()
+    }
+
+    /// Tip deflection per kelvin: κ/K · L²/2.
+    #[must_use]
+    pub fn tip_deflection_per_kelvin(&self) -> f64 {
+        let l = self.beam.geometry().length().value();
+        self.bimorph_curvature_per_kelvin() * l * l / 2.0
+    }
+
+    /// The differential surface stress that would produce the same bending
+    /// as a temperature change `delta_t` (K) — the "disguise" thermal
+    /// drift wears when it reaches the static readout.
+    #[must_use]
+    pub fn equivalent_surface_stress(&self, delta_t: f64) -> SurfaceStress {
+        // kappa = sigma * arm * w / EI  =>  sigma = kappa * EI / (arm * w)
+        let arm = self.beam.geometry().total_thickness().value()
+            - self.beam.neutral_axis().value();
+        let w = self.beam.geometry().width().value();
+        let kappa = self.bimorph_curvature_per_kelvin() * delta_t;
+        SurfaceStress::new(kappa * self.beam.flexural_rigidity() / (arm * w))
+    }
+
+    /// Fractional resonant-frequency drift per kelvin,
+    /// (df/dT)/f ≈ TC_E/2 for a silicon-dominated beam.
+    #[must_use]
+    pub fn frequency_tc_per_kelvin(&self) -> f64 {
+        SILICON_MODULUS_TC / 2.0
+    }
+
+    /// Resonant frequency at temperature `t`, relative to a nominal
+    /// frequency `f0` quoted at `t0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError`] for non-positive temperatures.
+    pub fn frequency_at(
+        &self,
+        f0: Hertz,
+        t0: Kelvin,
+        t: Kelvin,
+    ) -> Result<Hertz, MemsError> {
+        ensure_positive("reference temperature", t0.value())?;
+        ensure_positive("temperature", t.value())?;
+        let dt = t.value() - t0.value();
+        Ok(Hertz::new(
+            f0.value() * (1.0 + self.frequency_tc_per_kelvin() * dt),
+        ))
+    }
+
+    /// The mass error a naive (non-referenced) resonant readout makes when
+    /// the temperature drifts by `delta_t`: the frequency TC shift read as
+    /// if it were mass. `responsivity` in Hz/kg.
+    #[must_use]
+    pub fn apparent_mass_from_drift(&self, f0: Hertz, delta_t: f64, responsivity: f64) -> f64 {
+        (f0.value() * self.frequency_tc_per_kelvin() * delta_t).abs() / responsivity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CantileverGeometry;
+    use crate::material::Material;
+    use canti_units::Meters;
+
+    fn composite() -> CompositeBeam {
+        CompositeBeam::new(&CantileverGeometry::paper_resonant().unwrap()).unwrap()
+    }
+
+    fn uniform() -> CompositeBeam {
+        CompositeBeam::new(
+            &CantileverGeometry::uniform(
+                Meters::from_micrometers(500.0),
+                Meters::from_micrometers(100.0),
+                Meters::from_micrometers(5.0),
+                Material::silicon_110(),
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_material_beam_has_no_bimorph() {
+        let beam = uniform();
+        let thermal = ThermalModel::new(&beam);
+        assert!(
+            thermal.bimorph_curvature_per_kelvin().abs() < 1e-12,
+            "uniform beams do not bend with temperature"
+        );
+    }
+
+    #[test]
+    fn composite_beam_bends_with_temperature() {
+        let beam = composite();
+        let thermal = ThermalModel::new(&beam);
+        let kappa = thermal.bimorph_curvature_per_kelvin();
+        // aluminum coil on top (alpha 23 ppm) vs silicon core (2.6 ppm):
+        // heating expands the top more -> bends down (negative by our sign)
+        assert!(kappa.abs() > 1e-4, "kappa/K = {kappa}");
+        let defl = thermal.tip_deflection_per_kelvin();
+        // nm-scale per kelvin for this stack
+        assert!(defl.abs() > 1e-10 && defl.abs() < 1e-6, "defl/K = {defl}");
+    }
+
+    #[test]
+    fn thermal_drift_swamps_biosignal_without_referencing() {
+        // the reason reference cantilevers exist: 0.1 K of drift produces
+        // an equivalent surface stress comparable to protein binding.
+        let beam = composite();
+        let thermal = ThermalModel::new(&beam);
+        let sigma_01k = thermal.equivalent_surface_stress(0.1).value().abs();
+        assert!(
+            sigma_01k > 0.1e-3,
+            "0.1 K should fake >0.1 mN/m, got {sigma_01k}"
+        );
+    }
+
+    #[test]
+    fn equivalent_stress_roundtrips_through_curvature() {
+        let beam = composite();
+        let thermal = ThermalModel::new(&beam);
+        let dt = 2.5;
+        let sigma = thermal.equivalent_surface_stress(dt);
+        let kappa_from_stress =
+            crate::surface_stress::SurfaceStressLoad::new(&beam).curvature(sigma);
+        let kappa_direct = thermal.bimorph_curvature_per_kelvin() * dt;
+        assert!(
+            (kappa_from_stress - kappa_direct).abs() / kappa_direct.abs() < 1e-9,
+            "{kappa_from_stress} vs {kappa_direct}"
+        );
+    }
+
+    #[test]
+    fn frequency_tc_is_minus_30ppm_per_kelvin() {
+        let beam = composite();
+        let thermal = ThermalModel::new(&beam);
+        assert!((thermal.frequency_tc_per_kelvin() + 30e-6).abs() < 1e-9);
+        let f0 = Hertz::from_kilohertz(340.0);
+        let f_hot = thermal
+            .frequency_at(f0, Kelvin::new(300.0), Kelvin::new(310.0))
+            .unwrap();
+        // -30 ppm/K x 10 K = -0.03 % = -102 Hz
+        assert!((f0.value() - f_hot.value() - 102.0).abs() < 1.0);
+        assert!(thermal
+            .frequency_at(f0, Kelvin::zero(), Kelvin::new(300.0))
+            .is_err());
+    }
+
+    #[test]
+    fn apparent_mass_from_one_kelvin_is_significant() {
+        let beam = composite();
+        let thermal = ThermalModel::new(&beam);
+        let f0 = Hertz::from_kilohertz(340.0);
+        let responsivity = 0.5e15; // Hz/kg (0.5 Hz/pg)
+        let fake_mass = thermal.apparent_mass_from_drift(f0, 1.0, responsivity);
+        // -30 ppm of 340 kHz = 10.2 Hz -> 20.4 pg of phantom mass
+        assert!(
+            (fake_mass * 1e15 - 20.4).abs() < 0.5,
+            "1 K fakes {} pg",
+            fake_mass * 1e15
+        );
+    }
+}

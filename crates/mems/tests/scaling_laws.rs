@@ -1,0 +1,103 @@
+//! Property-based tests of the beam-mechanics scaling laws.
+//!
+//! These pin the *structure* of the physics: how outputs must scale when a
+//! single geometric knob turns, independent of absolute calibration.
+
+use canti_mems::beam::{CompositeBeam, ElasticModel};
+use canti_mems::geometry::CantileverGeometry;
+use canti_mems::material::Material;
+use canti_mems::surface_stress::SurfaceStressLoad;
+use canti_units::{Meters, SurfaceStress};
+use proptest::prelude::*;
+
+fn beam(l_um: f64, w_um: f64, t_um: f64) -> CompositeBeam {
+    let g = CantileverGeometry::uniform(
+        Meters::from_micrometers(l_um),
+        Meters::from_micrometers(w_um),
+        Meters::from_micrometers(t_um),
+        Material::silicon_110(),
+    )
+    .expect("valid geometry");
+    CompositeBeam::with_model(&g, ElasticModel::Beam).expect("valid beam")
+}
+
+fn dims() -> impl Strategy<Value = (f64, f64, f64)> {
+    (50.0f64..1000.0, 20.0f64..300.0, 1.0f64..10.0)
+}
+
+proptest! {
+    #[test]
+    fn spring_constant_scales_with_cube_of_thickness((l, w, t) in dims()) {
+        let k1 = beam(l, w, t).spring_constant().value();
+        let k2 = beam(l, w, 2.0 * t).spring_constant().value();
+        prop_assert!((k2 / k1 - 8.0).abs() < 1e-9, "k ~ t^3: ratio {}", k2 / k1);
+    }
+
+    #[test]
+    fn spring_constant_scales_inverse_cube_of_length((l, w, t) in dims()) {
+        let k1 = beam(l, w, t).spring_constant().value();
+        let k2 = beam(2.0 * l, w, t).spring_constant().value();
+        prop_assert!((k1 / k2 - 8.0).abs() < 1e-9, "k ~ 1/L^3");
+    }
+
+    #[test]
+    fn spring_constant_linear_in_width((l, w, t) in dims()) {
+        let k1 = beam(l, w, t).spring_constant().value();
+        let k2 = beam(l, 2.0 * w, t).spring_constant().value();
+        prop_assert!((k2 / k1 - 2.0).abs() < 1e-9, "k ~ w");
+    }
+
+    #[test]
+    fn frequency_scales_with_thickness_over_length_squared((l, w, t) in dims()) {
+        let f1 = beam(l, w, t).fundamental_frequency().value();
+        let f2 = beam(l, w, 2.0 * t).fundamental_frequency().value();
+        prop_assert!((f2 / f1 - 2.0).abs() < 1e-9, "f ~ t");
+        let f3 = beam(2.0 * l, w, t).fundamental_frequency().value();
+        prop_assert!((f1 / f3 - 4.0).abs() < 1e-9, "f ~ 1/L^2");
+        // width cancels entirely
+        let f4 = beam(l, 3.0 * w, t).fundamental_frequency().value();
+        prop_assert!((f4 / f1 - 1.0).abs() < 1e-9, "f independent of w");
+    }
+
+    #[test]
+    fn stoney_responsivity_scales((l, w, t) in dims()) {
+        let sigma = SurfaceStress::from_millinewtons_per_meter(1.0);
+        let b1 = beam(l, w, t);
+        let b2 = beam(2.0 * l, w, t);
+        let b3 = beam(l, w, 2.0 * t);
+        let d1 = SurfaceStressLoad::new(&b1).tip_deflection(sigma).value();
+        let d2 = SurfaceStressLoad::new(&b2).tip_deflection(sigma).value();
+        let d3 = SurfaceStressLoad::new(&b3).tip_deflection(sigma).value();
+        prop_assert!((d2 / d1 - 4.0).abs() < 1e-9, "delta ~ L^2");
+        prop_assert!((d1 / d3 - 4.0).abs() < 1e-9, "delta ~ 1/t^2");
+    }
+
+    #[test]
+    fn mode_frequencies_strictly_ordered((l, w, t) in dims()) {
+        let b = beam(l, w, t);
+        let mut prev = 0.0;
+        for n in 1..=6 {
+            let f = b.mode_frequency(n).unwrap().value();
+            prop_assert!(f > prev, "mode {n} must be above mode {}", n - 1);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn mass_and_meff_positive_and_ordered((l, w, t) in dims()) {
+        let b = beam(l, w, t);
+        let m = b.mass().value();
+        let m_eff = b.effective_mass(1).unwrap().value();
+        prop_assert!(m > 0.0);
+        prop_assert!(m_eff > 0.0 && m_eff < m, "m_eff must be a fraction of m");
+    }
+
+    #[test]
+    fn mode_shape_monotone_for_mode1((l, w, t) in dims(), xi in 0.01f64..1.0) {
+        let b = beam(l, w, t);
+        let phi = b.mode_shape(1, xi).unwrap();
+        let phi_prev = b.mode_shape(1, xi * 0.9).unwrap();
+        prop_assert!(phi > phi_prev, "mode-1 shape rises monotonically");
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&phi));
+    }
+}

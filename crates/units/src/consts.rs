@@ -1,0 +1,59 @@
+//! Physical constants used across the simulation suite (CODATA 2018 values).
+
+use crate::{Kelvin, KgPerM3, Tesla};
+
+/// Boltzmann constant k_B in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Avogadro constant N_A in 1/mol.
+pub const AVOGADRO: f64 = 6.022_140_76e23;
+
+/// Elementary charge q in C.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Vacuum permeability µ0 in H/m.
+pub const VACUUM_PERMEABILITY: f64 = 1.256_637_062_12e-6;
+
+/// Standard gravitational acceleration in m/s².
+pub const STANDARD_GRAVITY: f64 = 9.806_65;
+
+/// Laboratory room temperature, 300 K, the default everywhere in this suite.
+pub const ROOM_TEMPERATURE: Kelvin = Kelvin::new(300.0);
+
+/// Typical NdFeB package magnet flux density at the chip surface
+/// (the paper integrates a permanent magnet into the sensor package).
+pub const PACKAGE_MAGNET_FIELD: Tesla = Tesla::new(0.25);
+
+/// Density of air at room temperature, sea level.
+pub const AIR_DENSITY: KgPerM3 = KgPerM3::new(1.184);
+
+/// Thermal voltage kT/q at 300 K in volts.
+#[must_use]
+pub fn thermal_voltage(temperature: Kelvin) -> f64 {
+    BOLTZMANN * temperature.value() / ELEMENTARY_CHARGE
+}
+
+/// Thermal noise energy kT in joules at the given temperature.
+#[must_use]
+pub fn thermal_energy(temperature: Kelvin) -> f64 {
+    BOLTZMANN * temperature.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_300k() {
+        let vt = thermal_voltage(Kelvin::new(300.0));
+        assert!((vt - 0.025852).abs() < 1e-5, "kT/q at 300 K ~ 25.85 mV, got {vt}");
+    }
+
+    #[test]
+    fn thermal_energy_scales_linearly() {
+        let e1 = thermal_energy(Kelvin::new(300.0));
+        let e2 = thermal_energy(Kelvin::new(600.0));
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+        assert!((e1 - 4.141_947e-21).abs() / e1 < 1e-6);
+    }
+}

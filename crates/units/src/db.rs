@@ -1,0 +1,116 @@
+//! Decibel helpers for gains and signal-to-noise ratios.
+
+/// A ratio expressed in decibels.
+///
+/// Use [`Decibels::from_power_ratio`] for power-like quantities
+/// (10·log₁₀) and [`Decibels::from_amplitude_ratio`] for voltage/amplitude
+/// quantities (20·log₁₀).
+///
+/// # Examples
+///
+/// ```
+/// use canti_units::Decibels;
+///
+/// let gain = Decibels::from_amplitude_ratio(100.0);
+/// assert!((gain.value() - 40.0).abs() < 1e-12);
+/// assert!((gain.amplitude_ratio() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Decibels(f64);
+
+impl Decibels {
+    /// Constructs directly from a dB value.
+    #[must_use]
+    pub const fn new(db: f64) -> Self {
+        Self(db)
+    }
+
+    /// 10·log₁₀(ratio) — for power ratios.
+    #[must_use]
+    pub fn from_power_ratio(ratio: f64) -> Self {
+        Self(10.0 * ratio.log10())
+    }
+
+    /// 20·log₁₀(ratio) — for amplitude (voltage, current, deflection) ratios.
+    #[must_use]
+    pub fn from_amplitude_ratio(ratio: f64) -> Self {
+        Self(20.0 * ratio.log10())
+    }
+
+    /// The raw dB value.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts back to a power ratio.
+    #[must_use]
+    pub fn power_ratio(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Converts back to an amplitude ratio.
+    #[must_use]
+    pub fn amplitude_ratio(self) -> f64 {
+        10f64.powf(self.0 / 20.0)
+    }
+}
+
+impl core::fmt::Display for Decibels {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(p) = f.precision() {
+            write!(f, "{:.*} dB", p, self.0)
+        } else {
+            write!(f, "{} dB", self.0)
+        }
+    }
+}
+
+impl core::ops::Add for Decibels {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub for Decibels {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_and_power_agree_on_square() {
+        let a = Decibels::from_amplitude_ratio(10.0);
+        let p = Decibels::from_power_ratio(100.0);
+        assert!((a.value() - p.value()).abs() < 1e-12);
+        assert!((a.value() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrips() {
+        for r in [0.01, 0.5, 1.0, 3.7, 1e6] {
+            assert!((Decibels::from_power_ratio(r).power_ratio() - r).abs() / r < 1e-12);
+            assert!((Decibels::from_amplitude_ratio(r).amplitude_ratio() - r).abs() / r < 1e-12);
+        }
+    }
+
+    #[test]
+    fn db_addition_is_ratio_multiplication() {
+        let a = Decibels::from_amplitude_ratio(10.0);
+        let b = Decibels::from_amplitude_ratio(5.0);
+        assert!(((a + b).amplitude_ratio() - 50.0).abs() < 1e-9);
+        assert!(((a - b).amplitude_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{:.1}", Decibels::new(-3.0)), "-3.0 dB");
+    }
+}

@@ -1,0 +1,44 @@
+//! # canti-units — typed physical quantities for the canti biosensor suite
+//!
+//! Strongly-typed wrappers over `f64` for every physical dimension the
+//! cantilever-biosensor simulation needs. The newtypes make it impossible to
+//! accidentally feed, say, a spring constant (N/m) where a surface stress
+//! (also N/m, but a different physical concept) is expected — the classic
+//! motivation for [C-NEWTYPE] in the Rust API guidelines.
+//!
+//! Design notes:
+//!
+//! * All quantities are thin `f64` newtypes: `Copy`, cheap, `#[repr(transparent)]`.
+//! * Arithmetic is implemented **only where physically meaningful**
+//!   (e.g. `Volts / Amperes = Ohms`). There is no general dimensional-analysis
+//!   engine — explicit impls keep compiler errors readable.
+//! * Same-dimension semantic twins ([`SpringConstant`] vs [`SurfaceStress`])
+//!   are distinct types with explicit conversions.
+//!
+//! # Examples
+//!
+//! ```
+//! use canti_units::{Meters, Newtons, SpringConstant, Volts, Amperes};
+//!
+//! let k = SpringConstant::new(0.03);          // 0.03 N/m — a soft biosensor beam
+//! let f = Newtons::new(1.5e-9);               // 1.5 nN tip load
+//! let deflection: Meters = f / k;             // typed division
+//! assert!((deflection.value() - 50e-9).abs() < 1e-18);
+//!
+//! let r = Volts::new(1.0) / Amperes::new(1e-3);
+//! assert_eq!(r.value(), 1000.0);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod quantity;
+pub mod consts;
+mod db;
+mod si;
+
+pub use db::Decibels;
+pub use si::*;

@@ -1,0 +1,295 @@
+//! Internal macros generating quantity newtypes and their cross-dimension
+//! arithmetic. Not exported; the public surface is the types in [`crate::si`].
+
+/// Defines a physical-quantity newtype over `f64`.
+///
+/// Generates the full set of "common traits" plus same-dimension arithmetic
+/// (`Add`, `Sub`, `Neg`, scalar `Mul`/`Div`, ratio `Div -> f64`) and the
+/// inherent helpers every quantity shares (`new`, `value`, `abs`, `min`,
+/// `max`, `clamp`, `is_finite`, `zero`).
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug,
+            Clone,
+            Copy,
+            PartialEq,
+            PartialOrd,
+            Default,
+            serde::Serialize,
+            serde::Deserialize,
+        )]
+        #[repr(transparent)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Unit symbol for this quantity (e.g. `"N/m"`).
+            pub const UNIT: &'static str = $unit;
+
+            /// Creates a quantity from a raw value expressed in [`Self::UNIT`].
+            #[inline]
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The zero quantity.
+            #[inline]
+            #[must_use]
+            pub const fn zero() -> Self {
+                Self(0.0)
+            }
+
+            /// Returns the raw value in [`Self::UNIT`].
+            #[inline]
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// The smaller of `self` and `other` (propagates the non-NaN value).
+            #[inline]
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// The larger of `self` and `other` (propagates the non-NaN value).
+            #[inline]
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` or either bound is NaN (as [`f64::clamp`]).
+            #[inline]
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` when the value is neither infinite nor NaN.
+            #[inline]
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// `true` when the value is exactly zero (either sign).
+            #[inline]
+            #[must_use]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Linear interpolation between `self` (t = 0) and `other`
+            /// (t = 1), exact at both endpoints.
+            #[inline]
+            #[must_use]
+            pub fn lerp(self, other: Self, t: f64) -> Self {
+                Self(self.0 * (1.0 - t) + other.0 * t)
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                // Honour an explicit precision, otherwise pick a compact form.
+                if let Some(p) = f.precision() {
+                    write!(f, "{:.*} {}", p, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two same-dimension quantities is dimensionless.
+        impl core::ops::Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl From<$name> for f64 {
+            #[inline]
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        }
+    };
+}
+
+/// Implements the product relation `$a * $b = $c` together with all derived
+/// forms: `$b * $a = $c`, `$c / $a = $b`, `$c / $b = $a`.
+///
+/// Use only for distinct `$a`/`$b`; see `quantity_square!` for `$a == $b`.
+macro_rules! quantity_product {
+    ($a:ident * $b:ident = $c:ident) => {
+        impl core::ops::Mul<$b> for $a {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $b) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+        impl core::ops::Mul<$a> for $b {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $a) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+        impl core::ops::Div<$a> for $c {
+            type Output = $b;
+            #[inline]
+            fn div(self, rhs: $a) -> $b {
+                $b::new(self.value() / rhs.value())
+            }
+        }
+        impl core::ops::Div<$b> for $c {
+            type Output = $a;
+            #[inline]
+            fn div(self, rhs: $b) -> $a {
+                $a::new(self.value() / rhs.value())
+            }
+        }
+    };
+}
+
+/// Like `quantity_product!` but only generates `$c / $a = $b` (not
+/// `$c / $b = $a`). Needed when two different products share the same result
+/// dimension and the second divisor would be ambiguous — e.g. both
+/// `SpringConstant * Meters` and `SurfaceStress * Meters` yield `Newtons`.
+macro_rules! quantity_product_left_div {
+    ($a:ident * $b:ident = $c:ident) => {
+        impl core::ops::Mul<$b> for $a {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $b) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+        impl core::ops::Mul<$a> for $b {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $a) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+        impl core::ops::Div<$a> for $c {
+            type Output = $b;
+            #[inline]
+            fn div(self, rhs: $a) -> $b {
+                $b::new(self.value() / rhs.value())
+            }
+        }
+    };
+}
+
+/// Implements the square relation `$a * $a = $c` and `$c / $a = $a`.
+macro_rules! quantity_square {
+    ($a:ident * $a2:ident = $c:ident) => {
+        impl core::ops::Mul<$a> for $a2 {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $a) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+        impl core::ops::Div<$a> for $c {
+            type Output = $a;
+            #[inline]
+            fn div(self, rhs: $a) -> $a {
+                $a::new(self.value() / rhs.value())
+            }
+        }
+    };
+}

@@ -1,0 +1,653 @@
+//! The quantity types themselves plus the physically meaningful
+//! cross-dimension arithmetic between them.
+
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// Length in meters.
+    Meters,
+    "m"
+);
+quantity!(
+    /// Area in square meters.
+    SquareMeters,
+    "m^2"
+);
+quantity!(
+    /// Volume in cubic meters.
+    CubicMeters,
+    "m^3"
+);
+quantity!(
+    /// Mass in kilograms.
+    Kilograms,
+    "kg"
+);
+quantity!(
+    /// Mass density in kilograms per cubic meter.
+    KgPerM3,
+    "kg/m^3"
+);
+quantity!(
+    /// Force in newtons.
+    Newtons,
+    "N"
+);
+quantity!(
+    /// Mechanical stress / pressure / elastic modulus in pascals.
+    Pascals,
+    "Pa"
+);
+quantity!(
+    /// Beam (or any linear-spring) stiffness in newtons per meter.
+    ///
+    /// Same SI dimension as [`SurfaceStress`] but a distinct concept; convert
+    /// explicitly via the `value()` escape hatch if you really must.
+    SpringConstant,
+    "N/m"
+);
+quantity!(
+    /// Differential surface stress in newtons per meter.
+    ///
+    /// This is the quantity analyte binding changes on a functionalized
+    /// cantilever face. Same SI dimension as [`SpringConstant`] but a
+    /// distinct physical concept, hence a distinct type.
+    SurfaceStress,
+    "N/m"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amperes,
+    "A"
+);
+quantity!(
+    /// Electrical resistance in ohms.
+    Ohms,
+    "Ohm"
+);
+quantity!(
+    /// Electrical conductance in siemens.
+    Siemens,
+    "S"
+);
+quantity!(
+    /// Electric charge in coulombs.
+    Coulombs,
+    "C"
+);
+quantity!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// Inductance in henries.
+    Henries,
+    "H"
+);
+quantity!(
+    /// Magnetic flux density in tesla.
+    Tesla,
+    "T"
+);
+quantity!(
+    /// Absolute temperature in kelvin.
+    Kelvin,
+    "K"
+);
+quantity!(
+    /// Amount-of-substance concentration in mol per liter.
+    Molar,
+    "mol/L"
+);
+quantity!(
+    /// Dynamic viscosity in pascal-seconds.
+    PascalSeconds,
+    "Pa*s"
+);
+quantity!(
+    /// Molar mass in kilograms per mole.
+    KgPerMol,
+    "kg/mol"
+);
+quantity!(
+    /// Areal number density in molecules per square meter.
+    PerSquareMeter,
+    "1/m^2"
+);
+quantity!(
+    /// Areal mass density in kilograms per square meter.
+    KgPerM2,
+    "kg/m^2"
+);
+quantity!(
+    /// Velocity in meters per second.
+    MetersPerSecond,
+    "m/s"
+);
+quantity!(
+    /// Diffusion coefficient in square meters per second.
+    M2PerSecond,
+    "m^2/s"
+);
+
+// ---------------------------------------------------------------------------
+// Cross-dimension relations
+// ---------------------------------------------------------------------------
+
+quantity_square!(Meters * Meters = SquareMeters);
+quantity_product!(SquareMeters * Meters = CubicMeters);
+quantity_product!(KgPerM3 * CubicMeters = Kilograms);
+quantity_product!(Pascals * SquareMeters = Newtons);
+quantity_product!(SpringConstant * Meters = Newtons);
+quantity_product_left_div!(SurfaceStress * Meters = Newtons);
+quantity_product!(Newtons * Meters = Joules);
+quantity_product!(Watts * Seconds = Joules);
+quantity_product!(Volts * Amperes = Watts);
+quantity_product!(Ohms * Amperes = Volts);
+quantity_product!(Amperes * Seconds = Coulombs);
+quantity_product!(Farads * Volts = Coulombs);
+quantity_product!(Hertz * Seconds = Dimensionless);
+quantity_product!(KgPerM2 * SquareMeters = Kilograms);
+quantity_product!(PerSquareMeter * SquareMeters = Dimensionless);
+quantity_product!(MetersPerSecond * Seconds = Meters);
+quantity_product!(KgPerMol * Molar = KgPerM3Thousandth);
+
+quantity!(
+    /// A dimensionless product/ratio that still wants quantity ergonomics.
+    Dimensionless,
+    ""
+);
+quantity!(
+    /// Helper dimension: kg/mol x mol/L = kg/L = 1000 kg/m^3. See
+    /// [`KgPerM3Thousandth::to_kg_per_m3`].
+    KgPerM3Thousandth,
+    "kg/L"
+);
+
+impl KgPerM3Thousandth {
+    /// Converts kg/L into SI kg/m³ (factor 1000).
+    #[must_use]
+    pub fn to_kg_per_m3(self) -> KgPerM3 {
+        KgPerM3::new(self.value() * 1000.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain-specific constructors & conversions
+// ---------------------------------------------------------------------------
+
+impl Meters {
+    /// Constructs from micrometers.
+    #[must_use]
+    pub fn from_micrometers(um: f64) -> Self {
+        Self::new(um * 1e-6)
+    }
+
+    /// Constructs from nanometers.
+    #[must_use]
+    pub fn from_nanometers(nm: f64) -> Self {
+        Self::new(nm * 1e-9)
+    }
+
+    /// Value in micrometers.
+    #[must_use]
+    pub fn as_micrometers(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// Value in nanometers.
+    #[must_use]
+    pub fn as_nanometers(self) -> f64 {
+        self.value() * 1e9
+    }
+}
+
+impl Seconds {
+    /// Constructs from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::new(ms * 1e-3)
+    }
+
+    /// Constructs from microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self::new(us * 1e-6)
+    }
+
+    /// The reciprocal as a frequency.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; `0 s` maps to `inf Hz`.
+    #[must_use]
+    pub fn recip(self) -> Hertz {
+        Hertz::new(1.0 / self.value())
+    }
+}
+
+impl Hertz {
+    /// Constructs from kilohertz.
+    #[must_use]
+    pub fn from_kilohertz(khz: f64) -> Self {
+        Self::new(khz * 1e3)
+    }
+
+    /// Constructs from megahertz.
+    #[must_use]
+    pub fn from_megahertz(mhz: f64) -> Self {
+        Self::new(mhz * 1e6)
+    }
+
+    /// Value in kilohertz.
+    #[must_use]
+    pub fn as_kilohertz(self) -> f64 {
+        self.value() * 1e-3
+    }
+
+    /// The reciprocal as a period.
+    #[must_use]
+    pub fn recip(self) -> Seconds {
+        Seconds::new(1.0 / self.value())
+    }
+
+    /// Angular frequency ω = 2πf in rad/s (plain `f64`; radians are
+    /// dimensionless).
+    #[must_use]
+    pub fn angular(self) -> f64 {
+        2.0 * core::f64::consts::PI * self.value()
+    }
+
+    /// Constructs from an angular frequency in rad/s.
+    #[must_use]
+    pub fn from_angular(omega: f64) -> Self {
+        Self::new(omega / (2.0 * core::f64::consts::PI))
+    }
+}
+
+impl Pascals {
+    /// Constructs from gigapascals (elastic moduli are usually quoted in GPa).
+    #[must_use]
+    pub fn from_gigapascals(gpa: f64) -> Self {
+        Self::new(gpa * 1e9)
+    }
+
+    /// Constructs from megapascals.
+    #[must_use]
+    pub fn from_megapascals(mpa: f64) -> Self {
+        Self::new(mpa * 1e6)
+    }
+
+    /// Value in megapascals.
+    #[must_use]
+    pub fn as_megapascals(self) -> f64 {
+        self.value() * 1e-6
+    }
+}
+
+impl Kilograms {
+    /// Constructs from picograms (typical analyte-layer masses).
+    #[must_use]
+    pub fn from_picograms(pg: f64) -> Self {
+        Self::new(pg * 1e-15)
+    }
+
+    /// Constructs from femtograms.
+    #[must_use]
+    pub fn from_femtograms(fg: f64) -> Self {
+        Self::new(fg * 1e-18)
+    }
+
+    /// Constructs from nanograms.
+    #[must_use]
+    pub fn from_nanograms(ng: f64) -> Self {
+        Self::new(ng * 1e-12)
+    }
+
+    /// Value in picograms.
+    #[must_use]
+    pub fn as_picograms(self) -> f64 {
+        self.value() * 1e15
+    }
+}
+
+impl Volts {
+    /// Constructs from millivolts.
+    #[must_use]
+    pub fn from_millivolts(mv: f64) -> Self {
+        Self::new(mv * 1e-3)
+    }
+
+    /// Constructs from microvolts.
+    #[must_use]
+    pub fn from_microvolts(uv: f64) -> Self {
+        Self::new(uv * 1e-6)
+    }
+
+    /// Value in millivolts.
+    #[must_use]
+    pub fn as_millivolts(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Value in microvolts.
+    #[must_use]
+    pub fn as_microvolts(self) -> f64 {
+        self.value() * 1e6
+    }
+}
+
+impl Amperes {
+    /// Constructs from milliamperes.
+    #[must_use]
+    pub fn from_milliamps(ma: f64) -> Self {
+        Self::new(ma * 1e-3)
+    }
+
+    /// Constructs from microamperes.
+    #[must_use]
+    pub fn from_microamps(ua: f64) -> Self {
+        Self::new(ua * 1e-6)
+    }
+}
+
+impl Ohms {
+    /// Constructs from kiloohms.
+    #[must_use]
+    pub fn from_kiloohms(kohm: f64) -> Self {
+        Self::new(kohm * 1e3)
+    }
+
+    /// Constructs from megaohms.
+    #[must_use]
+    pub fn from_megaohms(mohm: f64) -> Self {
+        Self::new(mohm * 1e6)
+    }
+
+    /// Conductance 1/R.
+    #[must_use]
+    pub fn recip(self) -> Siemens {
+        Siemens::new(1.0 / self.value())
+    }
+}
+
+impl Siemens {
+    /// Resistance 1/G.
+    #[must_use]
+    pub fn recip(self) -> Ohms {
+        Ohms::new(1.0 / self.value())
+    }
+}
+
+impl Kelvin {
+    /// Constructs from a temperature in degrees Celsius.
+    #[must_use]
+    pub fn from_celsius(celsius: f64) -> Self {
+        Self::new(celsius + 273.15)
+    }
+
+    /// Temperature in degrees Celsius.
+    #[must_use]
+    pub fn as_celsius(self) -> f64 {
+        self.value() - 273.15
+    }
+}
+
+impl Molar {
+    /// Constructs from nanomolar concentration.
+    #[must_use]
+    pub fn from_nanomolar(nm: f64) -> Self {
+        Self::new(nm * 1e-9)
+    }
+
+    /// Constructs from micromolar concentration.
+    #[must_use]
+    pub fn from_micromolar(um: f64) -> Self {
+        Self::new(um * 1e-6)
+    }
+
+    /// Constructs from picomolar concentration.
+    #[must_use]
+    pub fn from_picomolar(pm: f64) -> Self {
+        Self::new(pm * 1e-12)
+    }
+
+    /// Value in nanomolar.
+    #[must_use]
+    pub fn as_nanomolar(self) -> f64 {
+        self.value() * 1e9
+    }
+
+    /// Number density in molecules per cubic meter (× Avogadro × 1000 L/m³).
+    #[must_use]
+    pub fn number_density_per_m3(self) -> f64 {
+        self.value() * 1000.0 * crate::consts::AVOGADRO
+    }
+}
+
+impl SurfaceStress {
+    /// Constructs from millinewtons per meter — the natural scale of
+    /// biomolecular surface-stress signals (1–50 mN/m).
+    #[must_use]
+    pub fn from_millinewtons_per_meter(mn_per_m: f64) -> Self {
+        Self::new(mn_per_m * 1e-3)
+    }
+
+    /// Value in millinewtons per meter.
+    #[must_use]
+    pub fn as_millinewtons_per_meter(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+impl KgPerMol {
+    /// Constructs from daltons (g/mol).
+    #[must_use]
+    pub fn from_daltons(da: f64) -> Self {
+        Self::new(da * 1e-3)
+    }
+
+    /// Value in daltons (g/mol).
+    #[must_use]
+    pub fn as_daltons(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Mass of a single molecule.
+    #[must_use]
+    pub fn molecule_mass(self) -> Kilograms {
+        Kilograms::new(self.value() / crate::consts::AVOGADRO)
+    }
+}
+
+impl Joules {
+    /// Square-root, producing the raw value √J (used in noise math where the
+    /// final expression recombines into a proper unit).
+    #[must_use]
+    pub fn sqrt_value(self) -> f64 {
+        self.value().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_unit() {
+        let k = SpringConstant::new(0.5);
+        assert_eq!(format!("{k}"), "0.5 N/m");
+        assert_eq!(format!("{k:.2}"), "0.50 N/m");
+        assert_eq!(format!("{}", Ohms::from_kiloohms(2.0)), "2000 Ohm");
+    }
+
+    #[test]
+    fn same_dimension_arithmetic() {
+        let a = Meters::new(2.0);
+        let b = Meters::new(0.5);
+        assert_eq!((a + b).value(), 2.5);
+        assert_eq!((a - b).value(), 1.5);
+        assert_eq!((-a).value(), -2.0);
+        assert_eq!((a * 3.0).value(), 6.0);
+        assert_eq!((3.0 * a).value(), 6.0);
+        assert_eq!((a / 2.0).value(), 1.0);
+        assert_eq!(a / b, 4.0);
+        let mut c = a;
+        c += b;
+        c -= Meters::new(1.0);
+        assert_eq!(c.value(), 1.5);
+    }
+
+    #[test]
+    fn cross_dimension_products() {
+        let area: SquareMeters = Meters::new(3.0) * Meters::new(2.0);
+        assert_eq!(area.value(), 6.0);
+        let vol: CubicMeters = area * Meters::new(0.5);
+        assert_eq!(vol.value(), 3.0);
+        let m: Kilograms = KgPerM3::new(1000.0) * vol;
+        assert_eq!(m.value(), 3000.0);
+        let f: Newtons = Pascals::new(10.0) * SquareMeters::new(2.0);
+        assert_eq!(f.value(), 20.0);
+        let x: Meters = f / SpringConstant::new(4.0);
+        assert_eq!(x.value(), 5.0);
+        let e: Joules = f * Meters::new(2.0);
+        assert_eq!(e.value(), 40.0);
+        let p: Watts = Volts::new(5.0) * Amperes::new(2.0);
+        assert_eq!(p.value(), 10.0);
+        let v: Volts = Ohms::new(100.0) * Amperes::new(0.01);
+        assert_eq!(v.value(), 1.0);
+        let r: Ohms = v / Amperes::new(0.01);
+        assert_eq!(r.value(), 100.0);
+    }
+
+    #[test]
+    fn reciprocal_pairs() {
+        assert_eq!(Seconds::new(0.001).recip().value(), 1000.0);
+        assert_eq!(Hertz::new(50.0).recip().value(), 0.02);
+        assert_eq!(Ohms::new(4.0).recip().value(), 0.25);
+        assert_eq!(Siemens::new(0.25).recip().value(), 4.0);
+    }
+
+    #[test]
+    fn unit_constructors_roundtrip() {
+        assert!((Meters::from_micrometers(150.0).value() - 150e-6).abs() < 1e-18);
+        assert!((Meters::from_nanometers(5.0).as_nanometers() - 5.0).abs() < 1e-12);
+        assert!((Hertz::from_kilohertz(85.0).as_kilohertz() - 85.0).abs() < 1e-12);
+        assert!((Volts::from_microvolts(3.0).as_microvolts() - 3.0).abs() < 1e-12);
+        assert!((Kelvin::from_celsius(25.0).as_celsius() - 25.0).abs() < 1e-12);
+        assert!((Molar::from_nanomolar(12.0).as_nanomolar() - 12.0).abs() < 1e-12);
+        assert!(
+            (Kilograms::from_picograms(7.0).as_picograms() - 7.0).abs() < 1e-9,
+            "picogram roundtrip"
+        );
+        assert!(
+            (SurfaceStress::from_millinewtons_per_meter(5.0).as_millinewtons_per_meter() - 5.0)
+                .abs()
+                < 1e-12
+        );
+        assert!((KgPerMol::from_daltons(150_000.0).as_daltons() - 150_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angular_frequency_roundtrip() {
+        let f = Hertz::new(1000.0);
+        let w = f.angular();
+        assert!((w - 6283.185307179586).abs() < 1e-9);
+        assert!((Hertz::from_angular(w).value() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn molar_mass_single_molecule() {
+        // IgG antibody ~ 150 kDa -> ~ 2.49e-22 kg per molecule.
+        let m = KgPerMol::from_daltons(150_000.0).molecule_mass();
+        assert!((m.value() - 2.4908e-22).abs() / 2.49e-22 < 1e-3);
+    }
+
+    #[test]
+    fn molar_number_density() {
+        // 1 M = 6.022e26 molecules / m^3.
+        let n = Molar::new(1.0).number_density_per_m3();
+        assert!((n - 6.02214076e26).abs() / 6.022e26 < 1e-6);
+    }
+
+    #[test]
+    fn density_conversion_from_molar_mass_times_concentration() {
+        // 1 kg/mol x 1 mol/L = 1 kg/L = 1000 kg/m^3.
+        let rho = (KgPerMol::from_daltons(1000.0) * Molar::new(1.0)).to_kg_per_m3();
+        assert!((rho.value() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_iterates() {
+        let total: Meters = (1..=4).map(|i| Meters::new(f64::from(i))).sum();
+        assert_eq!(total.value(), 10.0);
+        let parts = [Volts::new(1.0), Volts::new(2.0)];
+        let total: Volts = parts.iter().sum();
+        assert_eq!(total.value(), 3.0);
+    }
+
+    #[test]
+    fn helpers_behave() {
+        let q = Newtons::new(-2.0);
+        assert_eq!(q.abs().value(), 2.0);
+        assert_eq!(q.min(Newtons::zero()).value(), -2.0);
+        assert_eq!(q.max(Newtons::zero()).value(), 0.0);
+        assert_eq!(
+            q.clamp(Newtons::new(-1.0), Newtons::new(1.0)).value(),
+            -1.0
+        );
+        assert!(q.is_finite());
+        assert!(Newtons::zero().is_zero());
+        assert_eq!(Newtons::new(0.0).lerp(Newtons::new(10.0), 0.25).value(), 2.5);
+    }
+
+    #[test]
+    fn common_trait_coverage() {
+        fn assert_quantity<T>()
+        where
+            T: Copy
+                + Clone
+                + PartialEq
+                + PartialOrd
+                + Default
+                + core::fmt::Debug
+                + core::fmt::Display
+                + Send
+                + Sync
+                + serde::Serialize
+                + for<'de> serde::Deserialize<'de>,
+        {
+        }
+        assert_quantity::<Meters>();
+        assert_quantity::<Hertz>();
+        assert_quantity::<SpringConstant>();
+        assert_quantity::<SurfaceStress>();
+        assert_quantity::<Volts>();
+        assert_quantity::<Tesla>();
+        assert_quantity::<Molar>();
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the quantity algebra.
+
+use canti_units::{Decibels, Hertz, Kelvin, Meters, Newtons, Seconds, SpringConstant, Volts};
+use proptest::prelude::*;
+
+/// Finite, sanely-sized magnitudes so products/quotients stay finite.
+fn mag() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (1e-12f64..1e12).prop_map(|x| x),
+        (1e-12f64..1e12).prop_map(|x| -x),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in mag(), b in mag()) {
+        let (x, y) = (Meters::new(a), Meters::new(b));
+        prop_assert_eq!((x + y).value(), (y + x).value());
+    }
+
+    #[test]
+    fn addition_associates_approximately(a in mag(), b in mag(), c in mag()) {
+        let (x, y, z) = (Volts::new(a), Volts::new(b), Volts::new(c));
+        let l = ((x + y) + z).value();
+        let r = (x + (y + z)).value();
+        let scale = a.abs().max(b.abs()).max(c.abs()).max(1.0);
+        prop_assert!((l - r).abs() <= 1e-9 * scale);
+    }
+
+    #[test]
+    fn sub_is_inverse_of_add(a in mag(), b in mag()) {
+        let (x, y) = (Newtons::new(a), Newtons::new(b));
+        let back = (x + y) - y;
+        let scale = a.abs().max(b.abs()).max(1.0);
+        prop_assert!((back.value() - a).abs() <= 1e-9 * scale);
+    }
+
+    #[test]
+    fn ratio_of_equal_quantities_is_one(a in mag()) {
+        prop_assume!(a != 0.0);
+        prop_assert!((Meters::new(a) / Meters::new(a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_division_roundtrip(f in 1e-9f64..1e9, k in 1e-9f64..1e9) {
+        // F = k x  =>  F / k = x
+        let force = Newtons::new(f);
+        let spring = SpringConstant::new(k);
+        let x: Meters = force / spring;
+        let back: Newtons = spring * x;
+        prop_assert!((back.value() - f).abs() / f < 1e-12);
+    }
+
+    #[test]
+    fn reciprocal_roundtrip(f in 1e-9f64..1e12) {
+        let freq = Hertz::new(f);
+        let back = freq.recip().recip();
+        prop_assert!((back.value() - f).abs() / f < 1e-12);
+    }
+
+    #[test]
+    fn angular_roundtrip(f in 1e-6f64..1e9) {
+        let freq = Hertz::new(f);
+        let back = Hertz::from_angular(freq.angular());
+        prop_assert!((back.value() - f).abs() / f < 1e-12);
+    }
+
+    #[test]
+    fn celsius_roundtrip(c in -200.0f64..1000.0) {
+        let k = Kelvin::from_celsius(c);
+        prop_assert!((k.as_celsius() - c).abs() < 1e-9);
+        prop_assert!(k.value() > 0.0);
+    }
+
+    #[test]
+    fn decibel_roundtrip(r in 1e-6f64..1e6) {
+        let db = Decibels::from_amplitude_ratio(r);
+        prop_assert!((db.amplitude_ratio() - r).abs() / r < 1e-9);
+        // power dB of r^2 equals amplitude dB of r
+        let p = Decibels::from_power_ratio(r * r);
+        prop_assert!((p.value() - db.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lerp_endpoints(a in mag(), b in mag()) {
+        let (x, y) = (Seconds::new(a), Seconds::new(b));
+        prop_assert_eq!(x.lerp(y, 0.0).value(), a);
+        prop_assert_eq!(x.lerp(y, 1.0).value(), b);
+    }
+
+    #[test]
+    fn min_max_ordering(a in mag(), b in mag()) {
+        let (x, y) = (Meters::new(a), Meters::new(b));
+        prop_assert!(x.min(y).value() <= x.max(y).value());
+        prop_assert_eq!(x.min(y).value() + x.max(y).value(), a + b);
+    }
+}

@@ -1,0 +1,57 @@
+//! Autonomous device operation: the on-chip sequencer FSM running the
+//! instrument end to end, no host in the loop.
+//!
+//! Power-on → self-test → self-calibration (SAR-style bisection on the
+//! offset DACs) → scan passes → reports — with fault latching and recovery
+//! demonstrated along the way.
+//!
+//! Run with: `cargo run --release --example autonomous_operation`
+
+use canti::system::autonomous::AutonomousInstrument;
+use canti::system::chip::BiosensorChip;
+use canti::system::static_system::{StaticCantileverSystem, StaticReadoutConfig, CHANNELS};
+use canti::units::SurfaceStress;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = BiosensorChip::paper_static_chip()?;
+    let system = StaticCantileverSystem::new(chip, StaticReadoutConfig::default())?;
+    let mut instrument = AutonomousInstrument::new(system)?;
+    println!("state: {:?}", instrument.state());
+
+    // protocol violation first: a scan before power-on must latch a fault
+    match instrument.run_scan([SurfaceStress::zero(); CHANNELS], 2_000) {
+        Err(e) => println!("scan before power-on correctly refused: {e}"),
+        Ok(_) => unreachable!("sequencer must refuse"),
+    }
+    println!("state after violation: {:?}", instrument.state());
+    instrument.reset();
+
+    // proper power-on: self-test + offset self-calibration
+    instrument.power_on()?;
+    println!("\npowered on and self-calibrated; state: {:?}", instrument.state());
+
+    // a baseline pass and a measurement pass
+    let baseline = instrument.run_scan([SurfaceStress::zero(); CHANNELS], 10_000)?;
+    let mut sigmas = [SurfaceStress::zero(); CHANNELS];
+    sigmas[0] = SurfaceStress::from_millinewtons_per_meter(2.0);
+    sigmas[2] = SurfaceStress::from_millinewtons_per_meter(4.0);
+    let loaded = instrument.run_scan(sigmas, 10_000)?;
+
+    let responsivity = instrument.system().transfer_volts_per_stress()?;
+    println!("\n  ch   V_base [mV]   V_meas [mV]   stress readback [mN/m]");
+    for ch in 0..CHANNELS {
+        let dv = (loaded.outputs[ch] - baseline.outputs[ch]).value();
+        println!(
+            "  {ch}     {:+8.3}     {:+8.3}        {:+6.2}",
+            baseline.outputs[ch].as_millivolts(),
+            loaded.outputs[ch].as_millivolts(),
+            dv / responsivity * 1e3
+        );
+    }
+    println!(
+        "\nscans completed: {}; final state: {:?}",
+        instrument.scans_completed(),
+        instrument.state()
+    );
+    Ok(())
+}

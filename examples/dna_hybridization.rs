@@ -1,0 +1,63 @@
+//! DNA hybridization on the resonant system: capture strands on the
+//! cantilever, hybridize the complementary 20-mer, read the bound mass as
+//! a resonant-frequency shift through the on-chip counter.
+//!
+//! Run with: `cargo run --release --example dna_hybridization`
+
+use canti::bio::analyte::Analyte;
+use canti::bio::assay::AssayProtocol;
+use canti::bio::kinetics::LangmuirKinetics;
+use canti::bio::receptor::ReceptorLayer;
+use canti::system::assay::{run_resonant_assay, to_frequency_shift};
+use canti::system::chip::{BiosensorChip, Environment};
+use canti::system::resonant_system::{ResonantCantileverSystem, ResonantLoopConfig};
+use canti::units::{Molar, Seconds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let probe = ReceptorLayer::dna_probe_20mer();
+    let target = Analyte::ssdna_20mer();
+    println!("probe:  {probe}");
+    println!("target: {target}");
+
+    let chip = BiosensorChip::paper_resonant_chip()?;
+    let system =
+        ResonantCantileverSystem::new(chip, Environment::air(), ResonantLoopConfig::default())?;
+    let loading = system.mass_loading();
+    println!(
+        "\nresonator: f0 = {:.2} kHz, responsivity {:.2} Hz/pg",
+        loading.resonator().resonant_frequency().as_kilohertz(),
+        loading.responsivity() * 1e-15
+    );
+
+    // Hybridize 100 nM complementary strand for 20 minutes, then wash.
+    let protocol = AssayProtocol::standard(
+        Seconds::new(60.0),
+        Molar::from_nanomolar(100.0),
+        Seconds::new(1200.0),
+        Seconds::new(300.0),
+    );
+    let kinetics = LangmuirKinetics::from_receptor(&probe);
+    let sensorgram = protocol.run(&kinetics, Seconds::new(10.0), 0.0)?;
+
+    // Counter gate of 10 s -> 0.1 Hz quantization.
+    let trace = run_resonant_assay(&system, &probe, &target, &sensorgram, Seconds::new(10.0))?;
+    let shifts = to_frequency_shift(&trace);
+    println!("\n   t [s]   coverage   df [Hz]");
+    for (i, (t, df)) in shifts.iter().enumerate().step_by(15) {
+        println!(
+            "  {:6.0}     {:5.3}    {:+7.2}",
+            t.value(),
+            trace.points[i].coverage,
+            df
+        );
+    }
+
+    let full_mass = probe.bound_mass(&target, system.chip().geometry().plan_area(), 1.0)?;
+    println!(
+        "\npeak shift {:+.2} Hz; a full monolayer would be {:.1} pg -> {:+.2} Hz",
+        trace.peak_signal(),
+        full_mass.as_picograms(),
+        loading.frequency_shift(full_mass).value()
+    );
+    Ok(())
+}

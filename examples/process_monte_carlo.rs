@@ -1,0 +1,124 @@
+//! Fabrication study: why the electrochemical etch-stop matters.
+//!
+//! Runs the post-CMOS micromachining flow (Figure 3) through a Monte-Carlo
+//! process spread, comparing the n-well etch-stop route against a timed
+//! KOH etch, then runs the combined CMOS+MEMS DRC deck over the cantilever
+//! layout — the paper's design-flow-integration claim.
+//!
+//! Run with: `cargo run --release --example process_monte_carlo`
+
+use canti::fab::drc::{full_deck, Violation};
+use canti::fab::layout::cantilever_cell;
+use canti::fab::process::{PostCmosFlow, WaferSpec};
+use canti::fab::variation::{Distribution, MonteCarlo, Stats};
+use canti::mems::beam::CompositeBeam;
+use canti::units::Meters;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ----- cross-section before/after (Figure 3) ------------------------
+    let result = PostCmosFlow::paper().run(&WaferSpec::nominal())?;
+    println!("cross-section BEFORE post-processing:");
+    print!("{}", result.before.render());
+    println!("\ncross-section of the released beam AFTER post-processing:");
+    print!("{}", result.after_release_beam.render());
+    println!(
+        "released: {}, beam thickness {:.2} um\n",
+        result.released,
+        result.beam_thickness.as_micrometers()
+    );
+
+    // ----- thickness spread: etch-stop vs timed etch ---------------------
+    let mc = MonteCarlo::new(0xFAB, 2000)?;
+    let nwell_depth = Distribution::Normal {
+        mean: 5.0e-6,
+        sigma: 0.1e-6, // implant/diffusion control: +/- 2 %
+    };
+    let wafer_thickness = Distribution::Normal {
+        mean: 525.0e-6,
+        sigma: 10.0e-6, // wafer spec: +/- 10 um
+    };
+    let etch_rate_rel = Distribution::Normal {
+        mean: 1.0,
+        sigma: 0.03, // KOH bath: +/- 3 %
+    };
+
+    let stop_thickness = mc.run(|rng, _| {
+        let mut wafer = WaferSpec::nominal();
+        wafer.nwell_depth = Meters::new(nwell_depth.sample(rng));
+        wafer.wafer_thickness = Meters::new(wafer_thickness.sample(rng));
+        PostCmosFlow::paper()
+            .run(&wafer)
+            .expect("flow runs")
+            .beam_thickness
+            .as_micrometers()
+    });
+    let timed_thickness = mc.run(|rng, _| {
+        let mut wafer = WaferSpec::nominal();
+        wafer.nwell_depth = Meters::new(nwell_depth.sample(rng));
+        wafer.wafer_thickness = Meters::new(wafer_thickness.sample(rng));
+        let mut flow = PostCmosFlow::timed_baseline();
+        if let canti::fab::process::EtchStop::Timed { rate, duration } = flow.etch_stop {
+            flow.etch_stop = canti::fab::process::EtchStop::Timed {
+                rate: rate * etch_rate_rel.sample(rng),
+                duration,
+            };
+        }
+        flow.run(&wafer)
+            .map(|r| r.beam_thickness.as_micrometers())
+            .unwrap_or(f64::NAN)
+    });
+    let timed_ok: Vec<f64> = timed_thickness.into_iter().filter(|t| t.is_finite()).collect();
+
+    let s_stop = Stats::of(&stop_thickness).expect("stats");
+    let s_timed = Stats::of(&timed_ok).expect("stats");
+    println!("beam thickness over {} Monte-Carlo wafers:", mc.trials());
+    println!(
+        "  electrochemical etch-stop: {:.2} +/- {:.2} um  (cv {:.1} %)",
+        s_stop.mean,
+        s_stop.std_dev,
+        s_stop.cv().unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "  timed KOH etch:            {:.2} +/- {:.2} um  (cv {:.1} %)",
+        s_timed.mean,
+        s_timed.std_dev,
+        s_timed.cv().unwrap_or(0.0) * 100.0
+    );
+
+    // ----- what that does to the resonant frequency ---------------------
+    let f0_spread = |thicknesses: &[f64]| {
+        let f: Vec<f64> = thicknesses
+            .iter()
+            .map(|&t_um| {
+                let geom = canti::mems::geometry::CantileverGeometry::paper_resonant()
+                    .expect("geometry")
+                    .with_core_thickness(Meters::from_micrometers(t_um));
+                CompositeBeam::new(&geom)
+                    .expect("beam")
+                    .fundamental_frequency()
+                    .as_kilohertz()
+            })
+            .collect();
+        Stats::of(&f).expect("stats")
+    };
+    let f_stop = f0_spread(&stop_thickness);
+    let f_timed = f0_spread(&timed_ok);
+    println!("\nresulting resonant-frequency spread:");
+    println!(
+        "  etch-stop: {:.1} +/- {:.1} kHz;  timed: {:.1} +/- {:.1} kHz",
+        f_stop.mean, f_stop.std_dev, f_timed.mean, f_timed.std_dev
+    );
+
+    // ----- DRC of the MEMS masks against the CMOS layers -----------------
+    let cell = cantilever_cell(150.0, 140.0);
+    let violations: Vec<Violation> = full_deck().run(&cell);
+    println!(
+        "\nDRC (CMOS + MEMS combined deck) on '{}': {} violation(s)",
+        cell.name(),
+        violations.len()
+    );
+    for v in &violations {
+        println!("  {v}");
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build the paper's resonant biosensor chip, start the
+//! feedback loop in air, bind some analyte, and watch the resonant
+//! frequency drop.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use canti::system::chip::{BiosensorChip, Environment};
+use canti::system::resonant_system::{ResonantCantileverSystem, ResonantLoopConfig};
+use canti::units::Kilograms;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The chip: 150 um x 140 um cantilever released from a 0.8 um CMOS
+    //    wafer, PMOS Wheatstone bridge at the clamped edge, Lorentz coil,
+    //    package magnet.
+    let chip = BiosensorChip::paper_resonant_chip()?;
+    println!("chip: {}", chip.geometry());
+    println!(
+        "beam: f0(vacuum) = {:.1} kHz, k = {:.1} N/m",
+        chip.beam().fundamental_frequency().as_kilohertz(),
+        chip.beam().spring_constant().value()
+    );
+
+    // 2. Close the feedback loop (Figure 5) in air and let it start up
+    //    from thermal noise.
+    let mut system =
+        ResonantCantileverSystem::new(chip, Environment::air(), ResonantLoopConfig::default())?;
+    let baseline = system.steady_state(1200)?;
+    println!(
+        "oscillating at {:.1} kHz, amplitude {:.1} nm, VGA gain {:.1}",
+        baseline.frequency.as_kilohertz(),
+        baseline.amplitude.as_nanometers(),
+        baseline.vga_gain
+    );
+
+    // 3. Bind 2 ng of analyte (a dried calibration droplet) and re-measure.
+    system.set_added_mass(Kilograms::from_nanograms(2.0));
+    let _resettle = system.run(20_000);
+    let loaded = system.steady_state(800)?;
+    let shift = loaded.frequency - baseline.frequency;
+    println!(
+        "after 2 ng: {:.1} kHz (shift {:+.2} Hz; analytic model predicts {:+.2} Hz)",
+        loaded.frequency.as_kilohertz(),
+        shift.value(),
+        system
+            .mass_loading()
+            .frequency_shift(Kilograms::from_nanograms(2.0))
+            .value()
+    );
+
+    // 4. What mass could this sensor resolve with a 0.1 Hz frequency
+    //    readout?
+    let min_mass = system
+        .mass_loading()
+        .min_detectable_mass(canti::units::Hertz::new(0.1))?;
+    println!(
+        "minimum detectable mass at 0.1 Hz resolution: {:.2} pg",
+        min_mass.as_picograms()
+    );
+    Ok(())
+}

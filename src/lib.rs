@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the canti workspace.
+pub use canti_analog as analog;
+pub use canti_bio as bio;
+pub use canti_core as system;
+pub use canti_digital as digital;
+pub use canti_fab as fab;
+pub use canti_mems as mems;
+pub use canti_units as units;

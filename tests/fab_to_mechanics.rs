@@ -1,0 +1,127 @@
+//! Integration: fabrication variation propagated into device performance
+//! — the cross-crate seam between `canti-fab` and `canti-mems`.
+
+use canti::fab::process::{EtchStop, PostCmosFlow, WaferSpec};
+use canti::fab::variation::{Distribution, MonteCarlo, Stats, WaferModel};
+use canti::mems::beam::CompositeBeam;
+use canti::mems::geometry::CantileverGeometry;
+use canti::units::Meters;
+
+fn frequency_for_thickness(t: Meters) -> f64 {
+    let geom = CantileverGeometry::paper_resonant()
+        .expect("geometry")
+        .with_core_thickness(t);
+    CompositeBeam::new(&geom)
+        .expect("beam")
+        .fundamental_frequency()
+        .value()
+}
+
+/// Etch-stop-defined beams have an order of magnitude tighter frequency
+/// spread than timed-etch beams under the same process variation — the
+/// quantitative content of the paper's "well-defined thickness" claim.
+#[test]
+fn etch_stop_tightens_frequency_distribution() {
+    let mc = MonteCarlo::new(42, 500).expect("mc");
+    let nwell = Distribution::Normal {
+        mean: 5.0e-6,
+        sigma: 0.1e-6,
+    };
+    let wafer = Distribution::Normal {
+        mean: 525.0e-6,
+        sigma: 10.0e-6,
+    };
+
+    let f_stop = mc.run(|rng, _| {
+        let mut spec = WaferSpec::nominal();
+        spec.nwell_depth = Meters::new(nwell.sample(rng));
+        spec.wafer_thickness = Meters::new(wafer.sample(rng));
+        let r = PostCmosFlow::paper().run(&spec).expect("flow");
+        frequency_for_thickness(r.beam_thickness)
+    });
+    let f_timed = mc.run(|rng, _| {
+        let mut spec = WaferSpec::nominal();
+        spec.nwell_depth = Meters::new(nwell.sample(rng));
+        spec.wafer_thickness = Meters::new(wafer.sample(rng));
+        PostCmosFlow::timed_baseline()
+            .run(&spec)
+            .map(|r| frequency_for_thickness(r.beam_thickness))
+            .unwrap_or(f64::NAN)
+    });
+    let f_timed: Vec<f64> = f_timed.into_iter().filter(|f| f.is_finite()).collect();
+
+    let cv_stop = Stats::of(&f_stop).expect("stats").cv().expect("cv");
+    let cv_timed = Stats::of(&f_timed).expect("stats").cv().expect("cv");
+    assert!(
+        cv_timed > 10.0 * cv_stop,
+        "etch-stop cv {cv_stop:.4} vs timed cv {cv_timed:.4}"
+    );
+    assert!(cv_stop < 0.05, "etch-stop frequency spread under 5 %");
+}
+
+/// Wafer/die hierarchy: dies from the same wafer match each other better
+/// than dies from different wafers — what array-internal referencing
+/// (sensing vs reference cantilever) relies on.
+#[test]
+fn same_wafer_dies_match_better() {
+    let model = WaferModel {
+        wafer_sigma: 0.04,
+        die_sigma: 0.01,
+    };
+    let mc = MonteCarlo::new(7, 200).expect("mc");
+    let wafers = mc.run(|rng, _| model.sample_wafer(rng, 8));
+
+    // within-wafer pairwise spread
+    let mut within = Vec::new();
+    let mut across = Vec::new();
+    for w in &wafers {
+        within.push((w[0] - w[1]).abs());
+    }
+    for pair in wafers.windows(2) {
+        across.push((pair[0][0] - pair[1][0]).abs());
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&across) > 2.0 * mean(&within),
+        "across-wafer {} vs within-wafer {}",
+        mean(&across),
+        mean(&within)
+    );
+}
+
+/// The timed-etch flow fails release for thick membranes while the
+/// etch-stop flow always releases — a yield mechanism, not just a spread
+/// mechanism.
+#[test]
+fn etch_stop_protects_release_yield() {
+    let mc = MonteCarlo::new(9, 300).expect("mc");
+    let wafer = Distribution::Normal {
+        mean: 525.0e-6,
+        sigma: 15.0e-6, // sloppier wafer spec
+    };
+    let released = |flow: &PostCmosFlow, rng: &mut rand_chacha::ChaCha8Rng| {
+        let mut spec = WaferSpec::nominal();
+        spec.wafer_thickness = Meters::new(wafer.sample(rng));
+        flow.run(&spec).map(|r| r.released).unwrap_or(false)
+    };
+
+    let paper = PostCmosFlow::paper();
+    let timed = PostCmosFlow::timed_baseline();
+    let yield_stop = mc
+        .run(|rng, _| released(&paper, rng))
+        .iter()
+        .filter(|&&ok| ok)
+        .count();
+    let yield_timed = mc
+        .run(|rng, _| released(&timed, rng))
+        .iter()
+        .filter(|&&ok| ok)
+        .count();
+    assert_eq!(yield_stop, mc.trials(), "etch-stop always releases");
+    assert!(
+        yield_timed < mc.trials(),
+        "timed etch must lose some dies to thick membranes"
+    );
+    // sanity on the timed variant's etch mode
+    assert!(matches!(timed.etch_stop, EtchStop::Timed { .. }));
+}
