@@ -25,7 +25,7 @@ use crate::AnalogError;
 /// assert!((back - 0.75).abs() <= adc.lsb() / 2.0);
 /// # Ok::<(), canti_analog::AnalogError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SarAdc {
     bits: u32,
     /// Full scale: the input range is ±v_ref.

@@ -41,7 +41,7 @@ use crate::error::ensure_positive;
 use crate::AnalogError;
 
 /// Which device implements the bridge arms.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BridgeElement {
     /// Diffused silicon resistor.
     Resistive(Resistor),
@@ -66,7 +66,7 @@ pub enum BridgeElement {
 /// assert!((v.value() - 5.0 * 1e-3).abs() < 1e-8);
 /// # Ok::<(), canti_analog::AnalogError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WheatstoneBridge {
     element: BridgeElement,
     nominal: Ohms,

@@ -26,7 +26,7 @@ use crate::AnalogError;
 /// assert!((e - 12.8e-9).abs() / 12.8e-9 < 0.02);
 /// # Ok::<(), canti_analog::AnalogError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Resistor {
     nominal: Ohms,
     /// Relative fabrication tolerance (1σ), e.g. 0.15 for ±15 %.
@@ -100,7 +100,7 @@ impl Resistor {
 /// R_on = 1/(k'·(W/L)·V_ov). Its flicker noise — the reason the chopper and
 /// high-pass filters exist — follows the standard KF model with
 /// S_v(f) = KF/(C_ox·W·L·f).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MosTriode {
     /// Channel width, m.
     pub width: f64,
@@ -171,7 +171,7 @@ impl MosTriode {
 }
 
 /// A MOS switch (transmission gate) for the analog multiplexer.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Switch {
     /// On-resistance.
     pub r_on: Ohms,
@@ -213,7 +213,7 @@ impl Switch {
 }
 
 /// A simple current source/sink with finite output resistance.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CurrentSource {
     /// Programmed current.
     pub current: Amperes,

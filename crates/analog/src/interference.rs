@@ -23,7 +23,7 @@ use crate::AnalogError;
 
 /// A narrowband interference source (mains hum, switching EMI, RF
 /// envelope).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InterferenceSource {
     /// Pickup amplitude induced on an unshielded off-chip trace, V.
     pub amplitude: Volts,
@@ -72,7 +72,7 @@ impl InterferenceSource {
 }
 
 /// Where the first gain stage sits relative to the vulnerable interconnect.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReadoutTopology {
     /// Bridge on chip, amplifier off chip: pickup couples onto the raw
     /// bridge signal.

@@ -1,10 +1,18 @@
-//! Criterion benches: one group per paper figure/claim experiment, timing
-//! the computational kernel each reproduction rests on.
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+//! Bench harness: one timed kernel per paper figure/claim experiment.
+//!
+//! The build environment is offline (no criterion), so this is a
+//! `harness = false` micro-benchmark driver on `std::time::Instant`: each
+//! kernel is warmed up, then run in batches until a time budget is spent,
+//! reporting the per-iteration median-of-batches.
+//!
+//! ```text
+//! cargo bench -p canti-bench --bench experiments            # everything
+//! cargo bench -p canti-bench --bench experiments fig2 e7    # a subset
+//! ```
 
 use canti_analog::blocks::{Block, ButterworthLowPass, ChopperAmplifier};
 use canti_analog::noise::{CompositeNoise, FlickerNoise, WhiteNoise};
+use canti_bench::timing::Bencher;
 use canti_bio::kinetics::LangmuirKinetics;
 use canti_bio::receptor::ReceptorLayer;
 use canti_core::chip::{BiosensorChip, Environment};
@@ -16,203 +24,157 @@ use canti_fab::variation::{Distribution, MonteCarlo};
 use canti_mems::beam::CompositeBeam;
 use canti_mems::geometry::CantileverGeometry;
 use canti_mems::surface_stress::SurfaceStressLoad;
-use canti_units::{Meters, Molar, Seconds, SurfaceStress, Volts};
+use canti_units::{Meters, Molar, Seconds, Volts};
 
-/// F1 kernel: equilibrium dose–response point (kinetics + beam statics).
-fn bench_fig1(c: &mut Criterion) {
-    let receptor = ReceptorLayer::anti_igg();
-    let kinetics = LangmuirKinetics::from_receptor(&receptor);
-    let geom = CantileverGeometry::paper_static().expect("geometry");
-    let beam = CompositeBeam::new(&geom).expect("beam");
-    c.bench_function("fig1_static_bending_point", |b| {
-        b.iter(|| {
+fn resonant_system() -> ResonantCantileverSystem {
+    ResonantCantileverSystem::new(
+        BiosensorChip::paper_resonant_chip().expect("chip"),
+        Environment::air(),
+        ResonantLoopConfig::default(),
+    )
+    .expect("system")
+}
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let mut b = Bencher::from_env(filter);
+
+    b.bench("fig1_static_bending_point", || {
+        let receptor = ReceptorLayer::anti_igg();
+        let kinetics = LangmuirKinetics::from_receptor(&receptor);
+        let geom = CantileverGeometry::paper_static().expect("geometry");
+        let beam = CompositeBeam::new(&geom).expect("beam");
+        move || {
             let theta =
                 kinetics.coverage_at(Molar::from_nanomolar(10.0), 0.0, Seconds::new(300.0));
             let sigma = receptor.surface_stress_at(theta).expect("stress");
-            std::hint::black_box(SurfaceStressLoad::new(&beam).tip_deflection(sigma))
-        });
+            std::hint::black_box(SurfaceStressLoad::new(&beam).tip_deflection(sigma));
+        }
     });
-}
 
-/// F2 kernel: 2000 closed-loop co-simulation samples of the oscillator.
-fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("fig2_resonant_loop_2000_samples", |b| {
-        b.iter_batched(
-            || {
-                ResonantCantileverSystem::new(
-                    BiosensorChip::paper_resonant_chip().expect("chip"),
-                    Environment::air(),
-                    ResonantLoopConfig::default(),
-                )
-                .expect("system")
-            },
-            |mut sys| std::hint::black_box(sys.run(2000)),
-            BatchSize::SmallInput,
-        );
+    b.bench("fig2_resonant_loop_2000_samples", || {
+        let mut sys = resonant_system();
+        move || {
+            std::hint::black_box(sys.run(2000));
+        }
     });
-}
 
-/// F3 kernel: one process-flow run + a 100-trial Monte Carlo.
-fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3_process_flow_single", |b| {
-        b.iter(|| std::hint::black_box(PostCmosFlow::paper().run(&WaferSpec::nominal())));
+    b.bench("fig3_process_flow_single", || {
+        || {
+            std::hint::black_box(PostCmosFlow::paper().run(&WaferSpec::nominal())).expect("flow");
+        }
     });
-    c.bench_function("fig3_process_flow_mc100", |b| {
+
+    b.bench("fig3_process_flow_mc100", || {
         let mc = MonteCarlo::new(1, 100).expect("mc");
         let nwell = Distribution::Normal {
             mean: 5e-6,
             sigma: 0.1e-6,
         };
-        b.iter(|| {
-            mc.run(|rng, _| {
+        move || {
+            std::hint::black_box(mc.run(|rng, _| {
                 let mut spec = WaferSpec::nominal();
                 spec.nwell_depth = Meters::new(nwell.sample(rng));
                 PostCmosFlow::paper()
                     .run(&spec)
                     .expect("flow")
                     .beam_thickness
-            })
-        });
+            }));
+        }
     });
-}
 
-/// F4 kernel: 10 000 samples through the chopper + filter chain.
-fn bench_fig4(c: &mut Criterion) {
-    c.bench_function("fig4_readout_chain_10k_samples", |b| {
-        b.iter_batched(
-            || {
-                let fs = 500e3;
-                let noise = CompositeNoise::new(
-                    WhiteNoise::new(15e-9, fs, 1).expect("noise"),
-                    FlickerNoise::new(2e-6, 0.5, fs / 4.0, fs, 2).expect("noise"),
-                );
-                let amp = ChopperAmplifier::new(
-                    100.0,
-                    10e3,
-                    fs,
-                    Volts::from_millivolts(2.0),
-                    noise,
-                    Volts::zero(),
-                )
-                .expect("chopper");
-                let lpf = ButterworthLowPass::new(500.0, fs).expect("lpf");
-                (amp, lpf)
-            },
-            |(mut amp, mut lpf)| {
-                let mut acc = 0.0;
-                for i in 0..10_000 {
-                    let x = 1e-5 * (i as f64 * 0.001).sin();
-                    acc += lpf.process(amp.process(x));
-                }
-                std::hint::black_box(acc)
-            },
-            BatchSize::SmallInput,
+    b.bench("fig4_readout_chain_10k_samples", || {
+        let fs = 500e3;
+        let noise = CompositeNoise::new(
+            WhiteNoise::new(15e-9, fs, 1).expect("noise"),
+            FlickerNoise::new(2e-6, 0.5, fs / 4.0, fs, 2).expect("noise"),
         );
+        let mut amp = ChopperAmplifier::new(
+            100.0,
+            10e3,
+            fs,
+            Volts::from_millivolts(2.0),
+            noise,
+            Volts::zero(),
+        )
+        .expect("chopper");
+        let mut lpf = ButterworthLowPass::new(500.0, fs).expect("lpf");
+        move || {
+            let mut acc = 0.0;
+            for i in 0..10_000 {
+                let x = 1e-5 * (i as f64 * 0.001).sin();
+                acc += lpf.process(amp.process(x));
+            }
+            std::hint::black_box(acc);
+        }
     });
-}
 
-/// F5 kernel: steady-state summary of a short loop run (startup + measure).
-fn bench_fig5(c: &mut Criterion) {
-    c.bench_function("fig5_feedback_startup_200_periods", |b| {
-        b.iter_batched(
-            || {
-                ResonantCantileverSystem::new(
-                    BiosensorChip::paper_resonant_chip().expect("chip"),
-                    Environment::air(),
-                    ResonantLoopConfig::default(),
-                )
-                .expect("system")
-            },
-            |mut sys| std::hint::black_box(sys.steady_state(200)),
-            BatchSize::SmallInput,
-        );
+    b.bench("fig5_feedback_startup_200_periods", || {
+        || {
+            let mut sys = resonant_system();
+            std::hint::black_box(sys.steady_state(200)).expect("steady state");
+        }
     });
-}
 
-/// E6 kernel: topology arithmetic (cheap, but part of the index).
-fn bench_e6(c: &mut Criterion) {
-    use canti_analog::interference::ReadoutTopology;
-    let mono = ReadoutTopology::paper_monolithic(100.0);
-    let disc = ReadoutTopology::conventional_discrete();
-    c.bench_function("e6_interference_referral", |b| {
-        b.iter(|| {
-            std::hint::black_box(mono.rejection_vs(&disc, Volts::from_millivolts(1.0)))
-        });
+    b.bench("e6_interference_referral", || {
+        use canti_analog::interference::ReadoutTopology;
+        let mono = ReadoutTopology::paper_monolithic(100.0);
+        let disc = ReadoutTopology::conventional_discrete();
+        move || {
+            std::hint::black_box(mono.rejection_vs(&disc, Volts::from_millivolts(1.0)));
+        }
     });
-}
 
-/// E7 kernel: exact bridge solve.
-fn bench_e7(c: &mut Criterion) {
-    use canti_analog::bridge::WheatstoneBridge;
-    let bridge = WheatstoneBridge::paper_pmos().expect("bridge");
-    c.bench_function("e7_bridge_solve", |b| {
-        b.iter(|| {
-            std::hint::black_box(bridge.output(
-                Volts::new(2.5),
-                [-1e-4, 1e-4, 1e-4, -1e-4],
-            ))
-        });
+    b.bench("e7_bridge_solve", || {
+        use canti_analog::bridge::WheatstoneBridge;
+        let bridge = WheatstoneBridge::paper_pmos().expect("bridge");
+        move || {
+            std::hint::black_box(bridge.output(Volts::new(2.5), [-1e-4, 1e-4, 1e-4, -1e-4]));
+        }
     });
-}
 
-/// E8 kernel: cost sweep.
-fn bench_e8(c: &mut Criterion) {
-    use canti_fab::cost::CostModel;
-    let wl = CostModel::wafer_level();
-    let dl = CostModel::die_level();
-    c.bench_function("e8_cost_crossover", |b| {
-        b.iter(|| std::hint::black_box(wl.crossover_volume(&dl)));
+    b.bench("e8_cost_crossover", || {
+        use canti_fab::cost::CostModel;
+        let wl = CostModel::wafer_level();
+        let dl = CostModel::die_level();
+        move || {
+            let _ = std::hint::black_box(wl.crossover_volume(&dl));
+        }
     });
-}
 
-/// E9 kernel: overlapped Allan deviation of a 10k-sample record.
-fn bench_e9(c: &mut Criterion) {
-    use canti_digital::allan::FrequencyRecord;
-    let samples: Vec<f64> = (0..10_000)
-        .map(|i| 1e-6 * (((i * 2654435761usize) % 997) as f64 / 500.0 - 1.0))
-        .collect();
-    let record = FrequencyRecord::new(samples, Seconds::new(0.01)).expect("record");
-    c.bench_function("e9_allan_deviation_m100", |b| {
-        b.iter(|| std::hint::black_box(record.allan_deviation(100)));
+    b.bench("e9_allan_deviation_m100", || {
+        use canti_digital::allan::FrequencyRecord;
+        let samples: Vec<f64> = (0..10_000)
+            .map(|i| 1e-6 * (((i * 2654435761usize) % 997) as f64 / 500.0 - 1.0))
+            .collect();
+        let record = FrequencyRecord::new(samples, Seconds::new(0.01)).expect("record");
+        move || {
+            std::hint::black_box(record.allan_deviation(100)).expect("allan");
+        }
     });
-}
 
-/// DRC kernel (part of F3's flow-integration claim).
-fn bench_drc(c: &mut Criterion) {
-    let cell = cantilever_cell(150.0, 140.0);
-    let deck = full_deck();
-    c.bench_function("fig3_drc_full_deck", |b| {
-        b.iter(|| std::hint::black_box(deck.run(&cell)));
+    b.bench("fig3_drc_full_deck", || {
+        let cell = cantilever_cell(150.0, 140.0);
+        let deck = full_deck();
+        move || {
+            std::hint::black_box(deck.run(&cell));
+        }
     });
-}
 
-/// Beam reduction (shared by F1/F2/F3).
-fn bench_beam(c: &mut Criterion) {
-    let geom = CantileverGeometry::paper_resonant().expect("geometry");
-    c.bench_function("beam_reduction", |b| {
-        b.iter(|| std::hint::black_box(CompositeBeam::new(&geom)));
+    b.bench("beam_reduction", || {
+        let geom = CantileverGeometry::paper_resonant().expect("geometry");
+        move || {
+            std::hint::black_box(CompositeBeam::new(&geom)).expect("beam");
+        }
     });
-    let beam = CompositeBeam::new(&geom).expect("beam");
-    c.bench_function("beam_mode_frequency", |b| {
-        b.iter(|| std::hint::black_box(beam.mode_frequency(1)));
-    });
-    let _ = SurfaceStress::zero();
-}
 
-criterion_group!(
-    name = experiments;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_fig1,
-        bench_fig2,
-        bench_fig3,
-        bench_fig4,
-        bench_fig5,
-        bench_e6,
-        bench_e7,
-        bench_e8,
-        bench_e9,
-        bench_drc,
-        bench_beam
-);
-criterion_main!(experiments);
+    b.bench("beam_mode_frequency", || {
+        let geom = CantileverGeometry::paper_resonant().expect("geometry");
+        let beam = CompositeBeam::new(&geom).expect("beam");
+        move || {
+            std::hint::black_box(beam.mode_frequency(1)).expect("mode");
+        }
+    });
+
+    b.finish();
+}

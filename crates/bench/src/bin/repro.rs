@@ -26,12 +26,9 @@ fn emit(report: &ExperimentReport) {
         Err(e) => eprintln!("  !! could not write {}: {e}", csv_path.display()),
     }
     let json_path = dir.join(format!("{}.json", report.id.to_lowercase()));
-    match serde_json::to_string_pretty(report) {
-        Ok(json) => match fs::write(&json_path, json) {
-            Ok(()) => println!("  -> {}\n", json_path.display()),
-            Err(e) => eprintln!("  !! could not write {}: {e}\n", json_path.display()),
-        },
-        Err(e) => eprintln!("  !! could not serialize {}: {e}\n", report.id),
+    match fs::write(&json_path, report.to_json()) {
+        Ok(()) => println!("  -> {}\n", json_path.display()),
+        Err(e) => eprintln!("  !! could not write {}: {e}\n", json_path.display()),
     }
 }
 

@@ -2,8 +2,9 @@
 //!
 //! One module per experiment in DESIGN.md's experiment index. Each module
 //! exposes `run()` returning an [`report::ExperimentReport`] — a uniform
-//! table + notes structure the `repro` binary prints and dumps as CSV, and
-//! whose kernels the Criterion benches time.
+//! table + notes structure the `repro` binary prints and dumps as CSV/JSON,
+//! and whose kernels the std-only [`timing`] harness times (see
+//! `benches/experiments.rs`; `benches/farm.rs` covers farm scaling).
 //!
 //! | id | paper artefact | module |
 //! |----|----------------|--------|
@@ -42,6 +43,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod report;
+pub mod timing;
 
 /// Runs every experiment, in index order.
 #[must_use]

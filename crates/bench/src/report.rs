@@ -4,7 +4,7 @@
 use std::fmt::Write as _;
 
 /// One reproduced experiment's results.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Experiment id from the DESIGN.md index (e.g. `"F1"`).
     pub id: String,
@@ -81,6 +81,49 @@ impl ExperimentReport {
             let _ = writeln!(out, "  * {note}");
         }
         out
+    }
+
+    /// Renders the report as a pretty-printed JSON object (hand-rolled —
+    /// the offline build has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn arr(items: &[String]) -> String {
+            format!("[{}]", items.join(", "))
+        }
+        let headers: Vec<String> = self.headers.iter().map(|h| esc(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| arr(&r.iter().map(|c| esc(c)).collect::<Vec<_>>()))
+            .collect();
+        let notes: Vec<String> = self.notes.iter().map(|n| esc(n)).collect();
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"headers\": {},\n  \"rows\": {},\n  \"notes\": {}\n}}",
+            esc(&self.id),
+            esc(&self.title),
+            arr(&headers),
+            arr(&rows),
+            arr(&notes)
+        )
     }
 
     /// Renders the table as CSV (headers + rows; notes as `#` comments).

@@ -22,7 +22,7 @@ use crate::error::{ensure_positive, BioError};
 /// // a single IgG weighs about 0.25 attogram:
 /// assert!(igg.molecule_mass().value() < 1e-21);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Analyte {
     name: String,
     molar_mass: KgPerMol,

@@ -14,7 +14,7 @@ use crate::error::{ensure_coverage, ensure_positive, BioError};
 use crate::kinetics::LangmuirKinetics;
 
 /// One phase of an assay timeline.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AssayPhase {
     /// Buffer flow — zero analyte concentration.
     Baseline {
@@ -78,7 +78,7 @@ impl AssayPhase {
 /// assert!(peak > 0.0 && peak < 1.0);
 /// # Ok::<(), canti_bio::BioError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AssayProtocol {
     phases: Vec<AssayPhase>,
 }
@@ -206,7 +206,7 @@ impl AssayProtocol {
 }
 
 /// One time point of a sensorgram.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorgramSample {
     /// Time from protocol start.
     pub time: Seconds,
@@ -217,7 +217,7 @@ pub struct SensorgramSample {
 }
 
 /// Coverage-vs-time trace produced by running an assay.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Sensorgram {
     samples: Vec<SensorgramSample>,
 }

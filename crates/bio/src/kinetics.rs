@@ -46,7 +46,7 @@ use crate::receptor::{BindingConstants, ReceptorLayer};
 /// assert!(theta > 0.2 && theta < 0.5);
 /// # Ok::<(), canti_bio::BioError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LangmuirKinetics {
     constants: BindingConstants,
 }
@@ -142,7 +142,7 @@ impl LangmuirKinetics {
 /// `k_m · C / Γ_max`.
 ///
 /// The ODE is nonlinear, so stepping uses classic RK4.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransportLimitedKinetics {
     inner: LangmuirKinetics,
     /// Mass-transport coefficient in m/s.
@@ -243,14 +243,14 @@ impl TransportLimitedKinetics {
 /// Used to model cross-reactivity: a high-concentration low-affinity
 /// interferent (e.g. serum albumin) competing with the low-concentration
 /// high-affinity target.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompetitiveKinetics {
     target: BindingConstants,
     interferent: BindingConstants,
 }
 
 /// Coverage state of a competitive binding simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CompetitiveState {
     /// Fractional coverage by the target analyte.
     pub target: f64,

@@ -20,7 +20,7 @@ use canti_units::{Kelvin, KgPerM3, PascalSeconds};
 /// let air = Liquid::air();
 /// assert!(air.density().value() < 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Liquid {
     name: String,
     density: KgPerM3,

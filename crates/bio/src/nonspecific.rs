@@ -29,7 +29,7 @@ use crate::kinetics::LangmuirKinetics;
 /// assert!(state.total() > 0.0 && state.total() < 1.0);
 /// # Ok::<(), canti_bio::BioError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FoulingModel {
     reversible: LangmuirKinetics,
     /// Irreversible fouling rate constant, 1/(M·s).
@@ -39,7 +39,7 @@ pub struct FoulingModel {
 }
 
 /// Fouling state: reversible and irreversible coverage fractions.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FoulingState {
     /// Reversible (washable) coverage.
     pub reversible: f64,

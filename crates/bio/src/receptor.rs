@@ -17,7 +17,7 @@ use crate::error::{ensure_coverage, ensure_positive, BioError};
 /// `k_on` is the association rate in 1/(M·s); `k_off` the dissociation rate
 /// in 1/s. Their ratio gives the equilibrium dissociation constant
 /// K_D = k_off / k_on.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BindingConstants {
     /// Association rate constant, 1/(M·s).
     pub k_on: f64,
@@ -58,7 +58,7 @@ impl BindingConstants {
 /// let kd = layer.binding().dissociation_constant();
 /// assert!(kd.as_nanomolar() > 0.1 && kd.as_nanomolar() < 100.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReceptorLayer {
     name: String,
     probe_density: PerSquareMeter,

@@ -69,6 +69,48 @@ impl AssayTrace {
     }
 }
 
+/// The static readout chain's measured small-signal response — everything
+/// an assay run needs from the (expensive) sample-level electrical
+/// simulation, captured once and reusable across any number of assays.
+///
+/// This is the unit the sensor-farm engine memoizes per chip/config: the
+/// transfer and the noise floor are properties of the chain, not of the
+/// sensorgram being pushed through it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticChainResponse {
+    /// Small-signal transfer, V per (N/m).
+    pub transfer_volts_per_stress: f64,
+    /// Output noise (1σ) of a single electrical sample, V.
+    pub noise_rms_volts: f64,
+}
+
+impl StaticChainResponse {
+    /// Measures the chain response of `system`: the design transfer and
+    /// the output noise over a 16 k-sample burst at zero stress on
+    /// channel 0 (the same burst [`run_static_assay`] has always used).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on transfer/noise-measurement failures.
+    pub fn measure(system: &mut StaticCantileverSystem) -> Result<Self, CoreError> {
+        let transfer_volts_per_stress = system.transfer_volts_per_stress()?;
+        let noise_rms_volts = system
+            .output_noise_rms(0, SurfaceStress::zero(), 16_000)?
+            .value();
+        Ok(Self {
+            transfer_volts_per_stress,
+            noise_rms_volts,
+        })
+    }
+
+    /// The per-point noise (1σ) after averaging `averaging` electrical
+    /// samples per assay point.
+    #[must_use]
+    pub fn per_point_noise(&self, averaging: usize) -> f64 {
+        self.noise_rms_volts / (averaging.max(1) as f64).sqrt()
+    }
+}
+
 /// Runs a sensorgram through the static system: coverage → surface stress
 /// → calibrated output volts, with measured output noise added at the
 /// assay sample rate.
@@ -90,15 +132,42 @@ pub fn run_static_assay(
             reason: "averaging must be at least 1".to_owned(),
         });
     }
-    let transfer = system.transfer_volts_per_stress()?;
-    let noise_rms = system
-        .output_noise_rms(0, SurfaceStress::zero(), 16_000)?
-        .value();
-    let per_point_noise = noise_rms / (averaging as f64).sqrt();
+    let chain = StaticChainResponse::measure(system)?;
+    run_static_assay_precomputed(
+        &chain,
+        receptor,
+        sensorgram,
+        averaging,
+        system.config().seed.wrapping_add(0xA55A),
+    )
+}
+
+/// [`run_static_assay`] against an already-measured chain response — the
+/// fast path the sensor farm takes after memoizing [`StaticChainResponse`]
+/// for a chip/config. `noise_seed` seeds the per-point white noise (the
+/// plain runner derives it from the system config's seed).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on zero averaging or coverage→stress failures.
+pub fn run_static_assay_precomputed(
+    chain: &StaticChainResponse,
+    receptor: &ReceptorLayer,
+    sensorgram: &Sensorgram,
+    averaging: usize,
+    noise_seed: u64,
+) -> Result<AssayTrace, CoreError> {
+    if averaging == 0 {
+        return Err(CoreError::Config {
+            reason: "averaging must be at least 1".to_owned(),
+        });
+    }
+    let transfer = chain.transfer_volts_per_stress;
+    let per_point_noise = chain.per_point_noise(averaging);
     let mut noise = WhiteNoise::new(
         per_point_noise * std::f64::consts::SQRT_2, // density such that sigma = per_point_noise at fs=1
         1.0,
-        system.config().seed.wrapping_add(0xA55A),
+        noise_seed,
     )?;
 
     let points = sensorgram

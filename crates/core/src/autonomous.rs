@@ -48,14 +48,31 @@ pub struct AutonomousInstrument {
 }
 
 impl AutonomousInstrument {
-    /// Wraps a system in the autonomous controller.
+    /// Wraps a system in the autonomous controller with the default
+    /// per-channel watchdog budget of 1 M ticks (one tick per electrical
+    /// sample measured).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError`] if the sequencer cannot be configured.
     pub fn new(system: StaticCantileverSystem) -> Result<Self, CoreError> {
+        Self::with_watchdog(system, 1_000_000)
+    }
+
+    /// Like [`Self::new`] with an explicit watchdog budget: a channel
+    /// measurement consuming more than `watchdog_limit` ticks (electrical
+    /// samples) trips the sequencer into `Fault`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the sequencer cannot be configured (zero
+    /// watchdog budget).
+    pub fn with_watchdog(
+        system: StaticCantileverSystem,
+        watchdog_limit: u64,
+    ) -> Result<Self, CoreError> {
         Ok(Self {
-            sequencer: MeasurementSequencer::new(CHANNELS, 1_000_000)
+            sequencer: MeasurementSequencer::new(CHANNELS, watchdog_limit)
                 .map_err(CoreError::Digital)?,
             system,
         })
@@ -109,10 +126,17 @@ impl AutonomousInstrument {
     /// Runs one complete scan pass under the sequencer's control:
     /// `StartScan` → measure each channel the FSM asks for → `Report`.
     ///
+    /// Each electrical sample of a channel's settle+measure burst costs
+    /// one watchdog tick, so a measurement longer than the sequencer's
+    /// budget trips the watchdog. A measurement returning a non-finite
+    /// voltage (a railed or broken chain) latches `Fault` via
+    /// [`SequencerEvent::MeasurementFailed`].
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError`] if triggered outside `Idle` or a measurement
-    /// fails (the sequencer faults in both cases).
+    /// Returns [`CoreError`] if triggered outside `Idle`, the watchdog
+    /// fires, or a measurement fails or yields a non-finite output (the
+    /// sequencer faults in all cases).
     pub fn run_scan(
         &mut self,
         sigmas: [SurfaceStress; CHANNELS],
@@ -131,7 +155,32 @@ impl AutonomousInstrument {
         loop {
             match action {
                 SequencerAction::MeasureChannel(ch) => {
-                    outputs[ch] = self.system.measure(ch, sigmas[ch], samples_per_channel)?;
+                    // settle + data bursts: 2·n samples, one tick each
+                    let ticks = 2 * samples_per_channel as u64;
+                    for _ in 0..ticks {
+                        if self.sequencer.tick() {
+                            return Err(CoreError::Config {
+                                reason: format!(
+                                    "watchdog timeout while measuring channel {ch} \
+                                     ({ticks} ticks exceed the budget)"
+                                ),
+                            });
+                        }
+                    }
+                    let v = match self.system.measure(ch, sigmas[ch], samples_per_channel) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            let _ = self.sequencer.handle(SequencerEvent::MeasurementFailed);
+                            return Err(e);
+                        }
+                    };
+                    if !v.value().is_finite() {
+                        let _ = self.sequencer.handle(SequencerEvent::MeasurementFailed);
+                        return Err(CoreError::Config {
+                            reason: format!("non-finite output on channel {ch}"),
+                        });
+                    }
+                    outputs[ch] = v;
                     action = self
                         .sequencer
                         .handle(SequencerEvent::ChannelDone)
@@ -188,6 +237,57 @@ mod tests {
         assert!(delta(1) > 2e-3, "channel 1 moved {}", delta(1));
         assert!(delta(0) < delta(1) / 5.0);
         assert!(delta(3) < delta(1) / 5.0);
+    }
+
+    #[test]
+    fn watchdog_timeout_faults_the_scan() {
+        let system = StaticCantileverSystem::new(
+            BiosensorChip::paper_static_chip().unwrap(),
+            StaticReadoutConfig::default(),
+        )
+        .unwrap();
+        // budget of 100 ticks per channel, but a 1000-sample measurement
+        // costs 2000 ticks: the watchdog must fire before channel 0 is done
+        let mut inst = AutonomousInstrument::with_watchdog(system, 100).unwrap();
+        inst.power_on().unwrap();
+        let err = inst
+            .run_scan([SurfaceStress::zero(); CHANNELS], 1_000)
+            .unwrap_err();
+        assert!(err.to_string().contains("watchdog"), "{err}");
+        assert!(
+            matches!(inst.state(), SequencerState::Fault { reason } if reason.contains("watchdog")),
+            "{:?}",
+            inst.state()
+        );
+        // the fault is recoverable: reset, power back on, scan gently
+        inst.reset();
+        inst.power_on().unwrap();
+        let report = inst.run_scan([SurfaceStress::zero(); CHANNELS], 40).unwrap();
+        assert!(report.outputs[0].value().is_finite());
+    }
+
+    #[test]
+    fn non_finite_output_faults_the_scan() {
+        let mut inst = instrument();
+        inst.power_on().unwrap();
+        // a zero-sample measurement averages an empty burst: NaN out of
+        // the chain, which the controller must refuse to report
+        let err = inst
+            .run_scan([SurfaceStress::zero(); CHANNELS], 0)
+            .unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        assert!(
+            matches!(inst.state(), SequencerState::Fault { reason } if reason.contains("channel 0")),
+            "{:?}",
+            inst.state()
+        );
+        // latched: another scan attempt fails immediately
+        assert!(inst
+            .run_scan([SurfaceStress::zero(); CHANNELS], 1_000)
+            .is_err());
+        inst.reset();
+        inst.power_on().unwrap();
+        assert_eq!(inst.state(), &SequencerState::Idle);
     }
 
     #[test]

@@ -105,7 +105,7 @@ pub fn nelder_mead(
 }
 
 /// The four-parameter logistic dose–response curve.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FourParamLogistic {
     /// Response at zero dose.
     pub bottom: f64,

@@ -13,7 +13,7 @@ use crate::DigitalError;
 
 /// A record of fractional-frequency samples y_i = (f_i − f₀)/f₀ taken at a
 /// fixed interval τ₀.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrequencyRecord {
     samples: Vec<f64>,
     tau0: Seconds,

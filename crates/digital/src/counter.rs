@@ -22,7 +22,7 @@ use crate::DigitalError;
 const DEFAULT_HYSTERESIS: f64 = 1e-3;
 
 /// Direct (gated) frequency counter.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GatedCounter {
     gate: Seconds,
 }
@@ -82,7 +82,7 @@ impl GatedCounter {
 }
 
 /// Reciprocal (period-averaging) frequency counter.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReciprocalCounter {
     reference: Hertz,
     periods: usize,

@@ -13,7 +13,7 @@
 use crate::DigitalError;
 
 /// Controller states.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SequencerState {
     /// Just powered, nothing trusted yet.
     PowerOn,
@@ -34,7 +34,7 @@ pub enum SequencerState {
 }
 
 /// Events fed to the sequencer.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SequencerEvent {
     /// Power-on self test passed.
     SelfTestPassed,
@@ -46,12 +46,15 @@ pub enum SequencerEvent {
     StartScan,
     /// The current channel's measurement is complete.
     ChannelDone,
+    /// The current channel's measurement failed (e.g. a non-finite or
+    /// out-of-range output).
+    MeasurementFailed,
     /// Fault acknowledgment / global reset.
     Reset,
 }
 
 /// Actions the surrounding system must execute after a transition.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SequencerAction {
     /// Run the offset-calibration routine.
     RunCalibration,
@@ -76,7 +79,7 @@ pub enum SequencerAction {
 /// assert_eq!(seq.handle(SequencerEvent::StartScan)?, SequencerAction::MeasureChannel(0));
 /// # Ok::<(), canti_digital::DigitalError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasurementSequencer {
     state: SequencerState,
     channels: usize,
@@ -166,6 +169,12 @@ impl MeasurementSequencer {
             (S::Idle, E::StartScan) => (
                 S::Scanning { channel: 0 },
                 SequencerAction::MeasureChannel(0),
+            ),
+            (S::Scanning { channel }, E::MeasurementFailed) => (
+                S::Fault {
+                    reason: format!("measurement failed on channel {channel}"),
+                },
+                SequencerAction::None,
             ),
             (S::Scanning { channel }, E::ChannelDone) => {
                 let next_ch = channel + 1;
@@ -264,6 +273,22 @@ mod tests {
             }
             other => panic!("expected fault, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn measurement_failure_faults_with_channel() {
+        let mut seq = ready();
+        seq.handle(E::StartScan).unwrap();
+        seq.handle(E::ChannelDone).unwrap(); // now scanning channel 1
+        assert_eq!(seq.handle(E::MeasurementFailed).unwrap(), A::None);
+        match seq.state() {
+            S::Fault { reason } => assert!(reason.contains("channel 1"), "{reason}"),
+            other => panic!("expected fault, got {other:?}"),
+        }
+        // outside Scanning it is a protocol violation like any other event
+        let mut idle = ready();
+        idle.handle(E::MeasurementFailed).unwrap();
+        assert!(matches!(idle.state(), S::Fault { .. }));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::error::ensure_positive;
 use crate::FabError;
 
 /// Cost structure of one production route.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Processed CMOS wafer cost, currency units.
     pub wafer_cost: f64,

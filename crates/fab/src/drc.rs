@@ -10,7 +10,7 @@ use crate::layers::MaskLayer;
 use crate::layout::{Cell, Rect};
 
 /// One design rule.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Rule {
     /// Every shape on `layer` must be at least `min_nm` wide in its
     /// narrow direction.
@@ -71,7 +71,7 @@ impl Rule {
 }
 
 /// A rule violation with its location.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
     /// The violated rule's description.
     pub rule: String,
@@ -98,7 +98,7 @@ impl std::fmt::Display for Violation {
 }
 
 /// An ordered collection of rules.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RuleDeck {
     rules: Vec<Rule>,
 }

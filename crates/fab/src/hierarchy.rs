@@ -15,7 +15,7 @@ use crate::layout::{cantilever_cell, Cell, Rect};
 use crate::FabError;
 
 /// A placement of a child cell, translated by `(dx, dy)` nm.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     /// Name of the instantiated cell.
     pub child: String,
@@ -26,7 +26,7 @@ pub struct Instance {
 }
 
 /// A cell with its own shapes plus child instances.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct HierCell {
     /// The cell's own (flat) shapes.
     pub shapes: Cell,
@@ -35,7 +35,7 @@ pub struct HierCell {
 }
 
 /// A named collection of hierarchical cells.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Library {
     cells: BTreeMap<String, HierCell>,
 }

@@ -18,8 +18,6 @@ use canti_units::Meters;
     PartialOrd,
     Ord,
     Hash,
-    serde::Serialize,
-    serde::Deserialize,
 )]
 #[non_exhaustive]
 pub enum MaskLayer {
@@ -140,7 +138,7 @@ impl std::fmt::Display for MaskLayer {
 }
 
 /// One physical film of the fabricated stack (for cross-sections).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Film {
     /// Film name, e.g. `"field oxide"`.
     pub name: String,

@@ -12,7 +12,7 @@ use crate::FabError;
 
 /// An axis-aligned rectangle on the nm grid; `x0 < x1`, `y0 < y1`.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct Rect {
     /// Left edge, nm.
@@ -171,7 +171,7 @@ impl std::fmt::Display for Rect {
 }
 
 /// A layout cell: named shape lists per mask layer.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Cell {
     name: String,
     shapes: BTreeMap<MaskLayer, Vec<Rect>>,

@@ -21,7 +21,7 @@ use crate::layers::{cmos_08um_film_stack, default_nwell_depth, default_wafer_thi
 use crate::FabError;
 
 /// How the backside KOH etch terminates.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EtchStop {
     /// Electrochemical stop on the n-well pn-junction: the remaining
     /// silicon thickness equals the junction depth, almost independent of
@@ -39,7 +39,7 @@ pub enum EtchStop {
 }
 
 /// Starting wafer state for the post-CMOS flow.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WaferSpec {
     /// Full wafer (bulk silicon) thickness.
     pub wafer_thickness: Meters,
@@ -79,7 +79,7 @@ impl WaferSpec {
 }
 
 /// A snapshot of the film column, bottom-up, with named films.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrossSection {
     /// Films bottom-up, including the bulk/beam silicon.
     pub films: Vec<Film>,
@@ -110,7 +110,7 @@ impl CrossSection {
 }
 
 /// Outcome of running the post-CMOS flow.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessResult {
     /// Column before post-processing (full CMOS stack on full wafer).
     pub before: CrossSection,
@@ -128,7 +128,7 @@ pub struct ProcessResult {
 }
 
 /// The post-CMOS micromachining flow.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PostCmosFlow {
     /// How the KOH etch terminates.
     pub etch_stop: EtchStop,

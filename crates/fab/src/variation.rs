@@ -11,7 +11,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::FabError;
 
 /// A one-dimensional parameter distribution.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Distribution {
     /// Gaussian with mean and standard deviation.
     Normal {
@@ -98,7 +98,7 @@ impl Distribution {
 }
 
 /// Summary statistics of a sample set.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     /// Sample mean.
     pub mean: f64,
@@ -202,7 +202,7 @@ impl MonteCarlo {
 }
 
 /// Two-level wafer/die variation: parameter = wafer offset + die offset.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaferModel {
     /// Wafer-level (common to all dies) sigma.
     pub wafer_sigma: f64,

@@ -1,0 +1,378 @@
+//! Job specifications and their execution.
+//!
+//! A [`JobSpec`] is a pure value describing one simulation; execution
+//! turns it into named scalar metrics using only (a) the job's own seeded
+//! RNG stream and (b) the shared [`PrecomputeCache`]. Nothing else flows
+//! between jobs — that independence is what makes batches bit-identical
+//! across worker counts.
+
+use canti_bio::assay::AssayProtocol;
+use canti_bio::kinetics::{CompetitiveKinetics, LangmuirKinetics};
+use canti_bio::receptor::{BindingConstants, ReceptorLayer};
+use canti_core::assay::run_static_assay_precomputed;
+use canti_core::chip::BiosensorChip;
+use canti_core::static_system::StaticReadoutConfig;
+use canti_fab::variation::Distribution;
+use canti_units::{Kilograms, Meters, Molar, Seconds};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::cache::PrecomputeCache;
+
+/// Receptor chemistries a job can request (value-typed so specs stay
+/// `Clone + Send + Sync`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receptor {
+    /// Anti-IgG antibody layer (the paper's motivating immunoassay).
+    AntiIgg,
+    /// Anti-PSA antibody layer.
+    AntiPsa,
+    /// 20-mer ssDNA probe layer.
+    Dna20mer,
+}
+
+impl Receptor {
+    /// Instantiates the receptor layer.
+    #[must_use]
+    pub fn layer(&self) -> ReceptorLayer {
+        match self {
+            Self::AntiIgg => ReceptorLayer::anti_igg(),
+            Self::AntiPsa => ReceptorLayer::anti_psa(),
+            Self::Dna20mer => ReceptorLayer::dna_probe_20mer(),
+        }
+    }
+}
+
+/// Synthetic probe behaviours for exercising the farm itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeMode {
+    /// Echo a value plus one draw from the job's RNG stream.
+    Value(f64),
+    /// Sum `n` Gaussian draws from the job's RNG stream.
+    Draws(usize),
+    /// Panic (tests per-job fault isolation).
+    Panic,
+}
+
+/// One simulation job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// One dose point of a static-mode dose-response sweep: run the full
+    /// assay protocol at `concentration` and report the transduced peak.
+    StaticDoseResponse {
+        /// Receptor chemistry on the sensing cantilever.
+        receptor: Receptor,
+        /// Analyte concentration injected.
+        concentration: Molar,
+        /// Pre-injection baseline duration.
+        baseline: Seconds,
+        /// Association (injection) duration.
+        association: Seconds,
+        /// Wash duration.
+        wash: Seconds,
+        /// Assay sampling period.
+        dt: Seconds,
+        /// Electrical samples averaged per assay point.
+        averaging: usize,
+    },
+    /// One Monte-Carlo trial of resonant-chip process variation: draw a
+    /// silicon core thickness from `Normal(nominal, rel sigma)` and report
+    /// the resulting resonator small-signal figures.
+    ProcessVariation {
+        /// Relative (fractional) 1σ of the core thickness.
+        thickness_sigma_rel: f64,
+    },
+    /// One point of a cross-reactivity panel: competitive equilibrium of
+    /// the target against an interferent, transduced through the static
+    /// chain.
+    CrossReactivity {
+        /// Target analyte concentration.
+        target: Molar,
+        /// Interferent concentration.
+        interferent: Molar,
+    },
+    /// A synthetic probe job (farm self-tests and benches).
+    Probe(ProbeMode),
+}
+
+impl JobSpec {
+    /// A dose point with the quick-immunoassay protocol defaults.
+    #[must_use]
+    pub fn dose_point(receptor: Receptor, concentration: Molar) -> Self {
+        Self::StaticDoseResponse {
+            receptor,
+            concentration,
+            baseline: Seconds::new(30.0),
+            association: Seconds::new(300.0),
+            wash: Seconds::new(120.0),
+            dt: Seconds::new(5.0),
+            averaging: 256,
+        }
+    }
+
+    /// The job's kind tag (matches [`crate::JobOutput::kind`]).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::StaticDoseResponse { .. } => "dose_response",
+            Self::ProcessVariation { .. } => "process_variation",
+            Self::CrossReactivity { .. } => "cross_reactivity",
+            Self::Probe(_) => "probe",
+        }
+    }
+}
+
+/// A dose-response sweep over `concentrations_nm` (nanomolar), anti-IgG.
+#[must_use]
+pub fn dose_response_sweep(concentrations_nm: &[f64]) -> Vec<JobSpec> {
+    concentrations_nm
+        .iter()
+        .map(|&c| JobSpec::dose_point(Receptor::AntiIgg, Molar::from_nanomolar(c)))
+        .collect()
+}
+
+/// `trials` Monte-Carlo process-variation jobs at relative sigma
+/// `sigma_rel`.
+#[must_use]
+pub fn process_variation_batch(trials: usize, sigma_rel: f64) -> Vec<JobSpec> {
+    (0..trials)
+        .map(|_| JobSpec::ProcessVariation {
+            thickness_sigma_rel: sigma_rel,
+        })
+        .collect()
+}
+
+/// A cross-reactivity panel: fixed target (nanomolar) against a sweep of
+/// interferent levels (micromolar).
+#[must_use]
+pub fn cross_reactivity_panel(target_nm: f64, interferent_um: &[f64]) -> Vec<JobSpec> {
+    interferent_um
+        .iter()
+        .map(|&c| JobSpec::CrossReactivity {
+            target: Molar::from_nanomolar(target_nm),
+            interferent: Molar::from_micromolar(c),
+        })
+        .collect()
+}
+
+/// Nominal silicon core thickness of the paper's resonant beam, m.
+const NOMINAL_CORE_THICKNESS: f64 = 5.0e-6;
+
+/// Executes one job against its private RNG stream and the shared cache.
+///
+/// Returns the metrics (kind-specific fixed order) or a failure reason.
+/// Panics are *not* caught here — the farm catches them at the job
+/// boundary.
+pub(crate) fn execute(
+    spec: &JobSpec,
+    rng: &mut ChaCha8Rng,
+    cache: &PrecomputeCache,
+) -> Result<Vec<(&'static str, f64)>, String> {
+    match spec {
+        JobSpec::StaticDoseResponse {
+            receptor,
+            concentration,
+            baseline,
+            association,
+            wash,
+            dt,
+            averaging,
+        } => {
+            let chain = cache
+                .static_chain(&StaticReadoutConfig::default())
+                .map_err(|e| e.to_string())?;
+            let layer = receptor.layer();
+            let protocol = AssayProtocol::standard(*baseline, *concentration, *association, *wash);
+            let kinetics = LangmuirKinetics::from_receptor(&layer);
+            let sensorgram = protocol
+                .run(&kinetics, *dt, 0.0)
+                .map_err(|e| e.to_string())?;
+            let noise_seed: u64 = rng.gen();
+            let trace =
+                run_static_assay_precomputed(&chain, &layer, &sensorgram, *averaging, noise_seed)
+                    .map_err(|e| e.to_string())?;
+            let peak = trace.peak_signal();
+            let noise = chain.per_point_noise(*averaging);
+            Ok(vec![
+                ("peak_volts", peak),
+                ("peak_coverage", sensorgram.peak_coverage()),
+                ("noise_volts", noise),
+                ("snr", peak.abs() / noise),
+            ])
+        }
+        JobSpec::ProcessVariation {
+            thickness_sigma_rel,
+        } => {
+            let dist = Distribution::Normal {
+                mean: NOMINAL_CORE_THICKNESS,
+                sigma: thickness_sigma_rel * NOMINAL_CORE_THICKNESS,
+            };
+            dist.validate().map_err(|e| e.to_string())?;
+            let thickness = dist.sample(rng);
+            if thickness <= 0.0 {
+                return Err(format!("drawn core thickness {thickness} m is non-physical"));
+            }
+            let base = cache.resonant_baseline().map_err(|e| e.to_string())?;
+            let nominal = BiosensorChip::paper_resonant_chip().map_err(|e| e.to_string())?;
+            let geometry = nominal
+                .geometry()
+                .with_core_thickness(Meters::new(thickness));
+            let chip = nominal.with_geometry(geometry).map_err(|e| e.to_string())?;
+            let system = canti_core::resonant_system::ResonantCantileverSystem::new(
+                chip,
+                canti_core::chip::Environment::air(),
+                canti_core::resonant_system::ResonantLoopConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            let loading = system.mass_loading();
+            let f0 = loading.resonator().resonant_frequency().value();
+            let resp = loading.responsivity();
+            let min_mass = loading
+                .min_detectable_mass(canti_units::Hertz::new(0.1))
+                .map_err(|e| e.to_string())?;
+            let _: Kilograms = min_mass;
+            Ok(vec![
+                ("core_thickness_um", thickness * 1e6),
+                ("f0_hz", f0),
+                ("f0_shift_rel", f0 / base.baseline_frequency_hz - 1.0),
+                ("responsivity_hz_per_kg", resp),
+                ("min_detectable_kg", min_mass.value()),
+            ])
+        }
+        JobSpec::CrossReactivity { target, interferent } => {
+            let chain = cache
+                .static_chain(&StaticReadoutConfig::default())
+                .map_err(|e| e.to_string())?;
+            let layer = ReceptorLayer::anti_igg();
+            // weak cross-reactive binder: 1000x poorer affinity than the
+            // target (the A5 experiment's interferent model)
+            let weak = BindingConstants::new(1e3, 1e-2).map_err(|e| e.to_string())?;
+            let competitive = CompetitiveKinetics::new(layer.binding(), weak);
+            let clean = competitive.equilibrium(*target, Molar::zero()).target;
+            let eq = competitive.equilibrium(*target, *interferent);
+            let sigma = layer
+                .surface_stress_at(eq.target)
+                .map_err(|e| e.to_string())?;
+            let specific_err_pct = if clean > 0.0 {
+                (eq.target - clean) / clean * 100.0
+            } else {
+                0.0
+            };
+            Ok(vec![
+                ("target_coverage", eq.target),
+                ("interferent_coverage", eq.interferent),
+                ("specific_err_pct", specific_err_pct),
+                ("output_volts", chain.transfer_volts_per_stress * sigma.value()),
+            ])
+        }
+        JobSpec::Probe(mode) => match mode {
+            ProbeMode::Value(v) => Ok(vec![("value", *v), ("draw", rng.gen::<f64>())]),
+            ProbeMode::Draws(n) => {
+                let dist = Distribution::Normal {
+                    mean: 0.0,
+                    sigma: 1.0,
+                };
+                let sum: f64 = (0..*n).map(|_| dist.sample(rng)).sum();
+                Ok(vec![("sum", sum)])
+            }
+            ProbeMode::Panic => panic!("probe job panic (intentional)"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn builders_shape_batches() {
+        let sweep = dose_response_sweep(&[1.0, 10.0, 100.0]);
+        assert_eq!(sweep.len(), 3);
+        assert!(matches!(sweep[0], JobSpec::StaticDoseResponse { .. }));
+        assert_eq!(sweep[0].kind(), "dose_response");
+
+        let mc = process_variation_batch(5, 0.02);
+        assert_eq!(mc.len(), 5);
+        assert_eq!(mc[0].kind(), "process_variation");
+
+        let panel = cross_reactivity_panel(1.0, &[0.0, 10.0]);
+        assert_eq!(panel.len(), 2);
+        assert_eq!(panel[0].kind(), "cross_reactivity");
+    }
+
+    #[test]
+    fn probe_jobs_are_deterministic_per_seed() {
+        let cache = PrecomputeCache::new();
+        let a = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(5), &cache).unwrap();
+        let b = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(5), &cache).unwrap();
+        assert_eq!(a, b);
+        let c = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(6), &cache).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn process_variation_tracks_thickness() {
+        let cache = PrecomputeCache::new();
+        // zero sigma: the drawn thickness is exactly nominal
+        let spec = JobSpec::ProcessVariation {
+            thickness_sigma_rel: 0.0,
+        };
+        let m = execute(&spec, &mut rng(1), &cache).unwrap();
+        let get = |n: &str| m.iter().find(|(k, _)| *k == n).unwrap().1;
+        assert!((get("core_thickness_um") - 5.0).abs() < 1e-12);
+        assert!(get("f0_shift_rel").abs() < 1e-9, "nominal draw shifts nothing");
+        assert!(get("f0_hz") > 10e3);
+        assert!(get("min_detectable_kg") > 0.0);
+        // thicker beam -> stiffer -> higher f0: check monotonicity through
+        // a forced draw by sampling with a wide sigma until above nominal
+        let wide = JobSpec::ProcessVariation {
+            thickness_sigma_rel: 0.05,
+        };
+        let mut r = rng(3);
+        let v = execute(&wide, &mut r, &cache).unwrap();
+        let t = v.iter().find(|(k, _)| *k == "core_thickness_um").unwrap().1;
+        let f = v.iter().find(|(k, _)| *k == "f0_hz").unwrap().1;
+        let f_nominal = get("f0_hz");
+        if t > 5.0 {
+            assert!(f > f_nominal, "thicker ({t} um) must be faster");
+        } else {
+            assert!(f < f_nominal, "thinner ({t} um) must be slower");
+        }
+    }
+
+    #[test]
+    fn cross_reactivity_interferent_suppresses_target() {
+        let cache = PrecomputeCache::new();
+        let clean = execute(
+            &JobSpec::CrossReactivity {
+                target: Molar::from_nanomolar(1.0),
+                interferent: Molar::zero(),
+            },
+            &mut rng(0),
+            &cache,
+        )
+        .unwrap();
+        let heavy = execute(
+            &JobSpec::CrossReactivity {
+                target: Molar::from_nanomolar(1.0),
+                interferent: Molar::from_micromolar(100.0),
+            },
+            &mut rng(0),
+            &cache,
+        )
+        .unwrap();
+        let get = |m: &[(&str, f64)], n: &str| m.iter().find(|(k, _)| *k == n).unwrap().1;
+        assert_eq!(get(&clean, "specific_err_pct"), 0.0);
+        assert!(
+            get(&heavy, "target_coverage") < get(&clean, "target_coverage"),
+            "competition must displace the target"
+        );
+        assert!(get(&heavy, "specific_err_pct") < 0.0);
+        assert!(get(&heavy, "interferent_coverage") > 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! `canti-farm`: a parallel, deterministic sensor-farm engine.
+//!
+//! The paper's pitch is arrays: "the sensor and the readout circuitry
+//! can be integrated monolithically" scales to many cantilevers on many
+//! chips. This crate simulates such farms — batches of dose-response
+//! sweeps, Monte-Carlo process-variation trials and cross-reactivity
+//! panels — sharded across a hand-rolled worker pool.
+//!
+//! # Determinism contract
+//!
+//! A batch's result is a pure function of `(batch_seed, jobs)`. Each job
+//! derives its own counter-based RNG stream from the batch seed and its
+//! index, results are written to index-addressed slots, and the shared
+//! precompute cache only memoizes values that are themselves
+//! deterministic. Consequence: [`Farm::run`] returns **bit-identical**
+//! [`BatchReport`]s for any worker count — `threads = 1` is the oracle
+//! the parallel schedule is tested against.
+//!
+//! # Fault isolation
+//!
+//! A job that errors or panics occupies its own slot of
+//! [`BatchReport::outcomes`] as a [`FarmError`]; it never poisons the
+//! rest of the batch.
+//!
+//! # Examples
+//!
+//! ```
+//! use canti_farm::{dose_response_sweep, Farm, FarmConfig};
+//!
+//! let farm = Farm::new(FarmConfig { batch_seed: 42, threads: 2 });
+//! let jobs = dose_response_sweep(&[1.0, 10.0, 100.0]);
+//! let report = farm.run(&jobs);
+//! assert_eq!(report.ok_count(), 3);
+//! let peaks = report.metric_values("peak_volts");
+//! assert!(peaks[0] < peaks[2], "more analyte, more signal");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod job;
+mod pool;
+pub mod report;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+pub use cache::{CacheStats, PrecomputeCache, ResonantBaseline};
+pub use job::{
+    cross_reactivity_panel, dose_response_sweep, process_variation_batch, JobSpec, ProbeMode,
+    Receptor,
+};
+pub use report::{BatchReport, FarmError, JobOutput};
+
+/// Farm-wide settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarmConfig {
+    /// Seed every job's RNG stream is derived from.
+    pub batch_seed: u64,
+    /// Worker threads; `0` means "use the machine's available
+    /// parallelism".
+    pub threads: usize,
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        Self {
+            batch_seed: 0x0CA7_F00D,
+            threads: 0,
+        }
+    }
+}
+
+/// The batch engine: a worker pool plus a shared precompute cache.
+#[derive(Debug)]
+pub struct Farm {
+    config: FarmConfig,
+    cache: Arc<PrecomputeCache>,
+}
+
+impl Farm {
+    /// Creates a farm with a fresh precompute cache.
+    #[must_use]
+    pub fn new(config: FarmConfig) -> Self {
+        Self::with_cache(config, Arc::new(PrecomputeCache::new()))
+    }
+
+    /// Creates a farm sharing an existing cache (e.g. pre-warmed, or
+    /// shared across successive batches).
+    #[must_use]
+    pub fn with_cache(config: FarmConfig, cache: Arc<PrecomputeCache>) -> Self {
+        Self { config, cache }
+    }
+
+    /// The resolved worker count (`config.threads`, with `0` mapped to
+    /// the machine's available parallelism).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+
+    /// Hit/miss counters of the shared precompute cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The per-job RNG stream: a splitmix-style spread of the batch seed
+    /// XOR-ed with the job index, so neighboring jobs land in distant
+    /// ChaCha streams.
+    fn job_rng(&self, job_index: usize) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(
+            self.config.batch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ job_index as u64,
+        )
+    }
+
+    /// Runs a batch, returning one outcome per job in submission order.
+    ///
+    /// Jobs run on [`Self::threads`] workers; errors and panics are
+    /// captured per job as [`FarmError`]s without aborting the batch.
+    /// The report is bit-identical for any worker count.
+    #[must_use]
+    pub fn run(&self, jobs: &[JobSpec]) -> BatchReport {
+        let outcomes = pool::run_indexed(jobs.len(), self.threads(), |i| {
+            let spec = jobs[i].clone();
+            let mut rng = self.job_rng(i);
+            let cache = Arc::clone(&self.cache);
+            let run = catch_unwind(AssertUnwindSafe(|| job::execute(&spec, &mut rng, &cache)));
+            match run {
+                Ok(Ok(metrics)) => Ok(JobOutput {
+                    job_index: i,
+                    kind: spec.kind(),
+                    metrics,
+                }),
+                Ok(Err(reason)) => Err(FarmError::Job {
+                    job_index: i,
+                    reason,
+                }),
+                Err(payload) => Err(FarmError::Panic {
+                    job_index: i,
+                    message: panic_message(payload.as_ref()),
+                }),
+            }
+        });
+        BatchReport {
+            batch_seed: self.config.batch_seed,
+            outcomes,
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn farm(threads: usize) -> Farm {
+        Farm::new(FarmConfig {
+            batch_seed: 0xBEEF,
+            threads,
+        })
+    }
+
+    #[test]
+    fn probe_batch_is_worker_count_invariant() {
+        let jobs: Vec<JobSpec> = (0..32)
+            .map(|i| JobSpec::Probe(ProbeMode::Draws(1 + i % 5)))
+            .collect();
+        let oracle = farm(1).run(&jobs);
+        for threads in [2, 4, 8] {
+            assert_eq!(farm(threads).run(&jobs), oracle, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_per_job() {
+        let jobs = vec![
+            JobSpec::Probe(ProbeMode::Value(1.0)),
+            JobSpec::Probe(ProbeMode::Panic),
+            JobSpec::Probe(ProbeMode::Value(3.0)),
+        ];
+        let report = farm(2).run(&jobs);
+        assert_eq!(report.ok_count(), 2);
+        match &report.outcomes[1] {
+            Err(FarmError::Panic { job_index, message }) => {
+                assert_eq!(*job_index, 1);
+                assert!(message.contains("intentional"), "{message}");
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+        // neighbors unaffected
+        assert_eq!(
+            report.outcomes[0].as_ref().unwrap().metric("value"),
+            Some(1.0)
+        );
+        assert_eq!(
+            report.outcomes[2].as_ref().unwrap().metric("value"),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn batch_seed_changes_the_draws() {
+        let jobs = vec![JobSpec::Probe(ProbeMode::Draws(4))];
+        let a = Farm::new(FarmConfig {
+            batch_seed: 1,
+            threads: 1,
+        })
+        .run(&jobs);
+        let b = Farm::new(FarmConfig {
+            batch_seed: 2,
+            threads: 1,
+        })
+        .run(&jobs);
+        assert_ne!(a.outcomes, b.outcomes);
+        assert_eq!(a.batch_seed, 1);
+    }
+
+    #[test]
+    fn threads_zero_resolves_to_machine_parallelism() {
+        let f = Farm::new(FarmConfig {
+            batch_seed: 0,
+            threads: 0,
+        });
+        assert!(f.threads() >= 1);
+        let fixed = farm(3);
+        assert_eq!(fixed.threads(), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = farm(4).run(&[]);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.ok_count(), 0);
+    }
+
+    #[test]
+    fn cache_is_shared_across_jobs() {
+        let jobs = dose_response_sweep(&[1.0, 10.0, 100.0, 1000.0]);
+        let f = farm(2);
+        let report = f.run(&jobs);
+        assert_eq!(report.ok_count(), 4);
+        let stats = f.cache_stats();
+        assert_eq!(stats.misses, 1, "one chain precompute for the whole batch");
+        assert_eq!(stats.hits, 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! A hand-rolled sharded worker pool over `std::thread`.
+//!
+//! Jobs are claimed from a shared atomic counter, so load balances
+//! naturally across uneven job costs; results land in pre-allocated,
+//! index-addressed slots, so the output order is the submission order no
+//! matter which worker ran which job. That slot discipline — not the
+//! scheduling — is what makes the farm's output independent of the
+//! worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(i)` for every `i in 0..n` across `threads` workers and
+/// returns the results in index order.
+///
+/// `threads == 1` takes a sequential fast path with no synchronization
+/// at all — it is the oracle the parallel paths are tested against.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if `f` itself panics (workers must catch
+/// their own panics; the farm wraps every job in `catch_unwind`).
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0, "worker pool needs at least one thread");
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot lock") = Some(value);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .unwrap_or_else(|| panic!("job {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let f = |i: usize| (i * i) as u64;
+        let oracle = run_indexed(100, 1, f);
+        for threads in [2, 3, 8] {
+            assert_eq!(run_indexed(100, threads, f), oracle, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn results_are_in_submission_order() {
+        let out = run_indexed(64, 4, |i| i);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_job_batches() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        assert_eq!(run_indexed(3, 16, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        run_indexed(4, 0, |i| i);
+    }
+}

@@ -37,7 +37,7 @@ const ELECTROMIGRATION_LIMIT: f64 = 2.0e9;
 /// assert!(f.value() > 1e-8 && f.value() < 1e-6);
 /// # Ok::<(), canti_mems::MemsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LorentzCoil {
     turns: u32,
     track_width: Meters,

@@ -30,7 +30,7 @@ pub const CLAMPED_FREE_EIGENVALUES: [f64; 6] = [
 /// Biosensor cantilevers are wide plates (w ≫ t); the plate modulus
 /// E/(1 − ν²) is then the physically correct stiffness and is the default
 /// everywhere in this suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ElasticModel {
     /// Narrow-beam model: plain Young's modulus E.
     Beam,
@@ -60,7 +60,7 @@ pub enum ElasticModel {
 /// assert!(beam.spring_constant().value() > 0.0);
 /// # Ok::<(), canti_mems::MemsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompositeBeam {
     geometry: CantileverGeometry,
     model: ElasticModel,

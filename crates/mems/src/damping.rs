@@ -35,7 +35,7 @@ const B1: f64 = 3.8018;
 const B2: f64 = 2.7364;
 
 /// Result of evaluating fluid loading on a beam.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FluidLoading {
     /// Fluid-loaded resonant frequency.
     pub frequency: Hertz,

@@ -36,7 +36,7 @@ use crate::MemsError;
 /// assert!((hr / h0 - 500.0).abs() / 500.0 < 1e-3);
 /// # Ok::<(), canti_mems::MemsError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Resonator {
     f0: Hertz,
     q: f64,
@@ -44,7 +44,7 @@ pub struct Resonator {
 }
 
 /// Kinematic state of a resonator being time-stepped.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ResonatorState {
     /// Displacement, m.
     pub x: f64,

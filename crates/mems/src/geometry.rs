@@ -13,7 +13,7 @@ use crate::material::Material;
 use crate::MemsError;
 
 /// One layer of the released stack, bottom-up order.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     /// The layer's structural material.
     pub material: Material,
@@ -48,7 +48,7 @@ impl Layer {
 /// assert!(g.plan_area().value() > 0.0);
 /// # Ok::<(), canti_mems::MemsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CantileverGeometry {
     length: Meters,
     width: Meters,

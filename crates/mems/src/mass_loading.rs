@@ -27,7 +27,7 @@ pub fn distributed_mass_fraction() -> f64 {
 }
 
 /// Where the added mass sits on the beam.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MassPlacement {
     /// Concentrated at the free end (weighting 1).
     Tip,
@@ -64,7 +64,7 @@ impl MassPlacement {
 /// assert!(df.value() < 0.0);
 /// # Ok::<(), canti_mems::MemsError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MassLoading {
     resonator: Resonator,
     placement: MassPlacement,

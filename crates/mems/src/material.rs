@@ -24,7 +24,7 @@ use crate::MemsError;
 /// // plate modulus E/(1-nu^2) always exceeds E:
 /// assert!(si.plate_modulus().value() > si.youngs_modulus().value());
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Material {
     name: String,
     youngs_modulus: Pascals,
@@ -194,7 +194,7 @@ impl std::fmt::Display for Material {
 ///
 /// `pi_l` couples to stress along the current direction, `pi_t` to stress
 /// transverse to it: ΔR/R = π_l·σ_l + π_t·σ_t.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PiezoCoefficients {
     /// Longitudinal coefficient π_l in 1/Pa.
     pub pi_l: f64,

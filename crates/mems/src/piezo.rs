@@ -24,7 +24,7 @@ use crate::surface_stress::SurfaceStressLoad;
 use crate::MemsError;
 
 /// Current direction of a gauge relative to the beam axis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GaugeOrientation {
     /// Current flows along the beam axis — couples through π_l.
     Longitudinal,
@@ -33,7 +33,7 @@ pub enum GaugeOrientation {
 }
 
 /// A mechanical load case the gauge can be asked about.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LoadCase {
     /// Static point force at the tip.
     TipForce(Newtons),
@@ -65,7 +65,7 @@ pub enum LoadCase {
 /// assert!(dr.abs() > 0.0);
 /// # Ok::<(), canti_mems::MemsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PiezoGauge {
     coefficients: PiezoCoefficients,
     orientation: GaugeOrientation,

@@ -1,0 +1,434 @@
+//! Minimal in-workspace property-testing harness exposing the slice of the
+//! `proptest` macro surface the canti test suites use.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! deterministic stand-in: [`Strategy`] over ranges/tuples/`prop_map`/
+//! `collection::vec`, and the [`proptest!`]/[`prop_assert!`]/
+//! [`prop_assert_eq!`]/[`prop_assume!`] macros. Each test runs
+//! `PROPTEST_CASES` (default 64) seeded cases derived from the test's own
+//! name via ChaCha8, so failures are reproducible run-to-run and
+//! machine-to-machine. There is no shrinking: the panic message reports
+//! the case seed instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// Outcome of one generated test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed with this message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should not count.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure from anything string-like.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Blanket impl so `impl Strategy` return values can be passed by
+/// reference too.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, u8, u16, u32, u64, usize, i32, i64);
+
+/// A strategy producing always the same value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut ChaCha8Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-valued strategies (the [`prop_oneof!`]
+/// macro's backing type).
+pub struct OneOf<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a union from pre-boxed strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof!: no options");
+        Self { options }
+    }
+}
+
+impl<T> std::fmt::Debug for OneOf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OneOf({} options)", self.options.len())
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Boxes a strategy for use in [`OneOf`] (used by [`prop_oneof!`]).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Draws from one of several strategies with equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed($strat)),+])
+    };
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+)),* $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E), (A, B, C, D, E, G));
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{ChaCha8Rng, Range, Strategy};
+    use rand::Rng;
+
+    /// A strategy producing `Vec`s of `elem` with a length drawn from
+    /// `len` (half-open, like proptest's size ranges).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of values from `elem` with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "vec strategy: empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// FNV-1a over a byte string — stable per-test seed derivation.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Per-property configuration (mirrors the upstream struct's surface the
+/// canti suites use).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Drives one property: runs seeded cases until `PROPTEST_CASES` (default
+/// 64) accepted cases pass, panicking with the case seed on failure.
+///
+/// # Panics
+///
+/// Panics when a case fails or when `prop_assume!` rejects too many
+/// candidate cases (16× the case budget).
+pub fn run_cases<F>(name: &str, case: F)
+where
+    F: FnMut(&mut ChaCha8Rng) -> Result<(), TestCaseError>,
+{
+    run_cases_with(name, &ProptestConfig::default(), case);
+}
+
+/// [`run_cases`] with an explicit [`ProptestConfig`].
+///
+/// # Panics
+///
+/// Panics when a case fails or when `prop_assume!` rejects too many
+/// candidate cases (16× the case budget).
+pub fn run_cases_with<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut ChaCha8Rng) -> Result<(), TestCaseError>,
+{
+    let cases = u64::from(config.cases);
+    let base = fnv1a(name.as_bytes());
+    let mut accepted = 0u64;
+    let mut attempt = 0u64;
+    let max_attempts = cases * 16;
+    while accepted < cases {
+        assert!(
+            attempt < max_attempts,
+            "property {name}: gave up after {attempt} attempts \
+             ({accepted}/{cases} cases accepted) — prop_assume! rejects too much"
+        );
+        let seed = base.wrapping_add(attempt);
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed at case seed {seed:#x}: {msg}")
+            }
+        }
+        attempt += 1;
+    }
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running seeded cases through [`run_cases`].
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases_with(stringify!($name), &($config), |__proptest_rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), __proptest_rng);)*
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),*) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {{
+        // bind first: negating the raw expression trips clippy's
+        // neg_cmp_op_on_partial_ord on float comparisons
+        let holds: bool = $cond;
+        if !holds {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Rejects the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    }};
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0.0f64..1.0, 5u64..10), n in 1usize..4) {
+            prop_assert!((0.0..1.0).contains(&a), "a = {a}");
+            prop_assert!((5..10).contains(&b));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn mapped_strategy(x in (1.0f64..2.0).prop_map(|v| v * 10.0)) {
+            prop_assert!((10.0..20.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_strategy(v in prop::collection::vec(0.0f64..1e3, 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|x| (0.0..1e3).contains(x)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0f64..1.0) {
+            prop_assume!(x > 0.25);
+            prop_assert!(x > 0.25);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases("always_fails", |_rng| {
+                Err(crate::TestCaseError::fail("deliberate"))
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("deliberate") && msg.contains("case seed"), "{msg}");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut first = Vec::new();
+        crate::run_cases("capture", |rng| {
+            first.push(crate::Strategy::generate(&(0.0f64..1.0), rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases("capture", |rng| {
+            second.push(crate::Strategy::generate(&(0.0f64..1.0), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

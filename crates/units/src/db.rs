@@ -15,8 +15,7 @@
 /// assert!((gain.value() - 40.0).abs() < 1e-12);
 /// assert!((gain.amplitude_ratio() - 100.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Decibels(f64);
 
 impl Decibels {

@@ -17,11 +17,8 @@ macro_rules! quantity {
             PartialEq,
             PartialOrd,
             Default,
-            serde::Serialize,
-            serde::Deserialize,
         )]
         #[repr(transparent)]
-        #[serde(transparent)]
         pub struct $name(f64);
 
         impl $name {

@@ -638,8 +638,6 @@ mod tests {
                 + core::fmt::Display
                 + Send
                 + Sync
-                + serde::Serialize
-                + for<'de> serde::Deserialize<'de>,
         {
         }
         assert_quantity::<Meters>();

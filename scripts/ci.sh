@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate for the canti workspace: build, full test suite, pedantic lints,
+# and a farm smoke run.
+#
+#   scripts/ci.sh          # build + test + clippy
+#   scripts/ci.sh smoke    # the above, then a 16-job sensor_farm batch
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace -- -D warnings
+
+if [[ "${1:-}" == "smoke" ]]; then
+    echo "== farm smoke (16-job batch) =="
+    cargo run --release --example sensor_farm 16
+fi
+
+echo "ci: all green"

@@ -4,5 +4,6 @@ pub use canti_bio as bio;
 pub use canti_core as system;
 pub use canti_digital as digital;
 pub use canti_fab as fab;
+pub use canti_farm as farm;
 pub use canti_mems as mems;
 pub use canti_units as units;

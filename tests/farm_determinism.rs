@@ -1,0 +1,116 @@
+//! The farm's determinism contract, exercised end to end: for any batch
+//! seed and any mix of jobs, worker counts {1, 2, 8} must produce
+//! bit-identical `BatchReport`s, and a panicking job must surface as a
+//! per-job `FarmError` without poisoning the batch.
+
+use canti::farm::{
+    cross_reactivity_panel, dose_response_sweep, process_variation_batch, Farm, FarmConfig,
+    FarmError, JobSpec, ProbeMode,
+};
+use proptest::prelude::*;
+
+fn run(batch_seed: u64, threads: usize, jobs: &[JobSpec]) -> canti::farm::BatchReport {
+    Farm::new(FarmConfig {
+        batch_seed,
+        threads,
+    })
+    .run(jobs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cheap probe batches: any seed, any draw counts, any batch length —
+    /// the 1-thread oracle and the parallel schedules agree bitwise.
+    #[test]
+    fn probe_batches_are_worker_count_invariant(
+        seed in 0u64..u64::MAX,
+        draws in prop::collection::vec(1usize..8, 1..40),
+    ) {
+        let jobs: Vec<JobSpec> = draws.iter().map(|&d| JobSpec::Probe(ProbeMode::Draws(d))).collect();
+        let oracle = run(seed, 1, &jobs);
+        for threads in [2, 8] {
+            prop_assert_eq!(&run(seed, threads, &jobs), &oracle, "threads={}", threads);
+        }
+    }
+
+    /// A panic at a random position surfaces as `FarmError::Panic` in
+    /// exactly that slot; every other job completes normally, at every
+    /// worker count.
+    #[test]
+    fn panics_stay_in_their_slot(
+        seed in 0u64..u64::MAX,
+        len in 3usize..24,
+        panic_frac in 0.0f64..1.0,
+    ) {
+        let panic_at = ((len - 1) as f64 * panic_frac) as usize;
+        let jobs: Vec<JobSpec> = (0..len)
+            .map(|i| {
+                if i == panic_at {
+                    JobSpec::Probe(ProbeMode::Panic)
+                } else {
+                    JobSpec::Probe(ProbeMode::Value(i as f64))
+                }
+            })
+            .collect();
+        for threads in [1, 2, 8] {
+            let report = run(seed, threads, &jobs);
+            prop_assert_eq!(report.ok_count(), len - 1, "threads={}", threads);
+            match &report.outcomes[panic_at] {
+                Err(FarmError::Panic { job_index, message }) => {
+                    prop_assert_eq!(*job_index, panic_at);
+                    prop_assert!(message.contains("intentional"), "{}", message);
+                }
+                other => prop_assert!(false, "expected panic at {}, got {:?}", panic_at, other),
+            }
+            for (i, outcome) in report.outcomes.iter().enumerate() {
+                if i != panic_at {
+                    let out = outcome.as_ref().expect("non-panicking job");
+                    prop_assert_eq!(out.metric("value"), Some(i as f64));
+                }
+            }
+        }
+    }
+}
+
+/// The full-fat contract on real simulation jobs: a 66-job mixed batch
+/// (dose-response sweep, Monte-Carlo process variation, cross-reactivity
+/// panel) is bit-identical at 1, 2 and 8 workers.
+#[test]
+fn mixed_64_job_batch_is_bit_identical_across_worker_counts() {
+    let concentrations: Vec<f64> = (0..22).map(|i| 0.2 * 10f64.powf(0.2 * i as f64)).collect();
+    let interferents: Vec<f64> = (0..22).map(|i| i as f64 * 20.0).collect();
+    let mut jobs = dose_response_sweep(&concentrations);
+    jobs.extend(process_variation_batch(22, 0.05));
+    jobs.extend(cross_reactivity_panel(25.0, &interferents));
+    assert!(jobs.len() >= 64, "need a >=64-job batch, got {}", jobs.len());
+
+    let oracle = run(0xD15C_0B07, 1, &jobs);
+    assert_eq!(oracle.ok_count(), jobs.len(), "all jobs must succeed");
+    for threads in [2, 8] {
+        let report = run(0xD15C_0B07, threads, &jobs);
+        assert_eq!(report, oracle, "report diverged at {threads} threads");
+    }
+}
+
+/// A job-level substrate error (not a panic) also stays in its slot.
+#[test]
+fn job_errors_stay_in_their_slot() {
+    let jobs = vec![
+        JobSpec::Probe(ProbeMode::Value(0.5)),
+        // negative thickness sigma is rejected by the variation substrate
+        JobSpec::ProcessVariation {
+            thickness_sigma_rel: -1.0,
+        },
+        JobSpec::Probe(ProbeMode::Value(1.5)),
+    ];
+    for threads in [1, 4] {
+        let report = run(7, threads, &jobs);
+        assert_eq!(report.ok_count(), 2);
+        assert!(
+            matches!(&report.outcomes[1], Err(FarmError::Job { job_index: 1, .. })),
+            "{:?}",
+            report.outcomes[1]
+        );
+    }
+}
