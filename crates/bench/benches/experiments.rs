@@ -176,5 +176,13 @@ fn main() {
         }
     });
 
+    if std::env::var("CANTI_BENCH_JSON").is_ok() {
+        use canti_bench::report::ExperimentReport;
+        let mut rep = ExperimentReport::new("BENCH", "kernel per-iteration timings", &[]);
+        for m in b.results() {
+            rep.push_timing(&m.name, m.per_iter_ns);
+        }
+        println!("{}", rep.to_json());
+    }
     b.finish();
 }

@@ -13,7 +13,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use canti_farm::{Farm, FarmConfig, JobSpec, PrecomputeCache, Receptor};
+use canti_bench::report::ExperimentReport;
+use canti_farm::{Farm, FarmConfig, FarmObserver, JobSpec, PrecomputeCache, Receptor};
 use canti_units::{Molar, Seconds};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -81,4 +82,27 @@ fn main() {
 
     let speedup = t1.as_secs_f64() / tn.as_secs_f64().max(1e-9);
     println!("  speedup  : {speedup:.2}x  (results bit-identical)");
+
+    // one more observed run: wall-clock stage telemetry, and a third check
+    // that attaching the observer does not perturb the numbers
+    let (observer, _ring) = FarmObserver::profiling(4096);
+    let farm = Farm::with_cache(
+        FarmConfig {
+            batch_seed: 0xFA12_2026,
+            threads,
+        },
+        Arc::clone(&cache),
+    )
+    .with_observer(observer);
+    let report = farm.run(&jobs);
+    let fp: f64 = report.metric_values("peak_volts").iter().sum();
+    assert_eq!(fp.to_bits(), fp1, "telemetry must not perturb results");
+    let telemetry = report.telemetry.expect("observed run carries telemetry");
+    println!("\n{}", telemetry.render());
+
+    let mut exp = ExperimentReport::new("FARM", "sensor-farm stage telemetry", &["stage"]);
+    for (name, snapshot) in telemetry.stages() {
+        exp.push_timing(name, snapshot);
+    }
+    println!("{}", exp.to_json());
 }

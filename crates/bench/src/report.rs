@@ -1,7 +1,10 @@
 //! Uniform experiment-report structure: a titled table plus free-form
-//! notes, printable as aligned text and dumpable as CSV.
+//! notes and stage-timing histograms, printable as aligned text and
+//! dumpable as CSV/JSON.
 
 use std::fmt::Write as _;
+
+use canti_obs::HistogramSnapshot;
 
 /// One reproduced experiment's results.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +20,9 @@ pub struct ExperimentReport {
     /// Free-form observations, including the paper-vs-measured verdicts
     /// recorded in EXPERIMENTS.md.
     pub notes: Vec<String>,
+    /// Named stage-timing histograms (ns), e.g. bench kernels or the
+    /// sensor farm's per-stage telemetry, in insertion order.
+    pub timings: Vec<(String, HistogramSnapshot)>,
 }
 
 impl ExperimentReport {
@@ -29,7 +35,14 @@ impl ExperimentReport {
             headers: headers.iter().map(|s| (*s).to_owned()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            timings: Vec::new(),
         }
+    }
+
+    /// Appends a named timing histogram (ns).
+    pub fn push_timing(&mut self, name: &str, snapshot: HistogramSnapshot) -> &mut Self {
+        self.timings.push((name.to_owned(), snapshot));
+        self
     }
 
     /// Appends a row (must match the header count).
@@ -77,6 +90,13 @@ impl ExperimentReport {
             }
             let _ = writeln!(out);
         }
+        for (name, s) in &self.timings {
+            let _ = writeln!(
+                out,
+                "  ~ {name}: n={} p50={} ns p95={} ns max={} ns",
+                s.count, s.p50, s.p95, s.max
+            );
+        }
         for note in &self.notes {
             let _ = writeln!(out, "  * {note}");
         }
@@ -116,13 +136,31 @@ impl ExperimentReport {
             .map(|r| arr(&r.iter().map(|c| esc(c)).collect::<Vec<_>>()))
             .collect();
         let notes: Vec<String> = self.notes.iter().map(|n| esc(n)).collect();
+        let timings: Vec<String> = self
+            .timings
+            .iter()
+            .map(|(name, s)| {
+                format!(
+                    "{{\"name\": {}, \"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
+                     \"max_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}}}",
+                    esc(name),
+                    s.count,
+                    s.sum,
+                    s.min,
+                    s.max,
+                    s.p50,
+                    s.p95
+                )
+            })
+            .collect();
         format!(
-            "{{\n  \"id\": {},\n  \"title\": {},\n  \"headers\": {},\n  \"rows\": {},\n  \"notes\": {}\n}}",
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"headers\": {},\n  \"rows\": {},\n  \"notes\": {},\n  \"timings\": {}\n}}",
             esc(&self.id),
             esc(&self.title),
             arr(&headers),
             arr(&rows),
-            arr(&notes)
+            arr(&notes),
+            arr(&timings)
         )
     }
 
@@ -169,6 +207,32 @@ mod tests {
         assert!(csv.contains("a,b"));
         assert!(csv.contains("1,2"));
         assert!(csv.contains("# hello"));
+    }
+
+    #[test]
+    fn timings_flow_into_render_and_json() {
+        let mut r = ExperimentReport::new("F0", "test", &["a"]);
+        r.push_row(vec!["1".into()]);
+        r.push_timing(
+            "solve",
+            HistogramSnapshot {
+                count: 3,
+                sum: 300,
+                min: 90,
+                max: 120,
+                p50: 100,
+                p95: 120,
+            },
+        );
+        let text = r.render();
+        assert!(text.contains("~ solve: n=3 p50=100 ns p95=120 ns max=120 ns"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"timings\""), "{json}");
+        assert!(json.contains("\"name\": \"solve\""), "{json}");
+        assert!(json.contains("\"p95_ns\": 120"), "{json}");
+        // reports without timings still produce the (empty) section
+        let bare = ExperimentReport::new("F1", "t", &["a"]).to_json();
+        assert!(bare.contains("\"timings\": []"), "{bare}");
     }
 
     #[test]

@@ -1,26 +1,64 @@
 //! Std-only micro-benchmark runner (the build environment has no
-//! criterion): warm-up, batched timing, median-of-batches reporting.
+//! criterion): warm-up, batched timing, and per-iteration latency
+//! aggregation on the shared `canti-obs` [`Histogram`] — the same
+//! fixed-bucket type the sensor farm's stage telemetry uses, so bench
+//! output and farm telemetry report identical p50/p95/max semantics.
 
 use std::time::{Duration, Instant};
 
-/// Per-kernel timing summary.
+use canti_obs::{Histogram, HistogramSnapshot};
+
+/// Power-of-two nanosecond bounds from 1 ns to ~17 min — finer at the
+/// bottom than [`canti_obs::default_latency_bounds`] because kernel
+/// iterations can be single-digit nanoseconds.
+#[must_use]
+pub fn bench_latency_bounds() -> Vec<u64> {
+    (0..40).map(|i| 1u64 << i).collect()
+}
+
+/// Per-kernel timing summary: one histogram sample per batch, each the
+/// batch's per-iteration time in ns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Kernel name.
     pub name: String,
-    /// Median per-iteration time over the batches.
-    pub median: Duration,
-    /// Fastest batch's per-iteration time.
-    pub min: Duration,
+    /// Per-iteration batch times, ns (count = number of batches).
+    pub per_iter_ns: HistogramSnapshot,
     /// Total iterations executed (excluding warm-up).
     pub iterations: u64,
 }
 
-fn per_iter(total: Duration, iters: u64) -> Duration {
-    if iters == 0 {
-        return Duration::ZERO;
+impl Measurement {
+    /// Median per-iteration time over the batches.
+    #[must_use]
+    pub fn median(&self) -> Duration {
+        Duration::from_nanos(self.per_iter_ns.p50)
     }
-    Duration::from_nanos((total.as_nanos() / u128::from(iters)) as u64)
+
+    /// 95th-percentile per-iteration time over the batches.
+    #[must_use]
+    pub fn p95(&self) -> Duration {
+        Duration::from_nanos(self.per_iter_ns.p95)
+    }
+
+    /// Slowest batch's per-iteration time.
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.per_iter_ns.max)
+    }
+
+    /// Fastest batch's per-iteration time.
+    #[must_use]
+    pub fn min(&self) -> Duration {
+        Duration::from_nanos(self.per_iter_ns.min)
+    }
+}
+
+fn per_iter_ns(total: Duration, iters: u64) -> u64 {
+    if iters == 0 {
+        return 0;
+    }
+    (total.as_nanos() / u128::from(iters)) as u64
 }
 
 fn human(d: Duration) -> String {
@@ -98,34 +136,32 @@ impl Bencher {
             batch *= 2;
         };
 
-        let mut batch_times = Vec::new();
+        let hist = Histogram::new(bench_latency_bounds());
         let mut iterations = 0u64;
         let start = Instant::now();
-        while batch_times.len() < 5 || start.elapsed() < self.budget {
+        while hist.count() < 5 || start.elapsed() < self.budget {
             let t0 = Instant::now();
             for _ in 0..batch {
                 kernel();
             }
-            batch_times.push(per_iter(t0.elapsed(), batch));
+            hist.record(per_iter_ns(t0.elapsed(), batch));
             iterations += batch;
-            if batch_times.len() >= 200 {
+            if hist.count() >= 200 {
                 break;
             }
         }
-        batch_times.sort();
-        let median = batch_times[batch_times.len() / 2];
-        let min = batch_times[0];
-        println!(
-            "{name:<40} median {:>12}   min {:>12}   ({iterations} iters)",
-            human(median),
-            human(min)
-        );
-        self.results.push(Measurement {
+        let m = Measurement {
             name: name.to_owned(),
-            median,
-            min,
+            per_iter_ns: hist.snapshot(),
             iterations,
-        });
+        };
+        println!(
+            "{name:<40} p50 {:>12}   p95 {:>12}   max {:>12}   ({iterations} iters)",
+            human(m.median()),
+            human(m.p95()),
+            human(m.max())
+        );
+        self.results.push(m);
     }
 
     /// Prints the footer; exits non-zero if a filter matched nothing.
@@ -150,11 +186,8 @@ mod tests {
 
     #[test]
     fn per_iter_divides() {
-        assert_eq!(
-            per_iter(Duration::from_nanos(1000), 10),
-            Duration::from_nanos(100)
-        );
-        assert_eq!(per_iter(Duration::ZERO, 0), Duration::ZERO);
+        assert_eq!(per_iter_ns(Duration::from_nanos(1000), 10), 100);
+        assert_eq!(per_iter_ns(Duration::ZERO, 0), 0);
     }
 
     #[test]
@@ -177,7 +210,13 @@ mod tests {
             }
         });
         assert_eq!(b.results().len(), 1);
-        assert!(b.results()[0].iterations > 0);
+        let m = &b.results()[0];
+        assert!(m.iterations > 0);
+        assert!(m.per_iter_ns.count >= 5, "at least 5 batches");
+        // quantiles come from the shared histogram and are ordered
+        assert!(m.min() <= m.median());
+        assert!(m.median() <= m.p95());
+        assert!(m.p95() <= m.max());
     }
 
     #[test]

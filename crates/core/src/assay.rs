@@ -14,6 +14,7 @@ use canti_analog::noise::WhiteNoise;
 use canti_bio::assay::Sensorgram;
 use canti_bio::receptor::ReceptorLayer;
 use canti_bio::analyte::Analyte;
+use canti_obs::Tracer;
 use canti_units::{Hertz, Seconds, SurfaceStress};
 
 use crate::resonant_system::ResonantCantileverSystem;
@@ -127,19 +128,51 @@ pub fn run_static_assay(
     sensorgram: &Sensorgram,
     averaging: usize,
 ) -> Result<AssayTrace, CoreError> {
+    run_static_assay_traced(system, receptor, sensorgram, averaging, &Tracer::disabled())
+}
+
+/// [`run_static_assay`] with structured tracing: a `static_assay` span
+/// wrapping a `chain_measure` span (the expensive sample-level electrical
+/// characterization) and a `transduce` span (the cheap sensorgram →
+/// output mapping). Tracing is strictly additive — the returned trace is
+/// bit-identical to the untraced runner's.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on zero averaging or transfer/noise-measurement
+/// failures.
+pub fn run_static_assay_traced(
+    system: &mut StaticCantileverSystem,
+    receptor: &ReceptorLayer,
+    sensorgram: &Sensorgram,
+    averaging: usize,
+    tracer: &Tracer,
+) -> Result<AssayTrace, CoreError> {
     if averaging == 0 {
         return Err(CoreError::Config {
             reason: "averaging must be at least 1".to_owned(),
         });
     }
+    let _assay_span = tracer.span(
+        "static_assay",
+        &[
+            ("points", sensorgram.len().into()),
+            ("averaging", averaging.into()),
+        ],
+    );
+    let chain_span = tracer.span("chain_measure", &[]);
     let chain = StaticChainResponse::measure(system)?;
-    run_static_assay_precomputed(
+    chain_span.end();
+    let transduce_span = tracer.span("transduce", &[]);
+    let trace = run_static_assay_precomputed(
         &chain,
         receptor,
         sensorgram,
         averaging,
         system.config().seed.wrapping_add(0xA55A),
-    )
+    );
+    transduce_span.end();
+    trace
 }
 
 /// [`run_static_assay`] against an already-measured chain response — the
@@ -281,6 +314,53 @@ mod tests {
         let baseline = trace.output_at(Seconds::new(20.0)).unwrap();
         assert!(baseline.abs() < peak.abs() / 5.0, "baseline {baseline} vs peak {peak}");
         assert!(run_static_assay(&mut sys, &ReceptorLayer::anti_igg(), &sensorgram(), 0).is_err());
+    }
+
+    #[test]
+    fn traced_static_assay_is_bit_identical_and_emits_stage_spans() {
+        use canti_obs::clock::VirtualClock;
+        use canti_obs::trace::{Collector, EventKind, RingCollector};
+        use std::sync::Arc;
+
+        let fresh = || {
+            StaticCantileverSystem::new(
+                BiosensorChip::paper_static_chip().unwrap(),
+                StaticReadoutConfig::default(),
+            )
+            .unwrap()
+        };
+        let sg = sensorgram();
+        let plain =
+            run_static_assay(&mut fresh(), &ReceptorLayer::anti_igg(), &sg, 100).unwrap();
+
+        let ring = Arc::new(RingCollector::new(64));
+        let tracer = Tracer::new(
+            Arc::clone(&ring) as Arc<dyn Collector>,
+            Arc::new(VirtualClock::new()),
+        );
+        let traced =
+            run_static_assay_traced(&mut fresh(), &ReceptorLayer::anti_igg(), &sg, 100, &tracer)
+                .unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the assay");
+
+        let stream: Vec<(EventKind, String)> = ring
+            .events()
+            .iter()
+            .map(|e| (e.kind, e.name.clone()))
+            .collect();
+        use EventKind as K;
+        let expected: Vec<(EventKind, String)> = [
+            (K::SpanStart, "static_assay"),
+            (K::SpanStart, "chain_measure"),
+            (K::SpanEnd, "chain_measure"),
+            (K::SpanStart, "transduce"),
+            (K::SpanEnd, "transduce"),
+            (K::SpanEnd, "static_assay"),
+        ]
+        .into_iter()
+        .map(|(k, n)| (k, n.to_owned()))
+        .collect();
+        assert_eq!(stream, expected);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use canti_digital::sequencer::{
     MeasurementSequencer, SequencerAction, SequencerEvent, SequencerState,
 };
+use canti_obs::Tracer;
 use canti_units::{SurfaceStress, Volts};
 
 use crate::static_system::{StaticCantileverSystem, CHANNELS};
@@ -45,6 +46,7 @@ pub struct ScanReport {
 pub struct AutonomousInstrument {
     sequencer: MeasurementSequencer,
     system: StaticCantileverSystem,
+    tracer: Tracer,
 }
 
 impl AutonomousInstrument {
@@ -75,7 +77,17 @@ impl AutonomousInstrument {
             sequencer: MeasurementSequencer::new(CHANNELS, watchdog_limit)
                 .map_err(CoreError::Digital)?,
             system,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attaches a tracer to the instrument *and* its sequencer: scan-stage
+    /// spans from here and FSM state changes from the sequencer land in
+    /// the same collector, interleaved on one sequence counter. Tracing
+    /// never alters instrument behavior.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.sequencer.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// The controller's current state.
@@ -104,6 +116,7 @@ impl AutonomousInstrument {
     /// Returns [`CoreError`] if calibration fails; the sequencer latches
     /// `Fault` in that case.
     pub fn power_on(&mut self) -> Result<(), CoreError> {
+        let _span = self.tracer.span("power_on", &[]);
         let action = self
             .sequencer
             .handle(SequencerEvent::SelfTestPassed)
@@ -142,55 +155,73 @@ impl AutonomousInstrument {
         sigmas: [SurfaceStress; CHANNELS],
         samples_per_channel: usize,
     ) -> Result<ScanReport, CoreError> {
+        let _scan_span = self.tracer.span(
+            "scan",
+            &[("samples_per_channel", samples_per_channel.into())],
+        );
         let mut action = self
             .sequencer
             .handle(SequencerEvent::StartScan)
             .map_err(CoreError::Digital)?;
         if matches!(self.sequencer.state(), SequencerState::Fault { .. }) {
-            return Err(CoreError::Config {
-                reason: format!("scan triggered in invalid state: {:?}", self.sequencer.state()),
-            });
+            let reason = format!("scan triggered in invalid state: {:?}", self.sequencer.state());
+            self.tracer
+                .event("scan_fault", &[("reason", reason.as_str().into())]);
+            return Err(CoreError::Config { reason });
         }
         let mut outputs = [Volts::zero(); CHANNELS];
         loop {
             match action {
                 SequencerAction::MeasureChannel(ch) => {
+                    let measure_span = self.tracer.span("measure", &[("channel", ch.into())]);
                     // settle + data bursts: 2·n samples, one tick each
                     let ticks = 2 * samples_per_channel as u64;
                     for _ in 0..ticks {
                         if self.sequencer.tick() {
-                            return Err(CoreError::Config {
-                                reason: format!(
-                                    "watchdog timeout while measuring channel {ch} \
-                                     ({ticks} ticks exceed the budget)"
-                                ),
-                            });
+                            let reason = format!(
+                                "watchdog timeout while measuring channel {ch} \
+                                 ({ticks} ticks exceed the budget)"
+                            );
+                            self.tracer
+                                .event("scan_fault", &[("reason", reason.as_str().into())]);
+                            return Err(CoreError::Config { reason });
                         }
                     }
                     let v = match self.system.measure(ch, sigmas[ch], samples_per_channel) {
                         Ok(v) => v,
                         Err(e) => {
                             let _ = self.sequencer.handle(SequencerEvent::MeasurementFailed);
+                            self.tracer
+                                .event("scan_fault", &[("reason", e.to_string().into())]);
                             return Err(e);
                         }
                     };
                     if !v.value().is_finite() {
                         let _ = self.sequencer.handle(SequencerEvent::MeasurementFailed);
-                        return Err(CoreError::Config {
-                            reason: format!("non-finite output on channel {ch}"),
-                        });
+                        let reason = format!("non-finite output on channel {ch}");
+                        self.tracer
+                            .event("scan_fault", &[("reason", reason.as_str().into())]);
+                        return Err(CoreError::Config { reason });
                     }
                     outputs[ch] = v;
+                    measure_span.end();
                     action = self
                         .sequencer
                         .handle(SequencerEvent::ChannelDone)
                         .map_err(CoreError::Digital)?;
                 }
-                SequencerAction::Report => return Ok(ScanReport { outputs }),
+                SequencerAction::Report => {
+                    self.tracer.event(
+                        "scan_report",
+                        &[("scans_completed", self.sequencer.scans_completed().into())],
+                    );
+                    return Ok(ScanReport { outputs });
+                }
                 other => {
-                    return Err(CoreError::Config {
-                        reason: format!("unexpected sequencer action {other:?}"),
-                    })
+                    let reason = format!("unexpected sequencer action {other:?}");
+                    self.tracer
+                        .event("scan_fault", &[("reason", reason.as_str().into())]);
+                    return Err(CoreError::Config { reason });
                 }
             }
         }
@@ -288,6 +319,84 @@ mod tests {
         inst.reset();
         inst.power_on().unwrap();
         assert_eq!(inst.state(), &SequencerState::Idle);
+    }
+
+    #[test]
+    fn traced_scan_emits_stage_spans_interleaved_with_fsm_events() {
+        use canti_obs::clock::VirtualClock;
+        use canti_obs::trace::{Collector, EventKind, RingCollector};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingCollector::new(256));
+        let tracer = Tracer::new(
+            Arc::clone(&ring) as Arc<dyn Collector>,
+            Arc::new(VirtualClock::new()),
+        );
+        let mut inst = instrument();
+        inst.set_tracer(tracer);
+        inst.power_on().unwrap();
+        inst.run_scan([SurfaceStress::zero(); CHANNELS], 40).unwrap();
+
+        let names: Vec<(EventKind, String)> = ring
+            .events()
+            .iter()
+            .map(|e| (e.kind, e.name.clone()))
+            .collect();
+        use EventKind as K;
+        let expect = |kind, name: &str| (kind, name.to_owned());
+        let mut expected = vec![
+            expect(K::SpanStart, "power_on"),
+            expect(K::Event, "state_change"), // power_on -> calibrating
+            expect(K::Event, "state_change"), // calibrating -> idle
+            expect(K::SpanEnd, "power_on"),
+            expect(K::SpanStart, "scan"),
+            expect(K::Event, "state_change"), // idle -> scanning(0)
+        ];
+        for _ in 0..CHANNELS {
+            expected.push(expect(K::SpanStart, "measure"));
+            expected.push(expect(K::SpanEnd, "measure"));
+            expected.push(expect(K::Event, "state_change")); // next channel / idle
+        }
+        expected.push(expect(K::Event, "scan_report"));
+        expected.push(expect(K::SpanEnd, "scan"));
+        assert_eq!(names, expected);
+        // the trace is one gap-free stream across instrument and sequencer
+        let events = ring.events();
+        assert!(events.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+    }
+
+    #[test]
+    fn traced_fault_carries_the_reason() {
+        use canti_obs::clock::VirtualClock;
+        use canti_obs::ndjson::JsonValue;
+        use canti_obs::trace::{Collector, RingCollector};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingCollector::new(256));
+        let tracer = Tracer::new(
+            Arc::clone(&ring) as Arc<dyn Collector>,
+            Arc::new(VirtualClock::new()),
+        );
+        let mut inst = instrument();
+        inst.set_tracer(tracer);
+        inst.power_on().unwrap();
+        // zero samples -> NaN out of the chain -> MeasurementFailed
+        inst.run_scan([SurfaceStress::zero(); CHANNELS], 0).unwrap_err();
+        let events = ring.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        // sequencer-side failure event, its fault transition, then the
+        // instrument-side scan_fault — in that order
+        let mf = names.iter().position(|n| *n == "measurement_failed").unwrap();
+        let sf = names.iter().position(|n| *n == "scan_fault").unwrap();
+        assert!(mf < sf, "{names:?}");
+        match events[sf].field("reason") {
+            Some(JsonValue::Str(r)) => assert!(r.contains("non-finite"), "{r}"),
+            other => panic!("scan_fault must carry a reason, got {other:?}"),
+        }
+        // every opened span still closes on the error path
+        let starts = events.iter().filter(|e| e.kind == canti_obs::trace::EventKind::SpanStart).count();
+        let ends = events.iter().filter(|e| e.kind == canti_obs::trace::EventKind::SpanEnd).count();
+        assert_eq!(starts, ends, "{names:?}");
     }
 
     #[test]

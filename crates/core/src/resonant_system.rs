@@ -37,6 +37,7 @@ use canti_digital::comparator::ZeroCrossingDetector;
 use canti_mems::dynamics::{Resonator, ResonatorState};
 use canti_mems::mass_loading::{MassLoading, MassPlacement};
 use canti_mems::piezo::{bridge_deltas, full_bridge_gauges, LoadCase};
+use canti_obs::Tracer;
 use canti_units::{Amperes, Hertz, Kilograms, Meters, Newtons, Seconds, Volts};
 
 use crate::chip::{BiosensorChip, Environment};
@@ -430,28 +431,63 @@ impl ResonantCantileverSystem {
     /// Returns [`CoreError::OscillationFailed`] if no oscillation builds
     /// up.
     pub fn steady_state(&mut self, periods: usize) -> Result<OscillationSummary, CoreError> {
+        self.steady_state_traced(periods, &Tracer::disabled())
+    }
+
+    /// [`Self::steady_state`] with structured tracing: a `ring_up` span
+    /// around the closed-loop simulation, then an `oscillation_settled`
+    /// event (frequency/amplitude/VGA gain) or an `oscillation_failed`
+    /// event with the failure reason. Tracing is strictly additive — the
+    /// returned summary is bit-identical to the untraced runner's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OscillationFailed`] if no oscillation builds
+    /// up.
+    pub fn steady_state_traced(
+        &mut self,
+        periods: usize,
+        tracer: &Tracer,
+    ) -> Result<OscillationSummary, CoreError> {
         let n = (periods as f64 * self.config.oversample) as usize;
+        let ring_up = tracer.span("ring_up", &[("periods", periods.into()), ("samples", n.into())]);
         let record = self.run(n);
+        ring_up.end();
         let amplitude = record.tail_amplitude(0.2);
         if amplitude.value() < 1e-12 {
-            return Err(CoreError::OscillationFailed {
-                reason: format!(
-                    "amplitude {:.3e} m after {periods} periods",
-                    amplitude.value()
-                ),
-            });
+            let reason = format!(
+                "amplitude {:.3e} m after {periods} periods",
+                amplitude.value()
+            );
+            tracer.event("oscillation_failed", &[("reason", reason.as_str().into())]);
+            return Err(CoreError::OscillationFailed { reason });
         }
-        let frequency = record.oscillation_frequency()?;
+        let frequency = match record.oscillation_frequency() {
+            Ok(f) => f,
+            Err(e) => {
+                tracer.event("oscillation_failed", &[("reason", e.to_string().into())]);
+                return Err(e);
+            }
+        };
         let tail = record.drive.len() * 4 / 5;
         let drive_amplitude = record.drive[tail..]
             .iter()
             .fold(0.0f64, |m, &v| m.max(v.abs()));
-        Ok(OscillationSummary {
+        let summary = OscillationSummary {
             frequency,
             amplitude,
             vga_gain: self.vga.gain(),
             drive_amplitude: Volts::new(drive_amplitude),
-        })
+        };
+        tracer.event(
+            "oscillation_settled",
+            &[
+                ("frequency_hz", frequency.value().into()),
+                ("amplitude_m", amplitude.value().into()),
+                ("vga_gain", summary.vga_gain.into()),
+            ],
+        );
+        Ok(summary)
     }
 
     /// The loop's small-signal electrical forward gain from bridge output
@@ -549,8 +585,18 @@ mod tests {
 
     #[test]
     fn loop_starts_and_sustains_in_air() {
+        use canti_obs::clock::VirtualClock;
+        use canti_obs::ndjson::JsonValue;
+        use canti_obs::trace::{Collector, RingCollector};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingCollector::new(16));
+        let tracer = Tracer::new(
+            Arc::clone(&ring) as Arc<dyn Collector>,
+            Arc::new(VirtualClock::new()),
+        );
         let mut sys = build(Environment::air());
-        let summary = sys.steady_state(1200).unwrap();
+        let summary = sys.steady_state_traced(1200, &tracer).unwrap();
         let f0 = sys.resonator().resonant_frequency().value();
         // oscillates near (slightly below) the mechanical resonance
         assert!(
@@ -560,6 +606,19 @@ mod tests {
         );
         assert!(summary.amplitude.value() > 1e-9, "visible amplitude");
         assert!(summary.drive_amplitude.value() > 1e-3, "real drive");
+        // the ring-up span and the settled event carry the same numbers
+        let events = ring.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["ring_up", "ring_up", "oscillation_settled"]);
+        let settled = &events[2];
+        assert_eq!(
+            settled.field("frequency_hz"),
+            Some(&JsonValue::F64(summary.frequency.value()))
+        );
+        assert_eq!(
+            settled.field("vga_gain"),
+            Some(&JsonValue::F64(summary.vga_gain))
+        );
     }
 
     #[test]

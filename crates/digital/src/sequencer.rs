@@ -10,6 +10,9 @@
 //! whatever [`SequencerAction`] it returns. That makes every transition
 //! unit-testable without analog machinery.
 
+use canti_obs::ndjson::JsonValue;
+use canti_obs::Tracer;
+
 use crate::DigitalError;
 
 /// Controller states.
@@ -79,7 +82,7 @@ pub enum SequencerAction {
 /// assert_eq!(seq.handle(SequencerEvent::StartScan)?, SequencerAction::MeasureChannel(0));
 /// # Ok::<(), canti_digital::DigitalError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MeasurementSequencer {
     state: SequencerState,
     channels: usize,
@@ -88,6 +91,31 @@ pub struct MeasurementSequencer {
     ticks_in_state: u64,
     /// Completed scan passes since reset.
     scans_completed: u64,
+    /// Trace sink for state changes and faults; disabled (one branch per
+    /// transition) unless attached via [`Self::with_tracer`].
+    tracer: Tracer,
+}
+
+/// Equality is over the controller state only — the attached tracer is
+/// diagnostics plumbing, not sequencer state.
+impl PartialEq for MeasurementSequencer {
+    fn eq(&self, other: &Self) -> bool {
+        self.state == other.state
+            && self.channels == other.channels
+            && self.watchdog_limit == other.watchdog_limit
+            && self.ticks_in_state == other.ticks_in_state
+            && self.scans_completed == other.scans_completed
+    }
+}
+
+fn state_label(state: &SequencerState) -> &'static str {
+    match state {
+        SequencerState::PowerOn => "power_on",
+        SequencerState::Calibrating => "calibrating",
+        SequencerState::Idle => "idle",
+        SequencerState::Scanning { .. } => "scanning",
+        SequencerState::Fault { .. } => "fault",
+    }
 }
 
 impl MeasurementSequencer {
@@ -116,7 +144,22 @@ impl MeasurementSequencer {
             watchdog_limit,
             ticks_in_state: 0,
             scans_completed: 0,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attaches a tracer; every subsequent state change, watchdog trip
+    /// and measurement failure is emitted as a structured event. Tracing
+    /// never alters transition behavior.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Replaces the attached tracer in place (see [`Self::with_tracer`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Current state.
@@ -132,6 +175,22 @@ impl MeasurementSequencer {
     }
 
     fn goto(&mut self, state: SequencerState) {
+        if self.tracer.is_enabled() && state != self.state {
+            let mut fields: Vec<(&'static str, JsonValue)> = vec![
+                ("from", state_label(&self.state).into()),
+                ("to", state_label(&state).into()),
+            ];
+            match &state {
+                SequencerState::Scanning { channel } => {
+                    fields.push(("channel", (*channel).into()));
+                }
+                SequencerState::Fault { reason } => {
+                    fields.push(("reason", reason.as_str().into()));
+                }
+                _ => {}
+            }
+            self.tracer.event("state_change", &fields);
+        }
         self.state = state;
         self.ticks_in_state = 0;
     }
@@ -170,12 +229,16 @@ impl MeasurementSequencer {
                 S::Scanning { channel: 0 },
                 SequencerAction::MeasureChannel(0),
             ),
-            (S::Scanning { channel }, E::MeasurementFailed) => (
-                S::Fault {
-                    reason: format!("measurement failed on channel {channel}"),
-                },
-                SequencerAction::None,
-            ),
+            (S::Scanning { channel }, E::MeasurementFailed) => {
+                self.tracer
+                    .event("measurement_failed", &[("channel", (*channel).into())]);
+                (
+                    S::Fault {
+                        reason: format!("measurement failed on channel {channel}"),
+                    },
+                    SequencerAction::None,
+                )
+            }
             (S::Scanning { channel }, E::ChannelDone) => {
                 let next_ch = channel + 1;
                 if next_ch >= self.channels {
@@ -209,6 +272,13 @@ impl MeasurementSequencer {
         }
         self.ticks_in_state += 1;
         if self.ticks_in_state > self.watchdog_limit {
+            self.tracer.event(
+                "watchdog_trip",
+                &[
+                    ("state", state_label(&self.state).into()),
+                    ("ticks", self.ticks_in_state.into()),
+                ],
+            );
             self.goto(SequencerState::Fault {
                 reason: "watchdog timeout".to_owned(),
             });
@@ -333,6 +403,146 @@ mod tests {
         assert_eq!(seq.scans_completed(), 1);
         seq.handle(E::Reset).unwrap();
         assert_eq!(seq.scans_completed(), 0);
+    }
+
+    mod tracing {
+        use super::*;
+        use canti_obs::clock::VirtualClock;
+        use canti_obs::ndjson::JsonValue;
+        use canti_obs::trace::{Collector, RingCollector};
+        use std::sync::Arc;
+
+        fn traced(channels: usize, watchdog: u64) -> (MeasurementSequencer, Arc<RingCollector>) {
+            let ring = Arc::new(RingCollector::new(256));
+            let tracer = Tracer::new(
+                Arc::clone(&ring) as Arc<dyn Collector>,
+                Arc::new(VirtualClock::new()),
+            );
+            let seq = MeasurementSequencer::new(channels, watchdog)
+                .unwrap()
+                .with_tracer(tracer);
+            (seq, ring)
+        }
+
+        /// `(name, from, to)` triples, with `-` for non-state-change events.
+        fn stream(ring: &RingCollector) -> Vec<(String, String, String)> {
+            ring.events()
+                .iter()
+                .map(|e| {
+                    let get = |k: &str| match e.field(k) {
+                        Some(JsonValue::Str(s)) => s.clone(),
+                        _ => "-".to_owned(),
+                    };
+                    (e.name.clone(), get("from"), get("to"))
+                })
+                .collect()
+        }
+
+        fn owned(items: &[(&str, &str, &str)]) -> Vec<(String, String, String)> {
+            items
+                .iter()
+                .map(|(a, b, c)| ((*a).to_owned(), (*b).to_owned(), (*c).to_owned()))
+                .collect()
+        }
+
+        #[test]
+        fn full_scan_emits_the_exact_ordered_event_stream() {
+            let (mut seq, ring) = traced(2, 100);
+            seq.handle(E::SelfTestPassed).unwrap();
+            seq.handle(E::CalibrationDone).unwrap();
+            seq.handle(E::StartScan).unwrap();
+            seq.handle(E::ChannelDone).unwrap();
+            seq.handle(E::ChannelDone).unwrap();
+            assert_eq!(
+                stream(&ring),
+                owned(&[
+                    ("state_change", "power_on", "calibrating"),
+                    ("state_change", "calibrating", "idle"),
+                    ("state_change", "idle", "scanning"),
+                    ("state_change", "scanning", "scanning"),
+                    ("state_change", "scanning", "idle"),
+                ])
+            );
+            // the channel advance carries the new channel index
+            let events = ring.events();
+            assert_eq!(events[2].field("channel"), Some(&JsonValue::U64(0)));
+            assert_eq!(events[3].field("channel"), Some(&JsonValue::U64(1)));
+            // sequence numbers are gap-free and events are in emission order
+            assert!(events.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+        }
+
+        #[test]
+        fn watchdog_trip_is_traced_before_the_fault_transition() {
+            let (mut seq, ring) = traced(2, 3);
+            seq.handle(E::SelfTestPassed).unwrap();
+            seq.handle(E::CalibrationDone).unwrap();
+            seq.handle(E::StartScan).unwrap();
+            for _ in 0..3 {
+                assert!(!seq.tick());
+            }
+            assert!(seq.tick());
+            assert_eq!(
+                stream(&ring),
+                owned(&[
+                    ("state_change", "power_on", "calibrating"),
+                    ("state_change", "calibrating", "idle"),
+                    ("state_change", "idle", "scanning"),
+                    ("watchdog_trip", "-", "-"),
+                    ("state_change", "scanning", "fault"),
+                ])
+            );
+            let events = ring.events();
+            assert_eq!(events[3].field("state"), Some(&JsonValue::Str("scanning".into())));
+            assert_eq!(events[3].field("ticks"), Some(&JsonValue::U64(4)));
+            assert_eq!(
+                events[4].field("reason"),
+                Some(&JsonValue::Str("watchdog timeout".into()))
+            );
+        }
+
+        #[test]
+        fn measurement_failure_and_reset_are_traced() {
+            let (mut seq, ring) = traced(4, 100);
+            seq.handle(E::SelfTestPassed).unwrap();
+            seq.handle(E::CalibrationDone).unwrap();
+            seq.handle(E::StartScan).unwrap();
+            seq.handle(E::ChannelDone).unwrap(); // now on channel 1
+            seq.handle(E::MeasurementFailed).unwrap();
+            seq.handle(E::Reset).unwrap();
+            assert_eq!(
+                stream(&ring),
+                owned(&[
+                    ("state_change", "power_on", "calibrating"),
+                    ("state_change", "calibrating", "idle"),
+                    ("state_change", "idle", "scanning"),
+                    ("state_change", "scanning", "scanning"),
+                    ("measurement_failed", "-", "-"),
+                    ("state_change", "scanning", "fault"),
+                    ("state_change", "fault", "power_on"),
+                ])
+            );
+            let events = ring.events();
+            assert_eq!(events[4].field("channel"), Some(&JsonValue::U64(1)));
+            assert_eq!(
+                events[5].field("reason"),
+                Some(&JsonValue::Str("measurement failed on channel 1".into()))
+            );
+        }
+
+        #[test]
+        fn latched_fault_emits_nothing_and_tracing_preserves_equality() {
+            let (mut traced_seq, ring) = traced(4, 100);
+            let mut plain = MeasurementSequencer::new(4, 100).unwrap();
+            for event in [E::SelfTestPassed, E::CalibrationFailed, E::StartScan] {
+                let a = traced_seq.handle(event.clone()).unwrap();
+                let b = plain.handle(event).unwrap();
+                assert_eq!(a, b, "tracing must not change actions");
+            }
+            assert_eq!(traced_seq, plain, "tracing must not change state");
+            // the post-fault StartScan is swallowed by the latch: no event
+            let names: Vec<_> = ring.events().iter().map(|e| e.name.clone()).collect();
+            assert_eq!(names, vec!["state_change", "state_change"]);
+        }
     }
 
     #[test]

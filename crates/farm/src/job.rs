@@ -18,6 +18,7 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::cache::PrecomputeCache;
+use crate::telemetry::{timed_stage, JobInstruments};
 
 /// Receptor chemistries a job can request (value-typed so specs stay
 /// `Clone + Send + Sync`).
@@ -162,11 +163,13 @@ const NOMINAL_CORE_THICKNESS: f64 = 5.0e-6;
 ///
 /// Returns the metrics (kind-specific fixed order) or a failure reason.
 /// Panics are *not* caught here — the farm catches them at the job
-/// boundary.
+/// boundary. `obs`, when present, times the shared-cache fetches as the
+/// "precompute" stage; it never influences results.
 pub(crate) fn execute(
     spec: &JobSpec,
     rng: &mut ChaCha8Rng,
     cache: &PrecomputeCache,
+    obs: Option<&JobInstruments<'_>>,
 ) -> Result<Vec<(&'static str, f64)>, String> {
     match spec {
         JobSpec::StaticDoseResponse {
@@ -178,9 +181,10 @@ pub(crate) fn execute(
             dt,
             averaging,
         } => {
-            let chain = cache
-                .static_chain(&StaticReadoutConfig::default())
-                .map_err(|e| e.to_string())?;
+            let chain = timed_stage(obs, "precompute", || {
+                cache.static_chain(&StaticReadoutConfig::default())
+            })
+            .map_err(|e| e.to_string())?;
             let layer = receptor.layer();
             let protocol = AssayProtocol::standard(*baseline, *concentration, *association, *wash);
             let kinetics = LangmuirKinetics::from_receptor(&layer);
@@ -212,7 +216,8 @@ pub(crate) fn execute(
             if thickness <= 0.0 {
                 return Err(format!("drawn core thickness {thickness} m is non-physical"));
             }
-            let base = cache.resonant_baseline().map_err(|e| e.to_string())?;
+            let base = timed_stage(obs, "precompute", || cache.resonant_baseline())
+                .map_err(|e| e.to_string())?;
             let nominal = BiosensorChip::paper_resonant_chip().map_err(|e| e.to_string())?;
             let geometry = nominal
                 .geometry()
@@ -240,9 +245,10 @@ pub(crate) fn execute(
             ])
         }
         JobSpec::CrossReactivity { target, interferent } => {
-            let chain = cache
-                .static_chain(&StaticReadoutConfig::default())
-                .map_err(|e| e.to_string())?;
+            let chain = timed_stage(obs, "precompute", || {
+                cache.static_chain(&StaticReadoutConfig::default())
+            })
+            .map_err(|e| e.to_string())?;
             let layer = ReceptorLayer::anti_igg();
             // weak cross-reactive binder: 1000x poorer affinity than the
             // target (the A5 experiment's interferent model)
@@ -308,10 +314,10 @@ mod tests {
     #[test]
     fn probe_jobs_are_deterministic_per_seed() {
         let cache = PrecomputeCache::new();
-        let a = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(5), &cache).unwrap();
-        let b = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(5), &cache).unwrap();
+        let a = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(5), &cache, None).unwrap();
+        let b = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(5), &cache, None).unwrap();
         assert_eq!(a, b);
-        let c = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(6), &cache).unwrap();
+        let c = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(6), &cache, None).unwrap();
         assert_ne!(a, c);
     }
 
@@ -322,7 +328,7 @@ mod tests {
         let spec = JobSpec::ProcessVariation {
             thickness_sigma_rel: 0.0,
         };
-        let m = execute(&spec, &mut rng(1), &cache).unwrap();
+        let m = execute(&spec, &mut rng(1), &cache, None).unwrap();
         let get = |n: &str| m.iter().find(|(k, _)| *k == n).unwrap().1;
         assert!((get("core_thickness_um") - 5.0).abs() < 1e-12);
         assert!(get("f0_shift_rel").abs() < 1e-9, "nominal draw shifts nothing");
@@ -334,7 +340,7 @@ mod tests {
             thickness_sigma_rel: 0.05,
         };
         let mut r = rng(3);
-        let v = execute(&wide, &mut r, &cache).unwrap();
+        let v = execute(&wide, &mut r, &cache, None).unwrap();
         let t = v.iter().find(|(k, _)| *k == "core_thickness_um").unwrap().1;
         let f = v.iter().find(|(k, _)| *k == "f0_hz").unwrap().1;
         let f_nominal = get("f0_hz");
@@ -355,6 +361,7 @@ mod tests {
             },
             &mut rng(0),
             &cache,
+            None,
         )
         .unwrap();
         let heavy = execute(
@@ -364,6 +371,7 @@ mod tests {
             },
             &mut rng(0),
             &cache,
+            None,
         )
         .unwrap();
         let get = |m: &[(&str, f64)], n: &str| m.iter().find(|(k, _)| *k == n).unwrap().1;

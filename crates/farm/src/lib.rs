@@ -42,6 +42,7 @@ pub mod cache;
 pub mod job;
 mod pool;
 pub mod report;
+pub mod telemetry;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -54,7 +55,9 @@ pub use job::{
     cross_reactivity_panel, dose_response_sweep, process_variation_batch, JobSpec, ProbeMode,
     Receptor,
 };
+pub use pool::WorkerStat;
 pub use report::{BatchReport, FarmError, JobOutput};
+pub use telemetry::{FarmObserver, FarmTelemetry};
 
 /// Farm-wide settings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,11 +78,13 @@ impl Default for FarmConfig {
     }
 }
 
-/// The batch engine: a worker pool plus a shared precompute cache.
+/// The batch engine: a worker pool plus a shared precompute cache,
+/// optionally observed by a [`FarmObserver`].
 #[derive(Debug)]
 pub struct Farm {
     config: FarmConfig,
     cache: Arc<PrecomputeCache>,
+    observer: Option<FarmObserver>,
 }
 
 impl Farm {
@@ -93,7 +98,28 @@ impl Farm {
     /// shared across successive batches).
     #[must_use]
     pub fn with_cache(config: FarmConfig, cache: Arc<PrecomputeCache>) -> Self {
-        Self { config, cache }
+        Self {
+            config,
+            cache,
+            observer: None,
+        }
+    }
+
+    /// Attaches an observer: subsequent [`Self::run`]s record per-job
+    /// spans (queue-wait / precompute / solve), cache counters and
+    /// per-worker utilization, and deposit a [`FarmTelemetry`] section in
+    /// the report. Telemetry is strictly additive — the report's
+    /// numerical payload is bit-identical with or without it.
+    #[must_use]
+    pub fn with_observer(mut self, observer: FarmObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The attached observer, if any.
+    #[must_use]
+    pub fn observer(&self) -> Option<&FarmObserver> {
+        self.observer.as_ref()
     }
 
     /// The resolved worker count (`config.threads`, with `0` mapped to
@@ -124,37 +150,113 @@ impl Farm {
         )
     }
 
+    /// Runs one job through the catch-unwind boundary, mapping the three
+    /// failure shapes into the job's outcome slot.
+    fn run_job(
+        &self,
+        i: usize,
+        spec: &JobSpec,
+        obs: Option<&telemetry::JobInstruments<'_>>,
+    ) -> Result<JobOutput, FarmError> {
+        let mut rng = self.job_rng(i);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            job::execute(spec, &mut rng, &self.cache, obs)
+        }));
+        match run {
+            Ok(Ok(metrics)) => Ok(JobOutput {
+                job_index: i,
+                kind: spec.kind(),
+                metrics,
+            }),
+            Ok(Err(reason)) => Err(FarmError::Job {
+                job_index: i,
+                reason,
+            }),
+            Err(payload) => Err(FarmError::Panic {
+                job_index: i,
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
     /// Runs a batch, returning one outcome per job in submission order.
     ///
     /// Jobs run on [`Self::threads`] workers; errors and panics are
     /// captured per job as [`FarmError`]s without aborting the batch.
-    /// The report is bit-identical for any worker count.
+    /// The report is bit-identical for any worker count, with or without
+    /// an attached observer.
     #[must_use]
     pub fn run(&self, jobs: &[JobSpec]) -> BatchReport {
-        let outcomes = pool::run_indexed(jobs.len(), self.threads(), |i| {
-            let spec = jobs[i].clone();
-            let mut rng = self.job_rng(i);
-            let cache = Arc::clone(&self.cache);
-            let run = catch_unwind(AssertUnwindSafe(|| job::execute(&spec, &mut rng, &cache)));
-            match run {
-                Ok(Ok(metrics)) => Ok(JobOutput {
-                    job_index: i,
-                    kind: spec.kind(),
-                    metrics,
-                }),
-                Ok(Err(reason)) => Err(FarmError::Job {
-                    job_index: i,
-                    reason,
-                }),
-                Err(payload) => Err(FarmError::Panic {
-                    job_index: i,
-                    message: panic_message(payload.as_ref()),
-                }),
+        let threads = self.threads();
+        let obs = self.observer.as_ref();
+
+        // per-stage instruments (registered once per farm, shared Arc)
+        let stage_histograms = obs.map(|o| {
+            (
+                o.metrics().histogram("farm.queue_wait_ns"),
+                o.metrics().histogram("farm.precompute_ns"),
+                o.metrics().histogram("farm.solve_ns"),
+            )
+        });
+        let batch_span = obs.map(|o| {
+            o.tracer().span(
+                "batch",
+                &[
+                    ("jobs", jobs.len().into()),
+                    ("workers", threads.into()),
+                    ("batch_seed", self.config.batch_seed.into()),
+                ],
+            )
+        });
+        let batch_start_ns = obs.map_or(0, |o| o.clock().now_ns());
+
+        let (outcomes, worker_stats) = pool::run_indexed_observed(
+            jobs.len(),
+            threads,
+            |i| match (obs, &stage_histograms) {
+                (Some(o), Some((queue_wait, precompute, solve))) => {
+                    queue_wait.record(o.clock().now_ns().saturating_sub(batch_start_ns));
+                    let job_span = o.tracer().span(
+                        "job",
+                        &[("job", i.into()), ("kind", jobs[i].kind().into())],
+                    );
+                    let instruments = telemetry::JobInstruments {
+                        tracer: o.tracer(),
+                        precompute_ns: precompute,
+                    };
+                    let outcome = self.run_job(i, &jobs[i], Some(&instruments));
+                    solve.record(job_span.end());
+                    outcome
+                }
+                _ => self.run_job(i, &jobs[i], None),
+            },
+            obs.map(|o| o.clock().as_ref()),
+        );
+
+        let telemetry = obs.map(|o| {
+            let ok = outcomes.iter().filter(|r| r.is_ok()).count() as u64;
+            o.metrics().counter("farm.jobs_ok").add(ok);
+            o.metrics()
+                .counter("farm.jobs_failed")
+                .add(outcomes.len() as u64 - ok);
+            let (queue_wait, precompute, solve) =
+                stage_histograms.as_ref().expect("observer implies instruments");
+            FarmTelemetry {
+                workers: threads,
+                jobs: jobs.len(),
+                queue_wait_ns: queue_wait.snapshot(),
+                precompute_ns: precompute.snapshot(),
+                solve_ns: solve.snapshot(),
+                cache: self.cache.stats(),
+                per_worker: worker_stats,
             }
         });
+        drop(batch_span);
+
         BatchReport {
             batch_seed: self.config.batch_seed,
             outcomes,
+            telemetry,
         }
     }
 }
@@ -251,6 +353,38 @@ mod tests {
         let report = farm(4).run(&[]);
         assert!(report.outcomes.is_empty());
         assert_eq!(report.ok_count(), 0);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_carries_telemetry() {
+        let jobs: Vec<JobSpec> = (0..12)
+            .map(|i| JobSpec::Probe(ProbeMode::Draws(1 + i % 4)))
+            .collect();
+        let plain = farm(4).run(&jobs);
+        assert!(plain.telemetry.is_none());
+
+        let (observer, ring) = FarmObserver::deterministic(4096);
+        let observed = farm(4).with_observer(observer).run(&jobs);
+        let telemetry = observed.telemetry.as_ref().expect("observer => telemetry");
+        assert_eq!(observed, plain, "telemetry must not perturb results");
+        assert_eq!(telemetry.jobs, 12);
+        assert_eq!(telemetry.workers, 4);
+        assert_eq!(telemetry.queue_wait_ns.count, 12);
+        assert_eq!(telemetry.solve_ns.count, 12);
+        assert_eq!(telemetry.precompute_ns.count, 0, "probe jobs skip the cache");
+        assert_eq!(
+            telemetry.per_worker.iter().map(|w| w.jobs).sum::<u64>(),
+            12
+        );
+        // trace stream: one batch span + one job span per job
+        let events = ring.events();
+        assert_eq!(events.first().map(|e| e.name.as_str()), Some("batch"));
+        assert_eq!(events.last().map(|e| e.name.as_str()), Some("batch"));
+        let job_starts = events
+            .iter()
+            .filter(|e| e.name == "job" && e.kind == canti_obs::EventKind::SpanStart)
+            .count();
+        assert_eq!(job_starts, 12);
     }
 
     #[test]

@@ -6,9 +6,41 @@
 //! matter which worker ran which job. That slot discipline — not the
 //! scheduling — is what makes the farm's output independent of the
 //! worker count.
+//!
+//! # Panic discipline
+//!
+//! Workers catch job panics themselves and mark the job's slot
+//! **poisoned** instead of unwinding through the pool: the remaining jobs
+//! still run, every worker still joins (no deadlock, no abandoned
+//! threads), and only then does the pool re-raise the first panic payload
+//! on the caller's thread. The farm wraps every job in its own
+//! `catch_unwind`, so a poisoned slot here means a bug in the farm
+//! harness itself — which is exactly when "finish the batch, then fail
+//! loudly" beats hanging a join.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+
+use canti_obs::ObsClock;
+
+/// Per-worker utilization tallies from one pool run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStat {
+    /// Jobs this worker executed.
+    pub jobs: u64,
+    /// Time this worker spent inside job closures, ns (0 without a
+    /// clock, or under a virtual clock that nothing advances).
+    pub busy_ns: u64,
+}
+
+/// A result slot: explicitly distinguishes "never ran", "done" and
+/// "panicked" so a crashed job can never masquerade as a missing result.
+enum Slot<T> {
+    Empty,
+    Done(T),
+    Poisoned(Box<dyn std::any::Any + Send>),
+}
 
 /// Runs `f(i)` for every `i in 0..n` across `threads` workers and
 /// returns the results in index order.
@@ -18,48 +50,114 @@ use std::sync::Mutex;
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0` or if `f` itself panics (workers must catch
-/// their own panics; the farm wraps every job in `catch_unwind`).
+/// Panics if `threads == 0`. If `f` panics, every worker still finishes
+/// its remaining jobs and joins; the first panic payload is then
+/// re-raised on the calling thread (see the module docs — the farm
+/// catches job panics upstream, so this is a harness-bug backstop, not a
+/// job-failure path).
+// The farm itself always goes through `run_indexed_observed`; this
+// stat-free wrapper is the test oracle's entry point.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_observed(n, threads, f, None).0
+}
+
+/// [`run_indexed`] plus per-worker utilization: job counts always, busy
+/// time when `clock` is provided.
+pub fn run_indexed_observed<T, F>(
+    n: usize,
+    threads: usize,
+    f: F,
+    clock: Option<&dyn ObsClock>,
+) -> (Vec<T>, Vec<WorkerStat>)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     assert!(threads > 0, "worker pool needs at least one thread");
     if threads == 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut stat = WorkerStat::default();
+        let out = (0..n)
+            .map(|i| {
+                let t0 = clock.map(ObsClock::now_ns);
+                let v = f(i);
+                if let (Some(t0), Some(c)) = (t0, clock) {
+                    stat.busy_ns += c.now_ns().saturating_sub(t0);
+                }
+                stat.jobs += 1;
+                v
+            })
+            .collect();
+        return (out, vec![stat]);
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Slot<T>>> = (0..n).map(|_| Mutex::new(Slot::Empty)).collect();
+    let workers = threads.min(n);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                *slots[i].lock().expect("result slot lock") = Some(value);
-            });
-        }
+    let stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut stat = WorkerStat::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break stat;
+                        }
+                        let t0 = clock.map(ObsClock::now_ns);
+                        let result = catch_unwind(AssertUnwindSafe(|| f(i)));
+                        if let (Some(t0), Some(c)) = (t0, clock) {
+                            stat.busy_ns += c.now_ns().saturating_sub(t0);
+                        }
+                        stat.jobs += 1;
+                        // a panic inside `lock` poisoning is irrelevant here:
+                        // the slot content is what records job failure
+                        let mut slot =
+                            slots[i].lock().unwrap_or_else(PoisonError::into_inner);
+                        *slot = match result {
+                            Ok(v) => Slot::Done(v),
+                            Err(payload) => Slot::Poisoned(payload),
+                        };
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker caught its own panics"))
+            .collect::<Vec<_>>()
     });
 
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| {
-            slot.into_inner()
-                .expect("result slot lock")
-                .unwrap_or_else(|| panic!("job {i} produced no result"))
-        })
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    let mut first_payload: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            Slot::Done(v) => out.push(v),
+            Slot::Poisoned(payload) => {
+                if first_payload.is_none() {
+                    first_payload = Some((i, payload));
+                }
+            }
+            Slot::Empty => panic!("job {i} produced no result"),
+        }
+    }
+    if let Some((i, payload)) = first_payload {
+        eprintln!("canti-farm pool: job {i} panicked; pool joined cleanly, re-raising");
+        resume_unwind(payload);
+    }
+    (out, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use canti_obs::VirtualClock;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn sequential_and_parallel_agree() {
@@ -91,5 +189,55 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         run_indexed(4, 0, |i| i);
+    }
+
+    /// Regression: a panic in the FIRST job of a multi-job batch must not
+    /// deadlock the pool on join. Every other job still runs, all workers
+    /// join, and the original panic payload is re-raised afterwards.
+    #[test]
+    fn panic_in_first_job_poisons_its_slot_without_deadlocking_the_pool() {
+        let completed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(16, 4, |i| {
+                if i == 0 {
+                    panic!("first job dies");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        let payload = result.expect_err("pool must re-raise the job panic");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("string payload survives the round trip");
+        assert_eq!(message, "first job dies");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            15,
+            "all surviving jobs must have completed before the re-raise"
+        );
+    }
+
+    #[test]
+    fn worker_stats_cover_every_job() {
+        let (out, stats) = run_indexed_observed(40, 4, |i| i, None);
+        assert_eq!(out.len(), 40);
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 40);
+    }
+
+    #[test]
+    fn busy_time_comes_from_the_injected_clock() {
+        let clock = VirtualClock::new();
+        let (_, stats) = run_indexed_observed(
+            5,
+            1,
+            |_| clock.advance_ns(10),
+            Some(&clock as &dyn ObsClock),
+        );
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].jobs, 5);
+        assert_eq!(stats[0].busy_ns, 50, "virtual clock time is deterministic");
     }
 }

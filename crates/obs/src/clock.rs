@@ -1,0 +1,122 @@
+//! Injectable time sources.
+//!
+//! Everything in `canti-obs` that needs "now" asks an [`ObsClock`], never
+//! the OS. That single seam is what keeps telemetry deterministic: tests
+//! and the farm's determinism contract use a [`VirtualClock`] (time only
+//! moves when the code under test says so), while the opt-in profiling
+//! path swaps in a [`WallClock`] built on `std::time::Instant`. No
+//! wall-clock timestamps ever enter reports unless profiling was
+//! explicitly requested.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+///
+/// Implementations must be cheap and thread-safe: `now_ns` sits on the
+/// hot path of every span and histogram sample.
+pub trait ObsClock: Send + Sync + fmt::Debug {
+    /// Nanoseconds since this clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// A manually-advanced clock for deterministic telemetry.
+///
+/// Time is an atomic counter that only moves via [`Self::advance_ns`] /
+/// [`Self::set_ns`]; two runs of the same code see identical timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use canti_obs::clock::{ObsClock, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// assert_eq!(clock.now_ns(), 0);
+/// clock.advance_ns(250);
+/// assert_eq!(clock.now_ns(), 250);
+/// ```
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock forward by `dt` nanoseconds.
+    pub fn advance_ns(&self, dt: u64) {
+        self.now.fetch_add(dt, Ordering::Relaxed);
+    }
+
+    /// Jumps the clock to an absolute time.
+    pub fn set_ns(&self, t: u64) {
+        self.now.store(t, Ordering::Relaxed);
+    }
+}
+
+impl ObsClock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+/// The real monotonic clock, measured from construction.
+///
+/// Only the opt-in profiling paths (benches, `sensor_farm --telemetry`)
+/// should instantiate one; deterministic tests use [`VirtualClock`].
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObsClock for WallClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_only_moves_on_request() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0);
+        c.advance_ns(10);
+        c.advance_ns(5);
+        assert_eq!(c.now_ns(), 15);
+        c.set_ns(3);
+        assert_eq!(c.now_ns(), 3);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,57 @@
+//! # canti-obs — observability for the canti instrument stack
+//!
+//! The chip this workspace reproduces is an autonomous measurement
+//! instrument; this crate gives its software reproduction the on-chip
+//! diagnostics the paper's hardware exposes — without compromising the
+//! farm's determinism contract. Three pieces, all std-only:
+//!
+//! * [`metrics`] — a lock-cheap registry of named counters, gauges and
+//!   fixed-bucket histograms (`Arc`-shared, atomic hot paths),
+//! * [`trace`] — a structured span/event tracer behind a pluggable
+//!   [`trace::Collector`] (bounded in-memory ring, NDJSON writer),
+//! * [`clock`] — the injectable [`clock::ObsClock`] both ride on:
+//!   deterministic [`clock::VirtualClock`] for tests and farm runs,
+//!   [`clock::WallClock`] for the opt-in profiling paths only.
+//!
+//! # Determinism contract
+//!
+//! Telemetry is strictly additive. Instrumented code must produce
+//! bit-identical numerical results with tracing enabled or disabled,
+//! which this crate supports by construction: a disabled [`trace::Tracer`]
+//! is a single branch, collectors never feed data back to the code under
+//! observation, and no wall-clock time is read unless a [`clock::WallClock`]
+//! was explicitly injected.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use canti_obs::clock::VirtualClock;
+//! use canti_obs::metrics::Metrics;
+//! use canti_obs::trace::{RingCollector, Tracer};
+//!
+//! let metrics = Arc::new(Metrics::new());
+//! let ring = Arc::new(RingCollector::new(1024));
+//! let clock = Arc::new(VirtualClock::new());
+//! let tracer = Tracer::new(Arc::clone(&ring) as _, Arc::clone(&clock) as _);
+//!
+//! let span = tracer.span("solve", &[("job", 0u64.into())]);
+//! clock.advance_ns(1_500);
+//! metrics.histogram("solve_ns").record(span.end());
+//!
+//! assert_eq!(ring.events().len(), 2);
+//! assert_eq!(metrics.histogram("solve_ns").snapshot().count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod ndjson;
+pub mod trace;
+
+pub use clock::{ObsClock, VirtualClock, WallClock};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics};
+pub use ndjson::JsonValue;
+pub use trace::{Collector, EventKind, NdjsonCollector, RingCollector, SpanGuard, TraceEvent, Tracer};

@@ -1,0 +1,454 @@
+//! A lock-cheap metrics registry: counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! The registry ([`Metrics`]) hands out `Arc`-shared instruments keyed by
+//! name. Registration takes a short mutex; every *update* after that is a
+//! single atomic operation, so instruments can sit on per-sample hot
+//! paths. Instrument names are kept in a `BTreeMap` so summaries and
+//! NDJSON dumps come out in a stable (sorted) order — important for
+//! reproducible artifacts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::ndjson::{self, JsonValue};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge (e.g. queue depth, workers busy).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bucket bounds: 1 µs … ~17 s in ×2 steps (ns units).
+///
+/// Suits latency-shaped data; custom bounds can be passed to
+/// [`Metrics::histogram_with_bounds`].
+#[must_use]
+pub fn default_latency_bounds() -> Vec<u64> {
+    (0..25).map(|i| 1_000u64 << i).collect()
+}
+
+/// A fixed-bucket histogram of `u64` samples (conventionally nanoseconds).
+///
+/// Bucket `i` counts samples `<= bounds[i]`; one overflow bucket catches
+/// the rest. `min`/`max`/`sum`/`count` are tracked exactly; quantiles are
+/// estimated from the bucket the quantile falls in (upper bound, clamped
+/// to the exact max), which is the standard fixed-bucket trade-off.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over ascending `bounds` (plus an implicit overflow
+    /// bucket). Empty bounds give a single-bucket histogram that still
+    /// tracks count/sum/min/max exactly.
+    #[must_use]
+    pub fn new(mut bounds: Vec<u64>) -> Self {
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the aggregate view.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let max = self.max.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max,
+            p50: quantile_from_buckets(&self.bounds, &counts, count, 0.50, max),
+            p95: quantile_from_buckets(&self.bounds, &counts, count, 0.95, max),
+        }
+    }
+}
+
+/// Estimates quantile `q` from bucket counts: the upper bound of the
+/// bucket the rank lands in, clamped to the observed max.
+fn quantile_from_buckets(bounds: &[u64], counts: &[u64], total: u64, q: f64, max: u64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    // rank in 1..=total; ceil so p50 of a single sample is that sample
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bounds.get(i).copied().unwrap_or(max).min(max);
+        }
+    }
+    max
+}
+
+/// Aggregate view of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Exact smallest sample (0 when empty).
+    pub min: u64,
+    /// Exact largest sample.
+    pub max: u64,
+    /// Estimated median (bucket upper bound, clamped to `max`).
+    pub p50: u64,
+    /// Estimated 95th percentile (bucket upper bound, clamped to `max`).
+    pub p95: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// The metrics registry: named instruments shared via `Arc`.
+///
+/// # Examples
+///
+/// ```
+/// use canti_obs::metrics::Metrics;
+///
+/// let metrics = Metrics::new();
+/// let hits = metrics.counter("cache.hits");
+/// hits.inc();
+/// hits.add(2);
+/// assert_eq!(metrics.counter("cache.hits").get(), 3);
+/// let h = metrics.histogram("solve_ns");
+/// h.record(1500);
+/// assert_eq!(h.snapshot().count, 1);
+/// assert!(metrics.summary().contains("cache.hits"));
+/// ```
+#[derive(Debug, Default)]
+pub struct Metrics {
+    registry: Mutex<Registry>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.registry.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The counter named `name`, created on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut reg = self.lock();
+        Arc::clone(
+            reg.counters
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut reg = self.lock();
+        Arc::clone(
+            reg.gauges
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// The histogram named `name` with [`default_latency_bounds`],
+    /// created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with_bounds(name, default_latency_bounds())
+    }
+
+    /// The histogram named `name`; `bounds` apply only on first creation.
+    #[must_use]
+    pub fn histogram_with_bounds(&self, name: &str, bounds: Vec<u64>) -> Arc<Histogram> {
+        let mut reg = self.lock();
+        Arc::clone(
+            reg.histograms
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Every histogram's `(name, snapshot)`, sorted by name.
+    #[must_use]
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        let reg = self.lock();
+        reg.histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect()
+    }
+
+    /// A human-readable dump of every instrument, sorted by name.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let reg = self.lock();
+        let mut out = String::new();
+        for (name, c) in &reg.counters {
+            let _ = writeln!(out, "counter {name} = {}", c.get());
+        }
+        for (name, g) in &reg.gauges {
+            let _ = writeln!(out, "gauge {name} = {}", g.get());
+        }
+        for (name, h) in &reg.histograms {
+            let s = h.snapshot();
+            let _ = writeln!(
+                out,
+                "histogram {name}: n={} mean={:.1} p50={} p95={} max={} (ns)",
+                s.count,
+                s.mean(),
+                s.p50,
+                s.p95,
+                s.max
+            );
+        }
+        out
+    }
+
+    /// One NDJSON line per instrument, sorted by name.
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        let reg = self.lock();
+        let mut out = String::new();
+        for (name, c) in &reg.counters {
+            out.push_str(&ndjson::object(&[
+                ("metric", JsonValue::Str(name.clone())),
+                ("type", JsonValue::Str("counter".to_owned())),
+                ("value", JsonValue::U64(c.get())),
+            ]));
+            out.push('\n');
+        }
+        for (name, g) in &reg.gauges {
+            out.push_str(&ndjson::object(&[
+                ("metric", JsonValue::Str(name.clone())),
+                ("type", JsonValue::Str("gauge".to_owned())),
+                ("value", JsonValue::I64(g.get())),
+            ]));
+            out.push('\n');
+        }
+        for (name, h) in &reg.histograms {
+            let s = h.snapshot();
+            out.push_str(&ndjson::object(&[
+                ("metric", JsonValue::Str(name.clone())),
+                ("type", JsonValue::Str("histogram".to_owned())),
+                ("count", JsonValue::U64(s.count)),
+                ("sum", JsonValue::U64(s.sum)),
+                ("min", JsonValue::U64(s.min)),
+                ("max", JsonValue::U64(s.max)),
+                ("p50", JsonValue::U64(s.p50)),
+                ("p95", JsonValue::U64(s.p95)),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let m = Metrics::new();
+        m.counter("a").inc();
+        m.counter("a").add(4);
+        assert_eq!(m.counter("a").get(), 5);
+        m.gauge("g").set(7);
+        m.gauge("g").add(-2);
+        assert_eq!(m.gauge("g").get(), 5);
+    }
+
+    #[test]
+    fn histogram_exact_aggregates() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        for v in [1, 5, 50, 500, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 5556);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5000);
+        assert!((s.mean() - 1111.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        // 90 samples <= 10, 10 samples in (100, 1000]
+        for _ in 0..90 {
+            h.record(7);
+        }
+        for _ in 0..10 {
+            h.record(700);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50, 10, "median bucket upper bound");
+        assert_eq!(s.p95, 1000.min(s.max), "tail bucket, clamped to max");
+        assert_eq!(s.max, 700);
+        assert_eq!(s.p95, 700);
+    }
+
+    #[test]
+    fn empty_and_single_sample_histograms() {
+        let h = Histogram::new(default_latency_bounds());
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max, s.p50, s.p95), (0, 0, 0, 0, 0));
+        h.record(123_456);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 123_456);
+        assert_eq!(s.max, 123_456);
+        // single sample: every quantile is clamped to the sample itself
+        assert_eq!(s.p50, 123_456);
+        assert_eq!(s.p95, 123_456);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_samples() {
+        let h = Histogram::new(vec![10]);
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.p50, 1_000_000, "overflow quantile falls back to max");
+    }
+
+    #[test]
+    fn registry_is_shared_and_sorted() {
+        let m = Metrics::new();
+        let h1 = m.histogram("z.last");
+        let h2 = m.histogram("a.first");
+        h1.record(5);
+        h2.record(9);
+        let snaps = m.histogram_snapshots();
+        assert_eq!(snaps[0].0, "a.first");
+        assert_eq!(snaps[1].0, "z.last");
+        let nd = m.to_ndjson();
+        assert_eq!(nd.lines().count(), 2);
+        assert!(nd.lines().next().unwrap().contains("a.first"));
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let m = Arc::new(Metrics::new());
+        let c = m.counter("hits");
+        let h = m.histogram("lat");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.snapshot().count, 4000);
+    }
+}

@@ -1,0 +1,130 @@
+//! Minimal hand-rolled JSON emission (the offline build has no serde).
+//!
+//! Only what NDJSON telemetry lines need: flat objects of scalar values
+//! plus one nested `fields` object for trace events.
+
+use std::fmt::Write as _;
+
+/// A JSON scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (emitted with enough digits to round-trip).
+    F64(f64),
+    /// String (escaped on emission).
+    Str(String),
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::U64(v) => write!(f, "{v}"),
+            Self::I64(v) => write!(f, "{v}"),
+            Self::F64(v) if v.is_finite() => write!(f, "{v:?}"),
+            Self::F64(v) => write!(f, "\"{v}\""),
+            Self::Str(s) => write!(f, "{}", escape(s)),
+        }
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+/// Escapes a string as a quoted JSON string literal.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a flat JSON object from `(key, value)` pairs (single line).
+#[must_use]
+pub fn object(pairs: &[(&str, JsonValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{v}", escape(k));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_rendering() {
+        let s = object(&[
+            ("a", JsonValue::U64(1)),
+            ("b", JsonValue::Str("x".into())),
+            ("c", JsonValue::F64(1.5)),
+            ("d", JsonValue::I64(-2)),
+        ]);
+        assert_eq!(s, "{\"a\":1,\"b\":\"x\",\"c\":1.5,\"d\":-2}");
+    }
+
+    #[test]
+    fn non_finite_floats_are_quoted() {
+        assert_eq!(JsonValue::F64(f64::NAN).to_string(), "\"NaN\"");
+    }
+}

@@ -1,0 +1,431 @@
+//! Structured span/event tracing with pluggable collectors.
+//!
+//! A [`Tracer`] timestamps (via the injected [`ObsClock`]) and sequences
+//! [`TraceEvent`]s, then hands them to a [`Collector`]. Two collectors
+//! ship in-tree: a bounded in-memory [`RingCollector`] (tests, live
+//! inspection) and an [`NdjsonCollector`] writing one JSON object per
+//! line to any `Write` sink (files, stdout, CI artifacts).
+//!
+//! Tracers are cheap to clone (an `Arc` under the hood) and
+//! [`Tracer::disabled`] is a true no-op — a disabled tracer performs no
+//! clock reads, no allocation and no locking, so instrumented hot paths
+//! cost one branch when telemetry is off.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::clock::ObsClock;
+use crate::ndjson::{self, JsonValue};
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed (carries a `dur_ns` field).
+    SpanEnd,
+    /// An instantaneous event.
+    Event,
+}
+
+impl EventKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::SpanStart => "span_start",
+            Self::SpanEnd => "span_end",
+            Self::Event => "event",
+        }
+    }
+}
+
+/// One structured telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Global sequence number (per tracer), gap-free from 0.
+    pub seq: u64,
+    /// Timestamp from the tracer's clock, ns.
+    pub t_ns: u64,
+    /// Start/end/instant marker.
+    pub kind: EventKind,
+    /// Event or span name.
+    pub name: String,
+    /// Structured payload, in emission order.
+    pub fields: Vec<(&'static str, JsonValue)>,
+}
+
+impl TraceEvent {
+    /// Looks up a field by key.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Renders the event as one NDJSON line (no trailing newline).
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"seq\":{},\"t_ns\":{},\"kind\":{},\"name\":{}",
+            self.seq,
+            self.t_ns,
+            ndjson::escape(self.kind.as_str()),
+            ndjson::escape(&self.name)
+        ));
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":");
+            out.push_str(&ndjson::object(
+                &self
+                    .fields
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A sink for trace events. Implementations must tolerate concurrent
+/// `record` calls.
+pub trait Collector: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: TraceEvent);
+}
+
+/// A bounded in-memory collector keeping the most recent `capacity`
+/// events.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use canti_obs::clock::VirtualClock;
+/// use canti_obs::trace::{RingCollector, Tracer};
+///
+/// let ring = Arc::new(RingCollector::new(64));
+/// let tracer = Tracer::new(Arc::clone(&ring) as _, Arc::new(VirtualClock::new()));
+/// tracer.event("hello", &[("n", 3u64.into())]);
+/// let events = ring.events();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].name, "hello");
+/// ```
+#[derive(Debug)]
+pub struct RingCollector {
+    capacity: usize,
+    events: Mutex<std::collections::VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl RingCollector {
+    /// A ring holding up to `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            events: Mutex::new(std::collections::VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// A copy of the retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Renders every retained event as NDJSON lines.
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_ndjson());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Collector for RingCollector {
+    fn record(&self, event: TraceEvent) {
+        let mut q = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(event);
+    }
+}
+
+/// A collector serializing each event as one NDJSON line into a `Write`
+/// sink.
+pub struct NdjsonCollector<W: Write + Send> {
+    sink: Mutex<W>,
+}
+
+impl<W: Write + Send> NdjsonCollector<W> {
+    /// Wraps `sink`; each event becomes one line.
+    pub fn new(sink: W) -> Self {
+        Self {
+            sink: Mutex::new(sink),
+        }
+    }
+
+    /// Unwraps the sink (flushing is the caller's business).
+    pub fn into_inner(self) -> W {
+        self.sink.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<W: Write + Send> fmt::Debug for NdjsonCollector<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NdjsonCollector").finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> Collector for NdjsonCollector<W> {
+    fn record(&self, event: TraceEvent) {
+        let line = event.to_ndjson();
+        let mut sink = self.sink.lock().unwrap_or_else(PoisonError::into_inner);
+        // telemetry must never take the instrument down with it
+        let _ = writeln!(sink, "{line}");
+    }
+}
+
+struct TracerInner {
+    collector: Arc<dyn Collector>,
+    clock: Arc<dyn ObsClock>,
+    seq: AtomicU64,
+}
+
+/// The event/span emitter. Clone freely; clones share the sequence
+/// counter, collector and clock.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer feeding `collector`, timestamped by `clock`.
+    #[must_use]
+    pub fn new(collector: Arc<dyn Collector>, clock: Arc<dyn ObsClock>) -> Self {
+        Self {
+            inner: Some(Arc::new(TracerInner {
+                collector,
+                clock,
+                seq: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A no-op tracer: every call is a single branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether events actually go anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current time on the tracer's clock (0 when disabled).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_ns())
+    }
+
+    fn emit(&self, kind: EventKind, name: &str, fields: &[(&'static str, JsonValue)]) {
+        let Some(inner) = &self.inner else { return };
+        let event = TraceEvent {
+            seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            t_ns: inner.clock.now_ns(),
+            kind,
+            name: name.to_owned(),
+            fields: fields.to_vec(),
+        };
+        inner.collector.record(event);
+    }
+
+    /// Records an instantaneous event.
+    pub fn event(&self, name: &str, fields: &[(&'static str, JsonValue)]) {
+        self.emit(EventKind::Event, name, fields);
+    }
+
+    /// Opens a span; the returned guard records the matching
+    /// `span_end` (with a `dur_ns` field) when dropped or
+    /// [`SpanGuard::end`]ed.
+    #[must_use]
+    pub fn span(&self, name: &str, fields: &[(&'static str, JsonValue)]) -> SpanGuard {
+        self.emit(EventKind::SpanStart, name, fields);
+        SpanGuard {
+            tracer: self.clone(),
+            name: name.to_owned(),
+            start_ns: self.now_ns(),
+            done: !self.is_enabled(),
+        }
+    }
+}
+
+/// Closes its span on drop, stamping the elapsed clock time.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: String,
+    start_ns: u64,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// Elapsed span time so far, ns.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.tracer.now_ns().saturating_sub(self.start_ns)
+    }
+
+    /// Closes the span now (instead of at drop), returning the duration.
+    pub fn end(mut self) -> u64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> u64 {
+        if self.done {
+            return 0;
+        }
+        self.done = true;
+        let dur = self.elapsed_ns();
+        self.tracer
+            .emit(EventKind::SpanEnd, &self.name, &[("dur_ns", dur.into())]);
+        dur
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn ring_tracer(capacity: usize) -> (Arc<RingCollector>, Arc<VirtualClock>, Tracer) {
+        let ring = Arc::new(RingCollector::new(capacity));
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = Tracer::new(
+            Arc::clone(&ring) as Arc<dyn Collector>,
+            Arc::clone(&clock) as Arc<dyn ObsClock>,
+        );
+        (ring, clock, tracer)
+    }
+
+    #[test]
+    fn events_are_sequenced_and_timestamped() {
+        let (ring, clock, tracer) = ring_tracer(16);
+        tracer.event("a", &[]);
+        clock.advance_ns(100);
+        tracer.event("b", &[("x", 7u64.into())]);
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].seq, events[0].t_ns), (0, 0));
+        assert_eq!((events[1].seq, events[1].t_ns), (1, 100));
+        assert_eq!(events[1].field("x"), Some(&JsonValue::U64(7)));
+    }
+
+    #[test]
+    fn span_guard_records_duration_from_the_clock() {
+        let (ring, clock, tracer) = ring_tracer(16);
+        {
+            let _span = tracer.span("work", &[("job", 3u64.into())]);
+            clock.advance_ns(250);
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(events[1].kind, EventKind::SpanEnd);
+        assert_eq!(events[1].name, "work");
+        assert_eq!(events[1].field("dur_ns"), Some(&JsonValue::U64(250)));
+    }
+
+    #[test]
+    fn explicit_end_does_not_double_record() {
+        let (ring, clock, tracer) = ring_tracer(16);
+        let span = tracer.span("s", &[]);
+        clock.advance_ns(40);
+        assert_eq!(span.end(), 40);
+        assert_eq!(ring.events().len(), 2, "end() then drop records once");
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        tracer.event("nothing", &[]);
+        let span = tracer.span("nothing", &[]);
+        assert_eq!(span.elapsed_ns(), 0);
+        drop(span);
+        assert_eq!(tracer.now_ns(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let (ring, _clock, tracer) = ring_tracer(2);
+        for i in 0..5u64 {
+            tracer.event("e", &[("i", i.into())]);
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].field("i"), Some(&JsonValue::U64(3)));
+        assert_eq!(ring.dropped(), 3);
+    }
+
+    #[test]
+    fn ndjson_round_trip_shape() {
+        let (ring, _clock, tracer) = ring_tracer(4);
+        tracer.event("quote\"me", &[("f", 1.5f64.into()), ("s", "v".into())]);
+        let nd = ring.to_ndjson();
+        assert_eq!(
+            nd.trim(),
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"event\",\"name\":\"quote\\\"me\",\
+             \"fields\":{\"f\":1.5,\"s\":\"v\"}}"
+        );
+    }
+
+    #[test]
+    fn ndjson_collector_writes_lines() {
+        let clock = Arc::new(VirtualClock::new());
+        let collector = Arc::new(NdjsonCollector::new(Vec::<u8>::new()));
+        let tracer = Tracer::new(Arc::clone(&collector) as _, clock);
+        tracer.event("a", &[]);
+        tracer.event("b", &[]);
+        drop(tracer);
+        let bytes = Arc::into_inner(collector).expect("sole owner").into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

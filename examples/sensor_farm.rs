@@ -2,19 +2,29 @@
 //! Monte-Carlo process-variation trials and cross-reactivity panels, run
 //! in parallel on the deterministic farm engine.
 //!
-//! Run with: `cargo run --release --example sensor_farm [jobs]`
+//! Run with: `cargo run --release --example sensor_farm [jobs] [--telemetry]`
 //! (`jobs` defaults to 48; the CI smoke target uses 16).
+//!
+//! `--telemetry` attaches a wall-clock [`FarmObserver`]: the run prints
+//! per-stage latency histograms, cache counters and per-worker
+//! utilization, and writes the full NDJSON dump (stage records, metrics,
+//! trace events) to `target/farm_telemetry.ndjson`. Telemetry is strictly
+//! additive — the report stays bit-identical to the untelemetered run,
+//! which the determinism check at the end re-verifies.
 
 use std::time::Instant;
 
 use canti::farm::{
-    cross_reactivity_panel, dose_response_sweep, process_variation_batch, Farm, FarmConfig, JobSpec,
+    cross_reactivity_panel, dose_response_sweep, process_variation_batch, Farm, FarmConfig,
+    FarmObserver, JobSpec,
 };
 
 fn main() {
-    let total: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_on = args.iter().any(|a| a == "--telemetry");
+    let total: usize = args
+        .iter()
+        .find_map(|a| a.parse().ok())
         .filter(|&n| n >= 3)
         .unwrap_or(48);
 
@@ -29,10 +39,14 @@ fn main() {
     jobs.extend(process_variation_batch(per_kind, 0.04));
     jobs.extend(cross_reactivity_panel(10.0, &interferents));
 
-    let farm = Farm::new(FarmConfig {
+    let observer = telemetry_on.then(|| FarmObserver::profiling(8192));
+    let mut farm = Farm::new(FarmConfig {
         batch_seed: 0xFA12,
         threads: 0, // machine parallelism
     });
+    if let Some((obs, _)) = &observer {
+        farm = farm.with_observer(obs.clone());
+    }
     println!(
         "running {} jobs on {} worker threads...",
         jobs.len(),
@@ -47,6 +61,34 @@ fn main() {
         "precompute cache: {} hits / {} misses",
         stats.hits, stats.misses
     );
+
+    if let Some((observer, ring)) = observer {
+        let telemetry = report
+            .telemetry
+            .as_ref()
+            .expect("observed run carries telemetry");
+        println!("\n{}", telemetry.render());
+        print!("{}", observer.metrics().summary());
+
+        // a stage with zero samples means the instrumentation came unwired
+        for (name, snapshot) in telemetry.stages() {
+            if snapshot.count == 0 {
+                eprintln!("stage histogram '{name}' has zero samples");
+                std::process::exit(1);
+            }
+        }
+
+        let mut ndjson = telemetry.to_ndjson();
+        ndjson.push_str(&observer.metrics().to_ndjson());
+        ndjson.push_str(&ring.to_ndjson());
+        let path = "target/farm_telemetry.ndjson";
+        std::fs::write(path, &ndjson).expect("write telemetry artifact");
+        println!(
+            "telemetry: {} NDJSON records ({} trace events dropped) -> {path}",
+            ndjson.lines().count(),
+            ring.dropped()
+        );
+    }
 
     // determinism spot-check: a single-threaded rerun must be identical
     let oracle = Farm::new(FarmConfig {

@@ -17,8 +17,14 @@ echo "== clippy (-D warnings) =="
 cargo clippy --workspace -- -D warnings
 
 if [[ "${1:-}" == "smoke" ]]; then
-    echo "== farm smoke (16-job batch) =="
-    cargo run --release --example sensor_farm 16
+    echo "== farm smoke (16-job batch, telemetry on) =="
+    # --telemetry exits non-zero itself if any stage histogram is empty
+    cargo run --release --example sensor_farm 16 --telemetry
+    artifact=target/farm_telemetry.ndjson
+    [[ -s "$artifact" ]] || { echo "missing telemetry artifact $artifact"; exit 1; }
+    grep -q '"record":"farm_stage"' "$artifact" || { echo "no stage records in $artifact"; exit 1; }
+    grep -q '"kind":"span_start"'   "$artifact" || { echo "no trace events in $artifact"; exit 1; }
+    echo "telemetry artifact: $(wc -l < "$artifact") NDJSON records"
 fi
 
 echo "ci: all green"

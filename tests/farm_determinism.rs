@@ -93,6 +93,37 @@ fn mixed_64_job_batch_is_bit_identical_across_worker_counts() {
     }
 }
 
+/// Cache traffic is part of the determinism story: the lock is held
+/// across a miss's compute-and-insert, so for one distinct config the
+/// first requester misses and every other job hits — at *any* worker
+/// count. Racy caches leak duplicate misses under contention; this pins
+/// the invariant down.
+#[test]
+fn cache_hit_counts_are_worker_count_invariant() {
+    let concentrations: Vec<f64> = (0..12).map(|i| 0.5 * 10f64.powf(0.25 * i as f64)).collect();
+    let jobs = dose_response_sweep(&concentrations);
+    for threads in [1, 2, 8] {
+        let farm = Farm::new(FarmConfig {
+            batch_seed: 0xCAC4E,
+            threads,
+        });
+        let report = farm.run(&jobs);
+        assert_eq!(report.ok_count(), jobs.len());
+        let stats = farm.cache_stats();
+        assert_eq!(
+            stats.misses, 1,
+            "exactly one chain precompute at {threads} threads"
+        );
+        assert_eq!(
+            stats.hits,
+            jobs.len() as u64 - 1,
+            "every other job must hit at {threads} threads"
+        );
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes_estimate > 0);
+    }
+}
+
 /// A job-level substrate error (not a panic) also stays in its slot.
 #[test]
 fn job_errors_stay_in_their_slot() {
