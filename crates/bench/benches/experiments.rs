@@ -176,13 +176,14 @@ fn main() {
         }
     });
 
-    if std::env::var("CANTI_BENCH_JSON").is_ok() {
+    if !matches!(canti_bench::artifact::sink_from_env(), canti_bench::artifact::BenchSink::Disabled)
+    {
         use canti_bench::report::ExperimentReport;
         let mut rep = ExperimentReport::new("BENCH", "kernel per-iteration timings", &[]);
         for m in b.results() {
             rep.push_timing(&m.name, m.per_iter_ns);
         }
-        println!("{}", rep.to_json());
+        canti_bench::artifact::emit_report(&rep);
     }
     b.finish();
 }

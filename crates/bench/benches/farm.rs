@@ -105,4 +105,9 @@ fn main() {
         exp.push_timing(name, snapshot);
     }
     println!("{}", exp.to_json());
+    // CANTI_BENCH_JSON=<path> additionally archives the document for the
+    // obsctl diff perf gate in scripts/ci.sh
+    if let canti_bench::artifact::BenchSink::File(_) = canti_bench::artifact::sink_from_env() {
+        canti_bench::artifact::emit_report(&exp);
+    }
 }

@@ -1,0 +1,128 @@
+//! Bench artifact sink: where an [`ExperimentReport`] JSON dump goes,
+//! controlled by the `CANTI_BENCH_JSON` environment variable.
+//!
+//! * unset / empty — no JSON emitted (human-readable output only),
+//! * `1`, `true`, `stdout`, `-` — JSON printed to stdout (the historical
+//!   behaviour of `benches/experiments.rs`),
+//! * anything else — treated as a file path; the JSON document is
+//!   written there (parent directories created), which is how
+//!   `scripts/ci.sh` archives `BENCH_farm.json` for the `obsctl diff`
+//!   perf-regression gate.
+
+use std::path::Path;
+
+use crate::report::ExperimentReport;
+
+/// Where [`emit_report`] will send the JSON dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchSink {
+    /// `CANTI_BENCH_JSON` unset or empty: emit nothing.
+    Disabled,
+    /// Print the JSON document to stdout.
+    Stdout,
+    /// Write the JSON document to this path.
+    File(std::path::PathBuf),
+}
+
+/// Resolves a `CANTI_BENCH_JSON`-style value into a [`BenchSink`].
+#[must_use]
+pub fn sink_from_value(value: Option<&str>) -> BenchSink {
+    match value.map(str::trim) {
+        None | Some("") => BenchSink::Disabled,
+        Some("1" | "true" | "stdout" | "-") => BenchSink::Stdout,
+        Some(path) => BenchSink::File(path.into()),
+    }
+}
+
+/// Reads `CANTI_BENCH_JSON` from the environment and resolves it.
+#[must_use]
+pub fn sink_from_env() -> BenchSink {
+    sink_from_value(std::env::var("CANTI_BENCH_JSON").ok().as_deref())
+}
+
+/// Sends `report.to_json()` to the sink `CANTI_BENCH_JSON` selects.
+///
+/// Returns the path written to, if any.
+///
+/// # Panics
+///
+/// Panics when a file sink cannot be written — benches want a loud
+/// failure, not a silently missing CI artifact.
+pub fn emit_report(report: &ExperimentReport) -> Option<std::path::PathBuf> {
+    match sink_from_env() {
+        BenchSink::Disabled => None,
+        BenchSink::Stdout => {
+            println!("{}", report.to_json());
+            None
+        }
+        BenchSink::File(path) => {
+            write_report(report, &path).expect("write CANTI_BENCH_JSON artifact");
+            eprintln!("bench artifact -> {}", path.display());
+            Some(path)
+        }
+    }
+}
+
+/// Writes `report.to_json()` to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_report(report: &ExperimentReport, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, report.to_json() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_resolution() {
+        assert_eq!(sink_from_value(None), BenchSink::Disabled);
+        assert_eq!(sink_from_value(Some("")), BenchSink::Disabled);
+        assert_eq!(sink_from_value(Some("  ")), BenchSink::Disabled);
+        assert_eq!(sink_from_value(Some("1")), BenchSink::Stdout);
+        assert_eq!(sink_from_value(Some("true")), BenchSink::Stdout);
+        assert_eq!(sink_from_value(Some("-")), BenchSink::Stdout);
+        assert_eq!(
+            sink_from_value(Some("target/BENCH_farm.json")),
+            BenchSink::File("target/BENCH_farm.json".into())
+        );
+    }
+
+    #[test]
+    fn write_report_creates_parents_and_valid_json() {
+        let dir = std::env::temp_dir().join(format!("canti-artifact-{}", std::process::id()));
+        let path = dir.join("nested/BENCH.json");
+        let mut report = ExperimentReport::new("T", "test", &[]);
+        report.push_timing(
+            "stage",
+            canti_obs::HistogramSnapshot {
+                count: 1,
+                sum: 5,
+                min: 5,
+                max: 5,
+                p50: 5,
+                p95: 5,
+            },
+        );
+        write_report(&report, &path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let doc = canti_obs::parse_json(text.trim()).expect("valid JSON");
+        let timings = doc
+            .get("timings")
+            .and_then(canti_obs::Json::as_array)
+            .expect("timings array");
+        assert_eq!(timings.len(), 1);
+        assert_eq!(
+            timings[0].get("p95_ns").and_then(canti_obs::Json::as_u64),
+            Some(5)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod a1_thermal_drift;
+pub mod artifact;
 pub mod a2_phase_lead;
 pub mod a3_counter;
 pub mod a4_dose_response;

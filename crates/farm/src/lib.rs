@@ -235,6 +235,8 @@ impl Farm {
 
         let telemetry = obs.map(|o| {
             let ok = outcomes.iter().filter(|r| r.is_ok()).count() as u64;
+            o.metrics().counter("farm.batches").add(1);
+            o.metrics().gauge("farm.workers").set(threads as i64);
             o.metrics().counter("farm.jobs_ok").add(ok);
             o.metrics()
                 .counter("farm.jobs_failed")

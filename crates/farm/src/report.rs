@@ -117,6 +117,12 @@ impl BatchReport {
         self.ok().count()
     }
 
+    /// Number of failed jobs.
+    #[must_use]
+    pub fn err_count(&self) -> usize {
+        self.errors().count()
+    }
+
     /// Collects metric `name` from every successful job that reports it,
     /// in job order.
     #[must_use]

@@ -1,0 +1,148 @@
+//! Prometheus text-format exposition for [`Metrics`] snapshots.
+//!
+//! Renders the registry in the Prometheus text exposition format
+//! (version 0.0.4): counters as `<name>_total`, gauges verbatim, and
+//! histograms as cumulative `_bucket{le="..."}` series plus `_sum` /
+//! `_count`, exactly what a `/metrics` scrape endpoint must return.
+//! Output order is deterministic (the registry is name-sorted), so the
+//! rendering is golden-file testable.
+//!
+//! # Examples
+//!
+//! ```
+//! use canti_obs::expose::render_prometheus;
+//! use canti_obs::Metrics;
+//!
+//! let m = Metrics::new();
+//! m.counter("farm.jobs_ok").add(3);
+//! let text = render_prometheus(&m);
+//! assert!(text.contains("# TYPE farm_jobs_ok_total counter"));
+//! assert!(text.contains("farm_jobs_ok_total 3"));
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::metrics::Metrics;
+
+/// Maps an instrument name onto the Prometheus metric-name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: invalid characters (the registry
+/// convention uses dots) become `_`, and a leading digit gets a `_`
+/// prefix.
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if valid {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders every instrument in `metrics` in the Prometheus text format.
+///
+/// Counters are suffixed `_total` per convention; histogram buckets are
+/// emitted cumulatively with an explicit `le="+Inf"` series whose value
+/// equals `_count`.
+#[must_use]
+pub fn render_prometheus(metrics: &Metrics) -> String {
+    let mut out = String::new();
+
+    for (name, counter) in metrics.counters() {
+        let name = sanitize_name(&name);
+        let _ = writeln!(out, "# TYPE {name}_total counter");
+        let _ = writeln!(out, "{name}_total {}", counter.get());
+    }
+
+    for (name, gauge) in metrics.gauges() {
+        let name = sanitize_name(&name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", gauge.get());
+    }
+
+    for (name, histogram) in metrics.histograms() {
+        let name = sanitize_name(&name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let bounds = histogram.bounds().to_vec();
+        let counts = histogram.bucket_counts();
+        let mut cumulative = 0u64;
+        for (bound, count) in bounds.iter().zip(&counts) {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        // overflow bucket: the +Inf series totals every sample
+        cumulative += counts.last().copied().unwrap_or(0);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let snapshot = histogram.snapshot();
+        let _ = writeln!(out, "{name}_sum {}", snapshot.sum);
+        let _ = writeln!(out, "{name}_count {}", snapshot.count);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("farm.queue_wait_ns"), "farm_queue_wait_ns");
+        assert_eq!(sanitize_name("a b/c-d"), "a_b_c_d");
+        assert_eq!(sanitize_name("0abc"), "_0abc");
+        assert_eq!(sanitize_name("ok:name_9"), "ok:name_9");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let m = Metrics::new();
+        m.counter("cache.hits").add(7);
+        m.gauge("queue.depth").set(-3);
+        let text = render_prometheus(&m);
+        assert!(text.contains("# TYPE cache_hits_total counter\ncache_hits_total 7\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth -3\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_inf_matches_count() {
+        let m = Metrics::new();
+        let h = m.histogram_with_bounds("lat", vec![10, 100]);
+        for v in [5, 7, 50, 5_000] {
+            h.record(v);
+        }
+        let text = render_prometheus(&m);
+        assert!(text.contains("lat_bucket{le=\"10\"} 2\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"100\"} 3\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("lat_sum 5062\n"), "{text}");
+        assert!(text.contains("lat_count 4\n"), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(render_prometheus(&Metrics::new()), "");
+    }
+
+    #[test]
+    fn output_is_name_sorted_and_stable() {
+        let m = Metrics::new();
+        m.counter("z.second").inc();
+        m.counter("a.first").inc();
+        let a = render_prometheus(&m);
+        let b = render_prometheus(&m);
+        assert_eq!(a, b);
+        let first = a.find("a_first_total").unwrap();
+        let second = a.find("z_second_total").unwrap();
+        assert!(first < second);
+    }
+}

@@ -3,7 +3,7 @@
 //! The chip this workspace reproduces is an autonomous measurement
 //! instrument; this crate gives its software reproduction the on-chip
 //! diagnostics the paper's hardware exposes — without compromising the
-//! farm's determinism contract. Three pieces, all std-only:
+//! farm's determinism contract. All std-only:
 //!
 //! * [`metrics`] — a lock-cheap registry of named counters, gauges and
 //!   fixed-bucket histograms (`Arc`-shared, atomic hot paths),
@@ -11,7 +11,17 @@
 //!   [`trace::Collector`] (bounded in-memory ring, NDJSON writer),
 //! * [`clock`] — the injectable [`clock::ObsClock`] both ride on:
 //!   deterministic [`clock::VirtualClock`] for tests and farm runs,
-//!   [`clock::WallClock`] for the opt-in profiling paths only.
+//!   [`clock::WallClock`] for the opt-in profiling paths only,
+//!
+//! and the consumption layer built on top of those emitters:
+//!
+//! * [`expose`] — Prometheus text-format rendering of a [`Metrics`]
+//!   registry, and [`serve`] — a bounded-thread `TcpListener` server
+//!   scraping it live at `/metrics` (+ `/healthz`),
+//! * [`parse`] — the NDJSON/JSON reader inverse of [`ndjson`],
+//! * [`analyze`] — span-tree reconstruction, per-stage aggregation,
+//!   critical-path extraction and folded-stack flamegraph output over
+//!   parsed traces (what the `obsctl` tool drives).
 //!
 //! # Determinism contract
 //!
@@ -46,12 +56,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod clock;
+pub mod expose;
 pub mod metrics;
 pub mod ndjson;
+pub mod parse;
+pub mod serve;
 pub mod trace;
 
+pub use analyze::{SpanNode, StageStats, Trace};
 pub use clock::{ObsClock, VirtualClock, WallClock};
+pub use expose::render_prometheus;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics};
 pub use ndjson::JsonValue;
+pub use parse::{parse_json, parse_ndjson, Json, ParseError};
+pub use serve::ExpositionServer;
 pub use trace::{Collector, EventKind, NdjsonCollector, RingCollector, SpanGuard, TraceEvent, Tracer};

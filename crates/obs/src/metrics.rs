@@ -27,9 +27,14 @@ impl Counter {
         self.add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`, saturating at `u64::MAX` — a long-lived instrument's
+    /// counter must never wrap back past zero and fake a reset.
     pub fn add(&self, n: u64) {
-        self.value.fetch_add(n, Ordering::Relaxed);
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_add(n))
+            });
     }
 
     /// The current count.
@@ -121,6 +126,23 @@ impl Histogram {
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// The ascending bucket upper bounds (the implicit overflow bucket is
+    /// not listed).
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket sample counts: `bounds().len() + 1` entries, the last
+    /// being the overflow bucket.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// A point-in-time copy of the aggregate view.
@@ -282,6 +304,36 @@ impl Metrics {
             .collect()
     }
 
+    /// Every counter's `(name, instrument)`, sorted by name.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, Arc<Counter>)> {
+        let reg = self.lock();
+        reg.counters
+            .iter()
+            .map(|(n, c)| (n.clone(), Arc::clone(c)))
+            .collect()
+    }
+
+    /// Every gauge's `(name, instrument)`, sorted by name.
+    #[must_use]
+    pub fn gauges(&self) -> Vec<(String, Arc<Gauge>)> {
+        let reg = self.lock();
+        reg.gauges
+            .iter()
+            .map(|(n, g)| (n.clone(), Arc::clone(g)))
+            .collect()
+    }
+
+    /// Every histogram's `(name, instrument)`, sorted by name.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        let reg = self.lock();
+        reg.histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), Arc::clone(h)))
+            .collect()
+    }
+
     /// A human-readable dump of every instrument, sorted by name.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -429,6 +481,53 @@ mod tests {
         let nd = m.to_ndjson();
         assert_eq!(nd.lines().count(), 2);
         assert!(nd.lines().next().unwrap().contains("a.first"));
+    }
+
+    #[test]
+    fn counter_saturates_at_u64_max_without_wrapping() {
+        let c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        // any further increment pins at MAX instead of wrapping to 0/1
+        c.inc();
+        c.add(12345);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn overflow_bucket_accounting_is_exact() {
+        let h = Histogram::new(vec![10, 100]);
+        // 2 in the first bucket, 1 in the second, 3 in the overflow
+        for v in [3, 10, 55, 101, 1_000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.bounds(), &[10, 100]);
+        assert_eq!(h.bucket_counts(), vec![2, 1, 3]);
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(
+            h.bucket_counts().iter().sum::<u64>(),
+            s.count,
+            "buckets partition the samples"
+        );
+        assert_eq!(s.max, u64::MAX);
+        // overflow-bucket quantiles clamp to the observed max
+        assert_eq!(s.p95, u64::MAX);
+    }
+
+    #[test]
+    fn zero_count_snapshot_is_all_zero() {
+        for bounds in [vec![], vec![10, 100]] {
+            let h = Histogram::new(bounds);
+            let s = h.snapshot();
+            assert_eq!(
+                (s.count, s.sum, s.min, s.max, s.p50, s.p95),
+                (0, 0, 0, 0, 0, 0)
+            );
+            assert_eq!(s.mean(), 0.0);
+        }
     }
 
     #[test]

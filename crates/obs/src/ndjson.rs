@@ -18,13 +18,26 @@ pub enum JsonValue {
     Str(String),
 }
 
+impl JsonValue {
+    /// The canonical quoted spellings non-finite floats serialize as
+    /// (JSON numbers cannot express them). [`crate::parse`] maps these
+    /// exact strings back to `F64`, so emit → parse → emit is stable.
+    pub const NAN: &'static str = "NaN";
+    /// Canonical spelling of `f64::INFINITY` — see [`Self::NAN`].
+    pub const INF: &'static str = "Infinity";
+    /// Canonical spelling of `f64::NEG_INFINITY` — see [`Self::NAN`].
+    pub const NEG_INF: &'static str = "-Infinity";
+}
+
 impl std::fmt::Display for JsonValue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::U64(v) => write!(f, "{v}"),
             Self::I64(v) => write!(f, "{v}"),
             Self::F64(v) if v.is_finite() => write!(f, "{v:?}"),
-            Self::F64(v) => write!(f, "\"{v}\""),
+            Self::F64(v) if v.is_nan() => write!(f, "\"{}\"", Self::NAN),
+            Self::F64(v) if *v > 0.0 => write!(f, "\"{}\"", Self::INF),
+            Self::F64(_) => write!(f, "\"{}\"", Self::NEG_INF),
             Self::Str(s) => write!(f, "{}", escape(s)),
         }
     }
@@ -124,7 +137,12 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_floats_are_quoted() {
+    fn non_finite_floats_use_the_canonical_spellings() {
         assert_eq!(JsonValue::F64(f64::NAN).to_string(), "\"NaN\"");
+        assert_eq!(JsonValue::F64(f64::INFINITY).to_string(), "\"Infinity\"");
+        assert_eq!(
+            JsonValue::F64(f64::NEG_INFINITY).to_string(),
+            "\"-Infinity\""
+        );
     }
 }

@@ -1,0 +1,259 @@
+//! A minimal std-only HTTP exposition server: `/metrics` + `/healthz`.
+//!
+//! Long-running instruments (the sensor-farm service, an
+//! `AutonomousInstrument` loop) need to be scrapeable without pulling an
+//! async runtime into a zero-dependency crate. This server is
+//! deliberately tiny: a `TcpListener`, a small **bounded** pool of worker
+//! threads all blocking in `accept`, one short-lived HTTP/1.0-style
+//! exchange per connection, and a graceful [`ExpositionServer::shutdown`]
+//! that wakes every worker and joins it.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — the registry in Prometheus text format
+//!   ([`crate::expose::render_prometheus`]), content type
+//!   `text/plain; version=0.0.4`,
+//! * `GET /healthz` — `200 ok` while the server is up (liveness),
+//! * anything else — `404`.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use canti_obs::serve::ExpositionServer;
+//! use canti_obs::Metrics;
+//!
+//! let metrics = Arc::new(Metrics::new());
+//! metrics.counter("up").inc();
+//! let server = ExpositionServer::bind("127.0.0.1:0", Arc::clone(&metrics)).unwrap();
+//! let body = server.scrape("/metrics").unwrap();
+//! assert!(body.contains("up_total 1"));
+//! server.shutdown();
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::expose::render_prometheus;
+use crate::metrics::Metrics;
+
+/// Per-connection I/O timeout: a stalled scraper must not pin a worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct Shared {
+    metrics: Arc<Metrics>,
+    stop: AtomicBool,
+    requests: AtomicU64,
+}
+
+/// A running `/metrics` + `/healthz` endpoint on a bounded thread pool.
+pub struct ExpositionServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ExpositionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpositionServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ExpositionServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `metrics` on 2 worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, metrics: Arc<Metrics>) -> std::io::Result<Self> {
+        Self::bind_with_workers(addr, metrics, 2)
+    }
+
+    /// [`Self::bind`] with an explicit worker count (clamped to ≥ 1).
+    /// The pool bounds concurrency: at most `workers` connections are
+    /// ever being served, everything else queues in the listener backlog.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / clone failures.
+    pub fn bind_with_workers(
+        addr: &str,
+        metrics: Arc<Metrics>,
+        workers: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            metrics,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let listener = listener.try_clone()?;
+                let shared = Arc::clone(&shared);
+                Ok(std::thread::Builder::new()
+                    .name(format!("obs-serve-{i}"))
+                    .spawn(move || worker_loop(&listener, &shared))
+                    .expect("spawn exposition worker"))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Self {
+            addr,
+            shared,
+            workers: handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far (any route).
+    #[must_use]
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Performs a loopback GET against the running server and returns
+    /// the response body — a self-scrape, used by examples and tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection / read failures, and maps non-200 statuses
+    /// to `ErrorKind::Other`.
+    pub fn scrape(&self, path: &str) -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: canti\r\n\r\n")?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| std::io::Error::other("malformed http response"))?;
+        if head.starts_with("HTTP/1.0 200") {
+            Ok(body.to_owned())
+        } else {
+            Err(std::io::Error::other(format!(
+                "scrape {path}: {}",
+                head.lines().next().unwrap_or("no status")
+            )))
+        }
+    }
+
+    /// Stops accepting, wakes every worker and joins the pool. In-flight
+    /// responses finish first (graceful drain).
+    pub fn shutdown(self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // wake each worker blocked in accept() with a throwaway connection
+        for _ in &self.workers {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) if shared.stop.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // telemetry must never take the instrument down with it
+        let _ = handle_connection(stream, shared);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // drain headers so well-behaved clients see a clean close
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+
+    let (status, content_type, body) = match (method, path) {
+        ("GET" | "HEAD", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(&shared.metrics),
+        ),
+        ("GET" | "HEAD", "/healthz" | "/health") => {
+            ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned())
+        }
+        ("GET" | "HEAD", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_owned(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_owned(),
+        ),
+    };
+
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    if method != "HEAD" {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binds_ephemeral_and_shuts_down() {
+        let server = ExpositionServer::bind("127.0.0.1:0", Arc::new(Metrics::new())).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_bad_method_405() {
+        let server = ExpositionServer::bind("127.0.0.1:0", Arc::new(Metrics::new())).unwrap();
+        let err = server.scrape("/nope").unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,421 @@
+//! `obsctl` — the consumption-side CLI over canti telemetry artifacts.
+//!
+//! Three subcommands, all pure functions in this library so tests (and
+//! CI) can drive them without spawning the binary:
+//!
+//! * [`summary`] — parse a telemetry NDJSON artifact, reconstruct the
+//!   span tree, print per-stage aggregates and the critical path;
+//!   **fails** (the CI gate) when the span tree is empty or the trace
+//!   sequence has gaps,
+//! * [`flame`] — folded-stack flamegraph lines from the same artifact
+//!   (pipe into `flamegraph.pl` / inferno),
+//! * [`diff`] — compare per-stage `p50`/`p95` between two bench or
+//!   telemetry JSON files and report regressions beyond a configurable
+//!   threshold; the binary exits non-zero on any regression, which is
+//!   the perf-regression gate `scripts/ci.sh` runs.
+//!
+//! `diff` understands every timing shape the workspace writes: the
+//! `ExperimentReport::to_json` document (`"timings": [...]`), NDJSON
+//! `farm_stage` records, and NDJSON metric-dump histogram lines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use canti_obs::parse::{parse_json, parse_ndjson, Json};
+use canti_obs::Trace;
+
+/// What went wrong, and how the process should exit.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (unknown flag, missing file argument…) — exit 2.
+    Usage(String),
+    /// A file could not be read or parsed — exit 2.
+    Input(String),
+    /// A gate tripped (regression found, empty span tree, seq gaps) —
+    /// exit 1.
+    Gate(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(msg) => write!(f, "usage error: {msg}"),
+            Self::Input(msg) => write!(f, "input error: {msg}"),
+            Self::Gate(msg) => write!(f, "gate failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Self::Gate(_) => 1,
+            Self::Usage(_) | Self::Input(_) => 2,
+        }
+    }
+}
+
+fn read_file(path: &Path) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("{}: {e}", path.display())))
+}
+
+/// One named stage's latency summary extracted from an artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 95th percentile, ns.
+    pub p95_ns: u64,
+    /// Samples behind the quantiles.
+    pub count: u64,
+}
+
+/// Extracts `(stage name, summary)` pairs from a bench/telemetry file.
+///
+/// Accepted shapes, unioned (first occurrence of a name wins):
+/// * `ExperimentReport::to_json`: `{"timings": [{"name", "p50_ns", ...}]}`
+/// * NDJSON farm records: `{"record":"farm_stage","stage",...,"p50_ns",..}`
+/// * NDJSON metric dumps: `{"metric":..,"type":"histogram","p50":..}`
+///
+/// # Errors
+///
+/// [`CliError::Input`] when the file is unreadable, unparsable, or
+/// contains no recognizable timings.
+pub fn load_stages(path: &Path) -> Result<Vec<(String, StageSummary)>, CliError> {
+    let text = read_file(path)?;
+    let docs = match parse_json(&text) {
+        Ok(doc) => vec![doc],
+        Err(_) => parse_ndjson(&text)
+            .map_err(|e| CliError::Input(format!("{}: {e}", path.display())))?,
+    };
+
+    let mut stages: Vec<(String, StageSummary)> = Vec::new();
+    let mut push = |name: &str, summary: StageSummary| {
+        if !stages.iter().any(|(n, _)| n == name) {
+            stages.push((name.to_owned(), summary));
+        }
+    };
+
+    for doc in &docs {
+        // ExperimentReport document
+        if let Some(timings) = doc.get("timings").and_then(Json::as_array) {
+            for t in timings {
+                if let (Some(name), Some(p50), Some(p95)) = (
+                    t.get("name").and_then(Json::as_str),
+                    t.get("p50_ns").and_then(Json::as_u64),
+                    t.get("p95_ns").and_then(Json::as_u64),
+                ) {
+                    let count = t.get("count").and_then(Json::as_u64).unwrap_or(0);
+                    push(name, StageSummary { p50_ns: p50, p95_ns: p95, count });
+                }
+            }
+        }
+        // farm_stage NDJSON record
+        if doc.get("record").and_then(Json::as_str) == Some("farm_stage") {
+            if let (Some(name), Some(p50), Some(p95)) = (
+                doc.get("stage").and_then(Json::as_str),
+                doc.get("p50_ns").and_then(Json::as_u64),
+                doc.get("p95_ns").and_then(Json::as_u64),
+            ) {
+                let count = doc.get("count").and_then(Json::as_u64).unwrap_or(0);
+                push(name, StageSummary { p50_ns: p50, p95_ns: p95, count });
+            }
+        }
+        // metrics histogram dump line
+        if doc.get("type").and_then(Json::as_str) == Some("histogram") {
+            if let (Some(name), Some(p50), Some(p95)) = (
+                doc.get("metric").and_then(Json::as_str),
+                doc.get("p50").and_then(Json::as_u64),
+                doc.get("p95").and_then(Json::as_u64),
+            ) {
+                let count = doc.get("count").and_then(Json::as_u64).unwrap_or(0);
+                push(name, StageSummary { p50_ns: p50, p95_ns: p95, count });
+            }
+        }
+    }
+
+    if stages.is_empty() {
+        return Err(CliError::Input(format!(
+            "{}: no stage timings found (expected ExperimentReport timings, \
+             farm_stage records or histogram metric lines)",
+            path.display()
+        )));
+    }
+    Ok(stages)
+}
+
+/// Tuning for [`diff`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffOptions {
+    /// Relative slack: a stage regresses when `new > old * (1 + pct/100)`.
+    pub threshold_pct: f64,
+    /// Absolute noise floor: deltas of at most this many ns never count.
+    pub min_delta_ns: u64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            threshold_pct: 25.0,
+            min_delta_ns: 10_000,
+        }
+    }
+}
+
+/// One quantile comparison inside a [`DiffReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Stage name.
+    pub stage: String,
+    /// `"p50"` or `"p95"`.
+    pub quantile: &'static str,
+    /// Baseline value, ns.
+    pub old_ns: u64,
+    /// Candidate value, ns.
+    pub new_ns: u64,
+    /// Signed relative change, percent.
+    pub delta_pct: f64,
+    /// Whether this row trips the gate.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing two artifacts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DiffReport {
+    /// All compared rows (two per common stage).
+    pub rows: Vec<DiffRow>,
+    /// Stages present in only one file (name, which side).
+    pub unmatched: Vec<(String, &'static str)>,
+}
+
+impl DiffReport {
+    /// Whether any row regressed.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// An aligned human-readable table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>4} {:>14} {:>14} {:>9}  verdict",
+            "stage", "q", "old (ns)", "new (ns)", "delta"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>4} {:>14} {:>14} {:>+8.1}%  {}",
+                r.stage,
+                r.quantile,
+                r.old_ns,
+                r.new_ns,
+                r.delta_pct,
+                if r.regressed { "REGRESSED" } else { "ok" }
+            );
+        }
+        for (name, side) in &self.unmatched {
+            let _ = writeln!(out, "{name:<24} (only in {side} file, skipped)");
+        }
+        out
+    }
+}
+
+/// Compares per-stage `p50`/`p95` between a baseline and a candidate.
+///
+/// A quantile regresses when it grew by more than
+/// [`DiffOptions::threshold_pct`] **and** by more than
+/// [`DiffOptions::min_delta_ns`] (so nanosecond jitter on fast stages
+/// cannot trip the gate). Improvements never fail.
+///
+/// # Errors
+///
+/// [`CliError::Input`] when either file is unreadable or carries no
+/// timings; [`CliError::Gate`] is *not* returned here — callers check
+/// [`DiffReport::regressed`] (the binary maps it to exit 1).
+pub fn diff(old: &Path, new: &Path, opts: DiffOptions) -> Result<DiffReport, CliError> {
+    let old_stages = load_stages(old)?;
+    let new_stages = load_stages(new)?;
+    let mut report = DiffReport::default();
+
+    for (name, old_summary) in &old_stages {
+        let Some((_, new_summary)) = new_stages.iter().find(|(n, _)| n == name) else {
+            report.unmatched.push((name.clone(), "old"));
+            continue;
+        };
+        for (quantile, old_ns, new_ns) in [
+            ("p50", old_summary.p50_ns, new_summary.p50_ns),
+            ("p95", old_summary.p95_ns, new_summary.p95_ns),
+        ] {
+            let delta = new_ns as f64 - old_ns as f64;
+            let delta_pct = if old_ns == 0 {
+                if new_ns == 0 { 0.0 } else { 100.0 }
+            } else {
+                delta / old_ns as f64 * 100.0
+            };
+            let regressed = delta_pct > opts.threshold_pct
+                && new_ns.saturating_sub(old_ns) > opts.min_delta_ns;
+            report.rows.push(DiffRow {
+                stage: name.clone(),
+                quantile,
+                old_ns,
+                new_ns,
+                delta_pct,
+                regressed,
+            });
+        }
+    }
+    for (name, _) in &new_stages {
+        if !old_stages.iter().any(|(n, _)| n == name) {
+            report.unmatched.push((name.clone(), "new"));
+        }
+    }
+    Ok(report)
+}
+
+/// Parses a telemetry NDJSON artifact into a [`Trace`] and renders the
+/// span-tree summary, gating on artifact health.
+///
+/// # Errors
+///
+/// [`CliError::Gate`] when the span tree is empty or the trace sequence
+/// has gaps; [`CliError::Input`] on unreadable/unparsable files.
+pub fn summary(path: &Path) -> Result<String, CliError> {
+    let trace = load_trace(path)?;
+    if trace.span_count() == 0 {
+        return Err(CliError::Gate(format!(
+            "{}: span tree is empty ({} trace records, {} non-trace lines)",
+            path.display(),
+            trace.trace_records,
+            trace.skipped_records
+        )));
+    }
+    if !trace.seq_gaps.is_empty() {
+        return Err(CliError::Gate(format!(
+            "{}: trace sequence has {} gap(s): {:?}",
+            path.display(),
+            trace.seq_gaps.len(),
+            trace.seq_gaps
+        )));
+    }
+    Ok(trace.render_summary())
+}
+
+/// Folded-stack flamegraph lines for a telemetry NDJSON artifact.
+///
+/// # Errors
+///
+/// [`CliError::Gate`] when no spans reconstruct (nothing to graph);
+/// [`CliError::Input`] on unreadable/unparsable files.
+pub fn flame(path: &Path) -> Result<String, CliError> {
+    let trace = load_trace(path)?;
+    let folded = trace.folded_stacks();
+    if folded.is_empty() {
+        return Err(CliError::Gate(format!(
+            "{}: no spans to graph",
+            path.display()
+        )));
+    }
+    Ok(folded)
+}
+
+fn load_trace(path: &Path) -> Result<Trace, CliError> {
+    let text = read_file(path)?;
+    Trace::from_ndjson(&text).map_err(|e| CliError::Input(format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("obsctl-unit-{name}-{}", std::process::id()));
+        std::fs::write(&path, content).expect("write temp fixture");
+        path
+    }
+
+    #[test]
+    fn load_stages_reads_all_three_shapes() {
+        let report = write_temp(
+            "report",
+            r#"{"timings": [{"name": "solve", "count": 5, "sum_ns": 50, "min_ns": 1, "max_ns": 20, "p50_ns": 10, "p95_ns": 20}]}"#,
+        );
+        let stages = load_stages(&report).unwrap();
+        assert_eq!(
+            stages,
+            vec![("solve".to_owned(), StageSummary { p50_ns: 10, p95_ns: 20, count: 5 })]
+        );
+
+        let ndjson = write_temp(
+            "ndjson",
+            "{\"record\":\"farm_stage\",\"stage\":\"queue_wait\",\"count\":4,\"sum_ns\":40,\"p50_ns\":9,\"p95_ns\":11,\"max_ns\":12}\n\
+             {\"metric\":\"farm.solve_ns\",\"type\":\"histogram\",\"count\":4,\"sum\":40,\"min\":1,\"max\":30,\"p50\":8,\"p95\":30}\n",
+        );
+        let stages = load_stages(&ndjson).unwrap();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].0, "queue_wait");
+        assert_eq!(stages[1].0, "farm.solve_ns");
+        assert_eq!(stages[1].1.p95_ns, 30);
+    }
+
+    #[test]
+    fn no_timings_is_an_input_error() {
+        let path = write_temp("empty", "{\"seq\":0,\"t_ns\":0,\"kind\":\"event\",\"name\":\"x\"}\n");
+        let err = load_stages(&path).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn diff_thresholds_and_noise_floor() {
+        let old = write_temp(
+            "diff-old",
+            r#"{"timings": [{"name": "solve", "count": 5, "p50_ns": 1000000, "p95_ns": 2000000}, {"name": "tiny", "count": 5, "p50_ns": 100, "p95_ns": 200}]}"#,
+        );
+        // solve p95 +100% (regression), tiny +100% but only +200 ns (noise)
+        let new = write_temp(
+            "diff-new",
+            r#"{"timings": [{"name": "solve", "count": 5, "p50_ns": 1000000, "p95_ns": 4000000}, {"name": "tiny", "count": 5, "p50_ns": 200, "p95_ns": 400}]}"#,
+        );
+        let report = diff(&old, &new, DiffOptions::default()).unwrap();
+        assert!(report.regressed());
+        let regressed: Vec<_> = report
+            .rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| (r.stage.as_str(), r.quantile))
+            .collect();
+        assert_eq!(regressed, vec![("solve", "p95")]);
+        assert!(report.render().contains("REGRESSED"));
+
+        // identical inputs never regress
+        let report = diff(&old, &old, DiffOptions::default()).unwrap();
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn improvements_do_not_regress_and_unmatched_are_listed() {
+        let old = write_temp(
+            "imp-old",
+            r#"{"timings": [{"name": "solve", "count": 5, "p50_ns": 2000000, "p95_ns": 4000000}, {"name": "gone", "count": 1, "p50_ns": 5, "p95_ns": 6}]}"#,
+        );
+        let new = write_temp(
+            "imp-new",
+            r#"{"timings": [{"name": "solve", "count": 5, "p50_ns": 1000000, "p95_ns": 2000000}, {"name": "fresh", "count": 1, "p50_ns": 5, "p95_ns": 6}]}"#,
+        );
+        let report = diff(&old, &new, DiffOptions::default()).unwrap();
+        assert!(!report.regressed());
+        assert!(report.unmatched.contains(&("gone".to_owned(), "old")));
+        assert!(report.unmatched.contains(&("fresh".to_owned(), "new")));
+    }
+}

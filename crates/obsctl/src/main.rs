@@ -1,0 +1,119 @@
+//! The `obsctl` binary: thin argv/exit-code shell over [`canti_obsctl`].
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use canti_obsctl::{diff, flame, summary, CliError, DiffOptions};
+
+const HELP: &str = "\
+obsctl — consume canti telemetry artifacts
+
+USAGE:
+    obsctl summary <telemetry.ndjson>
+    obsctl flame   <telemetry.ndjson>
+    obsctl diff    <old.json> <new.json> [--threshold-pct <P>] [--min-ns <N>]
+    obsctl --help
+
+SUBCOMMANDS:
+    summary   Reconstruct the span tree from a telemetry NDJSON artifact
+              and print per-stage aggregates plus the critical path.
+              Fails (exit 1) when the span tree is empty or the trace
+              sequence has gaps — CI uses this as an artifact-health gate.
+    flame     Print folded-stack flamegraph lines (`a;b;c <self_ns>`)
+              for the same artifact; pipe into flamegraph.pl / inferno.
+    diff      Compare per-stage p50/p95 latencies between a baseline and
+              a candidate file. Accepts ExperimentReport JSON
+              (\"timings\": [...]), farm_stage NDJSON records, and
+              histogram metric-dump NDJSON lines. Exits 1 when any stage
+              regressed beyond the threshold — the CI perf gate.
+
+OPTIONS (diff):
+    --threshold-pct <P>   Relative slack in percent; a quantile regresses
+                          only when it grew by more than P% (default 25).
+    --min-ns <N>          Absolute noise floor in nanoseconds; deltas of
+                          at most N ns never count (default 10000).
+
+EXIT CODES:
+    0   success / no regression
+    1   gate failed (regression, empty span tree, sequence gaps)
+    2   usage, I/O or parse error
+";
+
+fn run() -> Result<(), CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err(CliError::Usage("missing subcommand (try --help)".into()));
+    };
+
+    match cmd.as_str() {
+        "--help" | "-h" | "help" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "summary" | "flame" => {
+            let [path] = &args[1..] else {
+                return Err(CliError::Usage(format!(
+                    "{cmd} takes exactly one file argument"
+                )));
+            };
+            let path = PathBuf::from(path);
+            let out = if cmd == "summary" { summary(&path)? } else { flame(&path)? };
+            print!("{out}");
+            Ok(())
+        }
+        "diff" => {
+            let mut opts = DiffOptions::default();
+            let mut files: Vec<PathBuf> = Vec::new();
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--threshold-pct" => {
+                        opts.threshold_pct = parse_flag(rest.next(), "--threshold-pct")?;
+                    }
+                    "--min-ns" => {
+                        opts.min_delta_ns = parse_flag(rest.next(), "--min-ns")?;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError::Usage(format!("unknown flag {flag}")));
+                    }
+                    path => files.push(PathBuf::from(path)),
+                }
+            }
+            let [old, new] = files.as_slice() else {
+                return Err(CliError::Usage(
+                    "diff takes exactly two file arguments: <old> <new>".into(),
+                ));
+            };
+            let report = diff(old, new, opts)?;
+            print!("{}", report.render());
+            if report.regressed() {
+                return Err(CliError::Gate(format!(
+                    "{} stage quantile(s) regressed beyond {}% (+{} ns floor)",
+                    report.rows.iter().filter(|r| r.regressed).count(),
+                    opts.threshold_pct,
+                    opts.min_delta_ns
+                )));
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand {other} (try --help)"
+        ))),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(value: Option<&String>, flag: &str) -> Result<T, CliError> {
+    let raw = value.ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+    raw.parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: cannot parse {raw:?}")))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("obsctl: {err}");
+            ExitCode::from(u8::try_from(err.exit_code()).unwrap_or(2))
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end tests for the `obsctl` binary: the perf-regression gate
+//! (`diff`) and the artifact-health gate (`summary`) with real process
+//! exit codes, driven through `CARGO_BIN_EXE_obsctl`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::Arc;
+
+use canti_obs::clock::VirtualClock;
+use canti_obs::trace::{RingCollector, Tracer};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn obsctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_obsctl"))
+        .args(args)
+        .output()
+        .expect("spawn obsctl")
+}
+
+fn temp(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("obsctl-cli-{name}-{}", std::process::id()));
+    std::fs::write(&path, content).expect("write temp fixture");
+    path
+}
+
+/// A small healthy trace stream: batch → 3 jobs, gap-free.
+fn healthy_trace() -> String {
+    let ring = Arc::new(RingCollector::new(64));
+    let clock = Arc::new(VirtualClock::new());
+    let tracer = Tracer::new(Arc::clone(&ring) as _, Arc::clone(&clock) as _);
+    let batch = tracer.span("batch", &[("jobs", 3u64.into())]);
+    for i in 0..3u64 {
+        let job = tracer.span("job", &[("job", i.into())]);
+        clock.advance_ns(1_000 * (i + 1));
+        drop(job);
+    }
+    drop(batch);
+    ring.to_ndjson()
+}
+
+#[test]
+fn diff_passes_on_identical_inputs() {
+    let old = fixture("bench_old.json");
+    let out = obsctl(&["diff", old.to_str().unwrap(), old.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "identical inputs must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("farm.solve_ns"));
+    assert!(!stdout.contains("REGRESSED"));
+}
+
+#[test]
+fn diff_detects_injected_p95_regression() {
+    let old = fixture("bench_old.json");
+    let new = fixture("bench_regressed.json");
+    let out = obsctl(&["diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Injected: solve p95 1.3ms → 2.2ms (+69%). p50 +5% stays inside the
+    // default 25% threshold; only the p95 row may trip.
+    assert!(stdout.contains("REGRESSED"), "stdout: {stdout}");
+    let regressed: Vec<&str> = stdout.lines().filter(|l| l.contains("REGRESSED")).collect();
+    assert_eq!(regressed.len(), 1);
+    assert!(regressed[0].contains("farm.solve_ns"));
+    assert!(regressed[0].contains("p95"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("gate failed"));
+}
+
+#[test]
+fn diff_threshold_flags_are_honoured() {
+    let old = fixture("bench_old.json");
+    let new = fixture("bench_regressed.json");
+    // With a huge threshold the same pair passes…
+    let out = obsctl(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold-pct",
+        "200",
+    ]);
+    assert!(out.status.success());
+    // …and with a zero threshold + zero floor even the +5% p50 trips.
+    let out = obsctl(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold-pct",
+        "0",
+        "--min-ns",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.lines().any(|l| l.contains("p50") && l.contains("REGRESSED")));
+}
+
+#[test]
+fn summary_renders_a_healthy_artifact() {
+    let path = temp("healthy", &healthy_trace());
+    let out = obsctl(&["summary", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("batch"), "stdout: {stdout}");
+    assert!(stdout.contains("job"));
+    assert!(stdout.contains("critical path"));
+}
+
+#[test]
+fn summary_gates_on_empty_span_tree() {
+    let path = temp("spanless", "{\"metric\":\"x\",\"type\":\"counter\",\"value\":1}\n");
+    let out = obsctl(&["summary", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("span tree is empty"));
+}
+
+#[test]
+fn summary_gates_on_sequence_gaps() {
+    // Drop a middle line to fabricate a gap in the seq numbering.
+    let full = healthy_trace();
+    let gappy: Vec<&str> = full
+        .lines()
+        .enumerate()
+        .filter(|(i, _)| *i != 2)
+        .map(|(_, l)| l)
+        .collect();
+    let path = temp("gappy", &(gappy.join("\n") + "\n"));
+    let out = obsctl(&["summary", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("gap"));
+}
+
+#[test]
+fn flame_emits_folded_stacks() {
+    let path = temp("flame", &healthy_trace());
+    let out = obsctl(&["flame", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.lines().any(|l| l.starts_with("batch;job ")), "stdout: {stdout}");
+    // Folded-stack grammar: every line is `stack<space>weight`.
+    for line in stdout.lines() {
+        let (_, weight) = line.rsplit_once(' ').expect("weight column");
+        weight.parse::<u64>().expect("numeric weight");
+    }
+}
+
+#[test]
+fn usage_errors_exit_2_and_help_exits_0() {
+    let out = obsctl(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = obsctl(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = obsctl(&["diff", "only-one-file.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = obsctl(&["--help"]);
+    assert!(out.status.success());
+    let help = String::from_utf8_lossy(&out.stdout);
+    for needle in ["summary", "flame", "diff", "--threshold-pct", "--min-ns", "EXIT CODES"] {
+        assert!(help.contains(needle), "help missing {needle}");
+    }
+}
+
+#[test]
+fn missing_file_is_an_input_error() {
+    let out = obsctl(&["summary", "/nonexistent/telemetry.ndjson"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -2,7 +2,7 @@
 //! Monte-Carlo process-variation trials and cross-reactivity panels, run
 //! in parallel on the deterministic farm engine.
 //!
-//! Run with: `cargo run --release --example sensor_farm [jobs] [--telemetry]`
+//! Run with: `cargo run --release --example sensor_farm [jobs] [--telemetry] [--serve]`
 //! (`jobs` defaults to 48; the CI smoke target uses 16).
 //!
 //! `--telemetry` attaches a wall-clock [`FarmObserver`]: the run prints
@@ -11,6 +11,12 @@
 //! trace events) to `target/farm_telemetry.ndjson`. Telemetry is strictly
 //! additive — the report stays bit-identical to the untelemetered run,
 //! which the determinism check at the end re-verifies.
+//!
+//! `--serve` (implies `--telemetry`) additionally binds a live
+//! `/metrics` + `/healthz` exposition server on an ephemeral loopback
+//! port for the duration of the run, self-scrapes it after the batch,
+//! prints the first Prometheus text lines and shuts the server down.
+//! For a long-lived endpoint use `examples/farm_service.rs` instead.
 
 use std::time::Instant;
 
@@ -21,7 +27,8 @@ use canti::farm::{
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let telemetry_on = args.iter().any(|a| a == "--telemetry");
+    let serve_on = args.iter().any(|a| a == "--serve");
+    let telemetry_on = serve_on || args.iter().any(|a| a == "--telemetry");
     let total: usize = args
         .iter()
         .find_map(|a| a.parse().ok())
@@ -40,6 +47,11 @@ fn main() {
     jobs.extend(cross_reactivity_panel(10.0, &interferents));
 
     let observer = telemetry_on.then(|| FarmObserver::profiling(8192));
+    let server = observer.as_ref().filter(|_| serve_on).map(|(obs, _)| {
+        let server = obs.serve("127.0.0.1:0").expect("bind exposition server");
+        println!("serving /metrics on http://{}", server.local_addr());
+        server
+    });
     let mut farm = Farm::new(FarmConfig {
         batch_seed: 0xFA12,
         threads: 0, // machine parallelism
@@ -88,6 +100,22 @@ fn main() {
             ndjson.lines().count(),
             ring.dropped()
         );
+    }
+
+    if let Some(server) = server {
+        assert_eq!(
+            server.scrape("/healthz").expect("self-scrape /healthz"),
+            "ok\n"
+        );
+        let exposition = server.scrape("/metrics").expect("self-scrape /metrics");
+        assert!(
+            exposition.contains("farm_jobs_ok_total"),
+            "live scrape must expose farm counters"
+        );
+        let preview: Vec<&str> = exposition.lines().take(12).collect();
+        println!("\n--- /metrics (first lines) ---\n{}", preview.join("\n"));
+        server.shutdown();
+        println!("exposition server shut down cleanly");
     }
 
     // determinism spot-check: a single-threaded rerun must be identical

@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
 # CI gate for the canti workspace: build, full test suite, pedantic lints,
-# and a farm smoke run.
+# a farm smoke run, and the perf-regression gate.
 #
 #   scripts/ci.sh          # build + test + clippy
-#   scripts/ci.sh smoke    # the above, then a 16-job sensor_farm batch
+#   scripts/ci.sh smoke    # the above, then a 16-job sensor_farm batch,
+#                          # obsctl artifact-health gate, farm bench with
+#                          # archived BENCH_farm.json, and obsctl diff
+#                          # against the previous archive when present
+#
+# Perf gate knobs (smoke only):
+#   CANTI_PERF_THRESHOLD_PCT  relative slack for obsctl diff (default 50)
+#   CANTI_PERF_MIN_NS         absolute noise floor in ns (default 50000)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +32,29 @@ if [[ "${1:-}" == "smoke" ]]; then
     grep -q '"record":"farm_stage"' "$artifact" || { echo "no stage records in $artifact"; exit 1; }
     grep -q '"kind":"span_start"'   "$artifact" || { echo "no trace events in $artifact"; exit 1; }
     echo "telemetry artifact: $(wc -l < "$artifact") NDJSON records"
+
+    echo "== obsctl artifact-health gate =="
+    # fails (exit 1) on an empty span tree or trace sequence gaps
+    cargo run --release -q -p canti-obsctl -- summary "$artifact"
+
+    echo "== farm bench (archiving BENCH_farm.json) =="
+    # absolute paths: cargo bench runs the bench with cwd = its package dir
+    bench_json="$PWD/target/BENCH_farm.json"
+    bench_prev="$PWD/target/BENCH_farm.prev.json"
+    # keep the previous artifact as the diff baseline before overwriting
+    [[ -s "$bench_json" ]] && cp "$bench_json" "$bench_prev"
+    CANTI_BENCH_JSON="$bench_json" CANTI_FARM_JOBS="${CANTI_FARM_JOBS:-64}" \
+        cargo bench -q -p canti-bench --bench farm
+    [[ -s "$bench_json" ]] || { echo "missing bench artifact $bench_json"; exit 1; }
+
+    if [[ -s "$bench_prev" ]]; then
+        echo "== obsctl perf-regression gate (vs previous run) =="
+        cargo run --release -q -p canti-obsctl -- diff "$bench_prev" "$bench_json" \
+            --threshold-pct "${CANTI_PERF_THRESHOLD_PCT:-50}" \
+            --min-ns "${CANTI_PERF_MIN_NS:-50000}"
+    else
+        echo "== obsctl perf-regression gate: no previous artifact, baseline archived =="
+    fi
 fi
 
 echo "ci: all green"
