@@ -18,6 +18,7 @@ use canti_analog::blocks::{
 use canti_analog::bridge::WheatstoneBridge;
 use canti_analog::noise::{CompositeNoise, FlickerNoise, WhiteNoise};
 use canti_analog::spectrum::rms;
+use canti_fault::{FaultInjector, MeasurementFaults};
 use canti_mems::piezo::{bridge_deltas, full_bridge_gauges, LoadCase, PiezoGauge};
 use canti_units::{SurfaceStress, Volts};
 
@@ -118,6 +119,10 @@ pub struct StaticCantileverSystem {
     /// on each channel switch).
     channel_offset_corrections: [Volts; CHANNELS],
     selected: usize,
+    /// Optional fault-injection seam. `None` (the default) and an
+    /// injector that never returns faults are provably equivalent: the
+    /// fault effects are only applied when non-trivial.
+    injector: Option<Box<dyn FaultInjector>>,
 }
 
 impl StaticCantileverSystem {
@@ -179,7 +184,33 @@ impl StaticCantileverSystem {
             output_stage,
             channel_offset_corrections: [Volts::zero(); CHANNELS],
             selected: 0,
+            injector: None,
         })
+    }
+
+    /// Attaches a fault injector: every subsequent measurement draws its
+    /// fault effects from it (one draw per attempt per channel, in call
+    /// order — the injector's determinism contract).
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Detaches the fault injector, returning it (e.g. to inspect its
+    /// per-channel attempt counters).
+    pub fn take_fault_injector(&mut self) -> Option<Box<dyn FaultInjector>> {
+        self.injector.take()
+    }
+
+    /// Advances the injector one measurement attempt on `channel` and
+    /// returns the faults active for it ([`MeasurementFaults::none`]
+    /// without an injector). Callers pairing this with
+    /// [`Self::measure_with_faults`] get exactly one draw per attempt;
+    /// [`Self::measure`] does the pairing itself.
+    pub fn draw_faults(&mut self, channel: usize) -> MeasurementFaults {
+        match self.injector.as_mut() {
+            Some(injector) => injector.next_faults(channel),
+            None => MeasurementFaults::none(),
+        }
     }
 
     /// The chip in use.
@@ -292,11 +323,57 @@ impl StaticCantileverSystem {
         sigma: SurfaceStress,
         n: usize,
     ) -> Result<Volts, CoreError> {
+        let faults = self.draw_faults(channel);
+        self.measure_with_faults(channel, sigma, n, &faults)
+    }
+
+    /// [`Self::measure`] with an explicit set of fault effects — the
+    /// analog half of the fault-injection seam. Every effect is guarded
+    /// on being non-trivial, so `MeasurementFaults::none()` runs the
+    /// exact same floating-point operations as the pre-fault chain and
+    /// the result is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for a bad channel.
+    pub fn measure_with_faults(
+        &mut self,
+        channel: usize,
+        sigma: SurfaceStress,
+        n: usize,
+        faults: &MeasurementFaults,
+    ) -> Result<Volts, CoreError> {
         self.select_channel(channel)?;
-        let v_bridge = self.bridge_output(channel, sigma)?.value();
+        if faults.open_bridge {
+            // an open bridge arm gives the ADC nothing valid to convert;
+            // the burst is skipped entirely so non-finite samples never
+            // poison the filter state shared with the healthy channels
+            return Ok(Volts::new(f64::NAN));
+        }
+        let mut v_bridge = self.bridge_output(channel, sigma)?.value();
+        if faults.bridge_offset_volts != 0.0 {
+            v_bridge += faults.bridge_offset_volts;
+        }
+        let was_chopping = self.chopper.chopping();
+        if faults.chopper_dropout {
+            self.chopper.set_chopping(false);
+        }
         let _settle = self.run_samples(v_bridge, n);
         let data = self.run_samples(v_bridge, n);
-        Ok(Volts::new(data.iter().sum::<f64>() / data.len() as f64))
+        if faults.chopper_dropout {
+            self.chopper.set_chopping(was_chopping);
+        }
+        let mut v = data.iter().sum::<f64>() / data.len() as f64;
+        if faults.glitch_volts != 0.0 {
+            // a spike on the settled output still cannot exceed the rail
+            let rail = self.config.supply_rail;
+            v = (v + faults.glitch_volts).clamp(-rail, rail);
+        }
+        if faults.adc_saturated {
+            let rail = self.config.supply_rail;
+            v = if v.is_sign_negative() { -rail } else { rail };
+        }
+        Ok(Volts::new(v))
     }
 
     /// Measures the output noise (RMS about the mean) of `channel` at

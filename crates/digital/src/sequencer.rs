@@ -91,6 +91,9 @@ pub struct MeasurementSequencer {
     ticks_in_state: u64,
     /// Completed scan passes since reset.
     scans_completed: u64,
+    /// Whether a calibration has completed since the last reset — the
+    /// precondition for fault recovery straight back to `Idle`.
+    calibrated: bool,
     /// Trace sink for state changes and faults; disabled (one branch per
     /// transition) unless attached via [`Self::with_tracer`].
     tracer: Tracer,
@@ -105,6 +108,7 @@ impl PartialEq for MeasurementSequencer {
             && self.watchdog_limit == other.watchdog_limit
             && self.ticks_in_state == other.ticks_in_state
             && self.scans_completed == other.scans_completed
+            && self.calibrated == other.calibrated
     }
 }
 
@@ -144,6 +148,7 @@ impl MeasurementSequencer {
             watchdog_limit,
             ticks_in_state: 0,
             scans_completed: 0,
+            calibrated: false,
             tracer: Tracer::disabled(),
         })
     }
@@ -213,12 +218,16 @@ impl MeasurementSequencer {
         if event == E::Reset {
             self.goto(S::PowerOn);
             self.scans_completed = 0;
+            self.calibrated = false;
             return Ok(SequencerAction::None);
         }
 
         let (next, action) = match (&self.state, &event) {
             (S::PowerOn, E::SelfTestPassed) => (S::Calibrating, SequencerAction::RunCalibration),
-            (S::Calibrating, E::CalibrationDone) => (S::Idle, SequencerAction::None),
+            (S::Calibrating, E::CalibrationDone) => {
+                self.calibrated = true;
+                (S::Idle, SequencerAction::None)
+            }
             (S::Calibrating, E::CalibrationFailed) => (
                 S::Fault {
                     reason: "offset calibration failed".to_owned(),
@@ -261,6 +270,41 @@ impl MeasurementSequencer {
         };
         self.goto(next);
         Ok(action)
+    }
+
+    /// Clears a latched fault without a full reset: back to `Idle` when
+    /// a calibration has completed since the last reset (the instrument
+    /// can scan again immediately), back to `PowerOn` otherwise (nothing
+    /// downstream is trusted yet). Unlike [`SequencerEvent::Reset`],
+    /// recovery keeps the completed-scan count and calibration flag.
+    ///
+    /// Emits a `recovered` trace event carrying the cleared reason, then
+    /// the usual `state_change`. Returns `true` if a fault was cleared;
+    /// outside `Fault` this is a no-op returning `false`.
+    pub fn recover(&mut self) -> bool {
+        let SequencerState::Fault { reason } = &self.state else {
+            return false;
+        };
+        let next = if self.calibrated {
+            SequencerState::Idle
+        } else {
+            SequencerState::PowerOn
+        };
+        self.tracer.event(
+            "recovered",
+            &[
+                ("reason", reason.as_str().into()),
+                ("to", state_label(&next).into()),
+            ],
+        );
+        self.goto(next);
+        true
+    }
+
+    /// Whether a calibration has completed since the last reset.
+    #[must_use]
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
     }
 
     /// Advances the watchdog one tick; trips to `Fault` when a state
@@ -391,6 +435,51 @@ mod tests {
         for _ in 0..90 {
             assert!(!seq.tick());
         }
+    }
+
+    #[test]
+    fn recover_returns_to_idle_once_calibrated() {
+        let mut seq = ready();
+        seq.handle(E::StartScan).unwrap();
+        seq.handle(E::ChannelDone).unwrap();
+        seq.handle(E::ChannelDone).unwrap();
+        seq.handle(E::ChannelDone).unwrap();
+        seq.handle(E::ChannelDone).unwrap(); // one full pass
+        assert_eq!(seq.scans_completed(), 1);
+        seq.handle(E::StartScan).unwrap();
+        seq.handle(E::MeasurementFailed).unwrap();
+        assert!(matches!(seq.state(), S::Fault { .. }));
+        // recovery clears the latch but keeps progress state
+        assert!(seq.recover());
+        assert_eq!(seq.state(), &S::Idle);
+        assert_eq!(seq.scans_completed(), 1, "recovery keeps the scan count");
+        assert!(seq.is_calibrated());
+        // and the instrument can scan again immediately
+        assert_eq!(seq.handle(E::StartScan).unwrap(), A::MeasureChannel(0));
+    }
+
+    #[test]
+    fn recover_before_calibration_demands_a_power_on() {
+        let mut seq = MeasurementSequencer::new(4, 100).unwrap();
+        seq.handle(E::SelfTestPassed).unwrap();
+        seq.handle(E::CalibrationFailed).unwrap();
+        assert!(matches!(seq.state(), S::Fault { .. }));
+        assert!(seq.recover());
+        assert_eq!(
+            seq.state(),
+            &S::PowerOn,
+            "an uncalibrated instrument must re-run power-on, not jump to Idle"
+        );
+    }
+
+    #[test]
+    fn recover_outside_fault_is_a_noop() {
+        let mut seq = ready();
+        assert!(!seq.recover());
+        assert_eq!(seq.state(), &S::Idle);
+        seq.handle(E::StartScan).unwrap();
+        assert!(!seq.recover());
+        assert_eq!(seq.state(), &S::Scanning { channel: 0 });
     }
 
     #[test]
@@ -527,6 +616,36 @@ mod tests {
                 events[5].field("reason"),
                 Some(&JsonValue::Str("measurement failed on channel 1".into()))
             );
+        }
+
+        #[test]
+        fn recovery_emits_the_exact_ordered_event_stream() {
+            let (mut seq, ring) = traced(2, 100);
+            seq.handle(E::SelfTestPassed).unwrap();
+            seq.handle(E::CalibrationDone).unwrap();
+            seq.handle(E::StartScan).unwrap();
+            seq.handle(E::MeasurementFailed).unwrap();
+            assert!(seq.recover());
+            assert_eq!(
+                stream(&ring),
+                owned(&[
+                    ("state_change", "power_on", "calibrating"),
+                    ("state_change", "calibrating", "idle"),
+                    ("state_change", "idle", "scanning"),
+                    ("measurement_failed", "-", "-"),
+                    ("state_change", "scanning", "fault"),
+                    ("recovered", "-", "idle"),
+                    ("state_change", "fault", "idle"),
+                ])
+            );
+            // the recovered event carries the cleared reason
+            let events = ring.events();
+            assert_eq!(
+                events[5].field("reason"),
+                Some(&JsonValue::Str("measurement failed on channel 0".into()))
+            );
+            // the stream stays gap-free across the recovery
+            assert!(events.iter().enumerate().all(|(i, e)| e.seq == i as u64));
         }
 
         #[test]

@@ -53,6 +53,15 @@ pub enum ProbeMode {
     Draws(usize),
     /// Panic (tests per-job fault isolation).
     Panic,
+    /// Always fail (drives circuit breakers in supervisor tests).
+    Fail,
+    /// Fail when the job's next RNG draw falls below `p_fail`; under the
+    /// supervisor, retries re-salt the stream, so a flaky job can succeed
+    /// on a later attempt — deterministically.
+    Flaky {
+        /// Failure probability in `[0, 1]`.
+        p_fail: f64,
+    },
 }
 
 /// One simulation job.
@@ -94,6 +103,20 @@ pub enum JobSpec {
     },
     /// A synthetic probe job (farm self-tests and benches).
     Probe(ProbeMode),
+    /// One full autonomous scan of the paper's four-channel static chip
+    /// under a seeded fault plan: the instrument runs with the resilient
+    /// recovery policy, so transient faults are retried and persistent
+    /// ones quarantined, and the job reports the degradation tally
+    /// instead of aborting.
+    ChaosScan {
+        /// Seed of the generated [`canti_fault::FaultPlan`].
+        fault_seed: u64,
+        /// Number of fault events in the plan.
+        faults: usize,
+        /// Electrical samples per channel measurement (keep ≳2000 so the
+        /// readout chain settles and healthy channels do not rail).
+        samples: usize,
+    },
 }
 
 impl JobSpec {
@@ -119,6 +142,7 @@ impl JobSpec {
             Self::ProcessVariation { .. } => "process_variation",
             Self::CrossReactivity { .. } => "cross_reactivity",
             Self::Probe(_) => "probe",
+            Self::ChaosScan { .. } => "chaos_scan",
         }
     }
 }
@@ -152,6 +176,19 @@ pub fn cross_reactivity_panel(target_nm: f64, interferent_um: &[f64]) -> Vec<Job
         .map(|&c| JobSpec::CrossReactivity {
             target: Molar::from_nanomolar(target_nm),
             interferent: Molar::from_micromolar(c),
+        })
+        .collect()
+}
+
+/// A batch of `scans` chaos scans with consecutive fault-plan seeds
+/// derived from `fault_seed`, `faults` events each.
+#[must_use]
+pub fn chaos_scan_batch(scans: usize, fault_seed: u64, faults: usize) -> Vec<JobSpec> {
+    (0..scans)
+        .map(|i| JobSpec::ChaosScan {
+            fault_seed: fault_seed.wrapping_add(i as u64),
+            faults,
+            samples: 2_000,
         })
         .collect()
 }
@@ -282,7 +319,88 @@ pub(crate) fn execute(
                 Ok(vec![("sum", sum)])
             }
             ProbeMode::Panic => panic!("probe job panic (intentional)"),
+            ProbeMode::Fail => Err("probe job failure (intentional)".to_owned()),
+            ProbeMode::Flaky { p_fail } => {
+                let draw = rng.gen::<f64>();
+                if draw < *p_fail {
+                    Err(format!("flaky probe failed (drew {draw:.3} < {p_fail})"))
+                } else {
+                    Ok(vec![("draw", draw)])
+                }
+            }
         },
+        JobSpec::ChaosScan {
+            fault_seed,
+            faults,
+            samples,
+        } => {
+            use canti_core::autonomous::{AutonomousInstrument, ChannelStatus, RecoveryPolicy};
+            use canti_core::static_system::{StaticCantileverSystem, CHANNELS};
+            use canti_fault::{ChaosConfig, FaultPlan, PlannedInjector};
+
+            let chip = BiosensorChip::paper_static_chip().map_err(|e| e.to_string())?;
+            let system = StaticCantileverSystem::new(chip, StaticReadoutConfig::default())
+                .map_err(|e| e.to_string())?;
+            let mut instrument =
+                AutonomousInstrument::new(system).map_err(|e| e.to_string())?;
+            // when the batch is observed, the instrument's fault/recovery
+            // events and counters flow into the farm's trace and metrics
+            // streams (the obsctl fault-health gate reads them there)
+            if let Some(o) = obs {
+                instrument.set_tracer(o.tracer.clone());
+                instrument.set_metrics(std::sync::Arc::clone(o.metrics));
+            }
+            instrument.set_recovery_policy(RecoveryPolicy::resilient());
+            let chaos = ChaosConfig {
+                faults: *faults,
+                ..ChaosConfig::default()
+            };
+            let plan = FaultPlan::generate(*fault_seed, CHANNELS, &chaos);
+            instrument.set_fault_injector(Box::new(PlannedInjector::new(plan)));
+            instrument.power_on().map_err(|e| e.to_string())?;
+
+            // a known stress pattern so healthy channels carry signal
+            let mut sigmas = [canti_units::SurfaceStress::zero(); CHANNELS];
+            sigmas[1] = canti_units::SurfaceStress::from_millinewtons_per_meter(2.0);
+            let report = instrument
+                .run_scan(sigmas, *samples)
+                .map_err(|e| e.to_string())?;
+
+            let ok = report
+                .status
+                .iter()
+                .filter(|s| **s == ChannelStatus::Ok)
+                .count();
+            let retry_attempts: u32 = report
+                .status
+                .iter()
+                .map(|s| match s {
+                    ChannelStatus::Retried { attempts } => *attempts,
+                    _ => 0,
+                })
+                .sum();
+            let usable: Vec<f64> = report
+                .status
+                .iter()
+                .zip(report.outputs.iter())
+                .filter(|(s, _)| s.is_usable())
+                .map(|(_, v)| v.value())
+                .collect();
+            // quarantined channels carry NaN outputs; keep them out of the
+            // mean so the metric stays comparable (NaN breaks report ==)
+            let mean_usable = if usable.is_empty() {
+                0.0
+            } else {
+                usable.iter().sum::<f64>() / usable.len() as f64
+            };
+            Ok(vec![
+                ("channels_ok", ok as f64),
+                ("channels_retried", report.retried_channels() as f64),
+                ("channels_quarantined", report.quarantined_channels() as f64),
+                ("retry_attempts", f64::from(retry_attempts)),
+                ("mean_usable_volts", mean_usable),
+            ])
+        }
     }
 }
 

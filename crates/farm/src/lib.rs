@@ -42,6 +42,7 @@ pub mod cache;
 pub mod job;
 mod pool;
 pub mod report;
+pub mod supervisor;
 pub mod telemetry;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -52,11 +53,12 @@ use rand_chacha::ChaCha8Rng;
 
 pub use cache::{CacheStats, PrecomputeCache, ResonantBaseline};
 pub use job::{
-    cross_reactivity_panel, dose_response_sweep, process_variation_batch, JobSpec, ProbeMode,
-    Receptor,
+    chaos_scan_batch, cross_reactivity_panel, dose_response_sweep, process_variation_batch,
+    JobSpec, ProbeMode, Receptor,
 };
 pub use pool::WorkerStat;
 pub use report::{BatchReport, FarmError, JobOutput};
+pub use supervisor::{BreakerPosition, FarmSupervisor, SupervisedReport, SupervisorConfig};
 pub use telemetry::{FarmObserver, FarmTelemetry};
 
 /// Farm-wide settings.
@@ -141,13 +143,14 @@ impl Farm {
         self.cache.stats()
     }
 
-    /// The per-job RNG stream: a splitmix-style spread of the batch seed
-    /// XOR-ed with the job index, so neighboring jobs land in distant
-    /// ChaCha streams.
-    fn job_rng(&self, job_index: usize) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(
-            self.config.batch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ job_index as u64,
-        )
+    /// The per-job, per-attempt RNG stream: a splitmix-style spread of
+    /// the batch seed XOR-ed with the job index, so neighboring jobs land
+    /// in distant ChaCha streams. Attempt `0` is the canonical stream;
+    /// supervisor retries salt it with the attempt number so a re-run is
+    /// a genuinely fresh (but still deterministic) draw sequence.
+    fn job_rng(&self, job_index: usize, attempt: u32) -> ChaCha8Rng {
+        let base = self.config.batch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ job_index as u64;
+        ChaCha8Rng::seed_from_u64(base ^ u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F))
     }
 
     /// Runs one job through the catch-unwind boundary, mapping the three
@@ -155,10 +158,11 @@ impl Farm {
     fn run_job(
         &self,
         i: usize,
+        attempt: u32,
         spec: &JobSpec,
         obs: Option<&telemetry::JobInstruments<'_>>,
     ) -> Result<JobOutput, FarmError> {
-        let mut rng = self.job_rng(i);
+        let mut rng = self.job_rng(i, attempt);
         let run = catch_unwind(AssertUnwindSafe(|| {
             job::execute(spec, &mut rng, &self.cache, obs)
         }));
@@ -222,13 +226,14 @@ impl Farm {
                     );
                     let instruments = telemetry::JobInstruments {
                         tracer: o.tracer(),
+                        metrics: o.metrics(),
                         precompute_ns: precompute,
                     };
-                    let outcome = self.run_job(i, &jobs[i], Some(&instruments));
+                    let outcome = self.run_job(i, 0, &jobs[i], Some(&instruments));
                     solve.record(job_span.end());
                     outcome
                 }
-                _ => self.run_job(i, &jobs[i], None),
+                _ => self.run_job(i, 0, &jobs[i], None),
             },
             obs.map(|o| o.clock().as_ref()),
         );

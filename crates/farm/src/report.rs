@@ -33,6 +33,34 @@ pub enum FarmError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The supervisor's circuit breaker for this job kind was open, so
+    /// the job was rejected without (its result) being used.
+    BreakerOpen {
+        /// Index of the rejected job in the submitted batch.
+        job_index: usize,
+        /// The job kind whose breaker was open.
+        kind: &'static str,
+    },
+    /// The job finished but blew through the supervisor's per-job
+    /// deadline (measured on the observer's clock).
+    DeadlineExceeded {
+        /// Index of the job in the submitted batch.
+        job_index: usize,
+        /// Observed job duration, ns.
+        elapsed_ns: u64,
+        /// The configured deadline, ns.
+        deadline_ns: u64,
+    },
+}
+
+impl FarmError {
+    /// Whether the supervisor may re-run a job that failed this way.
+    /// Breaker rejections and deadline busts are final; substrate errors
+    /// and panics are worth another attempt with a fresh RNG stream.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::Job { .. } | Self::Panic { .. })
+    }
 }
 
 impl fmt::Display for FarmError {
@@ -43,6 +71,17 @@ impl fmt::Display for FarmError {
             Self::Panic { job_index, message } => {
                 write!(f, "job {job_index} panicked: {message}")
             }
+            Self::BreakerOpen { job_index, kind } => {
+                write!(f, "job {job_index} rejected: breaker open for kind {kind}")
+            }
+            Self::DeadlineExceeded {
+                job_index,
+                elapsed_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "job {job_index} exceeded its deadline: {elapsed_ns} ns > {deadline_ns} ns"
+            ),
         }
     }
 }

@@ -111,6 +111,7 @@ impl FarmObserver {
 /// Per-job stage instruments handed down into job execution.
 pub(crate) struct JobInstruments<'a> {
     pub(crate) tracer: &'a Tracer,
+    pub(crate) metrics: &'a Arc<Metrics>,
     pub(crate) precompute_ns: &'a Histogram,
 }
 

@@ -1,0 +1,161 @@
+//! Fault plans: explicit schedules of fault events, plus seeded
+//! generation of random-but-reproducible plans.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::FaultKind;
+
+/// One scheduled fault: a kind, the channel it afflicts, and the window
+/// of per-channel measurement attempts it is active for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// The afflicted channel.
+    pub channel: usize,
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// First per-channel measurement attempt (0-based) the fault is
+    /// active on.
+    pub from_attempt: u64,
+    /// How many attempts the fault lasts; `None` is permanent.
+    pub duration: Option<u64>,
+}
+
+/// A schedule of fault events — the whole "what will break, when" of a
+/// chaos run, as one inspectable value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+/// Tuning for [`FaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Fault events to draw.
+    pub faults: usize,
+    /// Events start uniformly within the first this-many attempts.
+    pub horizon_attempts: u64,
+    /// Probability a drawn event is transient (1–3 attempts) rather
+    /// than permanent.
+    pub transient_bias: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            faults: 3,
+            horizon_attempts: 4,
+            transient_bias: 0.5,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan from explicit events.
+    #[must_use]
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        Self { events }
+    }
+
+    /// The empty plan: injecting it is provably equivalent to not
+    /// injecting at all.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The scheduled events.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Draws a reproducible random plan: `config.faults` events across
+    /// `channels` channels from a ChaCha8 stream seeded with `seed`.
+    /// Same `(seed, channels, config)` ⇒ same plan, always.
+    #[must_use]
+    pub fn generate(seed: u64, channels: usize, config: &ChaosConfig) -> Self {
+        assert!(channels > 0, "fault plan needs at least one channel");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let events = (0..config.faults)
+            .map(|_| {
+                let channel = rng.gen_range(0..channels);
+                let kind = match rng.gen_range(0..7u32) {
+                    0 => FaultKind::StuckBridgeResistor {
+                        offset_volts: rng.gen_range(0.2e-3..2e-3),
+                    },
+                    1 => FaultKind::DriftingBridgeResistor {
+                        volts_per_attempt: rng.gen_range(0.05e-3..0.5e-3),
+                    },
+                    2 => FaultKind::BrokenCantilever,
+                    3 => FaultKind::ChopperDropout,
+                    4 => FaultKind::AdcSaturation,
+                    5 => FaultKind::TransientGlitch {
+                        volts: rng.gen_range(2.0..8.0),
+                    },
+                    _ => FaultKind::SlowChannel {
+                        latency_factor: rng.gen_range(2..6u32),
+                    },
+                };
+                let from_attempt = rng.gen_range(0..config.horizon_attempts.max(1));
+                let duration = if rng.gen_bool(config.transient_bias.clamp(0.0, 1.0)) {
+                    Some(rng.gen_range(1..4u64))
+                } else {
+                    None
+                };
+                FaultEvent {
+                    channel,
+                    kind,
+                    from_attempt,
+                    duration,
+                }
+            })
+            .collect();
+        Self { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let config = ChaosConfig::default();
+        let a = FaultPlan::generate(42, 4, &config);
+        let b = FaultPlan::generate(42, 4, &config);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), config.faults);
+        let c = FaultPlan::generate(43, 4, &config);
+        assert_ne!(a, c, "different seed must draw a different plan");
+    }
+
+    #[test]
+    fn generated_events_stay_in_bounds() {
+        let config = ChaosConfig {
+            faults: 64,
+            horizon_attempts: 5,
+            transient_bias: 0.5,
+        };
+        let plan = FaultPlan::generate(7, 3, &config);
+        for event in plan.events() {
+            assert!(event.channel < 3);
+            assert!(event.from_attempt < 5);
+            if let Some(d) = event.duration {
+                assert!((1..4).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::empty().is_empty());
+        assert!(!FaultPlan::generate(1, 2, &ChaosConfig::default()).is_empty());
+    }
+}

@@ -304,6 +304,29 @@ impl Trace {
         out
     }
 
+    /// Tallies instantaneous event names across the whole span forest,
+    /// sorted by name. Fault-injection and recovery telemetry
+    /// (`fault_injected`, `measure_retry`, `channel_quarantined`,
+    /// `breaker_state`, …) surfaces here without the consumer having to
+    /// walk the tree.
+    #[must_use]
+    pub fn event_counts(&self) -> Vec<(String, u64)> {
+        use std::collections::BTreeMap;
+        fn walk(node: &SpanNode, counts: &mut BTreeMap<String, u64>) {
+            for event in &node.events {
+                *counts.entry(event.clone()).or_insert(0) += 1;
+            }
+            for child in &node.children {
+                walk(child, counts);
+            }
+        }
+        let mut counts = BTreeMap::new();
+        for root in &self.roots {
+            walk(root, &mut counts);
+        }
+        counts.into_iter().collect()
+    }
+
     /// A human-readable span-tree rendering with durations and per-stage
     /// aggregates, suitable for terminal output.
     #[must_use]

@@ -41,13 +41,15 @@ use std::time::Duration;
 use crate::expose::render_prometheus;
 use crate::metrics::Metrics;
 
-/// Per-connection I/O timeout: a stalled scraper must not pin a worker.
-const IO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Default per-connection I/O timeout: a stalled scraper must not pin a
+/// worker (see [`ExpositionServer::bind_with_options`] to tune it).
+const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 struct Shared {
     metrics: Arc<Metrics>,
     stop: AtomicBool,
     requests: AtomicU64,
+    io_timeout: Duration,
 }
 
 /// A running `/metrics` + `/healthz` endpoint on a bounded thread pool.
@@ -89,12 +91,31 @@ impl ExpositionServer {
         metrics: Arc<Metrics>,
         workers: usize,
     ) -> std::io::Result<Self> {
+        Self::bind_with_options(addr, metrics, workers, DEFAULT_IO_TIMEOUT)
+    }
+
+    /// [`Self::bind_with_workers`] with an explicit per-connection read /
+    /// write timeout. A client that connects and then goes silent (or
+    /// stops reading the response) releases its worker after `io_timeout`
+    /// instead of pinning it forever; zero durations are rejected by the
+    /// OS, so the timeout is clamped to ≥ 1 ms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / clone failures.
+    pub fn bind_with_options(
+        addr: &str,
+        metrics: Arc<Metrics>,
+        workers: usize,
+        io_timeout: Duration,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             metrics,
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
+            io_timeout: io_timeout.max(Duration::from_millis(1)),
         });
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -119,6 +140,13 @@ impl ExpositionServer {
         self.addr
     }
 
+    /// The per-connection I/O timeout workers apply to accepted
+    /// connections.
+    #[must_use]
+    pub fn io_timeout(&self) -> Duration {
+        self.shared.io_timeout
+    }
+
     /// Requests served so far (any route).
     #[must_use]
     pub fn requests_served(&self) -> u64 {
@@ -134,7 +162,7 @@ impl ExpositionServer {
     /// to `ErrorKind::Other`.
     pub fn scrape(&self, path: &str) -> std::io::Result<String> {
         let mut stream = TcpStream::connect(self.addr)?;
-        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_read_timeout(Some(DEFAULT_IO_TIMEOUT))?;
         write!(stream, "GET {path} HTTP/1.0\r\nHost: canti\r\n\r\n")?;
         let mut response = String::new();
         stream.read_to_string(&mut response)?;
@@ -181,8 +209,8 @@ fn worker_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_read_timeout(Some(shared.io_timeout))?;
+    stream.set_write_timeout(Some(shared.io_timeout))?;
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
@@ -240,6 +268,39 @@ mod tests {
     fn binds_ephemeral_and_shuts_down() {
         let server = ExpositionServer::bind("127.0.0.1:0", Arc::new(Metrics::new())).unwrap();
         assert_ne!(server.local_addr().port(), 0);
+        server.shutdown();
+    }
+
+    /// A client that connects and then hangs must not pin the worker:
+    /// with a single worker and a short timeout, a real scrape issued
+    /// behind the hung connection still completes once the read times
+    /// out and frees the worker.
+    #[test]
+    fn hung_client_releases_the_worker_after_the_io_timeout() {
+        let metrics = Arc::new(Metrics::new());
+        metrics.counter("alive").inc();
+        let server = ExpositionServer::bind_with_options(
+            "127.0.0.1:0",
+            metrics,
+            1,
+            Duration::from_millis(50),
+        )
+        .unwrap();
+        assert_eq!(server.io_timeout(), Duration::from_millis(50));
+
+        // connect and send nothing — the worker blocks in read_line
+        let hung = TcpStream::connect(server.local_addr()).unwrap();
+
+        let started = std::time::Instant::now();
+        let body = server.scrape("/metrics").unwrap();
+        assert!(body.contains("alive_total 1"), "{body}");
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "the 50 ms timeout, not the 5 s default, must free the worker \
+             (took {:?})",
+            started.elapsed()
+        );
+        drop(hung);
         server.shutdown();
     }
 

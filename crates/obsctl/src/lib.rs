@@ -284,8 +284,68 @@ pub fn diff(old: &Path, new: &Path, opts: DiffOptions) -> Result<DiffReport, Cli
     Ok(report)
 }
 
+/// Event names the robustness layer emits: instrument-side fault
+/// injection and recovery, plus farm-side supervision. `obsctl summary`
+/// tallies these into its fault-health section.
+pub const FAULT_EVENT_NAMES: &[&str] = &[
+    "fault_injected",
+    "measure_retry",
+    "channel_quarantined",
+    "channel_skipped",
+    "watchdog_trip",
+    "recovered",
+    "scan_fault",
+    "retry_wave",
+    "breaker_state",
+];
+
+/// The fault/recovery event tally of one telemetry artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultHealth {
+    /// `(event name, occurrences)` for every fault/recovery event
+    /// present, in [`FAULT_EVENT_NAMES`] order.
+    pub counts: Vec<(String, u64)>,
+}
+
+impl FaultHealth {
+    /// Whether the artifact recorded no fault or recovery activity.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The section `summary` appends to its report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.is_quiet() {
+            return "fault health: clean (no fault or recovery events)\n".to_owned();
+        }
+        let mut out = String::from("fault health:\n");
+        for (name, count) in &self.counts {
+            let _ = writeln!(out, "  {name:<20} {count}");
+        }
+        out
+    }
+}
+
+/// Tallies the robustness layer's fault/recovery events in a trace.
+#[must_use]
+pub fn fault_health(trace: &Trace) -> FaultHealth {
+    let all = trace.event_counts();
+    let counts = FAULT_EVENT_NAMES
+        .iter()
+        .filter_map(|name| {
+            all.iter()
+                .find(|(n, _)| n == name)
+                .map(|(n, c)| (n.clone(), *c))
+        })
+        .collect();
+    FaultHealth { counts }
+}
+
 /// Parses a telemetry NDJSON artifact into a [`Trace`] and renders the
-/// span-tree summary, gating on artifact health.
+/// span-tree summary plus a fault-health section, gating on artifact
+/// health.
 ///
 /// # Errors
 ///
@@ -309,7 +369,9 @@ pub fn summary(path: &Path) -> Result<String, CliError> {
             trace.seq_gaps
         )));
     }
-    Ok(trace.render_summary())
+    let mut out = trace.render_summary();
+    out.push_str(&fault_health(&trace).render());
+    Ok(out)
 }
 
 /// Folded-stack flamegraph lines for a telemetry NDJSON artifact.
@@ -367,6 +429,38 @@ mod tests {
         assert_eq!(stages[0].0, "queue_wait");
         assert_eq!(stages[1].0, "farm.solve_ns");
         assert_eq!(stages[1].1.p95_ns, 30);
+    }
+
+    #[test]
+    fn summary_reports_fault_health() {
+        let artifact = write_temp(
+            "fault-health",
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"span_start\",\"name\":\"scan\"}\n\
+             {\"seq\":1,\"t_ns\":1,\"kind\":\"event\",\"name\":\"fault_injected\"}\n\
+             {\"seq\":2,\"t_ns\":2,\"kind\":\"event\",\"name\":\"measure_retry\"}\n\
+             {\"seq\":3,\"t_ns\":3,\"kind\":\"event\",\"name\":\"measure_retry\"}\n\
+             {\"seq\":4,\"t_ns\":4,\"kind\":\"event\",\"name\":\"channel_quarantined\"}\n\
+             {\"seq\":5,\"t_ns\":5,\"kind\":\"span_end\",\"name\":\"scan\",\"dur_ns\":5}\n",
+        );
+        let text = summary(&artifact).unwrap();
+        assert!(text.contains("fault health:"), "{text}");
+        assert!(text.contains("fault_injected       1"), "{text}");
+        assert!(text.contains("measure_retry        2"), "{text}");
+        assert!(text.contains("channel_quarantined  1"), "{text}");
+    }
+
+    #[test]
+    fn clean_trace_reports_quiet_fault_health() {
+        let artifact = write_temp(
+            "fault-quiet",
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"span_start\",\"name\":\"scan\"}\n\
+             {\"seq\":1,\"t_ns\":9,\"kind\":\"span_end\",\"name\":\"scan\",\"dur_ns\":9}\n",
+        );
+        let text = summary(&artifact).unwrap();
+        assert!(
+            text.contains("fault health: clean"),
+            "a fault-free artifact must say so: {text}"
+        );
     }
 
     #[test]

@@ -17,18 +17,35 @@
 //! port for the duration of the run, self-scrapes it after the batch,
 //! prints the first Prometheus text lines and shuts the server down.
 //! For a long-lived endpoint use `examples/farm_service.rs` instead.
+//!
+//! `--chaos <seed>` switches to a fault-injection campaign instead: a
+//! batch of chaos scans (full autonomous instruments under seeded fault
+//! plans, resilient recovery) plus flaky probes, run under the
+//! [`FarmSupervisor`] with retries and a circuit breaker. The run prints
+//! the degradation summary, with `--telemetry` writes
+//! `target/chaos_telemetry.ndjson`, and re-verifies that the supervised
+//! report is bit-identical to a single-threaded oracle.
 
 use std::time::Instant;
 
 use canti::farm::{
-    cross_reactivity_panel, dose_response_sweep, process_variation_batch, Farm, FarmConfig,
-    FarmObserver, JobSpec,
+    chaos_scan_batch, cross_reactivity_panel, dose_response_sweep, process_variation_batch, Farm,
+    FarmConfig, FarmObserver, FarmSupervisor, JobSpec, ProbeMode, SupervisorConfig,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let serve_on = args.iter().any(|a| a == "--serve");
     let telemetry_on = serve_on || args.iter().any(|a| a == "--telemetry");
+    let chaos_at = args.iter().position(|a| a == "--chaos");
+    if let Some(at) = chaos_at {
+        let seed: u64 = args
+            .get(at + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xC405);
+        run_chaos(seed, telemetry_on);
+        return;
+    }
     let total: usize = args
         .iter()
         .find_map(|a| a.parse().ok())
@@ -126,4 +143,82 @@ fn main() {
     .run(&jobs);
     assert_eq!(report, oracle, "parallel run must match the 1-thread oracle");
     println!("determinism check: parallel report bit-identical to 1-thread oracle");
+}
+
+/// The `--chaos <seed>` campaign: supervised fault injection across the
+/// farm, with a degradation summary and a determinism re-check.
+fn run_chaos(seed: u64, telemetry_on: bool) {
+    let mut jobs = chaos_scan_batch(6, seed, 4);
+    jobs.extend((0..10).map(|_| JobSpec::Probe(ProbeMode::Flaky { p_fail: 0.5 })));
+
+    let observer = telemetry_on.then(|| FarmObserver::profiling(16_384));
+    let batch_seed = seed ^ 0xC4A0_5EED;
+    let mut farm = Farm::new(FarmConfig {
+        batch_seed,
+        threads: 0, // machine parallelism
+    });
+    if let Some((obs, _)) = &observer {
+        farm = farm.with_observer(obs.clone());
+    }
+    let config = SupervisorConfig {
+        max_attempts: 3,
+        ..SupervisorConfig::default()
+    };
+    let mut supervisor = FarmSupervisor::new(farm, config);
+    println!(
+        "chaos campaign: {} jobs (6 chaos scans + 10 flaky probes), fault seed {seed:#x}, {} workers...",
+        jobs.len(),
+        supervisor.farm().threads()
+    );
+    let start = Instant::now();
+    let run = supervisor.run(&jobs);
+    println!("done in {:.2?}\n{}", start.elapsed(), run.render());
+
+    let sum = |name: &str| run.report.metric_values(name).iter().sum::<f64>();
+    println!(
+        "degradation across chaos scans: {:.0} channels ok, {:.0} retried ({:.0} retry attempts), {:.0} quarantined",
+        sum("channels_ok"),
+        sum("channels_retried"),
+        sum("retry_attempts"),
+        sum("channels_quarantined"),
+    );
+    for (kind, state) in supervisor.breaker_states() {
+        println!("breaker[{kind}]: {state:?}");
+    }
+
+    if let Some((observer, ring)) = observer {
+        let telemetry = run
+            .report
+            .telemetry
+            .as_ref()
+            .expect("observed run carries telemetry");
+        println!("\n{}", telemetry.render());
+        print!("{}", observer.metrics().summary());
+        let mut ndjson = telemetry.to_ndjson();
+        ndjson.push_str(&observer.metrics().to_ndjson());
+        ndjson.push_str(&ring.to_ndjson());
+        let path = "target/chaos_telemetry.ndjson";
+        std::fs::write(path, &ndjson).expect("write chaos telemetry artifact");
+        println!(
+            "telemetry: {} NDJSON records ({} trace events dropped) -> {path}",
+            ndjson.lines().count(),
+            ring.dropped()
+        );
+    }
+
+    // determinism spot-check: a fresh single-threaded supervisor must
+    // reproduce outcomes, attempts and breaker decisions exactly
+    let mut oracle_supervisor = FarmSupervisor::new(
+        Farm::new(FarmConfig {
+            batch_seed,
+            threads: 1,
+        }),
+        config,
+    );
+    let oracle = oracle_supervisor.run(&jobs);
+    assert_eq!(
+        run, oracle,
+        "supervised chaos run must match the 1-thread oracle"
+    );
+    println!("determinism check: supervised chaos report bit-identical to 1-thread oracle");
 }

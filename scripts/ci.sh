@@ -4,9 +4,11 @@
 #
 #   scripts/ci.sh          # build + test + clippy
 #   scripts/ci.sh smoke    # the above, then a 16-job sensor_farm batch,
-#                          # obsctl artifact-health gate, farm bench with
-#                          # archived BENCH_farm.json, and obsctl diff
-#                          # against the previous archive when present
+#                          # obsctl artifact-health gate, a supervised
+#                          # chaos (fault-injection) batch gated through
+#                          # obsctl summary, farm bench with archived
+#                          # BENCH_farm.json, and obsctl diff against the
+#                          # previous archive when present
 #
 # Perf gate knobs (smoke only):
 #   CANTI_PERF_THRESHOLD_PCT  relative slack for obsctl diff (default 50)
@@ -36,6 +38,21 @@ if [[ "${1:-}" == "smoke" ]]; then
     echo "== obsctl artifact-health gate =="
     # fails (exit 1) on an empty span tree or trace sequence gaps
     cargo run --release -q -p canti-obsctl -- summary "$artifact"
+
+    echo "== chaos smoke (supervised fault-injection batch) =="
+    # the example itself asserts the supervised report is bit-identical
+    # to a 1-thread oracle before it exits 0
+    cargo run --release --example sensor_farm -- --chaos 7341 --telemetry
+    chaos_artifact=target/chaos_telemetry.ndjson
+    [[ -s "$chaos_artifact" ]] || { echo "missing chaos artifact $chaos_artifact"; exit 1; }
+
+    echo "== obsctl chaos artifact-health gate =="
+    # gates on span-tree health + zero trace sequence gaps, and must see
+    # actual fault/recovery activity in the fault-health section
+    chaos_summary=$(cargo run --release -q -p canti-obsctl -- summary "$chaos_artifact")
+    echo "$chaos_summary"
+    echo "$chaos_summary" | grep -q "fault_injected" \
+        || { echo "chaos artifact shows no fault_injected events"; exit 1; }
 
     echo "== farm bench (archiving BENCH_farm.json) =="
     # absolute paths: cargo bench runs the bench with cwd = its package dir

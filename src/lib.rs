@@ -5,6 +5,7 @@ pub use canti_core as system;
 pub use canti_digital as digital;
 pub use canti_fab as fab;
 pub use canti_farm as farm;
+pub use canti_fault as fault;
 pub use canti_mems as mems;
 pub use canti_obs as obs;
 pub use canti_units as units;
