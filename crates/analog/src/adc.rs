@@ -91,13 +91,7 @@ impl SarAdc {
     ///
     /// As [`Self::new`].
     pub fn on_chip_12bit() -> Result<Self, AnalogError> {
-        Self::new(
-            12,
-            Volts::new(1.5),
-            Volts::from_millivolts(1.0),
-            2e-3,
-            5e-4,
-        )
+        Self::new(12, Volts::new(1.5), Volts::from_millivolts(1.0), 2e-3, 5e-4)
     }
 
     /// Resolution in bits.
@@ -203,7 +197,11 @@ mod tests {
         let wave: Vec<f64> = (0..n)
             .map(|i| 1.45 * (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
             .collect();
-        let digitized: Vec<f64> = a.digitize(&wave).iter().map(|&c| a.code_to_volts(c)).collect();
+        let digitized: Vec<f64> = a
+            .digitize(&wave)
+            .iter()
+            .map(|&c| a.code_to_volts(c))
+            .collect();
         let snr = snr_db(&digitized, fs, f).unwrap();
         // 12-bit ideal = 74 dB; slightly less since not exactly full scale
         assert!(

@@ -176,7 +176,12 @@ impl Block for ChopperAmplifier {
         // modulate -> amplify (adding offset + low-frequency noise) -> demodulate
         let modulated = input * phase;
         let amplified = self.gain * (modulated + self.input_offset + self.noise.sample());
-        amplified * phase + if self.chopping { self.residual_offset } else { 0.0 }
+        amplified * phase
+            + if self.chopping {
+                self.residual_offset
+            } else {
+                0.0
+            }
     }
 
     fn reset(&mut self) {
@@ -588,9 +593,8 @@ impl Block for AgcVga {
         // servo gain so that gain * envelope -> target
         if self.envelope > 0.0 {
             let err = self.target_amplitude - self.gain * self.envelope;
-            self.gain =
-                (self.gain + self.rate * err / self.target_amplitude * self.gain)
-                    .clamp(self.min_gain, self.max_gain);
+            self.gain = (self.gain + self.rate * err / self.target_amplitude * self.gain)
+                .clamp(self.min_gain, self.max_gain);
         }
         self.gain * input
     }
@@ -768,8 +772,7 @@ impl DdaInstrumentationAmplifier {
 
 impl Block for DdaInstrumentationAmplifier {
     fn process(&mut self, input: f64) -> f64 {
-        let raw =
-            self.gain * (input + self.noise.sample()) + self.cm_gain * self.common_mode;
+        let raw = self.gain * (input + self.noise.sample()) + self.cm_gain * self.common_mode;
         self.bandwidth.process(raw)
     }
 
@@ -988,10 +991,7 @@ mod tests {
         .unwrap();
         let mut lpf = ButterworthLowPass::new(2e3, FS).unwrap();
         let input = tone(1 << 17, 200.0, 1e-5);
-        let out: Vec<f64> = input
-            .iter()
-            .map(|&x| lpf.process(amp.process(x)))
-            .collect();
+        let out: Vec<f64> = input.iter().map(|&x| lpf.process(amp.process(x))).collect();
         let amp_out = goertzel_amplitude(&out[40_000..], FS, 200.0).unwrap();
         assert!(
             (amp_out - 1e-3).abs() / 1e-3 < 0.03,
@@ -1008,15 +1008,9 @@ mod tests {
                 WhiteNoise::silent(fs),
                 FlickerNoise::new(2e-5, 0.5, 50e3, fs, seed).unwrap(),
             );
-            let mut amp = ChopperAmplifier::new(
-                100.0,
-                25e3,
-                fs,
-                Volts::zero(),
-                noise,
-                Volts::zero(),
-            )
-            .unwrap();
+            let mut amp =
+                ChopperAmplifier::new(100.0, 25e3, fs, Volts::zero(), noise, Volts::zero())
+                    .unwrap();
             amp.set_chopping(chop);
             let data: Vec<f64> = (0..1 << 18).map(|_| amp.process(0.0)).collect();
             welch_psd(&data, fs, 8192).unwrap()
@@ -1130,7 +1124,11 @@ mod tests {
             (last_peak - 1.0).abs() < 0.1,
             "AGC output peak {last_peak} should be ~1"
         );
-        assert!((vga.gain() - 100.0).abs() / 100.0 < 0.15, "gain {}", vga.gain());
+        assert!(
+            (vga.gain() - 100.0).abs() / 100.0 < 0.15,
+            "gain {}",
+            vga.gain()
+        );
     }
 
     #[test]
@@ -1178,8 +1176,7 @@ mod tests {
 
     #[test]
     fn dda_cmrr() {
-        let mut dda =
-            DdaInstrumentationAmplifier::new(50.0, 1e5, silent(), 200e3, FS).unwrap();
+        let mut dda = DdaInstrumentationAmplifier::new(50.0, 1e5, silent(), 200e3, FS).unwrap();
         // pure differential: gain 50 after settling
         let mut y = 0.0;
         for _ in 0..10_000 {
@@ -1230,7 +1227,9 @@ mod tests {
 
     #[test]
     fn chopper_rejects_bad_parameters() {
-        assert!(ChopperAmplifier::new(0.0, 1e4, FS, Volts::zero(), silent(), Volts::zero()).is_err());
+        assert!(
+            ChopperAmplifier::new(0.0, 1e4, FS, Volts::zero(), silent(), Volts::zero()).is_err()
+        );
         assert!(
             ChopperAmplifier::new(10.0, 4e5, FS, Volts::zero(), silent(), Volts::zero()).is_err(),
             "chop too close to nyquist"

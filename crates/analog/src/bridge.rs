@@ -275,8 +275,12 @@ mod tests {
     #[test]
     fn output_sign_flips_with_pattern() {
         let b = bridge();
-        let plus = b.output(Volts::new(5.0), [-1e-3, 1e-3, 1e-3, -1e-3]).value();
-        let minus = b.output(Volts::new(5.0), [1e-3, -1e-3, -1e-3, 1e-3]).value();
+        let plus = b
+            .output(Volts::new(5.0), [-1e-3, 1e-3, 1e-3, -1e-3])
+            .value();
+        let minus = b
+            .output(Volts::new(5.0), [1e-3, -1e-3, -1e-3, 1e-3])
+            .value();
         assert!(plus > 0.0);
         assert!((plus + minus).abs() < 1e-12);
     }
@@ -302,7 +306,9 @@ mod tests {
         // 1% mismatch offset (mV) >> uV-scale biosignal.
         let b = bridge().with_random_mismatch(0.01, 3);
         let offset = b.offset(Volts::new(5.0)).value().abs();
-        let signal = b.output(Volts::new(5.0), [-1e-5, 1e-5, 1e-5, -1e-5]).value()
+        let signal = b
+            .output(Volts::new(5.0), [-1e-5, 1e-5, 1e-5, -1e-5])
+            .value()
             - b.offset(Volts::new(5.0)).value();
         assert!(
             offset > 10.0 * signal.abs(),
@@ -347,7 +353,9 @@ mod tests {
         // [L, T, L, T] with L = +d, T = -d must give |V| = Vb*d, not zero.
         let b = bridge();
         let d = 1e-4;
-        let v = b.output_from_gauges(Volts::new(5.0), [d, -d, d, -d]).value();
+        let v = b
+            .output_from_gauges(Volts::new(5.0), [d, -d, d, -d])
+            .value();
         assert!((v.abs() - 5.0 * d).abs() / (5.0 * d) < 1e-6, "v = {v}");
     }
 

@@ -235,15 +235,8 @@ mod tests {
             WhiteNoise::new(50e-9, FS, 17).unwrap(),
             FlickerNoise::silent(FS),
         );
-        let amp = ChopperAmplifier::new(
-            100.0,
-            20e3,
-            FS,
-            Volts::zero(),
-            noise,
-            Volts::zero(),
-        )
-        .unwrap();
+        let amp =
+            ChopperAmplifier::new(100.0, 20e3, FS, Volts::zero(), noise, Volts::zero()).unwrap();
         let mut c = SignalChain::new();
         c.push(amp).push(ButterworthLowPass::new(2e3, FS).unwrap());
         let input = tone(1 << 17, 500.0, 10e-6);

@@ -334,7 +334,8 @@ mod tests {
 
     #[test]
     fn current_source_droop() {
-        let cs = CurrentSource::new(Amperes::from_microamps(100.0), Ohms::from_megaohms(1.0)).unwrap();
+        let cs =
+            CurrentSource::new(Amperes::from_microamps(100.0), Ohms::from_megaohms(1.0)).unwrap();
         let i = cs.current_into(Volts::new(1.0));
         assert!((i.value() - (100e-6 - 1e-6)).abs() < 1e-12);
         assert!(CurrentSource::new(Amperes::zero(), Ohms::zero()).is_err());

@@ -66,8 +66,7 @@ impl InterferenceSource {
     /// The pickup waveform sample at time-index `i` for sample rate `fs`.
     #[must_use]
     pub fn sample(&self, i: usize, fs: f64) -> f64 {
-        self.amplitude.value()
-            * (2.0 * std::f64::consts::PI * self.frequency * i as f64 / fs).sin()
+        self.amplitude.value() * (2.0 * std::f64::consts::PI * self.frequency * i as f64 / fs).sin()
     }
 }
 

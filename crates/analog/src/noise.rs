@@ -419,7 +419,10 @@ mod tests {
         assert!(WhiteNoise::new(1e-9, 0.0, 0).is_err());
         assert!(FlickerNoise::new(1e-6, 0.0, 1e3, 1e6, 0).is_err());
         assert!(FlickerNoise::new(1e-6, 10.0, 5.0, 1e6, 0).is_err());
-        assert!(FlickerNoise::new(1e-6, 1.0, 6e5, 1e6, 0).is_err(), "above nyquist");
+        assert!(
+            FlickerNoise::new(1e-6, 1.0, 6e5, 1e6, 0).is_err(),
+            "above nyquist"
+        );
     }
 
     #[test]

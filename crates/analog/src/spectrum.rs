@@ -115,7 +115,11 @@ impl PowerSpectrum {
 ///
 /// Returns [`AnalogError`] for an invalid sample rate, a non-power-of-two
 /// segment, or data shorter than one segment.
-pub fn welch_psd(data: &[f64], sample_rate: f64, segment: usize) -> Result<PowerSpectrum, AnalogError> {
+pub fn welch_psd(
+    data: &[f64],
+    sample_rate: f64,
+    segment: usize,
+) -> Result<PowerSpectrum, AnalogError> {
     ensure_positive("sample rate", sample_rate)?;
     if !segment.is_power_of_two() || segment < 2 {
         return Err(AnalogError::NotPowerOfTwo { len: segment });

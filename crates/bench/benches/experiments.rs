@@ -36,7 +36,13 @@ fn resonant_system() -> ResonantCantileverSystem {
 }
 
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    // `cargo bench` passes `--bench` to harness = false binaries; only
+    // bare words are kernel-name filters
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.to_lowercase())
+        .collect();
     let mut b = Bencher::from_env(filter);
 
     b.bench("fig1_static_bending_point", || {
@@ -45,8 +51,7 @@ fn main() {
         let geom = CantileverGeometry::paper_static().expect("geometry");
         let beam = CompositeBeam::new(&geom).expect("beam");
         move || {
-            let theta =
-                kinetics.coverage_at(Molar::from_nanomolar(10.0), 0.0, Seconds::new(300.0));
+            let theta = kinetics.coverage_at(Molar::from_nanomolar(10.0), 0.0, Seconds::new(300.0));
             let sigma = receptor.surface_stress_at(theta).expect("stress");
             std::hint::black_box(SurfaceStressLoad::new(&beam).tip_deflection(sigma));
         }
@@ -176,8 +181,10 @@ fn main() {
         }
     });
 
-    if !matches!(canti_bench::artifact::sink_from_env(), canti_bench::artifact::BenchSink::Disabled)
-    {
+    if !matches!(
+        canti_bench::artifact::sink_from_env(),
+        canti_bench::artifact::BenchSink::Disabled
+    ) {
         use canti_bench::report::ExperimentReport;
         let mut rep = ExperimentReport::new("BENCH", "kernel per-iteration timings", &[]);
         for m in b.results() {

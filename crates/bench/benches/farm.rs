@@ -78,7 +78,10 @@ fn main() {
     println!("  1 thread : {:>10.2?}", t1);
     let (tn, fpn) = timed_run(threads, &jobs, &cache);
     println!("  {threads} threads: {:>10.2?}", tn);
-    assert_eq!(fp1, fpn, "determinism contract violated across thread counts");
+    assert_eq!(
+        fp1, fpn,
+        "determinism contract violated across thread counts"
+    );
 
     let speedup = t1.as_secs_f64() / tn.as_secs_f64().max(1e-9);
     println!("  speedup  : {speedup:.2}x  (results bit-identical)");

@@ -1,0 +1,174 @@
+//! Serving-layer load bench: push a burst of concurrent assay requests
+//! through [`canti_serve::ServeService`] and report the latency and
+//! batch-shape histograms the serve instruments collected.
+//!
+//! ```text
+//! cargo bench -p canti-bench --bench serve               # defaults
+//! CANTI_SERVE_REQUESTS=512 cargo bench -p canti-bench --bench serve
+//! CANTI_SERVE_BATCH=32     cargo bench -p canti-bench --bench serve
+//! CANTI_SERVE_THREADS=8    cargo bench -p canti-bench --bench serve
+//! CANTI_SERVE_SUBMITTERS=4 cargo bench -p canti-bench --bench serve
+//! ```
+//!
+//! `CANTI_BENCH_JSON=<path>` archives the report for the `obsctl diff`
+//! perf gate in `scripts/ci.sh`, alongside the farm and experiments
+//! artifacts. On the way out the bench replays a scripted arrival
+//! sequence on a virtual clock at several farm worker counts and asserts
+//! the serving determinism contract end to end.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use canti_bench::report::ExperimentReport;
+use canti_farm::{JobSpec, Receptor};
+use canti_obs::{ObsClock, VirtualClock};
+use canti_serve::{ServeConfig, ServeEngine, ServeResponse, ServeService};
+use canti_units::{Molar, Seconds};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// A request mix with real per-job work: log-spaced dose-response
+/// assays, the same substrate the farm bench exercises but shorter.
+fn request(i: usize) -> JobSpec {
+    JobSpec::StaticDoseResponse {
+        receptor: Receptor::AntiIgg,
+        concentration: Molar::from_nanomolar(0.1 * 10f64.powf(4.0 * (i % 64) as f64 / 63.0)),
+        baseline: Seconds::new(30.0),
+        association: Seconds::new(120.0),
+        wash: Seconds::new(60.0),
+        dt: Seconds::new(0.25),
+        averaging: 64,
+    }
+}
+
+/// Replays `requests` as a scripted arrival sequence on a virtual clock
+/// and returns every response, for the cross-worker-count check.
+fn scripted_run(requests: usize, threads: usize) -> Vec<ServeResponse> {
+    let clock = Arc::new(VirtualClock::new());
+    let mut engine = ServeEngine::new(
+        ServeConfig {
+            max_batch: 8,
+            linger_ns: 1_000,
+            threads,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn ObsClock>,
+    );
+    let mut responses = Vec::new();
+    for i in 0..requests {
+        engine.submit(request(i)).expect("admitted");
+        clock.advance_ns(100);
+        responses.extend(engine.pump());
+    }
+    clock.advance_ns(1_000);
+    responses.extend(engine.pump());
+    responses.extend(engine.drain());
+    responses
+}
+
+fn main() {
+    let requests = env_usize("CANTI_SERVE_REQUESTS", 256);
+    let max_batch = env_usize("CANTI_SERVE_BATCH", 16);
+    let threads = env_usize(
+        "CANTI_SERVE_THREADS",
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+    );
+    let submitters = env_usize("CANTI_SERVE_SUBMITTERS", 4);
+
+    println!(
+        "serve bench: {requests} requests, {submitters} submitters, \
+         batch<={max_batch}, {threads} farm workers"
+    );
+
+    let (observer, _ring) = canti_farm::FarmObserver::profiling(1 << 14);
+    let metrics = Arc::clone(observer.metrics());
+    let service = Arc::new(ServeService::start_observed(
+        ServeConfig {
+            max_batch,
+            linger_ns: 200_000, // 0.2 ms
+            threads,
+            ..ServeConfig::default()
+        },
+        observer,
+    ));
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..submitters)
+        .map(|w| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                let mut rejected = 0usize;
+                for i in (w..requests).step_by(submitters.max(1)) {
+                    match service.submit(request(i)) {
+                        Ok(ticket) => {
+                            let response = ticket.wait();
+                            assert!(response.disposition.is_ok(), "request failed: {response}");
+                            ok += 1;
+                        }
+                        Err(_) => rejected += 1,
+                    }
+                }
+                (ok, rejected)
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    let mut rejected = 0;
+    for handle in workers {
+        let (o, r) = handle.join().expect("submitter thread");
+        ok += o;
+        rejected += r;
+    }
+    let elapsed = start.elapsed();
+    let stats = Arc::try_unwrap(service)
+        .expect("submitters have exited")
+        .shutdown();
+
+    println!("  completed: {ok} ok, {rejected} rejected in {elapsed:.2?}");
+    println!(
+        "  throughput: {:.0} req/s",
+        ok as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!("  {}", stats.render());
+    assert_eq!(stats.completed as usize, ok, "every ticket resolved");
+
+    // Worker-count invariance on a scripted arrival sequence: the whole
+    // serving path (admission -> batching -> farm) must be bit-identical.
+    let check_n = requests.min(48);
+    let oracle = scripted_run(check_n, 1);
+    for t in [2, 8] {
+        assert_eq!(
+            scripted_run(check_n, t),
+            oracle,
+            "serve determinism contract violated at {t} farm workers"
+        );
+    }
+    println!("  determinism: {check_n}-request script bit-identical at 1/2/8 workers");
+
+    let mut exp = ExperimentReport::new("SERVE", "serving-layer load bench", &["metric", "value"]);
+    exp.push_row(vec!["requests".into(), requests.to_string()]);
+    exp.push_row(vec!["submitters".into(), submitters.to_string()]);
+    exp.push_row(vec!["completed".into(), stats.completed.to_string()]);
+    exp.push_row(vec!["batches".into(), stats.batches.to_string()]);
+    exp.push_timing(
+        "request_latency_ns",
+        metrics.histogram("serve.request_latency_ns").snapshot(),
+    );
+    exp.push_timing(
+        "batch_size",
+        metrics.histogram("serve.batch_size").snapshot(),
+    );
+    println!("{}", exp.to_json());
+    // CANTI_BENCH_JSON=<path> additionally archives the document for the
+    // obsctl diff perf gate in scripts/ci.sh
+    if let canti_bench::artifact::BenchSink::File(_) = canti_bench::artifact::sink_from_env() {
+        canti_bench::artifact::emit_report(&exp);
+    }
+}

@@ -47,8 +47,7 @@ pub fn run() -> ExperimentReport {
         let f_gated = gated.measure(&wave, fs).expect("measure").value();
         // reciprocal: average as many whole periods as fit the window
         let periods = (SIGNAL_HZ * t_meas).floor() as usize;
-        let recip =
-            ReciprocalCounter::new(Hertz::from_megahertz(10.0), periods).expect("counter");
+        let recip = ReciprocalCounter::new(Hertz::from_megahertz(10.0), periods).expect("counter");
         let f_recip = recip.measure(&wave, fs).expect("measure").value();
         let recip_bound = recip.relative_quantization(Hertz::new(SIGNAL_HZ)) * SIGNAL_HZ;
         report.push_row(vec![

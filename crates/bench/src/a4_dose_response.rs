@@ -63,12 +63,7 @@ pub fn run() -> ExperimentReport {
         let v = respond(c_true);
         let c_read = curve.invert(v).unwrap_or(f64::NAN);
         let err = (c_read - c_true) / c_true * 100.0;
-        report.push_row(vec![
-            fmt(c_true),
-            fmt(v * 1e3),
-            fmt(c_read),
-            fmt(err),
-        ]);
+        report.push_row(vec![fmt(c_true), fmt(v * 1e3), fmt(c_read), fmt(err)]);
     }
 
     let kd = kinetics.constants().dissociation_constant().as_nanomolar();

@@ -44,8 +44,7 @@ pub fn run() -> ExperimentReport {
 
     // hypothetical diffused bridge at the PMOS's resistance, to make the
     // area comparison honest (resistance-per-area is the claim)
-    let resistive_highr =
-        WheatstoneBridge::resistive(pmos.nominal_resistance()).expect("bridge");
+    let resistive_highr = WheatstoneBridge::resistive(pmos.nominal_resistance()).expect("bridge");
     for (name, bridge) in [
         ("diffused 10 kOhm", &resistive),
         ("diffused @ R_pmos", &resistive_highr),
@@ -95,6 +94,11 @@ mod tests {
         assert_eq!(parse(0, 4), 0.0);
         assert!(parse(2, 4) > 0.0);
         // area at EQUAL resistance: PMOS wins by >10x
-        assert!(parse(2, 5) < parse(1, 5) / 10.0, "{} vs {}", parse(2, 5), parse(1, 5));
+        assert!(
+            parse(2, 5) < parse(1, 5) / 10.0,
+            "{} vs {}",
+            parse(2, 5),
+            parse(1, 5)
+        );
     }
 }

@@ -35,7 +35,12 @@ pub fn run() -> ExperimentReport {
             format!("{v}"),
             fmt(c_wl),
             fmt(c_dl),
-            if c_wl < c_dl { "wafer-level" } else { "die-level" }.to_owned(),
+            if c_wl < c_dl {
+                "wafer-level"
+            } else {
+                "die-level"
+            }
+            .to_owned(),
         ]);
     }
 

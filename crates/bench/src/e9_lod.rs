@@ -108,7 +108,10 @@ pub fn run() -> ExperimentReport {
         "Hz/pg".to_owned(),
     ]);
     report.push_row(vec![
-        format!("min detectable mass (tau = {} ms)", fmt(tau_best.value() * 1e3)),
+        format!(
+            "min detectable mass (tau = {} ms)",
+            fmt(tau_best.value() * 1e3)
+        ),
         fmt(m_best.as_picograms()),
         "pg".to_owned(),
     ]);

@@ -31,8 +31,7 @@ pub fn run() -> ExperimentReport {
     let receptor = ReceptorLayer::anti_igg();
     let kinetics = LangmuirKinetics::from_receptor(&receptor);
     let chip = BiosensorChip::paper_static_chip().expect("chip");
-    let system =
-        StaticCantileverSystem::new(chip, StaticReadoutConfig::default()).expect("system");
+    let system = StaticCantileverSystem::new(chip, StaticReadoutConfig::default()).expect("system");
     let beam = system.chip().beam().clone();
     let load = SurfaceStressLoad::new(&beam);
     let transfer = system.transfer_volts_per_stress().expect("transfer");

@@ -50,7 +50,10 @@ pub fn run() -> ExperimentReport {
         sigma: 0.03,
     };
 
-    for (label, timed) in [("electrochemical etch-stop", false), ("timed KOH etch", true)] {
+    for (label, timed) in [
+        ("electrochemical etch-stop", false),
+        ("timed KOH etch", true),
+    ] {
         let outcomes = mc.run(|rng, _| {
             let mut spec = WaferSpec::nominal();
             spec.nwell_depth = Meters::new(nwell.sample(rng));

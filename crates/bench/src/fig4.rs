@@ -125,6 +125,9 @@ mod tests {
             .and_then(|s| s.split('x').next())
             .and_then(|s| s.parse().ok())
             .expect("parse suppression");
-        assert!(factor > 5.0, "chopping must suppress 1/f by >5x, got {factor}");
+        assert!(
+            factor > 5.0,
+            "chopping must suppress 1/f by >5x, got {factor}"
+        );
     }
 }

@@ -65,8 +65,7 @@ pub fn run() -> ExperimentReport {
                 .displacement
                 .iter()
                 .fold(0.0f64, |m, &x| m.max(x.abs()));
-            let normalized: Vec<f64> =
-                record.displacement.iter().map(|&x| x / peak).collect();
+            let normalized: Vec<f64> = record.displacement.iter().map(|&x| x / peak).collect();
             let f_true = record.oscillation_frequency().expect("frequency").value();
             let mut rows = Vec::new();
             for gate_ms in [1.0, 3.0, 10.0] {
@@ -111,8 +110,14 @@ mod tests {
             .iter()
             .map(|r| r[4].parse::<f64>().expect("number"))
             .collect();
-        assert!(gain[1] > gain[0], "water needs more gain than air: {gain:?}");
-        assert!(gain[2] >= gain[1] * 0.8, "serum at least water-ish: {gain:?}");
+        assert!(
+            gain[1] > gain[0],
+            "water needs more gain than air: {gain:?}"
+        );
+        assert!(
+            gain[2] >= gain[1] * 0.8,
+            "serum at least water-ish: {gain:?}"
+        );
         let q: Vec<f64> = report
             .rows
             .iter()

@@ -28,12 +28,12 @@
 #![warn(missing_docs)]
 
 pub mod a1_thermal_drift;
-pub mod artifact;
 pub mod a2_phase_lead;
 pub mod a3_counter;
 pub mod a4_dose_response;
 pub mod a5_cross_reactivity;
 pub mod a6_higher_modes;
+pub mod artifact;
 pub mod e6_interference;
 pub mod e7_bridge;
 pub mod e8_fab;

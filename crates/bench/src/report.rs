@@ -225,7 +225,10 @@ mod tests {
             },
         );
         let text = r.render();
-        assert!(text.contains("~ solve: n=3 p50=100 ns p95=120 ns max=120 ns"), "{text}");
+        assert!(
+            text.contains("~ solve: n=3 p50=100 ns p95=120 ns max=120 ns"),
+            "{text}"
+        );
         let json = r.to_json();
         assert!(json.contains("\"timings\""), "{json}");
         assert!(json.contains("\"name\": \"solve\""), "{json}");

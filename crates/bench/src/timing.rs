@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use canti_obs::{Histogram, HistogramSnapshot};
 
 /// Power-of-two nanosecond bounds from 1 ns to ~17 min — finer at the
-/// bottom than [`canti_obs::default_latency_bounds`] because kernel
+/// bottom than [`canti_obs::metrics::default_latency_bounds`] because kernel
 /// iterations can be single-digit nanoseconds.
 #[must_use]
 pub fn bench_latency_bounds() -> Vec<u64> {

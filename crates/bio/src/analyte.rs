@@ -6,7 +6,7 @@
 //! values in water at 20–25 °C; they feed the transport-limited kinetics in
 //! [`crate::kinetics`].
 
-use canti_units::{Kilograms, KgPerMol, M2PerSecond};
+use canti_units::{KgPerMol, Kilograms, M2PerSecond};
 
 use crate::error::{ensure_positive, BioError};
 
@@ -175,9 +175,12 @@ mod tests {
     fn custom_analyte_validation() {
         assert!(Analyte::new("x", KgPerMol::from_daltons(0.0), M2PerSecond::new(1e-11)).is_err());
         assert!(Analyte::new("x", KgPerMol::from_daltons(1e3), M2PerSecond::new(-1.0)).is_err());
-        assert!(
-            Analyte::new("x", KgPerMol::from_daltons(f64::NAN), M2PerSecond::new(1e-11)).is_err()
-        );
+        assert!(Analyte::new(
+            "x",
+            KgPerMol::from_daltons(f64::NAN),
+            M2PerSecond::new(1e-11)
+        )
+        .is_err());
         let a = Analyte::new("x", KgPerMol::from_daltons(1e3), M2PerSecond::new(1e-11));
         assert!(a.is_ok());
     }

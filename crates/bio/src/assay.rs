@@ -40,9 +40,9 @@ impl AssayPhase {
     #[must_use]
     pub fn duration(&self) -> Seconds {
         match *self {
-            Self::Baseline { duration } | Self::Wash { duration } | Self::Inject { duration, .. } => {
-                duration
-            }
+            Self::Baseline { duration }
+            | Self::Wash { duration }
+            | Self::Inject { duration, .. } => duration,
         }
     }
 
@@ -159,7 +159,9 @@ impl AssayProtocol {
                 return phase.concentration();
             }
         }
-        self.phases.last().map_or(Molar::zero(), AssayPhase::concentration)
+        self.phases
+            .last()
+            .map_or(Molar::zero(), AssayPhase::concentration)
     }
 
     /// Integrates Langmuir kinetics through the protocol with sample
@@ -244,10 +246,7 @@ impl Sensorgram {
     /// Maximum coverage reached.
     #[must_use]
     pub fn peak_coverage(&self) -> f64 {
-        self.samples
-            .iter()
-            .map(|s| s.coverage)
-            .fold(0.0, f64::max)
+        self.samples.iter().map(|s| s.coverage).fold(0.0, f64::max)
     }
 
     /// Final coverage.
@@ -264,7 +263,12 @@ impl Sensorgram {
         }
         let idx = self
             .samples
-            .binary_search_by(|s| s.time.value().partial_cmp(&t.value()).expect("finite times"))
+            .binary_search_by(|s| {
+                s.time
+                    .value()
+                    .partial_cmp(&t.value())
+                    .expect("finite times")
+            })
             .unwrap_or_else(|i| i.min(self.samples.len() - 1));
         Some(self.samples[idx].coverage)
     }

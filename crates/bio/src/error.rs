@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = BioError::NonPositive { what: "k_on", value: -1.0 };
+        let e = BioError::NonPositive {
+            what: "k_on",
+            value: -1.0,
+        };
         assert_eq!(e.to_string(), "k_on must be positive, got -1");
         let e = BioError::CoverageOutOfRange { value: 1.5 };
         assert_eq!(e.to_string(), "coverage must lie in [0, 1], got 1.5");

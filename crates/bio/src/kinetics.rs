@@ -278,10 +278,15 @@ impl CompetitiveKinetics {
 
     /// Instantaneous rates (dθ₁/dt, dθ₂/dt).
     #[must_use]
-    pub fn rates(&self, state: CompetitiveState, c_target: Molar, c_interferent: Molar) -> (f64, f64) {
+    pub fn rates(
+        &self,
+        state: CompetitiveState,
+        c_target: Molar,
+        c_interferent: Molar,
+    ) -> (f64, f64) {
         let free = (1.0 - state.total()).max(0.0);
-        let r1 = self.target.k_on * c_target.value().max(0.0) * free
-            - self.target.k_off * state.target;
+        let r1 =
+            self.target.k_on * c_target.value().max(0.0) * free - self.target.k_off * state.target;
         let r2 = self.interferent.k_on * c_interferent.value().max(0.0) * free
             - self.interferent.k_off * state.interferent;
         (r1, r2)
@@ -384,7 +389,10 @@ mod tests {
             theta = k.step(theta, c, dt);
         }
         let direct = k.coverage_at(c, 0.0, Seconds::new(3600.0));
-        assert!((theta - direct).abs() < 1e-12, "exact stepper == closed form");
+        assert!(
+            (theta - direct).abs() < 1e-12,
+            "exact stepper == closed form"
+        );
     }
 
     #[test]
@@ -472,7 +480,9 @@ mod tests {
         let interferent = BindingConstants::new(1e4, 1e-3).unwrap();
         let comp = CompetitiveKinetics::new(target, interferent);
         let alone = comp.equilibrium(nm(1.0), Molar::zero()).target;
-        let crowded = comp.equilibrium(nm(1.0), Molar::from_micromolar(100.0)).target;
+        let crowded = comp
+            .equilibrium(nm(1.0), Molar::from_micromolar(100.0))
+            .target;
         assert!(crowded < alone, "competition must reduce target coverage");
     }
 }

@@ -221,7 +221,10 @@ mod tests {
     fn kinematic_viscosity_and_vacuum() {
         let air = Liquid::air();
         let nu = air.kinematic_viscosity().unwrap();
-        assert!((nu - 1.56e-5).abs() / 1.56e-5 < 0.05, "air nu ~ 1.56e-5, got {nu}");
+        assert!(
+            (nu - 1.56e-5).abs() / 1.56e-5 < 0.05,
+            "air nu ~ 1.56e-5, got {nu}"
+        );
         assert!(Liquid::vacuum().kinematic_viscosity().is_none());
         assert!(Liquid::vacuum().is_vacuum());
         assert!(!air.is_vacuum());

@@ -83,9 +83,9 @@ impl FoulingModel {
     /// Never fails in practice; mirrors [`Self::new`].
     pub fn serum_background() -> Result<Self, BioError> {
         Self::new(
-            1e2,   // k_on, 1/(M s) — weak
-            1e-2,  // k_off, 1/s  -> KD = 100 uM
-            5e-2,  // irreversible, 1/(M s)
+            1e2,  // k_on, 1/(M s) — weak
+            1e-2, // k_off, 1/s  -> KD = 100 uM
+            5e-2, // irreversible, 1/(M s)
             SurfaceStress::from_millinewtons_per_meter(1.0),
         )
     }
@@ -133,8 +133,7 @@ impl FoulingModel {
         ensure_positive("time step", dt.value())?;
         let reversible = self.reversible.step(state.reversible, c, dt);
         let rate = self.k_irreversible * c.value().max(0.0);
-        let irreversible =
-            1.0 - (1.0 - state.irreversible) * (-rate * dt.value()).exp();
+        let irreversible = 1.0 - (1.0 - state.irreversible) * (-rate * dt.value()).exp();
         Ok(FoulingState {
             reversible,
             irreversible,
@@ -210,8 +209,7 @@ mod tests {
         let state = m.coverage_at(serum_conc(), Seconds::new(600.0));
         let sigma = m.surface_stress(state);
         assert!(
-            sigma.as_millinewtons_per_meter() > 0.05
-                && sigma.as_millinewtons_per_meter() <= 1.0,
+            sigma.as_millinewtons_per_meter() > 0.05 && sigma.as_millinewtons_per_meter() <= 1.0,
             "fouling stress {} mN/m",
             sigma.as_millinewtons_per_meter()
         );

@@ -183,9 +183,8 @@ mod tests {
             .map(|i| 1e-6 * (((i * 2654435761usize) % 1000) as f64 / 500.0 - 1.0))
             .collect();
         let record = FrequencyRecord::new(samples, Seconds::new(0.1)).unwrap();
-        let lod =
-            MassDetectionLimit::from_allan(&record, Hertz::from_kilohertz(100.0), &loading)
-                .unwrap();
+        let lod = MassDetectionLimit::from_allan(&record, Hertz::from_kilohertz(100.0), &loading)
+            .unwrap();
         assert!(lod.curve.len() > 5);
         let (tau_best, m_best) = lod.best().unwrap();
         // best averaging time is longer than the base interval

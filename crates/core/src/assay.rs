@@ -11,9 +11,9 @@
 //! the electrical experiments.
 
 use canti_analog::noise::WhiteNoise;
+use canti_bio::analyte::Analyte;
 use canti_bio::assay::Sensorgram;
 use canti_bio::receptor::ReceptorLayer;
-use canti_bio::analyte::Analyte;
 use canti_obs::Tracer;
 use canti_units::{Hertz, Seconds, SurfaceStress};
 
@@ -304,15 +304,18 @@ mod tests {
             StaticReadoutConfig::default(),
         )
         .unwrap();
-        let trace = run_static_assay(&mut sys, &ReceptorLayer::anti_igg(), &sensorgram(), 100)
-            .unwrap();
+        let trace =
+            run_static_assay(&mut sys, &ReceptorLayer::anti_igg(), &sensorgram(), 100).unwrap();
         assert_eq!(trace.unit, "V");
         assert_eq!(trace.points.len(), sensorgram().len());
         let peak = trace.peak_signal();
         assert!(peak.abs() > 1e-3, "binding must move the output: {peak} V");
         // baseline flat-ish: before injection the output stays near zero
         let baseline = trace.output_at(Seconds::new(20.0)).unwrap();
-        assert!(baseline.abs() < peak.abs() / 5.0, "baseline {baseline} vs peak {peak}");
+        assert!(
+            baseline.abs() < peak.abs() / 5.0,
+            "baseline {baseline} vs peak {peak}"
+        );
         assert!(run_static_assay(&mut sys, &ReceptorLayer::anti_igg(), &sensorgram(), 0).is_err());
     }
 
@@ -330,8 +333,7 @@ mod tests {
             .unwrap()
         };
         let sg = sensorgram();
-        let plain =
-            run_static_assay(&mut fresh(), &ReceptorLayer::anti_igg(), &sg, 100).unwrap();
+        let plain = run_static_assay(&mut fresh(), &ReceptorLayer::anti_igg(), &sg, 100).unwrap();
 
         let ring = Arc::new(RingCollector::new(64));
         let tracer = Tracer::new(

@@ -363,8 +363,8 @@ impl AutonomousInstrument {
         }
         // settle + data bursts: 2·n samples, one tick each (a slow
         // channel inflates the cost per sample)
-        let ticks =
-            (2 * samples_per_channel as u64).saturating_mul(u64::from(faults.latency_factor.max(1)));
+        let ticks = (2 * samples_per_channel as u64)
+            .saturating_mul(u64::from(faults.latency_factor.max(1)));
         for _ in 0..ticks {
             if self.sequencer.tick() {
                 let reason = format!(
@@ -382,8 +382,9 @@ impl AutonomousInstrument {
             Ok(v) if !v.value().is_finite() => AttemptOutcome::BadOutput {
                 reason: format!("non-finite output on channel {ch}"),
             },
-            Ok(v) if recovery_active
-                && v.value().abs() >= 0.999 * self.system.config().supply_rail =>
+            Ok(v)
+                if recovery_active
+                    && v.value().abs() >= 0.999 * self.system.config().supply_rail =>
             {
                 AttemptOutcome::BadOutput {
                     reason: format!("railed output on channel {ch} ({v})"),
@@ -470,7 +471,10 @@ impl AutonomousInstrument {
             .handle(SequencerEvent::StartScan)
             .map_err(CoreError::Digital)?;
         if matches!(self.sequencer.state(), SequencerState::Fault { .. }) {
-            let reason = format!("scan triggered in invalid state: {:?}", self.sequencer.state());
+            let reason = format!(
+                "scan triggered in invalid state: {:?}",
+                self.sequencer.state()
+            );
             self.tracer
                 .event("scan_fault", &[("reason", reason.as_str().into())]);
             return Err(CoreError::Config { reason });
@@ -496,8 +500,12 @@ impl AutonomousInstrument {
                     }
                     let mut attempt: u32 = 0;
                     let resolved: Result<Volts, String> = loop {
-                        let (outcome, span) =
-                            self.measure_attempt(ch, sigmas[ch], samples_per_channel, recovery_active);
+                        let (outcome, span) = self.measure_attempt(
+                            ch,
+                            sigmas[ch],
+                            samples_per_channel,
+                            recovery_active,
+                        );
                         match outcome {
                             AttemptOutcome::Ok(v) => {
                                 span.end();
@@ -506,8 +514,10 @@ impl AutonomousInstrument {
                             AttemptOutcome::Error(e) => {
                                 // configuration-level failure: never retried
                                 let _ = self.sequencer.handle(SequencerEvent::MeasurementFailed);
-                                self.tracer
-                                    .event("scan_fault", &[("reason", e.to_string().as_str().into())]);
+                                self.tracer.event(
+                                    "scan_fault",
+                                    &[("reason", e.to_string().as_str().into())],
+                                );
                                 return Err(e);
                             }
                             AttemptOutcome::BadOutput { reason } => {
@@ -646,7 +656,9 @@ mod tests {
 
         let mut sigmas = [SurfaceStress::zero(); CHANNELS];
         sigmas[1] = SurfaceStress::from_millinewtons_per_meter(4.0);
-        let baseline = inst.run_scan([SurfaceStress::zero(); CHANNELS], 8_000).unwrap();
+        let baseline = inst
+            .run_scan([SurfaceStress::zero(); CHANNELS], 8_000)
+            .unwrap();
         let report = inst.run_scan(sigmas, 8_000).unwrap();
         assert_eq!(inst.scans_completed(), 2);
         assert_eq!(inst.state(), &SequencerState::Idle);
@@ -682,7 +694,9 @@ mod tests {
         // the fault is recoverable: reset, power back on, scan gently
         inst.reset();
         inst.power_on().unwrap();
-        let report = inst.run_scan([SurfaceStress::zero(); CHANNELS], 40).unwrap();
+        let report = inst
+            .run_scan([SurfaceStress::zero(); CHANNELS], 40)
+            .unwrap();
         assert!(report.outputs[0].value().is_finite());
     }
 
@@ -724,7 +738,8 @@ mod tests {
         let mut inst = instrument();
         inst.set_tracer(tracer);
         inst.power_on().unwrap();
-        inst.run_scan([SurfaceStress::zero(); CHANNELS], 40).unwrap();
+        inst.run_scan([SurfaceStress::zero(); CHANNELS], 40)
+            .unwrap();
 
         let names: Vec<(EventKind, String)> = ring
             .events()
@@ -770,12 +785,16 @@ mod tests {
         inst.set_tracer(tracer);
         inst.power_on().unwrap();
         // zero samples -> NaN out of the chain -> MeasurementFailed
-        inst.run_scan([SurfaceStress::zero(); CHANNELS], 0).unwrap_err();
+        inst.run_scan([SurfaceStress::zero(); CHANNELS], 0)
+            .unwrap_err();
         let events = ring.events();
         let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
         // sequencer-side failure event, its fault transition, then the
         // instrument-side scan_fault — in that order
-        let mf = names.iter().position(|n| *n == "measurement_failed").unwrap();
+        let mf = names
+            .iter()
+            .position(|n| *n == "measurement_failed")
+            .unwrap();
         let sf = names.iter().position(|n| *n == "scan_fault").unwrap();
         assert!(mf < sf, "{names:?}");
         match events[sf].field("reason") {
@@ -783,8 +802,14 @@ mod tests {
             other => panic!("scan_fault must carry a reason, got {other:?}"),
         }
         // every opened span still closes on the error path
-        let starts = events.iter().filter(|e| e.kind == canti_obs::trace::EventKind::SpanStart).count();
-        let ends = events.iter().filter(|e| e.kind == canti_obs::trace::EventKind::SpanEnd).count();
+        let starts = events
+            .iter()
+            .filter(|e| e.kind == canti_obs::trace::EventKind::SpanStart)
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.kind == canti_obs::trace::EventKind::SpanEnd)
+            .count();
         assert_eq!(starts, ends, "{names:?}");
     }
 
@@ -829,7 +854,9 @@ mod tests {
             // succeeds and the report marks the channel Retried
             let plan = FaultPlan::new(vec![broken(1, 0, Some(1))]);
             let mut inst = injected(plan, RecoveryPolicy::resilient());
-            let report = inst.run_scan([SurfaceStress::zero(); CHANNELS], 2_000).unwrap();
+            let report = inst
+                .run_scan([SurfaceStress::zero(); CHANNELS], 2_000)
+                .unwrap();
             assert_eq!(report.status[1], ChannelStatus::Retried { attempts: 1 });
             assert!(report.outputs[1].value().is_finite());
             assert!(report.status[0] == ChannelStatus::Ok);
@@ -842,7 +869,9 @@ mod tests {
         fn permanent_fault_is_quarantined_and_the_scan_completes() {
             let plan = FaultPlan::new(vec![broken(2, 0, None)]);
             let mut inst = injected(plan, RecoveryPolicy::resilient());
-            let report = inst.run_scan([SurfaceStress::zero(); CHANNELS], 2_000).unwrap();
+            let report = inst
+                .run_scan([SurfaceStress::zero(); CHANNELS], 2_000)
+                .unwrap();
             assert!(matches!(
                 &report.status[2],
                 ChannelStatus::Quarantined { reason } if reason.contains("non-finite")
@@ -853,14 +882,21 @@ mod tests {
             // the quarantine persists: the next scan skips the channel
             // without consuming injector attempts
             let attempts_before = inst.take_fault_injector().unwrap().attempts(2);
-            let report2 = inst.run_scan([SurfaceStress::zero(); CHANNELS], 2_000).unwrap();
+            let report2 = inst
+                .run_scan([SurfaceStress::zero(); CHANNELS], 2_000)
+                .unwrap();
             assert!(report2.outputs[2].value().is_nan());
             assert_eq!(report2.quarantined_channels(), 1);
             assert_eq!(inst.quarantined(), [false, false, true, false]);
-            assert_eq!(attempts_before, 1 + inst.recovery_policy().max_retries as u64);
+            assert_eq!(
+                attempts_before,
+                1 + inst.recovery_policy().max_retries as u64
+            );
             // servicing the array lifts the quarantine
             inst.clear_quarantine();
-            let report3 = inst.run_scan([SurfaceStress::zero(); CHANNELS], 2_000).unwrap();
+            let report3 = inst
+                .run_scan([SurfaceStress::zero(); CHANNELS], 2_000)
+                .unwrap();
             assert!(report3.outputs[2].value().is_finite());
             assert!(report3.is_clean());
         }
@@ -896,7 +932,9 @@ mod tests {
             }]);
             inst.set_fault_injector(Box::new(PlannedInjector::new(plan)));
             inst.power_on().unwrap();
-            let report = inst.run_scan([SurfaceStress::zero(); CHANNELS], 2_000).unwrap();
+            let report = inst
+                .run_scan([SurfaceStress::zero(); CHANNELS], 2_000)
+                .unwrap();
             assert_eq!(report.status[1], ChannelStatus::Retried { attempts: 1 });
             assert!(report.outputs[1].value().is_finite());
             // channels 0, 2, 3 measured exactly once despite the restart
@@ -915,7 +953,9 @@ mod tests {
                 duration: None,
             }]);
             let mut inst = injected(plan, RecoveryPolicy::resilient());
-            let report = inst.run_scan([SurfaceStress::zero(); CHANNELS], 2_000).unwrap();
+            let report = inst
+                .run_scan([SurfaceStress::zero(); CHANNELS], 2_000)
+                .unwrap();
             assert!(matches!(
                 &report.status[0],
                 ChannelStatus::Quarantined { reason } if reason.contains("railed")
@@ -938,14 +978,19 @@ mod tests {
             let mut inst = injected(plan, RecoveryPolicy::resilient());
             inst.set_tracer(tracer);
             inst.set_metrics(Arc::clone(&metrics));
-            let report = inst.run_scan([SurfaceStress::zero(); CHANNELS], 2_000).unwrap();
+            let report = inst
+                .run_scan([SurfaceStress::zero(); CHANNELS], 2_000)
+                .unwrap();
             assert_eq!(report.quarantined_channels(), 1);
             assert_eq!(report.retried_channels(), 1);
 
             let names: Vec<String> = ring.events().iter().map(|e| e.name.clone()).collect();
             assert!(names.iter().any(|n| n == "fault_injected"), "{names:?}");
             assert!(names.iter().any(|n| n == "measure_retry"), "{names:?}");
-            assert!(names.iter().any(|n| n == "channel_quarantined"), "{names:?}");
+            assert!(
+                names.iter().any(|n| n == "channel_quarantined"),
+                "{names:?}"
+            );
             // ch 1: 3 failed attempts (2 retries); ch 3: 1 failure (1 retry)
             assert_eq!(metrics.counter("scan.retries").get(), 3);
             assert_eq!(metrics.counter("channel.quarantined").get(), 1);

@@ -235,9 +235,7 @@ mod tests {
             1e4
         )
         .is_err());
-        assert!(
-            BiosensorChip::new(g, b, None, Tesla::new(0.25), Volts::new(5.0), 0.0).is_err()
-        );
+        assert!(BiosensorChip::new(g, b, None, Tesla::new(0.25), Volts::new(5.0), 0.0).is_err());
     }
 
     #[test]

@@ -175,12 +175,7 @@ impl FourParamLogistic {
                 .map(|&(x, y)| (curve.predict(x) - y).powi(2))
                 .sum()
         };
-        let x0 = [
-            min_y,
-            max_y,
-            (max_dose / 10.0).max(1e-30).ln(),
-            1.0,
-        ];
+        let x0 = [min_y, max_y, (max_dose / 10.0).max(1e-30).ln(), 1.0];
         let scale = [span * 0.2, span * 0.2, 1.5, 0.4];
         let best = nelder_mead(sse, &x0, &scale, 800)?;
         Ok(Self {
@@ -198,8 +193,7 @@ mod tests {
 
     #[test]
     fn nelder_mead_minimizes_rosenbrock() {
-        let rosenbrock =
-            |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let rosenbrock = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
         let best = nelder_mead(rosenbrock, &[-1.2, 1.0], &[0.5, 0.5], 2000).unwrap();
         assert!((best[0] - 1.0).abs() < 1e-3, "{best:?}");
         assert!((best[1] - 1.0).abs() < 1e-3, "{best:?}");
@@ -244,7 +238,10 @@ mod tests {
         };
         assert_eq!(c.predict(0.0), 1.0);
         assert!((c.predict(1e9) - 5.0).abs() < 1e-6);
-        assert!((c.predict(10.0) - 3.0).abs() < 1e-12, "half response at EC50");
+        assert!(
+            (c.predict(10.0) - 3.0).abs() < 1e-12,
+            "half response at EC50"
+        );
     }
 
     #[test]

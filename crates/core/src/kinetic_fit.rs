@@ -202,8 +202,9 @@ mod tests {
         );
         let gram = protocol.run(&kinetics, Seconds::new(5.0), 0.0).unwrap();
         // zero concentration rejected
-        assert!(fit_sensorgram(&gram, Molar::zero(), Seconds::new(10.0), Seconds::new(20.0))
-            .is_err());
+        assert!(
+            fit_sensorgram(&gram, Molar::zero(), Seconds::new(10.0), Seconds::new(20.0)).is_err()
+        );
         // too few points in a phase
         assert!(fit_sensorgram(
             &gram,

@@ -32,8 +32,8 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
-pub mod autonomous;
 pub mod assay;
+pub mod autonomous;
 pub mod chip;
 pub mod fit;
 pub mod kinetic_fit;

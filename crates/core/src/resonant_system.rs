@@ -293,7 +293,12 @@ impl ResonantCantileverSystem {
         )?;
         let limiter = NonlinearLimiter::new(config.limiter_limit, config.limiter_gain)?;
         let coil = chip.coil().expect("checked above");
-        let buffer = ClassAbBuffer::new(config.buffer_i_max, coil.resistance(), config.buffer_slew, fs)?;
+        let buffer = ClassAbBuffer::new(
+            config.buffer_i_max,
+            coil.resistance(),
+            config.buffer_slew,
+            fs,
+        )?;
         let thermal_force = WhiteNoise::new(
             resonator.thermal_force_noise_density(environment.temperature),
             fs,
@@ -317,10 +322,7 @@ impl ResonantCantileverSystem {
             limiter,
             buffer,
             thermal_force,
-            state: ResonatorState {
-                x: 1e-12,
-                v: 0.0,
-            },
+            state: ResonatorState { x: 1e-12, v: 0.0 },
             added_mass: Kilograms::zero(),
         })
     }
@@ -369,9 +371,7 @@ impl ResonantCantileverSystem {
     pub fn set_added_mass(&mut self, dm: Kilograms) {
         self.added_mass = dm;
         let dm_eff = dm.value().max(0.0) * MassPlacement::Distributed.modal_weight();
-        self.resonator = self
-            .unloaded
-            .with_added_tip_mass(Kilograms::new(dm_eff));
+        self.resonator = self.unloaded.with_added_tip_mass(Kilograms::new(dm_eff));
     }
 
     /// Advances the loop by `n` samples, recording waveforms.
@@ -450,7 +450,10 @@ impl ResonantCantileverSystem {
         tracer: &Tracer,
     ) -> Result<OscillationSummary, CoreError> {
         let n = (periods as f64 * self.config.oversample) as usize;
-        let ring_up = tracer.span("ring_up", &[("periods", periods.into()), ("samples", n.into())]);
+        let ring_up = tracer.span(
+            "ring_up",
+            &[("periods", periods.into()), ("samples", n.into())],
+        );
         let record = self.run(n);
         ring_up.end();
         let amplitude = record.tail_amplitude(0.2);
@@ -556,12 +559,9 @@ impl ResonantCantileverSystem {
                     record.push(self.bridge.output_from_gauges(vb, deltas).value());
                 }
             }
-            let amp = canti_analog::spectrum::goertzel_amplitude(
-                &record,
-                self.sample_rate,
-                f.value(),
-            )
-            .map_err(CoreError::Analog)?;
+            let amp =
+                canti_analog::spectrum::goertzel_amplitude(&record, self.sample_rate, f.value())
+                    .map_err(CoreError::Analog)?;
             out.push((f, amp / drive_amplitude.value()));
         }
         Ok(out)
@@ -711,10 +711,7 @@ mod tests {
         let dc_ish = response[0].1;
         let peak = response[peak_idx].1;
         let ratio = peak / dc_ish;
-        assert!(
-            (ratio / q - 1.0).abs() < 0.3,
-            "peak/DC {ratio} vs Q {q}"
-        );
+        assert!((ratio / q - 1.0).abs() < 0.3, "peak/DC {ratio} vs Q {q}");
         // Nyquist guard
         let too_fast = [canti_units::Hertz::new(sys.sample_rate())];
         assert!(sys

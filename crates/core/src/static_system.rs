@@ -506,10 +506,7 @@ mod tests {
     fn transfer_is_microvolt_scale_at_bridge() {
         let sys = system();
         // 5 mN/m -> uV-scale at bridge, mV-to-tens-of-mV at output
-        let v_bridge = sys
-            .bridge_output(0, mn(5.0))
-            .unwrap()
-            .value()
+        let v_bridge = sys.bridge_output(0, mn(5.0)).unwrap().value()
             - sys.bridge_output(0, SurfaceStress::zero()).unwrap().value();
         assert!(
             v_bridge.abs() > 1e-6 && v_bridge.abs() < 1e-3,
@@ -541,7 +538,10 @@ mod tests {
     fn output_tracks_stress_linearly() {
         let mut sys = system();
         sys.calibrate_offsets().unwrap();
-        let v0 = sys.measure(0, SurfaceStress::zero(), 15_000).unwrap().value();
+        let v0 = sys
+            .measure(0, SurfaceStress::zero(), 15_000)
+            .unwrap()
+            .value();
         let v1 = sys.measure(0, mn(2.0), 15_000).unwrap().value() - v0;
         let v2 = sys.measure(0, mn(4.0), 15_000).unwrap().value() - v0;
         assert!(v1.abs() > 1e-3, "2 mN/m gives {v1} V");

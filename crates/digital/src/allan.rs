@@ -43,7 +43,10 @@ impl FrequencyRecord {
     ) -> Result<Self, DigitalError> {
         ensure_positive("nominal frequency", nominal)?;
         Self::new(
-            frequencies.iter().map(|f| (f - nominal) / nominal).collect(),
+            frequencies
+                .iter()
+                .map(|f| (f - nominal) / nominal)
+                .collect(),
             tau0,
         )
     }
@@ -229,12 +232,10 @@ mod tests {
         assert!(rec.allan_variance(0).is_err());
         assert!(rec.allan_variance(5).is_err());
         assert!(FrequencyRecord::new(vec![], Seconds::zero()).is_err());
-        assert!(
-            FrequencyRecord::new(vec![0.0, 0.0], Seconds::new(1.0))
-                .unwrap()
-                .allan_curve()
-                .is_err()
-        );
+        assert!(FrequencyRecord::new(vec![0.0, 0.0], Seconds::new(1.0))
+            .unwrap()
+            .allan_curve()
+            .is_err());
         assert!(FrequencyRecord::from_absolute(&[1.0], 0.0, Seconds::new(1.0)).is_err());
     }
 }

@@ -148,7 +148,9 @@ mod tests {
     fn hysteresis_rejects_small_chatter() {
         let mut det = ZeroCrossingDetector::new(0.2).unwrap();
         // noise-like small signal never crosses +/-0.2
-        let wave: Vec<f64> = (0..1000).map(|i| 0.1 * ((i % 7) as f64 - 3.0) / 3.0).collect();
+        let wave: Vec<f64> = (0..1000)
+            .map(|i| 0.1 * ((i % 7) as f64 - 3.0) / 3.0)
+            .collect();
         assert!(det.rising_edges(&wave).is_empty());
     }
 

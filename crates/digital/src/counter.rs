@@ -214,7 +214,7 @@ mod tests {
         let fs = 2e6;
         let f_true = 73_456.7;
         let wave = sine(400_000, fs, f_true); // 0.2 s
-        // gated with 0.1 s gate: +/- 10 Hz
+                                              // gated with 0.1 s gate: +/- 10 Hz
         let gated = GatedCounter::new(Seconds::new(0.1)).unwrap();
         let fg = gated.measure(&wave, fs).unwrap();
         // reciprocal over ~0.1 s (7345 periods) against 10 MHz reference

@@ -310,7 +310,10 @@ impl MeasurementSequencer {
     /// Advances the watchdog one tick; trips to `Fault` when a state
     /// overstays its budget. Returns `true` if the watchdog fired.
     pub fn tick(&mut self) -> bool {
-        if matches!(self.state, SequencerState::Idle | SequencerState::Fault { .. }) {
+        if matches!(
+            self.state,
+            SequencerState::Idle | SequencerState::Fault { .. }
+        ) {
             // Idle may legitimately wait forever; Fault is already latched.
             return false;
         }
@@ -351,7 +354,11 @@ mod tests {
         let mut seq = ready();
         assert_eq!(seq.state(), &S::Idle);
         assert_eq!(seq.handle(E::StartScan).unwrap(), A::MeasureChannel(0));
-        for expected in [A::MeasureChannel(1), A::MeasureChannel(2), A::MeasureChannel(3)] {
+        for expected in [
+            A::MeasureChannel(1),
+            A::MeasureChannel(2),
+            A::MeasureChannel(3),
+        ] {
             assert_eq!(seq.handle(E::ChannelDone).unwrap(), expected);
         }
         assert_eq!(seq.handle(E::ChannelDone).unwrap(), A::Report);
@@ -581,7 +588,10 @@ mod tests {
                 ])
             );
             let events = ring.events();
-            assert_eq!(events[3].field("state"), Some(&JsonValue::Str("scanning".into())));
+            assert_eq!(
+                events[3].field("state"),
+                Some(&JsonValue::Str("scanning".into()))
+            );
             assert_eq!(events[3].field("ticks"), Some(&JsonValue::U64(4)));
             assert_eq!(
                 events[4].field("reason"),

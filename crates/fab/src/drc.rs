@@ -334,7 +334,10 @@ mod tests {
         assert!(
             violations.is_empty(),
             "generated cell must be DRC-clean, got: {:?}",
-            violations.iter().map(Violation::to_string).collect::<Vec<_>>()
+            violations
+                .iter()
+                .map(Violation::to_string)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -394,7 +397,10 @@ mod tests {
         // route metal2 straight across the tip trench
         cell.add(MaskLayer::Metal2, Rect::from_um(140.0, 60.0, 170.0, 64.0));
         let v = mems_rules().run(&cell);
-        assert!(v.iter().any(|v| v.rule.contains("MET2 not over FS")), "{v:?}");
+        assert!(
+            v.iter().any(|v| v.rule.contains("MET2 not over FS")),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -144,7 +144,10 @@ mod tests {
     fn cif_contains_mems_layers_and_footer() {
         let cif = to_cif(&cantilever_cell(150.0, 140.0));
         for code in ["EB", "FD", "FS", "NWELL", "MET2"] {
-            assert!(cif.contains(&format!("L {code};")), "{code} missing:\n{cif}");
+            assert!(
+                cif.contains(&format!("L {code};")),
+                "{code} missing:\n{cif}"
+            );
         }
         assert!(cif.trim_end().ends_with('E'));
         assert!(cif.contains("DS 1 1 2;"));
@@ -157,8 +160,14 @@ mod tests {
         assert!(from_cif("x", "L EB; B 10 10 0;").is_err(), "short box");
         assert!(from_cif("x", "L EB; B ten 10 0 0;").is_err(), "non-numeric");
         assert!(from_cif("x", "GARBAGE!").is_err());
-        assert!(from_cif("x", "L EB; B 0 20 0 0;").is_err(), "degenerate box");
-        assert!(from_cif("x", "L EB; B 3 10 0 0;").is_err(), "odd doubled width");
+        assert!(
+            from_cif("x", "L EB; B 0 20 0 0;").is_err(),
+            "degenerate box"
+        );
+        assert!(
+            from_cif("x", "L EB; B 3 10 0 0;").is_err(),
+            "odd doubled width"
+        );
     }
 
     #[test]
@@ -174,6 +183,9 @@ mod tests {
         cell.add(MaskLayer::Metal1, Rect::new(0, 0, 7, 3).expect("rect"));
         cell.add(MaskLayer::Metal1, Rect::new(-13, -5, 0, 0).expect("rect"));
         let back = from_cif("odd", &to_cif(&cell)).expect("parse");
-        assert_eq!(back.shapes_on(MaskLayer::Metal1), cell.shapes_on(MaskLayer::Metal1));
+        assert_eq!(
+            back.shapes_on(MaskLayer::Metal1),
+            cell.shapes_on(MaskLayer::Metal1)
+        );
     }
 }

@@ -269,7 +269,13 @@ mod tests {
         let mut lib = Library::new();
         let mut leaf = Cell::new("leaf");
         leaf.add(MaskLayer::Metal1, Rect::new(0, 0, 10, 10).unwrap());
-        lib.insert("leaf", HierCell { shapes: leaf, instances: vec![] });
+        lib.insert(
+            "leaf",
+            HierCell {
+                shapes: leaf,
+                instances: vec![],
+            },
+        );
         for (name, dx) in [("m1", 100), ("m2", 200)] {
             lib.insert(
                 name,
@@ -288,8 +294,16 @@ mod tests {
             HierCell {
                 shapes: Cell::new("top"),
                 instances: vec![
-                    Instance { child: "m1".to_owned(), dx: 0, dy: 0 },
-                    Instance { child: "m2".to_owned(), dx: 0, dy: 0 },
+                    Instance {
+                        child: "m1".to_owned(),
+                        dx: 0,
+                        dy: 0,
+                    },
+                    Instance {
+                        child: "m2".to_owned(),
+                        dx: 0,
+                        dy: 0,
+                    },
                 ],
             },
         );

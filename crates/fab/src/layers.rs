@@ -9,16 +9,7 @@
 use canti_units::Meters;
 
 /// All mask layers of the adapted 0.8 µm 2P2M process.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum MaskLayer {
     /// N-well implant — doubles as the electrochemical etch-stop defining

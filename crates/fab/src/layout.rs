@@ -11,9 +11,7 @@ use crate::layers::MaskLayer;
 use crate::FabError;
 
 /// An axis-aligned rectangle on the nm grid; `x0 < x1`, `y0 < y1`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Rect {
     /// Left edge, nm.
     pub x0: i64,
@@ -312,12 +310,7 @@ pub fn cantilever_cell(length_um: f64, width_um: f64) -> Cell {
     );
     cell.add(
         MaskLayer::Metal2,
-        Rect::from_um(
-            length_um - 3.0 - rail,
-            1.0,
-            length_um - 3.0,
-            width_um - 1.0,
-        ),
+        Rect::from_um(length_um - 3.0 - rail, 1.0, length_um - 3.0, width_um - 1.0),
     );
 
     // Metal-1 bridge wiring near the clamped edge (on the anchor side).
@@ -351,8 +344,7 @@ pub fn cantilever_cell_for_wafer(
 ) -> Cell {
     let cell = cantilever_cell(length_um, width_um);
     let etch_depth = canti_units::Meters::from_micrometers((wafer_um - membrane_um).max(1.0));
-    let inset_um =
-        crate::anisotropic::sidewall_inset(etch_depth).as_micrometers() + 20.0;
+    let inset_um = crate::anisotropic::sidewall_inset(etch_depth).as_micrometers() + 20.0;
     // replace the schematic backside window with the honest one around the
     // dielectric etch window
     let fd = cell.shapes_on(MaskLayer::FsDielectricEtch)[0];

@@ -362,6 +362,9 @@ mod tests {
         assert!(before.contains("bulk silicon"));
         assert!(before.contains("passivation"));
         assert!(after.contains("beam silicon"));
-        assert!(!after.contains("passivation"), "dielectrics stripped:\n{after}");
+        assert!(
+            !after.contains("passivation"),
+            "dielectrics stripped:\n{after}"
+        );
     }
 }

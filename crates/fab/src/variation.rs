@@ -77,9 +77,7 @@ impl Distribution {
                 }
                 let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
                 let u2: f64 = rng.gen();
-                mean + sigma
-                    * (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * u2).cos()
+                mean + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
             }
             Self::Uniform { lo, hi } => rng.gen_range(lo..hi),
             Self::Constant { value } => value,
@@ -181,8 +179,9 @@ impl MonteCarlo {
     pub fn run<T>(&self, mut f: impl FnMut(&mut ChaCha8Rng, usize) -> T) -> Vec<T> {
         (0..self.trials)
             .map(|i| {
-                let mut rng =
-                    ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64);
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64,
+                );
                 f(&mut rng, i)
             })
             .collect()
@@ -193,7 +192,10 @@ impl MonteCarlo {
     /// # Errors
     ///
     /// Returns [`FabError`] if statistics cannot be formed (single trial).
-    pub fn run_stats(&self, f: impl FnMut(&mut ChaCha8Rng, usize) -> f64) -> Result<Stats, FabError> {
+    pub fn run_stats(
+        &self,
+        f: impl FnMut(&mut ChaCha8Rng, usize) -> f64,
+    ) -> Result<Stats, FabError> {
         let samples = self.run(f);
         Stats::of(&samples).ok_or(FabError::BadDistribution {
             reason: "need at least two trials for statistics",
@@ -233,16 +235,33 @@ mod tests {
 
     #[test]
     fn distribution_validation() {
-        assert!(Distribution::Normal { mean: 0.0, sigma: -1.0 }.validate().is_err());
-        assert!(Distribution::Uniform { lo: 1.0, hi: 1.0 }.validate().is_err());
-        assert!(Distribution::Constant { value: f64::NAN }.validate().is_err());
-        assert!(Distribution::Normal { mean: 5.0, sigma: 0.1 }.validate().is_ok());
+        assert!(Distribution::Normal {
+            mean: 0.0,
+            sigma: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Distribution::Uniform { lo: 1.0, hi: 1.0 }
+            .validate()
+            .is_err());
+        assert!(Distribution::Constant { value: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(Distribution::Normal {
+            mean: 5.0,
+            sigma: 0.1
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
     fn normal_sampling_statistics() {
         let mc = MonteCarlo::new(1, 20_000).unwrap();
-        let d = Distribution::Normal { mean: 5.0, sigma: 0.25 };
+        let d = Distribution::Normal {
+            mean: 5.0,
+            sigma: 0.25,
+        };
         let stats = mc.run_stats(|rng, _| d.sample(rng)).unwrap();
         assert!((stats.mean - 5.0).abs() < 0.01, "mean {}", stats.mean);
         assert!((stats.std_dev - 0.25).abs() < 0.01, "std {}", stats.std_dev);
@@ -266,7 +285,10 @@ mod tests {
     #[test]
     fn trials_are_order_independent_and_seeded() {
         let mc = MonteCarlo::new(9, 10).unwrap();
-        let d = Distribution::Normal { mean: 0.0, sigma: 1.0 };
+        let d = Distribution::Normal {
+            mean: 0.0,
+            sigma: 1.0,
+        };
         let a = mc.run(|rng, _| d.sample(rng));
         let b = mc.run(|rng, _| d.sample(rng));
         assert_eq!(a, b, "same seed, same draws");

@@ -266,7 +266,10 @@ mod tests {
     fn stats_track_entries_and_bytes() {
         let cache = PrecomputeCache::new();
         let empty = cache.stats();
-        assert_eq!((empty.entries, empty.bytes_estimate, empty.evictions), (0, 0, 0));
+        assert_eq!(
+            (empty.entries, empty.bytes_estimate, empty.evictions),
+            (0, 0, 0)
+        );
         cache.resonant_baseline().unwrap();
         cache.static_chain(&StaticReadoutConfig::default()).unwrap();
         let s = cache.stats();

@@ -251,7 +251,9 @@ pub(crate) fn execute(
             dist.validate().map_err(|e| e.to_string())?;
             let thickness = dist.sample(rng);
             if thickness <= 0.0 {
-                return Err(format!("drawn core thickness {thickness} m is non-physical"));
+                return Err(format!(
+                    "drawn core thickness {thickness} m is non-physical"
+                ));
             }
             let base = timed_stage(obs, "precompute", || cache.resonant_baseline())
                 .map_err(|e| e.to_string())?;
@@ -281,7 +283,10 @@ pub(crate) fn execute(
                 ("min_detectable_kg", min_mass.value()),
             ])
         }
-        JobSpec::CrossReactivity { target, interferent } => {
+        JobSpec::CrossReactivity {
+            target,
+            interferent,
+        } => {
             let chain = timed_stage(obs, "precompute", || {
                 cache.static_chain(&StaticReadoutConfig::default())
             })
@@ -305,7 +310,10 @@ pub(crate) fn execute(
                 ("target_coverage", eq.target),
                 ("interferent_coverage", eq.interferent),
                 ("specific_err_pct", specific_err_pct),
-                ("output_volts", chain.transfer_volts_per_stress * sigma.value()),
+                (
+                    "output_volts",
+                    chain.transfer_volts_per_stress * sigma.value(),
+                ),
             ])
         }
         JobSpec::Probe(mode) => match mode {
@@ -341,8 +349,7 @@ pub(crate) fn execute(
             let chip = BiosensorChip::paper_static_chip().map_err(|e| e.to_string())?;
             let system = StaticCantileverSystem::new(chip, StaticReadoutConfig::default())
                 .map_err(|e| e.to_string())?;
-            let mut instrument =
-                AutonomousInstrument::new(system).map_err(|e| e.to_string())?;
+            let mut instrument = AutonomousInstrument::new(system).map_err(|e| e.to_string())?;
             // when the batch is observed, the instrument's fault/recovery
             // events and counters flow into the farm's trace and metrics
             // streams (the obsctl fault-health gate reads them there)
@@ -432,10 +439,28 @@ mod tests {
     #[test]
     fn probe_jobs_are_deterministic_per_seed() {
         let cache = PrecomputeCache::new();
-        let a = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(5), &cache, None).unwrap();
-        let b = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(5), &cache, None).unwrap();
+        let a = execute(
+            &JobSpec::Probe(ProbeMode::Draws(16)),
+            &mut rng(5),
+            &cache,
+            None,
+        )
+        .unwrap();
+        let b = execute(
+            &JobSpec::Probe(ProbeMode::Draws(16)),
+            &mut rng(5),
+            &cache,
+            None,
+        )
+        .unwrap();
         assert_eq!(a, b);
-        let c = execute(&JobSpec::Probe(ProbeMode::Draws(16)), &mut rng(6), &cache, None).unwrap();
+        let c = execute(
+            &JobSpec::Probe(ProbeMode::Draws(16)),
+            &mut rng(6),
+            &cache,
+            None,
+        )
+        .unwrap();
         assert_ne!(a, c);
     }
 
@@ -449,7 +474,10 @@ mod tests {
         let m = execute(&spec, &mut rng(1), &cache, None).unwrap();
         let get = |n: &str| m.iter().find(|(k, _)| *k == n).unwrap().1;
         assert!((get("core_thickness_um") - 5.0).abs() < 1e-12);
-        assert!(get("f0_shift_rel").abs() < 1e-9, "nominal draw shifts nothing");
+        assert!(
+            get("f0_shift_rel").abs() < 1e-9,
+            "nominal draw shifts nothing"
+        );
         assert!(get("f0_hz") > 10e3);
         assert!(get("min_detectable_kg") > 0.0);
         // thicker beam -> stiffer -> higher f0: check monotonicity through

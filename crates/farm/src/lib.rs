@@ -220,10 +220,9 @@ impl Farm {
             |i| match (obs, &stage_histograms) {
                 (Some(o), Some((queue_wait, precompute, solve))) => {
                     queue_wait.record(o.clock().now_ns().saturating_sub(batch_start_ns));
-                    let job_span = o.tracer().span(
-                        "job",
-                        &[("job", i.into()), ("kind", jobs[i].kind().into())],
-                    );
+                    let job_span = o
+                        .tracer()
+                        .span("job", &[("job", i.into()), ("kind", jobs[i].kind().into())]);
                     let instruments = telemetry::JobInstruments {
                         tracer: o.tracer(),
                         metrics: o.metrics(),
@@ -246,8 +245,9 @@ impl Farm {
             o.metrics()
                 .counter("farm.jobs_failed")
                 .add(outcomes.len() as u64 - ok);
-            let (queue_wait, precompute, solve) =
-                stage_histograms.as_ref().expect("observer implies instruments");
+            let (queue_wait, precompute, solve) = stage_histograms
+                .as_ref()
+                .expect("observer implies instruments");
             FarmTelemetry {
                 workers: threads,
                 jobs: jobs.len(),
@@ -378,11 +378,11 @@ mod tests {
         assert_eq!(telemetry.workers, 4);
         assert_eq!(telemetry.queue_wait_ns.count, 12);
         assert_eq!(telemetry.solve_ns.count, 12);
-        assert_eq!(telemetry.precompute_ns.count, 0, "probe jobs skip the cache");
         assert_eq!(
-            telemetry.per_worker.iter().map(|w| w.jobs).sum::<u64>(),
-            12
+            telemetry.precompute_ns.count, 0,
+            "probe jobs skip the cache"
         );
+        assert_eq!(telemetry.per_worker.iter().map(|w| w.jobs).sum::<u64>(), 12);
         // trace stream: one batch span + one job span per job
         let events = ring.events();
         assert_eq!(events.first().map(|e| e.name.as_str()), Some("batch"));

@@ -117,8 +117,7 @@ where
                         stat.jobs += 1;
                         // a panic inside `lock` poisoning is irrelevant here:
                         // the slot content is what records job failure
-                        let mut slot =
-                            slots[i].lock().unwrap_or_else(PoisonError::into_inner);
+                        let mut slot = slots[i].lock().unwrap_or_else(PoisonError::into_inner);
                         *slot = match result {
                             Ok(v) => Slot::Done(v),
                             Err(payload) => Slot::Poisoned(payload),
@@ -225,6 +224,59 @@ mod tests {
         assert_eq!(out.len(), 40);
         assert_eq!(stats.len(), 4);
         assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 40);
+    }
+
+    #[test]
+    fn observed_empty_batch_reports_one_idle_worker() {
+        let clock = VirtualClock::new();
+        let (out, stats) = run_indexed_observed(0, 4, |i| i, Some(&clock as &dyn ObsClock));
+        assert_eq!(out, Vec::<usize>::new());
+        assert_eq!(
+            stats,
+            vec![WorkerStat::default()],
+            "n == 0 takes the sequential path: one worker, zero jobs, zero busy time"
+        );
+    }
+
+    #[test]
+    fn observed_pool_clamps_workers_to_jobs() {
+        // threads > n: only n worker slots are spawned, so the stats
+        // vector cannot report phantom idle workers.
+        let (out, stats) = run_indexed_observed(3, 16, |i| i * 2, None);
+        assert_eq!(out, vec![0, 2, 4]);
+        assert_eq!(stats.len(), 3, "workers = min(threads, n)");
+        assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 3);
+        assert!(
+            stats.iter().all(|s| s.busy_ns == 0),
+            "no clock, no busy time"
+        );
+    }
+
+    #[test]
+    fn wall_clock_accumulates_busy_time_but_an_unadvanced_virtual_clock_does_not() {
+        // The same spinning workload, observed under both clock kinds.
+        let spin = |_| {
+            let mut acc = 0u64;
+            for i in 0..50_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc)
+        };
+
+        let wall = canti_obs::WallClock::new();
+        let (_, stats) = run_indexed_observed(8, 2, spin, Some(&wall as &dyn ObsClock));
+        assert!(
+            stats.iter().map(|s| s.busy_ns).sum::<u64>() > 0,
+            "real work under a wall clock must accumulate busy time"
+        );
+
+        let frozen = VirtualClock::new();
+        let (_, stats) = run_indexed_observed(8, 2, spin, Some(&frozen as &dyn ObsClock));
+        assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 8);
+        assert!(
+            stats.iter().all(|s| s.busy_ns == 0),
+            "a virtual clock nothing advances reports zero busy time"
+        );
     }
 
     #[test]

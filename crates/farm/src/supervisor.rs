@@ -320,7 +320,9 @@ impl FarmSupervisor {
                 breaker.position = if left == 0 {
                     BreakerPosition::HalfOpen
                 } else {
-                    BreakerPosition::Open { cooldown_left: left }
+                    BreakerPosition::Open {
+                        cooldown_left: left,
+                    }
                 };
                 rejected += 1;
                 final_outcomes.push(Err(FarmError::BreakerOpen { job_index: i, kind }));
@@ -385,9 +387,7 @@ impl FarmSupervisor {
             o.metrics()
                 .counter("farm.jobs_rejected")
                 .add(rejected as u64);
-            o.metrics()
-                .counter("farm.breaker_trips")
-                .add(trips as u64);
+            o.metrics().counter("farm.breaker_trips").add(trips as u64);
             o.metrics()
                 .counter("farm.jobs_deadline")
                 .add(deadline_jobs as u64);
@@ -435,7 +435,10 @@ fn emit_breaker_event(
         &[
             ("kind", kind.into()),
             ("to", position.label().into()),
-            ("consecutive_failures", u64::from(consecutive_failures).into()),
+            (
+                "consecutive_failures",
+                u64::from(consecutive_failures).into(),
+            ),
         ],
     );
     o.metrics()
@@ -482,13 +485,11 @@ fn run_wave(
                     let elapsed = o.clock().now_ns().saturating_sub(t0);
                     ins.solve.record(job_span.end());
                     match deadline_ns {
-                        Some(deadline) if elapsed > deadline => {
-                            Err(FarmError::DeadlineExceeded {
-                                job_index: i,
-                                elapsed_ns: elapsed,
-                                deadline_ns: deadline,
-                            })
-                        }
+                        Some(deadline) if elapsed > deadline => Err(FarmError::DeadlineExceeded {
+                            job_index: i,
+                            elapsed_ns: elapsed,
+                            deadline_ns: deadline,
+                        }),
                         _ => outcome,
                     }
                 }
@@ -642,7 +643,10 @@ mod tests {
         assert_eq!(run2.rejected_jobs, 3);
         assert_eq!(&run2.attempts[..3], &[0, 0, 0]);
         assert_eq!(run2.attempts[3], 1);
-        assert!(run2.report.outcomes[3].is_ok(), "probe job must run and pass");
+        assert!(
+            run2.report.outcomes[3].is_ok(),
+            "probe job must run and pass"
+        );
         assert_eq!(
             sup.breaker_states(),
             vec![("probe", BreakerPosition::Closed)]
@@ -667,10 +671,7 @@ mod tests {
             run.report.outcomes[1],
             Err(FarmError::BreakerOpen { .. })
         ));
-        assert!(matches!(
-            run.report.outcomes[2],
-            Err(FarmError::Job { .. })
-        ));
+        assert!(matches!(run.report.outcomes[2], Err(FarmError::Job { .. })));
         assert!(matches!(
             run.report.outcomes[3],
             Err(FarmError::BreakerOpen { .. })

@@ -171,7 +171,11 @@ impl FarmTelemetry {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "telemetry: {} jobs on {} workers", self.jobs, self.workers);
+        let _ = writeln!(
+            out,
+            "telemetry: {} jobs on {} workers",
+            self.jobs, self.workers
+        );
         for (name, s) in self.stages() {
             let _ = writeln!(
                 out,
@@ -193,7 +197,11 @@ impl FarmTelemetry {
             self.cache.bytes_estimate
         );
         for (w, stat) in self.per_worker.iter().enumerate() {
-            let _ = writeln!(out, "  worker {w}: {} jobs, busy {} ns", stat.jobs, stat.busy_ns);
+            let _ = writeln!(
+                out,
+                "  worker {w}: {} jobs, busy {} ns",
+                stat.jobs, stat.busy_ns
+            );
         }
         out
     }
@@ -266,8 +274,14 @@ mod tests {
                 bytes_estimate: 24,
             },
             per_worker: vec![
-                WorkerStat { jobs: 3, busy_ns: 30 },
-                WorkerStat { jobs: 1, busy_ns: 10 },
+                WorkerStat {
+                    jobs: 3,
+                    busy_ns: 30,
+                },
+                WorkerStat {
+                    jobs: 1,
+                    busy_ns: 10,
+                },
             ],
         }
     }
@@ -275,7 +289,14 @@ mod tests {
     #[test]
     fn render_mentions_every_stage_and_worker() {
         let text = telemetry().render();
-        for needle in ["queue_wait", "precompute", "solve", "3 hits", "worker 0", "worker 1"] {
+        for needle in [
+            "queue_wait",
+            "precompute",
+            "solve",
+            "3 hits",
+            "worker 0",
+            "worker 1",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

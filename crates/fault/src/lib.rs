@@ -287,7 +287,10 @@ mod tests {
             event(2, FaultKind::BrokenCantilever, 0, None),
         ]);
         let mut inj = PlannedInjector::new(plan);
-        assert!(inj.next_faults(0).is_none(), "attempt 0 precedes the window");
+        assert!(
+            inj.next_faults(0).is_none(),
+            "attempt 0 precedes the window"
+        );
         assert!(inj.next_faults(0).adc_saturated, "attempt 1 inside");
         assert!(inj.next_faults(0).adc_saturated, "attempt 2 inside");
         assert!(inj.next_faults(0).is_none(), "attempt 3 past the window");

@@ -114,7 +114,10 @@ impl LorentzCoil {
     #[must_use]
     pub fn force(&self, field: Tesla, current: Amperes) -> Newtons {
         Newtons::new(
-            f64::from(self.turns) * field.value() * current.value() * self.transverse_length.value(),
+            f64::from(self.turns)
+                * field.value()
+                * current.value()
+                * self.transverse_length.value(),
         )
     }
 

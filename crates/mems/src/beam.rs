@@ -192,7 +192,8 @@ impl CompositeBeam {
     pub fn mode_frequency(&self, n: usize) -> Result<Hertz, MemsError> {
         let lambda = self.eigenvalue(n)?;
         let l = self.geometry.length().value();
-        let omega = lambda.powi(2) * (self.flexural_rigidity / (self.mass_per_length * l.powi(4))).sqrt();
+        let omega =
+            lambda.powi(2) * (self.flexural_rigidity / (self.mass_per_length * l.powi(4))).sqrt();
         Ok(Hertz::from_angular(omega))
     }
 
@@ -260,10 +261,15 @@ impl CompositeBeam {
     /// # Errors
     ///
     /// Returns [`MemsError`] for a position outside `[0, 1]`.
-    pub fn tip_load_deflection(&self, f: canti_units::Newtons, xi: f64) -> Result<Meters, MemsError> {
+    pub fn tip_load_deflection(
+        &self,
+        f: canti_units::Newtons,
+        xi: f64,
+    ) -> Result<Meters, MemsError> {
         crate::error::ensure_position(xi)?;
         let l = self.geometry.length().value();
-        let w = f.value() * l.powi(3) / (6.0 * self.flexural_rigidity) * (3.0 * xi * xi - xi.powi(3));
+        let w =
+            f.value() * l.powi(3) / (6.0 * self.flexural_rigidity) * (3.0 * xi * xi - xi.powi(3));
         Ok(Meters::new(w))
     }
 
@@ -327,7 +333,10 @@ mod tests {
         let e = Material::silicon_110().youngs_modulus().value();
         let expected = e * 50e-6 * (2e-6f64).powi(3) / (4.0 * (200e-6f64).powi(3));
         let k = b.spring_constant().value();
-        assert!((k - expected).abs() / expected < 1e-12, "k = {k}, expected {expected}");
+        assert!(
+            (k - expected).abs() / expected < 1e-12,
+            "k = {k}, expected {expected}"
+        );
     }
 
     #[test]
@@ -396,7 +405,8 @@ mod tests {
         )
         .unwrap();
         let two = CompositeBeam::with_model(&g2, ElasticModel::Beam).unwrap();
-        let rel = (one.flexural_rigidity() - two.flexural_rigidity()).abs() / one.flexural_rigidity();
+        let rel =
+            (one.flexural_rigidity() - two.flexural_rigidity()).abs() / one.flexural_rigidity();
         assert!(rel < 1e-12, "EI must be invariant under layer splitting");
         assert!((one.neutral_axis().value() - two.neutral_axis().value()).abs() < 1e-18);
     }
@@ -429,7 +439,10 @@ mod tests {
             // clamped end: zero deflection
             assert!(b.mode_shape(n, 0.0).unwrap().abs() < 1e-12, "mode {n}");
             // tip-normalized
-            assert!((b.mode_shape(n, 1.0).unwrap().abs() - 1.0).abs() < 1e-9, "mode {n}");
+            assert!(
+                (b.mode_shape(n, 1.0).unwrap().abs() - 1.0).abs() < 1e-9,
+                "mode {n}"
+            );
             // free end: zero curvature
             let l = b.geometry().length().value();
             let tip_curv = b.mode_curvature(n, 1.0).unwrap() * l * l;

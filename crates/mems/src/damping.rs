@@ -216,12 +216,7 @@ mod tests {
 
     #[test]
     fn boundary_layer_scale() {
-        let l = fluid_loading(
-            &beam(),
-            &Liquid::water(Kelvin::from_celsius(25.0)),
-            1e5,
-        )
-        .unwrap();
+        let l = fluid_loading(&beam(), &Liquid::water(Kelvin::from_celsius(25.0)), 1e5).unwrap();
         // ~ a few microns at 100 kHz-scale frequencies in water
         assert!(
             l.boundary_layer > 0.5e-6 && l.boundary_layer < 20e-6,

@@ -77,7 +77,11 @@ impl Resonator {
         intrinsic_q: f64,
     ) -> Result<Self, MemsError> {
         let loading = fluid_loading(beam, medium, intrinsic_q)?;
-        Self::new(loading.frequency, loading.quality_factor, beam.spring_constant())
+        Self::new(
+            loading.frequency,
+            loading.quality_factor,
+            beam.spring_constant(),
+        )
     }
 
     /// Resonant frequency f₀.
@@ -183,10 +187,7 @@ impl Resonator {
         let (x0, v0) = (state.x, state.v);
         let a1 = acc(x0, v0);
         let a2 = acc(x0 + 0.5 * h * v0, v0 + 0.5 * h * a1);
-        let a3 = acc(
-            x0 + 0.5 * h * v0 + 0.25 * h * h * a1,
-            v0 + 0.5 * h * a2,
-        );
+        let a3 = acc(x0 + 0.5 * h * v0 + 0.25 * h * h * a1, v0 + 0.5 * h * a2);
         let a4 = acc(x0 + h * v0 + 0.5 * h * h * a2, v0 + h * a3);
 
         ResonatorState {
@@ -236,7 +237,9 @@ mod tests {
         assert!((hr - 200.0 / 20.0).abs() / 10.0 < 1e-9);
         // phase: ~0 at DC, -pi/2 at f0, -> -pi far above
         assert!(r.transfer_phase(Hertz::new(1.0)).abs() < 1e-3);
-        assert!((r.transfer_phase(r.resonant_frequency()) + std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        assert!(
+            (r.transfer_phase(r.resonant_frequency()) + std::f64::consts::FRAC_PI_2).abs() < 1e-9
+        );
         assert!(r.transfer_phase(Hertz::from_megahertz(10.0)) < -3.0);
     }
 
@@ -249,7 +252,10 @@ mod tests {
         let peak = r.transfer_magnitude(r.resonant_frequency());
         let edge = r.transfer_magnitude(Hertz::new(1e5 + 250.0));
         let ratio = edge / peak;
-        assert!((ratio - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01, "ratio {ratio}");
+        assert!(
+            (ratio - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01,
+            "ratio {ratio}"
+        );
     }
 
     #[test]
@@ -287,7 +293,8 @@ mod tests {
 
     #[test]
     fn driven_at_resonance_reaches_q_times_static() {
-        let r = Resonator::new(Hertz::from_kilohertz(50.0), 40.0, SpringConstant::new(5.0)).unwrap();
+        let r =
+            Resonator::new(Hertz::from_kilohertz(50.0), 40.0, SpringConstant::new(5.0)).unwrap();
         let f0 = r.resonant_frequency().value();
         let w0 = r.resonant_frequency().angular();
         let drive = 1e-9; // N amplitude

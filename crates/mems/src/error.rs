@@ -44,7 +44,10 @@ impl fmt::Display for MemsError {
                 write!(f, "mode {requested} out of range (1..={max})")
             }
             Self::PositionOutOfRange { value } => {
-                write!(f, "normalized beam position must lie in [0, 1], got {value}")
+                write!(
+                    f,
+                    "normalized beam position must lie in [0, 1], got {value}"
+                )
             }
         }
     }
@@ -91,7 +94,11 @@ mod tests {
             "cantilever stack must contain at least one layer"
         );
         assert_eq!(
-            MemsError::ModeOutOfRange { requested: 9, max: 6 }.to_string(),
+            MemsError::ModeOutOfRange {
+                requested: 9,
+                max: 6
+            }
+            .to_string(),
             "mode 9 out of range (1..=6)"
         );
     }

@@ -97,9 +97,7 @@ impl MassLoading {
     pub fn loaded_frequency(&self, dm: Kilograms) -> Hertz {
         let m_eff = self.resonator.effective_mass().value();
         let dm_eff = self.placement.modal_weight() * dm.value().max(0.0);
-        Hertz::new(
-            self.resonator.resonant_frequency().value() * (m_eff / (m_eff + dm_eff)).sqrt(),
-        )
+        Hertz::new(self.resonator.resonant_frequency().value() * (m_eff / (m_eff + dm_eff)).sqrt())
     }
 
     /// Exact frequency shift Δf = f' − f₀ (negative for added mass).

@@ -209,12 +209,12 @@ impl PiezoGauge {
         let kappa = self.average_curvature(beam, load)?;
         let sigma = beam.bending_stress_at(self.layer_modulus, self.z, kappa);
         Ok(match self.orientation {
-            GaugeOrientation::Longitudinal => self
-                .coefficients
-                .delta_r_over_r(sigma, Pascals::zero()),
-            GaugeOrientation::Transverse => self
-                .coefficients
-                .delta_r_over_r(Pascals::zero(), sigma),
+            GaugeOrientation::Longitudinal => {
+                self.coefficients.delta_r_over_r(sigma, Pascals::zero())
+            }
+            GaugeOrientation::Transverse => {
+                self.coefficients.delta_r_over_r(Pascals::zero(), sigma)
+            }
         })
     }
 }
@@ -280,18 +280,24 @@ mod tests {
     #[test]
     fn span_validation() {
         let beam = static_beam();
-        assert!(
-            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.5, 0.5))
-                .is_err()
-        );
-        assert!(
-            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.2, 0.1))
-                .is_err()
-        );
-        assert!(
-            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 1.2))
-                .is_err()
-        );
+        assert!(PiezoGauge::diffused_at_silicon_surface(
+            &beam,
+            GaugeOrientation::Longitudinal,
+            (0.5, 0.5)
+        )
+        .is_err());
+        assert!(PiezoGauge::diffused_at_silicon_surface(
+            &beam,
+            GaugeOrientation::Longitudinal,
+            (0.2, 0.1)
+        )
+        .is_err());
+        assert!(PiezoGauge::diffused_at_silicon_surface(
+            &beam,
+            GaugeOrientation::Longitudinal,
+            (0.0, 1.2)
+        )
+        .is_err());
     }
 
     #[test]
@@ -300,14 +306,24 @@ mod tests {
         // the same DR/R — the physics behind the paper's distributed bridge.
         let beam = static_beam();
         let sigma = SurfaceStress::from_millinewtons_per_meter(5.0);
-        let clamp =
-            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 0.1))
-                .unwrap();
-        let full =
-            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 1.0))
-                .unwrap();
-        let a = clamp.delta_r(&beam, LoadCase::UniformSurfaceStress(sigma)).unwrap();
-        let b = full.delta_r(&beam, LoadCase::UniformSurfaceStress(sigma)).unwrap();
+        let clamp = PiezoGauge::diffused_at_silicon_surface(
+            &beam,
+            GaugeOrientation::Longitudinal,
+            (0.0, 0.1),
+        )
+        .unwrap();
+        let full = PiezoGauge::diffused_at_silicon_surface(
+            &beam,
+            GaugeOrientation::Longitudinal,
+            (0.0, 1.0),
+        )
+        .unwrap();
+        let a = clamp
+            .delta_r(&beam, LoadCase::UniformSurfaceStress(sigma))
+            .unwrap();
+        let b = full
+            .delta_r(&beam, LoadCase::UniformSurfaceStress(sigma))
+            .unwrap();
         assert!((a - b).abs() < 1e-15, "{a} vs {b}");
         assert!(a.abs() > 1e-8, "signal must be nonzero");
     }
@@ -316,12 +332,18 @@ mod tests {
     fn tip_force_signal_largest_at_clamp() {
         let beam = static_beam();
         let f = LoadCase::TipForce(Newtons::new(1e-8));
-        let clamp =
-            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 0.1))
-                .unwrap();
-        let tip =
-            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.8, 0.9))
-                .unwrap();
+        let clamp = PiezoGauge::diffused_at_silicon_surface(
+            &beam,
+            GaugeOrientation::Longitudinal,
+            (0.0, 0.1),
+        )
+        .unwrap();
+        let tip = PiezoGauge::diffused_at_silicon_surface(
+            &beam,
+            GaugeOrientation::Longitudinal,
+            (0.8, 0.9),
+        )
+        .unwrap();
         assert!(
             clamp.delta_r(&beam, f).unwrap().abs() > tip.delta_r(&beam, f).unwrap().abs() * 5.0
         );
@@ -349,12 +371,18 @@ mod tests {
     fn longitudinal_and_transverse_have_opposite_sign() {
         let beam = static_beam();
         let sigma = LoadCase::UniformSurfaceStress(SurfaceStress::from_millinewtons_per_meter(5.0));
-        let l =
-            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 1.0))
-                .unwrap();
-        let t =
-            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Transverse, (0.0, 1.0))
-                .unwrap();
+        let l = PiezoGauge::diffused_at_silicon_surface(
+            &beam,
+            GaugeOrientation::Longitudinal,
+            (0.0, 1.0),
+        )
+        .unwrap();
+        let t = PiezoGauge::diffused_at_silicon_surface(
+            &beam,
+            GaugeOrientation::Transverse,
+            (0.0, 1.0),
+        )
+        .unwrap();
         let dl = l.delta_r(&beam, sigma).unwrap();
         let dt = t.delta_r(&beam, sigma).unwrap();
         assert!(dl * dt < 0.0, "bridge arms must move oppositely: {dl} {dt}");
@@ -363,9 +391,12 @@ mod tests {
     #[test]
     fn signal_linear_in_load() {
         let beam = static_beam();
-        let g =
-            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 1.0))
-                .unwrap();
+        let g = PiezoGauge::diffused_at_silicon_surface(
+            &beam,
+            GaugeOrientation::Longitudinal,
+            (0.0, 1.0),
+        )
+        .unwrap();
         let d1 = g
             .delta_r(
                 &beam,
@@ -405,9 +436,12 @@ mod tests {
         let pmos =
             PiezoGauge::pmos_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 0.1))
                 .unwrap();
-        let diff =
-            PiezoGauge::diffused_at_silicon_surface(&beam, GaugeOrientation::Longitudinal, (0.0, 0.1))
-                .unwrap();
+        let diff = PiezoGauge::diffused_at_silicon_surface(
+            &beam,
+            GaugeOrientation::Longitudinal,
+            (0.0, 0.1),
+        )
+        .unwrap();
         let p = pmos.delta_r(&beam, load).unwrap().abs();
         let d = diff.delta_r(&beam, load).unwrap().abs();
         assert!(p < d, "pmos {p} vs diffused {d}");

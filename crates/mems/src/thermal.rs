@@ -102,8 +102,7 @@ impl<'a> ThermalModel<'a> {
     #[must_use]
     pub fn equivalent_surface_stress(&self, delta_t: f64) -> SurfaceStress {
         // kappa = sigma * arm * w / EI  =>  sigma = kappa * EI / (arm * w)
-        let arm = self.beam.geometry().total_thickness().value()
-            - self.beam.neutral_axis().value();
+        let arm = self.beam.geometry().total_thickness().value() - self.beam.neutral_axis().value();
         let w = self.beam.geometry().width().value();
         let kappa = self.bimorph_curvature_per_kelvin() * delta_t;
         SurfaceStress::new(kappa * self.beam.flexural_rigidity() / (arm * w))
@@ -122,12 +121,7 @@ impl<'a> ThermalModel<'a> {
     /// # Errors
     ///
     /// Returns [`MemsError`] for non-positive temperatures.
-    pub fn frequency_at(
-        &self,
-        f0: Hertz,
-        t0: Kelvin,
-        t: Kelvin,
-    ) -> Result<Hertz, MemsError> {
+    pub fn frequency_at(&self, f0: Hertz, t0: Kelvin, t: Kelvin) -> Result<Hertz, MemsError> {
         ensure_positive("reference temperature", t0.value())?;
         ensure_positive("temperature", t.value())?;
         let dt = t.value() - t0.value();

@@ -179,12 +179,13 @@ impl Trace {
         // open-span stack; span_end pops the innermost same-name frame
         let mut roots: Vec<SpanNode> = Vec::new();
         let mut stack: Vec<SpanNode> = Vec::new();
-        let attach = |stack: &mut Vec<SpanNode>, roots: &mut Vec<SpanNode>, node: SpanNode| {
-            match stack.last_mut() {
+        let attach =
+            |stack: &mut Vec<SpanNode>, roots: &mut Vec<SpanNode>, node: SpanNode| match stack
+                .last_mut()
+            {
                 Some(parent) => parent.children.push(node),
                 None => roots.push(node),
-            }
-        };
+            };
         for (seq, t_ns, kind, name, dur_ns) in &records {
             match kind.as_str() {
                 "span_start" => stack.push(SpanNode {
@@ -205,7 +206,8 @@ impl Trace {
                     for orphan in stack.split_off(pos) {
                         node.children.push(orphan);
                     }
-                    node.dur_ns = Some(dur_ns.unwrap_or_else(|| t_ns.saturating_sub(node.start_ns)));
+                    node.dur_ns =
+                        Some(dur_ns.unwrap_or_else(|| t_ns.saturating_sub(node.start_ns)));
                     attach(&mut stack, &mut roots, node);
                 }
                 "event" => {
@@ -488,7 +490,11 @@ mod tests {
             drop(slow);
             drop(batch);
         });
-        let names: Vec<&str> = trace.critical_path().iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = trace
+            .critical_path()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
         assert_eq!(names, ["batch", "slow", "inner"]);
     }
 

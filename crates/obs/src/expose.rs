@@ -32,7 +32,8 @@ use crate::metrics::Metrics;
 pub fn sanitize_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
     for (i, c) in name.chars().enumerate() {
-        let valid = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
         if i == 0 && c.is_ascii_digit() {
             out.push('_');
             out.push(c);

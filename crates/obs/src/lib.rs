@@ -72,4 +72,6 @@ pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics};
 pub use ndjson::JsonValue;
 pub use parse::{parse_json, parse_ndjson, Json, ParseError};
 pub use serve::ExpositionServer;
-pub use trace::{Collector, EventKind, NdjsonCollector, RingCollector, SpanGuard, TraceEvent, Tracer};
+pub use trace::{
+    Collector, EventKind, NdjsonCollector, RingCollector, SpanGuard, TraceEvent, Tracer,
+};

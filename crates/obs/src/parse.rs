@@ -137,7 +137,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.offset, self.reason)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.reason
+        )
     }
 }
 
@@ -300,8 +304,7 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..0xE000).contains(&lo) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                             char::from_u32(combined)
                         } else {
                             char::from_u32(cp)
@@ -309,10 +312,9 @@ impl<'a> Parser<'a> {
                         out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
                     }
                     other => {
-                        return Err(self.err(format!(
-                            "invalid escape {:?}",
-                            other.map(|c| c as char)
-                        )))
+                        return Err(
+                            self.err(format!("invalid escape {:?}", other.map(|c| c as char)))
+                        )
                     }
                 },
                 Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
@@ -342,7 +344,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
@@ -367,8 +371,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number token is ascii");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number token is ascii");
         let value = if is_float {
             JsonValue::F64(
                 text.parse::<f64>()
@@ -508,7 +512,9 @@ mod tests {
         assert_eq!(j.emit(), line);
         assert_eq!(j.get("seq").and_then(Json::as_u64), Some(3));
         assert_eq!(
-            j.get("fields").and_then(|f| f.get("dur_ns")).and_then(Json::as_u64),
+            j.get("fields")
+                .and_then(|f| f.get("dur_ns"))
+                .and_then(Json::as_u64),
             Some(120)
         );
     }
@@ -517,7 +523,10 @@ mod tests {
     fn arrays_and_nesting() {
         let line = r#"{"rows":[["1","2"],["3","4"]],"timings":[{"name":"solve","p50_ns":10}]}"#;
         let j = parse_json(line).unwrap();
-        assert_eq!(j.get("rows").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            j.get("rows").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
         assert_eq!(j.emit(), line);
     }
 

@@ -186,7 +186,9 @@ impl<W: Write + Send> NdjsonCollector<W> {
 
     /// Unwraps the sink (flushing is the caller's business).
     pub fn into_inner(self) -> W {
-        self.sink.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.sink
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 

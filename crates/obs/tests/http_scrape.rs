@@ -44,7 +44,10 @@ fn live_scrape_returns_prometheus_text() {
     );
     assert!(body.contains("farm_jobs_ok_total 42"), "{body}");
     assert!(body.contains("farm_queue_depth 3"), "{body}");
-    assert!(body.contains("farm_solve_ns_bucket{le=\"1000\"} 1"), "{body}");
+    assert!(
+        body.contains("farm_solve_ns_bucket{le=\"1000\"} 1"),
+        "{body}"
+    );
     assert!(body.contains("farm_solve_ns_count 1"), "{body}");
 
     // scrapes see live updates, not a bind-time snapshot

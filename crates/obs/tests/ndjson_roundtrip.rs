@@ -121,10 +121,7 @@ fn full_stream_round_trips() {
     for i in 0..2u64 {
         let job = tracer.span("job", &[("job", i.into()), ("kind", "probe\n\"x\"".into())]);
         clock.advance_ns(100 + i);
-        tracer.event(
-            "sample",
-            &[("nan", f64::NAN.into()), ("v", (-3i64).into())],
-        );
+        tracer.event("sample", &[("nan", f64::NAN.into()), ("v", (-3i64).into())]);
         drop(job);
     }
     drop(batch);

@@ -64,8 +64,7 @@ impl CliError {
 }
 
 fn read_file(path: &Path) -> Result<String, CliError> {
-    std::fs::read_to_string(path)
-        .map_err(|e| CliError::Input(format!("{}: {e}", path.display())))
+    std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{}: {e}", path.display())))
 }
 
 /// One named stage's latency summary extracted from an artifact.
@@ -94,8 +93,9 @@ pub fn load_stages(path: &Path) -> Result<Vec<(String, StageSummary)>, CliError>
     let text = read_file(path)?;
     let docs = match parse_json(&text) {
         Ok(doc) => vec![doc],
-        Err(_) => parse_ndjson(&text)
-            .map_err(|e| CliError::Input(format!("{}: {e}", path.display())))?,
+        Err(_) => {
+            parse_ndjson(&text).map_err(|e| CliError::Input(format!("{}: {e}", path.display())))?
+        }
     };
 
     let mut stages: Vec<(String, StageSummary)> = Vec::new();
@@ -115,7 +115,14 @@ pub fn load_stages(path: &Path) -> Result<Vec<(String, StageSummary)>, CliError>
                     t.get("p95_ns").and_then(Json::as_u64),
                 ) {
                     let count = t.get("count").and_then(Json::as_u64).unwrap_or(0);
-                    push(name, StageSummary { p50_ns: p50, p95_ns: p95, count });
+                    push(
+                        name,
+                        StageSummary {
+                            p50_ns: p50,
+                            p95_ns: p95,
+                            count,
+                        },
+                    );
                 }
             }
         }
@@ -127,7 +134,14 @@ pub fn load_stages(path: &Path) -> Result<Vec<(String, StageSummary)>, CliError>
                 doc.get("p95_ns").and_then(Json::as_u64),
             ) {
                 let count = doc.get("count").and_then(Json::as_u64).unwrap_or(0);
-                push(name, StageSummary { p50_ns: p50, p95_ns: p95, count });
+                push(
+                    name,
+                    StageSummary {
+                        p50_ns: p50,
+                        p95_ns: p95,
+                        count,
+                    },
+                );
             }
         }
         // metrics histogram dump line
@@ -138,7 +152,14 @@ pub fn load_stages(path: &Path) -> Result<Vec<(String, StageSummary)>, CliError>
                 doc.get("p95").and_then(Json::as_u64),
             ) {
                 let count = doc.get("count").and_then(Json::as_u64).unwrap_or(0);
-                push(name, StageSummary { p50_ns: p50, p95_ns: p95, count });
+                push(
+                    name,
+                    StageSummary {
+                        p50_ns: p50,
+                        p95_ns: p95,
+                        count,
+                    },
+                );
             }
         }
     }
@@ -260,12 +281,16 @@ pub fn diff(old: &Path, new: &Path, opts: DiffOptions) -> Result<DiffReport, Cli
         ] {
             let delta = new_ns as f64 - old_ns as f64;
             let delta_pct = if old_ns == 0 {
-                if new_ns == 0 { 0.0 } else { 100.0 }
+                if new_ns == 0 {
+                    0.0
+                } else {
+                    100.0
+                }
             } else {
                 delta / old_ns as f64 * 100.0
             };
-            let regressed = delta_pct > opts.threshold_pct
-                && new_ns.saturating_sub(old_ns) > opts.min_delta_ns;
+            let regressed =
+                delta_pct > opts.threshold_pct && new_ns.saturating_sub(old_ns) > opts.min_delta_ns;
             report.rows.push(DiffRow {
                 stage: name.clone(),
                 quantile,
@@ -416,7 +441,14 @@ mod tests {
         let stages = load_stages(&report).unwrap();
         assert_eq!(
             stages,
-            vec![("solve".to_owned(), StageSummary { p50_ns: 10, p95_ns: 20, count: 5 })]
+            vec![(
+                "solve".to_owned(),
+                StageSummary {
+                    p50_ns: 10,
+                    p95_ns: 20,
+                    count: 5
+                }
+            )]
         );
 
         let ndjson = write_temp(
@@ -465,7 +497,10 @@ mod tests {
 
     #[test]
     fn no_timings_is_an_input_error() {
-        let path = write_temp("empty", "{\"seq\":0,\"t_ns\":0,\"kind\":\"event\",\"name\":\"x\"}\n");
+        let path = write_temp(
+            "empty",
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"event\",\"name\":\"x\"}\n",
+        );
         let err = load_stages(&path).unwrap_err();
         assert_eq!(err.exit_code(), 2);
     }

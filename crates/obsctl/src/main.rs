@@ -57,7 +57,11 @@ fn run() -> Result<(), CliError> {
                 )));
             };
             let path = PathBuf::from(path);
-            let out = if cmd == "summary" { summary(&path)? } else { flame(&path)? };
+            let out = if cmd == "summary" {
+                summary(&path)?
+            } else {
+                flame(&path)?
+            };
             print!("{out}");
             Ok(())
         }

@@ -99,7 +99,9 @@ fn diff_threshold_flags_are_honoured() {
     ]);
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.lines().any(|l| l.contains("p50") && l.contains("REGRESSED")));
+    assert!(stdout
+        .lines()
+        .any(|l| l.contains("p50") && l.contains("REGRESSED")));
 }
 
 #[test]
@@ -119,7 +121,10 @@ fn summary_renders_a_healthy_artifact() {
 
 #[test]
 fn summary_gates_on_empty_span_tree() {
-    let path = temp("spanless", "{\"metric\":\"x\",\"type\":\"counter\",\"value\":1}\n");
+    let path = temp(
+        "spanless",
+        "{\"metric\":\"x\",\"type\":\"counter\",\"value\":1}\n",
+    );
     let out = obsctl(&["summary", path.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("span tree is empty"));
@@ -147,7 +152,10 @@ fn flame_emits_folded_stacks() {
     let out = obsctl(&["flame", path.to_str().unwrap()]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.lines().any(|l| l.starts_with("batch;job ")), "stdout: {stdout}");
+    assert!(
+        stdout.lines().any(|l| l.starts_with("batch;job ")),
+        "stdout: {stdout}"
+    );
     // Folded-stack grammar: every line is `stack<space>weight`.
     for line in stdout.lines() {
         let (_, weight) = line.rsplit_once(' ').expect("weight column");
@@ -166,7 +174,14 @@ fn usage_errors_exit_2_and_help_exits_0() {
     let out = obsctl(&["--help"]);
     assert!(out.status.success());
     let help = String::from_utf8_lossy(&out.stdout);
-    for needle in ["summary", "flame", "diff", "--threshold-pct", "--min-ns", "EXIT CODES"] {
+    for needle in [
+        "summary",
+        "flame",
+        "diff",
+        "--threshold-pct",
+        "--min-ns",
+        "EXIT CODES",
+    ] {
         assert!(help.contains(needle), "help missing {needle}");
     }
 }

@@ -157,7 +157,14 @@ macro_rules! tuple_strategy {
     )*};
 }
 
-tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E), (A, B, C, D, E, G));
+tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, G)
+);
 
 /// Collection strategies (`prop::collection::*`).
 pub mod collection {
@@ -414,7 +421,10 @@ mod tests {
             });
         });
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
-        assert!(msg.contains("deliberate") && msg.contains("case seed"), "{msg}");
+        assert!(
+            msg.contains("deliberate") && msg.contains("case seed"),
+            "{msg}"
+        );
     }
 
     #[test]

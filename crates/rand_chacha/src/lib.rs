@@ -177,8 +177,8 @@ mod tests {
         let pairs: Vec<(f64, f64)> = (0..50_000).map(|_| (rng.gen(), rng.gen())).collect();
         let mx: f64 = pairs.iter().map(|p| p.0).sum::<f64>() / pairs.len() as f64;
         let my: f64 = pairs.iter().map(|p| p.1).sum::<f64>() / pairs.len() as f64;
-        let cov: f64 = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>()
-            / pairs.len() as f64;
+        let cov: f64 =
+            pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / pairs.len() as f64;
         assert!(cov.abs() < 1e-3, "covariance {cov}");
     }
 

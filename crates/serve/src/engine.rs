@@ -1,0 +1,591 @@
+//! The admission front and the single-threaded serving engine.
+//!
+//! `Front` (crate-internal) bundles everything that must sit behind
+//! one lock in the threaded service: the bounded queue, the request
+//! spans, the serve tallies and the batch log. [`ServeEngine`] glues a
+//! `Front` to a [`BatchExecutor`] into the deterministic, explicitly
+//! pumped form the scripted determinism tests drive.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use canti_farm::{FarmObserver, JobSpec};
+use canti_obs::trace::SpanGuard;
+use canti_obs::ObsClock;
+
+use crate::exec::BatchExecutor;
+use crate::queue::{AdmissionQueue, BatchTrigger, FormedBatch, Pending, RejectReason};
+use crate::response::{Disposition, ServeResponse};
+use crate::ServeConfig;
+
+/// Running tallies of everything the serving layer decided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Submissions rejected at the door (queue full or draining).
+    pub rejected: u64,
+    /// Admitted requests that expired before entering a batch.
+    pub expired: u64,
+    /// Requests answered by a completed batch.
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+}
+
+impl ServeStats {
+    /// One-line human rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "serve: {} admitted, {} rejected, {} expired, {} completed in {} batches",
+            self.admitted, self.rejected, self.expired, self.completed, self.batches
+        )
+    }
+}
+
+/// One formed batch as the engine logged it: membership, trigger, seed.
+///
+/// The log is part of the determinism contract — two runs of the same
+/// arrival script produce `==` batch logs at any worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Zero-based batch index.
+    pub index: u64,
+    /// What fired the batch.
+    pub trigger: BatchTrigger,
+    /// The farm seed the batch ran with.
+    pub seed: u64,
+    /// Member request ids in admission order.
+    pub request_ids: Vec<u64>,
+}
+
+/// The lock-scoped half of the serving layer: admission, expiry, batch
+/// formation, spans and tallies. No execution happens here — formed
+/// batches are handed out for the caller to run, so the threaded
+/// service can execute them outside its lock.
+#[derive(Debug)]
+pub(crate) struct Front {
+    queue: AdmissionQueue,
+    clock: Arc<dyn ObsClock>,
+    observer: Option<FarmObserver>,
+    instruments: Option<crate::exec::ServeInstruments>,
+    spans: BTreeMap<u64, SpanGuard>,
+    stats: ServeStats,
+    batch_log: Vec<BatchRecord>,
+}
+
+impl Front {
+    pub(crate) fn new(
+        config: ServeConfig,
+        clock: Arc<dyn ObsClock>,
+        observer: Option<FarmObserver>,
+    ) -> Self {
+        let instruments = observer.as_ref().map(crate::exec::ServeInstruments::new);
+        Self {
+            queue: AdmissionQueue::new(config),
+            clock,
+            observer,
+            instruments,
+            spans: BTreeMap::new(),
+            stats: ServeStats::default(),
+            batch_log: Vec::new(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.queue.is_draining()
+    }
+
+    pub(crate) fn batch_log(&self) -> &[BatchRecord] {
+        &self.batch_log
+    }
+
+    pub(crate) fn next_wakeup_ns(&self) -> Option<u64> {
+        self.queue.next_wakeup_ns()
+    }
+
+    /// Admits `job` (deadline relative to now, falling back to the
+    /// config default) or rejects it, keeping tallies, the queue-depth
+    /// gauge, the request span and the admission/rejection events.
+    pub(crate) fn admit(
+        &mut self,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+    ) -> Result<u64, RejectReason> {
+        let now_ns = self.clock.now_ns();
+        let kind = job.kind();
+        match self.queue.submit(now_ns, job, deadline_ns) {
+            Ok(id) => {
+                self.stats.admitted += 1;
+                if let Some(o) = &self.observer {
+                    let span = o
+                        .tracer()
+                        .span("request", &[("request", id.into()), ("kind", kind.into())]);
+                    self.spans.insert(id, span);
+                }
+                self.observe_depth();
+                if let Some(ins) = &self.instruments {
+                    ins.admitted.inc();
+                }
+                Ok(id)
+            }
+            Err(reason) => {
+                self.stats.rejected += 1;
+                if let Some(o) = &self.observer {
+                    o.tracer().event(
+                        "request_rejected",
+                        &[("kind", kind.into()), ("reason", reason.label().into())],
+                    );
+                }
+                if let Some(ins) = &self.instruments {
+                    ins.rejected.inc();
+                }
+                Err(reason)
+            }
+        }
+    }
+
+    /// Expires overdue queued requests, answering each with
+    /// [`Disposition::Expired`].
+    pub(crate) fn take_expired(&mut self) -> Vec<ServeResponse> {
+        let now_ns = self.clock.now_ns();
+        let expired = self.queue.take_expired(now_ns);
+        let responses: Vec<ServeResponse> = expired
+            .into_iter()
+            .map(|p: Pending| {
+                self.stats.expired += 1;
+                if let Some(o) = &self.observer {
+                    o.tracer()
+                        .event("request_expired", &[("request", p.id.into())]);
+                }
+                if let Some(ins) = &self.instruments {
+                    ins.expired.inc();
+                }
+                if let Some(span) = self.spans.remove(&p.id) {
+                    span.end();
+                }
+                ServeResponse {
+                    request_id: p.id,
+                    disposition: Disposition::Expired {
+                        waited_ns: now_ns.saturating_sub(p.enqueued_ns),
+                        deadline_ns: p.deadline_ns.unwrap_or(now_ns),
+                    },
+                }
+            })
+            .collect();
+        if !responses.is_empty() {
+            self.observe_depth();
+        }
+        responses
+    }
+
+    /// Releases every currently ready batch (size threshold first, then
+    /// linger), logging each.
+    pub(crate) fn form_ready(&mut self) -> Vec<FormedBatch> {
+        let now_ns = self.clock.now_ns();
+        let mut batches = Vec::new();
+        while let Some(batch) = self.queue.pop_ready(now_ns) {
+            self.log_batch(&batch);
+            batches.push(batch);
+        }
+        if !batches.is_empty() {
+            self.observe_depth();
+        }
+        batches
+    }
+
+    /// Stops admission and releases the remaining queue as drain
+    /// batches.
+    pub(crate) fn begin_drain(&mut self) -> Vec<FormedBatch> {
+        self.queue.begin_drain();
+        let mut batches = Vec::new();
+        while let Some(batch) = self.queue.pop_drain() {
+            self.log_batch(&batch);
+            batches.push(batch);
+        }
+        self.observe_depth();
+        batches
+    }
+
+    /// Closes the request spans of completed responses and bumps the
+    /// completion tallies (batch metrics themselves are recorded by the
+    /// executor).
+    pub(crate) fn finish(&mut self, responses: &[ServeResponse]) {
+        for r in responses {
+            if let Some(span) = self.spans.remove(&r.request_id) {
+                span.end();
+            }
+            if matches!(r.disposition, Disposition::Completed { .. }) {
+                self.stats.completed += 1;
+            }
+        }
+        self.stats.batches = self.queue.batches_formed();
+    }
+
+    fn log_batch(&mut self, batch: &FormedBatch) {
+        self.batch_log.push(BatchRecord {
+            index: batch.index,
+            trigger: batch.trigger,
+            seed: batch.seed,
+            request_ids: batch.request_ids(),
+        });
+    }
+
+    fn observe_depth(&self) {
+        if let Some(ins) = &self.instruments {
+            ins.queue_depth.set(self.queue.depth() as i64);
+        }
+    }
+}
+
+/// The single-threaded serving engine: submit requests, then [`pump`]
+/// whenever the clock has moved (or a threshold may have been crossed)
+/// to expire, batch and execute them.
+///
+/// This is the deterministic form of the serving layer: given the same
+/// [`ServeConfig`] and the same scripted sequence of submissions and
+/// clock advances, the batch log, every response payload and the final
+/// [`ServeStats`] are bit-identical at any worker count.
+///
+/// [`pump`]: Self::pump
+#[derive(Debug)]
+pub struct ServeEngine {
+    front: Front,
+    executor: BatchExecutor,
+}
+
+impl ServeEngine {
+    /// An engine under `config`, timing everything on `clock`.
+    #[must_use]
+    pub fn new(config: ServeConfig, clock: Arc<dyn ObsClock>) -> Self {
+        Self {
+            front: Front::new(config, Arc::clone(&clock), None),
+            executor: BatchExecutor::new(config.threads, clock),
+        }
+    }
+
+    /// Attaches a farm observer: serve counters/histograms, request and
+    /// batch spans, and the farm's own telemetry all record into it. For
+    /// coherent timestamps construct the observer over the same clock
+    /// the engine was given.
+    #[must_use]
+    pub fn with_observer(mut self, observer: FarmObserver) -> Self {
+        self.front = Front::new(
+            *self.front.queue.config(),
+            Arc::clone(&self.front.clock),
+            Some(observer.clone()),
+        );
+        self.executor = self.executor.with_observer(observer);
+        self
+    }
+
+    /// Submits a request without an explicit deadline (the config
+    /// default, if any, applies).
+    ///
+    /// # Errors
+    ///
+    /// Rejected with a [`RejectReason`] when the queue is full or the
+    /// engine is draining.
+    pub fn submit(&mut self, job: JobSpec) -> Result<u64, RejectReason> {
+        self.front.admit(job, None)
+    }
+
+    /// Submits a request that expires `deadline_ns` after admission if
+    /// still queued.
+    ///
+    /// # Errors
+    ///
+    /// Rejected with a [`RejectReason`] when the queue is full or the
+    /// engine is draining.
+    pub fn submit_with_deadline(
+        &mut self,
+        job: JobSpec,
+        deadline_ns: u64,
+    ) -> Result<u64, RejectReason> {
+        self.front.admit(job, Some(deadline_ns))
+    }
+
+    /// Advances the serving state machine at the current clock reading:
+    /// expires overdue requests, then forms and executes every ready
+    /// batch. Returns all responses produced, expirations first, then
+    /// batch completions in admission order.
+    pub fn pump(&mut self) -> Vec<ServeResponse> {
+        let mut out = self.front.take_expired();
+        for batch in self.front.form_ready() {
+            let responses = self.executor.execute(batch);
+            self.front.finish(&responses);
+            out.extend(responses);
+        }
+        self.front.finish_noop();
+        out
+    }
+
+    /// Stops admission and flushes everything still queued as final
+    /// batches (expiring overdue requests first). After draining, every
+    /// submission is rejected with [`RejectReason::Draining`].
+    pub fn drain(&mut self) -> Vec<ServeResponse> {
+        let mut out = self.front.take_expired();
+        for batch in self.front.begin_drain() {
+            let responses = self.executor.execute(batch);
+            self.front.finish(&responses);
+            out.extend(responses);
+        }
+        out
+    }
+
+    /// Requests currently queued.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.front.depth()
+    }
+
+    /// Whether the engine has drained and admits nothing new.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.front.is_draining()
+    }
+
+    /// The earliest future instant at which queued state can change on
+    /// its own (linger or deadline); `None` while the queue is empty.
+    #[must_use]
+    pub fn next_wakeup_ns(&self) -> Option<u64> {
+        self.front.next_wakeup_ns()
+    }
+
+    /// The running tallies.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.front.stats()
+    }
+
+    /// Every batch formed so far, in formation order.
+    #[must_use]
+    pub fn batch_log(&self) -> &[BatchRecord] {
+        self.front.batch_log()
+    }
+
+    /// The executor's observer, if one was attached.
+    #[must_use]
+    pub fn observer(&self) -> Option<&FarmObserver> {
+        self.executor.observer()
+    }
+}
+
+impl Front {
+    /// Keeps `stats.batches` in step even on pumps that formed nothing.
+    fn finish_noop(&mut self) {
+        self.stats.batches = self.queue.batches_formed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canti_farm::ProbeMode;
+    use canti_obs::VirtualClock;
+
+    fn probe(v: f64) -> JobSpec {
+        JobSpec::Probe(ProbeMode::Value(v))
+    }
+
+    fn engine(clock: &Arc<VirtualClock>, config: ServeConfig) -> ServeEngine {
+        ServeEngine::new(config, Arc::clone(clock) as Arc<dyn ObsClock>)
+    }
+
+    #[test]
+    fn size_threshold_executes_a_batch() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut e = engine(
+            &clock,
+            ServeConfig {
+                max_batch: 2,
+                threads: 1,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(e.submit(probe(1.0)), Ok(0));
+        assert_eq!(e.submit(probe(2.0)), Ok(1));
+        assert_eq!(e.submit(probe(3.0)), Ok(2));
+        let responses = e.pump();
+        assert_eq!(responses.len(), 2, "one full batch fires, one queued");
+        assert_eq!(e.queue_depth(), 1);
+        assert_eq!(e.batch_log().len(), 1);
+        assert_eq!(e.batch_log()[0].trigger, BatchTrigger::Size);
+        assert_eq!(e.batch_log()[0].request_ids, vec![0, 1]);
+        assert_eq!(e.stats().completed, 2);
+    }
+
+    #[test]
+    fn linger_fires_only_after_the_clock_advances() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut e = engine(
+            &clock,
+            ServeConfig {
+                max_batch: 8,
+                linger_ns: 1_000,
+                threads: 1,
+                ..ServeConfig::default()
+            },
+        );
+        e.submit(probe(1.0)).unwrap();
+        assert!(e.pump().is_empty(), "no time passed, nothing fires");
+        clock.advance_ns(999);
+        assert!(e.pump().is_empty(), "1 ns short of the linger");
+        clock.advance_ns(1);
+        let responses = e.pump();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(e.batch_log()[0].trigger, BatchTrigger::Linger);
+        match &responses[0].disposition {
+            Disposition::Completed { latency_ns, .. } => assert_eq!(*latency_ns, 1_000),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlines_expire_before_batching() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut e = engine(
+            &clock,
+            ServeConfig {
+                max_batch: 8,
+                linger_ns: 500,
+                threads: 1,
+                ..ServeConfig::default()
+            },
+        );
+        e.submit_with_deadline(probe(1.0), 400).unwrap();
+        e.submit(probe(2.0)).unwrap();
+        clock.advance_ns(500); // linger AND deadline both due
+        let responses = e.pump();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(
+            responses[0].disposition,
+            Disposition::Expired {
+                waited_ns: 500,
+                deadline_ns: 400
+            },
+            "expiry wins over batching"
+        );
+        assert!(responses[1].disposition.is_ok());
+        assert_eq!(e.batch_log()[0].request_ids, vec![1]);
+        assert_eq!(e.stats().expired, 1);
+    }
+
+    #[test]
+    fn drain_flushes_and_then_rejects() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut e = engine(
+            &clock,
+            ServeConfig {
+                max_batch: 4,
+                linger_ns: u64::MAX,
+                threads: 1,
+                ..ServeConfig::default()
+            },
+        );
+        for i in 0..3 {
+            e.submit(probe(f64::from(i))).unwrap();
+        }
+        assert!(e.pump().is_empty(), "below threshold, linger unreachable");
+        let responses = e.drain();
+        assert_eq!(responses.len(), 3);
+        assert_eq!(e.batch_log()[0].trigger, BatchTrigger::Drain);
+        assert!(e.is_draining());
+        assert_eq!(e.submit(probe(9.0)), Err(RejectReason::Draining));
+        let stats = e.stats();
+        assert_eq!(
+            (
+                stats.admitted,
+                stats.rejected,
+                stats.completed,
+                stats.batches
+            ),
+            (3, 1, 3, 1)
+        );
+        assert!(stats.render().contains("3 admitted"));
+    }
+
+    #[test]
+    fn queue_full_rejections_carry_the_capacity() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut e = engine(
+            &clock,
+            ServeConfig {
+                queue_capacity: 2,
+                max_batch: 8,
+                linger_ns: u64::MAX,
+                threads: 1,
+                ..ServeConfig::default()
+            },
+        );
+        e.submit(probe(1.0)).unwrap();
+        e.submit(probe(2.0)).unwrap();
+        assert_eq!(
+            e.submit(probe(3.0)),
+            Err(RejectReason::QueueFull { capacity: 2 })
+        );
+        assert_eq!(e.stats().rejected, 1);
+    }
+
+    #[test]
+    fn observed_engine_tracks_metrics_and_spans() {
+        let (observer, ring) = FarmObserver::deterministic(8192);
+        let clock = Arc::new(VirtualClock::new());
+        let mut e = engine(
+            &clock,
+            ServeConfig {
+                max_batch: 2,
+                threads: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .with_observer(observer);
+        e.submit(probe(1.0)).unwrap();
+        e.submit(probe(2.0)).unwrap();
+        let responses = e.pump();
+        assert_eq!(responses.len(), 2);
+        let m = e.observer().expect("observer").metrics();
+        assert_eq!(m.counter("serve.admitted").get(), 2);
+        assert_eq!(m.counter("serve.completed").get(), 2);
+        assert_eq!(m.gauge("serve.queue_depth").get(), 0);
+        // request spans open at admission and close after the batch
+        let request_starts = ring
+            .events()
+            .iter()
+            .filter(|e| e.name == "request" && e.kind == canti_obs::EventKind::SpanStart)
+            .count();
+        let request_ends = ring
+            .events()
+            .iter()
+            .filter(|e| e.name == "request" && e.kind == canti_obs::EventKind::SpanEnd)
+            .count();
+        assert_eq!((request_starts, request_ends), (2, 2));
+    }
+
+    #[test]
+    fn next_wakeup_reflects_linger_and_deadline() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut e = engine(
+            &clock,
+            ServeConfig {
+                max_batch: 8,
+                linger_ns: 1_000,
+                threads: 1,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(e.next_wakeup_ns(), None);
+        clock.advance_ns(10);
+        e.submit_with_deadline(probe(1.0), 400).unwrap();
+        assert_eq!(e.next_wakeup_ns(), Some(410), "deadline before linger");
+    }
+}

@@ -1,0 +1,232 @@
+//! Batch execution against the farm, plus the serve-side instruments.
+//!
+//! The executor is intentionally `&self`-only: it owns no queue state,
+//! so the threaded service can run a batch *outside* the admission lock
+//! — submissions keep getting fast admit/reject answers while a batch
+//! computes.
+
+use std::sync::Arc;
+
+use canti_farm::{Farm, FarmConfig, FarmObserver, JobSpec, PrecomputeCache};
+use canti_obs::{Counter, Gauge, Histogram, ObsClock};
+
+use crate::queue::FormedBatch;
+use crate::response::{Disposition, ServeResponse};
+
+/// The serve-layer metrics handles, registered once per observer.
+///
+/// Names follow the `serve.` prefix the exposition layer sanitizes into
+/// `serve_*` Prometheus series.
+#[derive(Debug, Clone)]
+pub(crate) struct ServeInstruments {
+    pub admitted: Arc<Counter>,
+    pub rejected: Arc<Counter>,
+    pub expired: Arc<Counter>,
+    pub completed: Arc<Counter>,
+    pub batches: Arc<Counter>,
+    pub queue_depth: Arc<Gauge>,
+    pub batch_size: Arc<Histogram>,
+    pub request_latency_ns: Arc<Histogram>,
+}
+
+impl ServeInstruments {
+    pub(crate) fn new(observer: &FarmObserver) -> Self {
+        let m = observer.metrics();
+        Self {
+            admitted: m.counter("serve.admitted"),
+            rejected: m.counter("serve.rejected"),
+            expired: m.counter("serve.expired"),
+            completed: m.counter("serve.completed"),
+            batches: m.counter("serve.batches"),
+            queue_depth: m.gauge("serve.queue_depth"),
+            batch_size: m.histogram("serve.batch_size"),
+            request_latency_ns: m.histogram("serve.request_latency_ns"),
+        }
+    }
+}
+
+/// Runs [`FormedBatch`]es on the farm engine.
+///
+/// Construction fixes the worker count, the shared precompute cache and
+/// the (optional) observer; execution is then a pure mapping from a
+/// formed batch to per-request responses, bit-identical at any worker
+/// count because the farm itself is.
+#[derive(Debug)]
+pub struct BatchExecutor {
+    threads: usize,
+    cache: Arc<PrecomputeCache>,
+    clock: Arc<dyn ObsClock>,
+    observer: Option<FarmObserver>,
+    instruments: Option<ServeInstruments>,
+}
+
+impl BatchExecutor {
+    /// An executor running `threads` farm workers per batch (`0` =
+    /// machine parallelism), timing requests on `clock`.
+    #[must_use]
+    pub fn new(threads: usize, clock: Arc<dyn ObsClock>) -> Self {
+        Self {
+            threads,
+            cache: Arc::new(PrecomputeCache::new()),
+            clock,
+            observer: None,
+            instruments: None,
+        }
+    }
+
+    /// Attaches a farm observer: batches run with farm telemetry and the
+    /// serve-side counters/histograms/spans are recorded into the same
+    /// registry and trace stream.
+    #[must_use]
+    pub fn with_observer(mut self, observer: FarmObserver) -> Self {
+        self.instruments = Some(ServeInstruments::new(&observer));
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The attached observer, if any.
+    #[must_use]
+    pub fn observer(&self) -> Option<&FarmObserver> {
+        self.observer.as_ref()
+    }
+
+    /// The clock requests are timed on.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<dyn ObsClock> {
+        &self.clock
+    }
+
+    /// Executes `batch` on a farm seeded with the batch's seed and
+    /// sharing this executor's precompute cache, returning one response
+    /// per member request in admission order.
+    #[must_use]
+    pub fn execute(&self, batch: FormedBatch) -> Vec<ServeResponse> {
+        // held for the whole execution so the farm's spans nest inside
+        let _span = self.observer.as_ref().map(|o| {
+            o.tracer().span(
+                "serve_batch",
+                &[
+                    ("batch", batch.index.into()),
+                    ("size", batch.len().into()),
+                    ("trigger", batch.trigger.label().into()),
+                ],
+            )
+        });
+        let jobs: Vec<JobSpec> = batch.items.iter().map(|p| p.job.clone()).collect();
+        let mut farm = Farm::with_cache(
+            FarmConfig {
+                batch_seed: batch.seed,
+                threads: self.threads,
+            },
+            Arc::clone(&self.cache),
+        );
+        if let Some(o) = &self.observer {
+            farm = farm.with_observer(o.clone());
+        }
+        let report = farm.run(&jobs);
+        let now_ns = self.clock.now_ns();
+
+        if let Some(ins) = &self.instruments {
+            ins.batches.inc();
+            ins.batch_size.record(batch.len() as u64);
+            ins.completed.add(batch.len() as u64);
+        }
+        batch
+            .items
+            .into_iter()
+            .zip(report.outcomes)
+            .map(|(pending, result)| {
+                let latency_ns = now_ns.saturating_sub(pending.enqueued_ns);
+                if let Some(ins) = &self.instruments {
+                    ins.request_latency_ns.record(latency_ns);
+                }
+                ServeResponse {
+                    request_id: pending.id,
+                    disposition: Disposition::Completed {
+                        batch: batch.index,
+                        latency_ns,
+                        result,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::AdmissionQueue;
+    use crate::ServeConfig;
+    use canti_farm::ProbeMode;
+    use canti_obs::VirtualClock;
+
+    fn formed(jobs: usize, clock_now: u64) -> FormedBatch {
+        let mut q = AdmissionQueue::new(ServeConfig {
+            max_batch: jobs,
+            ..ServeConfig::default()
+        });
+        for i in 0..jobs {
+            q.submit(clock_now, JobSpec::Probe(ProbeMode::Draws(1 + i)), None)
+                .unwrap();
+        }
+        q.pop_ready(clock_now).expect("size-triggered batch")
+    }
+
+    #[test]
+    fn execution_answers_every_request_in_admission_order() {
+        let clock = Arc::new(VirtualClock::new());
+        clock.set_ns(500);
+        let exec = BatchExecutor::new(2, clock.clone());
+        let batch = formed(4, 100);
+        let responses = exec.execute(batch);
+        assert_eq!(responses.len(), 4);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.request_id, i as u64);
+            match &r.disposition {
+                Disposition::Completed {
+                    batch: 0,
+                    latency_ns,
+                    result: Ok(out),
+                } => {
+                    assert_eq!(*latency_ns, 400, "admitted at 100, done at 500");
+                    assert_eq!(out.job_index, i);
+                }
+                other => panic!("request {i}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_payloads() {
+        let clock = Arc::new(VirtualClock::new());
+        let oracle = BatchExecutor::new(1, clock.clone()).execute(formed(8, 0));
+        for threads in [2, 8] {
+            let run = BatchExecutor::new(threads, clock.clone()).execute(formed(8, 0));
+            assert_eq!(run, oracle, "{threads} farm workers");
+        }
+    }
+
+    #[test]
+    fn observed_execution_records_serve_metrics() {
+        let clock = Arc::new(VirtualClock::new());
+        let (observer, ring) = FarmObserver::deterministic(4096);
+        let exec = BatchExecutor::new(2, clock).with_observer(observer);
+        let responses = exec.execute(formed(3, 0));
+        assert_eq!(responses.len(), 3);
+        let m = exec.observer().expect("observer").metrics();
+        assert_eq!(m.counter("serve.batches").get(), 1);
+        assert_eq!(m.counter("serve.completed").get(), 3);
+        assert_eq!(m.histogram("serve.batch_size").snapshot().count, 1);
+        assert_eq!(m.histogram("serve.request_latency_ns").snapshot().count, 3);
+        let names: Vec<String> = ring.events().iter().map(|e| e.name.clone()).collect();
+        assert!(
+            names.contains(&"serve_batch".to_owned()),
+            "serve_batch span missing from {names:?}"
+        );
+        assert!(
+            names.contains(&"batch".to_owned()),
+            "farm batch span nests under the serve span"
+        );
+    }
+}

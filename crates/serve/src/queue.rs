@@ -1,0 +1,421 @@
+//! The bounded admission queue and the batch-formation rules.
+//!
+//! This module is deliberately free of observability and threading: it
+//! is a pure state machine over `(config, submissions, clock readings)`,
+//! which is what makes batch formation a deterministic function of the
+//! arrival script. Everything here is driven by explicit `now_ns`
+//! arguments — the caller owns the clock.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use canti_farm::JobSpec;
+
+use crate::ServeConfig;
+
+/// Why a submission was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The admission queue already holds `capacity` waiting requests.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The service is draining for shutdown and admits nothing new.
+    Draining,
+}
+
+impl RejectReason {
+    /// Stable label for metrics / trace fields.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::QueueFull { .. } => "queue_full",
+            Self::Draining => "draining",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} waiting)")
+            }
+            Self::Draining => write!(f, "service is draining"),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// What made a batch fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchTrigger {
+    /// The queue reached the size threshold.
+    Size,
+    /// The oldest queued request hit the linger deadline.
+    Linger,
+    /// Shutdown flushed the remaining queue.
+    Drain,
+}
+
+impl BatchTrigger {
+    /// Stable label for metrics / trace fields.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Size => "size",
+            Self::Linger => "linger",
+            Self::Drain => "drain",
+        }
+    }
+}
+
+/// One admitted request waiting for (or riding in) a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Pending {
+    /// Admission-ordered request id, unique per queue.
+    pub id: u64,
+    /// The simulation to run.
+    pub job: JobSpec,
+    /// Clock reading at admission.
+    pub enqueued_ns: u64,
+    /// Absolute expiry instant, when the request carries a deadline.
+    pub deadline_ns: Option<u64>,
+}
+
+/// A batch the queue has released for execution: an ordered slice of
+/// admitted requests plus the farm seed it must run under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormedBatch {
+    /// Zero-based batch index (also the seed offset).
+    pub index: u64,
+    /// What fired the batch.
+    pub trigger: BatchTrigger,
+    /// The farm seed this batch runs with.
+    pub seed: u64,
+    pub(crate) items: Vec<Pending>,
+}
+
+impl FormedBatch {
+    /// Requests riding in this batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch is empty (never produced by the queue).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The member request ids, in admission order.
+    #[must_use]
+    pub fn request_ids(&self) -> Vec<u64> {
+        self.items.iter().map(|p| p.id).collect()
+    }
+}
+
+/// The bounded, deadline-aware admission queue.
+///
+/// All mutation is explicit: [`Self::submit`] admits or rejects,
+/// `take_expired` removes requests whose deadline has passed,
+/// and `pop_ready` / `pop_drain` release batches. Time
+/// never flows implicitly — every decision reads the `now_ns` the caller
+/// passes in.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    config: ServeConfig,
+    queue: VecDeque<Pending>,
+    next_id: u64,
+    next_batch: u64,
+    draining: bool,
+}
+
+impl AdmissionQueue {
+    /// An empty queue under `config`.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        Self {
+            config,
+            queue: VecDeque::with_capacity(config.capacity()),
+            next_id: 0,
+            next_batch: 0,
+            draining: false,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Requests currently waiting.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue has stopped admitting.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Batches released so far.
+    #[must_use]
+    pub fn batches_formed(&self) -> u64 {
+        self.next_batch
+    }
+
+    /// Admits `job` at time `now_ns`, or explains why not.
+    ///
+    /// `deadline_ns` is relative to admission; when `None`, the config's
+    /// default deadline (if any) applies. Returns the request id.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::Draining`] once [`Self::begin_drain`] was called,
+    /// [`RejectReason::QueueFull`] when `capacity` requests wait already.
+    pub fn submit(
+        &mut self,
+        now_ns: u64,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+    ) -> Result<u64, RejectReason> {
+        if self.draining {
+            return Err(RejectReason::Draining);
+        }
+        let capacity = self.config.capacity();
+        if self.queue.len() >= capacity {
+            return Err(RejectReason::QueueFull { capacity });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let deadline = deadline_ns
+            .or(self.config.default_deadline_ns)
+            .map(|d| now_ns.saturating_add(d));
+        self.queue.push_back(Pending {
+            id,
+            job,
+            enqueued_ns: now_ns,
+            deadline_ns: deadline,
+        });
+        Ok(id)
+    }
+
+    /// Removes and returns every queued request whose deadline has
+    /// passed (`now_ns >= deadline_ns`), in admission order. Run this
+    /// before [`Self::pop_ready`] so expired requests never occupy batch
+    /// slots.
+    pub(crate) fn take_expired(&mut self, now_ns: u64) -> Vec<Pending> {
+        let mut expired = Vec::new();
+        self.queue.retain_mut(|p| match p.deadline_ns {
+            Some(d) if now_ns >= d => {
+                expired.push(p.clone());
+                false
+            }
+            _ => true,
+        });
+        expired
+    }
+
+    /// Releases the next ready batch, if any: a full `max_batch` slice
+    /// when the size threshold is met, otherwise everything queued once
+    /// the oldest request has lingered past `linger_ns`. Call in a loop
+    /// until `None`.
+    pub(crate) fn pop_ready(&mut self, now_ns: u64) -> Option<FormedBatch> {
+        let threshold = self.config.batch_threshold();
+        if self.queue.len() >= threshold {
+            return Some(self.form(threshold, BatchTrigger::Size));
+        }
+        let oldest = self.queue.front()?;
+        if now_ns >= oldest.enqueued_ns.saturating_add(self.config.linger_ns) {
+            let n = self.queue.len();
+            return Some(self.form(n, BatchTrigger::Linger));
+        }
+        None
+    }
+
+    /// Stops admission: every later [`Self::submit`] is rejected with
+    /// [`RejectReason::Draining`].
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Releases the next shutdown-flush batch (up to `max_batch`
+    /// requests), ignoring the linger deadline. Call in a loop until
+    /// `None` after [`Self::begin_drain`].
+    pub(crate) fn pop_drain(&mut self) -> Option<FormedBatch> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let n = self.queue.len().min(self.config.batch_threshold());
+        Some(self.form(n, BatchTrigger::Drain))
+    }
+
+    /// The earliest future instant at which the queue's state can change
+    /// on its own: the oldest request's linger deadline or the earliest
+    /// request deadline, whichever comes first. `None` while empty.
+    #[must_use]
+    pub fn next_wakeup_ns(&self) -> Option<u64> {
+        let linger = self
+            .queue
+            .front()
+            .map(|p| p.enqueued_ns.saturating_add(self.config.linger_ns));
+        let deadline = self.queue.iter().filter_map(|p| p.deadline_ns).min();
+        match (linger, deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn form(&mut self, n: usize, trigger: BatchTrigger) -> FormedBatch {
+        let index = self.next_batch;
+        self.next_batch += 1;
+        let items = self.queue.drain(..n).collect();
+        FormedBatch {
+            index,
+            trigger,
+            seed: self.config.batch_seed.wrapping_add(index),
+            items,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canti_farm::ProbeMode;
+
+    fn probe(v: f64) -> JobSpec {
+        JobSpec::Probe(ProbeMode::Value(v))
+    }
+
+    fn queue(capacity: usize, max_batch: usize, linger_ns: u64) -> AdmissionQueue {
+        AdmissionQueue::new(ServeConfig {
+            queue_capacity: capacity,
+            max_batch,
+            linger_ns,
+            ..ServeConfig::default()
+        })
+    }
+
+    #[test]
+    fn ids_are_admission_ordered_and_capacity_is_enforced() {
+        let mut q = queue(2, 8, 100);
+        assert_eq!(q.submit(0, probe(1.0), None), Ok(0));
+        assert_eq!(q.submit(0, probe(2.0), None), Ok(1));
+        assert_eq!(
+            q.submit(0, probe(3.0), None),
+            Err(RejectReason::QueueFull { capacity: 2 })
+        );
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn size_threshold_fires_before_linger() {
+        let mut q = queue(8, 3, 1_000);
+        for i in 0..5 {
+            q.submit(0, probe(f64::from(i)), None).unwrap();
+        }
+        let b = q.pop_ready(0).expect("size-triggered batch");
+        assert_eq!(b.trigger, BatchTrigger::Size);
+        assert_eq!(b.request_ids(), vec![0, 1, 2]);
+        assert!(q.pop_ready(0).is_none(), "two left, below threshold");
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn linger_deadline_fires_for_a_partial_batch() {
+        let mut q = queue(8, 4, 1_000);
+        q.submit(10, probe(1.0), None).unwrap();
+        q.submit(500, probe(2.0), None).unwrap();
+        assert!(q.pop_ready(1_009).is_none(), "oldest has waited 999 ns");
+        let b = q.pop_ready(1_010).expect("linger fires at 1010");
+        assert_eq!(b.trigger, BatchTrigger::Linger);
+        assert_eq!(
+            b.request_ids(),
+            vec![0, 1],
+            "linger flushes the whole queue"
+        );
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn deadlines_expire_queued_requests() {
+        let mut q = queue(8, 8, 10_000);
+        q.submit(0, probe(1.0), Some(100)).unwrap();
+        q.submit(0, probe(2.0), None).unwrap();
+        assert!(q.take_expired(99).is_empty());
+        let gone = q.take_expired(100);
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].id, 0);
+        assert_eq!(gone[0].deadline_ns, Some(100));
+        assert_eq!(q.depth(), 1, "undeadlined neighbour survives");
+    }
+
+    #[test]
+    fn default_deadline_applies_when_submission_carries_none() {
+        let mut q = AdmissionQueue::new(ServeConfig {
+            default_deadline_ns: Some(50),
+            ..ServeConfig::default()
+        });
+        q.submit(7, probe(1.0), None).unwrap();
+        q.submit(7, probe(2.0), Some(500)).unwrap();
+        let gone = q.take_expired(57);
+        assert_eq!(gone.len(), 1, "default deadline 7+50 fires");
+        assert_eq!(gone[0].id, 0);
+    }
+
+    #[test]
+    fn drain_rejects_new_and_flushes_in_threshold_chunks() {
+        let mut q = queue(8, 2, 1_000_000);
+        for i in 0..5 {
+            q.submit(0, probe(f64::from(i)), None).unwrap();
+        }
+        q.begin_drain();
+        assert_eq!(q.submit(0, probe(9.0), None), Err(RejectReason::Draining));
+        let sizes: Vec<usize> = std::iter::from_fn(|| q.pop_drain().map(|b| b.len())).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+        assert!(q.pop_drain().is_none());
+    }
+
+    #[test]
+    fn batch_seeds_step_with_the_index() {
+        let mut q = queue(8, 1, 1_000);
+        q.submit(0, probe(1.0), None).unwrap();
+        q.submit(0, probe(2.0), None).unwrap();
+        let a = q.pop_ready(0).unwrap();
+        let b = q.pop_ready(0).unwrap();
+        assert_eq!(a.index, 0);
+        assert_eq!(b.index, 1);
+        assert_eq!(b.seed, a.seed + 1);
+        assert_eq!(q.batches_formed(), 2);
+    }
+
+    #[test]
+    fn next_wakeup_is_the_earlier_of_linger_and_deadline() {
+        let mut q = queue(8, 8, 1_000);
+        assert_eq!(q.next_wakeup_ns(), None);
+        q.submit(100, probe(1.0), Some(350)).unwrap();
+        // linger at 1100, deadline at 450
+        assert_eq!(q.next_wakeup_ns(), Some(450));
+        q.submit(120, probe(2.0), None).unwrap();
+        assert_eq!(q.next_wakeup_ns(), Some(450), "front linger still 1100");
+        let _ = q.take_expired(450);
+        assert_eq!(q.next_wakeup_ns(), Some(1_120), "now the second's linger");
+    }
+
+    #[test]
+    fn reject_reason_renders() {
+        assert!(RejectReason::QueueFull { capacity: 4 }
+            .to_string()
+            .contains("full"));
+        assert_eq!(RejectReason::Draining.label(), "draining");
+        assert_eq!(BatchTrigger::Linger.label(), "linger");
+    }
+}

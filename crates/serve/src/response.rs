@@ -1,0 +1,147 @@
+//! What a request gets back from the serving layer.
+
+use std::fmt;
+
+use canti_farm::{FarmError, JobOutput};
+
+/// The serving layer's answer to one admitted request.
+///
+/// Equality is exact (payload `f64`s compare bitwise through
+/// [`JobOutput`]'s derived `PartialEq`), which is what the determinism
+/// tests lean on: two runs of the same arrival script must produce `==`
+/// response streams at any worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse {
+    /// The id [`crate::AdmissionQueue::submit`] handed out.
+    pub request_id: u64,
+    /// How the request ended.
+    pub disposition: Disposition,
+}
+
+/// Terminal state of an admitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// The request rode in batch `batch` and the farm produced a result
+    /// (which may itself be a per-job [`FarmError`] — job failure is a
+    /// completed request, not a serving failure).
+    Completed {
+        /// Index of the batch that carried the request.
+        batch: u64,
+        /// Admission-to-completion time on the serve clock, ns.
+        latency_ns: u64,
+        /// The farm's per-job outcome.
+        result: Result<JobOutput, FarmError>,
+    },
+    /// The request's deadline passed while it was still queued; it never
+    /// entered a batch.
+    Expired {
+        /// How long the request waited before expiring, ns.
+        waited_ns: u64,
+        /// The absolute deadline instant it missed, ns.
+        deadline_ns: u64,
+    },
+}
+
+impl Disposition {
+    /// Whether the request completed with a successful job output.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Self::Completed { result: Ok(_), .. })
+    }
+
+    /// Stable label for metrics / trace fields.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Completed { result: Ok(_), .. } => "ok",
+            Self::Completed { result: Err(_), .. } => "job_failed",
+            Self::Expired { .. } => "expired",
+        }
+    }
+}
+
+impl fmt::Display for ServeResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.disposition {
+            Disposition::Completed {
+                batch,
+                latency_ns,
+                result,
+            } => match result {
+                Ok(out) => write!(
+                    f,
+                    "request {}: ok in batch {batch} ({} metrics, {latency_ns} ns)",
+                    self.request_id,
+                    out.metrics.len()
+                ),
+                Err(e) => write!(
+                    f,
+                    "request {}: failed in batch {batch} ({e}, {latency_ns} ns)",
+                    self.request_id
+                ),
+            },
+            Disposition::Expired {
+                waited_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "request {}: expired after {waited_ns} ns (deadline at {deadline_ns} ns)",
+                self.request_id
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output() -> JobOutput {
+        JobOutput {
+            job_index: 0,
+            kind: "probe",
+            metrics: vec![("value", 1.0)],
+        }
+    }
+
+    #[test]
+    fn labels_and_display_cover_every_disposition() {
+        let ok = ServeResponse {
+            request_id: 3,
+            disposition: Disposition::Completed {
+                batch: 1,
+                latency_ns: 42,
+                result: Ok(output()),
+            },
+        };
+        assert!(ok.disposition.is_ok());
+        assert_eq!(ok.disposition.label(), "ok");
+        assert!(ok.to_string().contains("batch 1"));
+
+        let failed = ServeResponse {
+            request_id: 4,
+            disposition: Disposition::Completed {
+                batch: 1,
+                latency_ns: 42,
+                result: Err(FarmError::Job {
+                    job_index: 0,
+                    reason: "bad".into(),
+                }),
+            },
+        };
+        assert!(!failed.disposition.is_ok());
+        assert_eq!(failed.disposition.label(), "job_failed");
+        assert!(failed.to_string().contains("failed"));
+
+        let expired = ServeResponse {
+            request_id: 5,
+            disposition: Disposition::Expired {
+                waited_ns: 10,
+                deadline_ns: 10,
+            },
+        };
+        assert!(!expired.disposition.is_ok());
+        assert_eq!(expired.disposition.label(), "expired");
+        assert!(expired.to_string().contains("expired"));
+    }
+}

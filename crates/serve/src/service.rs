@@ -1,0 +1,466 @@
+//! The threaded serving front: concurrent submitters, one batcher.
+//!
+//! [`ServeService`] wraps the same admission/batching core as
+//! [`crate::ServeEngine`] behind a mutex and runs a background batcher
+//! thread. Submitters get an immediate admit/reject answer plus a
+//! [`Ticket`] they can block on (or poll); the batcher forms batches
+//! *under* the lock but executes them *outside* it, so admission stays
+//! reject-fast while the farm computes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use canti_farm::{FarmObserver, JobSpec};
+use canti_obs::{ObsClock, WallClock};
+
+use crate::engine::{Front, ServeStats};
+use crate::exec::BatchExecutor;
+use crate::queue::RejectReason;
+use crate::response::ServeResponse;
+use crate::ServeConfig;
+
+/// How long the batcher sleeps when the queue is empty and nothing can
+/// change without a new submission (a submission kicks it immediately).
+const IDLE_WAIT: Duration = Duration::from_millis(50);
+
+/// A claim on one admitted request's eventual response.
+///
+/// Fulfilled exactly once — by batch completion, deadline expiry, or the
+/// drain flush at shutdown. Dropping the ticket discards the response.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    slot: Arc<Slot>,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    response: Mutex<Option<ServeResponse>>,
+    ready: Condvar,
+}
+
+impl Ticket {
+    /// The request id this ticket redeems.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives and returns it.
+    ///
+    /// Every admitted request is answered — completion, expiry, or the
+    /// shutdown drain — so this cannot wait forever while the service
+    /// (or its final drain) is running.
+    #[must_use]
+    pub fn wait(self) -> ServeResponse {
+        let mut guard = self
+            .slot
+            .response
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(response) = guard.take() {
+                return response;
+            }
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Takes the response if it has already arrived, without blocking.
+    #[must_use]
+    pub fn poll(&self) -> Option<ServeResponse> {
+        self.slot
+            .response
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+}
+
+struct State {
+    front: Front,
+    tickets: BTreeMap<u64, Arc<Slot>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    wake: Condvar,
+    executor: BatchExecutor,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn fulfil(state: &mut State, responses: Vec<ServeResponse>) {
+        for response in responses {
+            if let Some(slot) = state.tickets.remove(&response.request_id) {
+                *slot
+                    .response
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(response);
+                slot.ready.notify_all();
+            }
+        }
+    }
+}
+
+/// The multi-threaded serving service.
+///
+/// ```
+/// use canti_farm::{JobSpec, ProbeMode};
+/// use canti_serve::{ServeConfig, ServeService};
+///
+/// let service = ServeService::start(ServeConfig {
+///     max_batch: 2,
+///     linger_ns: 1_000, // 1 µs: fire quickly even for a lone request
+///     threads: 1,
+///     ..ServeConfig::default()
+/// });
+/// let ticket = service.submit(JobSpec::Probe(ProbeMode::Value(1.0))).unwrap();
+/// let response = ticket.wait();
+/// assert!(response.disposition.is_ok());
+/// let stats = service.shutdown();
+/// assert_eq!(stats.completed, 1);
+/// ```
+pub struct ServeService {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl ServeService {
+    /// Starts a service on the wall clock with no observer.
+    #[must_use]
+    pub fn start(config: ServeConfig) -> Self {
+        Self::start_with(config, Arc::new(WallClock::new()), None)
+    }
+
+    /// Starts a service recording serve metrics, spans and farm
+    /// telemetry into `observer`, timed on the observer's own clock.
+    #[must_use]
+    pub fn start_observed(config: ServeConfig, observer: FarmObserver) -> Self {
+        let clock = Arc::clone(observer.clock());
+        Self::start_with(config, clock, Some(observer))
+    }
+
+    fn start_with(
+        config: ServeConfig,
+        clock: Arc<dyn ObsClock>,
+        observer: Option<FarmObserver>,
+    ) -> Self {
+        let mut executor = BatchExecutor::new(config.threads, Arc::clone(&clock));
+        if let Some(o) = &observer {
+            executor = executor.with_observer(o.clone());
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                front: Front::new(config, clock, observer),
+                tickets: BTreeMap::new(),
+            }),
+            wake: Condvar::new(),
+            executor,
+            stop: AtomicBool::new(false),
+        });
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("canti-serve-batcher".into())
+                .spawn(move || batcher_loop(&shared))
+                .expect("spawn batcher thread")
+        };
+        Self {
+            shared,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// Submits a request (config default deadline, if any, applies) and
+    /// returns its ticket.
+    ///
+    /// # Errors
+    ///
+    /// Rejected immediately with a [`RejectReason`] when the queue is
+    /// full or the service is shutting down.
+    pub fn submit(&self, job: JobSpec) -> Result<Ticket, RejectReason> {
+        self.submit_inner(job, None)
+    }
+
+    /// Submits a request that expires `deadline_ns` after admission if
+    /// still queued.
+    ///
+    /// # Errors
+    ///
+    /// Rejected immediately with a [`RejectReason`] when the queue is
+    /// full or the service is shutting down.
+    pub fn submit_with_deadline(
+        &self,
+        job: JobSpec,
+        deadline_ns: u64,
+    ) -> Result<Ticket, RejectReason> {
+        self.submit_inner(job, Some(deadline_ns))
+    }
+
+    fn submit_inner(&self, job: JobSpec, deadline_ns: Option<u64>) -> Result<Ticket, RejectReason> {
+        let ticket = {
+            let mut state = self.shared.lock();
+            let id = state.front.admit(job, deadline_ns)?;
+            let slot = Arc::new(Slot::default());
+            state.tickets.insert(id, Arc::clone(&slot));
+            Ticket { id, slot }
+        };
+        self.shared.wake.notify_all();
+        Ok(ticket)
+    }
+
+    /// Requests currently queued (admitted, not yet batched or expired).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().front.depth()
+    }
+
+    /// The running serve tallies.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.shared.lock().front.stats()
+    }
+
+    /// The attached observer, if the service was started observed.
+    #[must_use]
+    pub fn observer(&self) -> Option<FarmObserver> {
+        self.shared.executor.observer().cloned()
+    }
+
+    /// Graceful shutdown: stop admitting (later submissions get
+    /// [`RejectReason::Draining`]), flush everything still queued as
+    /// final batches, fulfil every outstanding ticket, join the batcher
+    /// and return the final tallies.
+    #[must_use = "the drain summary reports what the service did"]
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> ServeStats {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        self.shared.lock().front.stats()
+    }
+}
+
+impl Drop for ServeService {
+    fn drop(&mut self) {
+        if self.batcher.is_some() {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeService")
+            .field("queue_depth", &self.queue_depth())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// One batcher pass: expire and form under the lock, execute each formed
+/// batch outside it, fulfil tickets back under the lock. Returns whether
+/// anything happened.
+fn pump_once(shared: &Shared) -> bool {
+    let (mut worked, batches) = {
+        let mut state = shared.lock();
+        let expired = state.front.take_expired();
+        let worked = !expired.is_empty();
+        Shared::fulfil(&mut state, expired);
+        (worked, state.front.form_ready())
+    };
+    for batch in batches {
+        worked = true;
+        let responses = shared.executor.execute(batch);
+        let mut state = shared.lock();
+        state.front.finish(&responses);
+        Shared::fulfil(&mut state, responses);
+    }
+    worked
+}
+
+fn batcher_loop(shared: &Shared) {
+    loop {
+        let worked = pump_once(shared);
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if worked {
+            continue; // more may already be ready
+        }
+        let state = shared.lock();
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let _unused = shared.wake.wait_timeout(state, IDLE_WAIT);
+    }
+    // Drain: stop admission, flush the remainder, answer every ticket.
+    let batches = {
+        let mut state = shared.lock();
+        let expired = state.front.take_expired();
+        Shared::fulfil(&mut state, expired);
+        state.front.begin_drain()
+    };
+    for batch in batches {
+        let responses = shared.executor.execute(batch);
+        let mut state = shared.lock();
+        state.front.finish(&responses);
+        Shared::fulfil(&mut state, responses);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::Disposition;
+    use canti_farm::ProbeMode;
+
+    fn probe(v: f64) -> JobSpec {
+        JobSpec::Probe(ProbeMode::Value(v))
+    }
+
+    #[test]
+    fn tickets_resolve_for_size_triggered_batches() {
+        let service = ServeService::start(ServeConfig {
+            max_batch: 4,
+            linger_ns: 1_000_000_000, // 1 s: only size can fire
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| service.submit(probe(f64::from(i))).expect("admitted"))
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let r = t.wait();
+            assert_eq!(r.request_id, i as u64);
+            assert!(r.disposition.is_ok(), "request {i}: {r}");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_fast() {
+        // Huge linger + threshold so nothing drains the queue.
+        let service = ServeService::start(ServeConfig {
+            queue_capacity: 2,
+            max_batch: 64,
+            linger_ns: u64::MAX,
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        let a = service.submit(probe(1.0)).expect("first admitted");
+        let b = service.submit(probe(2.0)).expect("second admitted");
+        assert_eq!(
+            service.submit(probe(3.0)).map(|t| t.id()),
+            Err(RejectReason::QueueFull { capacity: 2 })
+        );
+        assert_eq!(service.queue_depth(), 2);
+        // Shutdown drains the two queued requests and answers them.
+        let stats = service.shutdown();
+        assert!(a.wait().disposition.is_ok());
+        assert!(b.wait().disposition.is_ok());
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn expired_requests_get_expiry_responses() {
+        let service = ServeService::start(ServeConfig {
+            max_batch: 64,
+            linger_ns: u64::MAX, // batches can never fire...
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        // ...so a 1 ns deadline must expire the request instead.
+        let ticket = service
+            .submit_with_deadline(probe(1.0), 1)
+            .expect("admitted");
+        let response = ticket.wait();
+        match response.disposition {
+            Disposition::Expired { .. } => {}
+            other => panic!("expected expiry, got {other:?}"),
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_outstanding_requests() {
+        let service = ServeService::start(ServeConfig {
+            max_batch: 64,
+            linger_ns: u64::MAX,
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|i| service.submit(probe(f64::from(i))).expect("admitted"))
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.admitted, 5);
+        assert_eq!(stats.completed, 5, "drain answered everything");
+        for t in tickets {
+            let r = t.poll().expect("fulfilled before shutdown returned");
+            assert!(r.disposition.is_ok());
+        }
+    }
+
+    #[test]
+    fn observed_service_counts_through_the_shared_registry() {
+        let (observer, _ring) = FarmObserver::profiling(4096);
+        let service = ServeService::start_observed(
+            ServeConfig {
+                max_batch: 3,
+                linger_ns: 1_000_000_000,
+                threads: 1,
+                ..ServeConfig::default()
+            },
+            observer,
+        );
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| service.submit(probe(f64::from(i))).expect("admitted"))
+            .collect();
+        for t in tickets {
+            assert!(t.wait().disposition.is_ok());
+        }
+        let observer = service.observer().expect("observer");
+        let m = observer.metrics();
+        assert_eq!(m.counter("serve.admitted").get(), 3);
+        assert_eq!(m.counter("serve.completed").get(), 3);
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn drop_performs_shutdown() {
+        let service = ServeService::start(ServeConfig {
+            max_batch: 64,
+            linger_ns: u64::MAX,
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        let ticket = service.submit(probe(1.0)).expect("admitted");
+        drop(service); // must drain, not leak the batcher or the ticket
+        assert!(ticket.wait().disposition.is_ok());
+    }
+}

@@ -46,7 +46,10 @@ mod tests {
     #[test]
     fn thermal_voltage_at_300k() {
         let vt = thermal_voltage(Kelvin::new(300.0));
-        assert!((vt - 0.025852).abs() < 1e-5, "kT/q at 300 K ~ 25.85 mV, got {vt}");
+        assert!(
+            (vt - 0.025852).abs() < 1e-5,
+            "kT/q at 300 K ~ 25.85 mV, got {vt}"
+        );
     }
 
     #[test]

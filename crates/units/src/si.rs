@@ -616,13 +616,13 @@ mod tests {
         assert_eq!(q.abs().value(), 2.0);
         assert_eq!(q.min(Newtons::zero()).value(), -2.0);
         assert_eq!(q.max(Newtons::zero()).value(), 0.0);
-        assert_eq!(
-            q.clamp(Newtons::new(-1.0), Newtons::new(1.0)).value(),
-            -1.0
-        );
+        assert_eq!(q.clamp(Newtons::new(-1.0), Newtons::new(1.0)).value(), -1.0);
         assert!(q.is_finite());
         assert!(Newtons::zero().is_zero());
-        assert_eq!(Newtons::new(0.0).lerp(Newtons::new(10.0), 0.25).value(), 2.5);
+        assert_eq!(
+            Newtons::new(0.0).lerp(Newtons::new(10.0), 0.25).value(),
+            2.5
+        );
     }
 
     #[test]
@@ -637,7 +637,7 @@ mod tests {
                 + core::fmt::Debug
                 + core::fmt::Display
                 + Send
-                + Sync
+                + Sync,
         {
         }
         assert_quantity::<Meters>();

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // proper power-on: self-test + offset self-calibration
     instrument.power_on()?;
-    println!("\npowered on and self-calibrated; state: {:?}", instrument.state());
+    println!(
+        "\npowered on and self-calibrated; state: {:?}",
+        instrument.state()
+    );
 
     // a baseline pass and a measurement pass
     let baseline = instrument.run_scan([SurfaceStress::zero(); CHANNELS], 10_000)?;

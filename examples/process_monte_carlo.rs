@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|r| r.beam_thickness.as_micrometers())
             .unwrap_or(f64::NAN)
     });
-    let timed_ok: Vec<f64> = timed_thickness.into_iter().filter(|t| t.is_finite()).collect();
+    let timed_ok: Vec<f64> = timed_thickness
+        .into_iter()
+        .filter(|t| t.is_finite())
+        .collect();
 
     let s_stop = Stats::of(&stop_thickness).expect("stats");
     let s_timed = Stats::of(&timed_ok).expect("stats");

@@ -141,7 +141,10 @@ fn main() {
         threads: 1,
     })
     .run(&jobs);
-    assert_eq!(report, oracle, "parallel run must match the 1-thread oracle");
+    assert_eq!(
+        report, oracle,
+        "parallel run must match the 1-thread oracle"
+    );
     println!("determinism check: parallel report bit-identical to 1-thread oracle");
 }
 

@@ -8,4 +8,5 @@ pub use canti_farm as farm;
 pub use canti_fault as fault;
 pub use canti_mems as mems;
 pub use canti_obs as obs;
+pub use canti_serve as serve;
 pub use canti_units as units;

@@ -13,11 +13,11 @@
 
 use std::sync::Arc;
 
-use canti::fault::{FaultPlan, PlannedInjector};
 use canti::farm::{
     chaos_scan_batch, Farm, FarmConfig, FarmError, FarmSupervisor, JobSpec, ProbeMode,
     SupervisorConfig,
 };
+use canti::fault::{FaultPlan, PlannedInjector};
 use canti::obs::clock::VirtualClock;
 use canti::obs::trace::{Collector, RingCollector};
 use canti::obs::Tracer;
@@ -102,7 +102,9 @@ fn empty_fault_plan_is_byte_identical_to_no_injector() {
         instrument.power_on().unwrap();
         let mut sigmas = [SurfaceStress::zero(); CHANNELS];
         sigmas[1] = SurfaceStress::from_millinewtons_per_meter(3.0);
-        let a = instrument.run_scan([SurfaceStress::zero(); CHANNELS], 400).unwrap();
+        let a = instrument
+            .run_scan([SurfaceStress::zero(); CHANNELS], 400)
+            .unwrap();
         let b = instrument.run_scan(sigmas, 400).unwrap();
         (a, b, ring.to_ndjson())
     };

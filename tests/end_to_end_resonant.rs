@@ -127,12 +127,8 @@ fn allan_based_mass_lod() {
     let tau0 = Seconds::new(samples_per_reading as f64 / sys.sample_rate());
     let record = FrequencyRecord::from_absolute(&readings, nominal, tau0).expect("record");
 
-    let lod = MassDetectionLimit::from_allan(
-        &record,
-        Hertz::new(nominal),
-        &sys.mass_loading(),
-    )
-    .expect("lod");
+    let lod = MassDetectionLimit::from_allan(&record, Hertz::new(nominal), &sys.mass_loading())
+        .expect("lod");
     let (_tau, best) = lod.best().expect("best point");
     assert!(
         best.value() > 0.0 && best.as_picograms() < 1e5,

@@ -10,14 +10,18 @@ use canti::mems::beam::CompositeBeam;
 use canti::mems::surface_stress::SurfaceStressLoad;
 use canti::system::assay::run_static_assay;
 use canti::system::chip::BiosensorChip;
-use canti::system::static_system::{StaticCantileverSystem, StaticReadoutConfig, REFERENCE_CHANNEL};
+use canti::system::static_system::{
+    StaticCantileverSystem, StaticReadoutConfig, REFERENCE_CHANNEL,
+};
 use canti::units::{Molar, Seconds, SurfaceStress};
 
 /// The fabricated beam thickness (etch-stop) must match what the chip
 /// model assumes, and the released beam must actually be released.
 #[test]
 fn fabrication_feeds_the_chip_model() {
-    let flow_result = PostCmosFlow::paper().run(&WaferSpec::nominal()).expect("flow");
+    let flow_result = PostCmosFlow::paper()
+        .run(&WaferSpec::nominal())
+        .expect("flow");
     assert!(flow_result.released);
 
     let chip = BiosensorChip::paper_static_chip().expect("chip");
@@ -58,7 +62,9 @@ fn full_static_pipeline_consistency() {
     let mut system =
         StaticCantileverSystem::new(chip, StaticReadoutConfig::default()).expect("system");
     system.calibrate_offsets().expect("calibration");
-    let baseline = system.measure(0, SurfaceStress::zero(), 15_000).expect("baseline");
+    let baseline = system
+        .measure(0, SurfaceStress::zero(), 15_000)
+        .expect("baseline");
     let loaded = system.measure(0, sigma, 15_000).expect("loaded");
     let measured = loaded.value() - baseline.value();
     let predicted = system.transfer_volts_per_stress().expect("transfer") * sigma.value();
@@ -91,7 +97,9 @@ fn assay_sensorgram_shape() {
         Seconds::new(600.0),
     );
     let kinetics = LangmuirKinetics::from_receptor(&receptor);
-    let gram = protocol.run(&kinetics, Seconds::new(5.0), 0.0).expect("gram");
+    let gram = protocol
+        .run(&kinetics, Seconds::new(5.0), 0.0)
+        .expect("gram");
     let trace = run_static_assay(&mut system, &receptor, &gram, 256).expect("trace");
 
     let v = |t: f64| trace.output_at(Seconds::new(t)).expect("point");

@@ -83,7 +83,11 @@ fn mixed_64_job_batch_is_bit_identical_across_worker_counts() {
     let mut jobs = dose_response_sweep(&concentrations);
     jobs.extend(process_variation_batch(22, 0.05));
     jobs.extend(cross_reactivity_panel(25.0, &interferents));
-    assert!(jobs.len() >= 64, "need a >=64-job batch, got {}", jobs.len());
+    assert!(
+        jobs.len() >= 64,
+        "need a >=64-job batch, got {}",
+        jobs.len()
+    );
 
     let oracle = run(0xD15C_0B07, 1, &jobs);
     assert_eq!(oracle.ok_count(), jobs.len(), "all jobs must succeed");
@@ -139,7 +143,10 @@ fn job_errors_stay_in_their_slot() {
         let report = run(7, threads, &jobs);
         assert_eq!(report.ok_count(), 2);
         assert!(
-            matches!(&report.outcomes[1], Err(FarmError::Job { job_index: 1, .. })),
+            matches!(
+                &report.outcomes[1],
+                Err(FarmError::Job { job_index: 1, .. })
+            ),
             "{:?}",
             report.outcomes[1]
         );

@@ -23,10 +23,30 @@ fn assert_close(name: &str, actual: f64, golden: f64, rel_tol: f64) {
 #[test]
 fn igg_immunoassay_quick_matches_golden() {
     let o = igg_immunoassay_quick().expect("scenario");
-    assert_close("peak_output_volts", o.peak_output_volts, 7.948_204_502_710_412e-3, 1e-9);
-    assert_close("peak_coverage", o.peak_coverage, 7.681_022_869_450_908e-1, 1e-12);
-    assert_close("responsivity", o.responsivity, 2.055_592_530_263_994e0, 1e-12);
-    assert_close("noise_rms_volts", o.noise_rms_volts, 1.988_891_658_211_834e-5, 1e-9);
+    assert_close(
+        "peak_output_volts",
+        o.peak_output_volts,
+        7.948_204_502_710_412e-3,
+        1e-9,
+    );
+    assert_close(
+        "peak_coverage",
+        o.peak_coverage,
+        7.681_022_869_450_908e-1,
+        1e-12,
+    );
+    assert_close(
+        "responsivity",
+        o.responsivity,
+        2.055_592_530_263_994e0,
+        1e-12,
+    );
+    assert_close(
+        "noise_rms_volts",
+        o.noise_rms_volts,
+        1.988_891_658_211_834e-5,
+        1e-9,
+    );
 }
 
 #[test]
@@ -34,8 +54,18 @@ fn dna_hybridization_resonant_matches_golden() {
     let o = dna_hybridization_resonant().expect("scenario");
     // the shift is quantized by the frequency counter's resolution, hence
     // the exact-looking value
-    assert_close("peak_shift_hz", o.peak_shift_hz, -6.400_000_000_023_283e0, 1e-9);
-    assert_close("peak_coverage", o.peak_coverage, 9.990_009_990_009_989e-1, 1e-12);
+    assert_close(
+        "peak_shift_hz",
+        o.peak_shift_hz,
+        -6.400_000_000_023_283e0,
+        1e-9,
+    );
+    assert_close(
+        "peak_coverage",
+        o.peak_coverage,
+        9.990_009_990_009_989e-1,
+        1e-12,
+    );
     assert_close(
         "baseline_frequency_hz",
         o.baseline_frequency_hz,

@@ -100,7 +100,10 @@ fn claim_autonomous_operation() {
     // before: output pinned at a rail (uncalibrated offsets amplified)
     let raw = sys.measure(0, SurfaceStress::zero(), 8_000).expect("raw");
     let rail = sys.config().supply_rail;
-    assert!(raw.value().abs() > rail * 0.9, "uncalibrated output at rail");
+    assert!(
+        raw.value().abs() > rail * 0.9,
+        "uncalibrated output at rail"
+    );
     // self-calibration brings it inside 2% of the rail
     sys.calibrate_offsets().expect("cal");
     let cal = sys.measure(0, SurfaceStress::zero(), 8_000).expect("cal");
