@@ -1,6 +1,7 @@
 //! Serving-layer load bench: push a burst of concurrent assay requests
-//! through [`canti_serve::ServeService`] and report the latency and
-//! batch-shape histograms the serve instruments collected.
+//! through the (optionally sharded) serving layer and report the latency
+//! and batch-shape histograms the serve instruments collected, merged
+//! across shards.
 //!
 //! ```text
 //! cargo bench -p canti-bench --bench serve               # defaults
@@ -8,21 +9,26 @@
 //! CANTI_SERVE_BATCH=32     cargo bench -p canti-bench --bench serve
 //! CANTI_SERVE_THREADS=8    cargo bench -p canti-bench --bench serve
 //! CANTI_SERVE_SUBMITTERS=4 cargo bench -p canti-bench --bench serve
+//! CANTI_SERVE_SHARDS=4     cargo bench -p canti-bench --bench serve
 //! ```
 //!
 //! `CANTI_BENCH_JSON=<path>` archives the report for the `obsctl diff`
-//! perf gate in `scripts/ci.sh`, alongside the farm and experiments
-//! artifacts. On the way out the bench replays a scripted arrival
-//! sequence on a virtual clock at several farm worker counts and asserts
-//! the serving determinism contract end to end.
+//! perf gate in `scripts/ci.sh`, which runs this bench at shard counts
+//! {1, 4} and gates each artifact against its own previous archive. On
+//! the way out the bench replays a scripted arrival sequence on a
+//! virtual clock and asserts the serving determinism contract end to
+//! end — across farm worker counts on the plain engine, and across
+//! worker counts again at the configured shard count.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use canti_bench::report::ExperimentReport;
-use canti_farm::{JobSpec, Receptor};
-use canti_obs::{ObsClock, VirtualClock};
-use canti_serve::{ServeConfig, ServeEngine, ServeResponse, ServeService};
+use canti_farm::{FarmObserver, JobSpec, Receptor};
+use canti_obs::{Histogram, HistogramSnapshot, Metrics, ObsClock, VirtualClock};
+use canti_serve::{
+    ServeConfig, ServeEngine, ServeResponse, ShardedConfig, ShardedEngine, ShardedService,
+};
 use canti_units::{Molar, Seconds};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -47,16 +53,43 @@ fn request(i: usize) -> JobSpec {
     }
 }
 
+fn scripted_config(threads: usize) -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        linger_ns: 1_000,
+        threads,
+        ..ServeConfig::default()
+    }
+}
+
 /// Replays `requests` as a scripted arrival sequence on a virtual clock
 /// and returns every response, for the cross-worker-count check.
 fn scripted_run(requests: usize, threads: usize) -> Vec<ServeResponse> {
     let clock = Arc::new(VirtualClock::new());
     let mut engine = ServeEngine::new(
-        ServeConfig {
-            max_batch: 8,
-            linger_ns: 1_000,
-            threads,
-            ..ServeConfig::default()
+        scripted_config(threads),
+        Arc::clone(&clock) as Arc<dyn ObsClock>,
+    );
+    let mut responses = Vec::new();
+    for i in 0..requests {
+        engine.submit(request(i)).expect("admitted");
+        clock.advance_ns(100);
+        responses.extend(engine.pump());
+    }
+    clock.advance_ns(1_000);
+    responses.extend(engine.pump());
+    responses.extend(engine.drain());
+    responses
+}
+
+/// The same script against the sharded engine, for the cross-worker
+/// check at a fixed shard count.
+fn sharded_scripted_run(requests: usize, threads: usize, shards: usize) -> Vec<ServeResponse> {
+    let clock = Arc::new(VirtualClock::new());
+    let mut engine = ShardedEngine::new(
+        ShardedConfig {
+            shards,
+            base: scripted_config(threads),
         },
         Arc::clone(&clock) as Arc<dyn ObsClock>,
     );
@@ -72,6 +105,48 @@ fn scripted_run(requests: usize, threads: usize) -> Vec<ServeResponse> {
     responses
 }
 
+/// Merges one named histogram across the per-shard registries into a
+/// single snapshot: exact count/sum/min/max, and p50/p95 re-estimated
+/// from the summed bucket counts (all shards share the registry's
+/// default bounds for a given name).
+fn merged_snapshot(shard_metrics: &[Arc<Metrics>], name: &str) -> HistogramSnapshot {
+    let hists: Vec<Arc<Histogram>> = shard_metrics.iter().map(|m| m.histogram(name)).collect();
+    let bounds = hists[0].bounds().to_vec();
+    let mut counts = vec![0u64; bounds.len() + 1];
+    let mut merged = HistogramSnapshot::default();
+    let mut min = u64::MAX;
+    for h in &hists {
+        let s = h.snapshot();
+        merged.count += s.count;
+        merged.sum += s.sum;
+        if s.count > 0 {
+            min = min.min(s.min);
+        }
+        merged.max = merged.max.max(s.max);
+        for (slot, c) in counts.iter_mut().zip(h.bucket_counts()) {
+            *slot += c;
+        }
+    }
+    merged.min = if merged.count == 0 { 0 } else { min };
+    let quantile = |q: f64| -> u64 {
+        if merged.count == 0 {
+            return 0;
+        }
+        let rank = ((q * merged.count as f64).ceil() as u64).clamp(1, merged.count);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bounds.get(i).copied().unwrap_or(merged.max).min(merged.max);
+            }
+        }
+        merged.max
+    };
+    merged.p50 = quantile(0.50);
+    merged.p95 = quantile(0.95);
+    merged
+}
+
 fn main() {
     let requests = env_usize("CANTI_SERVE_REQUESTS", 256);
     let max_batch = env_usize("CANTI_SERVE_BATCH", 16);
@@ -80,22 +155,33 @@ fn main() {
         std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
     );
     let submitters = env_usize("CANTI_SERVE_SUBMITTERS", 4);
+    let shards = env_usize("CANTI_SERVE_SHARDS", 1);
 
     println!(
         "serve bench: {requests} requests, {submitters} submitters, \
-         batch<={max_batch}, {threads} farm workers"
+         batch<={max_batch}, {threads} farm workers, {shards} shard(s)"
     );
 
-    let (observer, _ring) = canti_farm::FarmObserver::profiling(1 << 14);
-    let metrics = Arc::clone(observer.metrics());
-    let service = Arc::new(ServeService::start_observed(
-        ServeConfig {
-            max_batch,
-            linger_ns: 200_000, // 0.2 ms
-            threads,
-            ..ServeConfig::default()
+    let mut observers = Vec::with_capacity(shards);
+    let mut rings = Vec::with_capacity(shards);
+    let mut shard_metrics: Vec<Arc<Metrics>> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (observer, ring) = FarmObserver::profiling(1 << 14);
+        shard_metrics.push(Arc::clone(observer.metrics()));
+        observers.push(observer);
+        rings.push(ring);
+    }
+    let service = Arc::new(ShardedService::start_observed(
+        ShardedConfig {
+            shards,
+            base: ServeConfig {
+                max_batch,
+                linger_ns: 200_000, // 0.2 ms
+                threads,
+                ..ServeConfig::default()
+            },
         },
-        observer,
+        observers,
     ));
 
     let start = Instant::now();
@@ -127,7 +213,7 @@ fn main() {
         rejected += r;
     }
     let elapsed = start.elapsed();
-    let stats = Arc::try_unwrap(service)
+    let per_shard = Arc::try_unwrap(service)
         .expect("submitters have exited")
         .shutdown();
 
@@ -136,11 +222,18 @@ fn main() {
         "  throughput: {:.0} req/s",
         ok as f64 / elapsed.as_secs_f64().max(1e-9)
     );
-    println!("  {}", stats.render());
-    assert_eq!(stats.completed as usize, ok, "every ticket resolved");
+    let mut completed_total = 0u64;
+    let mut batches_total = 0u64;
+    for (s, stats) in per_shard.iter().enumerate() {
+        println!("  shard {s}: {}", stats.render());
+        completed_total += stats.completed;
+        batches_total += stats.batches;
+    }
+    assert_eq!(completed_total as usize, ok, "every ticket resolved");
 
     // Worker-count invariance on a scripted arrival sequence: the whole
-    // serving path (admission -> batching -> farm) must be bit-identical.
+    // serving path (admission -> batching -> farm) must be bit-identical,
+    // on the plain engine and again at the configured shard count.
     let check_n = requests.min(48);
     let oracle = scripted_run(check_n, 1);
     for t in [2, 8] {
@@ -150,21 +243,43 @@ fn main() {
             "serve determinism contract violated at {t} farm workers"
         );
     }
-    println!("  determinism: {check_n}-request script bit-identical at 1/2/8 workers");
+    let check_shards = shards.max(2);
+    let sharded_oracle = sharded_scripted_run(check_n, 1, check_shards);
+    for t in [2, 8] {
+        assert_eq!(
+            sharded_scripted_run(check_n, t, check_shards),
+            sharded_oracle,
+            "sharded determinism contract violated at {t} workers x {check_shards} shards"
+        );
+    }
+    println!(
+        "  determinism: {check_n}-request script bit-identical at 1/2/8 workers \
+         (plain and {check_shards}-shard)"
+    );
 
     let mut exp = ExperimentReport::new("SERVE", "serving-layer load bench", &["metric", "value"]);
     exp.push_row(vec!["requests".into(), requests.to_string()]);
     exp.push_row(vec!["submitters".into(), submitters.to_string()]);
-    exp.push_row(vec!["completed".into(), stats.completed.to_string()]);
-    exp.push_row(vec!["batches".into(), stats.batches.to_string()]);
+    exp.push_row(vec!["shards".into(), shards.to_string()]);
+    exp.push_row(vec!["completed".into(), completed_total.to_string()]);
+    exp.push_row(vec!["batches".into(), batches_total.to_string()]);
+    for (s, stats) in per_shard.iter().enumerate() {
+        exp.push_row(vec![
+            format!("shard{s}.completed"),
+            stats.completed.to_string(),
+        ]);
+    }
     exp.push_timing(
         "request_latency_ns",
-        metrics.histogram("serve.request_latency_ns").snapshot(),
+        merged_snapshot(&shard_metrics, "serve.request_latency_ns"),
     );
     exp.push_timing(
         "batch_size",
-        metrics.histogram("serve.batch_size").snapshot(),
+        merged_snapshot(&shard_metrics, "serve.batch_size"),
     );
+    // farm-side queue_wait is deliberately NOT archived from this bench:
+    // under concurrent submitters its tail is scheduler noise, and the
+    // farm bench already gates queue_wait from a controlled batch run
     println!("{}", exp.to_json());
     // CANTI_BENCH_JSON=<path> additionally archives the document for the
     // obsctl diff perf gate in scripts/ci.sh

@@ -206,7 +206,7 @@ pub(crate) fn execute(
     spec: &JobSpec,
     rng: &mut ChaCha8Rng,
     cache: &PrecomputeCache,
-    obs: Option<&JobInstruments<'_>>,
+    obs: Option<&JobInstruments>,
 ) -> Result<Vec<(&'static str, f64)>, String> {
     match spec {
         JobSpec::StaticDoseResponse {
@@ -355,7 +355,7 @@ pub(crate) fn execute(
             // streams (the obsctl fault-health gate reads them there)
             if let Some(o) = obs {
                 instrument.set_tracer(o.tracer.clone());
-                instrument.set_metrics(std::sync::Arc::clone(o.metrics));
+                instrument.set_metrics(std::sync::Arc::clone(&o.metrics));
             }
             instrument.set_recovery_policy(RecoveryPolicy::resilient());
             let chaos = ChaosConfig {

@@ -56,7 +56,7 @@ pub use job::{
     chaos_scan_batch, cross_reactivity_panel, dose_response_sweep, process_variation_batch,
     JobSpec, ProbeMode, Receptor,
 };
-pub use pool::WorkerStat;
+pub use pool::{WorkerPool, WorkerStat};
 pub use report::{BatchReport, FarmError, JobOutput};
 pub use supervisor::{BreakerPosition, FarmSupervisor, SupervisedReport, SupervisorConfig};
 pub use telemetry::{FarmObserver, FarmTelemetry};
@@ -87,6 +87,7 @@ pub struct Farm {
     config: FarmConfig,
     cache: Arc<PrecomputeCache>,
     observer: Option<FarmObserver>,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Farm {
@@ -104,7 +105,20 @@ impl Farm {
             config,
             cache,
             observer: None,
+            pool: None,
         }
+    }
+
+    /// Attaches a persistent [`WorkerPool`]: subsequent runs dispatch
+    /// onto its long-lived threads instead of spawning a fresh scoped
+    /// pool per batch. The report is bit-identical either way (the
+    /// determinism contract does not depend on the scheduling
+    /// substrate); [`Self::threads`] reports the pool's size while one
+    /// is attached, overriding `config.threads`.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Attaches an observer: subsequent [`Self::run`]s record per-job
@@ -124,11 +138,14 @@ impl Farm {
         self.observer.as_ref()
     }
 
-    /// The resolved worker count (`config.threads`, with `0` mapped to
-    /// the machine's available parallelism).
+    /// The resolved worker count: the attached pool's size when one is
+    /// present, else `config.threads` with `0` mapped to the machine's
+    /// available parallelism.
     #[must_use]
     pub fn threads(&self) -> usize {
-        if self.config.threads > 0 {
+        if let Some(pool) = &self.pool {
+            pool.threads()
+        } else if self.config.threads > 0 {
             self.config.threads
         } else {
             std::thread::available_parallelism()
@@ -143,25 +160,182 @@ impl Farm {
         self.cache.stats()
     }
 
-    /// The per-job, per-attempt RNG stream: a splitmix-style spread of
-    /// the batch seed XOR-ed with the job index, so neighboring jobs land
-    /// in distant ChaCha streams. Attempt `0` is the canonical stream;
-    /// supervisor retries salt it with the attempt number so a re-run is
-    /// a genuinely fresh (but still deterministic) draw sequence.
+    /// Builds the owned per-batch execution state shared by the plain
+    /// and supervised paths. `batch_start_ns` anchors queue-wait
+    /// samples; `seeds` switches the RNG derivation to explicit per-job
+    /// seeds (the sharded serve path).
+    pub(crate) fn batch_runner(
+        &self,
+        jobs: Arc<Vec<JobSpec>>,
+        seeds: Option<Vec<u64>>,
+        batch_start_ns: u64,
+    ) -> BatchRunner {
+        BatchRunner {
+            batch_seed: self.config.batch_seed,
+            seeds: seeds.map(Arc::new),
+            jobs,
+            cache: Arc::clone(&self.cache),
+            observer: self.observer.clone(),
+            stages: self
+                .observer
+                .as_ref()
+                .map(telemetry::StageInstruments::register),
+            batch_start_ns,
+        }
+    }
+
+    /// Dispatches one wave of jobs onto the execution substrate: the
+    /// attached persistent pool when present, else a scoped
+    /// spawn-per-batch pool. `items` maps wave slots to batch job
+    /// indexes (`None` runs the whole batch, slot `i` = job `i`).
+    pub(crate) fn dispatch(
+        &self,
+        runner: &Arc<BatchRunner>,
+        items: Option<Arc<Vec<usize>>>,
+        attempt: u32,
+        deadline_ns: Option<u64>,
+    ) -> (Vec<Result<JobOutput, FarmError>>, Vec<WorkerStat>) {
+        let n = items.as_ref().map_or(runner.jobs.len(), |v| v.len());
+        let wave = items.is_some();
+        match &self.pool {
+            Some(pool) => {
+                let r = Arc::clone(runner);
+                pool.run_observed(
+                    n,
+                    move |slot| {
+                        let i = items.as_ref().map_or(slot, |v| v[slot]);
+                        r.run_job(i, attempt, wave, deadline_ns)
+                    },
+                    runner.observer.as_ref().map(|o| Arc::clone(o.clock())),
+                )
+            }
+            None => pool::run_indexed_observed(
+                n,
+                self.threads(),
+                |slot| {
+                    let i = items.as_ref().map_or(slot, |v| v[slot]);
+                    runner.run_job(i, attempt, wave, deadline_ns)
+                },
+                runner.observer.as_ref().map(|o| o.clock().as_ref()),
+            ),
+        }
+    }
+
+    /// Runs a batch, returning one outcome per job in submission order.
+    ///
+    /// Jobs run on [`Self::threads`] workers; errors and panics are
+    /// captured per job as [`FarmError`]s without aborting the batch.
+    /// The report is bit-identical for any worker count, with or without
+    /// an attached observer, and with or without a persistent pool.
+    #[must_use]
+    pub fn run(&self, jobs: &[JobSpec]) -> BatchReport {
+        self.run_with_seeds(jobs, None)
+    }
+
+    /// Like [`Self::run`], but each job's RNG stream derives from its
+    /// explicit seed instead of `(batch_seed, index)`. This is the
+    /// sharded serve path's hook: per-request seeds make a request's
+    /// payload independent of which batch slot — and which shard — it
+    /// lands in.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `seeds.len() == jobs.len()`.
+    #[must_use]
+    pub fn run_seeded(&self, jobs: &[JobSpec], seeds: &[u64]) -> BatchReport {
+        assert_eq!(jobs.len(), seeds.len(), "one seed per job");
+        self.run_with_seeds(jobs, Some(seeds.to_vec()))
+    }
+
+    fn run_with_seeds(&self, jobs: &[JobSpec], seeds: Option<Vec<u64>>) -> BatchReport {
+        let threads = self.threads();
+        let obs = self.observer.as_ref();
+
+        let batch_span = obs.map(|o| {
+            o.tracer().span(
+                "batch",
+                &[
+                    ("jobs", jobs.len().into()),
+                    ("workers", threads.into()),
+                    ("batch_seed", self.config.batch_seed.into()),
+                ],
+            )
+        });
+        let batch_start_ns = obs.map_or(0, |o| o.clock().now_ns());
+        let runner = Arc::new(self.batch_runner(Arc::new(jobs.to_vec()), seeds, batch_start_ns));
+
+        let (outcomes, worker_stats) = self.dispatch(&runner, None, 0, None);
+
+        let telemetry = obs.map(|o| {
+            let ok = outcomes.iter().filter(|r| r.is_ok()).count() as u64;
+            o.metrics().counter("farm.batches").add(1);
+            o.metrics().gauge("farm.workers").set(threads as i64);
+            o.metrics().counter("farm.jobs_ok").add(ok);
+            o.metrics()
+                .counter("farm.jobs_failed")
+                .add(outcomes.len() as u64 - ok);
+            let stages = runner
+                .stages
+                .as_ref()
+                .expect("observer implies instruments");
+            FarmTelemetry {
+                workers: threads,
+                jobs: jobs.len(),
+                queue_wait_ns: stages.queue_wait.snapshot(),
+                precompute_ns: stages.precompute.snapshot(),
+                solve_ns: stages.solve.snapshot(),
+                cache: self.cache.stats(),
+                per_worker: worker_stats,
+            }
+        });
+        drop(batch_span);
+
+        BatchReport {
+            batch_seed: self.config.batch_seed,
+            outcomes,
+            telemetry,
+        }
+    }
+}
+
+/// Everything one batch execution needs, owned, so per-job closures are
+/// `'static` and can cross into a persistent [`WorkerPool`]. Shared by
+/// [`Farm::run`] and the supervisor's retry waves.
+pub(crate) struct BatchRunner {
+    batch_seed: u64,
+    seeds: Option<Arc<Vec<u64>>>,
+    pub(crate) jobs: Arc<Vec<JobSpec>>,
+    cache: Arc<PrecomputeCache>,
+    pub(crate) observer: Option<FarmObserver>,
+    pub(crate) stages: Option<telemetry::StageInstruments>,
+    batch_start_ns: u64,
+}
+
+impl BatchRunner {
+    /// The per-job, per-attempt RNG stream. The canonical derivation is
+    /// a splitmix-style spread of the batch seed XOR-ed with the job
+    /// index, so neighboring jobs land in distant ChaCha streams; the
+    /// seeded path substitutes an explicit per-job seed for that base.
+    /// Attempt `0` is the canonical stream; supervisor retries salt it
+    /// with the attempt number so a re-run is a genuinely fresh (but
+    /// still deterministic) draw sequence.
     fn job_rng(&self, job_index: usize, attempt: u32) -> ChaCha8Rng {
-        let base = self.config.batch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ job_index as u64;
+        let base = match &self.seeds {
+            Some(seeds) => seeds[job_index],
+            None => self.batch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ job_index as u64,
+        };
         ChaCha8Rng::seed_from_u64(base ^ u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F))
     }
 
     /// Runs one job through the catch-unwind boundary, mapping the three
     /// failure shapes into the job's outcome slot.
-    fn run_job(
+    fn execute(
         &self,
         i: usize,
         attempt: u32,
-        spec: &JobSpec,
-        obs: Option<&telemetry::JobInstruments<'_>>,
+        obs: Option<&telemetry::JobInstruments>,
     ) -> Result<JobOutput, FarmError> {
+        let spec = &self.jobs[i];
         let mut rng = self.job_rng(i, attempt);
         let run = catch_unwind(AssertUnwindSafe(|| {
             job::execute(spec, &mut rng, &self.cache, obs)
@@ -183,87 +357,52 @@ impl Farm {
         }
     }
 
-    /// Runs a batch, returning one outcome per job in submission order.
-    ///
-    /// Jobs run on [`Self::threads`] workers; errors and panics are
-    /// captured per job as [`FarmError`]s without aborting the batch.
-    /// The report is bit-identical for any worker count, with or without
-    /// an attached observer.
-    #[must_use]
-    pub fn run(&self, jobs: &[JobSpec]) -> BatchReport {
-        let threads = self.threads();
-        let obs = self.observer.as_ref();
-
-        // per-stage instruments (registered once per farm, shared Arc)
-        let stage_histograms = obs.map(|o| {
-            (
-                o.metrics().histogram("farm.queue_wait_ns"),
-                o.metrics().histogram("farm.precompute_ns"),
-                o.metrics().histogram("farm.solve_ns"),
-            )
-        });
-        let batch_span = obs.map(|o| {
+    /// The full per-job pipeline: queue-wait sample, `job` span (with
+    /// the attempt field on supervised waves), stage instruments, and
+    /// the optional observer-clock deadline.
+    pub(crate) fn run_job(
+        &self,
+        i: usize,
+        attempt: u32,
+        wave: bool,
+        deadline_ns: Option<u64>,
+    ) -> Result<JobOutput, FarmError> {
+        let (Some(o), Some(stages)) = (self.observer.as_ref(), self.stages.as_ref()) else {
+            return self.execute(i, attempt, None);
+        };
+        stages
+            .queue_wait
+            .record(o.clock().now_ns().saturating_sub(self.batch_start_ns));
+        let kind = self.jobs[i].kind();
+        let job_span = if wave {
             o.tracer().span(
-                "batch",
+                "job",
                 &[
-                    ("jobs", jobs.len().into()),
-                    ("workers", threads.into()),
-                    ("batch_seed", self.config.batch_seed.into()),
+                    ("job", i.into()),
+                    ("kind", kind.into()),
+                    ("attempt", u64::from(attempt).into()),
                 ],
             )
-        });
-        let batch_start_ns = obs.map_or(0, |o| o.clock().now_ns());
-
-        let (outcomes, worker_stats) = pool::run_indexed_observed(
-            jobs.len(),
-            threads,
-            |i| match (obs, &stage_histograms) {
-                (Some(o), Some((queue_wait, precompute, solve))) => {
-                    queue_wait.record(o.clock().now_ns().saturating_sub(batch_start_ns));
-                    let job_span = o
-                        .tracer()
-                        .span("job", &[("job", i.into()), ("kind", jobs[i].kind().into())]);
-                    let instruments = telemetry::JobInstruments {
-                        tracer: o.tracer(),
-                        metrics: o.metrics(),
-                        precompute_ns: precompute,
-                    };
-                    let outcome = self.run_job(i, 0, &jobs[i], Some(&instruments));
-                    solve.record(job_span.end());
-                    outcome
-                }
-                _ => self.run_job(i, 0, &jobs[i], None),
-            },
-            obs.map(|o| o.clock().as_ref()),
-        );
-
-        let telemetry = obs.map(|o| {
-            let ok = outcomes.iter().filter(|r| r.is_ok()).count() as u64;
-            o.metrics().counter("farm.batches").add(1);
-            o.metrics().gauge("farm.workers").set(threads as i64);
-            o.metrics().counter("farm.jobs_ok").add(ok);
-            o.metrics()
-                .counter("farm.jobs_failed")
-                .add(outcomes.len() as u64 - ok);
-            let (queue_wait, precompute, solve) = stage_histograms
-                .as_ref()
-                .expect("observer implies instruments");
-            FarmTelemetry {
-                workers: threads,
-                jobs: jobs.len(),
-                queue_wait_ns: queue_wait.snapshot(),
-                precompute_ns: precompute.snapshot(),
-                solve_ns: solve.snapshot(),
-                cache: self.cache.stats(),
-                per_worker: worker_stats,
-            }
-        });
-        drop(batch_span);
-
-        BatchReport {
-            batch_seed: self.config.batch_seed,
-            outcomes,
-            telemetry,
+        } else {
+            o.tracer()
+                .span("job", &[("job", i.into()), ("kind", kind.into())])
+        };
+        let instruments = telemetry::JobInstruments {
+            tracer: o.tracer().clone(),
+            metrics: Arc::clone(o.metrics()),
+            precompute_ns: Arc::clone(&stages.precompute),
+        };
+        let t0 = o.clock().now_ns();
+        let outcome = self.execute(i, attempt, Some(&instruments));
+        let elapsed = o.clock().now_ns().saturating_sub(t0);
+        stages.solve.record(job_span.end());
+        match deadline_ns {
+            Some(deadline) if elapsed > deadline => Err(FarmError::DeadlineExceeded {
+                job_index: i,
+                elapsed_ns: elapsed,
+                deadline_ns: deadline,
+            }),
+            _ => outcome,
         }
     }
 }
@@ -392,6 +531,52 @@ mod tests {
             .filter(|e| e.name == "job" && e.kind == canti_obs::EventKind::SpanStart)
             .count();
         assert_eq!(job_starts, 12);
+    }
+
+    #[test]
+    fn persistent_pool_run_is_bit_identical_to_spawned() {
+        let jobs: Vec<JobSpec> = (0..16)
+            .map(|i| JobSpec::Probe(ProbeMode::Draws(1 + i % 5)))
+            .collect();
+        let oracle = farm(1).run(&jobs);
+        for threads in [1, 2, 8] {
+            let pool = Arc::new(WorkerPool::new(threads));
+            let pooled = farm(threads).with_pool(Arc::clone(&pool));
+            assert_eq!(pooled.threads(), threads);
+            // reuse the same pool across several batches
+            for _ in 0..3 {
+                assert_eq!(pooled.run(&jobs), oracle, "{threads} pooled workers");
+            }
+        }
+    }
+
+    #[test]
+    fn run_seeded_with_canonical_seeds_matches_run() {
+        let jobs: Vec<JobSpec> = (0..8)
+            .map(|i| JobSpec::Probe(ProbeMode::Draws(1 + i % 3)))
+            .collect();
+        let f = farm(2);
+        let canonical: Vec<u64> = (0..jobs.len())
+            .map(|i| 0xBEEFu64.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64)
+            .collect();
+        assert_eq!(
+            f.run_seeded(&jobs, &canonical),
+            f.run(&jobs),
+            "explicit canonical seeds reproduce the derived streams"
+        );
+        // and seeds actually matter: permuting them changes the payload
+        let mut permuted = canonical.clone();
+        permuted.swap(0, 7);
+        assert_ne!(
+            f.run_seeded(&jobs, &permuted).outcomes,
+            f.run(&jobs).outcomes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed per job")]
+    fn run_seeded_rejects_mismatched_lengths() {
+        let _ = farm(1).run_seeded(&[JobSpec::Probe(ProbeMode::Value(1.0))], &[1, 2]);
     }
 
     #[test]

@@ -18,11 +18,16 @@
 //! harness itself — which is exactly when "finish the batch, then fail
 //! loudly" beats hanging a join.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use canti_obs::ObsClock;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Per-worker utilization tallies from one pool run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -150,6 +155,296 @@ where
         resume_unwind(payload);
     }
     (out, stats)
+}
+
+/// One submitted batch on a [`WorkerPool`], type-erased so batches of
+/// different result types can share the same queue. The typed closure
+/// built by [`WorkerPool::run_observed`] owns the slot vector; the pool
+/// only needs "run index `i`" plus claim/retire bookkeeping.
+struct BatchTask {
+    /// Jobs in the batch.
+    n: usize,
+    /// Next unclaimed job index (claims may overshoot past `n`).
+    next: AtomicUsize,
+    /// Jobs not yet finished; the worker that retires the last one marks
+    /// the batch complete and wakes the submitting caller.
+    pending: AtomicUsize,
+    /// Set under the pool lock when `pending` hits zero.
+    complete: AtomicBool,
+    /// Runs one job and records its result in the caller's slot vector.
+    run: Box<dyn Fn(usize) + Send + Sync>,
+    /// Busy-time clock, when the caller wants utilization timed.
+    clock: Option<Arc<dyn ObsClock>>,
+    /// Per-worker tallies, indexed by worker slot (pool thread index).
+    stats: Vec<Mutex<WorkerStat>>,
+}
+
+struct PoolState {
+    queue: VecDeque<Arc<BatchTask>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Wakes workers: new batch enqueued, or shutdown.
+    work: Condvar,
+    /// Wakes submitting callers: some batch completed.
+    done: Condvar,
+}
+
+/// A persistent worker pool: long-lived threads parked on a condvar,
+/// pulling job indices from queued batches and reused across batches.
+///
+/// The default `run_indexed_observed` path spawns (and joins) fresh
+/// threads per batch, which is fine for one large batch but dominates
+/// the cost of the serve layer's micro-batches. A `WorkerPool` pays the spawn cost once
+/// at construction; every subsequent batch is a queue push plus condvar
+/// wakeups. The result contract is identical — index-addressed slots,
+/// submission-order output, panic poisoning per slot with the first
+/// panic re-raised on the caller after the batch finishes — so the
+/// spawn-per-batch pool remains the byte-exact oracle for this one.
+///
+/// # Shutdown
+///
+/// [`WorkerPool::shutdown`] is graceful and idempotent: workers finish
+/// every batch already queued (callers blocked in [`WorkerPool::run`]
+/// still get their results), then exit and are joined. Dropping the
+/// pool shuts it down. Submitting to a pool that is already shut down
+/// panics.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = lock(&self.shared.state);
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("queued_batches", &state.queue.len())
+            .field("shutdown", &state.shutdown)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` parked workers (`0` means the
+    /// machine's available parallelism).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads > 0 {
+            threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("canti-farm-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn farm worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            threads,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The resolved worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` for every `i in 0..n` on the pool's workers and
+    /// returns the results in index order — `run_indexed` semantics on
+    /// persistent threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is shut down. If `f` panics, the batch still
+    /// completes (and later batches still run — the worker thread
+    /// survives); the first panic payload is then re-raised here.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        self.run_observed(n, f, None).0
+    }
+
+    /// [`Self::run`] plus per-worker utilization: job counts always,
+    /// busy time when `clock` is provided. The stats vector always has
+    /// one entry per pool thread (idle workers report zero jobs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is shut down, and re-raises the first job
+    /// panic after the batch completes (see [`Self::run`]).
+    pub fn run_observed<T, F>(
+        &self,
+        n: usize,
+        f: F,
+        clock: Option<Arc<dyn ObsClock>>,
+    ) -> (Vec<T>, Vec<WorkerStat>)
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        if n == 0 {
+            return (Vec::new(), vec![WorkerStat::default(); self.threads]);
+        }
+        let slots: Arc<Vec<Mutex<Slot<T>>>> =
+            Arc::new((0..n).map(|_| Mutex::new(Slot::Empty)).collect());
+        let run = {
+            let slots = Arc::clone(&slots);
+            Box::new(move |i: usize| {
+                let result = catch_unwind(AssertUnwindSafe(|| f(i)));
+                // a poisoned mutex is irrelevant here: the slot content
+                // is what records job failure
+                *lock(&slots[i]) = match result {
+                    Ok(v) => Slot::Done(v),
+                    Err(payload) => Slot::Poisoned(payload),
+                };
+            }) as Box<dyn Fn(usize) + Send + Sync>
+        };
+        let task = Arc::new(BatchTask {
+            n,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(n),
+            complete: AtomicBool::new(false),
+            run,
+            clock,
+            stats: (0..self.threads)
+                .map(|_| Mutex::new(WorkerStat::default()))
+                .collect(),
+        });
+        {
+            let mut state = lock(&self.shared.state);
+            assert!(!state.shutdown, "worker pool is shut down");
+            state.queue.push_back(Arc::clone(&task));
+        }
+        self.shared.work.notify_all();
+
+        // Wait for the whole batch to retire. The completing worker sets
+        // `complete` under the state lock, so this check-then-wait can't
+        // miss the wakeup.
+        let mut state = lock(&self.shared.state);
+        while !task.complete.load(Ordering::Acquire) {
+            state = self
+                .shared
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(state);
+
+        let stats: Vec<WorkerStat> = task.stats.iter().map(|m| *lock(m)).collect();
+        let mut out = Vec::with_capacity(n);
+        let mut first_payload: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+        for (i, slot) in slots.iter().enumerate() {
+            match std::mem::replace(&mut *lock(slot), Slot::Empty) {
+                Slot::Done(v) => out.push(v),
+                Slot::Poisoned(payload) => {
+                    if first_payload.is_none() {
+                        first_payload = Some((i, payload));
+                    }
+                }
+                Slot::Empty => panic!("job {i} produced no result"),
+            }
+        }
+        if let Some((i, payload)) = first_payload {
+            eprintln!("canti-farm pool: job {i} panicked; batch completed, re-raising");
+            resume_unwind(payload);
+        }
+        (out, stats)
+    }
+
+    /// Graceful, idempotent shutdown: stops accepting new batches,
+    /// drains every batch already queued (blocked [`Self::run`] callers
+    /// get their results), then joins every worker. Calling it again is
+    /// a no-op.
+    pub fn shutdown(&self) {
+        lock(&self.shared.state).shutdown = true;
+        self.shared.work.notify_all();
+        let handles = std::mem::take(&mut *lock(&self.handles));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &PoolShared, worker: usize) {
+    loop {
+        // Park until some queued batch still has unclaimed work. Batches
+        // drain front-first; fully-claimed batches stay queued until
+        // their last job retires them, so a worker may skip past one to
+        // help a later batch.
+        let task: Arc<BatchTask> = {
+            let mut state = lock(&shared.state);
+            loop {
+                if let Some(task) = state
+                    .queue
+                    .iter()
+                    .find(|t| t.next.load(Ordering::Relaxed) < t.n)
+                {
+                    break Arc::clone(task);
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        loop {
+            let i = task.next.fetch_add(1, Ordering::Relaxed);
+            if i >= task.n {
+                break;
+            }
+            let t0 = task.clock.as_ref().map(|c| c.now_ns());
+            (task.run)(i);
+            {
+                let mut stat = lock(&task.stats[worker]);
+                if let (Some(t0), Some(c)) = (t0, task.clock.as_ref()) {
+                    stat.busy_ns += c.now_ns().saturating_sub(t0);
+                }
+                stat.jobs += 1;
+            }
+            // stats are written before the retire below, so the caller's
+            // post-completion read sees them
+            if task.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut state = lock(&shared.state);
+                task.complete.store(true, Ordering::Release);
+                state.queue.retain(|t| !Arc::ptr_eq(t, &task));
+                drop(state);
+                shared.done.notify_all();
+                shared.work.notify_all();
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +586,148 @@ mod tests {
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].jobs, 5);
         assert_eq!(stats[0].busy_ns, 50, "virtual clock time is deterministic");
+    }
+
+    // ---- persistent WorkerPool ----
+
+    #[test]
+    fn persistent_pool_matches_the_spawn_oracle() {
+        let f = |i: usize| (i * i) as u64;
+        let oracle = run_indexed(100, 1, f);
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.run(100, f), oracle, "{threads} persistent workers");
+        }
+    }
+
+    #[test]
+    fn persistent_pool_is_reused_across_batches() {
+        let pool = WorkerPool::new(3);
+        for round in 0..10u64 {
+            let out = pool.run(16, move |i| i as u64 + round);
+            assert_eq!(out, (0..16).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn persistent_pool_empty_batch_and_stats_shape() {
+        let pool = WorkerPool::new(4);
+        let (out, stats) = pool.run_observed(0, |i| i, None);
+        assert_eq!(out, Vec::<usize>::new());
+        assert_eq!(stats.len(), 4, "one stat slot per pool thread");
+        let (out, stats) = pool.run_observed(40, |i| i, None);
+        assert_eq!(out.len(), 40);
+        assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 40);
+    }
+
+    #[test]
+    fn persistent_pool_busy_time_comes_from_the_injected_clock() {
+        let clock = Arc::new(VirtualClock::new());
+        let pool = WorkerPool::new(1);
+        let job_clock = Arc::clone(&clock);
+        let (_, stats) = pool.run_observed(
+            5,
+            move |_| job_clock.advance_ns(10),
+            Some(clock as Arc<dyn ObsClock>),
+        );
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].jobs, 5);
+        assert_eq!(stats[0].busy_ns, 50);
+    }
+
+    /// Satellite: a panicking job poisons only its own slot; the batch
+    /// completes, the panic is re-raised, and the SAME pool then runs
+    /// later batches normally (its workers never unwound).
+    #[test]
+    fn pool_survives_a_job_panic_and_runs_subsequent_batches() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let completed = Arc::new(AtomicUsize::new(0));
+        let run_completed = Arc::clone(&completed);
+        let run_pool = Arc::clone(&pool);
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            run_pool.run(16, move |i| {
+                if i == 3 {
+                    panic!("third job dies");
+                }
+                run_completed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        let payload = result.expect_err("pool must re-raise the job panic");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("third job dies")
+        );
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            15,
+            "all surviving jobs completed before the re-raise"
+        );
+        // subsequent batches still run on the same workers
+        assert_eq!(pool.run(8, |i| i * 2), vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    /// Satellite: shutdown is graceful — work already queued completes
+    /// and the blocked caller gets its full result set.
+    #[test]
+    fn shutdown_completes_queued_work() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let started = Arc::new(AtomicUsize::new(0));
+        let job_started = Arc::clone(&started);
+        let run_pool = Arc::clone(&pool);
+        let caller = std::thread::spawn(move || {
+            run_pool.run(8, move |i| {
+                job_started.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                i
+            })
+        });
+        // wait until the batch is genuinely in flight, then shut down
+        while started.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        pool.shutdown();
+        let out = caller.join().expect("caller thread");
+        assert_eq!(out, (0..8).collect::<Vec<_>>(), "queued work completed");
+    }
+
+    /// Satellite: double shutdown is a no-op, and submitting afterwards
+    /// panics loudly instead of hanging.
+    #[test]
+    fn double_shutdown_is_a_noop_and_late_submission_panics() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.run(4, |i| i), vec![0, 1, 2, 3]);
+        pool.shutdown();
+        pool.shutdown(); // second call must return immediately
+        let late = catch_unwind(AssertUnwindSafe(|| pool.run(1, |i| i)));
+        let payload = late.expect_err("submission after shutdown must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert!(message.contains("shut down"), "unexpected panic: {message}");
+    }
+
+    #[test]
+    fn pool_threads_zero_resolves_to_machine_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.threads() >= 1);
+        assert_eq!(WorkerPool::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn concurrent_batches_from_multiple_callers_all_complete() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let callers: Vec<_> = (0..4u64)
+            .map(|c| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || pool.run(32, move |i| i as u64 * 10 + c))
+            })
+            .collect();
+        for (c, handle) in callers.into_iter().enumerate() {
+            let out = handle.join().expect("caller");
+            assert_eq!(out, (0..32).map(|i| i * 10 + c as u64).collect::<Vec<_>>());
+        }
     }
 }

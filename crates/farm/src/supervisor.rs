@@ -37,14 +37,12 @@
 //! pre-filtering the jobs their cooldown covers.
 
 use std::collections::BTreeMap;
-
-use canti_obs::Histogram;
 use std::sync::Arc;
 
 use crate::job::JobSpec;
 use crate::report::{BatchReport, FarmError, JobOutput};
-use crate::telemetry::{FarmTelemetry, JobInstruments};
-use crate::{pool, Farm, WorkerStat};
+use crate::telemetry::FarmTelemetry;
+use crate::{Farm, WorkerStat};
 
 /// Retry, deadline and breaker policy for a supervised batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,13 +165,6 @@ impl SupervisedReport {
     }
 }
 
-/// Shared per-wave instruments (one set per supervised batch).
-struct WaveInstruments {
-    queue_wait: Arc<Histogram>,
-    precompute: Arc<Histogram>,
-    solve: Arc<Histogram>,
-}
-
 /// The supervising wrapper around a [`Farm`].
 #[derive(Debug)]
 pub struct FarmSupervisor {
@@ -227,11 +218,6 @@ impl FarmSupervisor {
         let threads = self.farm.threads();
         let obs = self.farm.observer.as_ref();
 
-        let instruments = obs.map(|o| WaveInstruments {
-            queue_wait: o.metrics().histogram("farm.queue_wait_ns"),
-            precompute: o.metrics().histogram("farm.precompute_ns"),
-            solve: o.metrics().histogram("farm.solve_ns"),
-        });
         let batch_span = obs.map(|o| {
             o.tracer().span(
                 "supervised_batch",
@@ -244,6 +230,11 @@ impl FarmSupervisor {
             )
         });
         let batch_start_ns = obs.map_or(0, |o| o.clock().now_ns());
+        let runner = Arc::new(self.farm.batch_runner(
+            Arc::new(jobs.to_vec()),
+            None,
+            batch_start_ns,
+        ));
 
         // Pre-filter: breakers already open when the batch starts save
         // real compute — the first `cooldown_left` jobs of that kind
@@ -282,14 +273,11 @@ impl FarmSupervisor {
                     );
                 }
             }
-            let (wave, stats) = run_wave(
-                &self.farm,
-                jobs,
-                &pending,
+            let (wave, stats) = self.farm.dispatch(
+                &runner,
+                Some(Arc::new(pending.clone())),
                 attempt,
                 self.config.job_deadline_ns,
-                batch_start_ns,
-                instruments.as_ref(),
             );
             merge_worker_stats(&mut per_worker, &stats);
             let mut still_failing = Vec::new();
@@ -396,13 +384,16 @@ impl FarmSupervisor {
                     .gauge(&format!("breaker.state.{kind}"))
                     .set(b.position.gauge_value());
             }
-            let ins = instruments.as_ref().expect("observer implies instruments");
+            let stages = runner
+                .stages
+                .as_ref()
+                .expect("observer implies instruments");
             FarmTelemetry {
                 workers: threads,
                 jobs: jobs.len(),
-                queue_wait_ns: ins.queue_wait.snapshot(),
-                precompute_ns: ins.precompute.snapshot(),
-                solve_ns: ins.solve.snapshot(),
+                queue_wait_ns: stages.queue_wait.snapshot(),
+                precompute_ns: stages.precompute.snapshot(),
+                solve_ns: stages.solve.snapshot(),
                 cache: self.farm.cache.stats(),
                 per_worker,
             }
@@ -444,60 +435,6 @@ fn emit_breaker_event(
     o.metrics()
         .gauge(&format!("breaker.state.{kind}"))
         .set(position.gauge_value());
-}
-
-/// Runs one retry wave (`items` are batch job indexes) on the farm's
-/// pool, returning outcomes in `items` order plus per-worker stats.
-fn run_wave(
-    farm: &Farm,
-    jobs: &[JobSpec],
-    items: &[usize],
-    attempt: u32,
-    deadline_ns: Option<u64>,
-    batch_start_ns: u64,
-    instruments: Option<&WaveInstruments>,
-) -> (Vec<Result<JobOutput, FarmError>>, Vec<WorkerStat>) {
-    let obs = farm.observer.as_ref();
-    pool::run_indexed_observed(
-        items.len(),
-        farm.threads(),
-        |w| {
-            let i = items[w];
-            match (obs, instruments) {
-                (Some(o), Some(ins)) => {
-                    ins.queue_wait
-                        .record(o.clock().now_ns().saturating_sub(batch_start_ns));
-                    let job_span = o.tracer().span(
-                        "job",
-                        &[
-                            ("job", i.into()),
-                            ("kind", jobs[i].kind().into()),
-                            ("attempt", u64::from(attempt).into()),
-                        ],
-                    );
-                    let job_instruments = JobInstruments {
-                        tracer: o.tracer(),
-                        metrics: o.metrics(),
-                        precompute_ns: &ins.precompute,
-                    };
-                    let t0 = o.clock().now_ns();
-                    let outcome = farm.run_job(i, attempt, &jobs[i], Some(&job_instruments));
-                    let elapsed = o.clock().now_ns().saturating_sub(t0);
-                    ins.solve.record(job_span.end());
-                    match deadline_ns {
-                        Some(deadline) if elapsed > deadline => Err(FarmError::DeadlineExceeded {
-                            job_index: i,
-                            elapsed_ns: elapsed,
-                            deadline_ns: deadline,
-                        }),
-                        _ => outcome,
-                    }
-                }
-                _ => farm.run_job(i, attempt, &jobs[i], None),
-            }
-        },
-        obs.map(|o| o.clock().as_ref()),
-    )
 }
 
 /// Element-wise accumulation of wave worker stats (waves may use

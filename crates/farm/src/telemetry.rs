@@ -108,17 +108,39 @@ impl FarmObserver {
     }
 }
 
-/// Per-job stage instruments handed down into job execution.
-pub(crate) struct JobInstruments<'a> {
-    pub(crate) tracer: &'a Tracer,
-    pub(crate) metrics: &'a Arc<Metrics>,
-    pub(crate) precompute_ns: &'a Histogram,
+/// Per-job stage instruments handed down into job execution. Owned
+/// (`Arc`-backed) rather than borrowed so the per-job closures carrying
+/// them are `'static` and can cross into a persistent
+/// [`crate::WorkerPool`].
+pub(crate) struct JobInstruments {
+    pub(crate) tracer: Tracer,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) precompute_ns: Arc<Histogram>,
+}
+
+/// The three per-stage histograms every batch (plain or supervised)
+/// records into, registered once per batch on the observer's metrics
+/// registry.
+pub(crate) struct StageInstruments {
+    pub(crate) queue_wait: Arc<Histogram>,
+    pub(crate) precompute: Arc<Histogram>,
+    pub(crate) solve: Arc<Histogram>,
+}
+
+impl StageInstruments {
+    pub(crate) fn register(observer: &FarmObserver) -> Self {
+        Self {
+            queue_wait: observer.metrics.histogram("farm.queue_wait_ns"),
+            precompute: observer.metrics.histogram("farm.precompute_ns"),
+            solve: observer.metrics.histogram("farm.solve_ns"),
+        }
+    }
 }
 
 /// Times `f` as stage `name` into `obs` (when observing); transparent
 /// otherwise.
 pub(crate) fn timed_stage<T>(
-    obs: Option<&JobInstruments<'_>>,
+    obs: Option<&JobInstruments>,
     name: &'static str,
     f: impl FnOnce() -> T,
 ) -> T {

@@ -67,7 +67,7 @@ pub mod trace;
 
 pub use analyze::{SpanNode, StageStats, Trace};
 pub use clock::{ObsClock, VirtualClock, WallClock};
-pub use expose::render_prometheus;
+pub use expose::{render_prometheus, render_prometheus_sharded};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics};
 pub use ndjson::JsonValue;
 pub use parse::{parse_json, parse_ndjson, Json, ParseError};

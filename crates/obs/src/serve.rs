@@ -12,7 +12,10 @@
 //!
 //! * `GET /metrics` — the registry in Prometheus text format
 //!   ([`crate::expose::render_prometheus`]), content type
-//!   `text/plain; version=0.0.4`,
+//!   `text/plain; version=0.0.4`; a server bound with
+//!   [`ExpositionServer::bind_sharded`] instead renders the merged
+//!   per-shard view ([`crate::expose::render_prometheus_sharded`]),
+//!   every series labelled `shard="<label>"`,
 //! * `GET /healthz` — `200 ok` while the server is up (liveness),
 //! * anything else — `404`.
 //!
@@ -38,15 +41,31 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::expose::render_prometheus;
+use crate::expose::{render_prometheus, render_prometheus_sharded};
 use crate::metrics::Metrics;
 
 /// Default per-connection I/O timeout: a stalled scraper must not pin a
 /// worker (see [`ExpositionServer::bind_with_options`] to tune it).
 const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// What a `/metrics` scrape renders: one registry, or several labelled
+/// by shard and merged into a single exposition.
+enum Registry {
+    Single(Arc<Metrics>),
+    Sharded(Vec<(String, Arc<Metrics>)>),
+}
+
+impl Registry {
+    fn render(&self) -> String {
+        match self {
+            Self::Single(metrics) => render_prometheus(metrics),
+            Self::Sharded(sources) => render_prometheus_sharded(sources),
+        }
+    }
+}
+
 struct Shared {
-    metrics: Arc<Metrics>,
+    registry: Registry,
     stop: AtomicBool,
     requests: AtomicU64,
     io_timeout: Duration,
@@ -109,10 +128,47 @@ impl ExpositionServer {
         workers: usize,
         io_timeout: Duration,
     ) -> std::io::Result<Self> {
+        Self::bind_registry(addr, Registry::Single(metrics), workers, io_timeout)
+    }
+
+    /// Binds `addr` and serves the **merged** per-shard exposition: each
+    /// `(label, registry)` pair in `shards` contributes its series
+    /// tagged `shard="<label>"`, rendered together by
+    /// [`render_prometheus_sharded`] on every `/metrics` scrape. Runs
+    /// 2 worker threads; shard order fixes the series order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / clone failures.
+    pub fn bind_sharded(addr: &str, shards: Vec<(String, Arc<Metrics>)>) -> std::io::Result<Self> {
+        Self::bind_sharded_with_options(addr, shards, 2, DEFAULT_IO_TIMEOUT)
+    }
+
+    /// [`Self::bind_sharded`] with explicit worker count (clamped to
+    /// ≥ 1) and per-connection I/O timeout (clamped to ≥ 1 ms).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / clone failures.
+    pub fn bind_sharded_with_options(
+        addr: &str,
+        shards: Vec<(String, Arc<Metrics>)>,
+        workers: usize,
+        io_timeout: Duration,
+    ) -> std::io::Result<Self> {
+        Self::bind_registry(addr, Registry::Sharded(shards), workers, io_timeout)
+    }
+
+    fn bind_registry(
+        addr: &str,
+        registry: Registry,
+        workers: usize,
+        io_timeout: Duration,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            metrics,
+            registry,
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             io_timeout: io_timeout.max(Duration::from_millis(1)),
@@ -231,7 +287,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
         ("GET" | "HEAD", "/metrics") => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
-            render_prometheus(&shared.metrics),
+            shared.registry.render(),
         ),
         ("GET" | "HEAD", "/healthz" | "/health") => {
             ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned())
@@ -301,6 +357,36 @@ mod tests {
             started.elapsed()
         );
         drop(hung);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sharded_bind_serves_the_merged_labelled_view() {
+        let s0 = Arc::new(Metrics::new());
+        s0.counter("serve.admitted").add(3);
+        let s1 = Arc::new(Metrics::new());
+        s1.counter("serve.admitted").add(4);
+        let server = ExpositionServer::bind_sharded(
+            "127.0.0.1:0",
+            vec![("0".to_owned(), s0), ("1".to_owned(), s1)],
+        )
+        .unwrap();
+        let body = server.scrape("/metrics").unwrap();
+        assert!(
+            body.contains("serve_admitted_total{shard=\"0\"} 3"),
+            "{body}"
+        );
+        assert!(
+            body.contains("serve_admitted_total{shard=\"1\"} 4"),
+            "{body}"
+        );
+        assert_eq!(
+            body.matches("# TYPE serve_admitted_total counter").count(),
+            1,
+            "{body}"
+        );
+        let health = server.scrape("/healthz").unwrap();
+        assert_eq!(health, "ok\n");
         server.shutdown();
     }
 

@@ -121,9 +121,21 @@ impl Front {
         job: JobSpec,
         deadline_ns: Option<u64>,
     ) -> Result<u64, RejectReason> {
+        self.admit_keyed(job, deadline_ns, None)
+    }
+
+    /// [`Self::admit`] with an explicit seed key (the global request id
+    /// under a sharded front) — see
+    /// [`crate::queue::AdmissionQueue::submit_keyed`].
+    pub(crate) fn admit_keyed(
+        &mut self,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+        key: Option<u64>,
+    ) -> Result<u64, RejectReason> {
         let now_ns = self.clock.now_ns();
         let kind = job.kind();
-        match self.queue.submit(now_ns, job, deadline_ns) {
+        match self.queue.submit_keyed(now_ns, job, deadline_ns, key) {
             Ok(id) => {
                 self.stats.admitted += 1;
                 if let Some(o) = &self.observer {
@@ -312,6 +324,17 @@ impl ServeEngine {
         deadline_ns: u64,
     ) -> Result<u64, RejectReason> {
         self.front.admit(job, Some(deadline_ns))
+    }
+
+    /// Submission with an explicit seed key: the sharded front passes
+    /// the global request id so payloads are shard-count-invariant.
+    pub(crate) fn submit_keyed(
+        &mut self,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+        key: u64,
+    ) -> Result<u64, RejectReason> {
+        self.front.admit_keyed(job, deadline_ns, Some(key))
     }
 
     /// Advances the serving state machine at the current clock reading:

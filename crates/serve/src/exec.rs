@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use canti_farm::{Farm, FarmConfig, FarmObserver, JobSpec, PrecomputeCache};
+use canti_farm::{Farm, FarmConfig, FarmObserver, JobSpec, PrecomputeCache, WorkerPool};
 use canti_obs::{Counter, Gauge, Histogram, ObsClock};
 
 use crate::queue::FormedBatch;
@@ -54,6 +54,7 @@ impl ServeInstruments {
 #[derive(Debug)]
 pub struct BatchExecutor {
     threads: usize,
+    pool: Arc<WorkerPool>,
     cache: Arc<PrecomputeCache>,
     clock: Arc<dyn ObsClock>,
     observer: Option<FarmObserver>,
@@ -62,11 +63,14 @@ pub struct BatchExecutor {
 
 impl BatchExecutor {
     /// An executor running `threads` farm workers per batch (`0` =
-    /// machine parallelism), timing requests on `clock`.
+    /// machine parallelism), timing requests on `clock`. The workers
+    /// live in a persistent [`WorkerPool`] for the executor's lifetime,
+    /// so successive batches pay no thread-spawn cost.
     #[must_use]
     pub fn new(threads: usize, clock: Arc<dyn ObsClock>) -> Self {
         Self {
             threads,
+            pool: Arc::new(WorkerPool::new(threads)),
             cache: Arc::new(PrecomputeCache::new()),
             clock,
             observer: None,
@@ -96,9 +100,10 @@ impl BatchExecutor {
         &self.clock
     }
 
-    /// Executes `batch` on a farm seeded with the batch's seed and
-    /// sharing this executor's precompute cache, returning one response
-    /// per member request in admission order.
+    /// Executes `batch` on a farm riding this executor's persistent
+    /// pool and precompute cache, returning one response per member
+    /// request in admission order. Payloads derive from each member's
+    /// per-request seed (fixed at admission), not its batch slot.
     #[must_use]
     pub fn execute(&self, batch: FormedBatch) -> Vec<ServeResponse> {
         // held for the whole execution so the farm's spans nest inside
@@ -113,17 +118,19 @@ impl BatchExecutor {
             )
         });
         let jobs: Vec<JobSpec> = batch.items.iter().map(|p| p.job.clone()).collect();
+        let seeds: Vec<u64> = batch.items.iter().map(|p| p.seed).collect();
         let mut farm = Farm::with_cache(
             FarmConfig {
                 batch_seed: batch.seed,
                 threads: self.threads,
             },
             Arc::clone(&self.cache),
-        );
+        )
+        .with_pool(Arc::clone(&self.pool));
         if let Some(o) = &self.observer {
             farm = farm.with_observer(o.clone());
         }
-        let report = farm.run(&jobs);
+        let report = farm.run_seeded(&jobs, &seeds);
         let now_ns = self.clock.now_ns();
 
         if let Some(ins) = &self.instruments {

@@ -75,12 +75,16 @@ pub mod exec;
 pub mod queue;
 pub mod response;
 pub mod service;
+pub mod shard;
 
 pub use engine::{BatchRecord, ServeEngine, ServeStats};
 pub use exec::BatchExecutor;
 pub use queue::{AdmissionQueue, BatchTrigger, FormedBatch, RejectReason};
 pub use response::{Disposition, ServeResponse};
 pub use service::{ServeService, Ticket};
+pub use shard::{
+    request_seed, route_request, ShardTicket, ShardedConfig, ShardedEngine, ShardedService,
+};
 
 /// Admission, batching and execution policy for the serving layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,8 +101,11 @@ pub struct ServeConfig {
     /// Default per-request deadline, relative to admission, applied when
     /// a submission carries none. `None` disables default deadlines.
     pub default_deadline_ns: Option<u64>,
-    /// Base farm seed; batch `i` runs with seed `batch_seed + i`, so a
-    /// given arrival script replays to identical payloads.
+    /// Base serve seed. Each admitted request's RNG stream derives from
+    /// [`shard::request_seed`] over this base and the request key, so a
+    /// given arrival script replays to identical payloads — on any
+    /// worker and shard count. (Batch `i` is still *recorded* with seed
+    /// `batch_seed + i` in the batch log.)
     pub batch_seed: u64,
     /// Farm worker threads per batch (`0` = machine parallelism).
     pub threads: usize,

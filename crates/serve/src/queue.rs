@@ -79,6 +79,12 @@ pub(crate) struct Pending {
     pub id: u64,
     /// The simulation to run.
     pub job: JobSpec,
+    /// The seed this request's farm RNG stream derives from:
+    /// [`crate::shard::request_seed`] over the config's base seed and
+    /// the request key (the global id under a sharded front, the local
+    /// id otherwise). Fixed at admission so the payload is independent
+    /// of which batch, slot or shard the request later rides in.
+    pub seed: u64,
     /// Clock reading at admission.
     pub enqueued_ns: u64,
     /// Absolute expiry instant, when the request carries a deadline.
@@ -186,6 +192,21 @@ impl AdmissionQueue {
         job: JobSpec,
         deadline_ns: Option<u64>,
     ) -> Result<u64, RejectReason> {
+        self.submit_keyed(now_ns, job, deadline_ns, None)
+    }
+
+    /// [`Self::submit`] with an explicit seed key: a sharded front
+    /// passes the **global** request id so the request's RNG stream —
+    /// and therefore its payload bits — is the same on any shard count.
+    /// Unkeyed submissions fall back to the local id, which coincides
+    /// with the global id on a single shard.
+    pub(crate) fn submit_keyed(
+        &mut self,
+        now_ns: u64,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+        key: Option<u64>,
+    ) -> Result<u64, RejectReason> {
         if self.draining {
             return Err(RejectReason::Draining);
         }
@@ -201,6 +222,7 @@ impl AdmissionQueue {
         self.queue.push_back(Pending {
             id,
             job,
+            seed: crate::shard::request_seed(self.config.batch_seed, key.unwrap_or(id)),
             enqueued_ns: now_ns,
             deadline_ns: deadline,
         });

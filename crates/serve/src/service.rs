@@ -212,9 +212,29 @@ impl ServeService {
     }
 
     fn submit_inner(&self, job: JobSpec, deadline_ns: Option<u64>) -> Result<Ticket, RejectReason> {
+        self.admit(job, deadline_ns, None)
+    }
+
+    /// Submission with an explicit seed key: the sharded front passes
+    /// the global request id so payloads are shard-count-invariant.
+    pub(crate) fn submit_keyed(
+        &self,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+        key: u64,
+    ) -> Result<Ticket, RejectReason> {
+        self.admit(job, deadline_ns, Some(key))
+    }
+
+    fn admit(
+        &self,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+        key: Option<u64>,
+    ) -> Result<Ticket, RejectReason> {
         let ticket = {
             let mut state = self.shared.lock();
-            let id = state.front.admit(job, deadline_ns)?;
+            let id = state.front.admit_keyed(job, deadline_ns, key)?;
             let slot = Arc::new(Slot::default());
             state.tickets.insert(id, Arc::clone(&slot));
             Ticket { id, slot }

@@ -1,0 +1,599 @@
+//! Sharded serving: N independent farm shards behind deterministic
+//! request routing.
+//!
+//! A shard is a complete serving stack of its own — admission queue,
+//! batcher, executor, persistent worker pool — so shards share no locks
+//! and no queues. What binds them into one service is the routing rule
+//! and the request-seed rule, both pure functions of the **global**
+//! request id:
+//!
+//! * **Routing** — [`route_request`] sends global id `g` to shard
+//!   `splitmix64(g) % shards`. Nothing else (arrival time, payload,
+//!   queue depths) influences placement, so the shard assignment of a
+//!   request stream is reproducible and invariant under reordering of
+//!   *other* requests.
+//! * **Request seeds** — [`request_seed`] derives each request's RNG
+//!   stream from `(base_seed, global id)` instead of its batch slot.
+//!   A request therefore computes the same payload bits no matter which
+//!   batch, slot, or shard it lands in — this is what extends the
+//!   serve determinism contract from "any worker count" to "any worker
+//!   *and shard* count".
+//!
+//! # What is and is not shard-invariant
+//!
+//! Changing the shard count re-partitions the queues, so batch
+//! *indices*, batch *membership* and queue-depth-dependent decisions
+//! (a full queue, a linger expiry) legitimately differ between shard
+//! counts. The contract pinned by `tests/shard_determinism.rs` is:
+//! per-request payload bits, the routing assignment, and scripted
+//! deadline expiries are identical at any `(workers, shards)`; the
+//! *full* trace (batches included) is identical across worker counts at
+//! a fixed shard count.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use canti_farm::{FarmObserver, JobSpec};
+use canti_obs::ObsClock;
+
+use crate::engine::{BatchRecord, ServeEngine, ServeStats};
+use crate::queue::RejectReason;
+use crate::response::ServeResponse;
+use crate::service::{ServeService, Ticket};
+use crate::ServeConfig;
+
+/// The 64-bit splitmix finalizer: a cheap, well-mixed bijection on
+/// `u64`. Used for both routing and seed derivation so neighboring ids
+/// land on distant shards and in distant RNG streams.
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The routing rule: global request id → shard index. A pure function
+/// of `(request_id, shards)`; `shards` is clamped to ≥ 1.
+#[must_use]
+pub fn route_request(request_id: u64, shards: usize) -> usize {
+    let shards = shards.max(1) as u64;
+    (splitmix64(request_id) % shards) as usize
+}
+
+/// The seed rule: `(base_seed, global request id)` → the seed this
+/// request's farm RNG stream derives from. Independent of batch index,
+/// batch slot and shard, which is what makes payloads shard-invariant.
+#[must_use]
+pub fn request_seed(base_seed: u64, request_id: u64) -> u64 {
+    splitmix64(base_seed ^ splitmix64(request_id))
+}
+
+/// Configuration of a sharded serving layer: the shard count plus the
+/// per-shard [`ServeConfig`] every shard runs with (same base seed on
+/// every shard — [`request_seed`] already separates the streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedConfig {
+    /// Independent farm shards. Clamped to ≥ 1.
+    pub shards: usize,
+    /// The per-shard admission/batching/execution policy.
+    pub base: ServeConfig,
+}
+
+impl ShardedConfig {
+    /// The effective shard count (configured value, at least 1).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.max(1)
+    }
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            base: ServeConfig::default(),
+        }
+    }
+}
+
+/// The deterministic, explicitly pumped form of the sharded serving
+/// layer: [`crate::ServeEngine`]s behind [`route_request`], sharing one
+/// injected clock. This is what the scripted shard-determinism tests
+/// drive.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    engines: Vec<ServeEngine>,
+    /// Per shard: local request id → global request id, in admission
+    /// order (shard engines assign dense local ids on success).
+    locals: Vec<Vec<u64>>,
+    next_id: u64,
+}
+
+impl ShardedEngine {
+    /// A sharded engine under `config`, timing every shard on `clock`.
+    #[must_use]
+    pub fn new(config: ShardedConfig, clock: Arc<dyn ObsClock>) -> Self {
+        let n = config.shard_count();
+        Self {
+            engines: (0..n)
+                .map(|_| ServeEngine::new(config.base, Arc::clone(&clock)))
+                .collect(),
+            locals: vec![Vec::new(); n],
+            next_id: 0,
+        }
+    }
+
+    /// Attaches one observer per shard (so each shard records into its
+    /// own registry, which the merged `/metrics` view labels by shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `observers.len()` equals the shard count.
+    #[must_use]
+    pub fn with_observers(mut self, observers: Vec<FarmObserver>) -> Self {
+        assert_eq!(
+            observers.len(),
+            self.engines.len(),
+            "one observer per shard"
+        );
+        self.engines = self
+            .engines
+            .into_iter()
+            .zip(observers)
+            .map(|(e, o)| e.with_observer(o))
+            .collect();
+        self
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The shard the next admitted request will route to.
+    #[must_use]
+    pub fn next_shard(&self) -> usize {
+        route_request(self.next_id, self.engines.len())
+    }
+
+    /// Submits a request (config default deadline applies), returning
+    /// its **global** id.
+    ///
+    /// # Errors
+    ///
+    /// Rejected with the target shard's [`RejectReason`]; a rejected
+    /// submission does not consume a global id, so the id stream — and
+    /// with it every later request's routing and seed — is independent
+    /// of transient rejections.
+    pub fn submit(&mut self, job: JobSpec) -> Result<u64, RejectReason> {
+        self.submit_keyed(job, None)
+    }
+
+    /// Submits a request that expires `deadline_ns` after admission.
+    ///
+    /// # Errors
+    ///
+    /// Rejected with the target shard's [`RejectReason`].
+    pub fn submit_with_deadline(
+        &mut self,
+        job: JobSpec,
+        deadline_ns: u64,
+    ) -> Result<u64, RejectReason> {
+        self.submit_keyed(job, Some(deadline_ns))
+    }
+
+    fn submit_keyed(
+        &mut self,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+    ) -> Result<u64, RejectReason> {
+        let global = self.next_id;
+        let shard = route_request(global, self.engines.len());
+        let local = self.engines[shard].submit_keyed(job, deadline_ns, global)?;
+        debug_assert_eq!(local as usize, self.locals[shard].len());
+        self.locals[shard].push(global);
+        self.next_id += 1;
+        Ok(global)
+    }
+
+    /// Pumps every shard in shard order, returning all responses with
+    /// their **global** request ids.
+    pub fn pump(&mut self) -> Vec<ServeResponse> {
+        let mut out = Vec::new();
+        for shard in 0..self.engines.len() {
+            let responses = self.engines[shard].pump();
+            out.extend(self.globalize(shard, responses));
+        }
+        out
+    }
+
+    /// Drains every shard in shard order; afterwards all shards reject
+    /// with [`RejectReason::Draining`].
+    pub fn drain(&mut self) -> Vec<ServeResponse> {
+        let mut out = Vec::new();
+        for shard in 0..self.engines.len() {
+            let responses = self.engines[shard].drain();
+            out.extend(self.globalize(shard, responses));
+        }
+        out
+    }
+
+    /// Total requests queued across all shards.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.engines.iter().map(ServeEngine::queue_depth).sum()
+    }
+
+    /// Summed tallies across shards.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        sum_stats(self.engines.iter().map(ServeEngine::stats))
+    }
+
+    /// Per-shard tallies, in shard order.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.engines.iter().map(ServeEngine::stats).collect()
+    }
+
+    /// One shard's batch log with member ids rewritten to global ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    #[must_use]
+    pub fn batch_log(&self, shard: usize) -> Vec<BatchRecord> {
+        self.engines[shard]
+            .batch_log()
+            .iter()
+            .map(|b| BatchRecord {
+                index: b.index,
+                trigger: b.trigger,
+                seed: b.seed,
+                request_ids: b
+                    .request_ids
+                    .iter()
+                    .map(|&local| self.locals[shard][local as usize])
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// One shard's engine (for observers / wakeups in tests and tools).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    #[must_use]
+    pub fn shard(&self, shard: usize) -> &ServeEngine {
+        &self.engines[shard]
+    }
+
+    fn globalize(&self, shard: usize, responses: Vec<ServeResponse>) -> Vec<ServeResponse> {
+        responses
+            .into_iter()
+            .map(|mut r| {
+                r.request_id = self.locals[shard][r.request_id as usize];
+                r
+            })
+            .collect()
+    }
+}
+
+/// A claim on one sharded request's response: a shard-local
+/// [`Ticket`] plus the global id it redeems under.
+#[derive(Debug)]
+pub struct ShardTicket {
+    global_id: u64,
+    shard: usize,
+    inner: Ticket,
+}
+
+impl ShardTicket {
+    /// The global request id this ticket redeems.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.global_id
+    }
+
+    /// The shard serving this request.
+    #[must_use]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Blocks until the response arrives, rewritten to the global id.
+    #[must_use]
+    pub fn wait(self) -> ServeResponse {
+        let mut response = self.inner.wait();
+        response.request_id = self.global_id;
+        response
+    }
+
+    /// Takes the response if already available, rewritten to the global
+    /// id, without blocking.
+    #[must_use]
+    pub fn poll(&self) -> Option<ServeResponse> {
+        self.inner.poll().map(|mut r| {
+            r.request_id = self.global_id;
+            r
+        })
+    }
+}
+
+/// The threaded form of the sharded serving layer: one
+/// [`ServeService`] (batcher thread, persistent pool) per shard, with
+/// submissions routed by [`route_request`] under a single id lock.
+pub struct ShardedService {
+    shards: Vec<ServeService>,
+    /// The global id allocator. Held across the shard submit so id
+    /// assignment and admission commit atomically — a rejected submit
+    /// burns no id.
+    router: Mutex<u64>,
+}
+
+impl ShardedService {
+    /// Starts `config.shard_count()` services on the wall clock.
+    #[must_use]
+    pub fn start(config: ShardedConfig) -> Self {
+        Self {
+            shards: (0..config.shard_count())
+                .map(|_| ServeService::start(config.base))
+                .collect(),
+            router: Mutex::new(0),
+        }
+    }
+
+    /// Starts one observed service per shard, each timed on its own
+    /// observer's clock (construct the observers over one shared clock
+    /// for coherent timestamps).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `observers.len()` equals the shard count.
+    #[must_use]
+    pub fn start_observed(config: ShardedConfig, observers: Vec<FarmObserver>) -> Self {
+        assert_eq!(
+            observers.len(),
+            config.shard_count(),
+            "one observer per shard"
+        );
+        Self {
+            shards: observers
+                .into_iter()
+                .map(|o| ServeService::start_observed(config.base, o))
+                .collect(),
+            router: Mutex::new(0),
+        }
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submits a request, routed by the global id rule.
+    ///
+    /// # Errors
+    ///
+    /// Rejected immediately with the target shard's [`RejectReason`].
+    pub fn submit(&self, job: JobSpec) -> Result<ShardTicket, RejectReason> {
+        self.submit_keyed(job, None)
+    }
+
+    /// Submits a request that expires `deadline_ns` after admission.
+    ///
+    /// # Errors
+    ///
+    /// Rejected immediately with the target shard's [`RejectReason`].
+    pub fn submit_with_deadline(
+        &self,
+        job: JobSpec,
+        deadline_ns: u64,
+    ) -> Result<ShardTicket, RejectReason> {
+        self.submit_keyed(job, Some(deadline_ns))
+    }
+
+    fn submit_keyed(
+        &self,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+    ) -> Result<ShardTicket, RejectReason> {
+        let mut next_id = self
+            .router
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let global_id = *next_id;
+        let shard = route_request(global_id, self.shards.len());
+        let inner = self.shards[shard].submit_keyed(job, deadline_ns, global_id)?;
+        *next_id += 1;
+        Ok(ShardTicket {
+            global_id,
+            shard,
+            inner,
+        })
+    }
+
+    /// Total requests queued across all shards.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(ServeService::queue_depth).sum()
+    }
+
+    /// Summed tallies across shards.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        sum_stats(self.shards.iter().map(ServeService::stats))
+    }
+
+    /// Per-shard tallies, in shard order.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.shards.iter().map(ServeService::stats).collect()
+    }
+
+    /// Per-shard observers (empty entries when started unobserved).
+    #[must_use]
+    pub fn observers(&self) -> Vec<Option<FarmObserver>> {
+        self.shards.iter().map(ServeService::observer).collect()
+    }
+
+    /// Gracefully shuts down every shard in shard order, returning the
+    /// final per-shard tallies.
+    #[must_use = "the drain summaries report what each shard did"]
+    pub fn shutdown(self) -> Vec<ServeStats> {
+        self.shards.into_iter().map(|s| s.shutdown()).collect()
+    }
+}
+
+impl std::fmt::Debug for ShardedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedService")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn sum_stats(stats: impl Iterator<Item = ServeStats>) -> ServeStats {
+    stats.fold(ServeStats::default(), |mut acc, s| {
+        acc.admitted += s.admitted;
+        acc.rejected += s.rejected;
+        acc.expired += s.expired;
+        acc.completed += s.completed;
+        acc.batches += s.batches;
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canti_farm::ProbeMode;
+    use canti_obs::VirtualClock;
+
+    fn probe(v: f64) -> JobSpec {
+        JobSpec::Probe(ProbeMode::Value(v))
+    }
+
+    #[test]
+    fn splitmix_is_a_bijection_probe_and_routing_is_stable() {
+        // distinct inputs → distinct outputs on a small probe set
+        let outs: std::collections::BTreeSet<u64> = (0..1000).map(splitmix64).collect();
+        assert_eq!(outs.len(), 1000);
+        // the routing rule is a pure function: same id, same shard
+        for id in 0..100 {
+            assert_eq!(route_request(id, 4), route_request(id, 4));
+            assert!(route_request(id, 4) < 4);
+        }
+        assert_eq!(route_request(42, 0), 0, "shards clamp to 1");
+        assert_eq!(route_request(42, 1), 0);
+    }
+
+    #[test]
+    fn request_seed_separates_ids_and_bases() {
+        assert_ne!(request_seed(1, 0), request_seed(1, 1));
+        assert_ne!(request_seed(1, 0), request_seed(2, 0));
+        assert_eq!(request_seed(7, 3), request_seed(7, 3));
+    }
+
+    #[test]
+    fn sharded_engine_routes_and_globalizes_ids() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut e = ShardedEngine::new(
+            ShardedConfig {
+                shards: 4,
+                base: ServeConfig {
+                    max_batch: 1,
+                    threads: 1,
+                    ..ServeConfig::default()
+                },
+            },
+            clock as Arc<dyn ObsClock>,
+        );
+        let mut ids = Vec::new();
+        for i in 0..12 {
+            ids.push(e.submit(probe(f64::from(i))).expect("admitted"));
+        }
+        assert_eq!(ids, (0..12).collect::<Vec<u64>>(), "global ids are dense");
+        let responses = e.pump();
+        assert_eq!(responses.len(), 12, "max_batch 1 fires everything");
+        let mut answered: Vec<u64> = responses.iter().map(|r| r.request_id).collect();
+        answered.sort_unstable();
+        assert_eq!(answered, ids, "every global id answered exactly once");
+        // the batch logs carry global ids and cover the full id space
+        let mut logged: Vec<u64> = (0..e.shard_count())
+            .flat_map(|s| e.batch_log(s).into_iter().flat_map(|b| b.request_ids))
+            .collect();
+        logged.sort_unstable();
+        assert_eq!(logged, ids);
+        // and each id sits on the shard the routing rule names
+        for s in 0..e.shard_count() {
+            for b in e.batch_log(s) {
+                for id in b.request_ids {
+                    assert_eq!(route_request(id, 4), s, "id {id} on wrong shard");
+                }
+            }
+        }
+        assert_eq!(e.stats().completed, 12);
+    }
+
+    #[test]
+    fn rejected_submissions_do_not_burn_global_ids() {
+        let clock = Arc::new(VirtualClock::new());
+        // capacity 1, linger unreachable: the second submission to any
+        // one shard must be rejected
+        let mut e = ShardedEngine::new(
+            ShardedConfig {
+                shards: 1,
+                base: ServeConfig {
+                    queue_capacity: 1,
+                    max_batch: 64,
+                    linger_ns: u64::MAX,
+                    threads: 1,
+                    ..ServeConfig::default()
+                },
+            },
+            clock as Arc<dyn ObsClock>,
+        );
+        assert_eq!(e.submit(probe(1.0)), Ok(0));
+        assert_eq!(
+            e.submit(probe(2.0)),
+            Err(RejectReason::QueueFull { capacity: 1 })
+        );
+        let drained = e.drain();
+        assert_eq!(drained.len(), 1);
+        // the id after a rejection continues the dense stream
+        assert_eq!(e.stats().admitted, 1);
+        assert_eq!(e.stats().rejected, 1);
+    }
+
+    #[test]
+    fn sharded_service_round_trips_with_global_ids() {
+        let service = ShardedService::start(ShardedConfig {
+            shards: 3,
+            base: ServeConfig {
+                max_batch: 2,
+                linger_ns: 1_000, // 1 µs: lone requests fire quickly
+                threads: 1,
+                ..ServeConfig::default()
+            },
+        });
+        let tickets: Vec<ShardTicket> = (0..9)
+            .map(|i| service.submit(probe(f64::from(i))).expect("admitted"))
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.id(), i as u64);
+            assert_eq!(t.shard(), route_request(i as u64, 3));
+            let r = t.wait();
+            assert_eq!(r.request_id, i as u64, "ticket rewrites to global id");
+            assert!(r.disposition.is_ok(), "request {i}: {r}");
+        }
+        let per_shard = service.shutdown();
+        assert_eq!(per_shard.len(), 3);
+        assert_eq!(per_shard.iter().map(|s| s.completed).sum::<u64>(), 9);
+    }
+}

@@ -1,31 +1,34 @@
 //! Serving-layer demo: concurrent submitters push assay requests through
-//! the batching `ServeService` while a live Prometheus exposition
-//! endpoint serves the serve-layer metrics (queue depth, batch sizes,
-//! request latencies, admitted/rejected/expired counters).
+//! the sharded batching serve layer while a live Prometheus exposition
+//! endpoint serves the **merged** per-shard metrics view (queue depth,
+//! batch sizes, request latencies, admitted/rejected/expired counters,
+//! every series labelled `shard="<i>"`).
 //!
 //! Run with:
-//! `cargo run --release --example serve_demo [requests] [--submitters N] [--batch N] [--addr HOST:PORT]`
+//! `cargo run --release --example serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--addr HOST:PORT]`
 //!
 //! * `requests` — total requests to push (default 48),
 //! * `--submitters N` — concurrent submitter threads (default 4),
-//! * `--batch N` — batch size threshold (default 8),
+//! * `--batch N` — batch size threshold per shard (default 8),
+//! * `--shards N` — independent farm shards behind deterministic
+//!   request routing (default 1),
 //! * `--addr HOST:PORT` — where to bind `/metrics` + `/healthz`
 //!   (default `127.0.0.1:0`, an ephemeral port printed at startup).
 //!
-//! The demo deliberately includes one overfill burst (to show a
-//! `queue_full` rejection) and one hopeless deadline (to show an
+//! The demo deliberately includes one hopeless deadline (to show an
 //! expiry), then drains gracefully and self-scrapes `/metrics`.
 
 use std::sync::Arc;
 
 use canti::farm::{FarmObserver, JobSpec, ProbeMode, Receptor};
-use canti::serve::{Disposition, ServeConfig, ServeService};
+use canti::obs::{ExpositionServer, Metrics};
+use canti::serve::{Disposition, ServeConfig, ShardedConfig, ShardedService};
 use canti::units::{Molar, Seconds};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve_demo [requests] [--submitters N] [--batch N] [--addr HOST:PORT]\n\
-         pushes concurrent assay requests through the batching serve layer"
+        "usage: serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--addr HOST:PORT]\n\
+         pushes concurrent assay requests through the sharded batching serve layer"
     );
     std::process::exit(2);
 }
@@ -46,6 +49,7 @@ fn main() {
     let mut requests = 48usize;
     let mut submitters = 4usize;
     let mut batch = 8usize;
+    let mut shards = 1usize;
     let mut addr = "127.0.0.1:0".to_owned();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +64,10 @@ fn main() {
                 Some(n) if n > 0 => batch = n,
                 _ => usage(),
             },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => shards = n,
+                _ => usage(),
+            },
             "--addr" => match it.next() {
                 Some(a) => addr = a.clone(),
                 None => usage(),
@@ -72,23 +80,36 @@ fn main() {
         }
     }
 
-    // Wall-clock observer: this is a service, latencies should be real.
-    let (observer, _ring) = FarmObserver::profiling(1 << 14);
-    let server = observer.serve(&addr).expect("bind exposition server");
+    // Wall-clock observers (one per shard): this is a service, latencies
+    // should be real. Each shard records into its own registry; the
+    // exposition endpoint merges them under per-shard labels.
+    let mut observers = Vec::with_capacity(shards);
+    let mut rings = Vec::with_capacity(shards);
+    let mut sources: Vec<(String, Arc<Metrics>)> = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let (observer, ring) = FarmObserver::profiling(1 << 14);
+        sources.push((s.to_string(), Arc::clone(observer.metrics())));
+        observers.push(observer);
+        rings.push(ring);
+    }
+    let server = ExpositionServer::bind_sharded(&addr, sources).expect("bind exposition server");
     println!(
         "serving /metrics and /healthz on http://{}  ({requests} requests, \
-         {submitters} submitters, batch<={batch})",
+         {submitters} submitters, batch<={batch}, {shards} shard(s))",
         server.local_addr()
     );
 
-    let service = Arc::new(ServeService::start_observed(
-        ServeConfig {
-            max_batch: batch,
-            linger_ns: 500_000, // 0.5 ms
-            threads: 0,
-            ..ServeConfig::default()
+    let service = Arc::new(ShardedService::start_observed(
+        ShardedConfig {
+            shards,
+            base: ServeConfig {
+                max_batch: batch,
+                linger_ns: 500_000, // 0.5 ms
+                threads: 0,
+                ..ServeConfig::default()
+            },
         },
-        observer,
+        observers,
     ));
 
     let workers: Vec<_> = (0..submitters)
@@ -121,6 +142,11 @@ fn main() {
     let ticket = service
         .submit_with_deadline(JobSpec::Probe(ProbeMode::Draws(2)), 1)
         .expect("admitted");
+    println!(
+        "deadline demo: request {} routed to shard {}",
+        ticket.id(),
+        ticket.shard()
+    );
     match ticket.wait().disposition {
         Disposition::Expired { waited_ns, .. } => {
             println!("deadline demo: request expired after {waited_ns} ns");
@@ -128,10 +154,12 @@ fn main() {
         Disposition::Completed { .. } => println!("deadline demo: raced the batcher and won"),
     }
 
-    let stats = Arc::try_unwrap(service)
+    let per_shard = Arc::try_unwrap(service)
         .expect("submitters have exited")
         .shutdown();
-    println!("{}", stats.render());
+    for (s, stats) in per_shard.iter().enumerate() {
+        println!("shard {s}: {}", stats.render());
+    }
 
     let health = server.scrape("/healthz").expect("self-scrape /healthz");
     assert_eq!(health, "ok\n", "health endpoint answers");
@@ -140,7 +168,7 @@ fn main() {
         .lines()
         .filter(|l| l.starts_with("serve_"))
         .collect();
-    println!("\n--- /metrics (serve_* series) ---");
+    println!("\n--- /metrics (serve_* series, per shard) ---");
     for line in serve_lines {
         println!("{line}");
     }

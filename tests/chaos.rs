@@ -15,12 +15,13 @@ use std::sync::Arc;
 
 use canti::farm::{
     chaos_scan_batch, Farm, FarmConfig, FarmError, FarmSupervisor, JobSpec, ProbeMode,
-    SupervisorConfig,
+    SupervisorConfig, WorkerPool,
 };
 use canti::fault::{FaultPlan, PlannedInjector};
 use canti::obs::clock::VirtualClock;
 use canti::obs::trace::{Collector, RingCollector};
 use canti::obs::Tracer;
+use canti::serve::route_request;
 use canti::system::autonomous::AutonomousInstrument;
 use canti::system::chip::BiosensorChip;
 use canti::system::static_system::{StaticCantileverSystem, StaticReadoutConfig, CHANNELS};
@@ -129,6 +130,85 @@ fn empty_fault_plan_is_byte_identical_to_no_injector() {
         base_trace, inj_trace,
         "an idle injector must leave the trace byte stream untouched"
     );
+}
+
+/// Sharded supervision across the full (workers × shards) grid: the
+/// chaos batch partitioned by the serve routing rule into independent
+/// per-shard supervisors — each riding a persistent worker pool — keeps
+/// every shard's retry waves, degraded report and breaker walk
+/// bit-identical at 1/2/8 workers × 1/2/4 shards, including breaker
+/// state carried across a second supervised batch on the same shard.
+#[test]
+fn sharded_supervision_is_bit_identical_across_workers_and_shards() {
+    let jobs = chaos_jobs();
+    let config = SupervisorConfig {
+        max_attempts: 3,
+        breaker_threshold: 2,
+        breaker_cooldown: 2,
+        job_deadline_ns: None,
+    };
+    // the follow-up batch each shard-supervisor runs after the chaos
+    // batch, so breaker/cooldown carry-over is inside the grid too
+    let followup = vec![JobSpec::Probe(ProbeMode::Value(2.0)); 3];
+
+    for shards in [1usize, 2, 4] {
+        // deterministic partition of the batch by global job id, exactly
+        // the serve layer's routing rule
+        let parts: Vec<Vec<JobSpec>> = (0..shards)
+            .map(|s| {
+                jobs.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| route_request(i as u64, shards) == s)
+                    .map(|(_, job)| job.clone())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(
+            parts.iter().map(Vec::len).sum::<usize>(),
+            jobs.len(),
+            "the partition covers every job exactly once"
+        );
+
+        // oracle: every shard supervised at 1 worker on the spawn path
+        let oracle: Vec<_> = parts
+            .iter()
+            .map(|part| {
+                let mut sup = supervisor(1, config);
+                let first = sup.run(part);
+                let second = sup.run(&followup);
+                (first, second, sup.breaker_states())
+            })
+            .collect();
+
+        for workers in [2usize, 8] {
+            for (s, part) in parts.iter().enumerate() {
+                let pool = Arc::new(WorkerPool::new(workers));
+                let mut sup = FarmSupervisor::new(
+                    Farm::new(FarmConfig {
+                        batch_seed: 0xC4A0_5EED,
+                        threads: workers,
+                    })
+                    .with_pool(pool),
+                    config,
+                );
+                let first = sup.run(part);
+                assert_eq!(
+                    first, oracle[s].0,
+                    "shard {s}/{shards}: chaos report diverged at {workers} workers"
+                );
+                let second = sup.run(&followup);
+                assert_eq!(
+                    second, oracle[s].1,
+                    "shard {s}/{shards}: carried-over batch diverged at {workers} workers"
+                );
+                assert_eq!(
+                    sup.breaker_states(),
+                    oracle[s].2,
+                    "shard {s}/{shards}: breaker state diverged at {workers} workers"
+                );
+            }
+        }
+    }
 }
 
 /// The breaker's trip and recovery land on exactly the same jobs at any
