@@ -106,7 +106,7 @@ fn sharded_scripted_run(requests: usize, threads: usize, shards: usize) -> Vec<S
 }
 
 /// Merges one named histogram across the per-shard registries into a
-/// single snapshot: exact count/sum/min/max, and p50/p95 re-estimated
+/// single snapshot: exact count/sum/min/max, and p50/p95/p99 re-estimated
 /// from the summed bucket counts (all shards share the registry's
 /// default bounds for a given name).
 fn merged_snapshot(shard_metrics: &[Arc<Metrics>], name: &str) -> HistogramSnapshot {
@@ -144,6 +144,7 @@ fn merged_snapshot(shard_metrics: &[Arc<Metrics>], name: &str) -> HistogramSnaps
     };
     merged.p50 = quantile(0.50);
     merged.p95 = quantile(0.95);
+    merged.p99 = quantile(0.99);
     merged
 }
 

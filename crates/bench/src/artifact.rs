@@ -109,6 +109,7 @@ mod tests {
                 max: 5,
                 p50: 5,
                 p95: 5,
+                p99: 5,
             },
         );
         write_report(&report, &path).expect("write");

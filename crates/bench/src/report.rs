@@ -93,8 +93,8 @@ impl ExperimentReport {
         for (name, s) in &self.timings {
             let _ = writeln!(
                 out,
-                "  ~ {name}: n={} p50={} ns p95={} ns max={} ns",
-                s.count, s.p50, s.p95, s.max
+                "  ~ {name}: n={} p50={} ns p95={} ns p99={} ns max={} ns",
+                s.count, s.p50, s.p95, s.p99, s.max
             );
         }
         for note in &self.notes {
@@ -142,14 +142,15 @@ impl ExperimentReport {
             .map(|(name, s)| {
                 format!(
                     "{{\"name\": {}, \"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
-                     \"max_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}}}",
+                     \"max_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
                     esc(name),
                     s.count,
                     s.sum,
                     s.min,
                     s.max,
                     s.p50,
-                    s.p95
+                    s.p95,
+                    s.p99
                 )
             })
             .collect();
@@ -222,17 +223,19 @@ mod tests {
                 max: 120,
                 p50: 100,
                 p95: 120,
+                p99: 120,
             },
         );
         let text = r.render();
         assert!(
-            text.contains("~ solve: n=3 p50=100 ns p95=120 ns max=120 ns"),
+            text.contains("~ solve: n=3 p50=100 ns p95=120 ns p99=120 ns max=120 ns"),
             "{text}"
         );
         let json = r.to_json();
         assert!(json.contains("\"timings\""), "{json}");
         assert!(json.contains("\"name\": \"solve\""), "{json}");
         assert!(json.contains("\"p95_ns\": 120"), "{json}");
+        assert!(json.contains("\"p99_ns\": 120"), "{json}");
         // reports without timings still produce the (empty) section
         let bare = ExperimentReport::new("F1", "t", &["a"]).to_json();
         assert!(bare.contains("\"timings\": []"), "{bare}");

@@ -41,6 +41,12 @@ impl Measurement {
         Duration::from_nanos(self.per_iter_ns.p95)
     }
 
+    /// 99th-percentile per-iteration time over the batches.
+    #[must_use]
+    pub fn p99(&self) -> Duration {
+        Duration::from_nanos(self.per_iter_ns.p99)
+    }
+
     /// Slowest batch's per-iteration time.
     #[must_use]
     pub fn max(&self) -> Duration {
@@ -156,9 +162,10 @@ impl Bencher {
             iterations,
         };
         println!(
-            "{name:<40} p50 {:>12}   p95 {:>12}   max {:>12}   ({iterations} iters)",
+            "{name:<40} p50 {:>12}   p95 {:>12}   p99 {:>12}   max {:>12}   ({iterations} iters)",
             human(m.median()),
             human(m.p95()),
+            human(m.p99()),
             human(m.max())
         );
         self.results.push(m);
@@ -216,7 +223,8 @@ mod tests {
         // quantiles come from the shared histogram and are ordered
         assert!(m.min() <= m.median());
         assert!(m.median() <= m.p95());
-        assert!(m.p95() <= m.max());
+        assert!(m.p95() <= m.p99());
+        assert!(m.p99() <= m.max());
     }
 
     #[test]

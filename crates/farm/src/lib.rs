@@ -163,16 +163,20 @@ impl Farm {
     /// Builds the owned per-batch execution state shared by the plain
     /// and supervised paths. `batch_start_ns` anchors queue-wait
     /// samples; `seeds` switches the RNG derivation to explicit per-job
-    /// seeds (the sharded serve path).
+    /// seeds (the sharded serve path); `contexts` stamps each job span
+    /// with the owning request's trace context (telemetry only — it
+    /// never reaches the payload path).
     pub(crate) fn batch_runner(
         &self,
         jobs: Arc<Vec<JobSpec>>,
         seeds: Option<Vec<u64>>,
+        contexts: Option<Vec<canti_obs::TraceContext>>,
         batch_start_ns: u64,
     ) -> BatchRunner {
         BatchRunner {
             batch_seed: self.config.batch_seed,
             seeds: seeds.map(Arc::new),
+            contexts: contexts.map(Arc::new),
             jobs,
             cache: Arc::clone(&self.cache),
             observer: self.observer.clone(),
@@ -244,10 +248,41 @@ impl Farm {
     #[must_use]
     pub fn run_seeded(&self, jobs: &[JobSpec], seeds: &[u64]) -> BatchReport {
         assert_eq!(jobs.len(), seeds.len(), "one seed per job");
-        self.run_with_seeds(jobs, Some(seeds.to_vec()))
+        self.run_inner(jobs, Some(seeds.to_vec()), None)
+    }
+
+    /// [`Self::run_seeded`] with one [`canti_obs::TraceContext`] per
+    /// job: each job span additionally carries the owning request's
+    /// `request`/`trace` fields, so a request can be followed from its
+    /// admission span into the farm. Strictly additive — the report is
+    /// bit-identical to the untraced run, and farm-only callers that
+    /// never pass contexts keep byte-identical telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `seeds` and `contexts` both match `jobs` in length.
+    #[must_use]
+    pub fn run_traced(
+        &self,
+        jobs: &[JobSpec],
+        seeds: &[u64],
+        contexts: &[canti_obs::TraceContext],
+    ) -> BatchReport {
+        assert_eq!(jobs.len(), seeds.len(), "one seed per job");
+        assert_eq!(jobs.len(), contexts.len(), "one trace context per job");
+        self.run_inner(jobs, Some(seeds.to_vec()), Some(contexts.to_vec()))
     }
 
     fn run_with_seeds(&self, jobs: &[JobSpec], seeds: Option<Vec<u64>>) -> BatchReport {
+        self.run_inner(jobs, seeds, None)
+    }
+
+    fn run_inner(
+        &self,
+        jobs: &[JobSpec],
+        seeds: Option<Vec<u64>>,
+        contexts: Option<Vec<canti_obs::TraceContext>>,
+    ) -> BatchReport {
         let threads = self.threads();
         let obs = self.observer.as_ref();
 
@@ -262,7 +297,8 @@ impl Farm {
             )
         });
         let batch_start_ns = obs.map_or(0, |o| o.clock().now_ns());
-        let runner = Arc::new(self.batch_runner(Arc::new(jobs.to_vec()), seeds, batch_start_ns));
+        let runner =
+            Arc::new(self.batch_runner(Arc::new(jobs.to_vec()), seeds, contexts, batch_start_ns));
 
         let (outcomes, worker_stats) = self.dispatch(&runner, None, 0, None);
 
@@ -304,6 +340,7 @@ impl Farm {
 pub(crate) struct BatchRunner {
     batch_seed: u64,
     seeds: Option<Arc<Vec<u64>>>,
+    contexts: Option<Arc<Vec<canti_obs::TraceContext>>>,
     pub(crate) jobs: Arc<Vec<JobSpec>>,
     cache: Arc<PrecomputeCache>,
     pub(crate) observer: Option<FarmObserver>,
@@ -374,19 +411,16 @@ impl BatchRunner {
             .queue_wait
             .record(o.clock().now_ns().saturating_sub(self.batch_start_ns));
         let kind = self.jobs[i].kind();
-        let job_span = if wave {
-            o.tracer().span(
-                "job",
-                &[
-                    ("job", i.into()),
-                    ("kind", kind.into()),
-                    ("attempt", u64::from(attempt).into()),
-                ],
-            )
-        } else {
-            o.tracer()
-                .span("job", &[("job", i.into()), ("kind", kind.into())])
-        };
+        let mut fields: Vec<(&'static str, canti_obs::JsonValue)> =
+            vec![("job", i.into()), ("kind", kind.into())];
+        if let Some(ctx) = self.contexts.as_ref().map(|c| c[i]) {
+            fields.push(("request", ctx.request.into()));
+            fields.push(("trace", ctx.trace.into()));
+        }
+        if wave {
+            fields.push(("attempt", u64::from(attempt).into()));
+        }
+        let job_span = o.tracer().span("job", &fields);
         let instruments = telemetry::JobInstruments {
             tracer: o.tracer().clone(),
             metrics: Arc::clone(o.metrics()),

@@ -230,11 +230,11 @@ impl FarmSupervisor {
             )
         });
         let batch_start_ns = obs.map_or(0, |o| o.clock().now_ns());
-        let runner = Arc::new(self.farm.batch_runner(
-            Arc::new(jobs.to_vec()),
-            None,
-            batch_start_ns,
-        ));
+        let runner =
+            Arc::new(
+                self.farm
+                    .batch_runner(Arc::new(jobs.to_vec()), None, None, batch_start_ns),
+            );
 
         // Pre-filter: breakers already open when the batch starts save
         // real compute — the first `cooldown_left` jobs of that kind

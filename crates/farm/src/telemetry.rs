@@ -201,11 +201,12 @@ impl FarmTelemetry {
         for (name, s) in self.stages() {
             let _ = writeln!(
                 out,
-                "  stage {name}: n={} mean={:.0} p50={} p95={} max={} (ns)",
+                "  stage {name}: n={} mean={:.0} p50={} p95={} p99={} max={} (ns)",
                 s.count,
                 s.mean(),
                 s.p50,
                 s.p95,
+                s.p99,
                 s.max
             );
         }
@@ -240,6 +241,7 @@ impl FarmTelemetry {
                 ("sum_ns", JsonValue::U64(s.sum)),
                 ("p50_ns", JsonValue::U64(s.p50)),
                 ("p95_ns", JsonValue::U64(s.p95)),
+                ("p99_ns", JsonValue::U64(s.p99)),
                 ("max_ns", JsonValue::U64(s.max)),
             ]));
             out.push('\n');
@@ -278,6 +280,7 @@ mod tests {
             max: if count > 0 { 10 } else { 0 },
             p50: if count > 0 { 10 } else { 0 },
             p95: if count > 0 { 10 } else { 0 },
+            p99: if count > 0 { 10 } else { 0 },
         }
     }
 

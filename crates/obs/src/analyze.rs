@@ -53,6 +53,13 @@ pub struct SpanNode {
     /// Duration from the matching `span_end` (its `dur_ns` field, else
     /// the timestamp difference). `None` while unclosed.
     pub dur_ns: Option<u64>,
+    /// The owning request's global admission id, when the `span_start`
+    /// record carried a `request` field (serve request spans, farm job
+    /// spans executing on behalf of a request).
+    pub request: Option<u64>,
+    /// The request-scoped trace id, when the `span_start` record carried
+    /// a `trace` field.
+    pub trace_id: Option<u64>,
     /// Child spans, in start order.
     pub children: Vec<SpanNode>,
     /// Instantaneous events recorded inside this span (names only).
@@ -78,6 +85,19 @@ impl SpanNode {
         let children: u64 = self.children.iter().map(SpanNode::duration_ns).sum();
         self.duration_ns().saturating_sub(children)
     }
+
+    /// The chain of slowest spans from this span down — the subtree's
+    /// critical path, starting with `self`.
+    #[must_use]
+    pub fn critical_path(&self) -> Vec<&SpanNode> {
+        let mut path = vec![self];
+        let mut cursor = self.children.iter().max_by_key(|s| s.duration_ns());
+        while let Some(node) = cursor {
+            path.push(node);
+            cursor = node.children.iter().max_by_key(|s| s.duration_ns());
+        }
+        path
+    }
 }
 
 /// Exact aggregate over one span name's durations.
@@ -95,6 +115,8 @@ pub struct StageStats {
     pub p50_ns: u64,
     /// Exact 95th percentile (lower-rank convention), ns.
     pub p95_ns: u64,
+    /// Exact 99th percentile (lower-rank convention), ns.
+    pub p99_ns: u64,
 }
 
 impl StageStats {
@@ -115,6 +137,7 @@ impl StageStats {
             max_ns: *durations.last().expect("non-empty"),
             p50_ns: rank(0.50),
             p95_ns: rank(0.95),
+            p99_ns: rank(0.99),
         }
     }
 }
@@ -149,8 +172,17 @@ impl Trace {
     /// Reconstruction from already-parsed documents.
     #[must_use]
     pub fn from_docs(docs: &[Json]) -> Self {
+        struct Rec {
+            seq: u64,
+            t_ns: u64,
+            kind: String,
+            name: String,
+            dur_ns: Option<u64>,
+            request: Option<u64>,
+            trace_id: Option<u64>,
+        }
         // a trace record has seq + kind + name; anything else is skipped
-        let mut records: Vec<(u64, u64, String, String, Option<u64>)> = Vec::new();
+        let mut records: Vec<Rec> = Vec::new();
         let mut skipped = 0usize;
         for doc in docs {
             let (Some(seq), Some(kind), Some(name)) = (
@@ -161,19 +193,24 @@ impl Trace {
                 skipped += 1;
                 continue;
             };
-            let t_ns = doc.get("t_ns").and_then(Json::as_u64).unwrap_or(0);
-            let dur_ns = doc
-                .get("fields")
-                .and_then(|f| f.get("dur_ns"))
-                .and_then(Json::as_u64);
-            records.push((seq, t_ns, kind.to_owned(), name.to_owned(), dur_ns));
+            let fields = doc.get("fields");
+            let field = |key: &str| fields.and_then(|f| f.get(key)).and_then(Json::as_u64);
+            records.push(Rec {
+                seq,
+                t_ns: doc.get("t_ns").and_then(Json::as_u64).unwrap_or(0),
+                kind: kind.to_owned(),
+                name: name.to_owned(),
+                dur_ns: field("dur_ns"),
+                request: field("request"),
+                trace_id: field("trace"),
+            });
         }
-        records.sort_by_key(|r| r.0);
+        records.sort_by_key(|r| r.seq);
 
         let seq_gaps = records
             .windows(2)
-            .filter(|w| w[1].0 > w[0].0 + 1)
-            .map(|w| (w[0].0, w[1].0))
+            .filter(|w| w[1].seq > w[0].seq + 1)
+            .map(|w| (w[0].seq, w[1].seq))
             .collect();
 
         // open-span stack; span_end pops the innermost same-name frame
@@ -186,13 +223,24 @@ impl Trace {
                 Some(parent) => parent.children.push(node),
                 None => roots.push(node),
             };
-        for (seq, t_ns, kind, name, dur_ns) in &records {
+        for rec in &records {
+            let Rec {
+                seq,
+                t_ns,
+                kind,
+                name,
+                dur_ns,
+                request,
+                trace_id,
+            } = rec;
             match kind.as_str() {
                 "span_start" => stack.push(SpanNode {
                     name: name.clone(),
                     seq: *seq,
                     start_ns: *t_ns,
                     dur_ns: None,
+                    request: *request,
+                    trace_id: *trace_id,
                     children: Vec::new(),
                     events: Vec::new(),
                 }),
@@ -265,13 +313,42 @@ impl Trace {
     /// trace.
     #[must_use]
     pub fn critical_path(&self) -> Vec<&SpanNode> {
-        let mut path = Vec::new();
-        let mut cursor = self.roots.iter().max_by_key(|s| s.duration_ns());
-        while let Some(node) = cursor {
-            path.push(node);
-            cursor = node.children.iter().max_by_key(|s| s.duration_ns());
+        self.roots
+            .iter()
+            .max_by_key(|s| s.duration_ns())
+            .map(SpanNode::critical_path)
+            .unwrap_or_default()
+    }
+
+    /// Every span owned by `request` (its `span_start` carried
+    /// `request == id`), each with its ancestry path from a root —
+    /// `path.last()` is the owning span itself. Paths come back in span
+    /// start (sequence) order, so the admission-side `request` span
+    /// precedes the farm-side `job` span executing it.
+    #[must_use]
+    pub fn request_paths(&self, request: u64) -> Vec<Vec<&SpanNode>> {
+        fn walk<'t>(
+            node: &'t SpanNode,
+            request: u64,
+            ancestry: &mut Vec<&'t SpanNode>,
+            out: &mut Vec<Vec<&'t SpanNode>>,
+        ) {
+            ancestry.push(node);
+            if node.request == Some(request) {
+                out.push(ancestry.clone());
+            }
+            for child in &node.children {
+                walk(child, request, ancestry, out);
+            }
+            ancestry.pop();
         }
-        path
+        let mut out = Vec::new();
+        let mut ancestry = Vec::new();
+        for root in &self.roots {
+            walk(root, request, &mut ancestry, &mut out);
+        }
+        out.sort_by_key(|path| path.last().map_or(0, |s| s.seq));
+        out
     }
 
     /// Folded-stack flamegraph lines (`a;b;c <self_ns>`), the input
@@ -378,8 +455,8 @@ impl Trace {
         for (name, s) in self.stage_stats() {
             let _ = writeln!(
                 out,
-                "  {name:<16} n={:<6} p50={} p95={} max={} sum={}",
-                s.count, s.p50_ns, s.p95_ns, s.max_ns, s.sum_ns
+                "  {name:<16} n={:<6} p50={} p95={} p99={} max={} sum={}",
+                s.count, s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns, s.sum_ns
             );
         }
         let path: Vec<String> = self
@@ -474,6 +551,32 @@ mod tests {
         assert_eq!((s.min_ns, s.max_ns), (10, 100));
         assert_eq!(s.p50_ns, 30);
         assert_eq!(s.p95_ns, 100);
+        assert_eq!(s.p99_ns, 100);
+    }
+
+    #[test]
+    fn request_paths_follow_the_request_field() {
+        let trace = traced(|tracer, clock| {
+            let req = tracer.span(
+                "request",
+                &[("request", 7u64.into()), ("trace", 99u64.into())],
+            );
+            drop(req);
+            let batch = tracer.span("serve_batch", &[("batch", 0u64.into())]);
+            let job = tracer.span("job", &[("request", 7u64.into())]);
+            clock.advance_ns(50);
+            drop(job);
+            let other = tracer.span("job", &[("request", 8u64.into())]);
+            drop(other);
+            drop(batch);
+        });
+        let paths = trace.request_paths(7);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].last().unwrap().name, "request");
+        assert_eq!(paths[0].last().unwrap().trace_id, Some(99));
+        let job_path: Vec<&str> = paths[1].iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(job_path, ["serve_batch", "job"]);
+        assert!(trace.request_paths(6).is_empty());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   registry, and [`serve`] — a bounded-thread `TcpListener` server
 //!   scraping it live at `/metrics` (+ `/healthz`),
 //! * [`parse`] — the NDJSON/JSON reader inverse of [`ndjson`],
+//! * [`slo`] — deterministic fixed-window SLO aggregation with
+//!   error-budget burn counters, fed per-request by the serve layer,
+//! * [`requests`] — the bounded per-request debug log (trace id +
+//!   latency breakdown) behind the server's `/debug/requests` route,
 //! * [`analyze`] — span-tree reconstruction, per-stage aggregation,
 //!   critical-path extraction and folded-stack flamegraph output over
 //!   parsed traces (what the `obsctl` tool drives).
@@ -62,7 +66,9 @@ pub mod expose;
 pub mod metrics;
 pub mod ndjson;
 pub mod parse;
+pub mod requests;
 pub mod serve;
+pub mod slo;
 pub mod trace;
 
 pub use analyze::{SpanNode, StageStats, Trace};
@@ -71,7 +77,10 @@ pub use expose::{render_prometheus, render_prometheus_sharded};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics};
 pub use ndjson::JsonValue;
 pub use parse::{parse_json, parse_ndjson, Json, ParseError};
-pub use serve::ExpositionServer;
+pub use requests::{RequestLog, RequestRecord};
+pub use serve::{DebugState, ExpositionServer, Readiness};
+pub use slo::{merge_windows, SloConfig, SloTracker, WindowCounts};
 pub use trace::{
-    Collector, EventKind, NdjsonCollector, RingCollector, SpanGuard, TraceEvent, Tracer,
+    trace_id, Collector, EventKind, NdjsonCollector, RingCollector, SpanGuard, TraceContext,
+    TraceEvent, Tracer,
 };

@@ -163,6 +163,7 @@ impl Histogram {
             max,
             p50: quantile_from_buckets(&self.bounds, &counts, count, 0.50, max),
             p95: quantile_from_buckets(&self.bounds, &counts, count, 0.95, max),
+            p99: quantile_from_buckets(&self.bounds, &counts, count, 0.99, max),
         }
     }
 }
@@ -200,6 +201,8 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     /// Estimated 95th percentile (bucket upper bound, clamped to `max`).
     pub p95: u64,
+    /// Estimated 99th percentile (bucket upper bound, clamped to `max`).
+    pub p99: u64,
 }
 
 impl HistogramSnapshot {
@@ -349,11 +352,12 @@ impl Metrics {
             let s = h.snapshot();
             let _ = writeln!(
                 out,
-                "histogram {name}: n={} mean={:.1} p50={} p95={} max={} (ns)",
+                "histogram {name}: n={} mean={:.1} p50={} p95={} p99={} max={} (ns)",
                 s.count,
                 s.mean(),
                 s.p50,
                 s.p95,
+                s.p99,
                 s.max
             );
         }
@@ -392,6 +396,7 @@ impl Metrics {
                 ("max", JsonValue::U64(s.max)),
                 ("p50", JsonValue::U64(s.p50)),
                 ("p95", JsonValue::U64(s.p95)),
+                ("p99", JsonValue::U64(s.p99)),
             ]));
             out.push('\n');
         }
@@ -443,6 +448,7 @@ mod tests {
         assert_eq!(s.p95, 1000.min(s.max), "tail bucket, clamped to max");
         assert_eq!(s.max, 700);
         assert_eq!(s.p95, 700);
+        assert_eq!(s.p99, 700, "p99 clamps to the observed max");
     }
 
     #[test]
@@ -458,6 +464,7 @@ mod tests {
         // single sample: every quantile is clamped to the sample itself
         assert_eq!(s.p50, 123_456);
         assert_eq!(s.p95, 123_456);
+        assert_eq!(s.p99, 123_456);
     }
 
     #[test]

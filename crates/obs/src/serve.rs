@@ -16,7 +16,15 @@
 //!   [`ExpositionServer::bind_sharded`] instead renders the merged
 //!   per-shard view ([`crate::expose::render_prometheus_sharded`]),
 //!   every series labelled `shard="<label>"`,
-//! * `GET /healthz` — `200 ok` while the server is up (liveness),
+//! * `GET /healthz` — a JSON readiness body:
+//!   `{"status":"ok","shards":N,"pool_threads":W,"draining":false}`.
+//!   The shard count, pool width and live draining flag come from the
+//!   attached [`Readiness`] (defaults when none was attached),
+//! * `GET /debug/requests` — the attached [`crate::RequestLog`]s as
+//!   NDJSON, one finished request per line (trace id + latency
+//!   breakdown), sorted by global request id and tagged by shard,
+//! * `GET /debug/slo` — per-shard and merged SLO window views from the
+//!   attached [`crate::SloTracker`]s,
 //! * anything else — `404`.
 //!
 //! # Examples
@@ -43,6 +51,8 @@ use std::time::Duration;
 
 use crate::expose::{render_prometheus, render_prometheus_sharded};
 use crate::metrics::Metrics;
+use crate::requests::RequestLog;
+use crate::slo::{merge_windows, SloTracker, WindowCounts};
 
 /// Default per-connection I/O timeout: a stalled scraper must not pin a
 /// worker (see [`ExpositionServer::bind_with_options`] to tune it).
@@ -64,8 +74,44 @@ impl Registry {
     }
 }
 
+/// What `/healthz` reports about the instrument behind the server.
+#[derive(Debug, Clone)]
+pub struct Readiness {
+    /// Serve shards behind this endpoint.
+    pub shards: usize,
+    /// Farm worker threads per shard pool.
+    pub pool_threads: usize,
+    /// Live draining flag — flipped by the serve layer at shutdown so
+    /// scrapers see `"status":"draining"` before the listener goes away.
+    pub draining: Arc<AtomicBool>,
+}
+
+impl Default for Readiness {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            pool_threads: 0,
+            draining: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+/// Debug-route sources: per-shard SLO trackers and request logs, plus
+/// the readiness snapshot. All optional — an empty `DebugState` keeps
+/// the server a plain `/metrics` + `/healthz` endpoint.
+#[derive(Debug, Default)]
+pub struct DebugState {
+    /// `(shard label, tracker)` pairs behind `/debug/slo`.
+    pub slos: Vec<(String, Arc<SloTracker>)>,
+    /// `(shard label, log)` pairs behind `/debug/requests`.
+    pub requests: Vec<(String, Arc<RequestLog>)>,
+    /// The `/healthz` readiness source (defaults used when `None`).
+    pub readiness: Option<Readiness>,
+}
+
 struct Shared {
     registry: Registry,
+    debug: DebugState,
     stop: AtomicBool,
     requests: AtomicU64,
     io_timeout: Duration,
@@ -128,7 +174,54 @@ impl ExpositionServer {
         workers: usize,
         io_timeout: Duration,
     ) -> std::io::Result<Self> {
-        Self::bind_registry(addr, Registry::Single(metrics), workers, io_timeout)
+        Self::bind_registry(
+            addr,
+            Registry::Single(metrics),
+            DebugState::default(),
+            workers,
+            io_timeout,
+        )
+    }
+
+    /// [`Self::bind`] plus debug sources: the `/debug/requests` and
+    /// `/debug/slo` routes serve `debug`'s logs and trackers, and
+    /// `/healthz` reports its readiness snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / clone failures.
+    pub fn bind_debug(
+        addr: &str,
+        metrics: Arc<Metrics>,
+        debug: DebugState,
+    ) -> std::io::Result<Self> {
+        Self::bind_registry(
+            addr,
+            Registry::Single(metrics),
+            debug,
+            2,
+            DEFAULT_IO_TIMEOUT,
+        )
+    }
+
+    /// [`Self::bind_sharded`] plus debug sources (see
+    /// [`Self::bind_debug`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / clone failures.
+    pub fn bind_sharded_debug(
+        addr: &str,
+        shards: Vec<(String, Arc<Metrics>)>,
+        debug: DebugState,
+    ) -> std::io::Result<Self> {
+        Self::bind_registry(
+            addr,
+            Registry::Sharded(shards),
+            debug,
+            2,
+            DEFAULT_IO_TIMEOUT,
+        )
     }
 
     /// Binds `addr` and serves the **merged** per-shard exposition: each
@@ -156,12 +249,19 @@ impl ExpositionServer {
         workers: usize,
         io_timeout: Duration,
     ) -> std::io::Result<Self> {
-        Self::bind_registry(addr, Registry::Sharded(shards), workers, io_timeout)
+        Self::bind_registry(
+            addr,
+            Registry::Sharded(shards),
+            DebugState::default(),
+            workers,
+            io_timeout,
+        )
     }
 
     fn bind_registry(
         addr: &str,
         registry: Registry,
+        debug: DebugState,
         workers: usize,
         io_timeout: Duration,
     ) -> std::io::Result<Self> {
@@ -169,6 +269,7 @@ impl ExpositionServer {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             registry,
+            debug,
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             io_timeout: io_timeout.max(Duration::from_millis(1)),
@@ -289,9 +390,21 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
             "text/plain; version=0.0.4; charset=utf-8",
             shared.registry.render(),
         ),
-        ("GET" | "HEAD", "/healthz" | "/health") => {
-            ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned())
-        }
+        ("GET" | "HEAD", "/healthz" | "/health") => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            render_healthz(&shared.registry, &shared.debug),
+        ),
+        ("GET" | "HEAD", "/debug/requests") => (
+            "200 OK",
+            "application/x-ndjson; charset=utf-8",
+            render_debug_requests(&shared.debug),
+        ),
+        ("GET" | "HEAD", "/debug/slo") => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            render_debug_slo(&shared.debug),
+        ),
         ("GET" | "HEAD", _) => (
             "404 Not Found",
             "text/plain; charset=utf-8",
@@ -314,6 +427,88 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
         stream.write_all(body.as_bytes())?;
     }
     stream.flush()
+}
+
+/// The `/healthz` JSON readiness body. Field order is fixed so golden
+/// tests can pin the bytes.
+fn render_healthz(registry: &Registry, debug: &DebugState) -> String {
+    let default_shards = match registry {
+        Registry::Single(_) => 1,
+        Registry::Sharded(sources) => sources.len(),
+    };
+    let (shards, pool_threads, draining) = match &debug.readiness {
+        Some(r) => (r.shards, r.pool_threads, r.draining.load(Ordering::SeqCst)),
+        None => (default_shards, 0, false),
+    };
+    let status = if draining { "draining" } else { "ok" };
+    format!(
+        "{{\"status\":\"{status}\",\"shards\":{shards},\
+         \"pool_threads\":{pool_threads},\"draining\":{draining}}}\n"
+    )
+}
+
+/// The `/debug/requests` NDJSON body: every attached log's records,
+/// tagged with their shard label and sorted by global request id.
+fn render_debug_requests(debug: &DebugState) -> String {
+    let mut rows: Vec<(u64, String)> = Vec::new();
+    for (label, log) in &debug.requests {
+        for r in log.records() {
+            let json = r.to_json();
+            // splice the shard label in as the first field
+            rows.push((r.request, format!("{{\"shard\":\"{label}\",{}", &json[1..])));
+        }
+    }
+    rows.sort();
+    let mut out = String::new();
+    for (_, line) in rows {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// The `/debug/slo` text body: per-shard window views plus the merged
+/// view, all derived from the attached trackers.
+fn render_debug_slo(debug: &DebugState) -> String {
+    use std::fmt::Write as _;
+    if debug.slos.is_empty() {
+        return "no slo trackers attached\n".to_owned();
+    }
+    let config = debug.slos[0].1.config();
+    let width = config.width();
+    let window_lines = |out: &mut String, windows: &[WindowCounts]| {
+        for w in windows {
+            let _ = writeln!(
+                out,
+                "  window {} [t={} ns): good={} breached={} breach={:.3}",
+                w.index,
+                w.index * width,
+                w.good,
+                w.breached,
+                w.breach_fraction()
+            );
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "slo: objective={} ns window={} ns",
+        config.objective_ns, width
+    );
+    let mut per_shard: Vec<Vec<WindowCounts>> = Vec::new();
+    for (label, slo) in &debug.slos {
+        let (good, breached) = slo.totals();
+        let _ = writeln!(out, "shard {label}: good={good} breached={breached}");
+        let windows = slo.windows();
+        window_lines(&mut out, &windows);
+        per_shard.push(windows);
+    }
+    let merged = merge_windows(&per_shard);
+    let good: u64 = merged.iter().map(|w| w.good).sum();
+    let breached: u64 = merged.iter().map(|w| w.breached).sum();
+    let _ = writeln!(out, "merged: good={good} breached={breached}");
+    window_lines(&mut out, &merged);
+    out
 }
 
 #[cfg(test)]
@@ -386,7 +581,85 @@ mod tests {
             "{body}"
         );
         let health = server.scrape("/healthz").unwrap();
-        assert_eq!(health, "ok\n");
+        assert_eq!(
+            health, "{\"status\":\"ok\",\"shards\":2,\"pool_threads\":0,\"draining\":false}\n",
+            "without an attached Readiness the shard count comes from the registry"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_routes_serve_requests_slo_and_readiness() {
+        use crate::requests::{RequestLog, RequestRecord};
+        use crate::slo::SloConfig;
+
+        let metrics = Arc::new(Metrics::new());
+        let slo = Arc::new(SloTracker::new(
+            SloConfig {
+                window_ns: 100,
+                objective_ns: 10,
+                max_windows: 8,
+            },
+            &metrics,
+        ));
+        slo.record(5, 0);
+        slo.record(50, 120);
+        let log = Arc::new(RequestLog::new(16));
+        log.push(RequestRecord {
+            request: 3,
+            trace: crate::trace_id(3),
+            outcome: "ok",
+            batch: Some(0),
+            latency_ns: 5,
+            queue_ns: 5,
+            form_ns: 0,
+            exec_ns: 0,
+            respond_ns: 0,
+            finished_ns: 0,
+        });
+        let draining = Arc::new(AtomicBool::new(false));
+        let server = ExpositionServer::bind_debug(
+            "127.0.0.1:0",
+            Arc::clone(&metrics),
+            DebugState {
+                slos: vec![("0".to_owned(), Arc::clone(&slo))],
+                requests: vec![("0".to_owned(), Arc::clone(&log))],
+                readiness: Some(Readiness {
+                    shards: 1,
+                    pool_threads: 4,
+                    draining: Arc::clone(&draining),
+                }),
+            },
+        )
+        .unwrap();
+
+        let health = server.scrape("/healthz").unwrap();
+        assert_eq!(
+            health,
+            "{\"status\":\"ok\",\"shards\":1,\"pool_threads\":4,\"draining\":false}\n"
+        );
+        draining.store(true, Ordering::SeqCst);
+        let health = server.scrape("/healthz").unwrap();
+        assert!(health.contains("\"status\":\"draining\""), "{health}");
+        assert!(health.contains("\"draining\":true"), "{health}");
+
+        let requests = server.scrape("/debug/requests").unwrap();
+        assert!(
+            requests.starts_with("{\"shard\":\"0\",\"request\":3,"),
+            "{requests}"
+        );
+        assert!(requests.contains("\"queue_ns\":5"), "{requests}");
+
+        let slo_body = server.scrape("/debug/slo").unwrap();
+        assert!(
+            slo_body.contains("shard 0: good=1 breached=1"),
+            "{slo_body}"
+        );
+        assert!(slo_body.contains("merged: good=1 breached=1"), "{slo_body}");
+        assert!(
+            slo_body.contains("window 1 [t=100 ns): good=0 breached=1"),
+            "{slo_body}"
+        );
         server.shutdown();
     }
 

@@ -19,6 +19,68 @@ use std::sync::{Arc, Mutex, PoisonError};
 use crate::clock::ObsClock;
 use crate::ndjson::{self, JsonValue};
 
+/// Request-scoped trace correlation: the pair of ids every span and
+/// event belonging to one served request carries (`request` is the
+/// global admission id, `trace` a deterministic bijection of it).
+///
+/// The trace id is `splitmix64(request ^ SALT)` — splitmix64 is a
+/// bijection on `u64`, so distinct admission ids always get distinct
+/// trace ids, and because the derivation reads nothing but the global
+/// id, a request keeps the same trace id at any worker or shard count.
+///
+/// # Examples
+///
+/// ```
+/// use canti_obs::trace::TraceContext;
+///
+/// let ctx = TraceContext::from_admission(7);
+/// assert_eq!(ctx.request, 7);
+/// assert_eq!(ctx, TraceContext::from_admission(7));
+/// assert_ne!(ctx.trace, TraceContext::from_admission(8).trace);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceContext {
+    /// The owning request's global admission id.
+    pub request: u64,
+    /// The trace id: `trace_id(request)`.
+    pub trace: u64,
+}
+
+impl TraceContext {
+    /// The context for global admission id `request`.
+    #[must_use]
+    pub fn from_admission(request: u64) -> Self {
+        Self {
+            request,
+            trace: trace_id(request),
+        }
+    }
+
+    /// The `(key, value)` pairs to stamp into a span's or event's
+    /// fields: `request` then `trace`, in that order.
+    #[must_use]
+    pub fn fields(&self) -> [(&'static str, JsonValue); 2] {
+        [
+            ("request", JsonValue::U64(self.request)),
+            ("trace", JsonValue::U64(self.trace)),
+        ]
+    }
+}
+
+/// The deterministic trace id for global admission id `request`: a
+/// salted splitmix64 pass, injective over `u64` and independent of
+/// worker count, shard count and wall time.
+#[must_use]
+pub fn trace_id(request: u64) -> u64 {
+    // "trace-id" in ASCII; any fixed odd-ball salt works, it only has to
+    // decorrelate trace ids from the ids and seeds they derive from
+    const TRACE_SALT: u64 = 0x7472_6163_652D_6964;
+    let mut z = (request ^ TRACE_SALT).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// What a [`TraceEvent`] marks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {

@@ -55,10 +55,19 @@ fn live_scrape_returns_prometheus_text() {
     let body = server.scrape("/metrics").expect("self-scrape");
     assert!(body.contains("farm_jobs_ok_total 50"), "{body}");
 
-    // /healthz liveness
+    // /healthz liveness: a JSON readiness body (no DebugState registered,
+    // so the defaults report a healthy single-shard server)
     let response = raw_get(addr, "/healthz");
     assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
-    assert!(response.ends_with("ok\n"), "{response}");
+    assert!(
+        response.contains("Content-Type: application/json"),
+        "{response}"
+    );
+    assert!(
+        response
+            .ends_with("{\"status\":\"ok\",\"shards\":1,\"pool_threads\":0,\"draining\":false}\n"),
+        "{response}"
+    );
 
     assert!(server.requests_served() >= 3);
     server.shutdown();

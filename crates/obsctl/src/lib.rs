@@ -1,6 +1,6 @@
 //! `obsctl` — the consumption-side CLI over canti telemetry artifacts.
 //!
-//! Three subcommands, all pure functions in this library so tests (and
+//! Five subcommands, all pure functions in this library so tests (and
 //! CI) can drive them without spawning the binary:
 //!
 //! * [`summary`] — parse a telemetry NDJSON artifact, reconstruct the
@@ -9,10 +9,18 @@
 //!   sequence has gaps,
 //! * [`flame`] — folded-stack flamegraph lines from the same artifact
 //!   (pipe into `flamegraph.pl` / inferno),
-//! * [`diff`] — compare per-stage `p50`/`p95` between two bench or
+//! * [`diff`] — compare per-stage `p50`/`p95`/`p99` between two bench or
 //!   telemetry JSON files and report regressions beyond a configurable
 //!   threshold; the binary exits non-zero on any regression, which is
-//!   the perf-regression gate `scripts/ci.sh` runs.
+//!   the perf-regression gate `scripts/ci.sh` runs,
+//! * [`trace_request`] — reconstruct one request's span chain (admission
+//!   `request` span through the farm `job` span that executed it) and
+//!   its critical path; **fails** when the request is absent, orphaned
+//!   (no admission-side span), unclosed, or the sequence has gaps —
+//!   the serve-artifact health gate,
+//! * [`slo_report`] — recompute deterministic SLO windows offline from
+//!   the closed `request` spans in an artifact, for auditing the live
+//!   `/debug/slo` view against the raw trace.
 //!
 //! `diff` understands every timing shape the workspace writes: the
 //! `ExperimentReport::to_json` document (`"timings": [...]`), NDJSON
@@ -74,6 +82,12 @@ pub struct StageSummary {
     pub p50_ns: u64,
     /// 95th percentile, ns.
     pub p95_ns: u64,
+    /// 99th percentile, ns — `None` for artifacts written before the
+    /// histogram summaries carried tail quantiles (archived baselines
+    /// keep diffing cleanly).
+    pub p99_ns: Option<u64>,
+    /// Largest sample, ns — `None` for the same legacy artifacts.
+    pub max_ns: Option<u64>,
     /// Samples behind the quantiles.
     pub count: u64,
 }
@@ -105,61 +119,44 @@ pub fn load_stages(path: &Path) -> Result<Vec<(String, StageSummary)>, CliError>
         }
     };
 
+    // the bench/farm shapes suffix keys with `_ns`; metric dumps don't
+    let summarize = |doc: &Json, suffix: &str| -> Option<StageSummary> {
+        let field = |key: &str| doc.get(&format!("{key}{suffix}")).and_then(Json::as_u64);
+        Some(StageSummary {
+            p50_ns: field("p50")?,
+            p95_ns: field("p95")?,
+            p99_ns: field("p99"),
+            max_ns: field("max"),
+            count: doc.get("count").and_then(Json::as_u64).unwrap_or(0),
+        })
+    };
+
     for doc in &docs {
         // ExperimentReport document
         if let Some(timings) = doc.get("timings").and_then(Json::as_array) {
             for t in timings {
-                if let (Some(name), Some(p50), Some(p95)) = (
-                    t.get("name").and_then(Json::as_str),
-                    t.get("p50_ns").and_then(Json::as_u64),
-                    t.get("p95_ns").and_then(Json::as_u64),
-                ) {
-                    let count = t.get("count").and_then(Json::as_u64).unwrap_or(0);
-                    push(
-                        name,
-                        StageSummary {
-                            p50_ns: p50,
-                            p95_ns: p95,
-                            count,
-                        },
-                    );
+                if let (Some(name), Some(summary)) =
+                    (t.get("name").and_then(Json::as_str), summarize(t, "_ns"))
+                {
+                    push(name, summary);
                 }
             }
         }
         // farm_stage NDJSON record
         if doc.get("record").and_then(Json::as_str) == Some("farm_stage") {
-            if let (Some(name), Some(p50), Some(p95)) = (
+            if let (Some(name), Some(summary)) = (
                 doc.get("stage").and_then(Json::as_str),
-                doc.get("p50_ns").and_then(Json::as_u64),
-                doc.get("p95_ns").and_then(Json::as_u64),
+                summarize(doc, "_ns"),
             ) {
-                let count = doc.get("count").and_then(Json::as_u64).unwrap_or(0);
-                push(
-                    name,
-                    StageSummary {
-                        p50_ns: p50,
-                        p95_ns: p95,
-                        count,
-                    },
-                );
+                push(name, summary);
             }
         }
         // metrics histogram dump line
         if doc.get("type").and_then(Json::as_str) == Some("histogram") {
-            if let (Some(name), Some(p50), Some(p95)) = (
-                doc.get("metric").and_then(Json::as_str),
-                doc.get("p50").and_then(Json::as_u64),
-                doc.get("p95").and_then(Json::as_u64),
-            ) {
-                let count = doc.get("count").and_then(Json::as_u64).unwrap_or(0);
-                push(
-                    name,
-                    StageSummary {
-                        p50_ns: p50,
-                        p95_ns: p95,
-                        count,
-                    },
-                );
+            if let (Some(name), Some(summary)) =
+                (doc.get("metric").and_then(Json::as_str), summarize(doc, ""))
+            {
+                push(name, summary);
             }
         }
     }
@@ -197,7 +194,7 @@ impl Default for DiffOptions {
 pub struct DiffRow {
     /// Stage name.
     pub stage: String,
-    /// `"p50"` or `"p95"`.
+    /// `"p50"`, `"p95"` or `"p99"`.
     pub quantile: &'static str,
     /// Baseline value, ns.
     pub old_ns: u64,
@@ -253,7 +250,8 @@ impl DiffReport {
     }
 }
 
-/// Compares per-stage `p50`/`p95` between a baseline and a candidate.
+/// Compares per-stage `p50`/`p95` (and `p99`, when both artifacts carry
+/// it) between a baseline and a candidate.
 ///
 /// A quantile regresses when it grew by more than
 /// [`DiffOptions::threshold_pct`] **and** by more than
@@ -275,10 +273,16 @@ pub fn diff(old: &Path, new: &Path, opts: DiffOptions) -> Result<DiffReport, Cli
             report.unmatched.push((name.clone(), "old"));
             continue;
         };
-        for (quantile, old_ns, new_ns) in [
+        let mut quantiles = vec![
             ("p50", old_summary.p50_ns, new_summary.p50_ns),
             ("p95", old_summary.p95_ns, new_summary.p95_ns),
-        ] {
+        ];
+        // tail rows only when both sides carry them, so archived
+        // baselines written before p99/max keep diffing cleanly
+        if let (Some(old_p99), Some(new_p99)) = (old_summary.p99_ns, new_summary.p99_ns) {
+            quantiles.push(("p99", old_p99, new_p99));
+        }
+        for (quantile, old_ns, new_ns) in quantiles {
             let delta = new_ns as f64 - old_ns as f64;
             let delta_pct = if old_ns == 0 {
                 if new_ns == 0 {
@@ -417,6 +421,175 @@ pub fn flame(path: &Path) -> Result<String, CliError> {
     Ok(folded)
 }
 
+/// Reconstructs one request's span chain from a serve telemetry
+/// artifact: the admission-side `request` span plus every farm `job`
+/// span that executed on its behalf, each with its ancestry path, then
+/// the critical path under the slowest owning span.
+///
+/// # Errors
+///
+/// [`CliError::Gate`] when the artifact is unhealthy for this request —
+/// the trace sequence has gaps, no span carries the request id, the
+/// request is orphaned (farm spans reference it but no admission-side
+/// `request` span exists), or an owning span never closed.
+/// [`CliError::Input`] on unreadable/unparsable files.
+pub fn trace_request(path: &Path, request: u64) -> Result<String, CliError> {
+    let trace = load_trace(path)?;
+    if !trace.seq_gaps.is_empty() {
+        return Err(CliError::Gate(format!(
+            "{}: trace sequence has {} gap(s): {:?}",
+            path.display(),
+            trace.seq_gaps.len(),
+            trace.seq_gaps
+        )));
+    }
+    let paths = trace.request_paths(request);
+    if paths.is_empty() {
+        return Err(CliError::Gate(format!(
+            "{}: no span carries request {request} ({} spans total)",
+            path.display(),
+            trace.span_count()
+        )));
+    }
+    let owners: Vec<&canti_obs::SpanNode> = paths
+        .iter()
+        .map(|p| *p.last().expect("request path is never empty"))
+        .collect();
+    if let Some(open) = owners.iter().find(|s| s.dur_ns.is_none()) {
+        return Err(CliError::Gate(format!(
+            "{}: span '{}' (seq {}) owning request {request} never closed",
+            path.display(),
+            open.name,
+            open.seq
+        )));
+    }
+    if !owners.iter().any(|s| s.name == "request") {
+        return Err(CliError::Gate(format!(
+            "{}: request {request} is orphaned — {} span(s) executed on \
+             its behalf but no admission-side 'request' span exists",
+            path.display(),
+            owners.len()
+        )));
+    }
+
+    let trace_id = owners.iter().find_map(|s| s.trace_id);
+    let mut out = String::new();
+    match trace_id {
+        Some(id) => {
+            let _ = writeln!(
+                out,
+                "request {request}: trace {id:#018x}, {} owning span(s)",
+                owners.len()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "request {request}: {} owning span(s)", owners.len());
+        }
+    }
+    for p in &paths {
+        let owner = p.last().expect("non-empty");
+        let chain: Vec<&str> = p.iter().map(|s| s.name.as_str()).collect();
+        let _ = writeln!(
+            out,
+            "  {} [{} ns] ({} events)",
+            chain.join(" -> "),
+            owner.duration_ns(),
+            owner.events.len()
+        );
+    }
+    let slowest = owners
+        .iter()
+        .max_by_key(|s| s.duration_ns())
+        .expect("at least one owning span");
+    let critical: Vec<String> = slowest
+        .critical_path()
+        .iter()
+        .map(|s| format!("{} ({} ns)", s.name, s.duration_ns()))
+        .collect();
+    let _ = writeln!(out, "critical path: {}", critical.join(" -> "));
+    Ok(out)
+}
+
+/// Recomputes deterministic SLO windows offline from the closed
+/// admission-side `request` spans in a telemetry artifact: each span's
+/// duration is its latency, judged against `config.objective_ns` and
+/// bucketed by its end time into `config.window_ns`-wide windows — the
+/// same pure function of `(latency, clock)` the live tracker applies,
+/// so a virtual-clock artifact reproduces `/debug/slo` exactly.
+///
+/// # Errors
+///
+/// [`CliError::Gate`] when the artifact holds no closed `request`
+/// spans (nothing to aggregate — the serve run came untraced);
+/// [`CliError::Input`] on unreadable/unparsable files.
+pub fn slo_report(path: &Path, config: canti_obs::SloConfig) -> Result<String, CliError> {
+    use canti_obs::WindowCounts;
+    use std::collections::BTreeMap;
+
+    let trace = load_trace(path)?;
+    fn collect<'t>(node: &'t canti_obs::SpanNode, out: &mut Vec<&'t canti_obs::SpanNode>) {
+        if node.name == "request" && node.request.is_some() && node.dur_ns.is_some() {
+            out.push(node);
+        }
+        for child in &node.children {
+            collect(child, out);
+        }
+    }
+    let mut samples = Vec::new();
+    for root in &trace.roots {
+        collect(root, &mut samples);
+    }
+    if samples.is_empty() {
+        return Err(CliError::Gate(format!(
+            "{}: no closed 'request' spans to aggregate ({} spans total)",
+            path.display(),
+            trace.span_count()
+        )));
+    }
+
+    let mut windows: BTreeMap<u64, WindowCounts> = BTreeMap::new();
+    let (mut good_total, mut breached_total) = (0u64, 0u64);
+    for span in &samples {
+        let latency_ns = span.duration_ns();
+        let end_ns = span.start_ns + latency_ns;
+        let index = config.window_index(end_ns);
+        let slot = windows.entry(index).or_insert(WindowCounts {
+            index,
+            good: 0,
+            breached: 0,
+        });
+        if latency_ns <= config.objective_ns {
+            slot.good += 1;
+            good_total += 1;
+        } else {
+            slot.breached += 1;
+            breached_total += 1;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "slo (offline, {} request span(s)): objective={} ns window={} ns \
+         good={good_total} breached={breached_total}",
+        samples.len(),
+        config.objective_ns,
+        config.width(),
+    );
+    for w in windows.values() {
+        let _ = writeln!(
+            out,
+            "  window {} [t={} ns): good={} breached={} breach={:.3}",
+            w.index,
+            w.index * config.width(),
+            w.good,
+            w.breached,
+            w.breach_fraction()
+        );
+    }
+    Ok(out)
+}
+
 fn load_trace(path: &Path) -> Result<Trace, CliError> {
     let text = read_file(path)?;
     Trace::from_ndjson(&text).map_err(|e| CliError::Input(format!("{}: {e}", path.display())))
@@ -436,7 +609,7 @@ mod tests {
     fn load_stages_reads_all_three_shapes() {
         let report = write_temp(
             "report",
-            r#"{"timings": [{"name": "solve", "count": 5, "sum_ns": 50, "min_ns": 1, "max_ns": 20, "p50_ns": 10, "p95_ns": 20}]}"#,
+            r#"{"timings": [{"name": "solve", "count": 5, "sum_ns": 50, "min_ns": 1, "max_ns": 20, "p50_ns": 10, "p95_ns": 20, "p99_ns": 20}]}"#,
         );
         let stages = load_stages(&report).unwrap();
         assert_eq!(
@@ -446,6 +619,8 @@ mod tests {
                 StageSummary {
                     p50_ns: 10,
                     p95_ns: 20,
+                    p99_ns: Some(20),
+                    max_ns: Some(20),
                     count: 5
                 }
             )]
@@ -454,13 +629,16 @@ mod tests {
         let ndjson = write_temp(
             "ndjson",
             "{\"record\":\"farm_stage\",\"stage\":\"queue_wait\",\"count\":4,\"sum_ns\":40,\"p50_ns\":9,\"p95_ns\":11,\"max_ns\":12}\n\
-             {\"metric\":\"farm.solve_ns\",\"type\":\"histogram\",\"count\":4,\"sum\":40,\"min\":1,\"max\":30,\"p50\":8,\"p95\":30}\n",
+             {\"metric\":\"farm.solve_ns\",\"type\":\"histogram\",\"count\":4,\"sum\":40,\"min\":1,\"max\":30,\"p50\":8,\"p95\":30,\"p99\":30}\n",
         );
         let stages = load_stages(&ndjson).unwrap();
         assert_eq!(stages.len(), 2);
         assert_eq!(stages[0].0, "queue_wait");
+        // a legacy record without p99 still loads, with the tail absent
+        assert_eq!((stages[0].1.p99_ns, stages[0].1.max_ns), (None, Some(12)));
         assert_eq!(stages[1].0, "farm.solve_ns");
         assert_eq!(stages[1].1.p95_ns, 30);
+        assert_eq!(stages[1].1.p99_ns, Some(30));
     }
 
     #[test]
@@ -506,6 +684,100 @@ mod tests {
     }
 
     #[test]
+    fn trace_request_renders_the_chain_and_critical_path() {
+        let artifact = write_temp(
+            "trace-chain",
+            "{\"seq\":0,\"t_ns\":100,\"kind\":\"span_start\",\"name\":\"request\",\"fields\":{\"request\":7,\"trace\":153,\"kind\":\"probe\"}}\n\
+             {\"seq\":1,\"t_ns\":150,\"kind\":\"span_end\",\"name\":\"request\",\"fields\":{\"dur_ns\":50}}\n\
+             {\"seq\":2,\"t_ns\":150,\"kind\":\"span_start\",\"name\":\"serve_batch\",\"fields\":{\"batch\":0}}\n\
+             {\"seq\":3,\"t_ns\":150,\"kind\":\"span_start\",\"name\":\"job\",\"fields\":{\"request\":7,\"trace\":153}}\n\
+             {\"seq\":4,\"t_ns\":450,\"kind\":\"span_end\",\"name\":\"job\",\"fields\":{\"dur_ns\":300}}\n\
+             {\"seq\":5,\"t_ns\":460,\"kind\":\"span_start\",\"name\":\"job\",\"fields\":{\"request\":8,\"trace\":154}}\n\
+             {\"seq\":6,\"t_ns\":470,\"kind\":\"span_end\",\"name\":\"job\",\"fields\":{\"dur_ns\":10}}\n\
+             {\"seq\":7,\"t_ns\":480,\"kind\":\"span_end\",\"name\":\"serve_batch\",\"fields\":{\"dur_ns\":330}}\n",
+        );
+        let text = trace_request(&artifact, 7).unwrap();
+        assert!(
+            text.contains("request 7: trace 0x0000000000000099, 2 owning span(s)"),
+            "{text}"
+        );
+        assert!(text.contains("request [50 ns]"), "{text}");
+        assert!(text.contains("serve_batch -> job [300 ns]"), "{text}");
+        assert!(text.contains("critical path: job (300 ns)"), "{text}");
+
+        // a request id nothing carries is a gate failure, not silence
+        let err = trace_request(&artifact, 6).unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{err}");
+    }
+
+    #[test]
+    fn trace_request_gates_on_orphaned_and_unclosed_requests() {
+        // a farm job references request 9 but no admission span exists
+        let orphan = write_temp(
+            "trace-orphan",
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"span_start\",\"name\":\"job\",\"fields\":{\"request\":9}}\n\
+             {\"seq\":1,\"t_ns\":5,\"kind\":\"span_end\",\"name\":\"job\",\"fields\":{\"dur_ns\":5}}\n",
+        );
+        let err = trace_request(&orphan, 9).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("orphaned"), "{err}");
+
+        // an admission span that never closed (request stuck in flight)
+        let unclosed = write_temp(
+            "trace-unclosed",
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"span_start\",\"name\":\"request\",\"fields\":{\"request\":3,\"trace\":9}}\n",
+        );
+        let err = trace_request(&unclosed, 3).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("never closed"), "{err}");
+
+        // a sequence gap poisons the whole artifact for tracing
+        let gapped = write_temp(
+            "trace-gap",
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"span_start\",\"name\":\"request\",\"fields\":{\"request\":3}}\n\
+             {\"seq\":2,\"t_ns\":5,\"kind\":\"span_end\",\"name\":\"request\",\"fields\":{\"dur_ns\":5}}\n",
+        );
+        let err = trace_request(&gapped, 3).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn slo_report_rebuilds_windows_from_request_spans() {
+        let artifact = write_temp(
+            "slo-windows",
+            "{\"seq\":0,\"t_ns\":100,\"kind\":\"span_start\",\"name\":\"request\",\"fields\":{\"request\":1,\"trace\":5}}\n\
+             {\"seq\":1,\"t_ns\":150,\"kind\":\"span_end\",\"name\":\"request\",\"fields\":{\"dur_ns\":50}}\n\
+             {\"seq\":2,\"t_ns\":900,\"kind\":\"span_start\",\"name\":\"request\",\"fields\":{\"request\":2,\"trace\":6}}\n\
+             {\"seq\":3,\"t_ns\":1300,\"kind\":\"span_end\",\"name\":\"request\",\"fields\":{\"dur_ns\":400}}\n",
+        );
+        let config = canti_obs::SloConfig {
+            window_ns: 1_000,
+            objective_ns: 100,
+            max_windows: 64,
+        };
+        let text = slo_report(&artifact, config).unwrap();
+        assert!(text.contains("good=1 breached=1"), "{text}");
+        assert!(
+            text.contains("window 0 [t=0 ns): good=1 breached=0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("window 1 [t=1000 ns): good=0 breached=1"),
+            "{text}"
+        );
+
+        // an artifact with no request spans has nothing to audit
+        let jobs_only = write_temp(
+            "slo-empty",
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"span_start\",\"name\":\"job\"}\n\
+             {\"seq\":1,\"t_ns\":5,\"kind\":\"span_end\",\"name\":\"job\",\"fields\":{\"dur_ns\":5}}\n",
+        );
+        let err = slo_report(&jobs_only, config).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
     fn diff_thresholds_and_noise_floor() {
         let old = write_temp(
             "diff-old",
@@ -530,6 +802,31 @@ mod tests {
         // identical inputs never regress
         let report = diff(&old, &old, DiffOptions::default()).unwrap();
         assert!(!report.regressed());
+    }
+
+    #[test]
+    fn diff_compares_p99_only_when_both_sides_carry_it() {
+        let legacy = write_temp(
+            "p99-legacy",
+            r#"{"timings": [{"name": "solve", "count": 5, "p50_ns": 100, "p95_ns": 200}]}"#,
+        );
+        let tailed = write_temp(
+            "p99-tailed",
+            r#"{"timings": [{"name": "solve", "count": 5, "p50_ns": 100, "p95_ns": 200, "p99_ns": 900, "max_ns": 1000}]}"#,
+        );
+        // legacy baseline: no p99 row, so archived artifacts keep diffing
+        let report = diff(&legacy, &tailed, DiffOptions::default()).unwrap();
+        assert!(report.rows.iter().all(|r| r.quantile != "p99"));
+
+        // both sides tailed: the p99 row exists and can trip the gate
+        let worse = write_temp(
+            "p99-worse",
+            r#"{"timings": [{"name": "solve", "count": 5, "p50_ns": 100, "p95_ns": 200, "p99_ns": 2000000, "max_ns": 3000000}]}"#,
+        );
+        let report = diff(&tailed, &worse, DiffOptions::default()).unwrap();
+        let p99: Vec<_> = report.rows.iter().filter(|r| r.quantile == "p99").collect();
+        assert_eq!(p99.len(), 1);
+        assert!(p99[0].regressed, "{:?}", p99[0]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use canti_obsctl::{diff, flame, summary, CliError, DiffOptions};
+use canti_obsctl::{diff, flame, slo_report, summary, trace_request, CliError, DiffOptions};
 
 const HELP: &str = "\
 obsctl — consume canti telemetry artifacts
@@ -12,6 +12,8 @@ USAGE:
     obsctl summary <telemetry.ndjson>
     obsctl flame   <telemetry.ndjson>
     obsctl diff    <old.json> <new.json> [--threshold-pct <P>] [--min-ns <N>]
+    obsctl trace   <telemetry.ndjson> <request-id>
+    obsctl slo     <telemetry.ndjson> [--objective-ns <N>] [--window-ns <N>]
     obsctl --help
 
 SUBCOMMANDS:
@@ -21,11 +23,23 @@ SUBCOMMANDS:
               sequence has gaps — CI uses this as an artifact-health gate.
     flame     Print folded-stack flamegraph lines (`a;b;c <self_ns>`)
               for the same artifact; pipe into flamegraph.pl / inferno.
-    diff      Compare per-stage p50/p95 latencies between a baseline and
-              a candidate file. Accepts ExperimentReport JSON
+    diff      Compare per-stage p50/p95/p99 latencies between a baseline
+              and a candidate file. Accepts ExperimentReport JSON
               (\"timings\": [...]), farm_stage NDJSON records, and
               histogram metric-dump NDJSON lines. Exits 1 when any stage
-              regressed beyond the threshold — the CI perf gate.
+              regressed beyond the threshold — the CI perf gate. The p99
+              row appears only when both files carry it, so archived
+              baselines keep diffing.
+    trace     Reconstruct one request's span chain — the admission-side
+              'request' span plus every farm 'job' span executed on its
+              behalf — and print it with the critical path. Exits 1 when
+              the request is absent, orphaned (no admission span),
+              unclosed, or the sequence has gaps — the serve-artifact
+              health gate CI runs on the smoke telemetry.
+    slo       Recompute deterministic SLO windows offline from the closed
+              'request' spans in the artifact, for auditing the live
+              /debug/slo view against the raw trace. Exits 1 when the
+              artifact holds no request spans.
 
 OPTIONS (diff):
     --threshold-pct <P>   Relative slack in percent; a quantile regresses
@@ -33,9 +47,16 @@ OPTIONS (diff):
     --min-ns <N>          Absolute noise floor in nanoseconds; deltas of
                           at most N ns never count (default 10000).
 
+OPTIONS (slo):
+    --objective-ns <N>    Latency objective in nanoseconds; a request at
+                          most this slow is good (default 50000000).
+    --window-ns <N>       Fixed window width in nanoseconds on the
+                          artifact's clock (default 1000000000).
+
 EXIT CODES:
     0   success / no regression
-    1   gate failed (regression, empty span tree, sequence gaps)
+    1   gate failed (regression, empty span tree, sequence gaps,
+        missing/orphaned/unclosed request, no request spans)
     2   usage, I/O or parse error
 ";
 
@@ -62,6 +83,46 @@ fn run() -> Result<(), CliError> {
             } else {
                 flame(&path)?
             };
+            print!("{out}");
+            Ok(())
+        }
+        "trace" => {
+            let [path, request] = &args[1..] else {
+                return Err(CliError::Usage(
+                    "trace takes exactly two arguments: <telemetry.ndjson> <request-id>".into(),
+                ));
+            };
+            let request: u64 = request.parse().map_err(|_| {
+                CliError::Usage(format!("trace: cannot parse request id {request:?}"))
+            })?;
+            let out = trace_request(&PathBuf::from(path), request)?;
+            print!("{out}");
+            Ok(())
+        }
+        "slo" => {
+            let mut config = canti_obs::SloConfig::default();
+            let mut files: Vec<PathBuf> = Vec::new();
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--objective-ns" => {
+                        config.objective_ns = parse_flag(rest.next(), "--objective-ns")?;
+                    }
+                    "--window-ns" => {
+                        config.window_ns = parse_flag(rest.next(), "--window-ns")?;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError::Usage(format!("unknown flag {flag}")));
+                    }
+                    path => files.push(PathBuf::from(path)),
+                }
+            }
+            let [path] = files.as_slice() else {
+                return Err(CliError::Usage(
+                    "slo takes exactly one file argument: <telemetry.ndjson>".into(),
+                ));
+            };
+            let out = slo_report(path, config)?;
             print!("{out}");
             Ok(())
         }

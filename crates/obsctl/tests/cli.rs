@@ -43,6 +43,95 @@ fn healthy_trace() -> String {
     ring.to_ndjson()
 }
 
+/// A serve-shaped trace stream: an admission-side `request` span closed
+/// before the `serve_batch`/`job` pair that executed it, the way the
+/// sharded front and executor interleave on one tracer.
+fn serve_trace() -> String {
+    let ring = Arc::new(RingCollector::new(64));
+    let clock = Arc::new(VirtualClock::new());
+    let tracer = Tracer::new(Arc::clone(&ring) as _, Arc::clone(&clock) as _);
+    let request = tracer.span(
+        "request",
+        &[
+            ("request", 5u64.into()),
+            ("trace", 0xABu64.into()),
+            ("kind", "probe".into()),
+        ],
+    );
+    clock.advance_ns(2_000);
+    drop(request);
+    let batch = tracer.span("serve_batch", &[("batch", 0u64.into())]);
+    let job = tracer.span(
+        "job",
+        &[
+            ("job", 0u64.into()),
+            ("request", 5u64.into()),
+            ("trace", 0xABu64.into()),
+        ],
+    );
+    clock.advance_ns(1_500);
+    drop(job);
+    drop(batch);
+    ring.to_ndjson()
+}
+
+#[test]
+fn trace_reconstructs_a_request_chain() {
+    let path = temp("trace-ok", &serve_trace());
+    let out = obsctl(&["trace", path.to_str().unwrap(), "5"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("request 5: trace 0x00000000000000ab"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("serve_batch -> job [1500 ns]"), "{stdout}");
+    assert!(stdout.contains("critical path:"), "{stdout}");
+}
+
+#[test]
+fn trace_gates_on_unknown_requests_and_rejects_bad_ids() {
+    let path = temp("trace-miss", &serve_trace());
+    let out = obsctl(&["trace", path.to_str().unwrap(), "999"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "absent request is a gate failure"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no span carries request 999"));
+
+    let out = obsctl(&["trace", path.to_str().unwrap(), "not-a-number"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = obsctl(&["trace", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn slo_recomputes_windows_offline() {
+    let path = temp("slo-offline", &serve_trace());
+    // the request ran 2000 ns: good under a loose objective…
+    let out = obsctl(&["slo", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("good=1 breached=0"));
+    // …and a breach under a 1 µs one
+    let out = obsctl(&[
+        "slo",
+        path.to_str().unwrap(),
+        "--objective-ns",
+        "1000",
+        "--window-ns",
+        "1000000",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("good=0 breached=1"), "{stdout}");
+    assert!(stdout.contains("window 0 "), "{stdout}");
+}
+
 #[test]
 fn diff_passes_on_identical_inputs() {
     let old = fixture("bench_old.json");
@@ -178,8 +267,12 @@ fn usage_errors_exit_2_and_help_exits_0() {
         "summary",
         "flame",
         "diff",
+        "trace",
+        "slo",
         "--threshold-pct",
         "--min-ns",
+        "--objective-ns",
+        "--window-ns",
         "EXIT CODES",
     ] {
         assert!(help.contains(needle), "help missing {needle}");

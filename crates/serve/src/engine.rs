@@ -76,12 +76,16 @@ pub(crate) struct Front {
 }
 
 impl Front {
+    /// `instruments` must be the same set the executor records into —
+    /// SLO windows and the request log live on the instrument struct
+    /// itself (not in the name-keyed registry), so a second construction
+    /// would silently split the debug views in half.
     pub(crate) fn new(
         config: ServeConfig,
         clock: Arc<dyn ObsClock>,
         observer: Option<FarmObserver>,
+        instruments: Option<crate::exec::ServeInstruments>,
     ) -> Self {
-        let instruments = observer.as_ref().map(crate::exec::ServeInstruments::new);
         Self {
             queue: AdmissionQueue::new(config),
             clock,
@@ -113,6 +117,10 @@ impl Front {
         self.queue.next_wakeup_ns()
     }
 
+    pub(crate) fn instruments(&self) -> Option<&crate::exec::ServeInstruments> {
+        self.instruments.as_ref()
+    }
+
     /// Admits `job` (deadline relative to now, falling back to the
     /// config default) or rejects it, keeping tallies, the queue-depth
     /// gauge, the request span and the admission/rejection events.
@@ -139,9 +147,17 @@ impl Front {
             Ok(id) => {
                 self.stats.admitted += 1;
                 if let Some(o) = &self.observer {
-                    let span = o
-                        .tracer()
-                        .span("request", &[("request", id.into()), ("kind", kind.into())]);
+                    // span fields carry the global key and trace id, so
+                    // the chain stays joinable at any shard count
+                    let ctx = canti_obs::TraceContext::from_admission(key.unwrap_or(id));
+                    let span = o.tracer().span(
+                        "request",
+                        &[
+                            ("request", ctx.request.into()),
+                            ("trace", ctx.trace.into()),
+                            ("kind", kind.into()),
+                        ],
+                    );
                     self.spans.insert(id, span);
                 }
                 self.observe_depth();
@@ -175,20 +191,39 @@ impl Front {
             .into_iter()
             .map(|p: Pending| {
                 self.stats.expired += 1;
+                let waited_ns = now_ns.saturating_sub(p.enqueued_ns);
                 if let Some(o) = &self.observer {
-                    o.tracer()
-                        .event("request_expired", &[("request", p.id.into())]);
+                    o.tracer().event(
+                        "request_expired",
+                        &[("request", p.key.into()), ("trace", p.trace.into())],
+                    );
                 }
                 if let Some(ins) = &self.instruments {
                     ins.expired.inc();
+                    // an expiry always burns error budget, however
+                    // briefly the request waited
+                    ins.slo.record_outcome(false, now_ns);
+                    ins.requests.push(canti_obs::RequestRecord {
+                        request: p.key,
+                        trace: p.trace,
+                        outcome: "expired",
+                        batch: None,
+                        latency_ns: waited_ns,
+                        queue_ns: waited_ns,
+                        form_ns: 0,
+                        exec_ns: 0,
+                        respond_ns: 0,
+                        finished_ns: now_ns,
+                    });
                 }
                 if let Some(span) = self.spans.remove(&p.id) {
                     span.end();
                 }
                 ServeResponse {
                     request_id: p.id,
+                    trace: p.trace,
                     disposition: Disposition::Expired {
-                        waited_ns: now_ns.saturating_sub(p.enqueued_ns),
+                        waited_ns,
                         deadline_ns: p.deadline_ns.unwrap_or(now_ns),
                     },
                 }
@@ -218,9 +253,10 @@ impl Front {
     /// Stops admission and releases the remaining queue as drain
     /// batches.
     pub(crate) fn begin_drain(&mut self) -> Vec<FormedBatch> {
+        let now_ns = self.clock.now_ns();
         self.queue.begin_drain();
         let mut batches = Vec::new();
-        while let Some(batch) = self.queue.pop_drain() {
+        while let Some(batch) = self.queue.pop_drain(now_ns) {
             self.log_batch(&batch);
             batches.push(batch);
         }
@@ -280,23 +316,26 @@ impl ServeEngine {
     #[must_use]
     pub fn new(config: ServeConfig, clock: Arc<dyn ObsClock>) -> Self {
         Self {
-            front: Front::new(config, Arc::clone(&clock), None),
+            front: Front::new(config, Arc::clone(&clock), None, None),
             executor: BatchExecutor::new(config.threads, clock),
         }
     }
 
     /// Attaches a farm observer: serve counters/histograms, request and
-    /// batch spans, and the farm's own telemetry all record into it. For
-    /// coherent timestamps construct the observer over the same clock
-    /// the engine was given.
+    /// batch spans, SLO windows, the request log and the farm's own
+    /// telemetry all record into it. For coherent timestamps construct
+    /// the observer over the same clock the engine was given.
     #[must_use]
     pub fn with_observer(mut self, observer: FarmObserver) -> Self {
+        let config = *self.front.queue.config();
+        let instruments = crate::exec::ServeInstruments::new(&observer, config.slo);
         self.front = Front::new(
-            *self.front.queue.config(),
+            config,
             Arc::clone(&self.front.clock),
             Some(observer.clone()),
+            Some(instruments.clone()),
         );
-        self.executor = self.executor.with_observer(observer);
+        self.executor = self.executor.with_instruments(observer, instruments);
         self
     }
 
@@ -400,6 +439,20 @@ impl ServeEngine {
     #[must_use]
     pub fn observer(&self) -> Option<&FarmObserver> {
         self.executor.observer()
+    }
+
+    /// The SLO tracker scoring this engine's requests (present once an
+    /// observer is attached).
+    #[must_use]
+    pub fn slo(&self) -> Option<Arc<canti_obs::SloTracker>> {
+        self.front.instruments().map(|i| Arc::clone(&i.slo))
+    }
+
+    /// The bounded finished-request log behind `/debug/requests`
+    /// (present once an observer is attached).
+    #[must_use]
+    pub fn request_log(&self) -> Option<Arc<canti_obs::RequestLog>> {
+        self.front.instruments().map(|i| Arc::clone(&i.requests))
     }
 }
 

@@ -8,15 +8,24 @@
 use std::sync::Arc;
 
 use canti_farm::{Farm, FarmConfig, FarmObserver, JobSpec, PrecomputeCache, WorkerPool};
-use canti_obs::{Counter, Gauge, Histogram, ObsClock};
+use canti_obs::{
+    Counter, Gauge, Histogram, ObsClock, RequestLog, RequestRecord, SloConfig, SloTracker,
+    TraceContext,
+};
 
 use crate::queue::FormedBatch;
-use crate::response::{Disposition, ServeResponse};
+use crate::response::{Disposition, LatencyBreakdown, ServeResponse};
+
+/// Finished requests retained for `/debug/requests`, per front.
+pub(crate) const REQUEST_LOG_CAPACITY: usize = 1024;
 
 /// The serve-layer metrics handles, registered once per observer.
 ///
 /// Names follow the `serve.` prefix the exposition layer sanitizes into
-/// `serve_*` Prometheus series.
+/// `serve_*` Prometheus series. The SLO tracker and request log ride
+/// alongside because they cannot be re-derived from the name-keyed
+/// registry — engine and executor must share ONE `ServeInstruments` so
+/// both record into the same window deque and debug log.
 #[derive(Debug, Clone)]
 pub(crate) struct ServeInstruments {
     pub admitted: Arc<Counter>,
@@ -27,10 +36,12 @@ pub(crate) struct ServeInstruments {
     pub queue_depth: Arc<Gauge>,
     pub batch_size: Arc<Histogram>,
     pub request_latency_ns: Arc<Histogram>,
+    pub slo: Arc<SloTracker>,
+    pub requests: Arc<RequestLog>,
 }
 
 impl ServeInstruments {
-    pub(crate) fn new(observer: &FarmObserver) -> Self {
+    pub(crate) fn new(observer: &FarmObserver, slo: SloConfig) -> Self {
         let m = observer.metrics();
         Self {
             admitted: m.counter("serve.admitted"),
@@ -41,6 +52,8 @@ impl ServeInstruments {
             queue_depth: m.gauge("serve.queue_depth"),
             batch_size: m.histogram("serve.batch_size"),
             request_latency_ns: m.histogram("serve.request_latency_ns"),
+            slo: Arc::new(SloTracker::new(slo, m)),
+            requests: Arc::new(RequestLog::new(REQUEST_LOG_CAPACITY)),
         }
     }
 }
@@ -80,12 +93,35 @@ impl BatchExecutor {
 
     /// Attaches a farm observer: batches run with farm telemetry and the
     /// serve-side counters/histograms/spans are recorded into the same
-    /// registry and trace stream.
+    /// registry and trace stream. SLO scoring uses the default
+    /// [`SloConfig`]; the engine/service paths instead inject the shared
+    /// instruments built from their [`crate::ServeConfig::slo`].
     #[must_use]
     pub fn with_observer(mut self, observer: FarmObserver) -> Self {
-        self.instruments = Some(ServeInstruments::new(&observer));
+        self.instruments = Some(ServeInstruments::new(&observer, SloConfig::default()));
         self.observer = Some(observer);
         self
+    }
+
+    /// Attaches an observer together with an already-built instrument
+    /// set, so the engine front and the executor score the same SLO
+    /// windows and fill the same request log.
+    #[must_use]
+    pub(crate) fn with_instruments(
+        mut self,
+        observer: FarmObserver,
+        instruments: ServeInstruments,
+    ) -> Self {
+        self.instruments = Some(instruments);
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The worker threads the persistent pool actually runs (resolved
+    /// machine parallelism when constructed with `0`).
+    #[must_use]
+    pub fn pool_threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// The attached observer, if any.
@@ -119,6 +155,14 @@ impl BatchExecutor {
         });
         let jobs: Vec<JobSpec> = batch.items.iter().map(|p| p.job.clone()).collect();
         let seeds: Vec<u64> = batch.items.iter().map(|p| p.seed).collect();
+        let contexts: Vec<TraceContext> = batch
+            .items
+            .iter()
+            .map(|p| TraceContext {
+                request: p.key,
+                trace: p.trace,
+            })
+            .collect();
         let mut farm = Farm::with_cache(
             FarmConfig {
                 batch_seed: batch.seed,
@@ -130,28 +174,56 @@ impl BatchExecutor {
         if let Some(o) = &self.observer {
             farm = farm.with_observer(o.clone());
         }
-        let report = farm.run_seeded(&jobs, &seeds);
-        let now_ns = self.clock.now_ns();
+        let exec_start_ns = self.clock.now_ns();
+        let report = farm.run_traced(&jobs, &seeds, &contexts);
+        let exec_end_ns = self.clock.now_ns();
 
         if let Some(ins) = &self.instruments {
             ins.batches.inc();
             ins.batch_size.record(batch.len() as u64);
             ins.completed.add(batch.len() as u64);
         }
+        let now_ns = self.clock.now_ns();
+        let formed_ns = batch.formed_ns;
+        let index = batch.index;
         batch
             .items
             .into_iter()
             .zip(report.outcomes)
             .map(|(pending, result)| {
+                // the phases tile admission→answer exactly: each anchor
+                // subtraction reuses the previous anchor, so on a
+                // monotone clock queue+form+exec+respond == latency
+                let breakdown = LatencyBreakdown {
+                    queue_ns: formed_ns.saturating_sub(pending.enqueued_ns),
+                    form_ns: exec_start_ns.saturating_sub(formed_ns),
+                    exec_ns: exec_end_ns.saturating_sub(exec_start_ns),
+                    respond_ns: now_ns.saturating_sub(exec_end_ns),
+                };
                 let latency_ns = now_ns.saturating_sub(pending.enqueued_ns);
                 if let Some(ins) = &self.instruments {
                     ins.request_latency_ns.record(latency_ns);
+                    ins.slo.record(latency_ns, now_ns);
+                    ins.requests.push(RequestRecord {
+                        request: pending.key,
+                        trace: pending.trace,
+                        outcome: if result.is_ok() { "ok" } else { "job_failed" },
+                        batch: Some(index),
+                        latency_ns,
+                        queue_ns: breakdown.queue_ns,
+                        form_ns: breakdown.form_ns,
+                        exec_ns: breakdown.exec_ns,
+                        respond_ns: breakdown.respond_ns,
+                        finished_ns: now_ns,
+                    });
                 }
                 ServeResponse {
                     request_id: pending.id,
+                    trace: pending.trace,
                     disposition: Disposition::Completed {
-                        batch: batch.index,
+                        batch: index,
                         latency_ns,
+                        breakdown,
                         result,
                     },
                 }
@@ -190,13 +262,21 @@ mod tests {
         assert_eq!(responses.len(), 4);
         for (i, r) in responses.iter().enumerate() {
             assert_eq!(r.request_id, i as u64);
+            assert_eq!(r.trace, canti_obs::trace_id(i as u64));
             match &r.disposition {
                 Disposition::Completed {
                     batch: 0,
                     latency_ns,
+                    breakdown,
                     result: Ok(out),
                 } => {
                     assert_eq!(*latency_ns, 400, "admitted at 100, done at 500");
+                    assert_eq!(breakdown.total_ns(), *latency_ns, "phases tile the latency");
+                    assert_eq!(
+                        (breakdown.queue_ns, breakdown.form_ns),
+                        (0, 400),
+                        "formed at admission, executed 400 ns later"
+                    );
                     assert_eq!(out.job_index, i);
                 }
                 other => panic!("request {i}: unexpected {other:?}"),
@@ -226,6 +306,11 @@ mod tests {
         assert_eq!(m.counter("serve.completed").get(), 3);
         assert_eq!(m.histogram("serve.batch_size").snapshot().count, 1);
         assert_eq!(m.histogram("serve.request_latency_ns").snapshot().count, 3);
+        assert_eq!(
+            m.counter("slo.good").get(),
+            3,
+            "all within default objective"
+        );
         let names: Vec<String> = ring.events().iter().map(|e| e.name.clone()).collect();
         assert!(
             names.contains(&"serve_batch".to_owned()),

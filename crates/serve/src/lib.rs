@@ -77,10 +77,11 @@ pub mod response;
 pub mod service;
 pub mod shard;
 
+pub use canti_obs::SloConfig;
 pub use engine::{BatchRecord, ServeEngine, ServeStats};
 pub use exec::BatchExecutor;
 pub use queue::{AdmissionQueue, BatchTrigger, FormedBatch, RejectReason};
-pub use response::{Disposition, ServeResponse};
+pub use response::{Disposition, LatencyBreakdown, ServeResponse};
 pub use service::{ServeService, Ticket};
 pub use shard::{
     request_seed, route_request, ShardTicket, ShardedConfig, ShardedEngine, ShardedService,
@@ -109,6 +110,10 @@ pub struct ServeConfig {
     pub batch_seed: u64,
     /// Farm worker threads per batch (`0` = machine parallelism).
     pub threads: usize,
+    /// SLO policy: window width, latency objective and retention for the
+    /// deterministic fixed-window aggregator every finished request is
+    /// scored against (completions by latency, expiries always breach).
+    pub slo: SloConfig,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +125,7 @@ impl Default for ServeConfig {
             default_deadline_ns: None,
             batch_seed: 0x5E4E_2026,
             threads: 0,
+            slo: SloConfig::default(),
         }
     }
 }

@@ -85,6 +85,14 @@ pub(crate) struct Pending {
     /// id otherwise). Fixed at admission so the payload is independent
     /// of which batch, slot or shard the request later rides in.
     pub seed: u64,
+    /// The request-scoped trace id: [`canti_obs::trace_id`] over the
+    /// same key the seed derives from, so every span the request touches
+    /// carries one stable id at any worker or shard count.
+    pub trace: u64,
+    /// The request key the seed and trace derive from: the **global**
+    /// id under a sharded front, the local id otherwise. Telemetry and
+    /// debug records report this id, never the local one.
+    pub key: u64,
     /// Clock reading at admission.
     pub enqueued_ns: u64,
     /// Absolute expiry instant, when the request carries a deadline.
@@ -101,6 +109,10 @@ pub struct FormedBatch {
     pub trigger: BatchTrigger,
     /// The farm seed this batch runs with.
     pub seed: u64,
+    /// Clock reading when the queue released the batch — the formation
+    /// anchor the per-request latency breakdown measures `queue_ns`
+    /// against.
+    pub formed_ns: u64,
     pub(crate) items: Vec<Pending>,
 }
 
@@ -219,10 +231,13 @@ impl AdmissionQueue {
         let deadline = deadline_ns
             .or(self.config.default_deadline_ns)
             .map(|d| now_ns.saturating_add(d));
+        let key = key.unwrap_or(id);
         self.queue.push_back(Pending {
             id,
             job,
-            seed: crate::shard::request_seed(self.config.batch_seed, key.unwrap_or(id)),
+            seed: crate::shard::request_seed(self.config.batch_seed, key),
+            trace: canti_obs::trace_id(key),
+            key,
             enqueued_ns: now_ns,
             deadline_ns: deadline,
         });
@@ -252,12 +267,12 @@ impl AdmissionQueue {
     pub(crate) fn pop_ready(&mut self, now_ns: u64) -> Option<FormedBatch> {
         let threshold = self.config.batch_threshold();
         if self.queue.len() >= threshold {
-            return Some(self.form(threshold, BatchTrigger::Size));
+            return Some(self.form(threshold, BatchTrigger::Size, now_ns));
         }
         let oldest = self.queue.front()?;
         if now_ns >= oldest.enqueued_ns.saturating_add(self.config.linger_ns) {
             let n = self.queue.len();
-            return Some(self.form(n, BatchTrigger::Linger));
+            return Some(self.form(n, BatchTrigger::Linger, now_ns));
         }
         None
     }
@@ -271,12 +286,12 @@ impl AdmissionQueue {
     /// Releases the next shutdown-flush batch (up to `max_batch`
     /// requests), ignoring the linger deadline. Call in a loop until
     /// `None` after [`Self::begin_drain`].
-    pub(crate) fn pop_drain(&mut self) -> Option<FormedBatch> {
+    pub(crate) fn pop_drain(&mut self, now_ns: u64) -> Option<FormedBatch> {
         if self.queue.is_empty() {
             return None;
         }
         let n = self.queue.len().min(self.config.batch_threshold());
-        Some(self.form(n, BatchTrigger::Drain))
+        Some(self.form(n, BatchTrigger::Drain, now_ns))
     }
 
     /// The earliest future instant at which the queue's state can change
@@ -295,7 +310,7 @@ impl AdmissionQueue {
         }
     }
 
-    fn form(&mut self, n: usize, trigger: BatchTrigger) -> FormedBatch {
+    fn form(&mut self, n: usize, trigger: BatchTrigger, now_ns: u64) -> FormedBatch {
         let index = self.next_batch;
         self.next_batch += 1;
         let items = self.queue.drain(..n).collect();
@@ -303,6 +318,7 @@ impl AdmissionQueue {
             index,
             trigger,
             seed: self.config.batch_seed.wrapping_add(index),
+            formed_ns: now_ns,
             items,
         }
     }
@@ -401,9 +417,9 @@ mod tests {
         }
         q.begin_drain();
         assert_eq!(q.submit(0, probe(9.0), None), Err(RejectReason::Draining));
-        let sizes: Vec<usize> = std::iter::from_fn(|| q.pop_drain().map(|b| b.len())).collect();
+        let sizes: Vec<usize> = std::iter::from_fn(|| q.pop_drain(0).map(|b| b.len())).collect();
         assert_eq!(sizes, vec![2, 2, 1]);
-        assert!(q.pop_drain().is_none());
+        assert!(q.pop_drain(0).is_none());
     }
 
     #[test]

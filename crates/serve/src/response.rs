@@ -14,8 +14,40 @@ use canti_farm::{FarmError, JobOutput};
 pub struct ServeResponse {
     /// The id [`crate::AdmissionQueue::submit`] handed out.
     pub request_id: u64,
+    /// The request-scoped trace id: [`canti_obs::trace_id`] of the
+    /// global admission id, fixed at admission. Every span and event the
+    /// request left in the telemetry stream carries the same id.
+    pub trace: u64,
     /// How the request ended.
     pub disposition: Disposition,
+}
+
+/// Where one completed request's latency went, on the serve clock.
+///
+/// The four phases partition the request's total latency exactly:
+/// `queue_ns + form_ns + exec_ns + respond_ns == latency_ns`. On a
+/// [`canti_obs::VirtualClock`] every anchor is a scripted reading, so
+/// breakdowns are bit-identical at any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyBreakdown {
+    /// Admission to batch formation: time spent waiting in the
+    /// admission queue, ns.
+    pub queue_ns: u64,
+    /// Batch formation to farm execution start, ns (lock handoff and
+    /// batch assembly).
+    pub form_ns: u64,
+    /// The farm run itself, ns.
+    pub exec_ns: u64,
+    /// Farm completion to response assembly, ns.
+    pub respond_ns: u64,
+}
+
+impl LatencyBreakdown {
+    /// The phases summed — equals the response's `latency_ns`.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.queue_ns + self.form_ns + self.exec_ns + self.respond_ns
+    }
 }
 
 /// Terminal state of an admitted request.
@@ -29,6 +61,8 @@ pub enum Disposition {
         batch: u64,
         /// Admission-to-completion time on the serve clock, ns.
         latency_ns: u64,
+        /// Where that latency went, phase by phase.
+        breakdown: LatencyBreakdown,
         /// The farm's per-job outcome.
         result: Result<JobOutput, FarmError>,
     },
@@ -67,6 +101,7 @@ impl fmt::Display for ServeResponse {
                 batch,
                 latency_ns,
                 result,
+                ..
             } => match result {
                 Ok(out) => write!(
                     f,
@@ -108,9 +143,11 @@ mod tests {
     fn labels_and_display_cover_every_disposition() {
         let ok = ServeResponse {
             request_id: 3,
+            trace: canti_obs::trace_id(3),
             disposition: Disposition::Completed {
                 batch: 1,
                 latency_ns: 42,
+                breakdown: LatencyBreakdown::default(),
                 result: Ok(output()),
             },
         };
@@ -120,9 +157,11 @@ mod tests {
 
         let failed = ServeResponse {
             request_id: 4,
+            trace: canti_obs::trace_id(4),
             disposition: Disposition::Completed {
                 batch: 1,
                 latency_ns: 42,
+                breakdown: LatencyBreakdown::default(),
                 result: Err(FarmError::Job {
                     job_index: 0,
                     reason: "bad".into(),
@@ -135,6 +174,7 @@ mod tests {
 
         let expired = ServeResponse {
             request_id: 5,
+            trace: canti_obs::trace_id(5),
             disposition: Disposition::Expired {
                 waited_ns: 10,
                 deadline_ns: 10,
@@ -143,5 +183,17 @@ mod tests {
         assert!(!expired.disposition.is_ok());
         assert_eq!(expired.disposition.label(), "expired");
         assert!(expired.to_string().contains("expired"));
+    }
+
+    #[test]
+    fn breakdown_phases_partition_the_latency() {
+        let b = LatencyBreakdown {
+            queue_ns: 10,
+            form_ns: 2,
+            exec_ns: 30,
+            respond_ns: 1,
+        };
+        assert_eq!(b.total_ns(), 43);
+        assert_eq!(LatencyBreakdown::default().total_ns(), 0);
     }
 }

@@ -160,12 +160,20 @@ impl ServeService {
         observer: Option<FarmObserver>,
     ) -> Self {
         let mut executor = BatchExecutor::new(config.threads, Arc::clone(&clock));
+        // one instrument set shared between front and executor: SLO
+        // windows and the request log must see both halves of a request
+        let instruments = observer
+            .as_ref()
+            .map(|o| crate::exec::ServeInstruments::new(o, config.slo));
         if let Some(o) = &observer {
-            executor = executor.with_observer(o.clone());
+            executor = executor.with_instruments(
+                o.clone(),
+                instruments.clone().expect("built above with the observer"),
+            );
         }
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                front: Front::new(config, clock, observer),
+                front: Front::new(config, clock, observer, instruments),
                 tickets: BTreeMap::new(),
             }),
             wake: Condvar::new(),
@@ -259,6 +267,34 @@ impl ServeService {
     #[must_use]
     pub fn observer(&self) -> Option<FarmObserver> {
         self.shared.executor.observer().cloned()
+    }
+
+    /// The SLO tracker scoring this service's requests (present when
+    /// started observed).
+    #[must_use]
+    pub fn slo(&self) -> Option<Arc<canti_obs::SloTracker>> {
+        self.shared
+            .lock()
+            .front
+            .instruments()
+            .map(|i| Arc::clone(&i.slo))
+    }
+
+    /// The bounded finished-request log behind `/debug/requests`
+    /// (present when started observed).
+    #[must_use]
+    pub fn request_log(&self) -> Option<Arc<canti_obs::RequestLog>> {
+        self.shared
+            .lock()
+            .front
+            .instruments()
+            .map(|i| Arc::clone(&i.requests))
+    }
+
+    /// The worker threads the executor's persistent pool actually runs.
+    #[must_use]
+    pub fn pool_threads(&self) -> usize {
+        self.shared.executor.pool_threads()
     }
 
     /// Graceful shutdown: stop admitting (later submissions get

@@ -271,6 +271,20 @@ impl ShardedEngine {
         &self.engines[shard]
     }
 
+    /// Per-shard SLO trackers, in shard order (empty entries for
+    /// unobserved shards).
+    #[must_use]
+    pub fn slos(&self) -> Vec<Option<Arc<canti_obs::SloTracker>>> {
+        self.engines.iter().map(ServeEngine::slo).collect()
+    }
+
+    /// Per-shard request logs, in shard order (empty entries for
+    /// unobserved shards).
+    #[must_use]
+    pub fn request_logs(&self) -> Vec<Option<Arc<canti_obs::RequestLog>>> {
+        self.engines.iter().map(ServeEngine::request_log).collect()
+    }
+
     fn globalize(&self, shard: usize, responses: Vec<ServeResponse>) -> Vec<ServeResponse> {
         responses
             .into_iter()
@@ -439,6 +453,27 @@ impl ShardedService {
     #[must_use]
     pub fn observers(&self) -> Vec<Option<FarmObserver>> {
         self.shards.iter().map(ServeService::observer).collect()
+    }
+
+    /// Per-shard SLO trackers, in shard order (empty entries when
+    /// started unobserved).
+    #[must_use]
+    pub fn slos(&self) -> Vec<Option<Arc<canti_obs::SloTracker>>> {
+        self.shards.iter().map(ServeService::slo).collect()
+    }
+
+    /// Per-shard request logs, in shard order (empty entries when
+    /// started unobserved).
+    #[must_use]
+    pub fn request_logs(&self) -> Vec<Option<Arc<canti_obs::RequestLog>>> {
+        self.shards.iter().map(ServeService::request_log).collect()
+    }
+
+    /// Per-shard pool widths (the worker threads each shard's executor
+    /// actually runs), in shard order.
+    #[must_use]
+    pub fn pool_threads(&self) -> Vec<usize> {
+        self.shards.iter().map(ServeService::pool_threads).collect()
     }
 
     /// Gracefully shuts down every shard in shard order, returning the

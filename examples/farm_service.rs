@@ -96,7 +96,10 @@ fn main() {
     }
 
     let health = server.scrape("/healthz").expect("self-scrape /healthz");
-    assert_eq!(health, "ok\n", "health endpoint answers");
+    assert_eq!(
+        health, "{\"status\":\"ok\",\"shards\":1,\"pool_threads\":0,\"draining\":false}\n",
+        "health endpoint answers with the readiness body"
+    );
     let exposition = server.scrape("/metrics").expect("self-scrape /metrics");
     println!("\n--- /metrics ---\n{exposition}");
 

@@ -122,7 +122,7 @@ fn main() {
     if let Some(server) = server {
         assert_eq!(
             server.scrape("/healthz").expect("self-scrape /healthz"),
-            "ok\n"
+            "{\"status\":\"ok\",\"shards\":1,\"pool_threads\":0,\"draining\":false}\n"
         );
         let exposition = server.scrape("/metrics").expect("self-scrape /metrics");
         assert!(

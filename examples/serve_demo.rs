@@ -2,32 +2,41 @@
 //! the sharded batching serve layer while a live Prometheus exposition
 //! endpoint serves the **merged** per-shard metrics view (queue depth,
 //! batch sizes, request latencies, admitted/rejected/expired counters,
-//! every series labelled `shard="<i>"`).
+//! every series labelled `shard="<i>"`) plus the observability debug
+//! routes: a JSON `/healthz` readiness body, the per-request
+//! `/debug/requests` log (trace id + latency breakdown) and the
+//! `/debug/slo` window view.
 //!
 //! Run with:
-//! `cargo run --release --example serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--addr HOST:PORT]`
+//! `cargo run --release --example serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--telemetry] [--addr HOST:PORT]`
 //!
 //! * `requests` — total requests to push (default 48),
 //! * `--submitters N` — concurrent submitter threads (default 4),
 //! * `--batch N` — batch size threshold per shard (default 8),
 //! * `--shards N` — independent farm shards behind deterministic
 //!   request routing (default 1),
-//! * `--addr HOST:PORT` — where to bind `/metrics` + `/healthz`
+//! * `--telemetry` — write shard 0's full trace stream (request spans,
+//!   serve_batch/batch/job spans, metrics) to
+//!   `target/serve_telemetry.ndjson` for `obsctl trace` / `obsctl slo`,
+//! * `--addr HOST:PORT` — where to bind the endpoint
 //!   (default `127.0.0.1:0`, an ephemeral port printed at startup).
 //!
 //! The demo deliberately includes one hopeless deadline (to show an
-//! expiry), then drains gracefully and self-scrapes `/metrics`.
+//! expiry burning SLO budget), prints the per-request latency breakdown
+//! table and the SLO window summary, then drains gracefully and
+//! self-scrapes every route.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use canti::farm::{FarmObserver, JobSpec, ProbeMode, Receptor};
-use canti::obs::{ExpositionServer, Metrics};
-use canti::serve::{Disposition, ServeConfig, ShardedConfig, ShardedService};
+use canti::obs::{merge_windows, DebugState, ExpositionServer, Metrics, Readiness};
+use canti::serve::{Disposition, ServeConfig, ServeResponse, ShardedConfig, ShardedService};
 use canti::units::{Molar, Seconds};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--addr HOST:PORT]\n\
+        "usage: serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--telemetry] [--addr HOST:PORT]\n\
          pushes concurrent assay requests through the sharded batching serve layer"
     );
     std::process::exit(2);
@@ -50,6 +59,7 @@ fn main() {
     let mut submitters = 4usize;
     let mut batch = 8usize;
     let mut shards = 1usize;
+    let mut telemetry = false;
     let mut addr = "127.0.0.1:0".to_owned();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,6 +78,7 @@ fn main() {
                 Some(n) if n > 0 => shards = n,
                 _ => usage(),
             },
+            "--telemetry" => telemetry = true,
             "--addr" => match it.next() {
                 Some(a) => addr = a.clone(),
                 None => usage(),
@@ -87,17 +98,11 @@ fn main() {
     let mut rings = Vec::with_capacity(shards);
     let mut sources: Vec<(String, Arc<Metrics>)> = Vec::with_capacity(shards);
     for s in 0..shards {
-        let (observer, ring) = FarmObserver::profiling(1 << 14);
+        let (observer, ring) = FarmObserver::profiling(1 << 15);
         sources.push((s.to_string(), Arc::clone(observer.metrics())));
         observers.push(observer);
         rings.push(ring);
     }
-    let server = ExpositionServer::bind_sharded(&addr, sources).expect("bind exposition server");
-    println!(
-        "serving /metrics and /healthz on http://{}  ({requests} requests, \
-         {submitters} submitters, batch<={batch}, {shards} shard(s))",
-        server.local_addr()
-    );
 
     let service = Arc::new(ShardedService::start_observed(
         ShardedConfig {
@@ -112,38 +117,99 @@ fn main() {
         observers,
     ));
 
+    // The debug routes read the live serve state: per-shard SLO trackers
+    // and request logs, plus the readiness snapshot behind /healthz.
+    let readiness = Readiness {
+        shards,
+        pool_threads: service.pool_threads().first().copied().unwrap_or(0),
+        ..Readiness::default()
+    };
+    let draining = Arc::clone(&readiness.draining);
+    let debug = DebugState {
+        slos: service
+            .slos()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(s, slo)| slo.map(|slo| (s.to_string(), slo)))
+            .collect(),
+        requests: service
+            .request_logs()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(s, log)| log.map(|log| (s.to_string(), log)))
+            .collect(),
+        readiness: Some(readiness),
+    };
+    let shard0_metrics = Arc::clone(&sources[0].1);
+    let server = ExpositionServer::bind_sharded_debug(&addr, sources, debug)
+        .expect("bind exposition server");
+    println!(
+        "serving /metrics /healthz /debug/requests /debug/slo on http://{}  \
+         ({requests} requests, {submitters} submitters, batch<={batch}, {shards} shard(s))",
+        server.local_addr()
+    );
+
     let workers: Vec<_> = (0..submitters)
         .map(|w| {
             let service = Arc::clone(&service);
             std::thread::spawn(move || {
-                let mut ok = 0usize;
+                let mut answered: Vec<ServeResponse> = Vec::new();
                 for i in (w..requests).step_by(submitters) {
                     match service.submit(request(i)) {
                         Ok(ticket) => {
                             let response = ticket.wait();
                             assert!(response.disposition.is_ok(), "{response}");
-                            ok += 1;
+                            answered.push(response);
                         }
                         Err(reason) => println!("request {i} rejected: {reason}"),
                     }
                 }
-                ok
+                answered
             })
         })
         .collect();
-    let ok: usize = workers
+    let mut answered: Vec<ServeResponse> = workers
         .into_iter()
-        .map(|h| h.join().expect("submitter"))
-        .sum();
-    println!("{ok}/{requests} requests completed");
+        .flat_map(|h| h.join().expect("submitter"))
+        .collect();
+    answered.sort_by_key(|r| r.request_id);
+    println!("{}/{requests} requests completed", answered.len());
 
-    // One hopeless deadline so the expiry path shows up in the metrics:
-    // 1 ns is unmeetable on the wall clock, the batcher expires it.
+    // Per-request latency attribution: where each request's time went.
+    println!(
+        "\n{:>7} {:>18} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "request", "trace", "batch", "latency_ns", "queue_ns", "form_ns", "exec_ns", "respond_ns"
+    );
+    for r in &answered {
+        if let Disposition::Completed {
+            batch,
+            latency_ns,
+            breakdown,
+            ..
+        } = &r.disposition
+        {
+            assert_eq!(breakdown.total_ns(), *latency_ns, "phases tile the latency");
+            println!(
+                "{:>7} {:>18x} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                r.request_id,
+                r.trace,
+                batch,
+                latency_ns,
+                breakdown.queue_ns,
+                breakdown.form_ns,
+                breakdown.exec_ns,
+                breakdown.respond_ns
+            );
+        }
+    }
+
+    // One hopeless deadline so the expiry path shows up in the metrics
+    // and burns SLO budget: 1 ns is unmeetable on the wall clock.
     let ticket = service
         .submit_with_deadline(JobSpec::Probe(ProbeMode::Draws(2)), 1)
         .expect("admitted");
     println!(
-        "deadline demo: request {} routed to shard {}",
+        "\ndeadline demo: request {} routed to shard {}",
         ticket.id(),
         ticket.shard()
     );
@@ -154,6 +220,63 @@ fn main() {
         Disposition::Completed { .. } => println!("deadline demo: raced the batcher and won"),
     }
 
+    // SLO window summary: merged across shards.
+    let per_shard_windows: Vec<_> = service
+        .slos()
+        .into_iter()
+        .flatten()
+        .map(|slo| slo.windows())
+        .collect();
+    let merged = merge_windows(&per_shard_windows);
+    println!("\nslo windows (merged across {shards} shard(s)):");
+    for w in &merged {
+        println!(
+            "  window {}: good={} breached={} breach={:.3}",
+            w.index,
+            w.good,
+            w.breached,
+            w.breach_fraction()
+        );
+    }
+    assert!(
+        !merged.is_empty(),
+        "completed requests must fill slo windows"
+    );
+
+    // The debug endpoints serve the same state over HTTP.
+    let debug_requests = server
+        .scrape("/debug/requests")
+        .expect("self-scrape /debug/requests");
+    println!(
+        "\n--- /debug/requests (first lines of {}) ---",
+        debug_requests.lines().count()
+    );
+    for line in debug_requests.lines().take(4) {
+        println!("{line}");
+    }
+    let debug_slo = server.scrape("/debug/slo").expect("self-scrape /debug/slo");
+    println!("\n--- /debug/slo ---\n{debug_slo}");
+    assert!(
+        debug_slo.contains("merged:"),
+        "slo route serves the merged view"
+    );
+
+    let health = server.scrape("/healthz").expect("self-scrape /healthz");
+    println!("--- /healthz ---\n{health}");
+    assert!(
+        health.starts_with("{\"status\":\"ok\"")
+            && health.contains(&format!("\"shards\":{shards}")),
+        "health endpoint answers with the readiness body: {health}"
+    );
+
+    // Flip the draining flag before shutdown so scrapers see it.
+    draining.store(true, Ordering::SeqCst);
+    let health = server.scrape("/healthz").expect("self-scrape /healthz");
+    assert!(
+        health.starts_with("{\"status\":\"draining\""),
+        "draining flag reaches /healthz: {health}"
+    );
+
     let per_shard = Arc::try_unwrap(service)
         .expect("submitters have exited")
         .shutdown();
@@ -161,14 +284,26 @@ fn main() {
         println!("shard {s}: {}", stats.render());
     }
 
-    let health = server.scrape("/healthz").expect("self-scrape /healthz");
-    assert_eq!(health, "ok\n", "health endpoint answers");
+    if telemetry {
+        // shard 0's stream is self-contained (its own seq sequence), so
+        // obsctl trace/slo can gate on it without cross-shard stitching
+        let mut ndjson = rings[0].to_ndjson();
+        ndjson.push_str(&shard0_metrics.to_ndjson());
+        let path = "target/serve_telemetry.ndjson";
+        std::fs::write(path, &ndjson).expect("write serve telemetry artifact");
+        println!(
+            "telemetry: {} NDJSON records ({} trace events dropped) -> {path}",
+            ndjson.lines().count(),
+            rings[0].dropped()
+        );
+    }
+
     let exposition = server.scrape("/metrics").expect("self-scrape /metrics");
     let serve_lines: Vec<&str> = exposition
         .lines()
-        .filter(|l| l.starts_with("serve_"))
+        .filter(|l| l.starts_with("serve_") || l.starts_with("slo_"))
         .collect();
-    println!("\n--- /metrics (serve_* series, per shard) ---");
+    println!("\n--- /metrics (serve_* and slo_* series, per shard) ---");
     for line in serve_lines {
         println!("{line}");
     }

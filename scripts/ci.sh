@@ -13,6 +13,10 @@
 #                          #     artifact-health gate
 #                          #   * a supervised chaos (fault-injection)
 #                          #     batch gated through obsctl summary
+#                          #   * a sharded traced serve_demo run whose
+#                          #     telemetry artifact is gated through
+#                          #     obsctl trace (request-chain health) and
+#                          #     obsctl slo (offline window recompute)
 #                          #   * the bench loop: farm, experiments and
 #                          #     serve benches with archived
 #                          #     BENCH_<name>.json artifacts, each gated
@@ -116,6 +120,24 @@ if [[ "${1:-}" == "smoke" ]]; then
     echo "$chaos_summary"
     echo "$chaos_summary" | grep -q "fault_injected" \
         || { echo "chaos artifact shows no fault_injected events"; exit 1; }
+    phase_end
+
+    phase_begin "serve smoke (sharded traced demo) + request-trace gate"
+    # the demo itself asserts breakdown tiling, non-empty SLO windows and
+    # the JSON /healthz body before it exits 0
+    cargo run --release --example serve_demo 16 --shards 2 --telemetry
+    serve_artifact=target/serve_telemetry.ndjson
+    [[ -s "$serve_artifact" ]] || { echo "missing serve artifact $serve_artifact"; exit 1; }
+    # pick a request id actually present in shard 0's stream, then gate:
+    # obsctl trace fails (exit 1) on orphaned or unclosed request spans
+    # and on trace sequence gaps
+    req=$(grep -o '"request":[0-9]*' "$serve_artifact" | head -1 | cut -d: -f2)
+    [[ -n "$req" ]] || { echo "no request spans in $serve_artifact"; exit 1; }
+    echo "-- obsctl trace: request $req --"
+    cargo run --release -q -p canti-obsctl -- trace "$serve_artifact" "$req"
+    # the offline SLO recomputation must find request spans to aggregate
+    echo "-- obsctl slo (offline windows) --"
+    cargo run --release -q -p canti-obsctl -- slo "$serve_artifact"
     phase_end
 
     phase_begin "bench loop (farm, experiments, serve x shards) + perf gates"

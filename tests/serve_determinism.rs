@@ -35,6 +35,7 @@ fn scripted_run(threads: usize) -> RunTrace {
             default_deadline_ns: None,
             batch_seed: 0x5E4E_D15C,
             threads,
+            slo: Default::default(),
         },
         Arc::clone(&clock) as Arc<dyn ObsClock>,
     );
@@ -108,6 +109,37 @@ fn scripted_arrivals_are_bit_identical_across_worker_counts() {
             "batch formation diverged at {threads} workers"
         );
         assert_eq!(run, oracle, "serve trace diverged at {threads} workers");
+    }
+}
+
+/// Trace ids and latency breakdowns are part of the contract: every
+/// response carries `trace_id(request_id)`, and a completed response's
+/// phases tile its latency exactly. (Being fields of [`ServeResponse`],
+/// both are also covered by the bit-identity assertion above.)
+#[test]
+fn responses_carry_trace_ids_and_tiling_breakdowns() {
+    let trace = scripted_run(2);
+    assert!(!trace.responses.is_empty());
+    for r in &trace.responses {
+        assert_eq!(
+            r.trace,
+            canti::obs::trace_id(r.request_id),
+            "request {} carries a foreign trace id",
+            r.request_id
+        );
+        if let Disposition::Completed {
+            latency_ns,
+            breakdown,
+            ..
+        } = &r.disposition
+        {
+            assert_eq!(
+                breakdown.total_ns(),
+                *latency_ns,
+                "request {}: phases must sum to the latency",
+                r.request_id
+            );
+        }
     }
 }
 

@@ -95,6 +95,7 @@ fn config(workers: usize) -> ServeConfig {
         default_deadline_ns: None,
         batch_seed: 0x5AAD_D15C,
         threads: workers,
+        slo: Default::default(),
     }
 }
 
@@ -233,13 +234,28 @@ fn scripted_traces_are_bit_identical_across_worker_counts_at_every_shard_count()
     }
 }
 
+/// Global id → trace id for every response. Trace ids derive from the
+/// global admission id alone, so this view must be invariant across
+/// shard counts (unlike batch membership).
+fn trace_view(trace: &ShardTrace) -> BTreeMap<u64, u64> {
+    trace
+        .responses
+        .iter()
+        .map(|r| (r.request_id, r.trace))
+        .collect()
+}
+
 /// Contract scope 2: across shard counts, the admission stream, every
-/// request's payload bits and the scripted expiry are invariant.
+/// request's payload bits, its trace id and the scripted expiry are
+/// invariant.
 #[test]
 fn payloads_expiries_and_admissions_are_shard_count_invariant() {
     let oracle = sharded_run(1, 1);
     assert_eq!(payload_view(&oracle).len(), 12, "12 completed requests");
     assert_eq!(expiry_view(&oracle).len(), 1, "1 scripted expiry");
+    for (&id, &trace) in &trace_view(&oracle) {
+        assert_eq!(trace, canti::obs::trace_id(id), "foreign trace id");
+    }
     for shards in [2, 4] {
         let run = sharded_run(1, shards);
         assert_eq!(
@@ -250,6 +266,11 @@ fn payloads_expiries_and_admissions_are_shard_count_invariant() {
             payload_view(&run),
             payload_view(&oracle),
             "per-request payload bits diverged at {shards} shards"
+        );
+        assert_eq!(
+            trace_view(&run),
+            trace_view(&oracle),
+            "trace ids diverged at {shards} shards"
         );
         assert_eq!(
             expiry_view(&run),

@@ -1,0 +1,53 @@
+//! Property tests for the request-scoped trace-id derivation (vendored
+//! proptest): `trace_id` is a pure, collision-free function of the
+//! global admission id, and a request's [`TraceContext`] is therefore
+//! invariant under shard count — the shard only decides *where* a
+//! request executes, never *what* its trace identity is.
+
+use std::collections::BTreeSet;
+
+use canti::obs::{trace_id, TraceContext};
+use canti::serve::route_request;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Dense admission-id windows — the shape real id streams have —
+    /// produce collision-free trace ids, and the id itself never leaks
+    /// through as its own trace id.
+    #[test]
+    fn trace_ids_are_unique_per_admission_id(
+        start in 0u64..(u64::MAX - 4_096),
+    ) {
+        const N: u64 = 2_000;
+        let ids: BTreeSet<u64> = (start..start + N).map(trace_id).collect();
+        prop_assert_eq!(ids.len() as u64, N, "trace-id collision in a dense window");
+        for id in start..start + 16 {
+            prop_assert!(trace_id(id) != id, "trace id must be salted, not the raw id");
+        }
+    }
+
+    /// The trace context is a pure function of the global admission id:
+    /// recomputing it — before or after routing, at any shard count —
+    /// yields the same `(request, trace)` pair.
+    #[test]
+    fn trace_context_is_invariant_under_shard_count(
+        id in 0u64..u64::MAX,
+        shards in 1usize..16,
+    ) {
+        let ctx = TraceContext::from_admission(id);
+        prop_assert_eq!(ctx.request, id);
+        prop_assert_eq!(ctx.trace, trace_id(id));
+        // routing the request anywhere changes nothing about its identity
+        let shard = route_request(id, shards);
+        prop_assert!(shard < shards);
+        let rerouted = TraceContext::from_admission(id);
+        prop_assert_eq!((rerouted.request, rerouted.trace), (ctx.request, ctx.trace));
+        prop_assert_eq!(
+            TraceContext::from_admission(id).trace,
+            TraceContext::from_admission(id).trace,
+            "derivation must be stable call to call"
+        );
+    }
+}
