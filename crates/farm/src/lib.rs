@@ -300,6 +300,21 @@ impl Farm {
         let runner =
             Arc::new(self.batch_runner(Arc::new(jobs.to_vec()), seeds, contexts, batch_start_ns));
 
+        // Stage histograms are registry-backed and cumulative across
+        // batches, so this batch's contribution is a post-minus-pre
+        // snapshot delta.
+        let pre_stages = obs.filter(|o| o.timeline().is_some()).map(|_| {
+            let stages = runner
+                .stages
+                .as_ref()
+                .expect("observer implies instruments");
+            (
+                stages.queue_wait.snapshot(),
+                stages.precompute.snapshot(),
+                stages.solve.snapshot(),
+            )
+        });
+
         let (outcomes, worker_stats) = self.dispatch(&runner, None, 0, None);
 
         let telemetry = obs.map(|o| {
@@ -314,7 +329,7 @@ impl Farm {
                 .stages
                 .as_ref()
                 .expect("observer implies instruments");
-            FarmTelemetry {
+            let telemetry = FarmTelemetry {
                 workers: threads,
                 jobs: jobs.len(),
                 queue_wait_ns: stages.queue_wait.snapshot(),
@@ -322,7 +337,29 @@ impl Farm {
                 solve_ns: stages.solve.snapshot(),
                 cache: self.cache.stats(),
                 per_worker: worker_stats,
+            };
+            if let (Some(timeline), Some((pre_wait, pre_pre, pre_solve))) =
+                (o.timeline(), pre_stages.as_ref())
+            {
+                // Aggregate per-batch deltas only, stamped at batch end.
+                // Per-worker series are deliberately absent: they would
+                // depend on the worker count and break the timeline's
+                // bit-identity contract.
+                let now_ns = o.clock().now_ns();
+                timeline.record_delta("farm.batches", 1, now_ns);
+                timeline.record_delta("farm.jobs_ok", ok, now_ns);
+                timeline.record_delta("farm.jobs_failed", outcomes.len() as u64 - ok, now_ns);
+                let busy: u64 = telemetry.per_worker.iter().map(|w| w.busy_ns).sum();
+                timeline.record_delta("farm.busy_ns", busy, now_ns);
+                for (series, post, pre) in [
+                    ("farm.queue_wait_ns", &telemetry.queue_wait_ns, pre_wait),
+                    ("farm.precompute_ns", &telemetry.precompute_ns, pre_pre),
+                    ("farm.solve_ns", &telemetry.solve_ns, pre_solve),
+                ] {
+                    timeline.record_delta(series, post.sum.saturating_sub(pre.sum), now_ns);
+                }
             }
+            telemetry
         });
         drop(batch_span);
 

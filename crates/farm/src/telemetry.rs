@@ -19,7 +19,8 @@ use std::sync::Arc;
 
 use canti_obs::ndjson::{self, JsonValue};
 use canti_obs::{
-    Histogram, HistogramSnapshot, Metrics, ObsClock, RingCollector, Tracer, VirtualClock, WallClock,
+    Histogram, HistogramSnapshot, Metrics, ObsClock, RingCollector, TimelineRecorder, Tracer,
+    VirtualClock, WallClock,
 };
 
 use crate::cache::CacheStats;
@@ -32,17 +33,46 @@ pub struct FarmObserver {
     metrics: Arc<Metrics>,
     tracer: Tracer,
     clock: Arc<dyn ObsClock>,
+    timeline: Option<Arc<TimelineRecorder>>,
 }
 
 impl FarmObserver {
     /// An observer from explicit parts.
     #[must_use]
     pub fn from_parts(metrics: Arc<Metrics>, tracer: Tracer, clock: Arc<dyn ObsClock>) -> Self {
+        metrics.describe("farm.batches", "farm batches executed");
+        metrics.describe("farm.workers", "resolved worker count of the last batch");
+        metrics.describe("farm.jobs_ok", "jobs that completed successfully");
+        metrics.describe("farm.jobs_failed", "jobs that returned an error");
+        metrics.describe(
+            "farm.queue_wait_ns",
+            "batch start to job claim, nanoseconds",
+        );
+        metrics.describe("farm.precompute_ns", "shared-cache fetch time, nanoseconds");
+        metrics.describe("farm.solve_ns", "job execution time, nanoseconds");
         Self {
             metrics,
             tracer,
             clock,
+            timeline: None,
         }
+    }
+
+    /// Attaches a per-window timeline recorder: every finished batch
+    /// deposits its aggregate deltas (jobs ok/failed, per-stage time,
+    /// summed worker busy time) into the batch-end window. Aggregates
+    /// only — per-worker series would break the bit-identity of
+    /// `/debug/timeline` across worker counts.
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: Arc<TimelineRecorder>) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// The attached timeline recorder, if any.
+    #[must_use]
+    pub fn timeline(&self) -> Option<&Arc<TimelineRecorder>> {
+        self.timeline.as_ref()
     }
 
     /// A deterministic observer: virtual clock, in-memory ring collector

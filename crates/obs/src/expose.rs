@@ -67,19 +67,31 @@ pub fn render_prometheus(metrics: &Metrics) -> String {
     let mut out = String::new();
 
     for (name, counter) in metrics.counters() {
+        let help = metrics.description(&name);
         let name = sanitize_name(&name);
+        if let Some(help) = help {
+            let _ = writeln!(out, "# HELP {name}_total {}", escape_help(&help));
+        }
         let _ = writeln!(out, "# TYPE {name}_total counter");
         let _ = writeln!(out, "{name}_total {}", counter.get());
     }
 
     for (name, gauge) in metrics.gauges() {
+        let help = metrics.description(&name);
         let name = sanitize_name(&name);
+        if let Some(help) = help {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&help));
+        }
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {}", gauge.get());
     }
 
     for (name, histogram) in metrics.histograms() {
+        let help = metrics.description(&name);
         let name = sanitize_name(&name);
+        if let Some(help) = help {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&help));
+        }
         let _ = writeln!(out, "# TYPE {name} histogram");
         let bounds = histogram.bounds().to_vec();
         let counts = histogram.bucket_counts();
@@ -96,6 +108,21 @@ pub fn render_prometheus(metrics: &Metrics) -> String {
         let _ = writeln!(out, "{name}_count {}", snapshot.count);
     }
 
+    out
+}
+
+/// Escapes a `# HELP` text per the Prometheus text format: backslash
+/// and newline must be backslash-escaped (help text is unquoted, so
+/// double quotes pass through verbatim).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
     out
 }
 
@@ -138,9 +165,14 @@ pub fn render_prometheus_sharded(sources: &[(String, Arc<Metrics>)]) -> String {
     let mut counters: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
     let mut gauges: BTreeMap<String, Vec<(String, i64)>> = BTreeMap::new();
     let mut histograms: BTreeMap<String, Vec<HistogramSeries>> = BTreeMap::new();
+    let mut descriptions: BTreeMap<String, String> = BTreeMap::new();
 
     for (label, metrics) in sources {
         let shard = escape_label(label);
+        for (name, help) in metrics.descriptions() {
+            // first shard carrying a description wins (sources order)
+            descriptions.entry(sanitize_name(&name)).or_insert(help);
+        }
         for (name, counter) in metrics.counters() {
             counters
                 .entry(sanitize_name(&name))
@@ -170,18 +202,27 @@ pub fn render_prometheus_sharded(sources: &[(String, Arc<Metrics>)]) -> String {
 
     let mut out = String::new();
     for (name, series) in &counters {
+        if let Some(help) = descriptions.get(name) {
+            let _ = writeln!(out, "# HELP {name}_total {}", escape_help(help));
+        }
         let _ = writeln!(out, "# TYPE {name}_total counter");
         for (shard, value) in series {
             let _ = writeln!(out, "{name}_total{{shard=\"{shard}\"}} {value}");
         }
     }
     for (name, series) in &gauges {
+        if let Some(help) = descriptions.get(name) {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+        }
         let _ = writeln!(out, "# TYPE {name} gauge");
         for (shard, value) in series {
             let _ = writeln!(out, "{name}{{shard=\"{shard}\"}} {value}");
         }
     }
     for (name, series) in &histograms {
+        if let Some(help) = descriptions.get(name) {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+        }
         let _ = writeln!(out, "# TYPE {name} histogram");
         for s in series {
             let shard = &s.shard;
@@ -353,9 +394,72 @@ mod tests {
     }
 
     #[test]
+    fn help_lines_precede_type_lines_for_described_metrics() {
+        let m = Metrics::new();
+        m.counter("serve.admitted").add(2);
+        m.describe("serve.admitted", "requests accepted into the queue");
+        m.gauge("serve.queue_depth").set(1);
+        m.describe("serve.queue_depth", "requests awaiting a batch");
+        m.histogram_with_bounds("lat", vec![10]).record(4);
+        m.describe("lat", "per-request latency in ns\\with a newline:\n");
+        let text = render_prometheus(&m);
+        assert!(
+            text.contains(
+                "# HELP serve_admitted_total requests accepted into the queue\n\
+                 # TYPE serve_admitted_total counter\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "# HELP serve_queue_depth requests awaiting a batch\n\
+                 # TYPE serve_queue_depth gauge\n"
+            ),
+            "{text}"
+        );
+        // backslash and newline are escaped in help text
+        assert!(
+            text.contains("# HELP lat per-request latency in ns\\\\with a newline:\\n\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn undescribed_metrics_render_without_help_lines() {
+        let m = Metrics::new();
+        m.counter("plain").inc();
+        let text = render_prometheus(&m);
+        assert!(!text.contains("# HELP"), "{text}");
+    }
+
+    #[test]
+    fn sharded_render_emits_one_help_line_from_first_describing_shard() {
+        let sources = shard_pair();
+        sources[1].1.describe("serve.admitted", "from shard one");
+        let text = render_prometheus_sharded(&sources);
+        assert_eq!(text.matches("# HELP").count(), 1, "{text}");
+        assert!(
+            text.contains(
+                "# HELP serve_admitted_total from shard one\n\
+                 # TYPE serve_admitted_total counter\n"
+            ),
+            "{text}"
+        );
+        // shard 0 describing too does not duplicate; shard 0 wins
+        sources[0].1.describe("serve.admitted", "from shard zero");
+        let text = render_prometheus_sharded(&sources);
+        assert_eq!(text.matches("# HELP").count(), 1, "{text}");
+        assert!(
+            text.contains("# HELP serve_admitted_total from shard zero\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn single_source_sharded_render_matches_plain_render_modulo_labels() {
         let m = Arc::new(Metrics::new());
         m.counter("c").add(3);
+        m.describe("c", "a described counter");
         m.gauge("g").set(-1);
         m.histogram_with_bounds("h", vec![10]).record(4);
         let plain = render_prometheus(&m);

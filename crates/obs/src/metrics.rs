@@ -222,6 +222,7 @@ struct Registry {
     counters: BTreeMap<String, Arc<Counter>>,
     gauges: BTreeMap<String, Arc<Gauge>>,
     histograms: BTreeMap<String, Arc<Histogram>>,
+    descriptions: BTreeMap<String, String>,
 }
 
 /// The metrics registry: named instruments shared via `Arc`.
@@ -295,6 +296,35 @@ impl Metrics {
                 .entry(name.to_owned())
                 .or_insert_with(|| Arc::new(Histogram::new(bounds))),
         )
+    }
+
+    /// Attaches a human-readable help text to the instrument named
+    /// `name` — the Prometheus exposition renders it as a `# HELP` line.
+    /// The first non-empty description wins (call sites register once).
+    pub fn describe(&self, name: &str, help: &str) {
+        if help.is_empty() {
+            return;
+        }
+        let mut reg = self.lock();
+        reg.descriptions
+            .entry(name.to_owned())
+            .or_insert_with(|| help.to_owned());
+    }
+
+    /// The help text registered for `name`, if any.
+    #[must_use]
+    pub fn description(&self, name: &str) -> Option<String> {
+        self.lock().descriptions.get(name).cloned()
+    }
+
+    /// Every registered `(name, help)` pair, sorted by name.
+    #[must_use]
+    pub fn descriptions(&self) -> Vec<(String, String)> {
+        self.lock()
+            .descriptions
+            .iter()
+            .map(|(n, h)| (n.clone(), h.clone()))
+            .collect()
     }
 
     /// Every histogram's `(name, snapshot)`, sorted by name.
@@ -535,6 +565,28 @@ mod tests {
             );
             assert_eq!(s.mean(), 0.0);
         }
+    }
+
+    #[test]
+    fn describe_is_first_write_wins_and_ignores_empty() {
+        let m = Metrics::new();
+        assert_eq!(m.description("serve.admitted"), None);
+        m.describe("serve.admitted", "");
+        assert_eq!(m.description("serve.admitted"), None);
+        m.describe("serve.admitted", "requests accepted");
+        m.describe("serve.admitted", "a later, losing description");
+        assert_eq!(
+            m.description("serve.admitted").as_deref(),
+            Some("requests accepted")
+        );
+        m.describe("farm.jobs_ok", "jobs completed");
+        assert_eq!(
+            m.descriptions(),
+            vec![
+                ("farm.jobs_ok".to_owned(), "jobs completed".to_owned()),
+                ("serve.admitted".to_owned(), "requests accepted".to_owned()),
+            ]
+        );
     }
 
     #[test]

@@ -19,13 +19,22 @@
 //! * `GET /healthz` — a JSON readiness body:
 //!   `{"status":"ok","shards":N,"pool_threads":W,"draining":false}`.
 //!   The shard count, pool width and live draining flag come from the
-//!   attached [`Readiness`] (defaults when none was attached),
+//!   attached [`Readiness`] (defaults when none was attached); while
+//!   draining the status code is `503` so load balancers stop routing,
 //! * `GET /debug/requests` — the attached [`crate::RequestLog`]s as
 //!   NDJSON, one finished request per line (trace id + latency
 //!   breakdown), sorted by global request id and tagged by shard,
 //! * `GET /debug/slo` — per-shard and merged SLO window views from the
 //!   attached [`crate::SloTracker`]s,
+//! * `GET /debug/timeline` — the attached [`TimelineRecorder`]s as
+//!   fixed-field NDJSON: one `timeline_config` line, then per-shard
+//!   `timeline` lines tagged `"shard":"<label>"`, then the merged view
+//!   tagged `"shard":"merged"` ([`crate::timeline::merge_timelines`]),
 //! * anything else — `404`.
+//!
+//! Every response — including `404` / `405` / `503` errors — carries
+//! `Content-Length` and `Connection: close`, so clients never have to
+//! sniff for the end of the body.
 //!
 //! # Examples
 //!
@@ -53,6 +62,7 @@ use crate::expose::{render_prometheus, render_prometheus_sharded};
 use crate::metrics::Metrics;
 use crate::requests::RequestLog;
 use crate::slo::{merge_windows, SloTracker, WindowCounts};
+use crate::timeline::{self, TimelineRecorder};
 
 /// Default per-connection I/O timeout: a stalled scraper must not pin a
 /// worker (see [`ExpositionServer::bind_with_options`] to tune it).
@@ -105,6 +115,8 @@ pub struct DebugState {
     pub slos: Vec<(String, Arc<SloTracker>)>,
     /// `(shard label, log)` pairs behind `/debug/requests`.
     pub requests: Vec<(String, Arc<RequestLog>)>,
+    /// `(shard label, recorder)` pairs behind `/debug/timeline`.
+    pub timelines: Vec<(String, Arc<TimelineRecorder>)>,
     /// The `/healthz` readiness source (defaults used when `None`).
     pub readiness: Option<Readiness>,
 }
@@ -336,6 +348,26 @@ impl ExpositionServer {
         }
     }
 
+    /// [`Self::scrape`] without the 200-only filter: returns the raw
+    /// `(head, body)` split, where `head` is the status line plus
+    /// headers. Lets callers inspect non-200 responses (a draining
+    /// `/healthz` answers `503` with a JSON body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection / read failures and malformed responses.
+    pub fn scrape_response(&self, path: &str) -> std::io::Result<(String, String)> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(DEFAULT_IO_TIMEOUT))?;
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: canti\r\n\r\n")?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| std::io::Error::other("malformed http response"))?;
+        Ok((head.to_owned(), body.to_owned()))
+    }
+
     /// Stops accepting, wakes every worker and joins the pool. In-flight
     /// responses finish first (graceful drain).
     pub fn shutdown(self) {
@@ -390,11 +422,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
             "text/plain; version=0.0.4; charset=utf-8",
             shared.registry.render(),
         ),
-        ("GET" | "HEAD", "/healthz" | "/health") => (
-            "200 OK",
-            "application/json; charset=utf-8",
-            render_healthz(&shared.registry, &shared.debug),
-        ),
+        ("GET" | "HEAD", "/healthz" | "/health") => {
+            let draining = shared
+                .debug
+                .readiness
+                .as_ref()
+                .is_some_and(|r| r.draining.load(Ordering::SeqCst));
+            (
+                // a draining instrument is not ready: load balancers key
+                // off the status code, humans off the JSON body
+                if draining {
+                    "503 Service Unavailable"
+                } else {
+                    "200 OK"
+                },
+                "application/json; charset=utf-8",
+                render_healthz(&shared.registry, &shared.debug),
+            )
+        }
         ("GET" | "HEAD", "/debug/requests") => (
             "200 OK",
             "application/x-ndjson; charset=utf-8",
@@ -404,6 +449,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
             "200 OK",
             "text/plain; charset=utf-8",
             render_debug_slo(&shared.debug),
+        ),
+        ("GET" | "HEAD", "/debug/timeline") => (
+            "200 OK",
+            "application/x-ndjson; charset=utf-8",
+            render_debug_timeline(&shared.debug),
         ),
         ("GET" | "HEAD", _) => (
             "404 Not Found",
@@ -508,6 +558,50 @@ fn render_debug_slo(debug: &DebugState) -> String {
     let breached: u64 = merged.iter().map(|w| w.breached).sum();
     let _ = writeln!(out, "merged: good={good} breached={breached}");
     window_lines(&mut out, &merged);
+    out
+}
+
+/// The `/debug/timeline` NDJSON body: the shared window policy, every
+/// shard's per-window points tagged `"shard":"<label>"`, then the merged
+/// view tagged `"shard":"merged"`. Field order is fixed (see
+/// [`timeline::point_line`]) so golden tests can pin the bytes.
+fn render_debug_timeline(debug: &DebugState) -> String {
+    let Some((_, first)) = debug.timelines.first() else {
+        return String::new();
+    };
+    let config = first.config();
+    let width = config.width();
+    let mut out = timeline::config_line(config);
+    out.push('\n');
+    let mut per_shard = Vec::with_capacity(debug.timelines.len());
+    for (label, recorder) in &debug.timelines {
+        let snapshot = recorder.snapshot();
+        for series in &snapshot {
+            for p in &series.points {
+                out.push_str(&timeline::point_line(
+                    Some(label),
+                    &series.name,
+                    series.kind,
+                    width,
+                    p,
+                ));
+                out.push('\n');
+            }
+        }
+        per_shard.push(snapshot);
+    }
+    for series in timeline::merge_timelines(&per_shard) {
+        for p in &series.points {
+            out.push_str(&timeline::point_line(
+                Some("merged"),
+                &series.name,
+                series.kind,
+                width,
+                p,
+            ));
+            out.push('\n');
+        }
+    }
     out
 }
 
@@ -624,6 +718,7 @@ mod tests {
             DebugState {
                 slos: vec![("0".to_owned(), Arc::clone(&slo))],
                 requests: vec![("0".to_owned(), Arc::clone(&log))],
+                timelines: Vec::new(),
                 readiness: Some(Readiness {
                     shards: 1,
                     pool_threads: 4,
@@ -639,9 +734,11 @@ mod tests {
             "{\"status\":\"ok\",\"shards\":1,\"pool_threads\":4,\"draining\":false}\n"
         );
         draining.store(true, Ordering::SeqCst);
-        let health = server.scrape("/healthz").unwrap();
+        let (head, health) = server.scrape_response("/healthz").unwrap();
+        assert!(head.starts_with("HTTP/1.0 503"), "{head}");
         assert!(health.contains("\"status\":\"draining\""), "{health}");
         assert!(health.contains("\"draining\":true"), "{health}");
+        draining.store(false, Ordering::SeqCst);
 
         let requests = server.scrape("/debug/requests").unwrap();
         assert!(
@@ -674,6 +771,99 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+        server.shutdown();
+    }
+
+    /// 404 / 405 / 503 responses carry `Content-Length` and
+    /// `Connection: close` like every 200 does — error bodies must be
+    /// framed just as unambiguously.
+    #[test]
+    fn error_responses_carry_length_and_close_headers() {
+        let draining = Arc::new(AtomicBool::new(true));
+        let server = ExpositionServer::bind_debug(
+            "127.0.0.1:0",
+            Arc::new(Metrics::new()),
+            DebugState {
+                readiness: Some(Readiness {
+                    shards: 1,
+                    pool_threads: 0,
+                    draining: Arc::clone(&draining),
+                }),
+                ..DebugState::default()
+            },
+        )
+        .unwrap();
+
+        let assert_framed = |head: &str, body: &str, status: &str| {
+            assert!(head.starts_with(&format!("HTTP/1.0 {status}")), "{head}");
+            assert!(
+                head.contains(&format!("Content-Length: {}", body.len())),
+                "{head}"
+            );
+            assert!(head.contains("Connection: close"), "{head}");
+            assert!(!body.is_empty(), "error responses carry a body");
+        };
+
+        let (head, body) = server.scrape_response("/nope").unwrap();
+        assert_framed(&head, &body, "404 Not Found");
+
+        let (head, body) = server.scrape_response("/healthz").unwrap();
+        assert_framed(&head, &body, "503 Service Unavailable");
+
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert_framed(head, body, "405 Method Not Allowed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_timeline_serves_per_shard_then_merged_ndjson() {
+        use crate::timeline::TimelineConfig;
+
+        let t0 = Arc::new(TimelineRecorder::new(TimelineConfig {
+            window_ns: 100,
+            max_windows: 8,
+        }));
+        t0.record_delta("serve.admitted", 1, 50);
+        let t1 = Arc::new(TimelineRecorder::new(t0.config()));
+        t1.record_delta("serve.admitted", 1, 150);
+        let server = ExpositionServer::bind_debug(
+            "127.0.0.1:0",
+            Arc::new(Metrics::new()),
+            DebugState {
+                timelines: vec![("0".to_owned(), t0), ("1".to_owned(), t1)],
+                ..DebugState::default()
+            },
+        )
+        .unwrap();
+
+        let body = server.scrape("/debug/timeline").unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 5, "{body}");
+        assert_eq!(
+            lines[0],
+            "{\"record\":\"timeline_config\",\"window_ns\":100,\"max_windows\":8}"
+        );
+        assert!(
+            lines[1].starts_with("{\"record\":\"timeline\",\"shard\":\"0\","),
+            "{body}"
+        );
+        assert!(
+            lines[2].starts_with("{\"record\":\"timeline\",\"shard\":\"1\","),
+            "{body}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"record\":\"timeline\",\"shard\":\"merged\",\"series\":\"serve.admitted\",\
+             \"kind\":\"delta\",\"window\":0,\"t_ns\":0,\"count\":1,\"sum\":1,\"min\":1,\"max\":1}"
+        );
+        assert!(
+            lines[4].contains("\"shard\":\"merged\"") && lines[4].contains("\"window\":1"),
+            "{body}"
+        );
         server.shutdown();
     }
 }

@@ -85,10 +85,11 @@ pub struct WindowCounts {
 }
 
 impl WindowCounts {
-    /// Requests observed in this window.
+    /// Requests observed in this window (saturating, so near-overflow
+    /// merged tallies still render).
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.good + self.breached
+        self.good.saturating_add(self.breached)
     }
 
     /// Fraction of requests that breached (0.0 when empty).
@@ -226,7 +227,8 @@ impl WindowCounts {
     }
 }
 
-/// Merges per-shard window views into one: same-index windows sum, and
+/// Merges per-shard window views into one: same-index windows sum
+/// (saturating, so adversarial tallies cannot wrap the merged view), and
 /// the result is sorted by window index. All trackers are expected to
 /// share a window width (the serve layer clones one [`SloConfig`] per
 /// shard).
@@ -239,8 +241,8 @@ pub fn merge_windows(per_shard: &[Vec<WindowCounts>]) -> Vec<WindowCounts> {
             let slot = merged
                 .entry(w.index)
                 .or_insert_with(|| WindowCounts::new_at(w.index));
-            slot.good += w.good;
-            slot.breached += w.breached;
+            slot.good = slot.good.saturating_add(w.good);
+            slot.breached = slot.breached.saturating_add(w.breached);
         }
     }
     merged.into_values().collect()
@@ -343,6 +345,67 @@ mod tests {
             (0, 5, 1)
         );
         assert_eq!((merged[1].index, merged[1].good), (2, 1));
+    }
+
+    #[test]
+    fn merge_handles_empty_shard_lists() {
+        assert!(merge_windows(&[]).is_empty());
+        assert!(merge_windows(&[Vec::new(), Vec::new()]).is_empty());
+        let only = vec![WindowCounts {
+            index: 3,
+            good: 1,
+            breached: 2,
+        }];
+        let merged = merge_windows(&[Vec::new(), only.clone(), Vec::new()]);
+        assert_eq!(merged, only, "empty shards contribute nothing");
+    }
+
+    #[test]
+    fn merge_interleaves_disjoint_window_ranges() {
+        let evens: Vec<WindowCounts> = [0u64, 2, 4]
+            .iter()
+            .map(|&index| WindowCounts {
+                index,
+                good: 1,
+                breached: 0,
+            })
+            .collect();
+        let odds: Vec<WindowCounts> = [5u64, 1, 3]
+            .iter()
+            .map(|&index| WindowCounts {
+                index,
+                good: 0,
+                breached: 1,
+            })
+            .collect();
+        let merged = merge_windows(&[evens, odds]);
+        let indices: Vec<u64> = merged.iter().map(|w| w.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5], "sorted by window index");
+        for w in &merged {
+            assert_eq!(w.total(), 1, "disjoint ranges never sum");
+            assert_eq!(w.good == 1, w.index % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let huge = WindowCounts {
+            index: 0,
+            good: u64::MAX - 1,
+            breached: u64::MAX,
+        };
+        let more = WindowCounts {
+            index: 0,
+            good: 5,
+            breached: 7,
+        };
+        let merged = merge_windows(&[vec![huge], vec![more]]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!((merged[0].good, merged[0].breached), (u64::MAX, u64::MAX));
+        assert_eq!(merged[0].total(), u64::MAX, "total saturates too");
+        // with both tallies pinned at the ceiling the fraction degrades
+        // to 1.0 rather than panicking or wrapping
+        assert!((merged[0].breach_fraction() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,556 @@
+//! Deterministic per-window telemetry timelines.
+//!
+//! A [`TimelineRecorder`] turns selected counters, gauges and histogram
+//! deltas into **per-window time series** on the observer clock: window
+//! `i` covers `[i*window_ns, (i+1)*window_ns)`, exactly like the SLO
+//! windows in [`crate::slo`]. Each series accumulates one
+//! [`SeriesPoint`] per window (count / sum / min / max of the observed
+//! values), ring-bounded to [`TimelineConfig::max_windows`] windows, so
+//! always-on timelines have fixed memory.
+//!
+//! Because both the window index and the aggregates are pure functions
+//! of `(value, now_ns)` read from the injected [`crate::ObsClock`], a
+//! scripted virtual-clock run produces bit-identical timelines at any
+//! worker count, and [`merge_timelines`] folds per-shard views into one
+//! the same way [`crate::slo::merge_windows`] does.
+//!
+//! Two series kinds exist and are tagged in every rendering:
+//!
+//! * [`SeriesKind::Delta`] — additive contributions (admissions,
+//!   completions, per-stage latency). Merged across shards, a delta
+//!   series counts every contribution exactly once, so request-scoped
+//!   delta series are invariant under re-sharding.
+//! * [`SeriesKind::Sample`] — point-in-time observations (queue depth,
+//!   batch size). How often these are sampled legitimately depends on
+//!   batch formation, so they are *not* shard-count invariant.
+//!
+//! # Examples
+//!
+//! ```
+//! use canti_obs::timeline::{TimelineConfig, TimelineRecorder};
+//!
+//! let tl = TimelineRecorder::new(TimelineConfig {
+//!     window_ns: 1_000,
+//!     max_windows: 8,
+//! });
+//! tl.record_delta("serve.admitted", 1, 100);
+//! tl.record_delta("serve.admitted", 1, 1_500);
+//! tl.sample("serve.queue_depth", 3, 100);
+//! let snap = tl.snapshot();
+//! assert_eq!(snap.len(), 2);
+//! assert_eq!(snap[0].name, "serve.admitted");
+//! assert_eq!(snap[0].points.len(), 2);
+//! assert_eq!((snap[0].points[0].index, snap[0].points[0].count), (0, 1));
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::{Mutex, PoisonError};
+
+use crate::ndjson::{self, JsonValue};
+
+/// Windowing policy for a [`TimelineRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineConfig {
+    /// Fixed window width on the observer clock, ns. Clamped to ≥ 1.
+    pub window_ns: u64,
+    /// Windows retained per series (oldest evicted first). Clamped ≥ 1.
+    pub max_windows: usize,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        Self {
+            window_ns: 1_000_000_000, // 1 s
+            max_windows: 64,
+        }
+    }
+}
+
+impl TimelineConfig {
+    /// The effective window width (configured value, at least 1 ns).
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        self.window_ns.max(1)
+    }
+
+    /// The window index `t_ns` falls into.
+    #[must_use]
+    pub fn window_index(&self, t_ns: u64) -> u64 {
+        t_ns / self.width()
+    }
+}
+
+/// How a series aggregates — see the module docs for the shard-merge
+/// semantics of each kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Additive contributions; merged views are re-shard invariant for
+    /// request-scoped series.
+    Delta,
+    /// Point-in-time observations; sampling cadence is shard-dependent.
+    Sample,
+}
+
+impl SeriesKind {
+    /// The fixed label used in renderings and NDJSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Delta => "delta",
+            Self::Sample => "sample",
+        }
+    }
+}
+
+/// Aggregates over one series in one fixed window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Window index: the window covers `[index*w, (index+1)*w)` ns.
+    pub index: u64,
+    /// Observations that landed in this window.
+    pub count: u64,
+    /// Sum of the observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl SeriesPoint {
+    fn new_at(index: u64) -> Self {
+        Self {
+            index,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn fold(&mut self, other: &SeriesPoint) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean observed value (0.0 when the window is empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `min`, mapped to 0 for empty windows (where it is the `u64::MAX`
+    /// sentinel), so renderings never leak the sentinel.
+    #[must_use]
+    pub fn min_or_zero(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+}
+
+/// One series' retained windows, oldest first — the snapshot unit
+/// [`TimelineRecorder::snapshot`] returns and [`merge_timelines`] folds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesWindows {
+    /// Series name (dotted, like metric names).
+    pub name: String,
+    /// Aggregation kind.
+    pub kind: SeriesKind,
+    /// Retained per-window aggregates, sorted by window index.
+    pub points: Vec<SeriesPoint>,
+}
+
+#[derive(Debug)]
+struct Series {
+    kind: SeriesKind,
+    points: VecDeque<SeriesPoint>,
+}
+
+/// A deterministic per-window timeline aggregator (see the module docs).
+#[derive(Debug)]
+pub struct TimelineRecorder {
+    config: TimelineConfig,
+    series: Mutex<BTreeMap<String, Series>>,
+}
+
+impl TimelineRecorder {
+    /// A recorder over `config` with no series yet.
+    #[must_use]
+    pub fn new(config: TimelineConfig) -> Self {
+        Self {
+            config,
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The configured windowing policy.
+    #[must_use]
+    pub fn config(&self) -> TimelineConfig {
+        self.config
+    }
+
+    /// Records an additive contribution of `value` to `series` at clock
+    /// time `now_ns` (which names the window).
+    pub fn record_delta(&self, series: &str, value: u64, now_ns: u64) {
+        self.observe(series, SeriesKind::Delta, value, now_ns);
+    }
+
+    /// Records a point-in-time observation of `value` on `series` at
+    /// clock time `now_ns`.
+    pub fn sample(&self, series: &str, value: u64, now_ns: u64) {
+        self.observe(series, SeriesKind::Sample, value, now_ns);
+    }
+
+    /// A series' kind is fixed by its first observation; later calls
+    /// keep it (mixing kinds on one name is a caller bug, tolerated
+    /// deterministically rather than panicking in telemetry).
+    fn observe(&self, series: &str, kind: SeriesKind, value: u64, now_ns: u64) {
+        let index = self.config.window_index(now_ns);
+        let mut map = self.series.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = map.entry(series.to_owned()).or_insert_with(|| Series {
+            kind,
+            points: VecDeque::new(),
+        });
+        // samples arrive in clock order per recorder; a same-index or
+        // older observation still lands in the right slot
+        let pos = entry.points.iter().position(|p| p.index >= index);
+        let slot = match pos {
+            Some(i) if entry.points[i].index == index => &mut entry.points[i],
+            Some(i) => {
+                entry.points.insert(i, SeriesPoint::new_at(index));
+                &mut entry.points[i]
+            }
+            None => {
+                entry.points.push_back(SeriesPoint::new_at(index));
+                entry.points.back_mut().expect("just pushed")
+            }
+        };
+        slot.observe(value);
+        while entry.points.len() > self.config.max_windows.max(1) {
+            entry.points.pop_front();
+        }
+    }
+
+    /// The retained series, sorted by name, each with its windows oldest
+    /// first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SeriesWindows> {
+        self.series
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, s)| SeriesWindows {
+                name: name.clone(),
+                kind: s.kind,
+                points: s.points.iter().copied().collect(),
+            })
+            .collect()
+    }
+
+    /// A deterministic text rendering: the window policy and one line
+    /// per retained (series, window) pair.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let snap = self.snapshot();
+        let _ = writeln!(
+            out,
+            "timeline: window={} ns max_windows={} series={}",
+            self.config.width(),
+            self.config.max_windows.max(1),
+            snap.len()
+        );
+        for series in &snap {
+            let _ = writeln!(out, "  {} [{}]:", series.name, series.kind.as_str());
+            for p in &series.points {
+                let _ = writeln!(
+                    out,
+                    "    window {} [t={} ns): count={} sum={} min={} max={}",
+                    p.index,
+                    p.index * self.config.width(),
+                    p.count,
+                    p.sum,
+                    p.min_or_zero(),
+                    p.max
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the whole timeline as NDJSON: one `timeline_config` line
+    /// followed by one fixed-field `timeline` line per (series, window).
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        let mut out = config_line(self.config);
+        out.push('\n');
+        for series in self.snapshot() {
+            for p in &series.points {
+                out.push_str(&point_line(
+                    None,
+                    &series.name,
+                    series.kind,
+                    self.config.width(),
+                    p,
+                ));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// The `timeline_config` NDJSON header line (no trailing newline).
+#[must_use]
+pub fn config_line(config: TimelineConfig) -> String {
+    ndjson::object(&[
+        ("record", JsonValue::from("timeline_config")),
+        ("window_ns", JsonValue::U64(config.width())),
+        (
+            "max_windows",
+            JsonValue::U64(config.max_windows.max(1) as u64),
+        ),
+    ])
+}
+
+/// One fixed-field `timeline` NDJSON line (no trailing newline). The
+/// field order is part of the format: `record`, optional `shard`,
+/// `series`, `kind`, `window`, `t_ns`, `count`, `sum`, `min`, `max`.
+#[must_use]
+pub fn point_line(
+    shard: Option<&str>,
+    series: &str,
+    kind: SeriesKind,
+    width_ns: u64,
+    p: &SeriesPoint,
+) -> String {
+    let mut fields: Vec<(&str, JsonValue)> = Vec::with_capacity(10);
+    fields.push(("record", JsonValue::from("timeline")));
+    if let Some(label) = shard {
+        fields.push(("shard", JsonValue::from(label)));
+    }
+    fields.push(("series", JsonValue::from(series)));
+    fields.push(("kind", JsonValue::from(kind.as_str())));
+    fields.push(("window", JsonValue::U64(p.index)));
+    fields.push(("t_ns", JsonValue::U64(p.index.saturating_mul(width_ns))));
+    fields.push(("count", JsonValue::U64(p.count)));
+    fields.push(("sum", JsonValue::U64(p.sum)));
+    fields.push(("min", JsonValue::U64(p.min_or_zero())));
+    fields.push(("max", JsonValue::U64(p.max)));
+    ndjson::object(&fields)
+}
+
+/// Merges per-shard timeline snapshots into one: same-name series fold
+/// window by window (counts and sums add saturating, min/max widen), and
+/// the result is sorted by series name. All recorders are expected to
+/// share one [`TimelineConfig`] (the serve layer clones one per shard);
+/// a series' kind comes from the first shard that carries it.
+#[must_use]
+pub fn merge_timelines(per_shard: &[Vec<SeriesWindows>]) -> Vec<SeriesWindows> {
+    let mut merged: BTreeMap<String, (SeriesKind, BTreeMap<u64, SeriesPoint>)> = BTreeMap::new();
+    for shard in per_shard {
+        for series in shard {
+            let (_, windows) = merged
+                .entry(series.name.clone())
+                .or_insert_with(|| (series.kind, BTreeMap::new()));
+            for p in &series.points {
+                windows
+                    .entry(p.index)
+                    .or_insert_with(|| SeriesPoint::new_at(p.index))
+                    .fold(p);
+            }
+        }
+    }
+    merged
+        .into_iter()
+        .map(|(name, (kind, windows))| SeriesWindows {
+            name,
+            kind,
+            points: windows.into_values().collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(window_ns: u64, max_windows: usize) -> TimelineConfig {
+        TimelineConfig {
+            window_ns,
+            max_windows,
+        }
+    }
+
+    #[test]
+    fn observations_land_in_fixed_width_windows() {
+        let tl = TimelineRecorder::new(config(100, 8));
+        tl.record_delta("s", 5, 0);
+        tl.record_delta("s", 7, 99);
+        tl.record_delta("s", 1, 100);
+        tl.record_delta("s", 9, 250);
+        let snap = tl.snapshot();
+        assert_eq!(snap.len(), 1);
+        let points = &snap[0].points;
+        assert_eq!(points.len(), 3);
+        assert_eq!(
+            (points[0].index, points[0].count, points[0].sum),
+            (0, 2, 12)
+        );
+        assert_eq!((points[0].min, points[0].max), (5, 7));
+        assert_eq!((points[1].index, points[1].count), (1, 1));
+        assert_eq!((points[2].index, points[2].sum), (2, 9));
+    }
+
+    #[test]
+    fn retention_evicts_oldest_windows_per_series() {
+        let tl = TimelineRecorder::new(config(10, 2));
+        for t in [0u64, 10, 20, 30] {
+            tl.record_delta("a", 1, t);
+        }
+        tl.record_delta("b", 1, 0); // other series keep their own ring
+        let snap = tl.snapshot();
+        assert_eq!(snap[0].name, "a");
+        let idx: Vec<u64> = snap[0].points.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![2, 3]);
+        assert_eq!(snap[1].points[0].index, 0);
+    }
+
+    #[test]
+    fn out_of_order_observations_land_in_their_window() {
+        let tl = TimelineRecorder::new(config(100, 8));
+        tl.record_delta("s", 1, 250);
+        tl.record_delta("s", 2, 50); // older window observed late
+        tl.record_delta("s", 3, 260);
+        let idx: Vec<(u64, u64)> = tl.snapshot()[0]
+            .points
+            .iter()
+            .map(|p| (p.index, p.count))
+            .collect();
+        assert_eq!(idx, vec![(0, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn kinds_are_tagged_and_sticky() {
+        let tl = TimelineRecorder::new(config(100, 8));
+        tl.sample("depth", 3, 0);
+        tl.record_delta("depth", 1, 10); // kind fixed by first observation
+        tl.record_delta("adds", 1, 0);
+        let snap = tl.snapshot();
+        assert_eq!(snap[0].name, "adds");
+        assert_eq!(snap[0].kind, SeriesKind::Delta);
+        assert_eq!(snap[1].kind, SeriesKind::Sample);
+        assert_eq!(snap[1].points[0].count, 2);
+    }
+
+    #[test]
+    fn merged_view_folds_same_index_windows() {
+        let a = TimelineRecorder::new(config(100, 8));
+        a.record_delta("s", 10, 0);
+        a.record_delta("s", 2, 250);
+        let b = TimelineRecorder::new(config(100, 8));
+        b.record_delta("s", 4, 50);
+        b.sample("q", 7, 0);
+        let merged = merge_timelines(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(merged.len(), 2);
+        let q = &merged[0];
+        assert_eq!((q.name.as_str(), q.kind), ("q", SeriesKind::Sample));
+        let s = &merged[1];
+        assert_eq!(s.points.len(), 2);
+        assert_eq!((s.points[0].count, s.points[0].sum), (2, 14));
+        assert_eq!((s.points[0].min, s.points[0].max), (4, 10));
+        assert_eq!((s.points[1].index, s.points[1].sum), (2, 2));
+    }
+
+    #[test]
+    fn merge_handles_empty_inputs() {
+        assert!(merge_timelines(&[]).is_empty());
+        assert!(merge_timelines(&[Vec::new(), Vec::new()]).is_empty());
+        let a = TimelineRecorder::new(config(100, 8));
+        a.record_delta("s", 1, 0);
+        let merged = merge_timelines(&[Vec::new(), a.snapshot()]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].points[0].count, 1);
+    }
+
+    #[test]
+    fn ndjson_lines_have_fixed_fields() {
+        let tl = TimelineRecorder::new(config(1_000, 8));
+        tl.record_delta("serve.admitted", 1, 100);
+        tl.record_delta("serve.admitted", 1, 150);
+        let nd = tl.to_ndjson();
+        let lines: Vec<&str> = nd.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"record\":\"timeline_config\",\"window_ns\":1000,\"max_windows\":8}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"record\":\"timeline\",\"series\":\"serve.admitted\",\"kind\":\"delta\",\
+             \"window\":0,\"t_ns\":0,\"count\":2,\"sum\":2,\"min\":1,\"max\":1}"
+        );
+        let labelled = point_line(
+            Some("3"),
+            "s",
+            SeriesKind::Sample,
+            1_000,
+            &tl.snapshot()[0].points[0],
+        );
+        assert!(labelled.contains("\"shard\":\"3\""), "{labelled}");
+    }
+
+    #[test]
+    fn render_is_deterministic_text() {
+        let tl = TimelineRecorder::new(config(100, 8));
+        tl.record_delta("s", 5, 0);
+        tl.sample("q", 2, 120);
+        let text = tl.render();
+        assert!(text.contains("window=100 ns"), "{text}");
+        assert!(text.contains("s [delta]:"), "{text}");
+        assert!(text.contains("q [sample]:"), "{text}");
+        assert!(
+            text.contains("window 0 [t=0 ns): count=1 sum=5 min=5 max=5"),
+            "{text}"
+        );
+        assert!(text.contains("window 1 [t=100 ns)"), "{text}");
+    }
+
+    #[test]
+    fn degenerate_config_is_clamped() {
+        let cfg = config(0, 0);
+        assert_eq!(cfg.width(), 1);
+        assert_eq!(cfg.window_index(7), 7);
+        let tl = TimelineRecorder::new(cfg);
+        tl.record_delta("s", 1, 0);
+        tl.record_delta("s", 1, 1);
+        assert_eq!(tl.snapshot()[0].points.len(), 1, "max_windows clamps to 1");
+    }
+
+    #[test]
+    fn saturating_aggregates_do_not_wrap() {
+        let tl = TimelineRecorder::new(config(100, 4));
+        tl.record_delta("s", u64::MAX, 0);
+        tl.record_delta("s", u64::MAX, 1);
+        let p = tl.snapshot()[0].points[0];
+        assert_eq!(p.sum, u64::MAX);
+        assert_eq!(p.count, 2);
+    }
+}

@@ -9,12 +9,19 @@ use canti_obs::Metrics;
 fn known_snapshot() -> Metrics {
     let m = Metrics::new();
     m.counter("farm.jobs_ok").add(12);
+    m.describe("farm.jobs_ok", "jobs that completed successfully");
     m.counter("farm.jobs_failed").add(1);
+    m.describe("farm.jobs_failed", "jobs that returned an error");
     m.gauge("farm.workers_busy").set(4);
+    m.describe("farm.workers_busy", "workers currently executing a job");
     let h = m.histogram_with_bounds("farm.solve_ns", vec![1_000, 10_000, 100_000]);
     for v in [500, 1_500, 2_000, 50_000, 2_000_000] {
         h.record(v);
     }
+    m.describe(
+        "farm.solve_ns",
+        "per-job solve stage latency in nanoseconds",
+    );
     m
 }
 

@@ -1,6 +1,6 @@
 //! `obsctl` — the consumption-side CLI over canti telemetry artifacts.
 //!
-//! Five subcommands, all pure functions in this library so tests (and
+//! Seven subcommands, all pure functions in this library so tests (and
 //! CI) can drive them without spawning the binary:
 //!
 //! * [`summary`] — parse a telemetry NDJSON artifact, reconstruct the
@@ -20,11 +20,21 @@
 //!   the serve-artifact health gate,
 //! * [`slo_report`] — recompute deterministic SLO windows offline from
 //!   the closed `request` spans in an artifact, for auditing the live
-//!   `/debug/slo` view against the raw trace.
+//!   `/debug/slo` view against the raw trace,
+//! * [`timeline_report`] — render the per-window series of a
+//!   `/debug/timeline` NDJSON artifact as tables with count sparklines,
+//!   and optionally recompute the request-latency windows offline from a
+//!   span artifact as a cross-check (**fails** when they disagree),
+//! * [`anomaly`] — compare a timeline artifact against an archived
+//!   baseline, per-series, and report count drift beyond a threshold;
+//!   the binary exits non-zero on drift or a missing series — the
+//!   timeline anomaly gate `scripts/ci.sh` runs between smoke runs.
 //!
 //! `diff` understands every timing shape the workspace writes: the
 //! `ExperimentReport::to_json` document (`"timings": [...]`), NDJSON
 //! `farm_stage` records, and NDJSON metric-dump histogram lines.
+//! [`summary`] and [`trace_request`] have `*_json` twins emitting
+//! fixed-field NDJSON for machine consumers (`--json` on the binary).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -421,20 +431,13 @@ pub fn flame(path: &Path) -> Result<String, CliError> {
     Ok(folded)
 }
 
-/// Reconstructs one request's span chain from a serve telemetry
-/// artifact: the admission-side `request` span plus every farm `job`
-/// span that executed on its behalf, each with its ancestry path, then
-/// the critical path under the slowest owning span.
-///
-/// # Errors
-///
-/// [`CliError::Gate`] when the artifact is unhealthy for this request —
-/// the trace sequence has gaps, no span carries the request id, the
-/// request is orphaned (farm spans reference it but no admission-side
-/// `request` span exists), or an owning span never closed.
-/// [`CliError::Input`] on unreadable/unparsable files.
-pub fn trace_request(path: &Path, request: u64) -> Result<String, CliError> {
-    let trace = load_trace(path)?;
+/// The gates [`trace_request`] and [`trace_request_json`] share: a
+/// healthy sequence, a present and non-orphaned request, closed owners.
+fn request_paths_checked<'t>(
+    trace: &'t Trace,
+    path: &Path,
+    request: u64,
+) -> Result<Vec<Vec<&'t canti_obs::SpanNode>>, CliError> {
     if !trace.seq_gaps.is_empty() {
         return Err(CliError::Gate(format!(
             "{}: trace sequence has {} gap(s): {:?}",
@@ -471,6 +474,28 @@ pub fn trace_request(path: &Path, request: u64) -> Result<String, CliError> {
             owners.len()
         )));
     }
+    Ok(paths)
+}
+
+/// Reconstructs one request's span chain from a serve telemetry
+/// artifact: the admission-side `request` span plus every farm `job`
+/// span that executed on its behalf, each with its ancestry path, then
+/// the critical path under the slowest owning span.
+///
+/// # Errors
+///
+/// [`CliError::Gate`] when the artifact is unhealthy for this request —
+/// the trace sequence has gaps, no span carries the request id, the
+/// request is orphaned (farm spans reference it but no admission-side
+/// `request` span exists), or an owning span never closed.
+/// [`CliError::Input`] on unreadable/unparsable files.
+pub fn trace_request(path: &Path, request: u64) -> Result<String, CliError> {
+    let trace = load_trace(path)?;
+    let paths = request_paths_checked(&trace, path, request)?;
+    let owners: Vec<&canti_obs::SpanNode> = paths
+        .iter()
+        .map(|p| *p.last().expect("request path is never empty"))
+        .collect();
 
     let trace_id = owners.iter().find_map(|s| s.trace_id);
     let mut out = String::new();
@@ -593,6 +618,762 @@ pub fn slo_report(path: &Path, config: canti_obs::SloConfig) -> Result<String, C
 fn load_trace(path: &Path) -> Result<Trace, CliError> {
     let text = read_file(path)?;
     Trace::from_ndjson(&text).map_err(|e| CliError::Input(format!("{}: {e}", path.display())))
+}
+
+/// Machine-readable [`summary`]: the same artifact-health gates, but
+/// fixed-field NDJSON output — one `trace_health` line, one `stage`
+/// line per span name, one `critical` line per critical-path hop, one
+/// `fault` line per fault/recovery event present.
+///
+/// # Errors
+///
+/// Identical to [`summary`].
+pub fn summary_json(path: &Path) -> Result<String, CliError> {
+    use canti_obs::ndjson::{self, JsonValue};
+
+    let trace = load_trace(path)?;
+    if trace.span_count() == 0 {
+        return Err(CliError::Gate(format!(
+            "{}: span tree is empty ({} trace records, {} non-trace lines)",
+            path.display(),
+            trace.trace_records,
+            trace.skipped_records
+        )));
+    }
+    if !trace.seq_gaps.is_empty() {
+        return Err(CliError::Gate(format!(
+            "{}: trace sequence has {} gap(s): {:?}",
+            path.display(),
+            trace.seq_gaps.len(),
+            trace.seq_gaps
+        )));
+    }
+
+    let mut out = String::new();
+    out.push_str(&ndjson::object(&[
+        ("record", JsonValue::from("trace_health")),
+        ("spans", JsonValue::from(trace.span_count())),
+        ("trace_records", JsonValue::from(trace.trace_records)),
+        ("skipped_records", JsonValue::from(trace.skipped_records)),
+    ]));
+    out.push('\n');
+    for (stage, stats) in trace.stage_stats() {
+        out.push_str(&ndjson::object(&[
+            ("record", JsonValue::from("stage")),
+            ("stage", JsonValue::from(stage)),
+            ("count", JsonValue::U64(stats.count)),
+            ("sum_ns", JsonValue::U64(stats.sum_ns)),
+            ("min_ns", JsonValue::U64(stats.min_ns)),
+            ("max_ns", JsonValue::U64(stats.max_ns)),
+        ]));
+        out.push('\n');
+    }
+    for (depth, span) in trace.critical_path().iter().enumerate() {
+        out.push_str(&ndjson::object(&[
+            ("record", JsonValue::from("critical")),
+            ("depth", JsonValue::from(depth)),
+            ("span", JsonValue::from(span.name.as_str())),
+            ("dur_ns", JsonValue::U64(span.duration_ns())),
+        ]));
+        out.push('\n');
+    }
+    for (name, count) in fault_health(&trace).counts {
+        out.push_str(&ndjson::object(&[
+            ("record", JsonValue::from("fault")),
+            ("name", JsonValue::from(name)),
+            ("count", JsonValue::U64(count)),
+        ]));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Machine-readable [`trace_request`]: the same gates, fixed-field
+/// NDJSON output — one `request` line, one `owning_span` line per
+/// ancestry path, one `critical` line per critical-path hop.
+///
+/// # Errors
+///
+/// Identical to [`trace_request`].
+pub fn trace_request_json(path: &Path, request: u64) -> Result<String, CliError> {
+    use canti_obs::ndjson::{self, JsonValue};
+
+    let trace = load_trace(path)?;
+    let paths = request_paths_checked(&trace, path, request)?;
+    let owners: Vec<&canti_obs::SpanNode> = paths
+        .iter()
+        .map(|p| *p.last().expect("request path is never empty"))
+        .collect();
+
+    let mut out = String::new();
+    let mut header: Vec<(&str, JsonValue)> = vec![
+        ("record", JsonValue::from("request")),
+        ("request", JsonValue::U64(request)),
+    ];
+    if let Some(id) = owners.iter().find_map(|s| s.trace_id) {
+        header.push(("trace", JsonValue::U64(id)));
+    }
+    header.push(("owners", JsonValue::from(owners.len())));
+    out.push_str(&ndjson::object(&header));
+    out.push('\n');
+    for p in &paths {
+        let owner = p.last().expect("non-empty");
+        let chain: Vec<&str> = p.iter().map(|s| s.name.as_str()).collect();
+        out.push_str(&ndjson::object(&[
+            ("record", JsonValue::from("owning_span")),
+            ("chain", JsonValue::from(chain.join(" -> "))),
+            ("dur_ns", JsonValue::U64(owner.duration_ns())),
+            ("events", JsonValue::from(owner.events.len())),
+        ]));
+        out.push('\n');
+    }
+    let slowest = owners
+        .iter()
+        .max_by_key(|s| s.duration_ns())
+        .expect("at least one owning span");
+    for (depth, span) in slowest.critical_path().iter().enumerate() {
+        out.push_str(&ndjson::object(&[
+            ("record", JsonValue::from("critical")),
+            ("depth", JsonValue::from(depth)),
+            ("span", JsonValue::from(span.name.as_str())),
+            ("dur_ns", JsonValue::U64(span.duration_ns())),
+        ]));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// One per-window point of a timeline series, as parsed back from a
+/// `/debug/timeline` artifact line (`min` is 0 for an empty window,
+/// matching the emission side's `min_or_zero`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Window index (`t_ns / window_ns`).
+    pub window: u64,
+    /// Observations folded into this window.
+    pub count: u64,
+    /// Saturating sum of the observed values.
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+/// One `(shard, series)` section of a timeline artifact, points in
+/// ascending window order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineSeries {
+    /// Shard label — `"merged"` for the cross-shard fold.
+    pub shard: String,
+    /// Series name, e.g. `serve.admitted`.
+    pub name: String,
+    /// `"delta"` (additive, shard-merge invariant) or `"sample"`.
+    pub kind: String,
+    /// The per-window points.
+    pub points: Vec<TimelinePoint>,
+}
+
+impl TimelineSeries {
+    /// Total observation count across the retained windows.
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.points
+            .iter()
+            .fold(0u64, |acc, p| acc.saturating_add(p.count))
+    }
+
+    /// Total observed sum across the retained windows.
+    #[must_use]
+    pub fn total_sum(&self) -> u64 {
+        self.points
+            .iter()
+            .fold(0u64, |acc, p| acc.saturating_add(p.sum))
+    }
+}
+
+/// A parsed `/debug/timeline` NDJSON artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineArtifact {
+    /// Window width on the producer's clock, ns.
+    pub window_ns: u64,
+    /// Retention limit per series (newest windows win).
+    pub max_windows: u64,
+    /// Every `(shard, series)` section, in artifact order.
+    pub series: Vec<TimelineSeries>,
+}
+
+impl TimelineArtifact {
+    /// The section for `(shard, name)`, if the artifact carries it.
+    #[must_use]
+    pub fn section(&self, shard: &str, name: &str) -> Option<&TimelineSeries> {
+        self.series
+            .iter()
+            .find(|s| s.shard == shard && s.name == name)
+    }
+}
+
+/// Parses a `/debug/timeline` NDJSON artifact: one `timeline_config`
+/// record (the first wins) plus `timeline` point records. Lines of
+/// other record types ride along untouched, so a combined artifact
+/// still loads. A `timeline` record without a `shard` field (a bare
+/// `TimelineRecorder::to_ndjson` dump) lands under shard `"0"`.
+///
+/// # Errors
+///
+/// [`CliError::Input`] when the file is unreadable/unparsable, lacks a
+/// `timeline_config` record, holds no `timeline` records, or a
+/// `timeline` record is missing a required field.
+pub fn load_timeline(path: &Path) -> Result<TimelineArtifact, CliError> {
+    let text = read_file(path)?;
+    let docs =
+        parse_ndjson(&text).map_err(|e| CliError::Input(format!("{}: {e}", path.display())))?;
+
+    let mut config: Option<(u64, u64)> = None;
+    let mut series: Vec<TimelineSeries> = Vec::new();
+    for (i, doc) in docs.iter().enumerate() {
+        match doc.get("record").and_then(Json::as_str) {
+            Some("timeline_config") if config.is_none() => {
+                let window_ns = doc.get("window_ns").and_then(Json::as_u64);
+                let max_windows = doc.get("max_windows").and_then(Json::as_u64);
+                match (window_ns, max_windows) {
+                    (Some(w), Some(m)) if w > 0 => config = Some((w, m.max(1))),
+                    _ => {
+                        return Err(CliError::Input(format!(
+                            "{}: line {}: malformed timeline_config record",
+                            path.display(),
+                            i + 1
+                        )));
+                    }
+                }
+            }
+            Some("timeline_config") => {}
+            Some("timeline") => {
+                let field = |key: &str| -> Result<u64, CliError> {
+                    doc.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                        CliError::Input(format!(
+                            "{}: line {}: timeline record is missing {key:?}",
+                            path.display(),
+                            i + 1
+                        ))
+                    })
+                };
+                let Some(name) = doc.get("series").and_then(Json::as_str) else {
+                    return Err(CliError::Input(format!(
+                        "{}: line {}: timeline record is missing \"series\"",
+                        path.display(),
+                        i + 1
+                    )));
+                };
+                let shard = doc.get("shard").and_then(Json::as_str).unwrap_or("0");
+                let kind = doc.get("kind").and_then(Json::as_str).unwrap_or("delta");
+                let point = TimelinePoint {
+                    window: field("window")?,
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    min: field("min")?,
+                    max: field("max")?,
+                };
+                match series
+                    .iter_mut()
+                    .find(|s| s.shard == shard && s.name == name)
+                {
+                    Some(existing) => existing.points.push(point),
+                    None => series.push(TimelineSeries {
+                        shard: shard.to_owned(),
+                        name: name.to_owned(),
+                        kind: kind.to_owned(),
+                        points: vec![point],
+                    }),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let Some((window_ns, max_windows)) = config else {
+        return Err(CliError::Input(format!(
+            "{}: no timeline_config record (is this a /debug/timeline artifact?)",
+            path.display()
+        )));
+    };
+    if series.is_empty() {
+        return Err(CliError::Input(format!(
+            "{}: no timeline records",
+            path.display()
+        )));
+    }
+    for s in &mut series {
+        s.points.sort_by_key(|p| p.window);
+    }
+    Ok(TimelineArtifact {
+        window_ns,
+        max_windows,
+        series,
+    })
+}
+
+/// What [`timeline_report`] shows and in which format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineOptions {
+    /// Shard section to render (`"merged"` for the cross-shard fold).
+    pub shard: String,
+    /// Series-name filter; empty means every series of the shard.
+    pub series: Vec<String>,
+    /// Emit fixed-field NDJSON instead of tables.
+    pub json: bool,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        Self {
+            shard: "0".to_owned(),
+            series: Vec::new(),
+            json: false,
+        }
+    }
+}
+
+/// One sparkline glyph per recorded window, count-scaled to the
+/// series' busiest window.
+fn sparkline(points: &[TimelinePoint]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = points.iter().map(|p| p.count).max().unwrap_or(0);
+    points
+        .iter()
+        .map(|p| {
+            if max == 0 || p.count == 0 {
+                GLYPHS[0]
+            } else {
+                // ceil-scaled so any activity clears the baseline glyph
+                let level = p.count.saturating_mul(7).div_ceil(max);
+                GLYPHS[level.min(7) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Renders the selected shard's per-window series from a
+/// `/debug/timeline` artifact — a table plus count sparkline per
+/// series, or fixed-field NDJSON with `--json`. With `spans`, also
+/// recomputes the request-latency windows offline from the closed
+/// `request` spans in that telemetry artifact and cross-checks them
+/// against the live `serve.request_latency_ns` section, the same way
+/// [`slo_report`] audits `/debug/slo`.
+///
+/// # Errors
+///
+/// [`CliError::Gate`] when nothing matches the shard/series selection,
+/// or when the offline recompute disagrees with the live windows;
+/// [`CliError::Input`] on unreadable/unparsable files.
+pub fn timeline_report(
+    path: &Path,
+    spans: Option<&Path>,
+    opts: &TimelineOptions,
+) -> Result<String, CliError> {
+    use canti_obs::ndjson::{self, JsonValue};
+
+    let artifact = load_timeline(path)?;
+    let selected: Vec<&TimelineSeries> = artifact
+        .series
+        .iter()
+        .filter(|s| s.shard == opts.shard)
+        .filter(|s| opts.series.is_empty() || opts.series.contains(&s.name))
+        .collect();
+    if selected.is_empty() {
+        return Err(CliError::Gate(format!(
+            "{}: no timeline series match shard {:?}{}",
+            path.display(),
+            opts.shard,
+            if opts.series.is_empty() {
+                String::new()
+            } else {
+                format!(" and series filter {:?}", opts.series)
+            }
+        )));
+    }
+
+    let mut out = String::new();
+    if opts.json {
+        out.push_str(&ndjson::object(&[
+            ("record", JsonValue::from("timeline_config")),
+            ("window_ns", JsonValue::U64(artifact.window_ns)),
+            ("max_windows", JsonValue::U64(artifact.max_windows)),
+        ]));
+        out.push('\n');
+        for s in &selected {
+            for p in &s.points {
+                out.push_str(&ndjson::object(&[
+                    ("record", JsonValue::from("timeline")),
+                    ("shard", JsonValue::from(s.shard.as_str())),
+                    ("series", JsonValue::from(s.name.as_str())),
+                    ("kind", JsonValue::from(s.kind.as_str())),
+                    ("window", JsonValue::U64(p.window)),
+                    (
+                        "t_ns",
+                        JsonValue::U64(p.window.saturating_mul(artifact.window_ns)),
+                    ),
+                    ("count", JsonValue::U64(p.count)),
+                    ("sum", JsonValue::U64(p.sum)),
+                    ("min", JsonValue::U64(p.min)),
+                    ("max", JsonValue::U64(p.max)),
+                ]));
+                out.push('\n');
+            }
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "timeline: window={} ns, {} window(s) retained, shard {:?}, {} series",
+            artifact.window_ns,
+            artifact.max_windows,
+            opts.shard,
+            selected.len()
+        );
+        for s in &selected {
+            let _ = writeln!(
+                out,
+                "{} ({}): {} window(s) count={} sum={}  {}",
+                s.name,
+                s.kind,
+                s.points.len(),
+                s.total_count(),
+                s.total_sum(),
+                sparkline(&s.points)
+            );
+            for p in &s.points {
+                let mean = p.sum.checked_div(p.count).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  window {} [t={} ns): count={} sum={} mean={} min={} max={}",
+                    p.window,
+                    p.window.saturating_mul(artifact.window_ns),
+                    p.count,
+                    p.sum,
+                    mean,
+                    p.min,
+                    p.max
+                );
+            }
+        }
+    }
+
+    if let Some(spans_path) = spans {
+        out.push_str(&timeline_crosscheck(
+            &artifact,
+            &opts.shard,
+            path,
+            spans_path,
+            opts.json,
+        )?);
+    }
+    Ok(out)
+}
+
+/// Recomputes the per-window request-latency series offline from the
+/// closed `request` spans of a telemetry artifact and compares it to
+/// the live `serve.request_latency_ns` section, window by window.
+/// Expired requests are excluded (their spans close without a latency
+/// contribution), matching the serve layer's recording rule.
+fn timeline_crosscheck(
+    artifact: &TimelineArtifact,
+    shard: &str,
+    artifact_path: &Path,
+    spans_path: &Path,
+    json: bool,
+) -> Result<String, CliError> {
+    use canti_obs::ndjson::{self, JsonValue};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let Some(live) = artifact.section(shard, "serve.request_latency_ns") else {
+        return Err(CliError::Gate(format!(
+            "{}: shard {:?} has no serve.request_latency_ns series to cross-check",
+            artifact_path.display(),
+            shard
+        )));
+    };
+
+    let text = read_file(spans_path)?;
+    let docs = parse_ndjson(&text)
+        .map_err(|e| CliError::Input(format!("{}: {e}", spans_path.display())))?;
+    let mut expired: BTreeSet<u64> = BTreeSet::new();
+    for doc in &docs {
+        if doc.get("kind").and_then(Json::as_str) == Some("event")
+            && doc.get("name").and_then(Json::as_str) == Some("request_expired")
+        {
+            if let Some(r) = doc
+                .get("fields")
+                .and_then(|f| f.get("request"))
+                .and_then(Json::as_u64)
+            {
+                expired.insert(r);
+            }
+        }
+    }
+
+    let trace = Trace::from_docs(&docs);
+    fn collect<'t>(node: &'t canti_obs::SpanNode, out: &mut Vec<&'t canti_obs::SpanNode>) {
+        if node.name == "request" && node.request.is_some() && node.dur_ns.is_some() {
+            out.push(node);
+        }
+        for child in &node.children {
+            collect(child, out);
+        }
+    }
+    let mut samples = Vec::new();
+    for root in &trace.roots {
+        collect(root, &mut samples);
+    }
+    samples.retain(|s| !expired.contains(&s.request.expect("filtered on request")));
+    if samples.is_empty() {
+        return Err(CliError::Gate(format!(
+            "{}: no closed non-expired 'request' spans to recompute from",
+            spans_path.display()
+        )));
+    }
+
+    let mut windows: BTreeMap<u64, TimelinePoint> = BTreeMap::new();
+    for span in &samples {
+        let latency_ns = span.duration_ns();
+        let end_ns = span.start_ns.saturating_add(latency_ns);
+        let index = end_ns / artifact.window_ns.max(1);
+        let slot = windows.entry(index).or_insert(TimelinePoint {
+            window: index,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        });
+        slot.count = slot.count.saturating_add(1);
+        slot.sum = slot.sum.saturating_add(latency_ns);
+        slot.min = slot.min.min(latency_ns);
+        slot.max = slot.max.max(latency_ns);
+    }
+    // the live recorder retains only the newest max_windows windows
+    while windows.len() as u64 > artifact.max_windows {
+        windows.pop_first();
+    }
+    let recomputed: Vec<TimelinePoint> = windows
+        .into_values()
+        .map(|mut p| {
+            if p.min == u64::MAX {
+                p.min = 0;
+            }
+            p
+        })
+        .collect();
+
+    if recomputed != live.points {
+        let detail = recomputed
+            .iter()
+            .zip(&live.points)
+            .find(|(r, l)| r != l)
+            .map_or_else(
+                || {
+                    format!(
+                        "{} recomputed window(s) vs {} live",
+                        recomputed.len(),
+                        live.points.len()
+                    )
+                },
+                |(r, l)| format!("first divergence: recomputed {r:?} vs live {l:?}"),
+            );
+        return Err(CliError::Gate(format!(
+            "{}: offline recompute from {} disagrees with live \
+             serve.request_latency_ns windows ({detail})",
+            artifact_path.display(),
+            spans_path.display()
+        )));
+    }
+
+    if json {
+        let mut line = ndjson::object(&[
+            ("record", JsonValue::from("timeline_crosscheck")),
+            ("shard", JsonValue::from(shard)),
+            ("requests", JsonValue::from(samples.len())),
+            ("windows", JsonValue::from(recomputed.len())),
+            ("verdict", JsonValue::from("match")),
+        ]);
+        line.push('\n');
+        Ok(line)
+    } else {
+        Ok(format!(
+            "offline recompute ({}): {} request span(s), {} window(s) — \
+             matches live serve.request_latency_ns\n",
+            spans_path.display(),
+            samples.len(),
+            recomputed.len()
+        ))
+    }
+}
+
+/// Tuning for [`anomaly`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyOptions {
+    /// Relative slack: a series is anomalous when its total count
+    /// drifted (either direction) by more than this percentage.
+    pub threshold_pct: f64,
+    /// Shard section to compare — the merged fold by default, so the
+    /// verdict does not depend on how requests happened to shard.
+    pub shard: String,
+    /// Series to compare; empty means every series present in either
+    /// artifact's shard section. A named series missing on either side
+    /// is itself an anomaly.
+    pub series: Vec<String>,
+}
+
+impl Default for AnomalyOptions {
+    fn default() -> Self {
+        Self {
+            threshold_pct: 25.0,
+            shard: "merged".to_owned(),
+            series: Vec::new(),
+        }
+    }
+}
+
+/// One series comparison inside an [`AnomalyReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyRow {
+    /// Series name.
+    pub series: String,
+    /// Baseline total count.
+    pub baseline: u64,
+    /// Current total count.
+    pub current: u64,
+    /// Absolute relative drift, percent.
+    pub drift_pct: f64,
+    /// Whether this row trips the gate.
+    pub anomalous: bool,
+}
+
+/// The outcome of comparing a timeline artifact against a baseline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnomalyReport {
+    /// All compared series.
+    pub rows: Vec<AnomalyRow>,
+    /// Series present on only one side: `(name, missing side)` where
+    /// the side is `"baseline"` or `"current"`.
+    pub missing: Vec<(String, &'static str)>,
+}
+
+impl AnomalyReport {
+    /// Whether any series drifted beyond the threshold or went missing.
+    #[must_use]
+    pub fn anomalous(&self) -> bool {
+        !self.missing.is_empty() || self.rows.iter().any(|r| r.anomalous)
+    }
+
+    /// An aligned human-readable table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>9}  verdict",
+            "series", "baseline", "current", "drift"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12} {:>12} {:>8.1}%  {}",
+                r.series,
+                r.baseline,
+                r.current,
+                r.drift_pct,
+                if r.anomalous { "ANOMALOUS" } else { "ok" }
+            );
+        }
+        for (name, side) in &self.missing {
+            let _ = writeln!(out, "{name:<28} missing in {side}  ANOMALOUS");
+        }
+        out
+    }
+}
+
+/// Compares the per-series total observation counts of a current
+/// `/debug/timeline` artifact against an archived baseline.
+///
+/// Counts — not sums — carry the verdict: on a wall clock the nanosecond
+/// sums jitter run to run, while the number of admissions, completions
+/// and expiries of a scripted smoke run is stable. Drift in **either**
+/// direction beyond [`AnomalyOptions::threshold_pct`] is anomalous (a
+/// vanished series is a worse regression than a slow one), as is a
+/// series present on only one side.
+///
+/// # Errors
+///
+/// [`CliError::Gate`] when the shard/series selection matches nothing
+/// at all; [`CliError::Input`] on unreadable/unparsable artifacts.
+/// Drift itself is *not* an error — callers check
+/// [`AnomalyReport::anomalous`] (the binary maps it to exit 1).
+pub fn anomaly(
+    current: &Path,
+    baseline: &Path,
+    opts: &AnomalyOptions,
+) -> Result<AnomalyReport, CliError> {
+    let cur = load_timeline(current)?;
+    let base = load_timeline(baseline)?;
+
+    let names: Vec<String> = if opts.series.is_empty() {
+        let mut names: Vec<String> = cur
+            .series
+            .iter()
+            .chain(&base.series)
+            .filter(|s| s.shard == opts.shard)
+            .map(|s| s.name.clone())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    } else {
+        opts.series.clone()
+    };
+    if names.is_empty() {
+        return Err(CliError::Gate(format!(
+            "neither {} nor {} has timeline series for shard {:?}",
+            current.display(),
+            baseline.display(),
+            opts.shard
+        )));
+    }
+
+    let mut report = AnomalyReport::default();
+    for name in names {
+        let cur_total = cur
+            .section(&opts.shard, &name)
+            .map(TimelineSeries::total_count);
+        let base_total = base
+            .section(&opts.shard, &name)
+            .map(TimelineSeries::total_count);
+        match (base_total, cur_total) {
+            (None, None) => {
+                report.missing.push((name.clone(), "baseline"));
+                report.missing.push((name, "current"));
+            }
+            (None, Some(_)) => report.missing.push((name, "baseline")),
+            (Some(_), None) => report.missing.push((name, "current")),
+            (Some(b), Some(c)) => {
+                let drift_pct = if b == 0 {
+                    if c == 0 {
+                        0.0
+                    } else {
+                        100.0
+                    }
+                } else {
+                    (c as f64 - b as f64).abs() / b as f64 * 100.0
+                };
+                report.rows.push(AnomalyRow {
+                    series: name,
+                    baseline: b,
+                    current: c,
+                    drift_pct,
+                    anomalous: drift_pct > opts.threshold_pct,
+                });
+            }
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -3,17 +3,24 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use canti_obsctl::{diff, flame, slo_report, summary, trace_request, CliError, DiffOptions};
+use canti_obsctl::{
+    anomaly, diff, flame, slo_report, summary, summary_json, timeline_report, trace_request,
+    trace_request_json, AnomalyOptions, CliError, DiffOptions, TimelineOptions,
+};
 
 const HELP: &str = "\
 obsctl — consume canti telemetry artifacts
 
 USAGE:
-    obsctl summary <telemetry.ndjson>
-    obsctl flame   <telemetry.ndjson>
-    obsctl diff    <old.json> <new.json> [--threshold-pct <P>] [--min-ns <N>]
-    obsctl trace   <telemetry.ndjson> <request-id>
-    obsctl slo     <telemetry.ndjson> [--objective-ns <N>] [--window-ns <N>]
+    obsctl summary  <telemetry.ndjson> [--json]
+    obsctl flame    <telemetry.ndjson>
+    obsctl diff     <old.json> <new.json> [--threshold-pct <P>] [--min-ns <N>]
+    obsctl trace    <telemetry.ndjson> <request-id> [--json]
+    obsctl slo      <telemetry.ndjson> [--objective-ns <N>] [--window-ns <N>]
+    obsctl timeline <timeline.ndjson> [--shard <S>] [--series <NAME>]...
+                    [--spans <telemetry.ndjson>] [--json]
+    obsctl anomaly  <current.ndjson> <baseline.ndjson> [--shard <S>]
+                    [--series <NAME>]... [--threshold-pct <P>]
     obsctl --help
 
 SUBCOMMANDS:
@@ -40,6 +47,21 @@ SUBCOMMANDS:
               'request' spans in the artifact, for auditing the live
               /debug/slo view against the raw trace. Exits 1 when the
               artifact holds no request spans.
+    timeline  Render the per-window series of a /debug/timeline NDJSON
+              artifact as tables with count sparklines. With --spans,
+              recompute the request-latency windows offline from the
+              closed 'request' spans of that telemetry artifact and
+              cross-check them against the live windows; exits 1 when
+              they disagree.
+    anomaly   Compare a timeline artifact against an archived baseline,
+              per series, on total observation counts (stable under a
+              wall clock, unlike nanosecond sums). Exits 1 when any
+              series drifted beyond the threshold in either direction or
+              is missing on one side — the CI timeline anomaly gate.
+
+OPTIONS (summary, trace, timeline):
+    --json                Emit fixed-field NDJSON records instead of the
+                          human-readable rendering.
 
 OPTIONS (diff):
     --threshold-pct <P>   Relative slack in percent; a quantile regresses
@@ -53,10 +75,26 @@ OPTIONS (slo):
     --window-ns <N>       Fixed window width in nanoseconds on the
                           artifact's clock (default 1000000000).
 
+OPTIONS (timeline):
+    --shard <S>           Shard section to render: a shard label or
+                          'merged' (default 0).
+    --series <NAME>       Restrict to this series; repeatable.
+    --spans <FILE>        Telemetry NDJSON artifact to recompute the
+                          request-latency windows from as a cross-check.
+
+OPTIONS (anomaly):
+    --shard <S>           Shard section to compare (default merged).
+    --series <NAME>       Compare this series; repeatable. A named
+                          series missing on either side is an anomaly.
+                          Default: every series in either artifact.
+    --threshold-pct <P>   Count-drift tolerance in percent, either
+                          direction (default 25).
+
 EXIT CODES:
-    0   success / no regression
+    0   success / no regression / no anomaly
     1   gate failed (regression, empty span tree, sequence gaps,
-        missing/orphaned/unclosed request, no request spans)
+        missing/orphaned/unclosed request, no request spans, timeline
+        recompute mismatch, timeline count drift or missing series)
     2   usage, I/O or parse error
 ";
 
@@ -72,22 +110,27 @@ fn run() -> Result<(), CliError> {
             Ok(())
         }
         "summary" | "flame" => {
-            let [path] = &args[1..] else {
+            let (json, rest): (bool, Vec<&String>) = split_json_flag(&args[1..]);
+            let [path] = rest.as_slice() else {
                 return Err(CliError::Usage(format!(
                     "{cmd} takes exactly one file argument"
                 )));
             };
+            if json && cmd == "flame" {
+                return Err(CliError::Usage("flame has no --json mode".into()));
+            }
             let path = PathBuf::from(path);
-            let out = if cmd == "summary" {
-                summary(&path)?
-            } else {
-                flame(&path)?
+            let out = match (cmd.as_str(), json) {
+                ("summary", false) => summary(&path)?,
+                ("summary", true) => summary_json(&path)?,
+                _ => flame(&path)?,
             };
             print!("{out}");
             Ok(())
         }
         "trace" => {
-            let [path, request] = &args[1..] else {
+            let (json, rest): (bool, Vec<&String>) = split_json_flag(&args[1..]);
+            let [path, request] = rest.as_slice() else {
                 return Err(CliError::Usage(
                     "trace takes exactly two arguments: <telemetry.ndjson> <request-id>".into(),
                 ));
@@ -95,8 +138,83 @@ fn run() -> Result<(), CliError> {
             let request: u64 = request.parse().map_err(|_| {
                 CliError::Usage(format!("trace: cannot parse request id {request:?}"))
             })?;
-            let out = trace_request(&PathBuf::from(path), request)?;
+            let path = PathBuf::from(path);
+            let out = if json {
+                trace_request_json(&path, request)?
+            } else {
+                trace_request(&path, request)?
+            };
             print!("{out}");
+            Ok(())
+        }
+        "timeline" => {
+            let mut opts = TimelineOptions::default();
+            let mut spans: Option<PathBuf> = None;
+            let mut files: Vec<PathBuf> = Vec::new();
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--shard" => {
+                        opts.shard = require_value(rest.next(), "--shard")?;
+                    }
+                    "--series" => {
+                        opts.series.push(require_value(rest.next(), "--series")?);
+                    }
+                    "--spans" => {
+                        spans = Some(PathBuf::from(require_value(rest.next(), "--spans")?));
+                    }
+                    "--json" => opts.json = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError::Usage(format!("unknown flag {flag}")));
+                    }
+                    path => files.push(PathBuf::from(path)),
+                }
+            }
+            let [path] = files.as_slice() else {
+                return Err(CliError::Usage(
+                    "timeline takes exactly one file argument: <timeline.ndjson>".into(),
+                ));
+            };
+            let out = timeline_report(path, spans.as_deref(), &opts)?;
+            print!("{out}");
+            Ok(())
+        }
+        "anomaly" => {
+            let mut opts = AnomalyOptions::default();
+            let mut files: Vec<PathBuf> = Vec::new();
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--threshold-pct" => {
+                        opts.threshold_pct = parse_flag(rest.next(), "--threshold-pct")?;
+                    }
+                    "--shard" => {
+                        opts.shard = require_value(rest.next(), "--shard")?;
+                    }
+                    "--series" => {
+                        opts.series.push(require_value(rest.next(), "--series")?);
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError::Usage(format!("unknown flag {flag}")));
+                    }
+                    path => files.push(PathBuf::from(path)),
+                }
+            }
+            let [current, baseline] = files.as_slice() else {
+                return Err(CliError::Usage(
+                    "anomaly takes exactly two file arguments: <current> <baseline>".into(),
+                ));
+            };
+            let report = anomaly(current, baseline, &opts)?;
+            print!("{}", report.render());
+            if report.anomalous() {
+                return Err(CliError::Gate(format!(
+                    "{} series anomalous beyond {}%, {} missing",
+                    report.rows.iter().filter(|r| r.anomalous).count(),
+                    opts.threshold_pct,
+                    report.missing.len()
+                )));
+            }
             Ok(())
         }
         "slo" => {
@@ -171,6 +289,18 @@ fn parse_flag<T: std::str::FromStr>(value: Option<&String>, flag: &str) -> Resul
     let raw = value.ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
     raw.parse()
         .map_err(|_| CliError::Usage(format!("{flag}: cannot parse {raw:?}")))
+}
+
+fn require_value(value: Option<&String>, flag: &str) -> Result<String, CliError> {
+    value
+        .cloned()
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+}
+
+/// Pulls a trailing/leading `--json` out of an argument slice.
+fn split_json_flag(args: &[String]) -> (bool, Vec<&String>) {
+    let json = args.iter().any(|a| a == "--json");
+    (json, args.iter().filter(|a| *a != "--json").collect())
 }
 
 fn main() -> ExitCode {

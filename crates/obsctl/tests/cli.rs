@@ -284,3 +284,217 @@ fn missing_file_is_an_input_error() {
     let out = obsctl(&["summary", "/nonexistent/telemetry.ndjson"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn summary_and_trace_emit_ndjson_with_json_flag() {
+    let path = temp("json-summary", &healthy_trace());
+    let out = obsctl(&["summary", path.to_str().unwrap(), "--json"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let docs = canti_obs::parse_ndjson(&stdout).expect("summary --json parses back");
+    let records: Vec<&str> = docs
+        .iter()
+        .filter_map(|d| d.get("record").and_then(canti_obs::Json::as_str))
+        .collect();
+    assert!(records.contains(&"trace_health"), "{stdout}");
+    assert!(records.contains(&"stage"), "{stdout}");
+    assert!(records.contains(&"critical"), "{stdout}");
+
+    let path = temp("json-trace", &serve_trace());
+    let out = obsctl(&["trace", path.to_str().unwrap(), "5", "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let docs = canti_obs::parse_ndjson(&stdout).expect("trace --json parses back");
+    let request = docs
+        .iter()
+        .find(|d| d.get("record").and_then(canti_obs::Json::as_str) == Some("request"))
+        .expect("request record");
+    assert_eq!(
+        request.get("request").and_then(canti_obs::Json::as_u64),
+        Some(5)
+    );
+    assert_eq!(
+        request.get("trace").and_then(canti_obs::Json::as_u64),
+        Some(0xAB)
+    );
+    assert!(docs
+        .iter()
+        .any(|d| d.get("record").and_then(canti_obs::Json::as_str) == Some("owning_span")));
+
+    // the gates apply identically in --json mode
+    let out = obsctl(&["trace", path.to_str().unwrap(), "999", "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+/// A timeline artifact plus a span artifact whose offline recompute
+/// reproduces its `serve.request_latency_ns` windows exactly: requests
+/// 1 (end 150, latency 50) and 2 (end 1300, latency 400) land in
+/// windows 0 and 1 of a 1000 ns grid; request 3 expired and must be
+/// excluded from the recompute.
+fn matching_timeline_and_spans() -> (String, String) {
+    let timeline = "\
+{\"record\":\"timeline_config\",\"window_ns\":1000,\"max_windows\":64}\n\
+{\"record\":\"timeline\",\"shard\":\"0\",\"series\":\"serve.request_latency_ns\",\"kind\":\"delta\",\"window\":0,\"t_ns\":0,\"count\":1,\"sum\":50,\"min\":50,\"max\":50}\n\
+{\"record\":\"timeline\",\"shard\":\"0\",\"series\":\"serve.request_latency_ns\",\"kind\":\"delta\",\"window\":1,\"t_ns\":1000,\"count\":1,\"sum\":400,\"min\":400,\"max\":400}\n";
+    let spans = "\
+{\"seq\":0,\"t_ns\":100,\"kind\":\"span_start\",\"name\":\"request\",\"fields\":{\"request\":1,\"trace\":11}}\n\
+{\"seq\":1,\"t_ns\":150,\"kind\":\"span_end\",\"name\":\"request\",\"fields\":{\"dur_ns\":50}}\n\
+{\"seq\":2,\"t_ns\":900,\"kind\":\"span_start\",\"name\":\"request\",\"fields\":{\"request\":2,\"trace\":12}}\n\
+{\"seq\":3,\"t_ns\":1300,\"kind\":\"span_end\",\"name\":\"request\",\"fields\":{\"dur_ns\":400}}\n\
+{\"seq\":4,\"t_ns\":1400,\"kind\":\"span_start\",\"name\":\"request\",\"fields\":{\"request\":3,\"trace\":13}}\n\
+{\"seq\":5,\"t_ns\":1410,\"kind\":\"event\",\"name\":\"request_expired\",\"fields\":{\"request\":3,\"trace\":13}}\n\
+{\"seq\":6,\"t_ns\":1410,\"kind\":\"span_end\",\"name\":\"request\",\"fields\":{\"dur_ns\":10}}\n";
+    (timeline.to_owned(), spans.to_owned())
+}
+
+#[test]
+fn timeline_renders_tables_and_sparklines() {
+    let old = fixture("timeline_old.ndjson");
+    let out = obsctl(&["timeline", old.to_str().unwrap(), "--shard", "merged"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("window=1000 ns"), "{stdout}");
+    assert!(stdout.contains("serve.admitted (delta)"), "{stdout}");
+    assert!(
+        stdout.contains("window 0 [t=0 ns): count=10 sum=10 mean=1 min=1 max=1"),
+        "{stdout}"
+    );
+    assert!(stdout.contains('█'), "sparkline glyphs: {stdout}");
+
+    // a shard nothing recorded under is a gate failure, not silence
+    let out = obsctl(&["timeline", old.to_str().unwrap(), "--shard", "7"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    // --series filters, --json re-emits the artifact records
+    let out = obsctl(&[
+        "timeline",
+        old.to_str().unwrap(),
+        "--shard",
+        "merged",
+        "--series",
+        "serve.expired",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 2, "config + one point: {stdout}");
+    assert!(
+        stdout.contains("\"series\":\"serve.expired\",\"kind\":\"delta\",\"window\":1"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn timeline_offline_recompute_matches_and_gates_on_divergence() {
+    let (timeline, spans) = matching_timeline_and_spans();
+    let timeline_path = temp("tl-match", &timeline);
+    let spans_path = temp("tl-spans", &spans);
+    let out = obsctl(&[
+        "timeline",
+        timeline_path.to_str().unwrap(),
+        "--spans",
+        spans_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("2 request span(s), 2 window(s) — matches live serve.request_latency_ns"),
+        "{stdout}"
+    );
+
+    // tamper with one live window: the cross-check must trip
+    let tampered = temp(
+        "tl-tampered",
+        &timeline.replace("\"sum\":400", "\"sum\":401"),
+    );
+    let out = obsctl(&[
+        "timeline",
+        tampered.to_str().unwrap(),
+        "--spans",
+        spans_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "divergence must gate");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("disagrees with live"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn anomaly_passes_a_self_diff_and_catches_a_seeded_regression() {
+    let old = fixture("timeline_old.ndjson");
+    let out = obsctl(&["anomaly", old.to_str().unwrap(), old.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "self-diff must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("serve.completed"), "{stdout}");
+    assert!(!stdout.contains("ANOMALOUS"), "{stdout}");
+
+    // the regressed fixture drops merged serve.completed 10 -> 6 (-40%)
+    let regressed = fixture("timeline_regressed.ndjson");
+    let out = obsctl(&[
+        "anomaly",
+        regressed.to_str().unwrap(),
+        old.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "seeded regression must gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let anomalous: Vec<&str> = stdout.lines().filter(|l| l.contains("ANOMALOUS")).collect();
+    assert_eq!(anomalous.len(), 1, "{stdout}");
+    assert!(anomalous[0].contains("serve.completed"), "{stdout}");
+    assert!(anomalous[0].contains("40.0%"), "{stdout}");
+
+    // inside a loose threshold the same pair passes
+    let out = obsctl(&[
+        "anomaly",
+        regressed.to_str().unwrap(),
+        old.to_str().unwrap(),
+        "--threshold-pct",
+        "50",
+    ]);
+    assert!(out.status.success());
+
+    // a named series missing from one side is itself an anomaly
+    let out = obsctl(&[
+        "anomaly",
+        regressed.to_str().unwrap(),
+        old.to_str().unwrap(),
+        "--series",
+        "serve.vanished",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("missing in"));
+}
+
+#[test]
+fn timeline_and_anomaly_usage_errors_exit_2() {
+    let out = obsctl(&["timeline"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = obsctl(&["anomaly", "only-one.ndjson"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = obsctl(&["timeline", "x.ndjson", "--shard"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = obsctl(&["anomaly", "a.ndjson", "b.ndjson", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    // a non-artifact file is an input error, not a crash
+    let not_timeline = temp("not-timeline", "{\"metric\":\"x\",\"value\":1}\n");
+    let out = obsctl(&["timeline", not_timeline.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("timeline_config"));
+}

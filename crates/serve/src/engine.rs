@@ -163,6 +163,7 @@ impl Front {
                 self.observe_depth();
                 if let Some(ins) = &self.instruments {
                     ins.admitted.inc();
+                    ins.timeline.record_delta("serve.admitted", 1, now_ns);
                 }
                 Ok(id)
             }
@@ -176,6 +177,7 @@ impl Front {
                 }
                 if let Some(ins) = &self.instruments {
                     ins.rejected.inc();
+                    ins.timeline.record_delta("serve.rejected", 1, now_ns);
                 }
                 Err(reason)
             }
@@ -200,6 +202,7 @@ impl Front {
                 }
                 if let Some(ins) = &self.instruments {
                     ins.expired.inc();
+                    ins.timeline.record_delta("serve.expired", 1, now_ns);
                     // an expiry always burns error budget, however
                     // briefly the request waited
                     ins.slo.record_outcome(false, now_ns);
@@ -290,7 +293,12 @@ impl Front {
 
     fn observe_depth(&self) {
         if let Some(ins) = &self.instruments {
-            ins.queue_depth.set(self.queue.depth() as i64);
+            let depth = self.queue.depth();
+            ins.queue_depth.set(depth as i64);
+            // sampled whenever the depth changes; the cadence depends on
+            // batch formation, so this series is not shard-invariant
+            ins.timeline
+                .sample("serve.queue_depth", depth as u64, self.clock.now_ns());
         }
     }
 }
@@ -328,7 +336,8 @@ impl ServeEngine {
     #[must_use]
     pub fn with_observer(mut self, observer: FarmObserver) -> Self {
         let config = *self.front.queue.config();
-        let instruments = crate::exec::ServeInstruments::new(&observer, config.slo);
+        let instruments =
+            crate::exec::ServeInstruments::new(&observer, config.slo, config.timeline);
         self.front = Front::new(
             config,
             Arc::clone(&self.front.clock),
@@ -453,6 +462,13 @@ impl ServeEngine {
     #[must_use]
     pub fn request_log(&self) -> Option<Arc<canti_obs::RequestLog>> {
         self.front.instruments().map(|i| Arc::clone(&i.requests))
+    }
+
+    /// The per-window timeline recorder behind `/debug/timeline`
+    /// (present once an observer is attached).
+    #[must_use]
+    pub fn timeline(&self) -> Option<Arc<canti_obs::TimelineRecorder>> {
+        self.front.instruments().map(|i| Arc::clone(&i.timeline))
     }
 }
 

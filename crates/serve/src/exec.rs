@@ -10,7 +10,7 @@ use std::sync::Arc;
 use canti_farm::{Farm, FarmConfig, FarmObserver, JobSpec, PrecomputeCache, WorkerPool};
 use canti_obs::{
     Counter, Gauge, Histogram, ObsClock, RequestLog, RequestRecord, SloConfig, SloTracker,
-    TraceContext,
+    TimelineConfig, TimelineRecorder, TraceContext,
 };
 
 use crate::queue::FormedBatch;
@@ -38,11 +38,29 @@ pub(crate) struct ServeInstruments {
     pub request_latency_ns: Arc<Histogram>,
     pub slo: Arc<SloTracker>,
     pub requests: Arc<RequestLog>,
+    pub timeline: Arc<TimelineRecorder>,
 }
 
 impl ServeInstruments {
-    pub(crate) fn new(observer: &FarmObserver, slo: SloConfig) -> Self {
+    pub(crate) fn new(observer: &FarmObserver, slo: SloConfig, timeline: TimelineConfig) -> Self {
         let m = observer.metrics();
+        m.describe("serve.admitted", "requests accepted into the queue");
+        m.describe("serve.rejected", "submissions refused at the door");
+        m.describe(
+            "serve.expired",
+            "admitted requests that missed their deadline",
+        );
+        m.describe("serve.completed", "requests answered by a finished batch");
+        m.describe("serve.batches", "farm batches executed");
+        m.describe(
+            "serve.queue_depth",
+            "requests currently waiting for a batch",
+        );
+        m.describe("serve.batch_size", "requests per executed batch");
+        m.describe(
+            "serve.request_latency_ns",
+            "admission-to-answer latency in nanoseconds",
+        );
         Self {
             admitted: m.counter("serve.admitted"),
             rejected: m.counter("serve.rejected"),
@@ -54,6 +72,7 @@ impl ServeInstruments {
             request_latency_ns: m.histogram("serve.request_latency_ns"),
             slo: Arc::new(SloTracker::new(slo, m)),
             requests: Arc::new(RequestLog::new(REQUEST_LOG_CAPACITY)),
+            timeline: Arc::new(TimelineRecorder::new(timeline)),
         }
     }
 }
@@ -97,10 +116,10 @@ impl BatchExecutor {
     /// [`SloConfig`]; the engine/service paths instead inject the shared
     /// instruments built from their [`crate::ServeConfig::slo`].
     #[must_use]
-    pub fn with_observer(mut self, observer: FarmObserver) -> Self {
-        self.instruments = Some(ServeInstruments::new(&observer, SloConfig::default()));
-        self.observer = Some(observer);
-        self
+    pub fn with_observer(self, observer: FarmObserver) -> Self {
+        let instruments =
+            ServeInstruments::new(&observer, SloConfig::default(), TimelineConfig::default());
+        self.with_instruments(observer, instruments)
     }
 
     /// Attaches an observer together with an already-built instrument
@@ -112,8 +131,10 @@ impl BatchExecutor {
         observer: FarmObserver,
         instruments: ServeInstruments,
     ) -> Self {
+        // The farm records its per-batch aggregates into the same
+        // recorder, so serve.* and farm.* series share one window grid.
+        self.observer = Some(observer.with_timeline(Arc::clone(&instruments.timeline)));
         self.instruments = Some(instruments);
-        self.observer = Some(observer);
         self
     }
 
@@ -178,12 +199,17 @@ impl BatchExecutor {
         let report = farm.run_traced(&jobs, &seeds, &contexts);
         let exec_end_ns = self.clock.now_ns();
 
+        let now_ns = self.clock.now_ns();
         if let Some(ins) = &self.instruments {
             ins.batches.inc();
             ins.batch_size.record(batch.len() as u64);
             ins.completed.add(batch.len() as u64);
+            // batch cadence depends on how the queue partitioned, so
+            // these are not shard-count invariant — tagged accordingly
+            ins.timeline.record_delta("serve.batches", 1, now_ns);
+            ins.timeline
+                .sample("serve.batch_size", batch.len() as u64, now_ns);
         }
-        let now_ns = self.clock.now_ns();
         let formed_ns = batch.formed_ns;
         let index = batch.index;
         batch
@@ -204,6 +230,20 @@ impl BatchExecutor {
                 if let Some(ins) = &self.instruments {
                     ins.request_latency_ns.record(latency_ns);
                     ins.slo.record(latency_ns, now_ns);
+                    // request-scoped deltas: every contribution counted
+                    // exactly once, so the merged per-window series are
+                    // invariant under re-sharding
+                    ins.timeline.record_delta("serve.completed", 1, now_ns);
+                    ins.timeline
+                        .record_delta("serve.request_latency_ns", latency_ns, now_ns);
+                    ins.timeline
+                        .record_delta("serve.queue_ns", breakdown.queue_ns, now_ns);
+                    ins.timeline
+                        .record_delta("serve.form_ns", breakdown.form_ns, now_ns);
+                    ins.timeline
+                        .record_delta("serve.exec_ns", breakdown.exec_ns, now_ns);
+                    ins.timeline
+                        .record_delta("serve.respond_ns", breakdown.respond_ns, now_ns);
                     ins.requests.push(RequestRecord {
                         request: pending.key,
                         trace: pending.trace,

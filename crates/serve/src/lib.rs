@@ -77,7 +77,7 @@ pub mod response;
 pub mod service;
 pub mod shard;
 
-pub use canti_obs::SloConfig;
+pub use canti_obs::{SloConfig, TimelineConfig};
 pub use engine::{BatchRecord, ServeEngine, ServeStats};
 pub use exec::BatchExecutor;
 pub use queue::{AdmissionQueue, BatchTrigger, FormedBatch, RejectReason};
@@ -114,6 +114,11 @@ pub struct ServeConfig {
     /// deterministic fixed-window aggregator every finished request is
     /// scored against (completions by latency, expiries always breach).
     pub slo: SloConfig,
+    /// Timeline policy: window width and retention for the per-window
+    /// telemetry series (admissions, queue depth, per-stage latency)
+    /// behind `/debug/timeline`. Recorded only when an observer is
+    /// attached, like the SLO tracker.
+    pub timeline: TimelineConfig,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +131,7 @@ impl Default for ServeConfig {
             batch_seed: 0x5E4E_2026,
             threads: 0,
             slo: SloConfig::default(),
+            timeline: TimelineConfig::default(),
         }
     }
 }

@@ -164,7 +164,7 @@ impl ServeService {
         // windows and the request log must see both halves of a request
         let instruments = observer
             .as_ref()
-            .map(|o| crate::exec::ServeInstruments::new(o, config.slo));
+            .map(|o| crate::exec::ServeInstruments::new(o, config.slo, config.timeline));
         if let Some(o) = &observer {
             executor = executor.with_instruments(
                 o.clone(),
@@ -289,6 +289,17 @@ impl ServeService {
             .front
             .instruments()
             .map(|i| Arc::clone(&i.requests))
+    }
+
+    /// The per-window timeline recorder behind `/debug/timeline`
+    /// (present when started observed).
+    #[must_use]
+    pub fn timeline(&self) -> Option<Arc<canti_obs::TimelineRecorder>> {
+        self.shared
+            .lock()
+            .front
+            .instruments()
+            .map(|i| Arc::clone(&i.timeline))
     }
 
     /// The worker threads the executor's persistent pool actually runs.

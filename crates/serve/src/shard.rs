@@ -285,6 +285,13 @@ impl ShardedEngine {
         self.engines.iter().map(ServeEngine::request_log).collect()
     }
 
+    /// Per-shard timeline recorders, in shard order (empty entries for
+    /// unobserved shards).
+    #[must_use]
+    pub fn timelines(&self) -> Vec<Option<Arc<canti_obs::TimelineRecorder>>> {
+        self.engines.iter().map(ServeEngine::timeline).collect()
+    }
+
     fn globalize(&self, shard: usize, responses: Vec<ServeResponse>) -> Vec<ServeResponse> {
         responses
             .into_iter()
@@ -467,6 +474,13 @@ impl ShardedService {
     #[must_use]
     pub fn request_logs(&self) -> Vec<Option<Arc<canti_obs::RequestLog>>> {
         self.shards.iter().map(ServeService::request_log).collect()
+    }
+
+    /// Per-shard timeline recorders, in shard order (empty entries when
+    /// started unobserved).
+    #[must_use]
+    pub fn timelines(&self) -> Vec<Option<Arc<canti_obs::TimelineRecorder>>> {
+        self.shards.iter().map(ServeService::timeline).collect()
     }
 
     /// Per-shard pool widths (the worker threads each shard's executor

@@ -4,8 +4,11 @@
 //! batch sizes, request latencies, admitted/rejected/expired counters,
 //! every series labelled `shard="<i>"`) plus the observability debug
 //! routes: a JSON `/healthz` readiness body, the per-request
-//! `/debug/requests` log (trace id + latency breakdown) and the
-//! `/debug/slo` window view.
+//! `/debug/requests` log (trace id + latency breakdown), the
+//! `/debug/slo` window view, and the per-window `/debug/timeline`
+//! NDJSON series. Each shard's trace stream passes through a
+//! [`FlightRecorder`] (head-sampled + tail-retained request traces)
+//! before landing in the profiling ring.
 //!
 //! Run with:
 //! `cargo run --release --example serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--telemetry] [--addr HOST:PORT]`
@@ -18,6 +21,8 @@
 //! * `--telemetry` — write shard 0's full trace stream (request spans,
 //!   serve_batch/batch/job spans, metrics) to
 //!   `target/serve_telemetry.ndjson` for `obsctl trace` / `obsctl slo`,
+//!   and the scraped `/debug/timeline` body to
+//!   `target/serve_timeline.ndjson` for `obsctl timeline` / `anomaly`,
 //! * `--addr HOST:PORT` — where to bind the endpoint
 //!   (default `127.0.0.1:0`, an ephemeral port printed at startup).
 //!
@@ -30,7 +35,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use canti::farm::{FarmObserver, JobSpec, ProbeMode, Receptor};
-use canti::obs::{merge_windows, DebugState, ExpositionServer, Metrics, Readiness};
+use canti::obs::{
+    merge_windows, Collector, DebugState, ExpositionServer, FlightRecorder, Metrics, ObsClock,
+    Readiness, RingCollector, SampleConfig, Tracer, WallClock,
+};
 use canti::serve::{Disposition, ServeConfig, ServeResponse, ShardedConfig, ShardedService};
 use canti::units::{Molar, Seconds};
 
@@ -93,15 +101,31 @@ fn main() {
 
     // Wall-clock observers (one per shard): this is a service, latencies
     // should be real. Each shard records into its own registry; the
-    // exposition endpoint merges them under per-shard labels.
+    // exposition endpoint merges them under per-shard labels. The trace
+    // stream routes through a flight recorder (head sampling + tail
+    // retention of SLO breaches and error traces) before the ring, so
+    // the full stream stays available for --telemetry while the kept
+    // set stays bounded.
     let mut observers = Vec::with_capacity(shards);
     let mut rings = Vec::with_capacity(shards);
+    let mut flights = Vec::with_capacity(shards);
     let mut sources: Vec<(String, Arc<Metrics>)> = Vec::with_capacity(shards);
     for s in 0..shards {
-        let (observer, ring) = FarmObserver::profiling(1 << 15);
+        let ring = Arc::new(RingCollector::new(1 << 15));
+        let flight = Arc::new(FlightRecorder::new(
+            SampleConfig::default(),
+            Some(Arc::clone(&ring) as Arc<dyn Collector>),
+        ));
+        let clock: Arc<dyn ObsClock> = Arc::new(WallClock::new());
+        let tracer = Tracer::new(
+            Arc::clone(&flight) as Arc<dyn Collector>,
+            Arc::clone(&clock),
+        );
+        let observer = FarmObserver::from_parts(Arc::new(Metrics::new()), tracer, clock);
         sources.push((s.to_string(), Arc::clone(observer.metrics())));
         observers.push(observer);
         rings.push(ring);
+        flights.push(flight);
     }
 
     let service = Arc::new(ShardedService::start_observed(
@@ -138,13 +162,19 @@ fn main() {
             .enumerate()
             .filter_map(|(s, log)| log.map(|log| (s.to_string(), log)))
             .collect(),
+        timelines: service
+            .timelines()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(s, tl)| tl.map(|tl| (s.to_string(), tl)))
+            .collect(),
         readiness: Some(readiness),
     };
     let shard0_metrics = Arc::clone(&sources[0].1);
     let server = ExpositionServer::bind_sharded_debug(&addr, sources, debug)
         .expect("bind exposition server");
     println!(
-        "serving /metrics /healthz /debug/requests /debug/slo on http://{}  \
+        "serving /metrics /healthz /debug/requests /debug/slo /debug/timeline on http://{}  \
          ({requests} requests, {submitters} submitters, batch<={batch}, {shards} shard(s))",
         server.local_addr()
     );
@@ -261,6 +291,34 @@ fn main() {
         "slo route serves the merged view"
     );
 
+    // The per-window timeline: per-shard series followed by the merged
+    // view, one fixed-field NDJSON record per (series, window).
+    let debug_timeline = server
+        .scrape("/debug/timeline")
+        .expect("self-scrape /debug/timeline");
+    println!(
+        "\n--- /debug/timeline (first lines of {}) ---",
+        debug_timeline.lines().count()
+    );
+    for line in debug_timeline.lines().take(6) {
+        println!("{line}");
+    }
+    assert!(
+        debug_timeline.contains("\"shard\":\"merged\"")
+            && debug_timeline.contains("\"series\":\"serve.completed\""),
+        "timeline route serves merged serve series"
+    );
+
+    // Flight-recorder verdicts: deterministic head samples plus every
+    // SLO breach or errored trace, bounded per shard.
+    for (s, flight) in flights.iter().enumerate() {
+        let (decided, kept, discarded, evicted) = flight.stats();
+        println!(
+            "shard {s} flight recorder: {decided} decided, {kept} kept, \
+             {discarded} discarded, {evicted} evicted"
+        );
+    }
+
     let health = server.scrape("/healthz").expect("self-scrape /healthz");
     println!("--- /healthz ---\n{health}");
     assert!(
@@ -269,12 +327,16 @@ fn main() {
         "health endpoint answers with the readiness body: {health}"
     );
 
-    // Flip the draining flag before shutdown so scrapers see it.
+    // Flip the draining flag before shutdown so scrapers see it: the
+    // route answers 503 with the draining body, so inspect the raw
+    // response instead of the 200-only `scrape`.
     draining.store(true, Ordering::SeqCst);
-    let health = server.scrape("/healthz").expect("self-scrape /healthz");
+    let (head, health) = server
+        .scrape_response("/healthz")
+        .expect("self-scrape /healthz while draining");
     assert!(
-        health.starts_with("{\"status\":\"draining\""),
-        "draining flag reaches /healthz: {health}"
+        head.contains(" 503 ") && health.starts_with("{\"status\":\"draining\""),
+        "draining flag reaches /healthz as a 503: {head} {health}"
     );
 
     let per_shard = Arc::try_unwrap(service)
@@ -295,6 +357,16 @@ fn main() {
             "telemetry: {} NDJSON records ({} trace events dropped) -> {path}",
             ndjson.lines().count(),
             rings[0].dropped()
+        );
+
+        // The timeline artifact is the scraped route body verbatim, so
+        // `obsctl timeline` / `obsctl anomaly` gate exactly what a live
+        // scraper would have seen.
+        let timeline_path = "target/serve_timeline.ndjson";
+        std::fs::write(timeline_path, &debug_timeline).expect("write serve timeline artifact");
+        println!(
+            "telemetry: {} timeline records -> {timeline_path}",
+            debug_timeline.lines().count()
         );
     }
 

@@ -16,7 +16,11 @@
 #                          #   * a sharded traced serve_demo run whose
 #                          #     telemetry artifact is gated through
 #                          #     obsctl trace (request-chain health) and
-#                          #     obsctl slo (offline window recompute)
+#                          #     obsctl slo (offline window recompute),
+#                          #     and whose scraped /debug/timeline body is
+#                          #     archived (serve_timeline.ndjson, previous
+#                          #     run kept as .prev) and gated through
+#                          #     obsctl timeline + obsctl anomaly
 #                          #   * the bench loop: farm, experiments and
 #                          #     serve benches with archived
 #                          #     BENCH_<name>.json artifacts, each gated
@@ -33,6 +37,10 @@
 #   CANTI_PERF_MIN_NS         absolute noise floor in ns (default 50000,
 #                             except the farm bench's 2000000 — see the
 #                             bench-loop comments)
+#   CANTI_TIMELINE_THRESHOLD_PCT
+#                             count-drift tolerance for the timeline
+#                             anomaly gate (default 10; the smoke load is
+#                             fixed, so counts should be near-exact)
 #   CANTI_FARM_JOBS           farm bench batch size (default 64)
 #   CANTI_BENCH_MS            experiments bench ms/kernel (default 80 here)
 #   CANTI_SERVE_REQUESTS      serve bench request count (default 64 here)
@@ -123,6 +131,11 @@ if [[ "${1:-}" == "smoke" ]]; then
     phase_end
 
     phase_begin "serve smoke (sharded traced demo) + request-trace gate"
+    # keep the previous timeline artifact as the anomaly baseline before
+    # the demo overwrites it (same .prev pattern as the bench artifacts)
+    timeline_artifact=target/serve_timeline.ndjson
+    timeline_prev=target/serve_timeline.prev.ndjson
+    [[ -s "$timeline_artifact" ]] && cp "$timeline_artifact" "$timeline_prev"
     # the demo itself asserts breakdown tiling, non-empty SLO windows and
     # the JSON /healthz body before it exits 0
     cargo run --release --example serve_demo 16 --shards 2 --telemetry
@@ -138,6 +151,23 @@ if [[ "${1:-}" == "smoke" ]]; then
     # the offline SLO recomputation must find request spans to aggregate
     echo "-- obsctl slo (offline windows) --"
     cargo run --release -q -p canti-obsctl -- slo "$serve_artifact"
+    # the scraped /debug/timeline body must parse and render (exit 1 on
+    # an empty shard selection, exit 2 on a malformed artifact)
+    [[ -s "$timeline_artifact" ]] || { echo "missing timeline artifact $timeline_artifact"; exit 1; }
+    echo "-- obsctl timeline (merged view) --"
+    cargo run --release -q -p canti-obsctl -- timeline "$timeline_artifact" --shard merged
+    if [[ -s "$timeline_prev" ]]; then
+        # gate request-scoped observation counts against the previous
+        # run; sums are wall-clock noisy, counts are load-determined
+        # (serve.expired is deliberately not gated: the demo's hopeless
+        # deadline can race the batcher, so that series is best-effort)
+        echo "-- obsctl anomaly gate: timeline vs previous run --"
+        cargo run --release -q -p canti-obsctl -- anomaly "$timeline_artifact" "$timeline_prev" \
+            --series serve.admitted --series serve.completed \
+            --threshold-pct "${CANTI_TIMELINE_THRESHOLD_PCT:-10}"
+    else
+        echo "-- obsctl anomaly gate: no previous timeline artifact, baseline archived --"
+    fi
     phase_end
 
     phase_begin "bench loop (farm, experiments, serve x shards) + perf gates"

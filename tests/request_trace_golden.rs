@@ -71,6 +71,7 @@ fn scripted_observed_run(threads: usize) -> Scripted {
     let debug = DebugState {
         slos: vec![("0".to_owned(), slo)],
         requests: vec![("0".to_owned(), log)],
+        timelines: Vec::new(),
         readiness: None,
     };
     let server =

@@ -36,6 +36,7 @@ fn scripted_run(threads: usize) -> RunTrace {
             batch_seed: 0x5E4E_D15C,
             threads,
             slo: Default::default(),
+            timeline: Default::default(),
         },
         Arc::clone(&clock) as Arc<dyn ObsClock>,
     );

@@ -96,6 +96,7 @@ fn config(workers: usize) -> ServeConfig {
         batch_seed: 0x5AAD_D15C,
         threads: workers,
         slo: Default::default(),
+        timeline: Default::default(),
     }
 }
 

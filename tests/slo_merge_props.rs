@@ -1,0 +1,74 @@
+//! Property tests for `slo::merge_windows` (vendored proptest): the
+//! merged view is exactly the per-window sum of the per-shard views —
+//! no window invented, none dropped, every count preserved — and the
+//! fold is order-independent, the algebra the sharded `/debug/slo`
+//! route relies on.
+
+use std::collections::BTreeMap;
+
+use canti::obs::{merge_windows, WindowCounts};
+use proptest::prelude::*;
+
+/// An arbitrary per-shard window list: sparse indices sorted the way a
+/// tracker reports them, counts small enough to sum without saturating
+/// (saturation has its own unit test).
+fn shard_windows() -> impl Strategy<Value = Vec<WindowCounts>> {
+    proptest::collection::vec((0u64..24, 0u64..1_000, 0u64..1_000), 0..12).prop_map(|rows| {
+        let mut folded: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for (index, good, breached) in rows {
+            let slot = folded.entry(index).or_insert((0, 0));
+            slot.0 += good;
+            slot.1 += breached;
+        }
+        folded
+            .into_iter()
+            .map(|(index, (good, breached))| WindowCounts {
+                index,
+                good,
+                breached,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// merged == sum of per-shard counts, window by window.
+    #[test]
+    fn merged_equals_per_window_sum(
+        shards in proptest::collection::vec(shard_windows(), 0..6),
+    ) {
+        let merged = merge_windows(&shards);
+
+        let mut expected: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for shard in &shards {
+            for w in shard {
+                let slot = expected.entry(w.index).or_insert((0, 0));
+                slot.0 += w.good;
+                slot.1 += w.breached;
+            }
+        }
+        prop_assert_eq!(merged.len(), expected.len(), "exactly the observed windows");
+        for (w, (&index, &(good, breached))) in merged.iter().zip(expected.iter()) {
+            prop_assert_eq!(w.index, index, "sorted by window index");
+            prop_assert_eq!((w.good, w.breached), (good, breached));
+        }
+
+        let good_total: u64 = shards.iter().flatten().map(|w| w.good).sum();
+        let breached_total: u64 = shards.iter().flatten().map(|w| w.breached).sum();
+        prop_assert_eq!(merged.iter().map(|w| w.good).sum::<u64>(), good_total);
+        prop_assert_eq!(merged.iter().map(|w| w.breached).sum::<u64>(), breached_total);
+    }
+
+    /// Shard order never matters: merging is a commutative fold.
+    #[test]
+    fn merge_is_shard_order_independent(
+        shards in proptest::collection::vec(shard_windows(), 2..5),
+    ) {
+        let forward = merge_windows(&shards);
+        let mut reversed = shards.clone();
+        reversed.reverse();
+        prop_assert_eq!(forward, merge_windows(&reversed));
+    }
+}
