@@ -56,7 +56,7 @@ pub use job::{
     chaos_scan_batch, cross_reactivity_panel, dose_response_sweep, process_variation_batch,
     JobSpec, ProbeMode, Receptor,
 };
-pub use pool::{WorkerPool, WorkerStat};
+pub use pool::{PoolHook, WorkerPool, WorkerStat};
 pub use report::{BatchReport, FarmError, JobOutput};
 pub use supervisor::{BreakerPosition, FarmSupervisor, SupervisedReport, SupervisorConfig};
 pub use telemetry::{FarmObserver, FarmTelemetry};
@@ -82,12 +82,23 @@ impl Default for FarmConfig {
 
 /// The batch engine: a worker pool plus a shared precompute cache,
 /// optionally observed by a [`FarmObserver`].
-#[derive(Debug)]
 pub struct Farm {
     config: FarmConfig,
     cache: Arc<PrecomputeCache>,
     observer: Option<FarmObserver>,
     pool: Option<Arc<WorkerPool>>,
+    sabotage: Option<PoolHook>,
+}
+
+impl std::fmt::Debug for Farm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Farm")
+            .field("config", &self.config)
+            .field("observed", &self.observer.is_some())
+            .field("pooled", &self.pool.is_some())
+            .field("sabotaged", &self.sabotage.is_some())
+            .finish()
+    }
 }
 
 impl Farm {
@@ -106,6 +117,7 @@ impl Farm {
             cache,
             observer: None,
             pool: None,
+            sabotage: None,
         }
     }
 
@@ -118,6 +130,17 @@ impl Farm {
     #[must_use]
     pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Attaches a [`PoolHook`] the attached pool's workers call before
+    /// each job, outside the per-job panic harness — the serve chaos
+    /// seam for simulating harness-level worker deaths. Effective only
+    /// on the persistent-pool path ([`Self::with_pool`]); the
+    /// spawn-per-batch oracle stays hook-free.
+    #[must_use]
+    pub fn with_sabotage(mut self, hook: PoolHook) -> Self {
+        self.sabotage = Some(hook);
         self
     }
 
@@ -204,13 +227,14 @@ impl Farm {
         match &self.pool {
             Some(pool) => {
                 let r = Arc::clone(runner);
-                pool.run_observed(
+                pool.run_observed_hooked(
                     n,
                     move |slot| {
                         let i = items.as_ref().map_or(slot, |v| v[slot]);
                         r.run_job(i, attempt, wave, deadline_ns)
                     },
                     runner.observer.as_ref().map(|o| Arc::clone(o.clock())),
+                    self.sabotage.clone(),
                 )
             }
             None => pool::run_indexed_observed(

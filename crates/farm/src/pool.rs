@@ -17,6 +17,15 @@
 //! `catch_unwind`, so a poisoned slot here means a bug in the farm
 //! harness itself — which is exactly when "finish the batch, then fail
 //! loudly" beats hanging a join.
+//!
+//! A panic that escapes the job harness itself (the serve chaos seam's
+//! sabotage hook is the one deliberate source) kills the worker thread:
+//! the claimed job's slot is poisoned, the job is retired so the caller
+//! can never hang, and the dead worker is recorded. If the *last* live
+//! worker dies, every still-queued job is retired as poisoned too —
+//! callers always get an answer (a re-raise), never a wedge. A pool with
+//! dead workers is not condemned: [`WorkerPool::respawn_poisoned`]
+//! replaces the dead threads and the pool serves batches again.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -28,6 +37,12 @@ use canti_obs::ObsClock;
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
+
+/// A per-job hook the pool calls **outside** the job harness's own
+/// `catch_unwind`, with the batch-local job index about to run. A panic
+/// here unwinds the worker thread itself — this is the serve chaos
+/// seam's way of simulating a worker death rather than a job failure.
+pub type PoolHook = Arc<dyn Fn(usize) + Send + Sync>;
 
 /// Per-worker utilization tallies from one pool run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -173,6 +188,12 @@ struct BatchTask {
     complete: AtomicBool,
     /// Runs one job and records its result in the caller's slot vector.
     run: Box<dyn Fn(usize) + Send + Sync>,
+    /// Records a harness-level panic payload in the job's slot, so a
+    /// dying (or orphan-aborting) worker can poison without running.
+    poison: Box<dyn Fn(usize, Box<dyn std::any::Any + Send>) + Send + Sync>,
+    /// Chaos seam: called outside the job harness's `catch_unwind`, so a
+    /// panic here kills the worker thread (see [`PoolHook`]).
+    sabotage: Option<PoolHook>,
     /// Busy-time clock, when the caller wants utilization timed.
     clock: Option<Arc<dyn ObsClock>>,
     /// Per-worker tallies, indexed by worker slot (pool thread index).
@@ -182,6 +203,14 @@ struct BatchTask {
 struct PoolState {
     queue: VecDeque<Arc<BatchTask>>,
     shutdown: bool,
+    /// Worker threads still running their loop. Mutated only under this
+    /// lock so submission's liveness check and a worker's death are
+    /// serialized: a batch admitted while `live > 0` is either finished
+    /// by surviving workers or orphan-aborted by the last one to die.
+    live: usize,
+    /// Worker slots whose threads died at harness level, awaiting
+    /// [`WorkerPool::respawn_poisoned`].
+    dead: Vec<usize>,
 }
 
 struct PoolShared {
@@ -244,6 +273,8 @@ impl WorkerPool {
             state: Mutex::new(PoolState {
                 queue: VecDeque::new(),
                 shutdown: false,
+                live: threads,
+                dead: Vec::new(),
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -305,6 +336,29 @@ impl WorkerPool {
         T: Send + 'static,
         F: Fn(usize) -> T + Send + Sync + 'static,
     {
+        self.run_observed_hooked(n, f, clock, None)
+    }
+
+    /// [`Self::run_observed`] with an optional [`PoolHook`] the workers
+    /// call outside the job harness — the serve chaos seam. A hook panic
+    /// kills the running worker (its job's slot poisons, the batch still
+    /// completes or orphan-aborts, the payload re-raises here).
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::run_observed`], plus when the pool has no live workers
+    /// left (call [`Self::respawn_poisoned`] to recover).
+    pub fn run_observed_hooked<T, F>(
+        &self,
+        n: usize,
+        f: F,
+        clock: Option<Arc<dyn ObsClock>>,
+        sabotage: Option<PoolHook>,
+    ) -> (Vec<T>, Vec<WorkerStat>)
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
         if n == 0 {
             return (Vec::new(), vec![WorkerStat::default(); self.threads]);
         }
@@ -322,12 +376,20 @@ impl WorkerPool {
                 };
             }) as Box<dyn Fn(usize) + Send + Sync>
         };
+        let poison = {
+            let slots = Arc::clone(&slots);
+            Box::new(move |i: usize, payload: Box<dyn std::any::Any + Send>| {
+                *lock(&slots[i]) = Slot::Poisoned(payload);
+            }) as Box<dyn Fn(usize, Box<dyn std::any::Any + Send>) + Send + Sync>
+        };
         let task = Arc::new(BatchTask {
             n,
             next: AtomicUsize::new(0),
             pending: AtomicUsize::new(n),
             complete: AtomicBool::new(false),
             run,
+            poison,
+            sabotage,
             clock,
             stats: (0..self.threads)
                 .map(|_| Mutex::new(WorkerStat::default()))
@@ -336,6 +398,10 @@ impl WorkerPool {
         {
             let mut state = lock(&self.shared.state);
             assert!(!state.shutdown, "worker pool is shut down");
+            assert!(
+                state.live > 0,
+                "worker pool has no live workers (respawn_poisoned to recover)"
+            );
             state.queue.push_back(Arc::clone(&task));
         }
         self.shared.work.notify_all();
@@ -372,6 +438,49 @@ impl WorkerPool {
             resume_unwind(payload);
         }
         (out, stats)
+    }
+
+    /// Worker threads still running (the spawn width minus workers that
+    /// died at harness level and were not yet respawned).
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        lock(&self.shared.state).live
+    }
+
+    /// Worker slots whose threads died at harness level and await
+    /// [`Self::respawn_poisoned`].
+    #[must_use]
+    pub fn poisoned_workers(&self) -> usize {
+        lock(&self.shared.state).dead.len()
+    }
+
+    /// Replaces every dead worker thread with a freshly spawned one,
+    /// returning how many were respawned (0 when none died, or after
+    /// shutdown). The result contract of later batches is unchanged —
+    /// slot discipline makes output independent of *which* threads run —
+    /// so a resurrected pool is byte-identical to a fresh one.
+    pub fn respawn_poisoned(&self) -> usize {
+        let slots = {
+            let mut state = lock(&self.shared.state);
+            if state.shutdown {
+                return 0;
+            }
+            let slots = std::mem::take(&mut state.dead);
+            state.live += slots.len();
+            slots
+        };
+        let respawned = slots.len();
+        let mut handles = lock(&self.handles);
+        for w in slots {
+            let shared = Arc::clone(&self.shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("canti-farm-worker-{w}r"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("respawn farm worker thread"),
+            );
+        }
+        respawned
     }
 
     /// Graceful, idempotent shutdown: stops accepting new batches,
@@ -425,7 +534,15 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
                 break;
             }
             let t0 = task.clock.as_ref().map(|c| c.now_ns());
-            (task.run)(i);
+            // `run` catches the job's own panics internally (slot
+            // poisoning); a panic escaping THIS catch is harness-level —
+            // in practice the sabotage hook — and kills the worker.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(hook) = &task.sabotage {
+                    hook(i);
+                }
+                (task.run)(i);
+            }));
             {
                 let mut stat = lock(&task.stats[worker]);
                 if let (Some(t0), Some(c)) = (t0, task.clock.as_ref()) {
@@ -433,16 +550,67 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
                 }
                 stat.jobs += 1;
             }
+            let fatal = match outcome {
+                Ok(()) => false,
+                Err(payload) => {
+                    (task.poison)(i, payload);
+                    true
+                }
+            };
             // stats are written before the retire below, so the caller's
             // post-completion read sees them
-            if task.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let mut state = lock(&shared.state);
-                task.complete.store(true, Ordering::Release);
-                state.queue.retain(|t| !Arc::ptr_eq(t, &task));
-                drop(state);
-                shared.done.notify_all();
-                shared.work.notify_all();
+            retire_job(shared, &task);
+            if fatal {
+                worker_died(shared, worker);
+                return;
             }
+        }
+    }
+}
+
+/// Retires one finished (or poisoned) job; the worker that retires the
+/// last one marks the batch complete and wakes the submitting caller.
+fn retire_job(shared: &PoolShared, task: &Arc<BatchTask>) {
+    if task.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let mut state = lock(&shared.state);
+        task.complete.store(true, Ordering::Release);
+        state.queue.retain(|t| !Arc::ptr_eq(t, task));
+        drop(state);
+        shared.done.notify_all();
+        shared.work.notify_all();
+    }
+}
+
+/// Books a harness-level worker death. The dying worker already retired
+/// the job it was running; if it was the LAST live worker, it also
+/// claims and poisons every job still queued (in any batch) so blocked
+/// callers re-raise instead of wedging. The liveness decrement and the
+/// orphan snapshot happen under the state lock, mutually exclusive with
+/// submission's `live > 0` check — no batch can slip in unanswered.
+fn worker_died(shared: &PoolShared, worker: usize) {
+    let orphans: Vec<Arc<BatchTask>> = {
+        let mut state = lock(&shared.state);
+        state.live -= 1;
+        state.dead.push(worker);
+        if state.live == 0 {
+            state.queue.iter().cloned().collect()
+        } else {
+            Vec::new()
+        }
+    };
+    for task in orphans {
+        loop {
+            let i = task.next.fetch_add(1, Ordering::Relaxed);
+            if i >= task.n {
+                break;
+            }
+            (task.poison)(
+                i,
+                Box::new(format!(
+                    "canti-farm pool: job {i} abandoned — no live workers"
+                )),
+            );
+            retire_job(shared, &task);
         }
     }
 }

@@ -44,8 +44,10 @@
 #![warn(missing_docs)]
 
 mod plan;
+mod serve_plan;
 
 pub use plan::{ChaosConfig, FaultEvent, FaultPlan};
+pub use serve_plan::{BatchFaults, ServeChaos, ServeFaultEvent, ServeFaultKind, ServeFaultPlan};
 
 use std::fmt;
 

@@ -85,7 +85,7 @@ impl Registry {
 }
 
 /// What `/healthz` reports about the instrument behind the server.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Readiness {
     /// Serve shards behind this endpoint.
     pub shards: usize,
@@ -94,6 +94,23 @@ pub struct Readiness {
     /// Live draining flag — flipped by the serve layer at shutdown so
     /// scrapers see `"status":"draining"` before the listener goes away.
     pub draining: Arc<AtomicBool>,
+    /// Live per-shard health labels (e.g. `"healthy"`, `"down"`), read
+    /// at every scrape. When present the body gains a `"shard_health"`
+    /// array in shard order; `None` keeps the legacy body. A closure
+    /// rather than a snapshot so this crate needs no dependency on the
+    /// serve layer's health type.
+    pub shard_health: Option<Arc<dyn Fn() -> Vec<&'static str> + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Readiness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Readiness")
+            .field("shards", &self.shards)
+            .field("pool_threads", &self.pool_threads)
+            .field("draining", &self.draining)
+            .field("shard_health", &self.shard_health.as_ref().map(|p| p()))
+            .finish()
+    }
 }
 
 impl Default for Readiness {
@@ -102,6 +119,7 @@ impl Default for Readiness {
             shards: 1,
             pool_threads: 0,
             draining: Arc::new(AtomicBool::new(false)),
+            shard_health: None,
         }
     }
 }
@@ -486,14 +504,26 @@ fn render_healthz(registry: &Registry, debug: &DebugState) -> String {
         Registry::Single(_) => 1,
         Registry::Sharded(sources) => sources.len(),
     };
-    let (shards, pool_threads, draining) = match &debug.readiness {
-        Some(r) => (r.shards, r.pool_threads, r.draining.load(Ordering::SeqCst)),
-        None => (default_shards, 0, false),
+    let (shards, pool_threads, draining, health) = match &debug.readiness {
+        Some(r) => (
+            r.shards,
+            r.pool_threads,
+            r.draining.load(Ordering::SeqCst),
+            r.shard_health.as_ref().map(|p| p()),
+        ),
+        None => (default_shards, 0, false, None),
     };
     let status = if draining { "draining" } else { "ok" };
+    let health = match health {
+        Some(labels) => {
+            let quoted: Vec<String> = labels.iter().map(|l| format!("\"{l}\"")).collect();
+            format!(",\"shard_health\":[{}]", quoted.join(","))
+        }
+        None => String::new(),
+    };
     format!(
         "{{\"status\":\"{status}\",\"shards\":{shards},\
-         \"pool_threads\":{pool_threads},\"draining\":{draining}}}\n"
+         \"pool_threads\":{pool_threads},\"draining\":{draining}{health}}}\n"
     )
 }
 
@@ -723,6 +753,7 @@ mod tests {
                     shards: 1,
                     pool_threads: 4,
                     draining: Arc::clone(&draining),
+                    shard_health: None,
                 }),
             },
         )
@@ -761,6 +792,55 @@ mod tests {
     }
 
     #[test]
+    fn healthz_renders_live_shard_health_when_provided() {
+        use std::sync::atomic::AtomicU8;
+        // the provider reads live state at every scrape: flip one shard
+        // down between scrapes and the body must follow
+        let cell = Arc::new(AtomicU8::new(0));
+        let provider = {
+            let cell = Arc::clone(&cell);
+            move || {
+                vec![
+                    "healthy",
+                    if cell.load(Ordering::SeqCst) == 0 {
+                        "healthy"
+                    } else {
+                        "down"
+                    },
+                ]
+            }
+        };
+        let server = ExpositionServer::bind_debug(
+            "127.0.0.1:0",
+            Arc::new(Metrics::new()),
+            DebugState {
+                readiness: Some(Readiness {
+                    shards: 2,
+                    pool_threads: 1,
+                    shard_health: Some(Arc::new(provider)),
+                    ..Readiness::default()
+                }),
+                ..DebugState::default()
+            },
+        )
+        .unwrap();
+
+        let health = server.scrape("/healthz").unwrap();
+        assert_eq!(
+            health,
+            "{\"status\":\"ok\",\"shards\":2,\"pool_threads\":1,\
+             \"draining\":false,\"shard_health\":[\"healthy\",\"healthy\"]}\n"
+        );
+        cell.store(1, Ordering::SeqCst);
+        let health = server.scrape("/healthz").unwrap();
+        assert!(
+            health.contains("\"shard_health\":[\"healthy\",\"down\"]"),
+            "{health}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
     fn unknown_route_is_404_and_bad_method_405() {
         let server = ExpositionServer::bind("127.0.0.1:0", Arc::new(Metrics::new())).unwrap();
         let err = server.scrape("/nope").unwrap_err();
@@ -788,6 +868,7 @@ mod tests {
                     shards: 1,
                     pool_threads: 0,
                     draining: Arc::clone(&draining),
+                    shard_health: None,
                 }),
                 ..DebugState::default()
             },

@@ -382,6 +382,66 @@ pub fn fault_health(trace: &Trace) -> FaultHealth {
     FaultHealth { counts }
 }
 
+/// Event names the serve layer's self-healing path emits, in reporting
+/// order: the shard lifecycle (down → failover → recovered) plus
+/// scripted batcher stalls.
+pub const SHARD_EVENT_NAMES: [&str; 4] =
+    ["shard_down", "failover", "shard_recovered", "batcher_stall"];
+
+/// The serve-resilience event tally of one telemetry artifact: shard
+/// deaths, failovers off them, and supervised restarts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardHealthReport {
+    /// `(event name, occurrences)` for every serve-resilience event
+    /// present, in [`SHARD_EVENT_NAMES`] order.
+    pub counts: Vec<(String, u64)>,
+}
+
+impl ShardHealthReport {
+    /// Whether the artifact recorded no shard failures or failovers.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Occurrences of one event name (0 when absent).
+    #[must_use]
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    /// The section `summary` appends to its report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.is_quiet() {
+            return "shard health: clean (no shard failures or failovers)\n".to_owned();
+        }
+        let mut out = String::from("shard health:\n");
+        for (name, count) in &self.counts {
+            let _ = writeln!(out, "  {name:<20} {count}");
+        }
+        out
+    }
+}
+
+/// Tallies the serve layer's self-healing events in a trace.
+#[must_use]
+pub fn shard_health(trace: &Trace) -> ShardHealthReport {
+    let all = trace.event_counts();
+    let counts = SHARD_EVENT_NAMES
+        .iter()
+        .filter_map(|name| {
+            all.iter()
+                .find(|(n, _)| n == name)
+                .map(|(n, c)| (n.clone(), *c))
+        })
+        .collect();
+    ShardHealthReport { counts }
+}
+
 /// Parses a telemetry NDJSON artifact into a [`Trace`] and renders the
 /// span-tree summary plus a fault-health section, gating on artifact
 /// health.
@@ -410,6 +470,7 @@ pub fn summary(path: &Path) -> Result<String, CliError> {
     }
     let mut out = trace.render_summary();
     out.push_str(&fault_health(&trace).render());
+    out.push_str(&shard_health(&trace).render());
     Ok(out)
 }
 
@@ -680,6 +741,14 @@ pub fn summary_json(path: &Path) -> Result<String, CliError> {
     for (name, count) in fault_health(&trace).counts {
         out.push_str(&ndjson::object(&[
             ("record", JsonValue::from("fault")),
+            ("name", JsonValue::from(name)),
+            ("count", JsonValue::U64(count)),
+        ]));
+        out.push('\n');
+    }
+    for (name, count) in shard_health(&trace).counts {
+        out.push_str(&ndjson::object(&[
+            ("record", JsonValue::from("shard")),
             ("name", JsonValue::from(name)),
             ("count", JsonValue::U64(count)),
         ]));
@@ -1452,6 +1521,50 @@ mod tests {
             text.contains("fault health: clean"),
             "a fault-free artifact must say so: {text}"
         );
+    }
+
+    #[test]
+    fn summary_reports_shard_health() {
+        let artifact = write_temp(
+            "shard-health",
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"span_start\",\"name\":\"serve_batch\"}\n\
+             {\"seq\":1,\"t_ns\":1,\"kind\":\"event\",\"name\":\"shard_down\",\"fields\":{\"batch\":0}}\n\
+             {\"seq\":2,\"t_ns\":2,\"kind\":\"event\",\"name\":\"failover\",\"fields\":{\"request\":7,\"from\":1,\"to\":0}}\n\
+             {\"seq\":3,\"t_ns\":3,\"kind\":\"event\",\"name\":\"failover\",\"fields\":{\"request\":9,\"from\":1,\"to\":0}}\n\
+             {\"seq\":4,\"t_ns\":4,\"kind\":\"event\",\"name\":\"shard_recovered\",\"fields\":{\"restarts\":1}}\n\
+             {\"seq\":5,\"t_ns\":5,\"kind\":\"span_end\",\"name\":\"serve_batch\",\"dur_ns\":5}\n",
+        );
+        let text = summary(&artifact).unwrap();
+        assert!(text.contains("shard health:"), "{text}");
+        assert!(text.contains("shard_down           1"), "{text}");
+        assert!(text.contains("failover             2"), "{text}");
+        assert!(text.contains("shard_recovered      1"), "{text}");
+
+        let report = shard_health(&load_trace(&artifact).unwrap());
+        assert!(!report.is_quiet());
+        assert_eq!(report.count("failover"), 2);
+        assert_eq!(report.count("batcher_stall"), 0, "absent reads as zero");
+
+        let json = summary_json(&artifact).unwrap();
+        assert!(
+            json.contains("{\"record\":\"shard\",\"name\":\"failover\",\"count\":2}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn clean_trace_reports_quiet_shard_health() {
+        let artifact = write_temp(
+            "shard-quiet",
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"span_start\",\"name\":\"scan\"}\n\
+             {\"seq\":1,\"t_ns\":9,\"kind\":\"span_end\",\"name\":\"scan\",\"dur_ns\":9}\n",
+        );
+        let text = summary(&artifact).unwrap();
+        assert!(
+            text.contains("shard health: clean"),
+            "a failure-free artifact must say so: {text}"
+        );
+        assert!(shard_health(&load_trace(&artifact).unwrap()).is_quiet());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! pumped form the scripted determinism tests drive.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use canti_farm::{FarmObserver, JobSpec};
@@ -31,6 +32,11 @@ pub struct ServeStats {
     pub completed: u64,
     /// Batches executed.
     pub batches: u64,
+    /// Admitted requests answered [`RejectReason::ShardFailed`] because
+    /// their shard died before their batch completed.
+    pub failed: u64,
+    /// Admitted requests evicted by brownout shedding.
+    pub shed: u64,
 }
 
 impl ServeStats {
@@ -38,8 +44,14 @@ impl ServeStats {
     #[must_use]
     pub fn render(&self) -> String {
         format!(
-            "serve: {} admitted, {} rejected, {} expired, {} completed in {} batches",
-            self.admitted, self.rejected, self.expired, self.completed, self.batches
+            "serve: {} admitted, {} rejected, {} expired, {} completed, {} failed, {} shed in {} batches",
+            self.admitted,
+            self.rejected,
+            self.expired,
+            self.completed,
+            self.failed,
+            self.shed,
+            self.batches
         )
     }
 }
@@ -141,9 +153,26 @@ impl Front {
         deadline_ns: Option<u64>,
         key: Option<u64>,
     ) -> Result<u64, RejectReason> {
+        self.admit_prioritized(job, deadline_ns, key, 0)
+    }
+
+    /// [`Self::admit_keyed`] with an explicit brownout priority class.
+    pub(crate) fn admit_prioritized(
+        &mut self,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+        key: Option<u64>,
+        priority: u8,
+    ) -> Result<u64, RejectReason> {
         let now_ns = self.clock.now_ns();
         let kind = job.kind();
-        match self.queue.submit_keyed(now_ns, job, deadline_ns, key) {
+        let submitted = match self.feasibility_reject(deadline_ns) {
+            Some(reason) => Err(reason),
+            None => self
+                .queue
+                .submit_prioritized(now_ns, job, deadline_ns, key, priority),
+        };
+        match submitted {
             Ok(id) => {
                 self.stats.admitted += 1;
                 if let Some(o) = &self.observer {
@@ -181,6 +210,173 @@ impl Front {
                 }
                 Err(reason)
             }
+        }
+    }
+
+    /// The deadline-feasibility fast reject: refuses a request whose
+    /// relative deadline is shorter than this shard's own p95
+    /// admission-to-completion estimate. Opt-in via
+    /// [`crate::FeasibilityConfig`] and inert until the latency
+    /// histogram holds `min_samples` completions.
+    fn feasibility_reject(&self, deadline_ns: Option<u64>) -> Option<RejectReason> {
+        let policy = self.queue.config().feasibility?;
+        let ins = self.instruments.as_ref()?;
+        let deadline = deadline_ns.or(self.queue.config().default_deadline_ns)?;
+        let snap = ins.request_latency_ns.snapshot();
+        if snap.count >= policy.min_samples && deadline < snap.p95 {
+            Some(RejectReason::Infeasible {
+                needed_ns: snap.p95,
+                deadline_ns: deadline,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Brownout shedding: evicts the lowest-priority waiting requests
+    /// down to the configured high-water mark, answering each
+    /// [`Disposition::Failed`] / [`RejectReason::Shed`]. Inert without a
+    /// [`crate::BrownoutConfig`].
+    pub(crate) fn take_shed(&mut self) -> Vec<ServeResponse> {
+        let Some(policy) = self.queue.config().brownout else {
+            return Vec::new();
+        };
+        let victims = self.queue.take_shed(policy.high_water);
+        if victims.is_empty() {
+            return Vec::new();
+        }
+        let now_ns = self.clock.now_ns();
+        let responses = victims
+            .iter()
+            .map(|p| {
+                self.stats.shed += 1;
+                self.abandon(
+                    p.id,
+                    p.key,
+                    p.trace,
+                    p.enqueued_ns,
+                    RejectReason::Shed,
+                    now_ns,
+                )
+            })
+            .collect();
+        self.observe_depth();
+        responses
+    }
+
+    /// Marks the shard failed (later submissions get
+    /// [`RejectReason::ShardFailed`]) and answers everything still
+    /// queued terminally.
+    pub(crate) fn fail_queued(&mut self) -> Vec<ServeResponse> {
+        self.queue.fail();
+        let victims = self.queue.take_all();
+        let now_ns = self.clock.now_ns();
+        let responses = victims
+            .iter()
+            .map(|p| self.fail_pending_at(p, now_ns))
+            .collect();
+        self.observe_depth();
+        responses
+    }
+
+    /// Answers one admitted request [`RejectReason::ShardFailed`] — used
+    /// for batch members whose execution died underneath them.
+    pub(crate) fn fail_pending(&mut self, p: &Pending) -> ServeResponse {
+        let now_ns = self.clock.now_ns();
+        self.fail_pending_at(p, now_ns)
+    }
+
+    fn fail_pending_at(&mut self, p: &Pending, now_ns: u64) -> ServeResponse {
+        self.stats.failed += 1;
+        self.abandon(
+            p.id,
+            p.key,
+            p.trace,
+            p.enqueued_ns,
+            RejectReason::ShardFailed,
+            now_ns,
+        )
+    }
+
+    /// Answers requests whose `Pending`s are gone (consumed by the batch
+    /// that died) from what the ticket table still knows: `(local id,
+    /// key, trace, enqueued_ns)` per request.
+    pub(crate) fn fail_inflight(&mut self, known: &[(u64, u64, u64, u64)]) -> Vec<ServeResponse> {
+        let now_ns = self.clock.now_ns();
+        known
+            .iter()
+            .map(|&(id, key, trace, enqueued_ns)| {
+                self.stats.failed += 1;
+                self.abandon(
+                    id,
+                    key,
+                    trace,
+                    enqueued_ns,
+                    RejectReason::ShardFailed,
+                    now_ns,
+                )
+            })
+            .collect()
+    }
+
+    /// Clears the failed mark after a restart.
+    pub(crate) fn mark_recovered(&mut self) {
+        self.queue.restore();
+    }
+
+    /// One abandoned request: span closed, SLO breached, debug record
+    /// written, terminal [`Disposition::Failed`] response built. The
+    /// caller bumps the matching `ServeStats` tally.
+    fn abandon(
+        &mut self,
+        id: u64,
+        key: u64,
+        trace: u64,
+        enqueued_ns: u64,
+        reason: RejectReason,
+        now_ns: u64,
+    ) -> ServeResponse {
+        let waited_ns = now_ns.saturating_sub(enqueued_ns);
+        if let Some(o) = &self.observer {
+            o.tracer().event(
+                "request_abandoned",
+                &[
+                    ("request", key.into()),
+                    ("trace", trace.into()),
+                    ("reason", reason.label().into()),
+                ],
+            );
+        }
+        if let Some(ins) = &self.instruments {
+            let (counter, series) = if matches!(reason, RejectReason::Shed) {
+                (&ins.shed, "serve.shed")
+            } else {
+                (&ins.failed, "serve.failed")
+            };
+            counter.inc();
+            ins.timeline.record_delta(series, 1, now_ns);
+            // an abandoned request always burns error budget
+            ins.slo.record_outcome(false, now_ns);
+            ins.requests.push(canti_obs::RequestRecord {
+                request: key,
+                trace,
+                outcome: reason.label(),
+                batch: None,
+                latency_ns: waited_ns,
+                queue_ns: waited_ns,
+                form_ns: 0,
+                exec_ns: 0,
+                respond_ns: 0,
+                finished_ns: now_ns,
+            });
+        }
+        if let Some(span) = self.spans.remove(&id) {
+            span.end();
+        }
+        ServeResponse {
+            request_id: id,
+            trace,
+            disposition: Disposition::Failed { reason },
         }
     }
 
@@ -317,6 +513,8 @@ impl Front {
 pub struct ServeEngine {
     front: Front,
     executor: BatchExecutor,
+    failed: bool,
+    restarts: u64,
 }
 
 impl ServeEngine {
@@ -326,7 +524,23 @@ impl ServeEngine {
         Self {
             front: Front::new(config, Arc::clone(&clock), None, None),
             executor: BatchExecutor::new(config.threads, clock),
+            failed: false,
+            restarts: 0,
         }
+    }
+
+    /// Arms a [`canti_fault::ServeFaultPlan`]: this engine consumes the
+    /// plan's slice for `shard`. An empty slice installs nothing at all,
+    /// so a default plan is provably identical to no plan.
+    #[must_use]
+    pub fn with_chaos_plan(mut self, plan: &canti_fault::ServeFaultPlan, shard: usize) -> Self {
+        let chaos = canti_fault::ServeChaos::new(plan, shard);
+        if !chaos.is_empty() {
+            self.executor = self
+                .executor
+                .with_chaos(Arc::new(std::sync::Mutex::new(chaos)));
+        }
+        self
     }
 
     /// Attaches a farm observer: serve counters/histograms, request and
@@ -346,6 +560,41 @@ impl ServeEngine {
         );
         self.executor = self.executor.with_instruments(observer, instruments);
         self
+    }
+
+    /// Whether the engine's shard has died (executor panic) and awaits
+    /// [`Self::resurrect`]. Submissions meanwhile are rejected with
+    /// [`RejectReason::ShardFailed`]; pumps are no-ops.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Times the engine was resurrected after a shard failure.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Rebuilds the dead shard: a fresh executor over a **fresh** worker
+    /// pool (same clock, cache, observer, instruments and chaos state),
+    /// admission re-opened. Returns `false` when the engine is healthy.
+    pub fn resurrect(&mut self) -> bool {
+        if !self.failed {
+            return false;
+        }
+        self.executor = self.executor.resurrected();
+        self.front.mark_recovered();
+        self.failed = false;
+        self.restarts += 1;
+        if let Some(ins) = self.executor.instruments() {
+            ins.shard_restarts.inc();
+        }
+        if let Some(o) = self.executor.observer() {
+            o.tracer()
+                .event("shard_recovered", &[("restarts", self.restarts.into())]);
+        }
+        true
     }
 
     /// Submits a request without an explicit deadline (the config
@@ -374,6 +623,24 @@ impl ServeEngine {
         self.front.admit(job, Some(deadline_ns))
     }
 
+    /// Submits a request with an explicit brownout priority class:
+    /// higher priorities survive shedding longer. [`Self::submit`] uses
+    /// priority 0.
+    ///
+    /// # Errors
+    ///
+    /// Rejected with a [`RejectReason`] when the queue is full, the
+    /// engine is draining, or the shard has failed.
+    pub fn submit_prioritized(
+        &mut self,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+        priority: u8,
+    ) -> Result<u64, RejectReason> {
+        self.front
+            .admit_prioritized(job, deadline_ns, None, priority)
+    }
+
     /// Submission with an explicit seed key: the sharded front passes
     /// the global request id so payloads are shard-count-invariant.
     pub(crate) fn submit_keyed(
@@ -385,17 +652,26 @@ impl ServeEngine {
         self.front.admit_keyed(job, deadline_ns, Some(key))
     }
 
+    /// The shared instrument set, when observed (for the sharded front's
+    /// failover counters).
+    pub(crate) fn instruments(&self) -> Option<&crate::exec::ServeInstruments> {
+        self.front.instruments()
+    }
+
     /// Advances the serving state machine at the current clock reading:
-    /// expires overdue requests, then forms and executes every ready
-    /// batch. Returns all responses produced, expirations first, then
-    /// batch completions in admission order.
+    /// expires overdue requests, sheds over the brownout mark, then
+    /// forms and executes every ready batch. Returns all responses
+    /// produced — expirations, then shed evictions, then batch
+    /// completions in admission order. A failed engine pumps to nothing
+    /// until resurrected (its queue was already answered terminally).
     pub fn pump(&mut self) -> Vec<ServeResponse> {
-        let mut out = self.front.take_expired();
-        for batch in self.front.form_ready() {
-            let responses = self.executor.execute(batch);
-            self.front.finish(&responses);
-            out.extend(responses);
+        if self.failed {
+            return Vec::new();
         }
+        let mut out = self.front.take_expired();
+        out.extend(self.front.take_shed());
+        let batches = self.front.form_ready();
+        out.extend(self.run_batches(batches));
         self.front.finish_noop();
         out
     }
@@ -404,11 +680,49 @@ impl ServeEngine {
     /// batches (expiring overdue requests first). After draining, every
     /// submission is rejected with [`RejectReason::Draining`].
     pub fn drain(&mut self) -> Vec<ServeResponse> {
+        if self.failed {
+            self.front.queue.begin_drain();
+            return Vec::new();
+        }
         let mut out = self.front.take_expired();
-        for batch in self.front.begin_drain() {
-            let responses = self.executor.execute(batch);
-            self.front.finish(&responses);
-            out.extend(responses);
+        let batches = self.front.begin_drain();
+        out.extend(self.run_batches(batches));
+        out
+    }
+
+    /// Executes formed batches, converting an executor panic (a chaos
+    /// kill or a real bug) into terminal answers for **every**
+    /// outstanding request — the batch that died, the batches formed
+    /// behind it, and everything still queued. No admitted request is
+    /// ever left hanging.
+    fn run_batches(&mut self, batches: Vec<FormedBatch>) -> Vec<ServeResponse> {
+        let mut out = Vec::new();
+        let mut batches = batches.into_iter();
+        while let Some(batch) = batches.next() {
+            let members = batch.items.clone();
+            let index = batch.index;
+            match catch_unwind(AssertUnwindSafe(|| self.executor.execute(batch))) {
+                Ok(responses) => {
+                    self.front.finish(&responses);
+                    out.extend(responses);
+                }
+                Err(_) => {
+                    self.failed = true;
+                    if let Some(o) = self.executor.observer() {
+                        o.tracer().event("shard_down", &[("batch", index.into())]);
+                    }
+                    for p in &members {
+                        out.push(self.front.fail_pending(p));
+                    }
+                    for stranded in batches.by_ref() {
+                        for p in &stranded.items {
+                            out.push(self.front.fail_pending(p));
+                        }
+                    }
+                    out.extend(self.front.fail_queued());
+                    break;
+                }
+            }
         }
         out
     }

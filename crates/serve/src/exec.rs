@@ -5,9 +5,10 @@
 //! — submissions keep getting fast admit/reject answers while a batch
 //! computes.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use canti_farm::{Farm, FarmConfig, FarmObserver, JobSpec, PrecomputeCache, WorkerPool};
+use canti_fault::ServeChaos;
 use canti_obs::{
     Counter, Gauge, Histogram, ObsClock, RequestLog, RequestRecord, SloConfig, SloTracker,
     TimelineConfig, TimelineRecorder, TraceContext,
@@ -33,6 +34,10 @@ pub(crate) struct ServeInstruments {
     pub expired: Arc<Counter>,
     pub completed: Arc<Counter>,
     pub batches: Arc<Counter>,
+    pub failed: Arc<Counter>,
+    pub shed: Arc<Counter>,
+    pub failovers: Arc<Counter>,
+    pub shard_restarts: Arc<Counter>,
     pub queue_depth: Arc<Gauge>,
     pub batch_size: Arc<Histogram>,
     pub request_latency_ns: Arc<Histogram>,
@@ -61,12 +66,26 @@ impl ServeInstruments {
             "serve.request_latency_ns",
             "admission-to-answer latency in nanoseconds",
         );
+        m.describe(
+            "serve.failed",
+            "admitted requests abandoned because their shard died",
+        );
+        m.describe("serve.shed", "admitted requests evicted under brownout");
+        m.describe(
+            "serve.failovers",
+            "requests rerouted here because their primary shard was down",
+        );
+        m.describe("serve.shard_restarts", "times this shard was resurrected");
         Self {
             admitted: m.counter("serve.admitted"),
             rejected: m.counter("serve.rejected"),
             expired: m.counter("serve.expired"),
             completed: m.counter("serve.completed"),
             batches: m.counter("serve.batches"),
+            failed: m.counter("serve.failed"),
+            shed: m.counter("serve.shed"),
+            failovers: m.counter("serve.failovers"),
+            shard_restarts: m.counter("serve.shard_restarts"),
             queue_depth: m.gauge("serve.queue_depth"),
             batch_size: m.histogram("serve.batch_size"),
             request_latency_ns: m.histogram("serve.request_latency_ns"),
@@ -91,6 +110,7 @@ pub struct BatchExecutor {
     clock: Arc<dyn ObsClock>,
     observer: Option<FarmObserver>,
     instruments: Option<ServeInstruments>,
+    chaos: Option<Arc<Mutex<ServeChaos>>>,
 }
 
 impl BatchExecutor {
@@ -107,7 +127,38 @@ impl BatchExecutor {
             clock,
             observer: None,
             instruments: None,
+            chaos: None,
         }
+    }
+
+    /// Attaches a serve-chaos injector. The injector lives behind a
+    /// shared handle so a resurrected executor keeps consuming the same
+    /// plan state — events already fired stay fired across restarts.
+    pub(crate) fn with_chaos(mut self, chaos: Arc<Mutex<ServeChaos>>) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// A replacement executor after shard failure: a **fresh**
+    /// [`WorkerPool`] (the old one may hold poisoned or dead workers),
+    /// but the same clock, cache, observer, instruments and chaos state
+    /// — telemetry continues in the same registry, and a restart warms
+    /// up against the cache exactly as a real redeploy would.
+    pub(crate) fn resurrected(&self) -> Self {
+        Self {
+            threads: self.threads,
+            pool: Arc::new(WorkerPool::new(self.threads)),
+            cache: Arc::clone(&self.cache),
+            clock: Arc::clone(&self.clock),
+            observer: self.observer.clone(),
+            instruments: self.instruments.clone(),
+            chaos: self.chaos.clone(),
+        }
+    }
+
+    /// The shared instrument set, when observed.
+    pub(crate) fn instruments(&self) -> Option<&ServeInstruments> {
+        self.instruments.as_ref()
     }
 
     /// Attaches a farm observer: batches run with farm telemetry and the
@@ -174,6 +225,34 @@ impl BatchExecutor {
                 ],
             )
         });
+        // scripted chaos: decided on this (single) batcher thread from
+        // the shard-local batch index, so it fires identically at any
+        // worker count
+        let faults = self
+            .chaos
+            .as_ref()
+            .map(|c| {
+                c.lock()
+                    .expect("serve chaos injector poisoned")
+                    .on_batch(batch.index, batch.len())
+            })
+            .unwrap_or_default();
+        if let Some(ns) = faults.stall_ns {
+            if let Some(o) = &self.observer {
+                o.tracer().event(
+                    "batcher_stall",
+                    &[("batch", batch.index.into()), ("ns", ns.into())],
+                );
+            }
+            // wall-clock stall, capped so a plan typo cannot wedge CI;
+            // under a virtual clock the trace event is the observable
+            std::thread::sleep(std::time::Duration::from_nanos(ns.min(50_000_000)));
+        }
+        assert!(
+            !faults.kill,
+            "canti-serve chaos: shard killed before batch {}",
+            batch.index
+        );
         let jobs: Vec<JobSpec> = batch.items.iter().map(|p| p.job.clone()).collect();
         let seeds: Vec<u64> = batch.items.iter().map(|p| p.seed).collect();
         let contexts: Vec<TraceContext> = batch
@@ -194,6 +273,18 @@ impl BatchExecutor {
         .with_pool(Arc::clone(&self.pool));
         if let Some(o) = &self.observer {
             farm = farm.with_observer(o.clone());
+        }
+        if let Some(slot) = faults.panic_job {
+            // harness-level sabotage: the worker that claims this slot
+            // dies, poisoning the slot; the farm re-raises the payload on
+            // this thread once the batch settles, so the whole batch is
+            // answered by the shard-failure path regardless of which
+            // worker drew the job
+            farm = farm.with_sabotage(Arc::new(move |job| {
+                if job == slot {
+                    panic!("canti-serve chaos: worker killed on job slot {slot}");
+                }
+            }));
         }
         let exec_start_ns = self.clock.now_ns();
         let report = farm.run_traced(&jobs, &seeds, &contexts);

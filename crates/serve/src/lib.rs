@@ -76,7 +76,9 @@ pub mod queue;
 pub mod response;
 pub mod service;
 pub mod shard;
+pub mod supervisor;
 
+pub use canti_fault::{ServeFaultEvent, ServeFaultKind, ServeFaultPlan};
 pub use canti_obs::{SloConfig, TimelineConfig};
 pub use engine::{BatchRecord, ServeEngine, ServeStats};
 pub use exec::BatchExecutor;
@@ -84,8 +86,10 @@ pub use queue::{AdmissionQueue, BatchTrigger, FormedBatch, RejectReason};
 pub use response::{Disposition, LatencyBreakdown, ServeResponse};
 pub use service::{ServeService, Ticket};
 pub use shard::{
-    request_seed, route_request, ShardTicket, ShardedConfig, ShardedEngine, ShardedService,
+    request_seed, route_failover, route_request, ShardHealth, ShardTicket, ShardedConfig,
+    ShardedEngine, ShardedService,
 };
+pub use supervisor::{ShardSupervisor, SupervisorConfig};
 
 /// Admission, batching and execution policy for the serving layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +123,45 @@ pub struct ServeConfig {
     /// behind `/debug/timeline`. Recorded only when an observer is
     /// attached, like the SLO tracker.
     pub timeline: TimelineConfig,
+    /// Deadline-feasibility fast reject at admission. `None` (default)
+    /// disables the check, preserving pre-existing scripted traces.
+    pub feasibility: Option<FeasibilityConfig>,
+    /// Brownout shedding policy. `None` (default) disables shedding.
+    pub brownout: Option<BrownoutConfig>,
+}
+
+/// Policy for the deadline-feasibility fast reject: refuse a request at
+/// the door ([`RejectReason::Infeasible`]) when its relative deadline is
+/// shorter than the shard's own p95 admission-to-completion estimate,
+/// read from the `serve.request_latency_ns` histogram. Only active on
+/// observed engines — unobserved builds have no histogram to consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeasibilityConfig {
+    /// Completed-request samples the histogram must hold before the
+    /// estimate is trusted; below this every deadline is admitted.
+    pub min_samples: u64,
+}
+
+impl Default for FeasibilityConfig {
+    fn default() -> Self {
+        Self { min_samples: 32 }
+    }
+}
+
+/// Policy for brownout shedding: once queue depth exceeds `high_water`,
+/// the pump evicts the lowest-priority waiting requests (newest first
+/// among equals) down to the mark, answering each
+/// [`Disposition::Failed`] with [`RejectReason::Shed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrownoutConfig {
+    /// Queue depth above which shedding starts.
+    pub high_water: usize,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        Self { high_water: 32 }
+    }
 }
 
 impl Default for ServeConfig {
@@ -132,6 +175,8 @@ impl Default for ServeConfig {
             threads: 0,
             slo: SloConfig::default(),
             timeline: TimelineConfig::default(),
+            feasibility: None,
+            brownout: None,
         }
     }
 }

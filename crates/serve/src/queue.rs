@@ -23,6 +23,25 @@ pub enum RejectReason {
     },
     /// The service is draining for shutdown and admits nothing new.
     Draining,
+    /// The request's shard is down (batcher dead or executor poisoned)
+    /// and no live shard could take it. Also the terminal disposition
+    /// handed to requests that were already in flight when the shard
+    /// died — admitted work is answered, never abandoned silently.
+    ShardFailed,
+    /// Deadline-feasibility fast reject: the relative deadline is
+    /// shorter than the shard's own p95 service-time estimate, so
+    /// admitting the request would almost certainly burn a batch slot on
+    /// work that expires anyway.
+    Infeasible {
+        /// The shard's p95 admission-to-completion estimate, ns.
+        needed_ns: u64,
+        /// The relative deadline the request asked for, ns.
+        deadline_ns: u64,
+    },
+    /// Brownout shedding evicted the request: queue depth crossed the
+    /// configured high-water mark and this request was among the lowest
+    /// priority waiting.
+    Shed,
 }
 
 impl RejectReason {
@@ -32,6 +51,9 @@ impl RejectReason {
         match self {
             Self::QueueFull { .. } => "queue_full",
             Self::Draining => "draining",
+            Self::ShardFailed => "shard_failed",
+            Self::Infeasible { .. } => "infeasible",
+            Self::Shed => "shed",
         }
     }
 }
@@ -43,6 +65,15 @@ impl fmt::Display for RejectReason {
                 write!(f, "admission queue full ({capacity} waiting)")
             }
             Self::Draining => write!(f, "service is draining"),
+            Self::ShardFailed => write!(f, "shard failed"),
+            Self::Infeasible {
+                needed_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "deadline infeasible ({deadline_ns} ns asked, p95 service is {needed_ns} ns)"
+            ),
+            Self::Shed => write!(f, "shed under brownout"),
         }
     }
 }
@@ -97,6 +128,9 @@ pub(crate) struct Pending {
     pub enqueued_ns: u64,
     /// Absolute expiry instant, when the request carries a deadline.
     pub deadline_ns: Option<u64>,
+    /// Brownout priority class: higher values survive shedding longer.
+    /// Unprioritized submissions get 0.
+    pub priority: u8,
 }
 
 /// A batch the queue has released for execution: an ordered slice of
@@ -150,6 +184,7 @@ pub struct AdmissionQueue {
     next_id: u64,
     next_batch: u64,
     draining: bool,
+    failed: bool,
 }
 
 impl AdmissionQueue {
@@ -162,6 +197,7 @@ impl AdmissionQueue {
             next_id: 0,
             next_batch: 0,
             draining: false,
+            failed: false,
         }
     }
 
@@ -181,6 +217,25 @@ impl AdmissionQueue {
     #[must_use]
     pub fn is_draining(&self) -> bool {
         self.draining
+    }
+
+    /// Whether the owning shard is marked failed: every submission is
+    /// refused with [`RejectReason::ShardFailed`] until the shard
+    /// restarts and clears the mark.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Marks the owning shard failed. Request ids keep advancing across
+    /// the outage so a restarted shard never reuses an id.
+    pub(crate) fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Clears the failed mark after the shard restarted.
+    pub(crate) fn restore(&mut self) {
+        self.failed = false;
     }
 
     /// Batches released so far.
@@ -219,6 +274,21 @@ impl AdmissionQueue {
         deadline_ns: Option<u64>,
         key: Option<u64>,
     ) -> Result<u64, RejectReason> {
+        self.submit_prioritized(now_ns, job, deadline_ns, key, 0)
+    }
+
+    /// [`Self::submit_keyed`] with an explicit brownout priority class.
+    pub(crate) fn submit_prioritized(
+        &mut self,
+        now_ns: u64,
+        job: JobSpec,
+        deadline_ns: Option<u64>,
+        key: Option<u64>,
+        priority: u8,
+    ) -> Result<u64, RejectReason> {
+        if self.failed {
+            return Err(RejectReason::ShardFailed);
+        }
         if self.draining {
             return Err(RejectReason::Draining);
         }
@@ -240,6 +310,7 @@ impl AdmissionQueue {
             key,
             enqueued_ns: now_ns,
             deadline_ns: deadline,
+            priority,
         });
         Ok(id)
     }
@@ -258,6 +329,36 @@ impl AdmissionQueue {
             _ => true,
         });
         expired
+    }
+
+    /// Brownout shedding: while more than `high_water` requests wait,
+    /// evicts the lowest-priority one (newest first among equals) and
+    /// returns the victims in eviction order. Purely a function of queue
+    /// state, so a scripted run sheds the same requests every time.
+    pub(crate) fn take_shed(&mut self, high_water: usize) -> Vec<Pending> {
+        let mut shed = Vec::new();
+        while self.queue.len() > high_water {
+            let min_priority = self
+                .queue
+                .iter()
+                .map(|p| p.priority)
+                .min()
+                .expect("queue is non-empty above the high-water mark");
+            let victim = self
+                .queue
+                .iter()
+                .rposition(|p| p.priority == min_priority)
+                .expect("a min-priority element exists");
+            shed.push(self.queue.remove(victim).expect("victim index in range"));
+        }
+        shed
+    }
+
+    /// Empties the queue for shard-failure handling, in admission order.
+    /// The caller answers each request terminally with
+    /// [`RejectReason::ShardFailed`].
+    pub(crate) fn take_all(&mut self) -> Vec<Pending> {
+        self.queue.drain(..).collect()
     }
 
     /// Releases the next ready batch, if any: a full `max_batch` slice
@@ -455,5 +556,50 @@ mod tests {
             .contains("full"));
         assert_eq!(RejectReason::Draining.label(), "draining");
         assert_eq!(BatchTrigger::Linger.label(), "linger");
+        assert_eq!(RejectReason::ShardFailed.label(), "shard_failed");
+        assert!(RejectReason::Infeasible {
+            needed_ns: 100,
+            deadline_ns: 10
+        }
+        .to_string()
+        .contains("p95"));
+        assert_eq!(RejectReason::Shed.label(), "shed");
+    }
+
+    #[test]
+    fn failed_queue_refuses_until_restored_without_reusing_ids() {
+        let mut q = queue(8, 8, 100);
+        assert_eq!(q.submit(0, probe(1.0), None), Ok(0));
+        q.fail();
+        assert!(q.is_failed());
+        assert_eq!(
+            q.submit(0, probe(2.0), None),
+            Err(RejectReason::ShardFailed)
+        );
+        q.restore();
+        assert_eq!(
+            q.submit(0, probe(3.0), None),
+            Ok(1),
+            "id 1 was never burned"
+        );
+    }
+
+    #[test]
+    fn shedding_evicts_lowest_priority_newest_first() {
+        let mut q = queue(8, 8, 1_000_000);
+        q.submit_prioritized(0, probe(0.0), None, None, 1).unwrap(); // id 0
+        q.submit_prioritized(0, probe(1.0), None, None, 0).unwrap(); // id 1
+        q.submit_prioritized(0, probe(2.0), None, None, 0).unwrap(); // id 2
+        q.submit_prioritized(0, probe(3.0), None, None, 2).unwrap(); // id 3
+        let shed = q.take_shed(2);
+        assert_eq!(
+            shed.iter().map(|p| p.id).collect::<Vec<_>>(),
+            vec![2, 1],
+            "priority-0 victims go newest first"
+        );
+        assert_eq!(q.depth(), 2);
+        assert!(q.take_shed(2).is_empty(), "at the mark, nothing sheds");
+        let survivors: Vec<u64> = q.take_all().iter().map(|p| p.id).collect();
+        assert_eq!(survivors, vec![0, 3], "high-priority requests survive");
     }
 }

@@ -4,6 +4,8 @@ use std::fmt;
 
 use canti_farm::{FarmError, JobOutput};
 
+use crate::RejectReason;
+
 /// The serving layer's answer to one admitted request.
 ///
 /// Equality is exact (payload `f64`s compare bitwise through
@@ -74,6 +76,16 @@ pub enum Disposition {
         /// The absolute deadline instant it missed, ns.
         deadline_ns: u64,
     },
+    /// The serving layer itself gave up on an **already admitted**
+    /// request: its shard died before the batch completed
+    /// ([`RejectReason::ShardFailed`]) or brownout shedding evicted it
+    /// from the queue ([`RejectReason::Shed`]). Terminal by contract —
+    /// a waiter on the request's ticket always wakes up with this
+    /// response instead of hanging on a dead batcher.
+    Failed {
+        /// Why the serving layer abandoned the request.
+        reason: RejectReason,
+    },
 }
 
 impl Disposition {
@@ -90,6 +102,7 @@ impl Disposition {
             Self::Completed { result: Ok(_), .. } => "ok",
             Self::Completed { result: Err(_), .. } => "job_failed",
             Self::Expired { .. } => "expired",
+            Self::Failed { reason } => reason.label(),
         }
     }
 }
@@ -123,6 +136,9 @@ impl fmt::Display for ServeResponse {
                 "request {}: expired after {waited_ns} ns (deadline at {deadline_ns} ns)",
                 self.request_id
             ),
+            Disposition::Failed { reason } => {
+                write!(f, "request {}: abandoned ({reason})", self.request_id)
+            }
         }
     }
 }
@@ -183,6 +199,26 @@ mod tests {
         assert!(!expired.disposition.is_ok());
         assert_eq!(expired.disposition.label(), "expired");
         assert!(expired.to_string().contains("expired"));
+
+        let failed = ServeResponse {
+            request_id: 6,
+            trace: canti_obs::trace_id(6),
+            disposition: Disposition::Failed {
+                reason: RejectReason::ShardFailed,
+            },
+        };
+        assert!(!failed.disposition.is_ok());
+        assert_eq!(failed.disposition.label(), "shard_failed");
+        assert!(failed.to_string().contains("abandoned"));
+
+        let shed = ServeResponse {
+            request_id: 7,
+            trace: canti_obs::trace_id(7),
+            disposition: Disposition::Failed {
+                reason: RejectReason::Shed,
+            },
+        };
+        assert_eq!(shed.disposition.label(), "shed");
     }
 
     #[test]

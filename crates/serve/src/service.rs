@@ -6,20 +6,38 @@
 //! [`Ticket`] they can block on (or poll); the batcher forms batches
 //! *under* the lock but executes them *outside* it, so admission stays
 //! reject-fast while the farm computes.
+//!
+//! # Failure and revival
+//!
+//! Every admitted request gets a **terminal** answer — that promise
+//! holds even when execution dies underneath it. A batch whose executor
+//! panics (a poisoned pool, an armed chaos kill) is caught at the
+//! batcher; the service marks itself [`ShardHealth::Down`], answers the
+//! doomed batch, every later formed batch and the whole queue with
+//! [`crate::Disposition::Failed`] / [`RejectReason::ShardFailed`], and
+//! rejects new submissions the same way. [`Ticket::wait`] therefore
+//! never hangs on a dead shard. A down service stays down until
+//! [`ServeService::revive`] (called by the sharded supervisor after its
+//! backoff) swaps in a fresh executor — fresh worker pool, same shared
+//! cache, clock and instruments — and reopens admission as
+//! [`ShardHealth::Recovering`].
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use canti_farm::{FarmObserver, JobSpec};
+use canti_fault::{ServeChaos, ServeFaultPlan};
 use canti_obs::{ObsClock, WallClock};
 
 use crate::engine::{Front, ServeStats};
 use crate::exec::BatchExecutor;
-use crate::queue::RejectReason;
-use crate::response::ServeResponse;
+use crate::queue::{FormedBatch, RejectReason};
+use crate::response::{Disposition, ServeResponse};
+use crate::shard::ShardHealth;
 use crate::ServeConfig;
 
 /// How long the batcher sleeps when the queue is empty and nothing can
@@ -28,8 +46,9 @@ const IDLE_WAIT: Duration = Duration::from_millis(50);
 
 /// A claim on one admitted request's eventual response.
 ///
-/// Fulfilled exactly once — by batch completion, deadline expiry, or the
-/// drain flush at shutdown. Dropping the ticket discards the response.
+/// Fulfilled exactly once — by batch completion, deadline expiry, shard
+/// failure, or the drain flush at shutdown. Dropping the ticket discards
+/// the response.
 #[derive(Debug)]
 pub struct Ticket {
     id: u64,
@@ -51,9 +70,10 @@ impl Ticket {
 
     /// Blocks until the response arrives and returns it.
     ///
-    /// Every admitted request is answered — completion, expiry, or the
-    /// shutdown drain — so this cannot wait forever while the service
-    /// (or its final drain) is running.
+    /// Every admitted request is answered terminally — completion,
+    /// expiry, shard failure, or the shutdown drain — so this cannot
+    /// wait forever: a dying batcher fails its outstanding tickets
+    /// before the shard goes down.
     #[must_use]
     pub fn wait(self) -> ServeResponse {
         let mut guard = self
@@ -84,33 +104,69 @@ impl Ticket {
     }
 }
 
+/// What the ticket table remembers about an outstanding request — enough
+/// to answer it terminally even if its `Pending` was consumed by a batch
+/// that died taking the batcher thread with it.
+#[derive(Debug)]
+struct TicketCell {
+    slot: Arc<Slot>,
+    key: u64,
+    trace: u64,
+    enqueued_ns: u64,
+}
+
 struct State {
     front: Front,
-    tickets: BTreeMap<u64, Arc<Slot>>,
+    tickets: BTreeMap<u64, TicketCell>,
 }
 
 struct Shared {
     state: Mutex<State>,
     wake: Condvar,
-    executor: BatchExecutor,
+    executor: Mutex<BatchExecutor>,
+    clock: Arc<dyn ObsClock>,
     stop: AtomicBool,
+    health: AtomicU8,
+    restarts: AtomicU64,
 }
 
 impl Shared {
-    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+    fn lock(&self) -> MutexGuard<'_, State> {
         self.state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    fn executor(&self) -> MutexGuard<'_, BatchExecutor> {
+        self.executor
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn health(&self) -> ShardHealth {
+        ShardHealth::from_u8(self.health.load(Ordering::SeqCst))
+    }
+
+    /// One clean batch moves the health ladder one rung:
+    /// `Recovering → Degraded → Healthy`.
+    fn promote_health(&self) {
+        let next = match self.health() {
+            ShardHealth::Recovering => ShardHealth::Degraded,
+            ShardHealth::Degraded => ShardHealth::Healthy,
+            other => other,
+        };
+        self.health.store(next.as_u8(), Ordering::SeqCst);
+    }
+
     fn fulfil(state: &mut State, responses: Vec<ServeResponse>) {
         for response in responses {
-            if let Some(slot) = state.tickets.remove(&response.request_id) {
-                *slot
+            if let Some(cell) = state.tickets.remove(&response.request_id) {
+                *cell
+                    .slot
                     .response
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(response);
-                slot.ready.notify_all();
+                cell.slot.ready.notify_all();
             }
         }
     }
@@ -136,14 +192,14 @@ impl Shared {
 /// ```
 pub struct ServeService {
     shared: Arc<Shared>,
-    batcher: Option<JoinHandle<()>>,
+    batcher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ServeService {
     /// Starts a service on the wall clock with no observer.
     #[must_use]
     pub fn start(config: ServeConfig) -> Self {
-        Self::start_with(config, Arc::new(WallClock::new()), None)
+        Self::start_with(config, Arc::new(WallClock::new()), None, None)
     }
 
     /// Starts a service recording serve metrics, spans and farm
@@ -151,13 +207,26 @@ impl ServeService {
     #[must_use]
     pub fn start_observed(config: ServeConfig, observer: FarmObserver) -> Self {
         let clock = Arc::clone(observer.clock());
-        Self::start_with(config, clock, Some(observer))
+        Self::start_with(config, clock, Some(observer), None)
+    }
+
+    /// [`Self::start_observed`] with this shard's slice of a serve fault
+    /// plan armed on the executor.
+    pub(crate) fn start_chaos(
+        config: ServeConfig,
+        observer: FarmObserver,
+        plan: &ServeFaultPlan,
+        shard: usize,
+    ) -> Self {
+        let clock = Arc::clone(observer.clock());
+        Self::start_with(config, clock, Some(observer), Some((plan, shard)))
     }
 
     fn start_with(
         config: ServeConfig,
         clock: Arc<dyn ObsClock>,
         observer: Option<FarmObserver>,
+        chaos: Option<(&ServeFaultPlan, usize)>,
     ) -> Self {
         let mut executor = BatchExecutor::new(config.threads, Arc::clone(&clock));
         // one instrument set shared between front and executor: SLO
@@ -171,25 +240,28 @@ impl ServeService {
                 instruments.clone().expect("built above with the observer"),
             );
         }
+        if let Some((plan, shard)) = chaos {
+            let injector = ServeChaos::new(plan, shard);
+            if !injector.is_empty() {
+                executor = executor.with_chaos(Arc::new(Mutex::new(injector)));
+            }
+        }
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                front: Front::new(config, clock, observer, instruments),
+                front: Front::new(config, Arc::clone(&clock), observer, instruments),
                 tickets: BTreeMap::new(),
             }),
             wake: Condvar::new(),
-            executor,
+            executor: Mutex::new(executor),
+            clock,
             stop: AtomicBool::new(false),
+            health: AtomicU8::new(ShardHealth::Healthy.as_u8()),
+            restarts: AtomicU64::new(0),
         });
-        let batcher = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("canti-serve-batcher".into())
-                .spawn(move || batcher_loop(&shared))
-                .expect("spawn batcher thread")
-        };
+        let batcher = spawn_batcher(Arc::clone(&shared));
         Self {
             shared,
-            batcher: Some(batcher),
+            batcher: Mutex::new(Some(batcher)),
         }
     }
 
@@ -199,7 +271,7 @@ impl ServeService {
     /// # Errors
     ///
     /// Rejected immediately with a [`RejectReason`] when the queue is
-    /// full or the service is shutting down.
+    /// full, the shard is down, or the service is shutting down.
     pub fn submit(&self, job: JobSpec) -> Result<Ticket, RejectReason> {
         self.submit_inner(job, None)
     }
@@ -210,7 +282,7 @@ impl ServeService {
     /// # Errors
     ///
     /// Rejected immediately with a [`RejectReason`] when the queue is
-    /// full or the service is shutting down.
+    /// full, the shard is down, or the service is shutting down.
     pub fn submit_with_deadline(
         &self,
         job: JobSpec,
@@ -244,7 +316,16 @@ impl ServeService {
             let mut state = self.shared.lock();
             let id = state.front.admit_keyed(job, deadline_ns, key)?;
             let slot = Arc::new(Slot::default());
-            state.tickets.insert(id, Arc::clone(&slot));
+            let seed_key = key.unwrap_or(id);
+            state.tickets.insert(
+                id,
+                TicketCell {
+                    slot: Arc::clone(&slot),
+                    key: seed_key,
+                    trace: canti_obs::TraceContext::from_admission(seed_key).trace,
+                    enqueued_ns: self.shared.clock.now_ns(),
+                },
+            );
             Ticket { id, slot }
         };
         self.shared.wake.notify_all();
@@ -263,10 +344,97 @@ impl ServeService {
         self.shared.lock().front.stats()
     }
 
+    /// This shard's current health. `Down` means the executor died and
+    /// the service is refusing work until [`Self::revive`].
+    #[must_use]
+    pub fn health(&self) -> ShardHealth {
+        self.shared.health()
+    }
+
+    /// Whether the shard is down (dead executor, refusing work).
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        !self.health().is_live()
+    }
+
+    /// Times the executor was replaced by [`Self::revive`].
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::SeqCst)
+    }
+
+    /// Brings a `Down` shard back: swaps in a fresh executor (new worker
+    /// pool; same shared cache, clock, observer and instruments), reopens
+    /// admission and moves health to `Recovering`. Also respawns the
+    /// batcher thread in the unlikely case the thread itself died (the
+    /// normal executor-panic path keeps it alive). Returns `false` when
+    /// the shard was not down.
+    pub fn revive(&self) -> bool {
+        if self
+            .shared
+            .health
+            .compare_exchange(
+                ShardHealth::Down.as_u8(),
+                ShardHealth::Recovering.as_u8(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
+        {
+            return false;
+        }
+        let restarts = self.shared.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+        {
+            let mut executor = self.shared.executor();
+            let fresh = executor.resurrected();
+            *executor = fresh;
+            if let Some(ins) = executor.instruments() {
+                ins.shard_restarts.inc();
+            }
+            if let Some(o) = executor.observer() {
+                o.tracer()
+                    .event("shard_recovered", &[("restarts", restarts.into())]);
+            }
+        }
+        self.shared.lock().front.mark_recovered();
+        {
+            let mut batcher = self
+                .batcher
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if batcher.as_ref().is_some_and(JoinHandle::is_finished) {
+                if let Some(dead) = batcher.take() {
+                    let _ = dead.join();
+                }
+                *batcher = Some(spawn_batcher(Arc::clone(&self.shared)));
+            }
+        }
+        self.shared.wake.notify_all();
+        true
+    }
+
+    /// Records a request failed over *to* this shard (counter + trace
+    /// event on this shard's observer).
+    pub(crate) fn note_failover(&self, request_id: u64, from_shard: usize) {
+        {
+            let state = self.shared.lock();
+            if let Some(ins) = state.front.instruments() {
+                ins.failovers.inc();
+            }
+        }
+        let executor = self.shared.executor();
+        if let Some(o) = executor.observer() {
+            o.tracer().event(
+                "failover",
+                &[("request", request_id.into()), ("from", from_shard.into())],
+            );
+        }
+    }
+
     /// The attached observer, if the service was started observed.
     #[must_use]
     pub fn observer(&self) -> Option<FarmObserver> {
-        self.shared.executor.observer().cloned()
+        self.shared.executor().observer().cloned()
     }
 
     /// The SLO tracker scoring this service's requests (present when
@@ -305,7 +473,7 @@ impl ServeService {
     /// The worker threads the executor's persistent pool actually runs.
     #[must_use]
     pub fn pool_threads(&self) -> usize {
-        self.shared.executor.pool_threads()
+        self.shared.executor().pool_threads()
     }
 
     /// Graceful shutdown: stop admitting (later submissions get
@@ -313,14 +481,22 @@ impl ServeService {
     /// final batches, fulfil every outstanding ticket, join the batcher
     /// and return the final tallies.
     #[must_use = "the drain summary reports what the service did"]
-    pub fn shutdown(mut self) -> ServeStats {
-        self.shutdown_inner()
+    pub fn shutdown(self) -> ServeStats {
+        self.shutdown_ref()
     }
 
-    fn shutdown_inner(&mut self) -> ServeStats {
+    /// [`Self::shutdown`] through a shared reference, for fronts that
+    /// hold the service in an [`Arc`] (idempotent: later calls just
+    /// return the tallies).
+    pub(crate) fn shutdown_ref(&self) -> ServeStats {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.wake.notify_all();
-        if let Some(handle) = self.batcher.take() {
+        let handle = self
+            .batcher
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
             let _ = handle.join();
         }
         self.shared.lock().front.stats()
@@ -329,8 +505,13 @@ impl ServeService {
 
 impl Drop for ServeService {
     fn drop(&mut self) {
-        if self.batcher.is_some() {
-            let _ = self.shutdown_inner();
+        let running = self
+            .batcher
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_some();
+        if running {
+            let _ = self.shutdown_ref();
         }
     }
 }
@@ -338,29 +519,111 @@ impl Drop for ServeService {
 impl std::fmt::Debug for ServeService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServeService")
+            .field("health", &self.health())
             .field("queue_depth", &self.queue_depth())
             .field("stats", &self.stats())
             .finish()
     }
 }
 
-/// One batcher pass: expire and form under the lock, execute each formed
-/// batch outside it, fulfil tickets back under the lock. Returns whether
-/// anything happened.
+fn spawn_batcher(shared: Arc<Shared>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("canti-serve-batcher".into())
+        .spawn(move || {
+            if catch_unwind(AssertUnwindSafe(|| batcher_loop(&shared))).is_err() {
+                // Safety net for panics outside batch execution (those
+                // are caught per-batch in run_formed): mark the shard
+                // down and answer every outstanding ticket terminally so
+                // no waiter hangs on the dead thread.
+                shared
+                    .health
+                    .store(ShardHealth::Down.as_u8(), Ordering::SeqCst);
+                let mut state = shared.lock();
+                let responses = state.front.fail_queued();
+                Shared::fulfil(&mut state, responses);
+                let known: Vec<(u64, u64, u64, u64)> = state
+                    .tickets
+                    .iter()
+                    .map(|(&id, c)| (id, c.key, c.trace, c.enqueued_ns))
+                    .collect();
+                let responses = state.front.fail_inflight(&known);
+                Shared::fulfil(&mut state, responses);
+            }
+        })
+        .expect("spawn batcher thread")
+}
+
+/// One batcher pass: expire, shed and form under the lock, execute each
+/// formed batch outside it, fulfil tickets back under the lock. Returns
+/// whether anything happened.
 fn pump_once(shared: &Shared) -> bool {
-    let (mut worked, batches) = {
+    let (worked, batches) = {
         let mut state = shared.lock();
         let expired = state.front.take_expired();
-        let worked = !expired.is_empty();
+        let shed = state.front.take_shed();
+        let worked = !expired.is_empty() || !shed.is_empty();
         Shared::fulfil(&mut state, expired);
+        Shared::fulfil(&mut state, shed);
         (worked, state.front.form_ready())
     };
-    for batch in batches {
+    run_formed(shared, batches) || worked
+}
+
+/// Executes formed batches in order, fulfilling tickets after each. An
+/// executor panic (poisoned pool, chaos kill) marks the shard `Down` and
+/// answers the doomed batch's members, every later formed batch and the
+/// whole queue with [`RejectReason::ShardFailed`] — terminally, so no
+/// ticket is left hanging. Returns whether any batch ran.
+fn run_formed(shared: &Shared, batches: Vec<FormedBatch>) -> bool {
+    let mut worked = false;
+    let mut batches = batches.into_iter();
+    while let Some(batch) = batches.next() {
         worked = true;
-        let responses = shared.executor.execute(batch);
-        let mut state = shared.lock();
-        state.front.finish(&responses);
-        Shared::fulfil(&mut state, responses);
+        let members = batch.items.clone();
+        let index = batch.index;
+        let result = {
+            let executor = shared.executor();
+            catch_unwind(AssertUnwindSafe(|| executor.execute(batch)))
+        };
+        match result {
+            Ok(responses) => {
+                let clean = responses
+                    .iter()
+                    .any(|r| matches!(r.disposition, Disposition::Completed { .. }));
+                if clean {
+                    // promote before fulfilment so a waiter that wakes on
+                    // its ticket already sees the stepped-up health
+                    shared.promote_health();
+                }
+                let mut state = shared.lock();
+                state.front.finish(&responses);
+                Shared::fulfil(&mut state, responses);
+            }
+            Err(_) => {
+                shared
+                    .health
+                    .store(ShardHealth::Down.as_u8(), Ordering::SeqCst);
+                {
+                    let executor = shared.executor();
+                    if let Some(o) = executor.observer() {
+                        o.tracer().event("shard_down", &[("batch", index.into())]);
+                    }
+                }
+                let mut state = shared.lock();
+                let mut responses: Vec<ServeResponse> = members
+                    .iter()
+                    .map(|p| state.front.fail_pending(p))
+                    .collect();
+                for stranded in batches.by_ref() {
+                    for p in &stranded.items {
+                        responses.push(state.front.fail_pending(p));
+                    }
+                }
+                responses.extend(state.front.fail_queued());
+                Shared::fulfil(&mut state, responses);
+                break;
+            }
+        }
     }
     worked
 }
@@ -381,24 +644,19 @@ fn batcher_loop(shared: &Shared) {
         let _unused = shared.wake.wait_timeout(state, IDLE_WAIT);
     }
     // Drain: stop admission, flush the remainder, answer every ticket.
+    // (A down shard already answered everything; its drain is empty.)
     let batches = {
         let mut state = shared.lock();
         let expired = state.front.take_expired();
         Shared::fulfil(&mut state, expired);
         state.front.begin_drain()
     };
-    for batch in batches {
-        let responses = shared.executor.execute(batch);
-        let mut state = shared.lock();
-        state.front.finish(&responses);
-        Shared::fulfil(&mut state, responses);
-    }
+    let _ = run_formed(shared, batches);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::response::Disposition;
     use canti_farm::ProbeMode;
 
     fn probe(v: f64) -> JobSpec {
@@ -421,6 +679,7 @@ mod tests {
             assert_eq!(r.request_id, i as u64);
             assert!(r.disposition.is_ok(), "request {i}: {r}");
         }
+        assert_eq!(service.health(), ShardHealth::Healthy);
         let stats = service.shutdown();
         assert_eq!(stats.completed, 4);
         assert_eq!(stats.batches, 1);
@@ -529,5 +788,94 @@ mod tests {
         let ticket = service.submit(probe(1.0)).expect("admitted");
         drop(service); // must drain, not leak the batcher or the ticket
         assert!(ticket.wait().disposition.is_ok());
+    }
+
+    #[test]
+    fn executor_panic_answers_every_ticket_terminally() {
+        // A chaos plan that kills this shard on its first batch: the
+        // executor panics under the batch, and *every* waiter — batch
+        // members and still-queued requests alike — must get a terminal
+        // Failed answer, never a hang.
+        let (observer, _ring) = FarmObserver::profiling(4096);
+        let plan = ServeFaultPlan::kill_shard(0, 0);
+        let service = ServeService::start_chaos(
+            ServeConfig {
+                max_batch: 2,
+                linger_ns: u64::MAX, // only size fires: 2 ride, 1 queues
+                threads: 1,
+                ..ServeConfig::default()
+            },
+            observer,
+            &plan,
+            0,
+        );
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| service.submit(probe(f64::from(i))).expect("admitted"))
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let r = t.wait();
+            match r.disposition {
+                Disposition::Failed {
+                    reason: RejectReason::ShardFailed,
+                } => {}
+                other => panic!("request {i}: expected ShardFailed, got {other:?}"),
+            }
+        }
+        assert_eq!(service.health(), ShardHealth::Down);
+        assert!(service.is_down());
+        // a down shard refuses new work with the same terminal reason
+        assert_eq!(
+            service.submit(probe(9.0)).map(|t| t.id()),
+            Err(RejectReason::ShardFailed)
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.failed, 3);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn revive_brings_a_down_shard_back() {
+        let (observer, _ring) = FarmObserver::profiling(4096);
+        let plan = ServeFaultPlan::kill_shard(0, 0);
+        let service = ServeService::start_chaos(
+            ServeConfig {
+                max_batch: 1,
+                linger_ns: u64::MAX,
+                threads: 1,
+                ..ServeConfig::default()
+            },
+            observer,
+            &plan,
+            0,
+        );
+        let doomed = service.submit(probe(1.0)).expect("admitted");
+        assert!(matches!(
+            doomed.wait().disposition,
+            Disposition::Failed { .. }
+        ));
+        assert_eq!(service.health(), ShardHealth::Down);
+
+        assert!(service.revive(), "down shard revives");
+        assert!(!service.revive(), "second revive is a no-op");
+        assert_eq!(service.health(), ShardHealth::Recovering);
+        assert_eq!(service.restarts(), 1);
+
+        // the revived shard serves again (the kill event already fired)
+        let ticket = service.submit(probe(2.0)).expect("readmitted");
+        assert!(ticket.wait().disposition.is_ok());
+        assert!(
+            matches!(
+                service.health(),
+                ShardHealth::Degraded | ShardHealth::Healthy
+            ),
+            "clean batches walk the ladder up, got {:?}",
+            service.health()
+        );
+        let observer = service.observer().expect("observer");
+        assert_eq!(observer.metrics().counter("serve.shard_restarts").get(), 1);
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
     }
 }

@@ -1,5 +1,5 @@
 //! Sharded serving: N independent farm shards behind deterministic
-//! request routing.
+//! request routing, with health supervision and failover.
 //!
 //! A shard is a complete serving stack of its own — admission queue,
 //! batcher, executor, persistent worker pool — so shards share no locks
@@ -18,6 +18,13 @@
 //!   batch, slot, or shard it lands in — this is what extends the
 //!   serve determinism contract from "any worker count" to "any worker
 //!   *and shard* count".
+//! * **Failover** — when a request's primary shard is
+//!   [`ShardHealth::Down`], [`route_failover`] reroutes it to the live
+//!   shard with the highest rendezvous rank for that id. The fallback
+//!   is a pure function of `(request id, liveness mask)`, so two runs
+//!   with the same health script fail over identically — and because
+//!   payloads are pinned by [`request_seed`], a failed-over request
+//!   still computes the same bits it would have computed on its primary.
 //!
 //! # What is and is not shard-invariant
 //!
@@ -28,18 +35,25 @@
 //! per-request payload bits, the routing assignment, and scripted
 //! deadline expiries are identical at any `(workers, shards)`; the
 //! *full* trace (batches included) is identical across worker counts at
-//! a fixed shard count.
+//! a fixed shard count. `tests/serve_failover.rs` extends the same
+//! contract to scripted chaos: given the same fault plan, the failover
+//! assignment and every terminal answer are identical at any worker
+//! count.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use canti_farm::{FarmObserver, JobSpec};
+use canti_fault::ServeFaultPlan;
 use canti_obs::ObsClock;
 
 use crate::engine::{BatchRecord, ServeEngine, ServeStats};
 use crate::queue::RejectReason;
 use crate::response::ServeResponse;
 use crate::service::{ServeService, Ticket};
+use crate::supervisor::{ShardSupervisor, SupervisorConfig};
 use crate::ServeConfig;
 
 /// The 64-bit splitmix finalizer: a cheap, well-mixed bijection on
@@ -54,11 +68,52 @@ pub fn splitmix64(x: u64) -> u64 {
 }
 
 /// The routing rule: global request id → shard index. A pure function
-/// of `(request_id, shards)`; `shards` is clamped to ≥ 1.
+/// of `(request_id, shards)`.
+///
+/// # Panics
+///
+/// Panics when `shards == 0`: a zero-shard topology has nowhere to
+/// route, and silently clamping it to one shard would let a
+/// misconfigured front serve traffic on a topology nobody asked for.
 #[must_use]
 pub fn route_request(request_id: u64, shards: usize) -> usize {
-    let shards = shards.max(1) as u64;
-    (splitmix64(request_id) % shards) as usize
+    assert!(shards > 0, "route_request: shards must be >= 1, got 0");
+    (splitmix64(request_id) % shards as u64) as usize
+}
+
+/// The failover rule: the shard a request lands on given which shards
+/// are live. The primary ([`route_request`]) wins while live; otherwise
+/// the live shard with the highest rendezvous rank for this id takes
+/// over. Returns `None` when no shard is live.
+///
+/// The rank is a pure hash of `(request id, shard)`, so the fallback
+/// order of a given id is a fixed permutation of the shards — two runs
+/// with the same liveness mask reroute identically. Rendezvous (rather
+/// than "next index up") keeps rerouted load spread over all survivors
+/// and keeps each id's fallback target stable as *other* shards change
+/// state.
+///
+/// # Panics
+///
+/// Panics when `live` is empty (a zero-shard topology, as in
+/// [`route_request`]).
+#[must_use]
+pub fn route_failover(request_id: u64, live: &[bool]) -> Option<usize> {
+    let primary = route_request(request_id, live.len());
+    if live[primary] {
+        return Some(primary);
+    }
+    live.iter()
+        .enumerate()
+        .filter(|&(_, &l)| l)
+        .max_by_key(|&(shard, _)| rendezvous_rank(request_id, shard))
+        .map(|(shard, _)| shard)
+}
+
+/// The rendezvous rank of `(request_id, shard)`: an independent hash
+/// per pair, so each id induces its own total order over shards.
+fn rendezvous_rank(request_id: u64, shard: usize) -> u64 {
+    splitmix64(splitmix64(request_id) ^ (shard as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
 }
 
 /// The seed rule: `(base_seed, global request id)` → the seed this
@@ -69,22 +124,90 @@ pub fn request_seed(base_seed: u64, request_id: u64) -> u64 {
     splitmix64(base_seed ^ splitmix64(request_id))
 }
 
+/// One shard's health, as the supervisor tracks it.
+///
+/// ```text
+/// Healthy → Down → Recovering → Degraded → Healthy
+/// ```
+///
+/// Everything but `Down` accepts traffic; `Down` shards are skipped by
+/// [`route_failover`] until their backoff elapses and they restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Healthy,
+    /// Restarted and past its first clean batch, still on probation.
+    Degraded,
+    /// Dead: batcher exited or executor poisoned. Takes no traffic.
+    Down,
+    /// Freshly restarted, no clean batch served yet. Takes traffic.
+    Recovering,
+}
+
+impl ShardHealth {
+    /// Stable label for telemetry and `/healthz`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Healthy => "healthy",
+            Self::Degraded => "degraded",
+            Self::Down => "down",
+            Self::Recovering => "recovering",
+        }
+    }
+
+    /// Whether the shard accepts traffic (everything but `Down`).
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        !matches!(self, Self::Down)
+    }
+
+    /// Compact encoding for the atomic health cells the threaded
+    /// service publishes.
+    #[must_use]
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            Self::Healthy => 0,
+            Self::Degraded => 1,
+            Self::Down => 2,
+            Self::Recovering => 3,
+        }
+    }
+
+    /// Inverse of [`Self::as_u8`] (unknown encodings read as `Down`,
+    /// the conservative answer).
+    #[must_use]
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Self::Healthy,
+            1 => Self::Degraded,
+            3 => Self::Recovering,
+            _ => Self::Down,
+        }
+    }
+}
+
 /// Configuration of a sharded serving layer: the shard count plus the
 /// per-shard [`ServeConfig`] every shard runs with (same base seed on
 /// every shard — [`request_seed`] already separates the streams).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardedConfig {
-    /// Independent farm shards. Clamped to ≥ 1.
+    /// Independent farm shards. Must be ≥ 1.
     pub shards: usize,
     /// The per-shard admission/batching/execution policy.
     pub base: ServeConfig,
 }
 
 impl ShardedConfig {
-    /// The effective shard count (configured value, at least 1).
+    /// The configured shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0` — see [`route_request`].
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.shards.max(1)
+        assert!(self.shards > 0, "ShardedConfig: shards must be >= 1, got 0");
+        self.shards
     }
 }
 
@@ -99,8 +222,8 @@ impl Default for ShardedConfig {
 
 /// The deterministic, explicitly pumped form of the sharded serving
 /// layer: [`crate::ServeEngine`]s behind [`route_request`], sharing one
-/// injected clock. This is what the scripted shard-determinism tests
-/// drive.
+/// injected clock, supervised by a [`ShardSupervisor`]. This is what
+/// the scripted shard-determinism and failover tests drive.
 #[derive(Debug)]
 pub struct ShardedEngine {
     engines: Vec<ServeEngine>,
@@ -108,10 +231,14 @@ pub struct ShardedEngine {
     /// order (shard engines assign dense local ids on success).
     locals: Vec<Vec<u64>>,
     next_id: u64,
+    clock: Arc<dyn ObsClock>,
+    supervisor: ShardSupervisor,
+    failovers: u64,
 }
 
 impl ShardedEngine {
-    /// A sharded engine under `config`, timing every shard on `clock`.
+    /// A sharded engine under `config`, timing every shard on `clock`,
+    /// supervised under [`SupervisorConfig::default`].
     #[must_use]
     pub fn new(config: ShardedConfig, clock: Arc<dyn ObsClock>) -> Self {
         let n = config.shard_count();
@@ -121,6 +248,9 @@ impl ShardedEngine {
                 .collect(),
             locals: vec![Vec::new(); n],
             next_id: 0,
+            clock,
+            supervisor: ShardSupervisor::new(SupervisorConfig::default(), n),
+            failovers: 0,
         }
     }
 
@@ -146,13 +276,35 @@ impl ShardedEngine {
         self
     }
 
+    /// Replaces the supervision policy (backoff, probation).
+    #[must_use]
+    pub fn with_supervisor(mut self, config: SupervisorConfig) -> Self {
+        self.supervisor = ShardSupervisor::new(config, self.engines.len());
+        self
+    }
+
+    /// Arms a [`ServeFaultPlan`]: each shard engine consumes its slice
+    /// of the plan. Shards with no scheduled events install nothing, so
+    /// an empty plan is provably identical to no plan.
+    #[must_use]
+    pub fn with_chaos_plan(mut self, plan: &ServeFaultPlan) -> Self {
+        self.engines = self
+            .engines
+            .into_iter()
+            .enumerate()
+            .map(|(shard, e)| e.with_chaos_plan(plan, shard))
+            .collect();
+        self
+    }
+
     /// The shard count.
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.engines.len()
     }
 
-    /// The shard the next admitted request will route to.
+    /// The shard the next admitted request will route to (before
+    /// failover).
     #[must_use]
     pub fn next_shard(&self) -> usize {
         route_request(self.next_id, self.engines.len())
@@ -190,7 +342,30 @@ impl ShardedEngine {
         deadline_ns: Option<u64>,
     ) -> Result<u64, RejectReason> {
         let global = self.next_id;
-        let shard = route_request(global, self.engines.len());
+        let n = self.engines.len();
+        let primary = route_request(global, n);
+        let shard = if self.shard_is_live(primary) {
+            primary
+        } else {
+            // deterministic failover: same health script, same reroute
+            let mask: Vec<bool> = (0..n).map(|s| self.shard_is_live(s)).collect();
+            let target = route_failover(global, &mask).ok_or(RejectReason::ShardFailed)?;
+            self.failovers += 1;
+            if let Some(ins) = self.engines[target].instruments() {
+                ins.failovers.inc();
+            }
+            if let Some(o) = self.engines[target].observer() {
+                o.tracer().event(
+                    "failover",
+                    &[
+                        ("request", global.into()),
+                        ("from", primary.into()),
+                        ("to", target.into()),
+                    ],
+                );
+            }
+            target
+        };
         let local = self.engines[shard].submit_keyed(job, deadline_ns, global)?;
         debug_assert_eq!(local as usize, self.locals[shard].len());
         self.locals[shard].push(global);
@@ -198,13 +373,36 @@ impl ShardedEngine {
         Ok(global)
     }
 
+    /// A shard is routable unless the supervisor marks it `Down` or its
+    /// engine has failed and the supervisor simply hasn't pumped yet.
+    fn shard_is_live(&self, shard: usize) -> bool {
+        self.supervisor.is_live(shard) && !self.engines[shard].is_failed()
+    }
+
     /// Pumps every shard in shard order, returning all responses with
-    /// their **global** request ids.
+    /// their **global** request ids. This is also where supervision
+    /// runs: `Down` shards whose backoff has elapsed are resurrected
+    /// before pumping, and shards that die during the pump are recorded
+    /// (their queued requests were already answered terminally by the
+    /// engine's failure path).
     pub fn pump(&mut self) -> Vec<ServeResponse> {
+        let now_ns = self.clock.now_ns();
         let mut out = Vec::new();
         for shard in 0..self.engines.len() {
+            if self.supervisor.restart_due(shard, now_ns) && self.engines[shard].resurrect() {
+                self.supervisor.record_restart(shard);
+            }
+            let was_failed = self.engines[shard].is_failed();
             let responses = self.engines[shard].pump();
+            let clean = responses
+                .iter()
+                .any(|r| matches!(r.disposition, crate::Disposition::Completed { .. }));
             out.extend(self.globalize(shard, responses));
+            if !was_failed && self.engines[shard].is_failed() {
+                self.supervisor.record_failure(shard, now_ns);
+            } else if clean {
+                self.supervisor.record_clean_batch(shard);
+            }
         }
         out
     }
@@ -236,6 +434,31 @@ impl ShardedEngine {
     #[must_use]
     pub fn shard_stats(&self) -> Vec<ServeStats> {
         self.engines.iter().map(ServeEngine::stats).collect()
+    }
+
+    /// Per-shard health, in shard order, as the supervisor last saw it
+    /// (updated at every [`Self::pump`]).
+    #[must_use]
+    pub fn healths(&self) -> Vec<ShardHealth> {
+        self.supervisor.healths()
+    }
+
+    /// Requests rerouted off a `Down` primary so far.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Shard restarts performed so far, across all shards.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.supervisor.total_restarts()
+    }
+
+    /// The supervisor's view of the shards (for tests and tools).
+    #[must_use]
+    pub fn supervisor(&self) -> &ShardSupervisor {
+        &self.supervisor
     }
 
     /// One shard's batch log with member ids rewritten to global ids.
@@ -319,13 +542,15 @@ impl ShardTicket {
         self.global_id
     }
 
-    /// The shard serving this request.
+    /// The shard serving this request (after failover, when it applied).
     #[must_use]
     pub fn shard(&self) -> usize {
         self.shard
     }
 
     /// Blocks until the response arrives, rewritten to the global id.
+    /// Always terminal: if the serving shard dies, the response is
+    /// [`crate::Disposition::Failed`] — never a hang.
     #[must_use]
     pub fn wait(self) -> ServeResponse {
         let mut response = self.inner.wait();
@@ -346,25 +571,31 @@ impl ShardTicket {
 
 /// The threaded form of the sharded serving layer: one
 /// [`ServeService`] (batcher thread, persistent pool) per shard, with
-/// submissions routed by [`route_request`] under a single id lock.
+/// submissions routed by [`route_request`] under a single id lock,
+/// failing over via [`route_failover`] when a shard is down, and a
+/// background supervisor thread resurrecting dead shards after their
+/// backoff.
 pub struct ShardedService {
-    shards: Vec<ServeService>,
+    shards: Vec<Arc<ServeService>>,
     /// The global id allocator. Held across the shard submit so id
     /// assignment and admission commit atomically — a rejected submit
     /// burns no id.
     router: Mutex<u64>,
+    failovers: Arc<AtomicU64>,
+    supervisor_stop: Arc<AtomicBool>,
+    supervisor_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ShardedService {
     /// Starts `config.shard_count()` services on the wall clock.
     #[must_use]
     pub fn start(config: ShardedConfig) -> Self {
-        Self {
-            shards: (0..config.shard_count())
-                .map(|_| ServeService::start(config.base))
-                .collect(),
-            router: Mutex::new(0),
-        }
+        Self::start_with(
+            config,
+            None,
+            &ServeFaultPlan::default(),
+            SupervisorConfig::default(),
+        )
     }
 
     /// Starts one observed service per shard, each timed on its own
@@ -376,17 +607,65 @@ impl ShardedService {
     /// Panics unless `observers.len()` equals the shard count.
     #[must_use]
     pub fn start_observed(config: ShardedConfig, observers: Vec<FarmObserver>) -> Self {
-        assert_eq!(
-            observers.len(),
-            config.shard_count(),
-            "one observer per shard"
-        );
-        Self {
-            shards: observers
-                .into_iter()
-                .map(|o| ServeService::start_observed(config.base, o))
+        Self::start_with(
+            config,
+            Some(observers),
+            &ServeFaultPlan::default(),
+            SupervisorConfig::default(),
+        )
+    }
+
+    /// [`Self::start_observed`] with a serve fault plan armed and an
+    /// explicit supervision policy — the chaos entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `observers.len()` equals the shard count.
+    #[must_use]
+    pub fn start_chaos(
+        config: ShardedConfig,
+        observers: Vec<FarmObserver>,
+        plan: &ServeFaultPlan,
+        supervision: SupervisorConfig,
+    ) -> Self {
+        Self::start_with(config, Some(observers), plan, supervision)
+    }
+
+    fn start_with(
+        config: ShardedConfig,
+        observers: Option<Vec<FarmObserver>>,
+        plan: &ServeFaultPlan,
+        supervision: SupervisorConfig,
+    ) -> Self {
+        let n = config.shard_count();
+        let shards: Vec<Arc<ServeService>> = match observers {
+            Some(observers) => {
+                assert_eq!(observers.len(), n, "one observer per shard");
+                observers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(shard, o)| {
+                        Arc::new(ServeService::start_chaos(config.base, o, plan, shard))
+                    })
+                    .collect()
+            }
+            None => (0..n)
+                .map(|shard| {
+                    let svc = ServeService::start(config.base);
+                    debug_assert_eq!(svc.health().as_u8(), ShardHealth::Healthy.as_u8());
+                    let _ = shard;
+                    Arc::new(svc)
+                })
                 .collect(),
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = spawn_service_supervisor(shards.clone(), supervision, Arc::clone(&stop));
+        Self {
+            shards,
             router: Mutex::new(0),
+            failovers: Arc::new(AtomicU64::new(0)),
+            supervisor_stop: stop,
+            supervisor_thread: Some(thread),
         }
     }
 
@@ -396,11 +675,13 @@ impl ShardedService {
         self.shards.len()
     }
 
-    /// Submits a request, routed by the global id rule.
+    /// Submits a request, routed by the global id rule (with failover
+    /// when the primary shard is down).
     ///
     /// # Errors
     ///
-    /// Rejected immediately with the target shard's [`RejectReason`].
+    /// Rejected immediately with the target shard's [`RejectReason`];
+    /// [`RejectReason::ShardFailed`] when no live shard remains.
     pub fn submit(&self, job: JobSpec) -> Result<ShardTicket, RejectReason> {
         self.submit_keyed(job, None)
     }
@@ -428,73 +709,119 @@ impl ShardedService {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let global_id = *next_id;
-        let shard = route_request(global_id, self.shards.len());
-        let inner = self.shards[shard].submit_keyed(job, deadline_ns, global_id)?;
-        *next_id += 1;
-        Ok(ShardTicket {
-            global_id,
-            shard,
-            inner,
-        })
+        let n = self.shards.len();
+        let primary = route_request(global_id, n);
+        let mut mask: Vec<bool> = self.shards.iter().map(|s| !s.is_down()).collect();
+        // a shard can die between the mask read and the submit; each
+        // ShardFailed answer marks it dead in our local mask and retries
+        // the failover rule, until no live shard remains
+        loop {
+            let shard = match route_failover(global_id, &mask) {
+                Some(s) => s,
+                None => return Err(RejectReason::ShardFailed),
+            };
+            match self.shards[shard].submit_keyed(job.clone(), deadline_ns, global_id) {
+                Ok(inner) => {
+                    if shard != primary {
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.shards[shard].note_failover(global_id, primary);
+                    }
+                    *next_id += 1;
+                    return Ok(ShardTicket {
+                        global_id,
+                        shard,
+                        inner,
+                    });
+                }
+                Err(RejectReason::ShardFailed) => {
+                    mask[shard] = false;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Total requests queued across all shards.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.shards.iter().map(ServeService::queue_depth).sum()
+        self.shards.iter().map(|s| s.queue_depth()).sum()
     }
 
     /// Summed tallies across shards.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
-        sum_stats(self.shards.iter().map(ServeService::stats))
+        sum_stats(self.shards.iter().map(|s| s.stats()))
     }
 
     /// Per-shard tallies, in shard order.
     #[must_use]
     pub fn shard_stats(&self) -> Vec<ServeStats> {
-        self.shards.iter().map(ServeService::stats).collect()
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Per-shard health, in shard order.
+    #[must_use]
+    pub fn healths(&self) -> Vec<ShardHealth> {
+        self.shards.iter().map(|s| s.health()).collect()
+    }
+
+    /// Requests rerouted off a down primary so far.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Shard restarts performed by the supervisor so far, across all
+    /// shards.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts()).sum()
     }
 
     /// Per-shard observers (empty entries when started unobserved).
     #[must_use]
     pub fn observers(&self) -> Vec<Option<FarmObserver>> {
-        self.shards.iter().map(ServeService::observer).collect()
+        self.shards.iter().map(|s| s.observer()).collect()
     }
 
     /// Per-shard SLO trackers, in shard order (empty entries when
     /// started unobserved).
     #[must_use]
     pub fn slos(&self) -> Vec<Option<Arc<canti_obs::SloTracker>>> {
-        self.shards.iter().map(ServeService::slo).collect()
+        self.shards.iter().map(|s| s.slo()).collect()
     }
 
     /// Per-shard request logs, in shard order (empty entries when
     /// started unobserved).
     #[must_use]
     pub fn request_logs(&self) -> Vec<Option<Arc<canti_obs::RequestLog>>> {
-        self.shards.iter().map(ServeService::request_log).collect()
+        self.shards.iter().map(|s| s.request_log()).collect()
     }
 
     /// Per-shard timeline recorders, in shard order (empty entries when
     /// started unobserved).
     #[must_use]
     pub fn timelines(&self) -> Vec<Option<Arc<canti_obs::TimelineRecorder>>> {
-        self.shards.iter().map(ServeService::timeline).collect()
+        self.shards.iter().map(|s| s.timeline()).collect()
     }
 
     /// Per-shard pool widths (the worker threads each shard's executor
     /// actually runs), in shard order.
     #[must_use]
     pub fn pool_threads(&self) -> Vec<usize> {
-        self.shards.iter().map(ServeService::pool_threads).collect()
+        self.shards.iter().map(|s| s.pool_threads()).collect()
     }
 
-    /// Gracefully shuts down every shard in shard order, returning the
-    /// final per-shard tallies.
+    /// Gracefully shuts down every shard in shard order (stopping the
+    /// supervisor thread first so nothing resurrects mid-drain),
+    /// returning the final per-shard tallies.
     #[must_use = "the drain summaries report what each shard did"]
-    pub fn shutdown(self) -> Vec<ServeStats> {
-        self.shards.into_iter().map(|s| s.shutdown()).collect()
+    pub fn shutdown(mut self) -> Vec<ServeStats> {
+        self.supervisor_stop.store(true, Ordering::Release);
+        if let Some(handle) = self.supervisor_thread.take() {
+            let _ = handle.join();
+        }
+        self.shards.iter().map(|s| s.shutdown_ref()).collect()
     }
 }
 
@@ -502,9 +829,50 @@ impl std::fmt::Debug for ShardedService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedService")
             .field("shards", &self.shards.len())
+            .field("healths", &self.healths())
             .field("stats", &self.stats())
             .finish()
     }
+}
+
+/// The wall-clock supervisor loop behind a [`ShardedService`]: polls
+/// shard health, schedules restarts with the same exponential backoff
+/// the deterministic supervisor uses, and revives dead shards.
+fn spawn_service_supervisor(
+    shards: Vec<Arc<ServeService>>,
+    config: SupervisorConfig,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("canti-serve-supervisor".into())
+        .spawn(move || {
+            let mut failures = vec![0u32; shards.len()];
+            let mut due: Vec<Option<Instant>> = vec![None; shards.len()];
+            while !stop.load(Ordering::Acquire) {
+                for (shard, svc) in shards.iter().enumerate() {
+                    if !svc.is_down() {
+                        due[shard] = None;
+                        continue;
+                    }
+                    match due[shard] {
+                        None => {
+                            failures[shard] += 1;
+                            let shift = (failures[shard] - 1).min(config.backoff_max_shift);
+                            let delay_ns = config.backoff_base_ns.saturating_mul(1u64 << shift);
+                            due[shard] = Some(Instant::now() + Duration::from_nanos(delay_ns));
+                        }
+                        Some(t) if Instant::now() >= t => {
+                            if svc.revive() {
+                                due[shard] = None;
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+        .expect("spawn canti-serve-supervisor")
 }
 
 fn sum_stats(stats: impl Iterator<Item = ServeStats>) -> ServeStats {
@@ -514,6 +882,8 @@ fn sum_stats(stats: impl Iterator<Item = ServeStats>) -> ServeStats {
         acc.expired += s.expired;
         acc.completed += s.completed;
         acc.batches += s.batches;
+        acc.failed += s.failed;
+        acc.shed += s.shed;
         acc
     })
 }
@@ -538,8 +908,23 @@ mod tests {
             assert_eq!(route_request(id, 4), route_request(id, 4));
             assert!(route_request(id, 4) < 4);
         }
-        assert_eq!(route_request(42, 0), 0, "shards clamp to 1");
         assert_eq!(route_request(42, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be >= 1")]
+    fn zero_shards_is_a_configuration_error_not_a_clamp() {
+        let _ = route_request(42, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be >= 1")]
+    fn zero_shard_config_panics_at_the_count() {
+        let cfg = ShardedConfig {
+            shards: 0,
+            base: ServeConfig::default(),
+        };
+        let _ = cfg.shard_count();
     }
 
     #[test]
@@ -547,6 +932,75 @@ mod tests {
         assert_ne!(request_seed(1, 0), request_seed(1, 1));
         assert_ne!(request_seed(1, 0), request_seed(2, 0));
         assert_eq!(request_seed(7, 3), request_seed(7, 3));
+    }
+
+    #[test]
+    fn failover_prefers_the_live_primary_and_is_deterministic() {
+        let all_live = vec![true; 4];
+        for id in 0..200u64 {
+            assert_eq!(
+                route_failover(id, &all_live),
+                Some(route_request(id, 4)),
+                "live primary wins"
+            );
+        }
+        // primary down: the fallback is stable, differs from the
+        // primary, and only ever lands on live shards
+        for id in 0..200u64 {
+            let primary = route_request(id, 4);
+            let mut mask = vec![true; 4];
+            mask[primary] = false;
+            let target = route_failover(id, &mask).expect("three live shards remain");
+            assert_ne!(target, primary);
+            assert!(mask[target]);
+            assert_eq!(
+                route_failover(id, &mask),
+                Some(target),
+                "replays identically"
+            );
+        }
+        // all dead: nowhere to go
+        assert_eq!(route_failover(7, &[false, false]), None);
+    }
+
+    #[test]
+    fn failover_spreads_rerouted_load() {
+        // kill shard 0; ids whose primary was 0 must not all pile onto
+        // one survivor
+        let mut hits = [0usize; 4];
+        let mask = [false, true, true, true];
+        for id in 0..4000u64 {
+            if route_request(id, 4) == 0 {
+                hits[route_failover(id, &mask).unwrap()] += 1;
+            }
+        }
+        assert_eq!(hits[0], 0);
+        for (shard, &h) in hits.iter().enumerate().skip(1) {
+            assert!(
+                h > 0,
+                "shard {shard} took none of the rerouted load: {hits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_health_labels_and_encoding_round_trip() {
+        for h in [
+            ShardHealth::Healthy,
+            ShardHealth::Degraded,
+            ShardHealth::Down,
+            ShardHealth::Recovering,
+        ] {
+            assert_eq!(ShardHealth::from_u8(h.as_u8()), h);
+            assert!(!h.label().is_empty());
+        }
+        assert!(ShardHealth::Recovering.is_live());
+        assert!(!ShardHealth::Down.is_live());
+        assert_eq!(
+            ShardHealth::from_u8(250),
+            ShardHealth::Down,
+            "unknown → Down"
+        );
     }
 
     #[test]
@@ -588,6 +1042,8 @@ mod tests {
             }
         }
         assert_eq!(e.stats().completed, 12);
+        assert_eq!(e.healths(), vec![ShardHealth::Healthy; 4]);
+        assert_eq!(e.failovers(), 0);
     }
 
     #[test]
@@ -641,6 +1097,7 @@ mod tests {
             assert_eq!(r.request_id, i as u64, "ticket rewrites to global id");
             assert!(r.disposition.is_ok(), "request {i}: {r}");
         }
+        assert_eq!(service.healths(), vec![ShardHealth::Healthy; 3]);
         let per_shard = service.shutdown();
         assert_eq!(per_shard.len(), 3);
         assert_eq!(per_shard.iter().map(|s| s.completed).sum::<u64>(), 9);

@@ -11,17 +11,24 @@
 //! before landing in the profiling ring.
 //!
 //! Run with:
-//! `cargo run --release --example serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--telemetry] [--addr HOST:PORT]`
+//! `cargo run --release --example serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--chaos-serve SEED] [--telemetry] [--addr HOST:PORT]`
 //!
 //! * `requests` — total requests to push (default 48),
 //! * `--submitters N` — concurrent submitter threads (default 4),
 //! * `--batch N` — batch size threshold per shard (default 8),
 //! * `--shards N` — independent farm shards behind deterministic
 //!   request routing (default 1),
+//! * `--chaos-serve SEED` — self-healing drill: arm a seeded
+//!   [`ServeFaultPlan`] that kills one shard on its first batch, then
+//!   prove the failure answered every ticket terminally (watchdogged —
+//!   a hung waiter fails the run), traffic failed over to the
+//!   survivors, the supervisor restarted the dead shard, and the
+//!   revived shard served again. Forces ≥ 2 shards,
 //! * `--telemetry` — write shard 0's full trace stream (request spans,
 //!   serve_batch/batch/job spans, metrics) to
-//!   `target/serve_telemetry.ndjson` for `obsctl trace` / `obsctl slo`,
-//!   and the scraped `/debug/timeline` body to
+//!   `target/serve_telemetry.ndjson` for `obsctl trace` / `obsctl slo`
+//!   (`target/serve_chaos_telemetry.ndjson` under `--chaos-serve`), and
+//!   — outside chaos mode — the scraped `/debug/timeline` body to
 //!   `target/serve_timeline.ndjson` for `obsctl timeline` / `anomaly`,
 //! * `--addr HOST:PORT` — where to bind the endpoint
 //!   (default `127.0.0.1:0`, an ephemeral port printed at startup).
@@ -33,18 +40,22 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use canti::farm::{FarmObserver, JobSpec, ProbeMode, Receptor};
 use canti::obs::{
     merge_windows, Collector, DebugState, ExpositionServer, FlightRecorder, Metrics, ObsClock,
     Readiness, RingCollector, SampleConfig, Tracer, WallClock,
 };
-use canti::serve::{Disposition, ServeConfig, ServeResponse, ShardedConfig, ShardedService};
+use canti::serve::{
+    Disposition, RejectReason, ServeConfig, ServeFaultPlan, ServeResponse, ShardTicket,
+    ShardedConfig, ShardedService, SupervisorConfig,
+};
 use canti::units::{Molar, Seconds};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--telemetry] [--addr HOST:PORT]\n\
+        "usage: serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--chaos-serve SEED] [--telemetry] [--addr HOST:PORT]\n\
          pushes concurrent assay requests through the sharded batching serve layer"
     );
     std::process::exit(2);
@@ -62,50 +73,17 @@ fn request(i: usize) -> JobSpec {
     }
 }
 
-fn main() {
-    let mut requests = 48usize;
-    let mut submitters = 4usize;
-    let mut batch = 8usize;
-    let mut shards = 1usize;
-    let mut telemetry = false;
-    let mut addr = "127.0.0.1:0".to_owned();
-
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--submitters" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(n) if n > 0 => submitters = n,
-                _ => usage(),
-            },
-            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(n) if n > 0 => batch = n,
-                _ => usage(),
-            },
-            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(n) if n > 0 => shards = n,
-                _ => usage(),
-            },
-            "--telemetry" => telemetry = true,
-            "--addr" => match it.next() {
-                Some(a) => addr = a.clone(),
-                None => usage(),
-            },
-            "--help" | "-h" => usage(),
-            n => match n.parse() {
-                Ok(v) if v > 0 => requests = v,
-                _ => usage(),
-            },
-        }
-    }
-
-    // Wall-clock observers (one per shard): this is a service, latencies
-    // should be real. Each shard records into its own registry; the
-    // exposition endpoint merges them under per-shard labels. The trace
-    // stream routes through a flight recorder (head sampling + tail
-    // retention of SLO breaches and error traces) before the ring, so
-    // the full stream stays available for --telemetry while the kept
-    // set stays bounded.
+/// One ring + flight recorder + wall-clock observer per shard, with the
+/// per-shard metrics sources for the merged exposition view.
+#[allow(clippy::type_complexity)]
+fn build_observers(
+    shards: usize,
+) -> (
+    Vec<FarmObserver>,
+    Vec<Arc<RingCollector>>,
+    Vec<Arc<FlightRecorder>>,
+    Vec<(String, Arc<Metrics>)>,
+) {
     let mut observers = Vec::with_capacity(shards);
     let mut rings = Vec::with_capacity(shards);
     let mut flights = Vec::with_capacity(shards);
@@ -127,6 +105,240 @@ fn main() {
         rings.push(ring);
         flights.push(flight);
     }
+    (observers, rings, flights, sources)
+}
+
+/// Waits every ticket on a helper thread under a hard timeout: in a
+/// chaos drill, a hung waiter is exactly the bug the self-healing layer
+/// exists to prevent, so a hang fails the run instead of wedging it.
+fn wait_all_watchdog(tickets: Vec<ShardTicket>, label: &str) -> Vec<ServeResponse> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let waiter = std::thread::spawn(move || {
+        let responses: Vec<ServeResponse> = tickets.into_iter().map(ShardTicket::wait).collect();
+        let _ = tx.send(responses);
+    });
+    let responses = rx
+        .recv_timeout(Duration::from_secs(60))
+        .unwrap_or_else(|_| {
+            panic!("chaos-serve {label}: a ticket hung — a waiter never got a terminal answer")
+        });
+    waiter.join().expect("watchdog waiter thread");
+    responses
+}
+
+/// The `--chaos-serve` drill: kill one shard under load, prove every
+/// ticket still resolves, traffic fails over, the supervisor restarts
+/// the shard, and the revived shard serves again.
+fn run_chaos(batch: usize, shards: usize, seed: u64, telemetry: bool) {
+    let shards = shards.max(2); // failover needs somewhere to go
+    let plan = ServeFaultPlan::generate(seed, shards);
+    let victim = (0..shards)
+        .find(|&s| !plan.for_shard(s).is_empty())
+        .expect("generate schedules exactly one kill");
+    println!(
+        "chaos-serve: seed {seed:#x} kills shard {victim}'s first batch ({shards} shards, batch<={batch})"
+    );
+
+    let (observers, rings, _flights, sources) = build_observers(shards);
+    let shard0_metrics = Arc::clone(&sources[0].1);
+    let service = Arc::new(ShardedService::start_chaos(
+        ShardedConfig {
+            shards,
+            base: ServeConfig {
+                max_batch: batch,
+                linger_ns: 500_000, // 0.5 ms
+                threads: 0,
+                ..ServeConfig::default()
+            },
+        },
+        observers,
+        &plan,
+        SupervisorConfig {
+            // long enough that wave 1's remaining completions and the
+            // whole failover wave land while the victim is down, short
+            // enough to watch it come back
+            backoff_base_ns: 1_000_000_000, // 1 s
+            backoff_max_shift: 2,
+            probation_batches: 1,
+        },
+    ));
+
+    // Wave 1: flood every shard; the victim forms its first batch and
+    // dies under it. Every ticket must still resolve terminally.
+    let wave1: Vec<ShardTicket> = (0..2 * shards * batch)
+        .filter_map(|i| service.submit(request(i)).ok())
+        .collect();
+    let admitted1 = wave1.len();
+    let responses = wait_all_watchdog(wave1, "wave 1");
+    let failed1 = responses
+        .iter()
+        .filter(|r| matches!(r.disposition, Disposition::Failed { .. }))
+        .count();
+    println!(
+        "chaos-serve wave 1: {admitted1} admitted, {} completed, {failed1} failed terminally",
+        responses.len() - failed1
+    );
+    assert!(
+        failed1 > 0,
+        "the kill must fail at least the victim's first batch"
+    );
+
+    // Wave 2: the victim is down for the whole backoff; keep submitting
+    // until the failover rule reroutes at least one victim-primary
+    // request onto a survivor.
+    let mut wave2 = Vec::new();
+    for i in 0..64 * shards {
+        if service.failovers() > 0 {
+            break;
+        }
+        match service.submit(request(i)) {
+            Ok(t) => wave2.push(t),
+            Err(RejectReason::ShardFailed) => {} // raced the failure
+            Err(reason) => panic!("chaos-serve wave 2: unexpected rejection: {reason}"),
+        }
+    }
+    assert!(
+        service.failovers() > 0,
+        "no failover landed while shard {victim} was down"
+    );
+    let responses = wait_all_watchdog(wave2, "wave 2");
+    assert!(
+        responses
+            .iter()
+            .all(|r| !matches!(r.disposition, Disposition::Expired { .. })),
+        "failover wave must answer by completion or terminal failure"
+    );
+    println!(
+        "chaos-serve wave 2: {} answered with shard {victim} down, {} failovers",
+        responses.len(),
+        service.failovers()
+    );
+
+    // Recovery: the wall-clock supervisor revives the victim after its
+    // backoff; wait for the health cell to leave Down.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !service.healths()[victim].is_live() {
+        assert!(
+            Instant::now() < deadline,
+            "shard {victim} never restarted: {:?}",
+            service.healths()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!(
+        "chaos-serve: shard {victim} restarted ({} restart(s)), healths now {:?}",
+        service.restarts(),
+        service
+            .healths()
+            .iter()
+            .map(|h| h.label())
+            .collect::<Vec<_>>()
+    );
+
+    // Wave 3: re-admission — the revived shard takes its routed share
+    // and everything completes (the kill event already fired).
+    let wave3: Vec<ShardTicket> = (0..2 * shards * batch)
+        .map(|i| service.submit(request(i)).expect("revived service admits"))
+        .collect();
+    let responses = wait_all_watchdog(wave3, "wave 3");
+    assert!(
+        responses.iter().all(|r| r.disposition.is_ok()),
+        "post-restart requests must all complete"
+    );
+    println!(
+        "chaos-serve wave 3: {} completed after restart",
+        responses.len()
+    );
+
+    let stats = service.stats();
+    assert!(stats.failed >= failed1 as u64);
+    assert!(service.restarts() >= 1);
+    println!(
+        "chaos-serve: {} failovers, {} restarts | {}",
+        service.failovers(),
+        service.restarts(),
+        stats.render()
+    );
+
+    if telemetry {
+        // shard 0 always survives generate()'s kill (the victim is never
+        // shard 0), so its stream is gap-free and carries the failover
+        // events and counters the CI gate reads
+        let mut ndjson = rings[0].to_ndjson();
+        ndjson.push_str(&shard0_metrics.to_ndjson());
+        let path = "target/serve_chaos_telemetry.ndjson";
+        std::fs::write(path, &ndjson).expect("write chaos telemetry artifact");
+        println!(
+            "telemetry: {} NDJSON records ({} trace events dropped) -> {path}",
+            ndjson.lines().count(),
+            rings[0].dropped()
+        );
+    }
+
+    let per_shard = Arc::try_unwrap(service)
+        .expect("all waiters joined")
+        .shutdown();
+    for (s, stats) in per_shard.iter().enumerate() {
+        println!("shard {s}: {}", stats.render());
+    }
+    println!("chaos-serve: every ticket answered terminally; self-healing drill passed");
+}
+
+fn main() {
+    let mut requests = 48usize;
+    let mut submitters = 4usize;
+    let mut batch = 8usize;
+    let mut shards = 1usize;
+    let mut chaos_serve: Option<u64> = None;
+    let mut telemetry = false;
+    let mut addr = "127.0.0.1:0".to_owned();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--submitters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => submitters = n,
+                _ => usage(),
+            },
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => batch = n,
+                _ => usage(),
+            },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => shards = n,
+                _ => usage(),
+            },
+            "--chaos-serve" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => chaos_serve = Some(seed),
+                None => usage(),
+            },
+            "--telemetry" => telemetry = true,
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            n => match n.parse() {
+                Ok(v) if v > 0 => requests = v,
+                _ => usage(),
+            },
+        }
+    }
+
+    if let Some(seed) = chaos_serve {
+        run_chaos(batch, shards, seed, telemetry);
+        return;
+    }
+
+    // Wall-clock observers (one per shard): this is a service, latencies
+    // should be real. Each shard records into its own registry; the
+    // exposition endpoint merges them under per-shard labels. The trace
+    // stream routes through a flight recorder (head sampling + tail
+    // retention of SLO breaches and error traces) before the ring, so
+    // the full stream stays available for --telemetry while the kept
+    // set stays bounded.
+    let (observers, rings, flights, sources) = build_observers(shards);
 
     let service = Arc::new(ShardedService::start_observed(
         ShardedConfig {
@@ -143,9 +355,18 @@ fn main() {
 
     // The debug routes read the live serve state: per-shard SLO trackers
     // and request logs, plus the readiness snapshot behind /healthz.
+    // live per-shard health in the /healthz body; Weak so the readiness
+    // closure doesn't keep the service alive past its shutdown
+    let health_source = Arc::downgrade(&service);
     let readiness = Readiness {
         shards,
         pool_threads: service.pool_threads().first().copied().unwrap_or(0),
+        shard_health: Some(Arc::new(move || {
+            health_source
+                .upgrade()
+                .map(|s| s.healths().iter().map(|h| h.label()).collect())
+                .unwrap_or_default()
+        })),
         ..Readiness::default()
     };
     let draining = Arc::clone(&readiness.draining);
@@ -248,6 +469,9 @@ fn main() {
             println!("deadline demo: request expired after {waited_ns} ns");
         }
         Disposition::Completed { .. } => println!("deadline demo: raced the batcher and won"),
+        Disposition::Failed { reason } => {
+            panic!("deadline demo: no chaos armed, yet the request failed: {reason}")
+        }
     }
 
     // SLO window summary: merged across shards.

@@ -170,6 +170,25 @@ if [[ "${1:-}" == "smoke" ]]; then
     fi
     phase_end
 
+    phase_begin "chaos-serve smoke (shard kill -> failover -> restart)"
+    # the demo itself asserts the full self-healing drill — every wave-1
+    # ticket answered terminally, at least one failover while the victim
+    # is down, a supervised restart, and a clean post-restart wave —
+    # before it exits 0. The plan generator never kills shard 0, so the
+    # archived artifact (shard 0's ring) carries the failover events.
+    cargo run --release --example serve_demo -- --chaos-serve 7341 --shards 2 --batch 4 --telemetry
+    chaos_serve_artifact=target/serve_chaos_telemetry.ndjson
+    [[ -s "$chaos_serve_artifact" ]] || { echo "missing chaos-serve artifact $chaos_serve_artifact"; exit 1; }
+    # gates on span-tree health + zero trace sequence gaps, and must see
+    # rerouted traffic in the shard-health section
+    chaos_serve_summary=$(cargo run --release -q -p canti-obsctl -- summary "$chaos_serve_artifact")
+    echo "$chaos_serve_summary"
+    echo "$chaos_serve_summary" | grep -q "failover" \
+        || { echo "chaos-serve artifact shows no failover events"; exit 1; }
+    grep -q '"metric":"serve.failovers"' "$chaos_serve_artifact" \
+        || { echo "chaos-serve artifact carries no serve.failovers counter"; exit 1; }
+    phase_end
+
     phase_begin "bench loop (farm, experiments, serve x shards) + perf gates"
     # keep the experiments bench fast in smoke unless the caller says
     # otherwise; the serve bench likewise gets a small default burst

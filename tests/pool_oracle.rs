@@ -122,6 +122,64 @@ fn single_worker_trace_bytes_match_between_pool_and_spawn_paths() {
     );
 }
 
+/// The resurrection contract: after a harness-level worker death and
+/// [`WorkerPool::respawn_poisoned`], the pool's reports on the golden
+/// job mix are byte-identical to a fresh pool's (and to the spawn
+/// oracle) at every width — slot discipline makes output independent of
+/// *which* threads run, so surviving a death leaves no residue.
+#[test]
+fn respawned_pool_matches_the_fresh_pool_oracle_after_a_worker_death() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let jobs = golden_jobs();
+    let oracle = spawn_run(0xDEAD_5EED, 1, &jobs);
+    for width in [1, 2, 8] {
+        let pool = Arc::new(WorkerPool::new(width));
+
+        // kill exactly one worker at harness level: the sabotage hook
+        // fires once, on the first claimed job of a throwaway batch
+        let fired = Arc::new(AtomicBool::new(false));
+        let hook = {
+            let fired = Arc::clone(&fired);
+            Arc::new(move |_job: usize| {
+                if !fired.swap(true, Ordering::Relaxed) {
+                    panic!("sabotage: worker death (intentional)");
+                }
+            })
+        };
+        let sabotaged = catch_unwind(AssertUnwindSafe(|| {
+            let _ = Farm::new(FarmConfig {
+                batch_seed: 0xDEAD_5EED,
+                threads: pool.threads(),
+            })
+            .with_pool(Arc::clone(&pool))
+            .with_sabotage(hook)
+            .run(&jobs);
+        }));
+        assert!(sabotaged.is_err(), "the poisoned job must re-raise");
+        assert_eq!(
+            pool.poisoned_workers(),
+            1,
+            "width {width}: exactly one worker died"
+        );
+        assert_eq!(pool.live_workers(), width - 1);
+
+        // resurrect, then the oracle must hold across reused batches
+        assert_eq!(pool.respawn_poisoned(), 1);
+        assert_eq!(pool.live_workers(), width);
+        assert_eq!(pool.poisoned_workers(), 0);
+        for round in 0..3 {
+            let report = pool_run(0xDEAD_5EED, &pool, &jobs);
+            assert_eq!(
+                report, oracle,
+                "width {width}, round {round}: a respawned pool diverged from the oracle"
+            );
+        }
+        assert_eq!(pool.respawn_poisoned(), 0, "nothing left to respawn");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

@@ -37,6 +37,8 @@ fn scripted_run(threads: usize) -> RunTrace {
             threads,
             slo: Default::default(),
             timeline: Default::default(),
+            feasibility: None,
+            brownout: None,
         },
         Arc::clone(&clock) as Arc<dyn ObsClock>,
     );
@@ -204,6 +206,8 @@ fn script_covers_rejection_expiry_and_every_trigger() {
             rejected: 2,
             expired: 1,
             completed: 9,
+            failed: 0,
+            shed: 0,
             batches: 4,
         }
     );

@@ -97,6 +97,8 @@ fn config(workers: usize) -> ServeConfig {
         threads: workers,
         slo: Default::default(),
         timeline: Default::default(),
+        feasibility: None,
+        brownout: None,
     }
 }
 
@@ -195,7 +197,7 @@ fn payload_view(trace: &ShardTrace) -> BTreeMap<u64, Payload> {
                 let bits = out.metrics.iter().map(|&(n, v)| (n, v.to_bits())).collect();
                 Some((r.request_id, (out.kind, bits)))
             }
-            Disposition::Expired { .. } => None,
+            Disposition::Expired { .. } | Disposition::Failed { .. } => None,
         })
         .collect()
 }
@@ -210,7 +212,7 @@ fn expiry_view(trace: &ShardTrace) -> BTreeMap<u64, (u64, u64)> {
                 waited_ns,
                 deadline_ns,
             } => Some((r.request_id, (waited_ns, deadline_ns))),
-            Disposition::Completed { .. } => None,
+            Disposition::Completed { .. } | Disposition::Failed { .. } => None,
         })
         .collect()
 }
@@ -374,6 +376,8 @@ fn the_script_covers_expiry_drain_refusal_and_every_trigger() {
             rejected: 1,
             expired: 1,
             completed: 12,
+            failed: 0,
+            shed: 0,
             batches: 5,
         }
     );

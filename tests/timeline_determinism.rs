@@ -110,6 +110,8 @@ fn config(workers: usize) -> ServeConfig {
             window_ns: 500,
             max_windows: 64,
         },
+        feasibility: None,
+        brownout: None,
     }
 }
 
@@ -425,7 +427,7 @@ fn flight_recorder_keeps_exactly_the_policy_set() {
                     fast_head = true;
                 }
             }
-            Disposition::Expired { .. } => {
+            Disposition::Expired { .. } | Disposition::Failed { .. } => {
                 expect.insert(r.trace);
             }
         }
