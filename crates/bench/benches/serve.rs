@@ -10,7 +10,13 @@
 //! CANTI_SERVE_THREADS=8    cargo bench -p canti-bench --bench serve
 //! CANTI_SERVE_SUBMITTERS=4 cargo bench -p canti-bench --bench serve
 //! CANTI_SERVE_SHARDS=4     cargo bench -p canti-bench --bench serve
+//! CANTI_SERVE_CACHE=1      cargo bench -p canti-bench --bench serve
 //! ```
+//!
+//! `CANTI_SERVE_CACHE=1` turns on the content-addressed result cache
+//! and narrows the request mix from 64 distinct specs to 8, so repeats
+//! dominate and the cached/coalesced path is what gets measured
+//! (`scripts/ci.sh` archives that run as `BENCH_serve_cached.json`).
 //!
 //! `CANTI_BENCH_JSON=<path>` archives the report for the `obsctl diff`
 //! perf gate in `scripts/ci.sh`, which runs this bench at shard counts
@@ -27,7 +33,8 @@ use canti_bench::report::ExperimentReport;
 use canti_farm::{FarmObserver, JobSpec, Receptor};
 use canti_obs::{Histogram, HistogramSnapshot, Metrics, ObsClock, VirtualClock};
 use canti_serve::{
-    ServeConfig, ServeEngine, ServeResponse, ShardedConfig, ShardedEngine, ShardedService,
+    CacheConfig, ServeConfig, ServeEngine, ServeResponse, ShardedConfig, ShardedEngine,
+    ShardedService,
 };
 use canti_units::{Molar, Seconds};
 
@@ -41,10 +48,13 @@ fn env_usize(name: &str, default: usize) -> usize {
 
 /// A request mix with real per-job work: log-spaced dose-response
 /// assays, the same substrate the farm bench exercises but shorter.
-fn request(i: usize) -> JobSpec {
+/// `distinct` sets how many unique specs the mix cycles through — 64
+/// for the uncached load shape, 8 when benching the result cache so
+/// that repeats dominate.
+fn request(i: usize, distinct: usize) -> JobSpec {
     JobSpec::StaticDoseResponse {
         receptor: Receptor::AntiIgg,
-        concentration: Molar::from_nanomolar(0.1 * 10f64.powf(4.0 * (i % 64) as f64 / 63.0)),
+        concentration: Molar::from_nanomolar(0.1 * 10f64.powf(4.0 * (i % distinct) as f64 / 63.0)),
         baseline: Seconds::new(30.0),
         association: Seconds::new(120.0),
         wash: Seconds::new(60.0),
@@ -53,26 +63,34 @@ fn request(i: usize) -> JobSpec {
     }
 }
 
-fn scripted_config(threads: usize) -> ServeConfig {
+fn scripted_config(threads: usize, cached: bool) -> ServeConfig {
     ServeConfig {
         max_batch: 8,
         linger_ns: 1_000,
         threads,
+        cache: cached.then(CacheConfig::default),
         ..ServeConfig::default()
     }
 }
 
 /// Replays `requests` as a scripted arrival sequence on a virtual clock
-/// and returns every response, for the cross-worker-count check.
-fn scripted_run(requests: usize, threads: usize) -> Vec<ServeResponse> {
+/// and returns every response, for the cross-worker-count check. The
+/// script runs in the same cache mode as the load phase, so the cached
+/// bench also pins the cached/coalesced path's determinism.
+fn scripted_run(
+    requests: usize,
+    threads: usize,
+    distinct: usize,
+    cached: bool,
+) -> Vec<ServeResponse> {
     let clock = Arc::new(VirtualClock::new());
     let mut engine = ServeEngine::new(
-        scripted_config(threads),
+        scripted_config(threads, cached),
         Arc::clone(&clock) as Arc<dyn ObsClock>,
     );
     let mut responses = Vec::new();
     for i in 0..requests {
-        engine.submit(request(i)).expect("admitted");
+        engine.submit(request(i, distinct)).expect("admitted");
         clock.advance_ns(100);
         responses.extend(engine.pump());
     }
@@ -84,18 +102,24 @@ fn scripted_run(requests: usize, threads: usize) -> Vec<ServeResponse> {
 
 /// The same script against the sharded engine, for the cross-worker
 /// check at a fixed shard count.
-fn sharded_scripted_run(requests: usize, threads: usize, shards: usize) -> Vec<ServeResponse> {
+fn sharded_scripted_run(
+    requests: usize,
+    threads: usize,
+    shards: usize,
+    distinct: usize,
+    cached: bool,
+) -> Vec<ServeResponse> {
     let clock = Arc::new(VirtualClock::new());
     let mut engine = ShardedEngine::new(
         ShardedConfig {
             shards,
-            base: scripted_config(threads),
+            base: scripted_config(threads, cached),
         },
         Arc::clone(&clock) as Arc<dyn ObsClock>,
     );
     let mut responses = Vec::new();
     for i in 0..requests {
-        engine.submit(request(i)).expect("admitted");
+        engine.submit(request(i, distinct)).expect("admitted");
         clock.advance_ns(100);
         responses.extend(engine.pump());
     }
@@ -157,10 +181,13 @@ fn main() {
     );
     let submitters = env_usize("CANTI_SERVE_SUBMITTERS", 4);
     let shards = env_usize("CANTI_SERVE_SHARDS", 1);
+    let cached = env_usize("CANTI_SERVE_CACHE", 0) > 0;
+    let distinct = if cached { 8 } else { 64 };
 
     println!(
-        "serve bench: {requests} requests, {submitters} submitters, \
-         batch<={max_batch}, {threads} farm workers, {shards} shard(s)"
+        "serve bench: {requests} requests ({distinct} distinct), {submitters} submitters, \
+         batch<={max_batch}, {threads} farm workers, {shards} shard(s), cache {}",
+        if cached { "on" } else { "off" }
     );
 
     let mut observers = Vec::with_capacity(shards);
@@ -179,6 +206,7 @@ fn main() {
                 max_batch,
                 linger_ns: 200_000, // 0.2 ms
                 threads,
+                cache: cached.then(CacheConfig::default),
                 ..ServeConfig::default()
             },
         },
@@ -193,7 +221,7 @@ fn main() {
                 let mut ok = 0usize;
                 let mut rejected = 0usize;
                 for i in (w..requests).step_by(submitters.max(1)) {
-                    match service.submit(request(i)) {
+                    match service.submit(request(i, distinct)) {
                         Ok(ticket) => {
                             let response = ticket.wait();
                             assert!(response.disposition.is_ok(), "request failed: {response}");
@@ -214,6 +242,7 @@ fn main() {
         rejected += r;
     }
     let elapsed = start.elapsed();
+    let cache_stats = service.cache_stats();
     let per_shard = Arc::try_unwrap(service)
         .expect("submitters have exited")
         .shutdown();
@@ -231,24 +260,30 @@ fn main() {
         batches_total += stats.batches;
     }
     assert_eq!(completed_total as usize, ok, "every ticket resolved");
+    if let Some(c) = cache_stats {
+        println!(
+            "  cache: {} hits, {} misses, {} insertions, {} evictions, {} resident",
+            c.hits, c.misses, c.insertions, c.evictions, c.entries
+        );
+    }
 
     // Worker-count invariance on a scripted arrival sequence: the whole
     // serving path (admission -> batching -> farm) must be bit-identical,
     // on the plain engine and again at the configured shard count.
     let check_n = requests.min(48);
-    let oracle = scripted_run(check_n, 1);
+    let oracle = scripted_run(check_n, 1, distinct, cached);
     for t in [2, 8] {
         assert_eq!(
-            scripted_run(check_n, t),
+            scripted_run(check_n, t, distinct, cached),
             oracle,
             "serve determinism contract violated at {t} farm workers"
         );
     }
     let check_shards = shards.max(2);
-    let sharded_oracle = sharded_scripted_run(check_n, 1, check_shards);
+    let sharded_oracle = sharded_scripted_run(check_n, 1, check_shards, distinct, cached);
     for t in [2, 8] {
         assert_eq!(
-            sharded_scripted_run(check_n, t, check_shards),
+            sharded_scripted_run(check_n, t, check_shards, distinct, cached),
             sharded_oracle,
             "sharded determinism contract violated at {t} workers x {check_shards} shards"
         );
@@ -262,6 +297,10 @@ fn main() {
     exp.push_row(vec!["requests".into(), requests.to_string()]);
     exp.push_row(vec!["submitters".into(), submitters.to_string()]);
     exp.push_row(vec!["shards".into(), shards.to_string()]);
+    exp.push_row(vec![
+        "cache".into(),
+        if cached { "on" } else { "off" }.into(),
+    ]);
     exp.push_row(vec!["completed".into(), completed_total.to_string()]);
     exp.push_row(vec!["batches".into(), batches_total.to_string()]);
     for (s, stats) in per_shard.iter().enumerate() {

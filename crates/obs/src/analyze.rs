@@ -156,6 +156,12 @@ pub struct Trace {
     pub seq_gaps: Vec<(u64, u64)>,
     /// Spans that never closed (name, seq).
     pub unclosed: Vec<(String, u64)>,
+    /// Names of instantaneous events recorded while no span was open
+    /// (seq order). Admission-time telemetry (cache hits, coalescing)
+    /// lands here whenever it fires outside a request span, so
+    /// consumers that tally activity must not ignore it — see
+    /// [`Self::all_event_counts`].
+    pub orphan_events: Vec<String>,
 }
 
 impl Trace {
@@ -216,6 +222,7 @@ impl Trace {
         // open-span stack; span_end pops the innermost same-name frame
         let mut roots: Vec<SpanNode> = Vec::new();
         let mut stack: Vec<SpanNode> = Vec::new();
+        let mut orphan_events: Vec<String> = Vec::new();
         let attach =
             |stack: &mut Vec<SpanNode>, roots: &mut Vec<SpanNode>, node: SpanNode| match stack
                 .last_mut()
@@ -261,6 +268,8 @@ impl Trace {
                 "event" => {
                     if let Some(open) = stack.last_mut() {
                         open.events.push(name.clone());
+                    } else {
+                        orphan_events.push(name.clone());
                     }
                 }
                 _ => skipped += 1,
@@ -277,6 +286,7 @@ impl Trace {
             skipped_records: skipped,
             seq_gaps,
             unclosed,
+            orphan_events,
         }
     }
 
@@ -406,6 +416,21 @@ impl Trace {
         counts.into_iter().collect()
     }
 
+    /// [`Self::event_counts`] plus the orphan events — the complete
+    /// per-name tally of every event record in the artifact, whether or
+    /// not a span happened to be open when it fired. Use this when the
+    /// tally itself is the signal (cache activity, coalescing), where
+    /// dropping span-less events would under-count nondeterministically.
+    #[must_use]
+    pub fn all_event_counts(&self) -> Vec<(String, u64)> {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<String, u64> = self.event_counts().into_iter().collect();
+        for name in &self.orphan_events {
+            *counts.entry(name.clone()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
     /// A human-readable span-tree rendering with durations and per-stage
     /// aggregates, suitable for terminal output.
     #[must_use]
@@ -514,6 +539,32 @@ mod tests {
         assert!(trace.seq_gaps.is_empty());
         assert!(trace.unclosed.is_empty());
         assert_eq!(trace.span_count(), 5);
+    }
+
+    #[test]
+    fn span_less_events_survive_as_orphans() {
+        // a cache hit firing between request spans must not vanish: it
+        // is kept out of the span tree but tallied in all_event_counts
+        let trace = traced(|tracer, clock| {
+            tracer.event("cache_miss", &[]);
+            let span = tracer.span("request", &[]);
+            clock.advance_ns(10);
+            tracer.event("cache_miss", &[]);
+            drop(span);
+            tracer.event("cache_hit", &[]);
+            tracer.event("cache_hit", &[]);
+        });
+        assert_eq!(
+            trace.orphan_events,
+            vec!["cache_miss", "cache_hit", "cache_hit"]
+        );
+        // the span-attached view still sees only what fired in-span...
+        assert_eq!(trace.event_counts(), vec![("cache_miss".to_owned(), 1)]);
+        // ...while the complete tally folds the orphans back in
+        assert_eq!(
+            trace.all_event_counts(),
+            vec![("cache_hit".to_owned(), 2), ("cache_miss".to_owned(), 2)]
+        );
     }
 
     #[test]

@@ -100,6 +100,13 @@ pub struct Readiness {
     /// rather than a snapshot so this crate needs no dependency on the
     /// serve layer's health type.
     pub shard_health: Option<Arc<dyn Fn() -> Vec<&'static str> + Send + Sync>>,
+    /// Live result-cache counters in fixed order
+    /// `[hits, misses, insertions, evictions, entries]`, read at every
+    /// scrape. When present the body gains a `"cache"` object; `None`
+    /// (the default, and the only option when the serve layer has
+    /// caching off) keeps the legacy body. A closure for the same reason
+    /// as `shard_health`: no dependency on the serve layer's stats type.
+    pub cache: Option<Arc<dyn Fn() -> [u64; 5] + Send + Sync>>,
 }
 
 impl std::fmt::Debug for Readiness {
@@ -109,6 +116,7 @@ impl std::fmt::Debug for Readiness {
             .field("pool_threads", &self.pool_threads)
             .field("draining", &self.draining)
             .field("shard_health", &self.shard_health.as_ref().map(|p| p()))
+            .field("cache", &self.cache.as_ref().map(|p| p()))
             .finish()
     }
 }
@@ -120,6 +128,7 @@ impl Default for Readiness {
             pool_threads: 0,
             draining: Arc::new(AtomicBool::new(false)),
             shard_health: None,
+            cache: None,
         }
     }
 }
@@ -504,14 +513,15 @@ fn render_healthz(registry: &Registry, debug: &DebugState) -> String {
         Registry::Single(_) => 1,
         Registry::Sharded(sources) => sources.len(),
     };
-    let (shards, pool_threads, draining, health) = match &debug.readiness {
+    let (shards, pool_threads, draining, health, cache) = match &debug.readiness {
         Some(r) => (
             r.shards,
             r.pool_threads,
             r.draining.load(Ordering::SeqCst),
             r.shard_health.as_ref().map(|p| p()),
+            r.cache.as_ref().map(|p| p()),
         ),
-        None => (default_shards, 0, false, None),
+        None => (default_shards, 0, false, None, None),
     };
     let status = if draining { "draining" } else { "ok" };
     let health = match health {
@@ -521,9 +531,17 @@ fn render_healthz(registry: &Registry, debug: &DebugState) -> String {
         }
         None => String::new(),
     };
+    let cache = match cache {
+        Some([hits, misses, insertions, evictions, entries]) => format!(
+            ",\"cache\":{{\"hits\":{hits},\"misses\":{misses},\
+             \"insertions\":{insertions},\"evictions\":{evictions},\
+             \"entries\":{entries}}}"
+        ),
+        None => String::new(),
+    };
     format!(
         "{{\"status\":\"{status}\",\"shards\":{shards},\
-         \"pool_threads\":{pool_threads},\"draining\":{draining}{health}}}\n"
+         \"pool_threads\":{pool_threads},\"draining\":{draining}{health}{cache}}}\n"
     )
 }
 
@@ -754,6 +772,7 @@ mod tests {
                     pool_threads: 4,
                     draining: Arc::clone(&draining),
                     shard_health: None,
+                    cache: None,
                 }),
             },
         )
@@ -841,6 +860,42 @@ mod tests {
     }
 
     #[test]
+    fn healthz_renders_cache_stats_when_provided() {
+        use std::sync::atomic::AtomicU64;
+        // the provider reads live counters at every scrape
+        let hits = Arc::new(AtomicU64::new(0));
+        let provider = {
+            let hits = Arc::clone(&hits);
+            move || [hits.load(Ordering::SeqCst), 2, 2, 1, 1]
+        };
+        let server = ExpositionServer::bind_debug(
+            "127.0.0.1:0",
+            Arc::new(Metrics::new()),
+            DebugState {
+                readiness: Some(Readiness {
+                    shards: 1,
+                    pool_threads: 1,
+                    cache: Some(Arc::new(provider)),
+                    ..Readiness::default()
+                }),
+                ..DebugState::default()
+            },
+        )
+        .unwrap();
+
+        let health = server.scrape("/healthz").unwrap();
+        assert_eq!(
+            health,
+            "{\"status\":\"ok\",\"shards\":1,\"pool_threads\":1,\"draining\":false,\
+             \"cache\":{\"hits\":0,\"misses\":2,\"insertions\":2,\"evictions\":1,\"entries\":1}}\n"
+        );
+        hits.store(7, Ordering::SeqCst);
+        let health = server.scrape("/healthz").unwrap();
+        assert!(health.contains("\"cache\":{\"hits\":7,"), "{health}");
+        server.shutdown();
+    }
+
+    #[test]
     fn unknown_route_is_404_and_bad_method_405() {
         let server = ExpositionServer::bind("127.0.0.1:0", Arc::new(Metrics::new())).unwrap();
         let err = server.scrape("/nope").unwrap_err();
@@ -869,6 +924,7 @@ mod tests {
                     pool_threads: 0,
                     draining: Arc::clone(&draining),
                     shard_health: None,
+                    cache: None,
                 }),
                 ..DebugState::default()
             },

@@ -442,6 +442,67 @@ pub fn shard_health(trace: &Trace) -> ShardHealthReport {
     ShardHealthReport { counts }
 }
 
+/// Event names the serve layer's result-cache path emits, in reporting
+/// order: admission-time hits and misses plus in-flight coalescing.
+pub const CACHE_EVENT_NAMES: [&str; 3] = ["cache_hit", "cache_miss", "coalesced"];
+
+/// The result-cache event tally of one telemetry artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheReport {
+    /// `(event name, occurrences)` for every cache event present, in
+    /// [`CACHE_EVENT_NAMES`] order.
+    pub counts: Vec<(String, u64)>,
+}
+
+impl CacheReport {
+    /// Whether the artifact recorded no cache activity at all (caching
+    /// off, or no repeated requests).
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Occurrences of one event name (0 when absent).
+    #[must_use]
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    /// The section `summary` appends to its report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.is_quiet() {
+            return "cache: quiet (no cache activity recorded)\n".to_owned();
+        }
+        let mut out = String::from("cache:\n");
+        for (name, count) in &self.counts {
+            let _ = writeln!(out, "  {name:<20} {count}");
+        }
+        out
+    }
+}
+
+/// Tallies the serve layer's result-cache events in a trace. Uses the
+/// complete event tally ([`Trace::all_event_counts`]): cache hits and
+/// coalescing fire at admission time, often outside any request span,
+/// and the span-attached tally would drop those nondeterministically.
+#[must_use]
+pub fn cache_report(trace: &Trace) -> CacheReport {
+    let all = trace.all_event_counts();
+    let counts = CACHE_EVENT_NAMES
+        .iter()
+        .filter_map(|name| {
+            all.iter()
+                .find(|(n, _)| n == name)
+                .map(|(n, c)| (n.clone(), *c))
+        })
+        .collect();
+    CacheReport { counts }
+}
+
 /// Parses a telemetry NDJSON artifact into a [`Trace`] and renders the
 /// span-tree summary plus a fault-health section, gating on artifact
 /// health.
@@ -471,6 +532,7 @@ pub fn summary(path: &Path) -> Result<String, CliError> {
     let mut out = trace.render_summary();
     out.push_str(&fault_health(&trace).render());
     out.push_str(&shard_health(&trace).render());
+    out.push_str(&cache_report(&trace).render());
     Ok(out)
 }
 
@@ -749,6 +811,14 @@ pub fn summary_json(path: &Path) -> Result<String, CliError> {
     for (name, count) in shard_health(&trace).counts {
         out.push_str(&ndjson::object(&[
             ("record", JsonValue::from("shard")),
+            ("name", JsonValue::from(name)),
+            ("count", JsonValue::U64(count)),
+        ]));
+        out.push('\n');
+    }
+    for (name, count) in cache_report(&trace).counts {
+        out.push_str(&ndjson::object(&[
+            ("record", JsonValue::from("cache")),
             ("name", JsonValue::from(name)),
             ("count", JsonValue::U64(count)),
         ]));
@@ -1565,6 +1635,57 @@ mod tests {
             "a failure-free artifact must say so: {text}"
         );
         assert!(shard_health(&load_trace(&artifact).unwrap()).is_quiet());
+    }
+
+    #[test]
+    fn summary_reports_cache_activity() {
+        let artifact = write_temp(
+            "cache-activity",
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"span_start\",\"name\":\"serve_batch\"}\n\
+             {\"seq\":1,\"t_ns\":1,\"kind\":\"event\",\"name\":\"cache_miss\",\"fields\":{\"kind\":\"probe\"}}\n\
+             {\"seq\":2,\"t_ns\":2,\"kind\":\"event\",\"name\":\"coalesced\",\"fields\":{\"request\":2,\"leader\":1}}\n\
+             {\"seq\":3,\"t_ns\":3,\"kind\":\"event\",\"name\":\"cache_hit\",\"fields\":{\"request\":3,\"kind\":\"probe\"}}\n\
+             {\"seq\":4,\"t_ns\":4,\"kind\":\"event\",\"name\":\"cache_hit\",\"fields\":{\"request\":4,\"kind\":\"probe\"}}\n\
+             {\"seq\":5,\"t_ns\":5,\"kind\":\"span_end\",\"name\":\"serve_batch\",\"dur_ns\":5}\n\
+             {\"seq\":6,\"t_ns\":6,\"kind\":\"event\",\"name\":\"cache_hit\",\"fields\":{\"request\":5,\"kind\":\"probe\"}}\n",
+        );
+        let text = summary(&artifact).unwrap();
+        assert!(text.contains("cache:"), "{text}");
+        // the seq-6 hit fired outside any span and must still be counted
+        assert!(text.contains("cache_hit            3"), "{text}");
+        assert!(text.contains("cache_miss           1"), "{text}");
+        assert!(text.contains("coalesced            1"), "{text}");
+
+        let report = cache_report(&load_trace(&artifact).unwrap());
+        assert!(!report.is_quiet());
+        assert_eq!(report.count("cache_hit"), 3);
+        assert_eq!(report.count("cache_miss"), 1);
+        assert_eq!(report.count("coalesced"), 1);
+
+        let json = summary_json(&artifact).unwrap();
+        assert!(
+            json.contains("{\"record\":\"cache\",\"name\":\"cache_hit\",\"count\":3}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"record\":\"cache\",\"name\":\"coalesced\",\"count\":1}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn uncached_trace_reports_quiet_cache() {
+        let artifact = write_temp(
+            "cache-quiet",
+            "{\"seq\":0,\"t_ns\":0,\"kind\":\"span_start\",\"name\":\"scan\"}\n\
+             {\"seq\":1,\"t_ns\":9,\"kind\":\"span_end\",\"name\":\"scan\",\"dur_ns\":9}\n",
+        );
+        let text = summary(&artifact).unwrap();
+        assert!(
+            text.contains("cache: quiet"),
+            "a cache-free artifact must say so: {text}"
+        );
+        assert!(cache_report(&load_trace(&artifact).unwrap()).is_quiet());
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub struct ServeStats {
     pub failed: u64,
     /// Admitted requests evicted by brownout shedding.
     pub shed: u64,
+    /// Requests answered straight from the content-addressed result
+    /// cache (also counted in `admitted` and `completed`).
+    pub cache_hits: u64,
+    /// Requests that coalesced onto an identical in-flight leader (also
+    /// counted in `admitted`; counted in `completed` when the leader's
+    /// batch lands).
+    pub coalesced: u64,
 }
 
 impl ServeStats {
@@ -44,14 +51,16 @@ impl ServeStats {
     #[must_use]
     pub fn render(&self) -> String {
         format!(
-            "serve: {} admitted, {} rejected, {} expired, {} completed, {} failed, {} shed in {} batches",
+            "serve: {} admitted, {} rejected, {} expired, {} completed, {} failed, {} shed in {} batches ({} cache hits, {} coalesced)",
             self.admitted,
             self.rejected,
             self.expired,
             self.completed,
             self.failed,
             self.shed,
-            self.batches
+            self.batches,
+            self.cache_hits,
+            self.coalesced
         )
     }
 }
@@ -85,18 +94,28 @@ pub(crate) struct Front {
     spans: BTreeMap<u64, SpanGuard>,
     stats: ServeStats,
     batch_log: Vec<BatchRecord>,
+    /// The shard's content-addressed result cache, shared with the
+    /// executor. `None` with caching off.
+    cache: Option<Arc<std::sync::Mutex<crate::cache::ReportCache>>>,
+    /// Responses for requests answered from the cache at admission,
+    /// buffered until the caller drains them with [`Self::take_hits`]
+    /// (immediately after admit in the threaded service; at the next
+    /// pump in the engine).
+    hits: Vec<ServeResponse>,
 }
 
 impl Front {
     /// `instruments` must be the same set the executor records into —
     /// SLO windows and the request log live on the instrument struct
     /// itself (not in the name-keyed registry), so a second construction
-    /// would silently split the debug views in half.
+    /// would silently split the debug views in half. Likewise `cache`
+    /// must be the same handle the executor inserts into.
     pub(crate) fn new(
         config: ServeConfig,
         clock: Arc<dyn ObsClock>,
         observer: Option<FarmObserver>,
         instruments: Option<crate::exec::ServeInstruments>,
+        cache: Option<Arc<std::sync::Mutex<crate::cache::ReportCache>>>,
     ) -> Self {
         Self {
             queue: AdmissionQueue::new(config),
@@ -106,7 +125,26 @@ impl Front {
             spans: BTreeMap::new(),
             stats: ServeStats::default(),
             batch_log: Vec::new(),
+            cache,
+            hits: Vec::new(),
         }
+    }
+
+    /// The shard's result-cache tallies (hits, misses, entries, ...),
+    /// when caching is on.
+    pub(crate) fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.cache.as_ref().map(|c| {
+            c.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .stats()
+        })
+    }
+
+    /// Drains the buffered cache-hit responses. Every hit response is
+    /// terminal and already fully accounted (stats, counters, SLO,
+    /// request log) — the caller only delivers it.
+    pub(crate) fn take_hits(&mut self) -> Vec<ServeResponse> {
+        std::mem::take(&mut self.hits)
     }
 
     pub(crate) fn stats(&self) -> ServeStats {
@@ -166,6 +204,40 @@ impl Front {
     ) -> Result<u64, RejectReason> {
         let now_ns = self.clock.now_ns();
         let kind = job.kind();
+        // Content-addressed fast path: a cached answer satisfies any
+        // deadline, so the lookup precedes the feasibility check and the
+        // capacity gate (a hit occupies no queue slot). Failed/draining
+        // still refuse first, inside allocate_cached.
+        if self.cache.is_some() && !self.queue.is_failed() && !self.queue.is_draining() {
+            let job_key = crate::cache::job_key(&job);
+            let hit = self
+                .cache
+                .as_ref()
+                .expect("checked above")
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .lookup(job_key);
+            match hit {
+                Some(output) => {
+                    let id = self
+                        .queue
+                        .allocate_cached()
+                        .expect("failed/draining gated above");
+                    return Ok(self.complete_hit(id, key.unwrap_or(id), kind, output, now_ns));
+                }
+                None => {
+                    // no request field: the id is not allocated yet at
+                    // miss time (the normal admission below assigns it)
+                    if let Some(o) = &self.observer {
+                        o.tracer().event("cache_miss", &[("kind", kind.into())]);
+                    }
+                    if let Some(ins) = &self.instruments {
+                        ins.cache_miss.inc();
+                        ins.timeline.record_delta("serve.cache_miss", 1, now_ns);
+                    }
+                }
+            }
+        }
         let submitted = match self.feasibility_reject(deadline_ns) {
             Some(reason) => Err(reason),
             None => self
@@ -173,7 +245,8 @@ impl Front {
                 .submit_prioritized(now_ns, job, deadline_ns, key, priority),
         };
         match submitted {
-            Ok(id) => {
+            Ok(admitted) => {
+                let id = admitted.id();
                 self.stats.admitted += 1;
                 if let Some(o) = &self.observer {
                     // span fields carry the global key and trace id, so
@@ -189,10 +262,32 @@ impl Front {
                     );
                     self.spans.insert(id, span);
                 }
-                self.observe_depth();
                 if let Some(ins) = &self.instruments {
                     ins.admitted.inc();
                     ins.timeline.record_delta("serve.admitted", 1, now_ns);
+                }
+                match admitted {
+                    crate::queue::Admitted::Queued(_) => self.observe_depth(),
+                    crate::queue::Admitted::Coalesced { leader, .. } => {
+                        // no depth change: the follower rides the
+                        // leader's slot
+                        self.stats.coalesced += 1;
+                        if let Some(o) = &self.observer {
+                            let ctx = canti_obs::TraceContext::from_admission(key.unwrap_or(id));
+                            o.tracer().event(
+                                "coalesced",
+                                &[
+                                    ("request", ctx.request.into()),
+                                    ("trace", ctx.trace.into()),
+                                    ("leader", leader.into()),
+                                ],
+                            );
+                        }
+                        if let Some(ins) = &self.instruments {
+                            ins.coalesced.inc();
+                            ins.timeline.record_delta("serve.coalesced", 1, now_ns);
+                        }
+                    }
                 }
                 Ok(id)
             }
@@ -211,6 +306,78 @@ impl Front {
                 Err(reason)
             }
         }
+    }
+
+    /// One request answered from the result cache at admission: fully
+    /// accounted (tallies, counters, SLO, request log, trace event) and
+    /// buffered for [`Self::take_hits`]. No span opens — the request
+    /// never enters the queue. On a virtual clock the lookup is
+    /// instantaneous (`cache_ns` 0), so scripted traces stay pinned; on
+    /// the wall clock `cache_ns` is the real lookup cost and the
+    /// breakdown still tiles exactly.
+    fn complete_hit(
+        &mut self,
+        id: u64,
+        seed_key: u64,
+        kind: &'static str,
+        output: canti_farm::JobOutput,
+        admitted_ns: u64,
+    ) -> u64 {
+        self.stats.admitted += 1;
+        self.stats.cache_hits += 1;
+        self.stats.completed += 1;
+        let trace = canti_obs::trace_id(seed_key);
+        let done_ns = self.clock.now_ns();
+        let cache_ns = done_ns.saturating_sub(admitted_ns);
+        if let Some(o) = &self.observer {
+            o.tracer().event(
+                "cache_hit",
+                &[
+                    ("request", seed_key.into()),
+                    ("trace", trace.into()),
+                    ("kind", kind.into()),
+                ],
+            );
+        }
+        if let Some(ins) = &self.instruments {
+            ins.admitted.inc();
+            ins.cache_hit.inc();
+            ins.completed.inc();
+            ins.request_latency_ns.record(cache_ns);
+            ins.slo.record(cache_ns, done_ns);
+            ins.timeline.record_delta("serve.admitted", 1, admitted_ns);
+            ins.timeline.record_delta("serve.cache_hit", 1, done_ns);
+            ins.timeline.record_delta("serve.completed", 1, done_ns);
+            ins.timeline
+                .record_delta("serve.request_latency_ns", cache_ns, done_ns);
+            ins.timeline
+                .record_delta("serve.cache_ns", cache_ns, done_ns);
+            ins.requests.push(canti_obs::RequestRecord {
+                request: seed_key,
+                trace,
+                outcome: "cache_hit",
+                batch: None,
+                latency_ns: cache_ns,
+                queue_ns: 0,
+                form_ns: 0,
+                exec_ns: 0,
+                respond_ns: 0,
+                finished_ns: done_ns,
+            });
+        }
+        self.hits.push(ServeResponse {
+            request_id: id,
+            trace,
+            disposition: Disposition::CacheHit {
+                latency_ns: cache_ns,
+                breakdown: crate::response::LatencyBreakdown {
+                    cache_ns,
+                    ..Default::default()
+                },
+                result: Ok(output),
+            },
+        });
+        id
     }
 
     /// The deadline-feasibility fast reject: refuses a request whose
@@ -246,20 +413,30 @@ impl Front {
             return Vec::new();
         }
         let now_ns = self.clock.now_ns();
-        let responses = victims
-            .iter()
-            .map(|p| {
+        let mut responses = Vec::new();
+        for p in &victims {
+            self.stats.shed += 1;
+            responses.push(self.abandon(
+                p.id,
+                p.key,
+                p.trace,
+                p.enqueued_ns,
+                RejectReason::Shed,
+                now_ns,
+            ));
+            // a shed leader takes its coalesced followers with it
+            for f in &p.followers {
                 self.stats.shed += 1;
-                self.abandon(
-                    p.id,
-                    p.key,
-                    p.trace,
-                    p.enqueued_ns,
+                responses.push(self.abandon(
+                    f.id,
+                    f.key,
+                    f.trace,
+                    f.enqueued_ns,
                     RejectReason::Shed,
                     now_ns,
-                )
-            })
-            .collect();
+                ));
+            }
+        }
         self.observe_depth();
         responses
     }
@@ -273,29 +450,43 @@ impl Front {
         let now_ns = self.clock.now_ns();
         let responses = victims
             .iter()
-            .map(|p| self.fail_pending_at(p, now_ns))
+            .flat_map(|p| self.fail_pending_at(p, now_ns))
             .collect();
         self.observe_depth();
         responses
     }
 
-    /// Answers one admitted request [`RejectReason::ShardFailed`] — used
-    /// for batch members whose execution died underneath them.
-    pub(crate) fn fail_pending(&mut self, p: &Pending) -> ServeResponse {
+    /// Answers one admitted request — and every follower coalesced onto
+    /// it — [`RejectReason::ShardFailed`]. Used for batch members whose
+    /// execution died underneath them.
+    pub(crate) fn fail_pending(&mut self, p: &Pending) -> Vec<ServeResponse> {
         let now_ns = self.clock.now_ns();
         self.fail_pending_at(p, now_ns)
     }
 
-    fn fail_pending_at(&mut self, p: &Pending, now_ns: u64) -> ServeResponse {
+    fn fail_pending_at(&mut self, p: &Pending, now_ns: u64) -> Vec<ServeResponse> {
+        let mut out = Vec::with_capacity(1 + p.followers.len());
         self.stats.failed += 1;
-        self.abandon(
+        out.push(self.abandon(
             p.id,
             p.key,
             p.trace,
             p.enqueued_ns,
             RejectReason::ShardFailed,
             now_ns,
-        )
+        ));
+        for f in &p.followers {
+            self.stats.failed += 1;
+            out.push(self.abandon(
+                f.id,
+                f.key,
+                f.trace,
+                f.enqueued_ns,
+                RejectReason::ShardFailed,
+                now_ns,
+            ));
+        }
+        out
     }
 
     /// Answers requests whose `Pending`s are gone (consumed by the batch
@@ -521,9 +712,18 @@ impl ServeEngine {
     /// An engine under `config`, timing everything on `clock`.
     #[must_use]
     pub fn new(config: ServeConfig, clock: Arc<dyn ObsClock>) -> Self {
+        // one result cache per shard, shared by front (lookups) and
+        // executor (inserts)
+        let cache = config
+            .cache
+            .map(|c| Arc::new(std::sync::Mutex::new(crate::cache::ReportCache::new(c))));
+        let mut executor = BatchExecutor::new(config.threads, Arc::clone(&clock));
+        if let Some(c) = &cache {
+            executor = executor.with_report_cache(Arc::clone(c));
+        }
         Self {
-            front: Front::new(config, Arc::clone(&clock), None, None),
-            executor: BatchExecutor::new(config.threads, clock),
+            front: Front::new(config, clock, None, None, cache),
+            executor,
             failed: false,
             restarts: 0,
         }
@@ -557,6 +757,7 @@ impl ServeEngine {
             Arc::clone(&self.front.clock),
             Some(observer.clone()),
             Some(instruments.clone()),
+            self.front.cache.clone(), // keep the executor's cache handle
         );
         self.executor = self.executor.with_instruments(observer, instruments);
         self
@@ -668,7 +869,10 @@ impl ServeEngine {
         if self.failed {
             return Vec::new();
         }
-        let mut out = self.front.take_expired();
+        // cache hits buffered since the last pump flush first: they were
+        // admitted (and answered) before anything that follows
+        let mut out = self.front.take_hits();
+        out.extend(self.front.take_expired());
         out.extend(self.front.take_shed());
         let batches = self.front.form_ready();
         out.extend(self.run_batches(batches));
@@ -684,7 +888,8 @@ impl ServeEngine {
             self.front.queue.begin_drain();
             return Vec::new();
         }
-        let mut out = self.front.take_expired();
+        let mut out = self.front.take_hits();
+        out.extend(self.front.take_expired());
         let batches = self.front.begin_drain();
         out.extend(self.run_batches(batches));
         out
@@ -712,11 +917,11 @@ impl ServeEngine {
                         o.tracer().event("shard_down", &[("batch", index.into())]);
                     }
                     for p in &members {
-                        out.push(self.front.fail_pending(p));
+                        out.extend(self.front.fail_pending(p));
                     }
                     for stranded in batches.by_ref() {
                         for p in &stranded.items {
-                            out.push(self.front.fail_pending(p));
+                            out.extend(self.front.fail_pending(p));
                         }
                     }
                     out.extend(self.front.fail_queued());
@@ -750,6 +955,12 @@ impl ServeEngine {
     #[must_use]
     pub fn stats(&self) -> ServeStats {
         self.front.stats()
+    }
+
+    /// The result cache's counters, when [`ServeConfig::cache`] is set.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.front.cache_stats()
     }
 
     /// Every batch formed so far, in formation order.

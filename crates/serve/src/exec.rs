@@ -38,6 +38,9 @@ pub(crate) struct ServeInstruments {
     pub shed: Arc<Counter>,
     pub failovers: Arc<Counter>,
     pub shard_restarts: Arc<Counter>,
+    pub cache_hit: Arc<Counter>,
+    pub cache_miss: Arc<Counter>,
+    pub coalesced: Arc<Counter>,
     pub queue_depth: Arc<Gauge>,
     pub batch_size: Arc<Histogram>,
     pub request_latency_ns: Arc<Histogram>,
@@ -76,6 +79,18 @@ impl ServeInstruments {
             "requests rerouted here because their primary shard was down",
         );
         m.describe("serve.shard_restarts", "times this shard was resurrected");
+        m.describe(
+            "serve.cache_hit",
+            "requests answered from the content-addressed result cache",
+        );
+        m.describe(
+            "serve.cache_miss",
+            "cache lookups that went to the farm instead",
+        );
+        m.describe(
+            "serve.coalesced",
+            "requests that rode an identical in-flight leader",
+        );
         Self {
             admitted: m.counter("serve.admitted"),
             rejected: m.counter("serve.rejected"),
@@ -86,6 +101,9 @@ impl ServeInstruments {
             shed: m.counter("serve.shed"),
             failovers: m.counter("serve.failovers"),
             shard_restarts: m.counter("serve.shard_restarts"),
+            cache_hit: m.counter("serve.cache_hit"),
+            cache_miss: m.counter("serve.cache_miss"),
+            coalesced: m.counter("serve.coalesced"),
             queue_depth: m.gauge("serve.queue_depth"),
             batch_size: m.histogram("serve.batch_size"),
             request_latency_ns: m.histogram("serve.request_latency_ns"),
@@ -107,6 +125,11 @@ pub struct BatchExecutor {
     threads: usize,
     pool: Arc<WorkerPool>,
     cache: Arc<PrecomputeCache>,
+    /// The shard's content-addressed result cache, shared with the
+    /// admission front (which looks up at admission; the executor
+    /// inserts batch results in admission order). `None` with caching
+    /// off.
+    report_cache: Option<Arc<Mutex<crate::cache::ReportCache>>>,
     clock: Arc<dyn ObsClock>,
     observer: Option<FarmObserver>,
     instruments: Option<ServeInstruments>,
@@ -124,11 +147,23 @@ impl BatchExecutor {
             threads,
             pool: Arc::new(WorkerPool::new(threads)),
             cache: Arc::new(PrecomputeCache::new()),
+            report_cache: None,
             clock,
             observer: None,
             instruments: None,
             chaos: None,
         }
+    }
+
+    /// Attaches the shard's result cache: successful batch outputs are
+    /// inserted (in admission order) after each batch lands. The handle
+    /// is shared with the admission front, which serves hits.
+    pub(crate) fn with_report_cache(
+        mut self,
+        cache: Arc<Mutex<crate::cache::ReportCache>>,
+    ) -> Self {
+        self.report_cache = Some(cache);
+        self
     }
 
     /// Attaches a serve-chaos injector. The injector lives behind a
@@ -149,6 +184,7 @@ impl BatchExecutor {
             threads: self.threads,
             pool: Arc::new(WorkerPool::new(self.threads)),
             cache: Arc::clone(&self.cache),
+            report_cache: self.report_cache.clone(),
             clock: Arc::clone(&self.clock),
             observer: self.observer.clone(),
             instruments: self.instruments.clone(),
@@ -291,10 +327,15 @@ impl BatchExecutor {
         let exec_end_ns = self.clock.now_ns();
 
         let now_ns = self.clock.now_ns();
+        let answered: u64 = batch
+            .items
+            .iter()
+            .map(|p| 1 + p.followers.len() as u64)
+            .sum();
         if let Some(ins) = &self.instruments {
             ins.batches.inc();
             ins.batch_size.record(batch.len() as u64);
-            ins.completed.add(batch.len() as u64);
+            ins.completed.add(answered);
             // batch cadence depends on how the queue partitioned, so
             // these are not shard-count invariant — tagged accordingly
             ins.timeline.record_delta("serve.batches", 1, now_ns);
@@ -303,63 +344,114 @@ impl BatchExecutor {
         }
         let formed_ns = batch.formed_ns;
         let index = batch.index;
-        batch
-            .items
-            .into_iter()
-            .zip(report.outcomes)
-            .map(|(pending, result)| {
-                // the phases tile admission→answer exactly: each anchor
-                // subtraction reuses the previous anchor, so on a
-                // monotone clock queue+form+exec+respond == latency
+        let mut responses = Vec::with_capacity(answered as usize);
+        for (pending, result) in batch.items.into_iter().zip(report.outcomes) {
+            // feed the result cache in admission order, successes only —
+            // a per-job failure (or an injected fault) never poisons it
+            if let (Some(cache), Some(key), Ok(out)) =
+                (&self.report_cache, pending.job_key, result.as_ref())
+            {
+                cache
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .insert(key, out.clone());
+            }
+            // the phases tile admission→answer exactly: each anchor
+            // subtraction reuses the previous anchor, so on a monotone
+            // clock cache+queue+form+exec+respond == latency. Followers
+            // measure queue_ns against their own (later) arrival, so
+            // their breakdowns tile too.
+            let record = |enqueued_ns: u64| {
                 let breakdown = LatencyBreakdown {
-                    queue_ns: formed_ns.saturating_sub(pending.enqueued_ns),
+                    cache_ns: 0,
+                    queue_ns: formed_ns.saturating_sub(enqueued_ns),
                     form_ns: exec_start_ns.saturating_sub(formed_ns),
                     exec_ns: exec_end_ns.saturating_sub(exec_start_ns),
                     respond_ns: now_ns.saturating_sub(exec_end_ns),
                 };
-                let latency_ns = now_ns.saturating_sub(pending.enqueued_ns);
-                if let Some(ins) = &self.instruments {
-                    ins.request_latency_ns.record(latency_ns);
-                    ins.slo.record(latency_ns, now_ns);
-                    // request-scoped deltas: every contribution counted
-                    // exactly once, so the merged per-window series are
-                    // invariant under re-sharding
-                    ins.timeline.record_delta("serve.completed", 1, now_ns);
-                    ins.timeline
-                        .record_delta("serve.request_latency_ns", latency_ns, now_ns);
-                    ins.timeline
-                        .record_delta("serve.queue_ns", breakdown.queue_ns, now_ns);
-                    ins.timeline
-                        .record_delta("serve.form_ns", breakdown.form_ns, now_ns);
-                    ins.timeline
-                        .record_delta("serve.exec_ns", breakdown.exec_ns, now_ns);
-                    ins.timeline
-                        .record_delta("serve.respond_ns", breakdown.respond_ns, now_ns);
-                    ins.requests.push(RequestRecord {
-                        request: pending.key,
-                        trace: pending.trace,
-                        outcome: if result.is_ok() { "ok" } else { "job_failed" },
-                        batch: Some(index),
-                        latency_ns,
-                        queue_ns: breakdown.queue_ns,
-                        form_ns: breakdown.form_ns,
-                        exec_ns: breakdown.exec_ns,
-                        respond_ns: breakdown.respond_ns,
-                        finished_ns: now_ns,
-                    });
-                }
-                ServeResponse {
-                    request_id: pending.id,
-                    trace: pending.trace,
+                let latency_ns = now_ns.saturating_sub(enqueued_ns);
+                (breakdown, latency_ns)
+            };
+            let instrument =
+                |key: u64, trace: u64, outcome: &'static str, b: &LatencyBreakdown, lat: u64| {
+                    if let Some(ins) = &self.instruments {
+                        ins.request_latency_ns.record(lat);
+                        ins.slo.record(lat, now_ns);
+                        // request-scoped deltas: every contribution
+                        // counted exactly once, so the merged per-window
+                        // series are invariant under re-sharding
+                        ins.timeline.record_delta("serve.completed", 1, now_ns);
+                        ins.timeline
+                            .record_delta("serve.request_latency_ns", lat, now_ns);
+                        ins.timeline
+                            .record_delta("serve.queue_ns", b.queue_ns, now_ns);
+                        ins.timeline
+                            .record_delta("serve.form_ns", b.form_ns, now_ns);
+                        ins.timeline
+                            .record_delta("serve.exec_ns", b.exec_ns, now_ns);
+                        ins.timeline
+                            .record_delta("serve.respond_ns", b.respond_ns, now_ns);
+                        ins.requests.push(RequestRecord {
+                            request: key,
+                            trace,
+                            outcome,
+                            batch: Some(index),
+                            latency_ns: lat,
+                            queue_ns: b.queue_ns,
+                            form_ns: b.form_ns,
+                            exec_ns: b.exec_ns,
+                            respond_ns: b.respond_ns,
+                            finished_ns: now_ns,
+                        });
+                    }
+                };
+            let (breakdown, latency_ns) = record(pending.enqueued_ns);
+            instrument(
+                pending.key,
+                pending.trace,
+                if result.is_ok() { "ok" } else { "job_failed" },
+                &breakdown,
+                latency_ns,
+            );
+            responses.push(ServeResponse {
+                request_id: pending.id,
+                trace: pending.trace,
+                disposition: Disposition::Completed {
+                    batch: index,
+                    latency_ns,
+                    breakdown,
+                    result: result.clone(),
+                },
+            });
+            // fan the leader's answer out to every coalesced follower —
+            // each ticket answered exactly once, with the same payload
+            // bits
+            for f in &pending.followers {
+                let (breakdown, latency_ns) = record(f.enqueued_ns);
+                instrument(
+                    f.key,
+                    f.trace,
+                    if result.is_ok() {
+                        "coalesced"
+                    } else {
+                        "job_failed"
+                    },
+                    &breakdown,
+                    latency_ns,
+                );
+                responses.push(ServeResponse {
+                    request_id: f.id,
+                    trace: f.trace,
                     disposition: Disposition::Completed {
                         batch: index,
                         latency_ns,
                         breakdown,
-                        result,
+                        result: result.clone(),
                     },
-                }
-            })
-            .collect()
+                });
+            }
+        }
+        responses
     }
 }
 

@@ -70,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod exec;
 pub mod queue;
@@ -78,6 +79,7 @@ pub mod service;
 pub mod shard;
 pub mod supervisor;
 
+pub use cache::{canonical_job_line, job_key, CacheConfig, CacheStats, JobKey, ReportCache};
 pub use canti_fault::{ServeFaultEvent, ServeFaultKind, ServeFaultPlan};
 pub use canti_obs::{SloConfig, TimelineConfig};
 pub use engine::{BatchRecord, ServeEngine, ServeStats};
@@ -128,6 +130,14 @@ pub struct ServeConfig {
     pub feasibility: Option<FeasibilityConfig>,
     /// Brownout shedding policy. `None` (default) disables shedding.
     pub brownout: Option<BrownoutConfig>,
+    /// Content-addressed result caching and in-flight coalescing policy.
+    /// `None` (default) disables both, preserving pre-existing scripted
+    /// traces. When set, each request's RNG stream derives from the
+    /// **content hash** of its spec instead of its admission id, so
+    /// identical specs yield identical payload bits — the invariant that
+    /// makes cached and recomputed answers bitwise interchangeable on
+    /// any shard.
+    pub cache: Option<CacheConfig>,
 }
 
 /// Policy for the deadline-feasibility fast reject: refuse a request at
@@ -177,6 +187,7 @@ impl Default for ServeConfig {
             timeline: TimelineConfig::default(),
             feasibility: None,
             brownout: None,
+            cache: None,
         }
     }
 }

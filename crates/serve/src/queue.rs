@@ -6,11 +6,12 @@
 //! arrival script. Everything here is driven by explicit `now_ns`
 //! arguments — the caller owns the clock.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use canti_farm::JobSpec;
 
+use crate::cache::JobKey;
 use crate::ServeConfig;
 
 /// Why a submission was refused at the door.
@@ -103,6 +104,46 @@ impl BatchTrigger {
     }
 }
 
+/// A request that coalesced onto an identical in-flight leader: it
+/// occupies no queue slot and runs no job of its own — the leader's
+/// answer fans out to it when the batch completes.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Follower {
+    /// Admission-ordered request id (shares the leader's id space).
+    pub id: u64,
+    /// The request key telemetry reports (global id under sharding).
+    pub key: u64,
+    /// The request-scoped trace id over `key`.
+    pub trace: u64,
+    /// Clock reading at admission — later than the leader's, so the
+    /// follower's `queue_ns` is measured against its own arrival and the
+    /// latency breakdown still tiles exactly.
+    pub enqueued_ns: u64,
+}
+
+/// How a submission was admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admitted {
+    /// Queued normally (occupies a queue slot, runs its own job).
+    Queued(u64),
+    /// Coalesced onto the queued leader with the same content hash.
+    Coalesced {
+        /// The id handed to this submission.
+        id: u64,
+        /// The leader request it rides on.
+        leader: u64,
+    },
+}
+
+impl Admitted {
+    /// The id handed out either way.
+    pub(crate) fn id(&self) -> u64 {
+        match *self {
+            Self::Queued(id) | Self::Coalesced { id, .. } => id,
+        }
+    }
+}
+
 /// One admitted request waiting for (or riding in) a batch.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Pending {
@@ -131,6 +172,14 @@ pub(crate) struct Pending {
     /// Brownout priority class: higher values survive shedding longer.
     /// Unprioritized submissions get 0.
     pub priority: u8,
+    /// The spec's content hash — `Some` only when the config enables the
+    /// result cache. Drives in-flight coalescing and the post-batch
+    /// cache insert.
+    pub job_key: Option<JobKey>,
+    /// Identical requests that coalesced onto this one while it waited.
+    /// They occupy no queue slots; the executor fans this request's
+    /// answer out to each of them.
+    pub followers: Vec<Follower>,
 }
 
 /// A batch the queue has released for execution: an ordered slice of
@@ -181,6 +230,11 @@ impl FormedBatch {
 pub struct AdmissionQueue {
     config: ServeConfig,
     queue: VecDeque<Pending>,
+    /// Content hash → queued leader id, maintained only when the config
+    /// enables the result cache. A deadline-free default-priority
+    /// submission whose hash is in here coalesces onto that leader
+    /// instead of occupying a queue slot.
+    inflight: BTreeMap<JobKey, u64>,
     next_id: u64,
     next_batch: u64,
     draining: bool,
@@ -194,6 +248,7 @@ impl AdmissionQueue {
         Self {
             config,
             queue: VecDeque::with_capacity(config.capacity()),
+            inflight: BTreeMap::new(),
             next_id: 0,
             next_batch: 0,
             draining: false,
@@ -260,6 +315,7 @@ impl AdmissionQueue {
         deadline_ns: Option<u64>,
     ) -> Result<u64, RejectReason> {
         self.submit_keyed(now_ns, job, deadline_ns, None)
+            .map(|a| a.id())
     }
 
     /// [`Self::submit`] with an explicit seed key: a sharded front
@@ -273,11 +329,22 @@ impl AdmissionQueue {
         job: JobSpec,
         deadline_ns: Option<u64>,
         key: Option<u64>,
-    ) -> Result<u64, RejectReason> {
+    ) -> Result<Admitted, RejectReason> {
         self.submit_prioritized(now_ns, job, deadline_ns, key, 0)
     }
 
     /// [`Self::submit_keyed`] with an explicit brownout priority class.
+    ///
+    /// With the result cache enabled, two things change. The request's
+    /// RNG seed derives from its spec's **content hash** instead of its
+    /// key, so identical specs yield identical payload bits (the
+    /// invariant that makes cached answers bitwise interchangeable with
+    /// recomputed ones). And a deadline-free, default-priority
+    /// submission identical to a queued request **coalesces**: it gets
+    /// its own id but occupies no queue slot and runs no job — the
+    /// leader's answer fans out to it. Deadline-carrying or prioritized
+    /// submissions always queue normally so expiry and shedding
+    /// semantics stay exact.
     pub(crate) fn submit_prioritized(
         &mut self,
         now_ns: u64,
@@ -285,12 +352,33 @@ impl AdmissionQueue {
         deadline_ns: Option<u64>,
         key: Option<u64>,
         priority: u8,
-    ) -> Result<u64, RejectReason> {
+    ) -> Result<Admitted, RejectReason> {
         if self.failed {
             return Err(RejectReason::ShardFailed);
         }
         if self.draining {
             return Err(RejectReason::Draining);
+        }
+        let job_key = self.config.cache.map(|_| crate::cache::job_key(&job));
+        let coalescable =
+            deadline_ns.is_none() && self.config.default_deadline_ns.is_none() && priority == 0;
+        if coalescable {
+            if let Some(k) = job_key {
+                if let Some(&leader) = self.inflight.get(&k) {
+                    if let Some(p) = self.queue.iter_mut().find(|p| p.id == leader) {
+                        let id = self.next_id;
+                        self.next_id += 1;
+                        let key = key.unwrap_or(id);
+                        p.followers.push(Follower {
+                            id,
+                            key,
+                            trace: canti_obs::trace_id(key),
+                            enqueued_ns: now_ns,
+                        });
+                        return Ok(Admitted::Coalesced { id, leader });
+                    }
+                }
+            }
         }
         let capacity = self.config.capacity();
         if self.queue.len() >= capacity {
@@ -302,16 +390,48 @@ impl AdmissionQueue {
             .or(self.config.default_deadline_ns)
             .map(|d| now_ns.saturating_add(d));
         let key = key.unwrap_or(id);
+        let seed = match job_key {
+            // content-derived: identical specs → identical payload bits
+            Some(k) => crate::shard::request_seed(self.config.batch_seed, k.fold()),
+            None => crate::shard::request_seed(self.config.batch_seed, key),
+        };
+        if let Some(k) = job_key {
+            // the newest queued instance is the coalesce target
+            self.inflight.insert(k, id);
+        }
         self.queue.push_back(Pending {
             id,
             job,
-            seed: crate::shard::request_seed(self.config.batch_seed, key),
+            seed,
             trace: canti_obs::trace_id(key),
             key,
             enqueued_ns: now_ns,
             deadline_ns: deadline,
             priority,
+            job_key,
+            followers: Vec::new(),
         });
+        Ok(Admitted::Queued(id))
+    }
+
+    /// Allocates an id for a request answered straight from the result
+    /// cache: it never occupies a queue slot, but burns an id so the
+    /// admission-ordered id stream stays dense (the sharded front's
+    /// local→global mapping depends on that).
+    ///
+    /// # Errors
+    ///
+    /// The same failed/draining gates as [`Self::submit`] — a down or
+    /// draining shard refuses cached answers too.
+    pub(crate) fn allocate_cached(&mut self) -> Result<u64, RejectReason> {
+        if self.failed {
+            return Err(RejectReason::ShardFailed);
+        }
+        if self.draining {
+            return Err(RejectReason::Draining);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
         Ok(id)
     }
 
@@ -319,12 +439,43 @@ impl AdmissionQueue {
     /// passed (`now_ns >= deadline_ns`), in admission order. Run this
     /// before [`Self::pop_ready`] so expired requests never occupy batch
     /// slots.
+    /// An expiring leader with followers does not take its coalition
+    /// down: the oldest follower is **promoted** in place (keeping the
+    /// queue position and the content-derived seed, so payload bits are
+    /// unchanged) and only the leader itself is reported expired.
     pub(crate) fn take_expired(&mut self, now_ns: u64) -> Vec<Pending> {
         let mut expired = Vec::new();
+        let inflight = &mut self.inflight;
         self.queue.retain_mut(|p| match p.deadline_ns {
             Some(d) if now_ns >= d => {
-                expired.push(p.clone());
-                false
+                let mut gone = p.clone();
+                gone.followers = Vec::new();
+                if p.followers.is_empty() {
+                    if let Some(k) = p.job_key {
+                        if inflight.get(&k) == Some(&p.id) {
+                            inflight.remove(&k);
+                        }
+                    }
+                    expired.push(gone);
+                    false
+                } else {
+                    let f = p.followers.remove(0);
+                    p.id = f.id;
+                    p.key = f.key;
+                    p.trace = f.trace;
+                    p.enqueued_ns = f.enqueued_ns;
+                    // followers are deadline-free and priority-0 by the
+                    // coalescing rule
+                    p.deadline_ns = None;
+                    p.priority = 0;
+                    if let Some(k) = p.job_key {
+                        if inflight.get(&k) == Some(&gone.id) {
+                            inflight.insert(k, p.id);
+                        }
+                    }
+                    expired.push(gone);
+                    true
+                }
             }
             _ => true,
         });
@@ -349,7 +500,14 @@ impl AdmissionQueue {
                 .iter()
                 .rposition(|p| p.priority == min_priority)
                 .expect("a min-priority element exists");
-            shed.push(self.queue.remove(victim).expect("victim index in range"));
+            let victim = self.queue.remove(victim).expect("victim index in range");
+            if let Some(k) = victim.job_key {
+                if self.inflight.get(&k) == Some(&victim.id) {
+                    self.inflight.remove(&k);
+                }
+            }
+            // a shed leader sheds its whole coalition with it
+            shed.push(victim);
         }
         shed
     }
@@ -358,6 +516,7 @@ impl AdmissionQueue {
     /// The caller answers each request terminally with
     /// [`RejectReason::ShardFailed`].
     pub(crate) fn take_all(&mut self) -> Vec<Pending> {
+        self.inflight.clear();
         self.queue.drain(..).collect()
     }
 
@@ -414,7 +573,17 @@ impl AdmissionQueue {
     fn form(&mut self, n: usize, trigger: BatchTrigger, now_ns: u64) -> FormedBatch {
         let index = self.next_batch;
         self.next_batch += 1;
-        let items = self.queue.drain(..n).collect();
+        let items: Vec<Pending> = self.queue.drain(..n).collect();
+        // a forming request stops being a coalesce target: later
+        // identical submissions miss the in-flight map and hit the
+        // result cache once this batch lands (or queue a fresh leader)
+        for p in &items {
+            if let Some(k) = p.job_key {
+                if self.inflight.get(&k) == Some(&p.id) {
+                    self.inflight.remove(&k);
+                }
+            }
+        }
         FormedBatch {
             index,
             trigger,

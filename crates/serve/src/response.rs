@@ -26,12 +26,18 @@ pub struct ServeResponse {
 
 /// Where one completed request's latency went, on the serve clock.
 ///
-/// The four phases partition the request's total latency exactly:
-/// `queue_ns + form_ns + exec_ns + respond_ns == latency_ns`. On a
-/// [`canti_obs::VirtualClock`] every anchor is a scripted reading, so
-/// breakdowns are bit-identical at any worker count.
+/// The five phases partition the request's total latency exactly:
+/// `cache_ns + queue_ns + form_ns + exec_ns + respond_ns == latency_ns`.
+/// On a [`canti_obs::VirtualClock`] every anchor is a scripted reading,
+/// so breakdowns are bit-identical at any worker count. A cache hit is
+/// all `cache_ns` (the other phases never happened); a farm-served
+/// request has `cache_ns` 0 (with the cache off) or the lookup cost of
+/// its admission-time miss (with it on).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencyBreakdown {
+    /// The admission-time result-cache lookup (`cache_lookup` phase),
+    /// ns. Zero when the cache is disabled.
+    pub cache_ns: u64,
     /// Admission to batch formation: time spent waiting in the
     /// admission queue, ns.
     pub queue_ns: u64,
@@ -48,7 +54,7 @@ impl LatencyBreakdown {
     /// The phases summed — equals the response's `latency_ns`.
     #[must_use]
     pub fn total_ns(&self) -> u64 {
-        self.queue_ns + self.form_ns + self.exec_ns + self.respond_ns
+        self.cache_ns + self.queue_ns + self.form_ns + self.exec_ns + self.respond_ns
     }
 }
 
@@ -66,6 +72,20 @@ pub enum Disposition {
         /// Where that latency went, phase by phase.
         breakdown: LatencyBreakdown,
         /// The farm's per-job outcome.
+        result: Result<JobOutput, FarmError>,
+    },
+    /// The request was answered straight from the content-addressed
+    /// result cache at admission: it never occupied a queue slot or rode
+    /// a batch. By the determinism contract the payload is bit-identical
+    /// to what a farm solve of the same spec would have produced.
+    CacheHit {
+        /// Admission-to-answer time on the serve clock, ns (the cache
+        /// lookup itself).
+        latency_ns: u64,
+        /// The breakdown — all zero except `cache_ns`.
+        breakdown: LatencyBreakdown,
+        /// The cached per-job outcome (always `Ok`: failures are never
+        /// cached).
         result: Result<JobOutput, FarmError>,
     },
     /// The request's deadline passed while it was still queued; it never
@@ -92,7 +112,10 @@ impl Disposition {
     /// Whether the request completed with a successful job output.
     #[must_use]
     pub fn is_ok(&self) -> bool {
-        matches!(self, Self::Completed { result: Ok(_), .. })
+        matches!(
+            self,
+            Self::Completed { result: Ok(_), .. } | Self::CacheHit { result: Ok(_), .. }
+        )
     }
 
     /// Stable label for metrics / trace fields.
@@ -101,8 +124,24 @@ impl Disposition {
         match self {
             Self::Completed { result: Ok(_), .. } => "ok",
             Self::Completed { result: Err(_), .. } => "job_failed",
+            Self::CacheHit { .. } => "cache_hit",
             Self::Expired { .. } => "expired",
             Self::Failed { reason } => reason.label(),
+        }
+    }
+
+    /// The successful job output, however the request was served —
+    /// batch completion or cache hit. `None` for failures.
+    #[must_use]
+    pub fn output(&self) -> Option<&JobOutput> {
+        match self {
+            Self::Completed {
+                result: Ok(out), ..
+            }
+            | Self::CacheHit {
+                result: Ok(out), ..
+            } => Some(out),
+            _ => None,
         }
     }
 }
@@ -125,6 +164,21 @@ impl fmt::Display for ServeResponse {
                 Err(e) => write!(
                     f,
                     "request {}: failed in batch {batch} ({e}, {latency_ns} ns)",
+                    self.request_id
+                ),
+            },
+            Disposition::CacheHit {
+                latency_ns, result, ..
+            } => match result {
+                Ok(out) => write!(
+                    f,
+                    "request {}: ok from cache ({} metrics, {latency_ns} ns)",
+                    self.request_id,
+                    out.metrics.len()
+                ),
+                Err(e) => write!(
+                    f,
+                    "request {}: failed from cache ({e}, {latency_ns} ns)",
                     self.request_id
                 ),
             },
@@ -224,12 +278,39 @@ mod tests {
     #[test]
     fn breakdown_phases_partition_the_latency() {
         let b = LatencyBreakdown {
+            cache_ns: 4,
             queue_ns: 10,
             form_ns: 2,
             exec_ns: 30,
             respond_ns: 1,
         };
-        assert_eq!(b.total_ns(), 43);
+        assert_eq!(b.total_ns(), 47);
         assert_eq!(LatencyBreakdown::default().total_ns(), 0);
+    }
+
+    #[test]
+    fn cache_hits_read_as_successful_completions() {
+        let hit = ServeResponse {
+            request_id: 8,
+            trace: canti_obs::trace_id(8),
+            disposition: Disposition::CacheHit {
+                latency_ns: 3,
+                breakdown: LatencyBreakdown {
+                    cache_ns: 3,
+                    ..LatencyBreakdown::default()
+                },
+                result: Ok(output()),
+            },
+        };
+        assert!(hit.disposition.is_ok());
+        assert_eq!(hit.disposition.label(), "cache_hit");
+        assert_eq!(hit.disposition.output().map(|o| o.job_index), Some(0));
+        assert!(hit.to_string().contains("from cache"));
+        match &hit.disposition {
+            Disposition::CacheHit { breakdown, .. } => {
+                assert_eq!(breakdown.total_ns(), 3, "all latency is the lookup");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

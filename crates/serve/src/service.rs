@@ -229,6 +229,14 @@ impl ServeService {
         chaos: Option<(&ServeFaultPlan, usize)>,
     ) -> Self {
         let mut executor = BatchExecutor::new(config.threads, Arc::clone(&clock));
+        // one result cache shared by front (lookups) and executor
+        // (inserts); revive keeps it — resurrected() clones the handle
+        let cache = config
+            .cache
+            .map(|c| Arc::new(Mutex::new(crate::cache::ReportCache::new(c))));
+        if let Some(c) = &cache {
+            executor = executor.with_report_cache(Arc::clone(c));
+        }
         // one instrument set shared between front and executor: SLO
         // windows and the request log must see both halves of a request
         let instruments = observer
@@ -248,7 +256,7 @@ impl ServeService {
         }
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                front: Front::new(config, Arc::clone(&clock), observer, instruments),
+                front: Front::new(config, Arc::clone(&clock), observer, instruments, cache),
                 tickets: BTreeMap::new(),
             }),
             wake: Condvar::new(),
@@ -326,6 +334,12 @@ impl ServeService {
                     enqueued_ns: self.shared.clock.now_ns(),
                 },
             );
+            // a cache hit was answered inside admit: fulfil its ticket
+            // now so the caller's wait() returns without a batcher pass
+            let hits = state.front.take_hits();
+            if !hits.is_empty() {
+                Shared::fulfil(&mut state, hits);
+            }
             Ticket { id, slot }
         };
         self.shared.wake.notify_all();
@@ -342,6 +356,12 @@ impl ServeService {
     #[must_use]
     pub fn stats(&self) -> ServeStats {
         self.shared.lock().front.stats()
+    }
+
+    /// The result cache's counters, when [`ServeConfig::cache`] is set.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.shared.lock().front.cache_stats()
     }
 
     /// This shard's current health. `Down` means the executor died and
@@ -612,11 +632,11 @@ fn run_formed(shared: &Shared, batches: Vec<FormedBatch>) -> bool {
                 let mut state = shared.lock();
                 let mut responses: Vec<ServeResponse> = members
                     .iter()
-                    .map(|p| state.front.fail_pending(p))
+                    .flat_map(|p| state.front.fail_pending(p))
                     .collect();
                 for stranded in batches.by_ref() {
                     for p in &stranded.items {
-                        responses.push(state.front.fail_pending(p));
+                        responses.extend(state.front.fail_pending(p));
                     }
                 }
                 responses.extend(state.front.fail_queued());

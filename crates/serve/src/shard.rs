@@ -430,6 +430,13 @@ impl ShardedEngine {
         sum_stats(self.engines.iter().map(ServeEngine::stats))
     }
 
+    /// Summed result-cache counters across shards (`None` when the
+    /// config has caching off).
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        sum_cache_stats(self.engines.iter().map(ServeEngine::cache_stats))
+    }
+
     /// Per-shard tallies, in shard order.
     #[must_use]
     pub fn shard_stats(&self) -> Vec<ServeStats> {
@@ -753,6 +760,13 @@ impl ShardedService {
         sum_stats(self.shards.iter().map(|s| s.stats()))
     }
 
+    /// Summed result-cache counters across shards (`None` when the
+    /// config has caching off).
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        sum_cache_stats(self.shards.iter().map(|s| s.cache_stats()))
+    }
+
     /// Per-shard tallies, in shard order.
     #[must_use]
     pub fn shard_stats(&self) -> Vec<ServeStats> {
@@ -875,6 +889,15 @@ fn spawn_service_supervisor(
         .expect("spawn canti-serve-supervisor")
 }
 
+fn sum_cache_stats(
+    stats: impl Iterator<Item = Option<crate::cache::CacheStats>>,
+) -> Option<crate::cache::CacheStats> {
+    stats.fold(None, |acc, s| match (acc, s) {
+        (Some(a), Some(b)) => Some(a.merged(b)),
+        (one, other) => one.or(other),
+    })
+}
+
 fn sum_stats(stats: impl Iterator<Item = ServeStats>) -> ServeStats {
     stats.fold(ServeStats::default(), |mut acc, s| {
         acc.admitted += s.admitted;
@@ -884,6 +907,8 @@ fn sum_stats(stats: impl Iterator<Item = ServeStats>) -> ServeStats {
         acc.batches += s.batches;
         acc.failed += s.failed;
         acc.shed += s.shed;
+        acc.cache_hits += s.cache_hits;
+        acc.coalesced += s.coalesced;
         acc
     })
 }

@@ -24,6 +24,12 @@
 //!   a hung waiter fails the run), traffic failed over to the
 //!   survivors, the supervisor restarted the dead shard, and the
 //!   revived shard served again. Forces ≥ 2 shards,
+//! * `--cache` — result-cache drill: run a repeat-heavy workload through
+//!   a service with the content-addressed result cache on, prove that
+//!   concurrent identical requests coalesce onto one in-flight leader,
+//!   that repeats are answered from the cache, and that every answer is
+//!   bit-identical; under `--telemetry` writes shard 0's stream to
+//!   `target/serve_cache_telemetry.ndjson` for the CI cache gate,
 //! * `--telemetry` — write shard 0's full trace stream (request spans,
 //!   serve_batch/batch/job spans, metrics) to
 //!   `target/serve_telemetry.ndjson` for `obsctl trace` / `obsctl slo`
@@ -48,14 +54,14 @@ use canti::obs::{
     Readiness, RingCollector, SampleConfig, Tracer, WallClock,
 };
 use canti::serve::{
-    Disposition, RejectReason, ServeConfig, ServeFaultPlan, ServeResponse, ShardTicket,
-    ShardedConfig, ShardedService, SupervisorConfig,
+    CacheConfig, Disposition, RejectReason, ServeConfig, ServeFaultPlan, ServeResponse,
+    ShardTicket, ShardedConfig, ShardedService, SupervisorConfig,
 };
 use canti::units::{Molar, Seconds};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--chaos-serve SEED] [--telemetry] [--addr HOST:PORT]\n\
+        "usage: serve_demo [requests] [--submitters N] [--batch N] [--shards N] [--chaos-serve SEED] [--cache] [--telemetry] [--addr HOST:PORT]\n\
          pushes concurrent assay requests through the sharded batching serve layer"
     );
     std::process::exit(2);
@@ -120,7 +126,7 @@ fn wait_all_watchdog(tickets: Vec<ShardTicket>, label: &str) -> Vec<ServeRespons
     let responses = rx
         .recv_timeout(Duration::from_secs(60))
         .unwrap_or_else(|_| {
-            panic!("chaos-serve {label}: a ticket hung — a waiter never got a terminal answer")
+            panic!("{label}: a ticket hung — a waiter never got a terminal answer")
         });
     waiter.join().expect("watchdog waiter thread");
     responses
@@ -169,7 +175,7 @@ fn run_chaos(batch: usize, shards: usize, seed: u64, telemetry: bool) {
         .filter_map(|i| service.submit(request(i)).ok())
         .collect();
     let admitted1 = wave1.len();
-    let responses = wait_all_watchdog(wave1, "wave 1");
+    let responses = wait_all_watchdog(wave1, "chaos-serve wave 1");
     let failed1 = responses
         .iter()
         .filter(|r| matches!(r.disposition, Disposition::Failed { .. }))
@@ -201,7 +207,7 @@ fn run_chaos(batch: usize, shards: usize, seed: u64, telemetry: bool) {
         service.failovers() > 0,
         "no failover landed while shard {victim} was down"
     );
-    let responses = wait_all_watchdog(wave2, "wave 2");
+    let responses = wait_all_watchdog(wave2, "chaos-serve wave 2");
     assert!(
         responses
             .iter()
@@ -240,7 +246,7 @@ fn run_chaos(batch: usize, shards: usize, seed: u64, telemetry: bool) {
     let wave3: Vec<ShardTicket> = (0..2 * shards * batch)
         .map(|i| service.submit(request(i)).expect("revived service admits"))
         .collect();
-    let responses = wait_all_watchdog(wave3, "wave 3");
+    let responses = wait_all_watchdog(wave3, "chaos-serve wave 3");
     assert!(
         responses.iter().all(|r| r.disposition.is_ok()),
         "post-restart requests must all complete"
@@ -284,12 +290,192 @@ fn run_chaos(batch: usize, shards: usize, seed: u64, telemetry: bool) {
     println!("chaos-serve: every ticket answered terminally; self-healing drill passed");
 }
 
+/// The `--cache` drill: a repeat-heavy workload through a cached sharded
+/// service, proving (a) concurrent identical requests coalesce onto one
+/// in-flight leader, (b) repeats of an already-served spec are answered
+/// from the content-addressed result cache, and (c) every answer —
+/// computed, coalesced or cached — carries bit-identical payloads.
+fn run_cache(shards: usize, telemetry: bool) {
+    let (observers, rings, _flights, sources) = build_observers(shards);
+    let shard0_metrics = Arc::clone(&sources[0].1);
+    let service = Arc::new(ShardedService::start_observed(
+        ShardedConfig {
+            shards,
+            base: ServeConfig {
+                max_batch: 16,
+                // long linger: the coalescing burst below must ride one
+                // queued leader, so no batch may fire mid-burst
+                linger_ns: 20_000_000, // 20 ms
+                threads: 0,
+                cache: Some(CacheConfig::default()),
+                ..ServeConfig::default()
+            },
+        },
+        observers,
+    ));
+
+    // /healthz with live result-cache counters, summed across shards.
+    let cache_source = Arc::downgrade(&service);
+    let readiness = Readiness {
+        shards,
+        pool_threads: service.pool_threads().first().copied().unwrap_or(0),
+        cache: Some(Arc::new(move || {
+            cache_source
+                .upgrade()
+                .and_then(|s| s.cache_stats())
+                .map(|c| [c.hits, c.misses, c.insertions, c.evictions, c.entries])
+                .unwrap_or_default()
+        })),
+        ..Readiness::default()
+    };
+    let debug = DebugState {
+        requests: service
+            .request_logs()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(s, log)| log.map(|log| (s.to_string(), log)))
+            .collect(),
+        readiness: Some(readiness),
+        ..DebugState::default()
+    };
+    let server =
+        ExpositionServer::bind_sharded_debug("127.0.0.1:0", sources, debug).expect("bind server");
+    println!(
+        "cache drill: {shards} shard(s), capacity {} per shard, http://{}",
+        CacheConfig::default().capacity,
+        server.local_addr()
+    );
+
+    // Phase 1 — coalescing: a burst of identical deadline-free requests.
+    // Each shard's first arrival queues as the leader; every later
+    // identical arrival on that shard rides it instead of occupying a
+    // queue slot. The linger is far longer than the burst takes to
+    // submit, so the leaders are still queued while the burst lands.
+    let burst = (4 * shards).max(24);
+    let tickets: Vec<ShardTicket> = (0..burst)
+        .map(|_| service.submit(request(0)).expect("admitted"))
+        .collect();
+    let responses = wait_all_watchdog(tickets, "cache drill burst");
+    let burst_bits: Vec<Vec<(&'static str, u64)>> = responses
+        .iter()
+        .map(|r| {
+            let out = r
+                .disposition
+                .output()
+                .unwrap_or_else(|| panic!("burst request {} must complete: {r}", r.request_id));
+            out.metrics.iter().map(|&(n, v)| (n, v.to_bits())).collect()
+        })
+        .collect();
+    assert!(
+        burst_bits.windows(2).all(|w| w[0] == w[1]),
+        "every coalesced answer must be bit-identical to its leader's"
+    );
+    let after_burst = service.stats();
+    println!(
+        "cache drill burst: {burst} identical requests -> {} coalesced onto {} leader(s)",
+        after_burst.coalesced,
+        burst as u64 - after_burst.coalesced
+    );
+    assert!(
+        after_burst.coalesced > 0,
+        "a {burst}-deep identical burst over {shards} shard(s) must coalesce"
+    );
+
+    // Phase 2 — cache hits: sequential repeats of one spec. Each shard
+    // misses at most once (warming its own cache); every later repeat
+    // routed to a warmed shard is answered at admission, bit-identically
+    // to the computed original.
+    let repeats = 8 + 2 * shards;
+    let mut baseline: Option<Vec<(&'static str, u64)>> = None;
+    let mut hits = 0u64;
+    for i in 0..repeats {
+        let ticket = service.submit(request(1)).expect("admitted");
+        let response = ticket.wait();
+        let out = response
+            .disposition
+            .output()
+            .unwrap_or_else(|| panic!("repeat {i} must complete: {response}"));
+        let bits: Vec<(&'static str, u64)> =
+            out.metrics.iter().map(|&(n, v)| (n, v.to_bits())).collect();
+        match &baseline {
+            None => baseline = Some(bits),
+            Some(first) => assert_eq!(
+                first, &bits,
+                "cached response bits must equal the recomputed original"
+            ),
+        }
+        if matches!(response.disposition, Disposition::CacheHit { .. }) {
+            hits += 1;
+        }
+    }
+    println!("cache drill repeats: {repeats} sequential repeats -> {hits} cache hits");
+    assert!(
+        hits > 0,
+        "{repeats} sequential repeats over {shards} warmed shard(s) must hit"
+    );
+
+    let stats = service.stats();
+    let cache = service.cache_stats().expect("cache is enabled");
+    println!(
+        "cache drill: hits={} misses={} insertions={} evictions={} entries={} | {}",
+        cache.hits,
+        cache.misses,
+        cache.insertions,
+        cache.evictions,
+        cache.entries,
+        stats.render()
+    );
+    assert!(stats.cache_hits > 0 && stats.coalesced > 0);
+
+    // The same counters over HTTP: /healthz carries the cache object,
+    // /debug/requests the per-request cache_hit / coalesced outcomes.
+    let health = server.scrape("/healthz").expect("self-scrape /healthz");
+    println!("--- /healthz ---\n{health}");
+    assert!(
+        health.contains("\"cache\":{\"hits\":"),
+        "healthz must carry live cache counters: {health}"
+    );
+    let debug_requests = server
+        .scrape("/debug/requests")
+        .expect("self-scrape /debug/requests");
+    assert!(
+        debug_requests.contains("\"outcome\":\"cache_hit\"")
+            && debug_requests.contains("\"outcome\":\"coalesced\""),
+        "request log must record cache_hit and coalesced outcomes"
+    );
+
+    if telemetry {
+        // shard 0's stream is self-contained (its own seq sequence) and
+        // carries the cache_hit / cache_miss / coalesced events the CI
+        // cache-effectiveness gate reads
+        let mut ndjson = rings[0].to_ndjson();
+        ndjson.push_str(&shard0_metrics.to_ndjson());
+        let path = "target/serve_cache_telemetry.ndjson";
+        std::fs::write(path, &ndjson).expect("write cache telemetry artifact");
+        println!(
+            "telemetry: {} NDJSON records ({} trace events dropped) -> {path}",
+            ndjson.lines().count(),
+            rings[0].dropped()
+        );
+    }
+
+    server.shutdown();
+    let per_shard = Arc::try_unwrap(service)
+        .expect("all waiters joined")
+        .shutdown();
+    for (s, stats) in per_shard.iter().enumerate() {
+        println!("shard {s}: {}", stats.render());
+    }
+    println!("cache drill passed: coalesced and cached answers are bit-identical");
+}
+
 fn main() {
     let mut requests = 48usize;
     let mut submitters = 4usize;
     let mut batch = 8usize;
     let mut shards = 1usize;
     let mut chaos_serve: Option<u64> = None;
+    let mut cache_drill = false;
     let mut telemetry = false;
     let mut addr = "127.0.0.1:0".to_owned();
 
@@ -313,6 +499,7 @@ fn main() {
                 Some(seed) => chaos_serve = Some(seed),
                 None => usage(),
             },
+            "--cache" => cache_drill = true,
             "--telemetry" => telemetry = true,
             "--addr" => match it.next() {
                 Some(a) => addr = a.clone(),
@@ -328,6 +515,10 @@ fn main() {
 
     if let Some(seed) = chaos_serve {
         run_chaos(batch, shards, seed, telemetry);
+        return;
+    }
+    if cache_drill {
+        run_cache(shards, telemetry);
         return;
     }
 
@@ -455,9 +646,12 @@ fn main() {
     }
 
     // One hopeless deadline so the expiry path shows up in the metrics
-    // and burns SLO budget: 1 ns is unmeetable on the wall clock.
+    // and burns SLO budget. A relative deadline of 0 makes the absolute
+    // deadline the admission instant itself, and every batch-formation
+    // path expires the queue first (`now >= deadline`), so this request
+    // expires deterministically — it cannot race the batcher.
     let ticket = service
-        .submit_with_deadline(JobSpec::Probe(ProbeMode::Draws(2)), 1)
+        .submit_with_deadline(JobSpec::Probe(ProbeMode::Draws(2)), 0)
         .expect("admitted");
     println!(
         "\ndeadline demo: request {} routed to shard {}",
@@ -468,10 +662,7 @@ fn main() {
         Disposition::Expired { waited_ns, .. } => {
             println!("deadline demo: request expired after {waited_ns} ns");
         }
-        Disposition::Completed { .. } => println!("deadline demo: raced the batcher and won"),
-        Disposition::Failed { reason } => {
-            panic!("deadline demo: no chaos armed, yet the request failed: {reason}")
-        }
+        other => panic!("deadline demo: a 0 ns deadline must expire, got {other:?}"),
     }
 
     // SLO window summary: merged across shards.

@@ -21,14 +21,26 @@
 #                          #     archived (serve_timeline.ndjson, previous
 #                          #     run kept as .prev) and gated through
 #                          #     obsctl timeline + obsctl anomaly
+#                          #   * a cache drill (serve_demo --cache) whose
+#                          #     telemetry artifact is gated through
+#                          #     obsctl summary: zero trace sequence gaps
+#                          #     AND non-zero cache_hit AND non-zero
+#                          #     coalesced counts in the cache section
 #                          #   * the bench loop: farm, experiments and
 #                          #     serve benches with archived
 #                          #     BENCH_<name>.json artifacts, each gated
 #                          #     through obsctl diff against the previous
 #                          #     archive when present; the serve bench
-#                          #     runs twice — shard counts 1 and 4 — with
-#                          #     separately archived and gated artifacts
-#                          #     (BENCH_serve.json / BENCH_serve_shard4.json)
+#                          #     runs three times — shard counts 1 and 4,
+#                          #     plus a cached run (CANTI_SERVE_CACHE=1) —
+#                          #     with separately archived and gated
+#                          #     artifacts (BENCH_serve.json /
+#                          #     BENCH_serve_shard4.json /
+#                          #     BENCH_serve_cached.json)
+#
+# Both modes finish by writing the per-phase wall times to
+# target/ci_phases.json (previous run kept as .prev) and printing an
+# advisory delta against the previous run — timings are never a gate.
 #
 # Perf gate knobs (smoke only):
 #   CANTI_PERF_THRESHOLD_PCT  relative slack for obsctl diff (default: 40
@@ -47,6 +59,9 @@
 #   CANTI_SERVE_BATCH         serve bench batch threshold (bench default)
 #   CANTI_SERVE_THREADS       serve bench farm workers (bench default)
 #   CANTI_SERVE_SUBMITTERS    serve bench submitter threads (bench default)
+#   CANTI_SERVE_CACHE         1 turns on the serve bench's result cache
+#                             with a repeat-heavy request mix (set by the
+#                             BENCH_serve_cached leg; bench default off)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -159,11 +174,12 @@ if [[ "${1:-}" == "smoke" ]]; then
     if [[ -s "$timeline_prev" ]]; then
         # gate request-scoped observation counts against the previous
         # run; sums are wall-clock noisy, counts are load-determined
-        # (serve.expired is deliberately not gated: the demo's hopeless
-        # deadline can race the batcher, so that series is best-effort)
+        # (serve.expired included: the demo's hopeless deadline is 0 ns
+        # relative, and expiry sweeps run before every batch formation,
+        # so exactly one expiry is deterministic)
         echo "-- obsctl anomaly gate: timeline vs previous run --"
         cargo run --release -q -p canti-obsctl -- anomaly "$timeline_artifact" "$timeline_prev" \
-            --series serve.admitted --series serve.completed \
+            --series serve.admitted --series serve.completed --series serve.expired \
             --threshold-pct "${CANTI_TIMELINE_THRESHOLD_PCT:-10}"
     else
         echo "-- obsctl anomaly gate: no previous timeline artifact, baseline archived --"
@@ -187,6 +203,29 @@ if [[ "${1:-}" == "smoke" ]]; then
         || { echo "chaos-serve artifact shows no failover events"; exit 1; }
     grep -q '"metric":"serve.failovers"' "$chaos_serve_artifact" \
         || { echo "chaos-serve artifact carries no serve.failovers counter"; exit 1; }
+    phase_end
+
+    phase_begin "cache smoke (result cache + coalescing drill)"
+    # the demo itself asserts byte-identical payloads across the burst,
+    # >0 coalesced followers, >0 cache hits, and cache-aware /healthz +
+    # /debug/requests bodies before it exits 0
+    cargo run --release --example serve_demo -- --cache --shards 2 --telemetry
+    cache_artifact=target/serve_cache_telemetry.ndjson
+    [[ -s "$cache_artifact" ]] || { echo "missing cache artifact $cache_artifact"; exit 1; }
+    # summary fails (exit 1) on an empty span tree or trace sequence
+    # gaps, so a clean exit here IS the zero-gap gate; the cache section
+    # must additionally show real hit and coalescing activity
+    cache_summary=$(cargo run --release -q -p canti-obsctl -- summary "$cache_artifact")
+    echo "$cache_summary"
+    cache_json=$(cargo run --release -q -p canti-obsctl -- summary "$cache_artifact" --json)
+    for name in cache_hit coalesced; do
+        count=$(echo "$cache_json" \
+            | sed -n "s/.*\"record\":\"cache\",\"name\":\"$name\",\"count\":\([0-9]*\).*/\1/p" \
+            | head -1)
+        [[ -n "$count" && "$count" -gt 0 ]] \
+            || { echo "cache gate: no $name activity in $cache_artifact"; exit 1; }
+        echo "cache gate: $name x$count"
+    done
     phase_end
 
     phase_begin "bench loop (farm, experiments, serve x shards) + perf gates"
@@ -233,11 +272,38 @@ if [[ "${1:-}" == "smoke" ]]; then
     run_bench_gate experiments BENCH_experiments 100   50000
     run_bench_gate serve       BENCH_serve       100   50000 CANTI_SERVE_SHARDS=1
     run_bench_gate serve       BENCH_serve_shard4 100  50000 CANTI_SERVE_SHARDS=4
+    # the cached leg reuses the serve bench with the result cache on and
+    # a repeat-heavy mix, so its artifact tracks the cached/coalesced
+    # fast path rather than batch formation
+    run_bench_gate serve       BENCH_serve_cached 100  50000 CANTI_SERVE_CACHE=1
     phase_end
 fi
 
 echo
 echo "ci: all green — phase wall times:"
+# archive the per-phase wall times (previous run kept as .prev) and
+# print an advisory delta; timings are informational, never a gate
+phases_json=target/ci_phases.json
+phases_prev=target/ci_phases.prev.json
+mkdir -p target
+[[ -s "$phases_json" ]] && cp "$phases_json" "$phases_prev"
+{
+    printf '{"record":"ci_phases","phases":['
+    for i in "${!phase_names[@]}"; do
+        [[ $i -gt 0 ]] && printf ','
+        printf '\n  {"name":"%s","secs":%d}' "${phase_names[$i]}" "${phase_secs[$i]}"
+    done
+    printf '\n]}\n'
+} > "$phases_json"
 for i in "${!phase_names[@]}"; do
-    printf '  %-48s %4ds\n' "${phase_names[$i]}" "${phase_secs[$i]}"
+    line=$(printf '  %-48s %4ds' "${phase_names[$i]}" "${phase_secs[$i]}")
+    if [[ -s "$phases_prev" ]]; then
+        prev_secs=$(grep -F "\"name\":\"${phase_names[$i]}\"" "$phases_prev" \
+            | head -1 | sed -n 's/.*"secs":\([0-9]*\).*/\1/p')
+        if [[ -n "$prev_secs" ]]; then
+            line="$line  (prev ${prev_secs}s, $((phase_secs[i] - prev_secs))s delta)"
+        fi
+    fi
+    echo "$line"
 done
+echo "phase timings archived to $phases_json"

@@ -39,6 +39,7 @@ fn scripted_run(threads: usize) -> RunTrace {
             timeline: Default::default(),
             feasibility: None,
             brownout: None,
+            cache: None,
         },
         Arc::clone(&clock) as Arc<dyn ObsClock>,
     );
@@ -209,6 +210,8 @@ fn script_covers_rejection_expiry_and_every_trigger() {
             failed: 0,
             shed: 0,
             batches: 4,
+            cache_hits: 0,
+            coalesced: 0,
         }
     );
 }

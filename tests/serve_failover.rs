@@ -53,6 +53,7 @@ fn config(workers: usize) -> ServeConfig {
         timeline: Default::default(),
         feasibility: None,
         brownout: None,
+        cache: None,
     }
 }
 
@@ -461,7 +462,7 @@ fn wave_summary(responses: Vec<ServeResponse>) -> WaveSummary {
     };
     for r in responses {
         match r.disposition {
-            Disposition::Completed { .. } => s.completed += 1,
+            Disposition::Completed { .. } | Disposition::CacheHit { .. } => s.completed += 1,
             Disposition::Failed { .. } => s.failed += 1,
             Disposition::Expired { .. } => s.expired += 1,
         }

@@ -99,6 +99,7 @@ fn config(workers: usize) -> ServeConfig {
         timeline: Default::default(),
         feasibility: None,
         brownout: None,
+        cache: None,
     }
 }
 
@@ -192,7 +193,7 @@ fn payload_view(trace: &ShardTrace) -> BTreeMap<u64, Payload> {
         .responses
         .iter()
         .filter_map(|r| match &r.disposition {
-            Disposition::Completed { result, .. } => {
+            Disposition::Completed { result, .. } | Disposition::CacheHit { result, .. } => {
                 let out: &JobOutput = result.as_ref().expect("scripted jobs all succeed");
                 let bits = out.metrics.iter().map(|&(n, v)| (n, v.to_bits())).collect();
                 Some((r.request_id, (out.kind, bits)))
@@ -212,7 +213,9 @@ fn expiry_view(trace: &ShardTrace) -> BTreeMap<u64, (u64, u64)> {
                 waited_ns,
                 deadline_ns,
             } => Some((r.request_id, (waited_ns, deadline_ns))),
-            Disposition::Completed { .. } | Disposition::Failed { .. } => None,
+            Disposition::Completed { .. }
+            | Disposition::CacheHit { .. }
+            | Disposition::Failed { .. } => None,
         })
         .collect()
 }
@@ -379,6 +382,8 @@ fn the_script_covers_expiry_drain_refusal_and_every_trigger() {
             failed: 0,
             shed: 0,
             batches: 5,
+            cache_hits: 0,
+            coalesced: 0,
         }
     );
 }

@@ -112,6 +112,7 @@ fn config(workers: usize) -> ServeConfig {
         },
         feasibility: None,
         brownout: None,
+        cache: None,
     }
 }
 
@@ -419,7 +420,8 @@ fn flight_recorder_keeps_exactly_the_policy_set() {
     let mut fast_head = false;
     for r in &run.responses {
         match &r.disposition {
-            Disposition::Completed { latency_ns, .. } => {
+            Disposition::Completed { latency_ns, .. }
+            | Disposition::CacheHit { latency_ns, .. } => {
                 if *latency_ns > FLIGHT.objective_ns {
                     expect.insert(r.trace);
                 } else if r.trace % FLIGHT.head_modulus == 0 {
